@@ -1,0 +1,1 @@
+bin/leopard_cli.ml: Arg Cmd Cmdliner Format Leopard Leopard_harness Leopard_trace Leopard_workload List Minidb Printf String Sys Term

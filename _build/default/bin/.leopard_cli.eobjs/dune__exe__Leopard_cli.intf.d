@@ -1,0 +1,1 @@
+bin/leopard_cli.mli:

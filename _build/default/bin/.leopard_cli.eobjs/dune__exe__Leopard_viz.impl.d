@@ -1,0 +1,1 @@
+bin/leopard_viz.ml: Arg Cmd Cmdliner Leopard_trace String Term

@@ -1,0 +1,1 @@
+bin/leopard_viz.mli:

@@ -1,0 +1,257 @@
+(* Command-line driver: run a workload on a simulated DBMS profile and
+   verify the claimed isolation level from the traces.
+
+     dune exec bin/leopard_cli.exe -- --help
+     dune exec bin/leopard_cli.exe -- -w smallbank -d postgresql -i SI -n 5000
+     dune exec bin/leopard_cli.exe -- -w tpcc -d postgresql -i SR \
+       --fault no-ssi --clients 24 *)
+
+let workload_of_string name =
+  match name with
+  | "ycsb" -> Some (Leopard_workload.Ycsb.spec ~theta:0.8 ())
+  | "ycsb+t" -> Some (Leopard_workload.Ycsb_t.spec ())
+  | "tatp" -> Some (Leopard_workload.Tatp.spec ())
+  | "blindw-w" -> Some (Leopard_workload.Blindw.spec Leopard_workload.Blindw.W)
+  | "blindw-rw" ->
+    Some (Leopard_workload.Blindw.spec Leopard_workload.Blindw.RW)
+  | "blindw-rw+" ->
+    Some (Leopard_workload.Blindw.spec Leopard_workload.Blindw.RW_plus)
+  | "smallbank" -> Some (Leopard_workload.Smallbank.spec ())
+  | "tpcc" -> Some (Leopard_workload.Tpcc.spec ())
+  | _ -> None
+
+let verifier_profile ~dbms ~level =
+  Leopard.Il_profile.find
+    (Printf.sprintf "%s/%s" dbms (Minidb.Isolation.level_to_string level))
+
+let print_inference ~dbms traces =
+  let verdicts = Leopard.Level_inference.infer ~dbms traces in
+  if verdicts = [] then
+    Printf.printf "inference: no profiles known for dbms %s\n" dbms
+  else begin
+    Printf.printf "level inference for %s:\n" dbms;
+    Format.printf "%a" Leopard.Level_inference.pp_verdicts verdicts;
+    match Leopard.Level_inference.strongest_passed verdicts with
+    | Some p ->
+      Printf.printf "strongest supported claim: %s\n" p.Leopard.Il_profile.name
+    | None -> Printf.printf "no claim supported\n"
+  end
+
+(* Verify a previously recorded trace file (see Leopard_trace.Codec). *)
+let check_file ~dbms ~level ~show_bugs ~infer path =
+  match
+    (Minidb.Isolation.level_of_string level, Leopard_trace.Codec.load ~path)
+  with
+  | None, _ ->
+    prerr_endline ("unknown isolation level: " ^ level);
+    exit 2
+  | _, Error e ->
+    prerr_endline ("cannot load " ^ path ^ ": " ^ e);
+    exit 2
+  | Some level, Ok traces ->
+    let il =
+      match verifier_profile ~dbms ~level with
+      | Some il -> il
+      | None ->
+        prerr_endline "no verification profile for this (dbms, level)";
+        exit 2
+    in
+    let checker = Leopard.Checker.create il in
+    let sorted = List.sort Leopard_trace.Trace.compare_by_bef traces in
+    if infer then print_inference ~dbms sorted;
+    let wall0 = Sys.time () in
+    List.iter (Leopard.Checker.feed checker) sorted;
+    Leopard.Checker.finalize checker;
+    let wall = Sys.time () -. wall0 in
+    let report = Leopard.Checker.report checker in
+    Printf.printf
+      "checked  : %s — %d traces, %d committed txns, %.1f ms wall\n" path
+      report.traces report.committed (wall *. 1e3);
+    if report.bugs_total = 0 then begin
+      Printf.printf "verdict  : PASS — no isolation violations\n";
+      exit 0
+    end
+    else begin
+      Printf.printf "verdict  : FAIL — %d violations\n" report.bugs_total;
+      List.iteri
+        (fun i b ->
+          if i < show_bugs then Printf.printf "  %s\n" (Leopard.Bug.to_string b))
+        report.bugs;
+      exit 1
+    end
+
+let run_workload_mode workload dbms level faults clients txns seed show_bugs
+    record infer =
+  match
+    ( workload_of_string workload,
+      Minidb.Profile.find dbms,
+      Minidb.Isolation.level_of_string level )
+  with
+  | None, _, _ ->
+    prerr_endline ("unknown workload: " ^ workload);
+    exit 2
+  | _, None, _ ->
+    prerr_endline ("unknown dbms profile: " ^ dbms);
+    exit 2
+  | _, _, None ->
+    prerr_endline ("unknown isolation level: " ^ level);
+    exit 2
+  | Some spec, Some profile, Some level ->
+    if not (Minidb.Profile.supports profile level) then begin
+      Printf.eprintf "%s does not offer %s; available rows:\n%s" dbms
+        (Minidb.Isolation.level_to_string level)
+        (Minidb.Profile.fig1_matrix ());
+      exit 2
+    end;
+    let faults =
+      List.fold_left
+        (fun acc name ->
+          match Minidb.Fault.of_string name with
+          | Some f -> Minidb.Fault.Set.add f acc
+          | None ->
+            prerr_endline ("unknown fault: " ^ name);
+            exit 2)
+        Minidb.Fault.Set.empty faults
+    in
+    let config =
+      Leopard_harness.Run.config ~clients ~seed ~faults ~spec ~profile ~level
+        ~stop:(Leopard_harness.Run.Txn_count txns) ()
+    in
+    let outcome = Leopard_harness.Run.execute config in
+    let il =
+      match verifier_profile ~dbms ~level with
+      | Some il -> il
+      | None ->
+        prerr_endline "no verification profile for this (dbms, level)";
+        exit 2
+    in
+    let checker = Leopard.Checker.create il in
+    let pipeline = Leopard.Pipeline.of_lists outcome.client_traces in
+    let wall0 = Sys.time () in
+    ignore (Leopard.Pipeline.drain pipeline ~f:(Leopard.Checker.feed checker));
+    Leopard.Checker.finalize checker;
+    let wall = Sys.time () -. wall0 in
+    let report = Leopard.Checker.report checker in
+    Printf.printf "run      : %s on %s/%s, %d clients, seed %d\n"
+      spec.Leopard_workload.Spec.name dbms
+      (Minidb.Isolation.level_to_string level)
+      clients seed;
+    if not (Minidb.Fault.Set.is_empty faults) then
+      Printf.printf "faults   : %s\n"
+        (String.concat ", "
+           (List.map Minidb.Fault.to_string (Minidb.Fault.Set.elements faults)));
+    Printf.printf "engine   : %d committed, %d aborted, %.1f ms simulated\n"
+      outcome.commits outcome.aborts
+      (float_of_int outcome.sim_duration_ns /. 1e6);
+    Printf.printf
+      "verifier : %d traces, %d reads checked, %d deps deduced, %.1f ms wall\n"
+      report.traces report.reads_checked report.deps_deduced (wall *. 1e3);
+    Printf.printf "memory   : peak %d mirrored entries (pipeline peak %d)\n"
+      report.peak_live
+      (Leopard.Pipeline.peak_memory pipeline);
+    (match record with
+    | Some path ->
+      Leopard_trace.Codec.save ~path
+        (Leopard_harness.Run.all_traces_sorted outcome);
+      Printf.printf "recorded : %s (%d traces)\n" path report.traces
+    | None -> ());
+    if infer then
+      print_inference ~dbms (Leopard_harness.Run.all_traces_sorted outcome);
+    if report.bugs_total = 0 then begin
+      Printf.printf "verdict  : PASS — no isolation violations\n";
+      exit 0
+    end
+    else begin
+      Printf.printf "verdict  : FAIL — %d violations\n" report.bugs_total;
+      List.iteri
+        (fun i b ->
+          if i < show_bugs then
+            Printf.printf "  %s\n" (Leopard.Bug.to_string b))
+        report.bugs;
+      exit 1
+    end
+
+let run workload dbms level faults clients txns seed show_bugs record check
+    infer =
+  match check with
+  | Some path -> check_file ~dbms ~level ~show_bugs ~infer path
+  | None ->
+    run_workload_mode workload dbms level faults clients txns seed show_bugs
+      record infer
+
+open Cmdliner
+
+let workload =
+  Arg.(
+    value & opt string "blindw-rw"
+    & info [ "w"; "workload" ] ~docv:"NAME"
+        ~doc:
+          "Workload: ycsb, ycsb+t, tatp, blindw-w, blindw-rw, blindw-rw+, \
+           smallbank, tpcc.")
+
+let dbms =
+  Arg.(
+    value & opt string "postgresql"
+    & info [ "d"; "dbms" ] ~docv:"PROFILE"
+        ~doc:
+          "DBMS profile under test: postgresql, innodb, tidb, cockroachdb, \
+           sqlite, foundationdb, oracle.")
+
+let level =
+  Arg.(
+    value & opt string "SR"
+    & info [ "i"; "isolation" ] ~docv:"LEVEL"
+        ~doc:"Claimed isolation level: RC, RR, SI or SR.")
+
+let faults =
+  Arg.(
+    value & opt_all string []
+    & info [ "fault" ] ~docv:"FAULT"
+        ~doc:"Inject a named engine fault (repeatable); see DESIGN.md (4).")
+
+let clients =
+  Arg.(value & opt int 16 & info [ "clients" ] ~doc:"Concurrent clients.")
+
+let txns =
+  Arg.(value & opt int 2000 & info [ "n"; "txns" ] ~doc:"Transactions to run.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let show_bugs =
+  Arg.(
+    value & opt int 5 & info [ "show-bugs" ] ~doc:"Violations to print on FAIL.")
+
+let record =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "record" ] ~docv:"FILE"
+        ~doc:"Save the run's traces to $(docv) (leopard-trace v1 format).")
+
+let check =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "check" ] ~docv:"FILE"
+        ~doc:
+          "Skip running a workload: verify a previously recorded trace file \
+           against the claimed --dbms/--isolation profile.")
+
+let infer =
+  Arg.(
+    value & flag
+    & info [ "infer" ]
+        ~doc:
+          "Additionally report, for every isolation level the --dbms \
+           offers, whether the history supports that claim (level \
+           inference).")
+
+let cmd =
+  let doc = "verify isolation levels from client-side traces (Leopard)" in
+  Cmd.v
+    (Cmd.info "leopard" ~doc)
+    Term.(
+      const run $ workload $ dbms $ level $ faults $ clients $ txns $ seed
+      $ show_bugs $ record $ check $ infer)
+
+let () = exit (Cmd.eval cmd)

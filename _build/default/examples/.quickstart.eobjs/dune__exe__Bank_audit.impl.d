@@ -1,0 +1,1 @@
+examples/bank_audit.ml: Leopard Leopard_harness Leopard_workload List Minidb Printf

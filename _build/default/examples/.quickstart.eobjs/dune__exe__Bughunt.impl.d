@@ -1,0 +1,1 @@
+examples/bughunt.ml: Leopard Leopard_baselines Leopard_harness Leopard_util Leopard_workload List Minidb Option Printf String

@@ -1,0 +1,1 @@
+examples/bughunt.mli:

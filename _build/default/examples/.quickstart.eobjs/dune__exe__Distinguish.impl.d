@@ -1,0 +1,1 @@
+examples/distinguish.ml: Format Leopard Leopard_harness Leopard_workload List Minidb Printf

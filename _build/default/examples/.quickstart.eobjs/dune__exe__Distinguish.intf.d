@@ -1,0 +1,1 @@
+examples/distinguish.mli:

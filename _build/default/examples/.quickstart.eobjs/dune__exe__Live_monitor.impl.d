@@ -1,0 +1,1 @@
+examples/live_monitor.ml: Leopard Leopard_harness Leopard_workload Minidb Printf

@@ -1,0 +1,1 @@
+examples/pipeline_demo.ml: Leopard Leopard_trace List Printf

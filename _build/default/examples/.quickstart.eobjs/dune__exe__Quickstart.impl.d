@@ -1,0 +1,1 @@
+examples/quickstart.ml: Leopard Leopard_harness Leopard_workload List Minidb Printf

@@ -1,0 +1,53 @@
+(* Bank audit: find a lost update hidden in a banking application.
+
+     dune exec examples/bank_audit.exe
+
+   SmallBank runs on an engine that claims snapshot isolation but whose
+   first-updater-wins check is broken (Fault.No_fuw) — the class of bug
+   that lets two concurrent deposits overwrite each other.  The audit
+   runs twice, against a healthy bank and the broken one, and shows how
+   Leopard's FUW verification localises the bug to the exact accounts
+   and transactions. *)
+
+let audit ~label ~faults =
+  let spec = Leopard_workload.Smallbank.spec ~hotspot:0.6 () in
+  let config =
+    Leopard_harness.Run.config ~clients:24 ~seed:7 ~faults ~spec
+      ~profile:Minidb.Profile.postgresql
+      ~level:Minidb.Isolation.Snapshot_isolation
+      ~stop:(Leopard_harness.Run.Txn_count 4_000) ()
+  in
+  let outcome = Leopard_harness.Run.execute config in
+  let checker = Leopard.Checker.create Leopard.Il_profile.postgresql_si in
+  List.iter
+    (Leopard.Checker.feed checker)
+    (Leopard_harness.Run.all_traces_sorted outcome);
+  Leopard.Checker.finalize checker;
+  let report = Leopard.Checker.report checker in
+  Printf.printf "%s\n" label;
+  Printf.printf "  transactions: %d committed, %d aborted (%d FUW aborts)\n"
+    outcome.commits outcome.aborts outcome.aborts_fuw;
+  (match report.bugs with
+  | [] -> Printf.printf "  audit verdict: clean — every update was protected\n"
+  | bugs ->
+    Printf.printf "  audit verdict: %d violations, e.g.:\n" report.bugs_total;
+    List.iteri
+      (fun i b ->
+        if i < 3 then Printf.printf "    %s\n" (Leopard.Bug.to_string b))
+      bugs);
+  print_newline ();
+  report.bugs_total
+
+let () =
+  let clean =
+    audit ~label:"[1] healthy bank (FUW enforced)"
+      ~faults:Minidb.Fault.Set.empty
+  in
+  let broken =
+    audit ~label:"[2] broken bank (first-updater-wins disabled)"
+      ~faults:(Minidb.Fault.Set.singleton Minidb.Fault.No_fuw)
+  in
+  Printf.printf "summary: clean run reported %d bugs, broken run %d — the \
+                 lost updates were caught from traces alone.\n"
+    clean broken;
+  if clean <> 0 || broken = 0 then exit 1

@@ -1,0 +1,45 @@
+(* Two-level pipeline walkthrough — the paper's Fig. 5 running example.
+
+     dune exec examples/pipeline_demo.exe
+
+   Two clients produce traces with interleaved timestamps; the pipeline
+   buffers them locally, merges batches through the global min-heap and
+   only dispatches a trace once the watermark proves nothing smaller can
+   still arrive (Algorithm 1 / Theorem 1). *)
+
+module Trace = Leopard_trace.Trace
+
+let cell = Leopard_trace.Cell.make ~table:0 ~row:0 ~col:0
+
+let mk ~client ~bef =
+  {
+    Trace.ts_bef = bef;
+    ts_aft = bef + 1;
+    txn = (client * 100) + bef;
+    client;
+    payload = Trace.Write [ { Trace.cell; value = bef } ];
+  }
+
+let () =
+  (* Fig. 5's two clients: odd timestamps from client 0, the rest from
+     client 1. *)
+  let client0 = List.map (fun b -> mk ~client:0 ~bef:b) [ 1; 4; 7; 10 ] in
+  let client1 = List.map (fun b -> mk ~client:1 ~bef:b) [ 3; 8; 9; 12 ] in
+  let pipeline = Leopard.Pipeline.of_lists ~batch:2 [| client0; client1 |] in
+  print_endline "client 0 produces ts_bef: 1 4 7 10";
+  print_endline "client 1 produces ts_bef: 3 8 9 12";
+  print_endline "dispatch order (batch = 2):";
+  let rec loop i =
+    match Leopard.Pipeline.next pipeline with
+    | None -> ()
+    | Some t ->
+      Printf.printf "  #%d  ts_bef=%-3d from client %d   (heap now holds %d)\n"
+        i t.Trace.ts_bef t.Trace.client
+        (Leopard.Pipeline.heap_size pipeline);
+      loop (i + 1)
+  in
+  loop 1;
+  Printf.printf "dispatched %d traces; peak buffered %d\n"
+    (Leopard.Pipeline.dispatched pipeline)
+    (Leopard.Pipeline.peak_memory pipeline);
+  print_endline "every trace left in globally sorted ts_bef order (Theorem 1)."

@@ -1,0 +1,1 @@
+lib/baselines/cobra.ml: Hashtbl Leopard_trace List

@@ -1,0 +1,1 @@
+lib/baselines/cycle_search.ml: Hashtbl Leopard Leopard_trace List

@@ -1,0 +1,1 @@
+lib/baselines/cycle_search.mli: Leopard Leopard_trace

@@ -1,0 +1,1 @@
+lib/baselines/elle.ml: Hashtbl Leopard_trace List Printf String

@@ -1,0 +1,1 @@
+lib/baselines/elle.mli: Leopard_trace

@@ -1,0 +1,1 @@
+lib/baselines/naive_sorter.ml: Array Leopard_trace List

@@ -1,0 +1,1 @@
+lib/baselines/naive_sorter.mli: Leopard_trace

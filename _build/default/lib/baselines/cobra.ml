@@ -1,0 +1,362 @@
+module Cell = Leopard_trace.Cell
+module Trace = Leopard_trace.Trace
+
+type gc = No_gc | Fence of int
+
+type report = {
+  txns : int;
+  violation : bool;
+  decided : int;
+  undecided : int;
+  reachability_queries : int;
+  peak_live : int;
+  final_live : int;
+  pruned_txns : int;
+}
+
+(* A pending transaction being assembled from its traces. *)
+type building = {
+  mutable b_reads : (Cell.t * Trace.value) list;
+  mutable b_writes : (Cell.t * Trace.value) list;
+  b_client : int;
+}
+
+type constraint_state = Undecided | First_wins | Second_wins
+
+type pair_constraint = {
+  w1 : int;
+  w2 : int;
+  key : Cell.t;
+  mutable state : constraint_state;
+}
+
+type t = {
+  gc : gc;
+  building : (int, building) Hashtbl.t;
+  (* committed polygraph *)
+  adj : (int, int list ref) Hashtbl.t;  (* known edges *)
+  writers : int list ref Cell.Tbl.t;  (* committed writers per key *)
+  readers : (int * Trace.value) list ref Cell.Tbl.t;
+      (* committed (reader, value) per key *)
+  value_writer : (Cell.t * Trace.value, int) Hashtbl.t;
+  constraints : pair_constraint list ref Cell.Tbl.t;  (* per key *)
+  mutable constraint_count : int;
+  mutable undecided_count : int;
+  last_in_session : (int, int) Hashtbl.t;  (* client -> last committed txn *)
+  mutable nodes : int;
+  mutable edge_count : int;
+  mutable commits : int;
+  mutable violation : bool;
+  mutable decided : int;
+  mutable queries : int;
+  mutable peak : int;
+  mutable pruned : int;
+}
+
+let create ~gc () =
+  {
+    gc;
+    building = Hashtbl.create 256;
+    adj = Hashtbl.create 4096;
+    writers = Cell.Tbl.create 1024;
+    readers = Cell.Tbl.create 1024;
+    value_writer = Hashtbl.create 4096;
+    constraints = Cell.Tbl.create 1024;
+    constraint_count = 0;
+    undecided_count = 0;
+    last_in_session = Hashtbl.create 64;
+    nodes = 0;
+    edge_count = 0;
+    commits = 0;
+    violation = false;
+    decided = 0;
+    queries = 0;
+    peak = 0;
+    pruned = 0;
+  }
+
+let constraints_of t key =
+  match Cell.Tbl.find_opt t.constraints key with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Cell.Tbl.add t.constraints key r;
+    r
+
+let live t = t.nodes + t.edge_count + t.undecided_count
+
+let note_mem t =
+  let m = live t in
+  if m > t.peak then t.peak <- m
+
+let add_edge t a b =
+  if a <> b then begin
+    let out =
+      match Hashtbl.find_opt t.adj a with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.replace t.adj a r;
+        r
+    in
+    if not (List.mem b !out) then begin
+      out := b :: !out;
+      t.edge_count <- t.edge_count + 1
+    end
+  end
+
+(* Whole-graph reachability: does src reach dst along known edges?  This
+   is the expensive primitive of Cobra-style pruning. *)
+let reaches t ~src ~dst =
+  t.queries <- t.queries + 1;
+  if src = dst then true
+  else begin
+    let visited = Hashtbl.create 64 in
+    let rec dfs node =
+      if node = dst then true
+      else if Hashtbl.mem visited node then false
+      else begin
+        Hashtbl.replace visited node ();
+        match Hashtbl.find_opt t.adj node with
+        | None -> false
+        | Some out -> List.exists dfs !out
+      end
+    in
+    dfs src
+  end
+
+(* Edges implied by orienting [first] before [second] on [key]: the ww
+   edge plus an anti-dependency from every reader of [first]'s version. *)
+let orientation_edges t ~key ~first ~second =
+  let rws =
+    match Cell.Tbl.find_opt t.readers key with
+    | None -> []
+    | Some rs ->
+      List.filter_map
+        (fun (reader, value) ->
+          match Hashtbl.find_opt t.value_writer (key, value) with
+          | Some w when w = first && reader <> second -> Some (reader, second)
+          | _ -> None)
+        !rs
+  in
+  (first, second) :: rws
+
+let orientation_possible t edges =
+  not (List.exists (fun (a, b) -> reaches t ~src:b ~dst:a) edges)
+
+let apply_orientation t edges = List.iter (fun (a, b) -> add_edge t a b) edges
+
+let try_decide t c =
+  if c.state = Undecided && not t.violation then begin
+    let first_edges = orientation_edges t ~key:c.key ~first:c.w1 ~second:c.w2 in
+    let second_edges = orientation_edges t ~key:c.key ~first:c.w2 ~second:c.w1 in
+    let first_ok = orientation_possible t first_edges in
+    let second_ok = orientation_possible t second_edges in
+    match (first_ok, second_ok) with
+    | false, false ->
+      t.violation <- true;
+      false
+    | true, false ->
+      c.state <- First_wins;
+      t.decided <- t.decided + 1;
+      t.undecided_count <- t.undecided_count - 1;
+      apply_orientation t first_edges;
+      true
+    | false, true ->
+      c.state <- Second_wins;
+      t.decided <- t.decided + 1;
+      t.undecided_count <- t.undecided_count - 1;
+      apply_orientation t second_edges;
+      true
+    | true, true -> false
+  end
+  else false
+
+(* One pruning pass over undecided constraints; returns [true] if any
+   constraint was decided (so the caller iterates to fixpoint). *)
+let prune_pass t =
+  let progress = ref false in
+  Cell.Tbl.iter
+    (fun _key cs ->
+      List.iter (fun c -> if try_decide t c then progress := true) !cs)
+    t.constraints;
+  !progress
+
+let rec prune_fixpoint t = if prune_pass t then prune_fixpoint t
+
+(* Fence GC: a full sweep freezing transactions whose constraints are all
+   decided; frozen nodes and their edges are dropped (Cobra pays a whole
+   graph traversal per fence to find them). *)
+let fence_gc t =
+  prune_fixpoint t;
+  let hot = Hashtbl.create 256 in
+  Cell.Tbl.iter
+    (fun _key cs ->
+      List.iter
+        (fun c ->
+          if c.state = Undecided then begin
+            Hashtbl.replace hot c.w1 ();
+            Hashtbl.replace hot c.w2 ()
+          end)
+        !cs)
+    t.constraints;
+  (* the reachability sweep Cobra pays: touch every node once *)
+  Hashtbl.iter (fun node _ -> ignore (reaches t ~src:node ~dst:min_int)) t.adj;
+  let frozen =
+    Hashtbl.fold
+      (fun node _ acc -> if Hashtbl.mem hot node then acc else node :: acc)
+      t.adj []
+  in
+  List.iter
+    (fun node ->
+      (match Hashtbl.find_opt t.adj node with
+      | Some out ->
+        t.edge_count <- t.edge_count - List.length !out;
+        Hashtbl.remove t.adj node
+      | None -> ());
+      t.nodes <- t.nodes - 1;
+      t.pruned <- t.pruned + 1)
+    frozen;
+  (* drop decided constraints *)
+  Cell.Tbl.iter
+    (fun _key cs ->
+      let kept = List.filter (fun c -> c.state = Undecided) !cs in
+      t.constraint_count <- t.constraint_count - (List.length !cs - List.length kept);
+      cs := kept)
+    t.constraints
+
+let building_of t trace =
+  match Hashtbl.find_opt t.building trace.Trace.txn with
+  | Some b -> b
+  | None ->
+    let b = { b_reads = []; b_writes = []; b_client = trace.Trace.client } in
+    Hashtbl.replace t.building trace.Trace.txn b;
+    b
+
+let commit_txn t txn b =
+  t.nodes <- t.nodes + 1;
+  t.commits <- t.commits + 1;
+  (* session order *)
+  (match Hashtbl.find_opt t.last_in_session b.b_client with
+  | Some prev -> add_edge t prev txn
+  | None -> ());
+  Hashtbl.replace t.last_in_session b.b_client txn;
+  (* wr edges from uniquely-written values *)
+  List.iter
+    (fun (key, value) ->
+      match Hashtbl.find_opt t.value_writer (key, value) with
+      | Some w when w <> txn -> add_edge t w txn
+      | Some _ | None -> ())
+    b.b_reads;
+  (* register reads; a reader of version v antidepends on every writer
+     already decided to come after v's writer *)
+  List.iter
+    (fun (key, value) ->
+      let rs =
+        match Cell.Tbl.find_opt t.readers key with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Cell.Tbl.add t.readers key r;
+          r
+      in
+      rs := (txn, value) :: !rs;
+      match Hashtbl.find_opt t.value_writer (key, value) with
+      | None -> ()
+      | Some w ->
+        List.iter
+          (fun c ->
+            match c.state with
+            | First_wins when c.w1 = w -> add_edge t txn c.w2
+            | Second_wins when c.w2 = w -> add_edge t txn c.w1
+            | First_wins | Second_wins | Undecided -> ())
+          !(constraints_of t key))
+    b.b_reads;
+  (* register writes: new constraints against every prior writer *)
+  List.iter
+    (fun (key, value) ->
+      Hashtbl.replace t.value_writer (key, value) txn;
+      let ws =
+        match Cell.Tbl.find_opt t.writers key with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Cell.Tbl.add t.writers key r;
+          r
+      in
+      List.iter
+        (fun w ->
+          if w <> txn then begin
+            let c = { w1 = w; w2 = txn; key; state = Undecided } in
+            let cs = constraints_of t key in
+            cs := c :: !cs;
+            t.constraint_count <- t.constraint_count + 1;
+            t.undecided_count <- t.undecided_count + 1
+          end)
+        !ws;
+      if not (List.mem txn !ws) then ws := txn :: !ws)
+    b.b_writes;
+  (* Incremental pruning: only the constraints on keys the new
+     transaction wrote are examined per commit; whole-polygraph fixpoints
+     run at fences and at the end (real Cobra defers the rest to its
+     solver). *)
+  List.iter
+    (fun (key, _) ->
+      List.iter
+        (fun c ->
+          if c.w1 = txn || c.w2 = txn then ignore (try_decide t c))
+        !(constraints_of t key))
+    b.b_writes;
+  (match t.gc with
+  | Fence n when t.commits mod n = 0 -> fence_gc t
+  | Fence _ | No_gc -> ());
+  note_mem t
+
+let feed t trace =
+  match trace.Trace.payload with
+  | Trace.Read { items; _ } ->
+    let b = building_of t trace in
+    b.b_reads <-
+      List.map (fun (i : Trace.item) -> (i.cell, i.value)) items @ b.b_reads
+  | Trace.Write items ->
+    let b = building_of t trace in
+    b.b_writes <-
+      List.map (fun (i : Trace.item) -> (i.cell, i.value)) items @ b.b_writes
+  | Trace.Abort -> Hashtbl.remove t.building trace.Trace.txn
+  | Trace.Commit ->
+    let b = building_of t trace in
+    Hashtbl.remove t.building trace.Trace.txn;
+    commit_txn t trace.Trace.txn b
+
+(* Final whole-graph acyclicity check over known edges. *)
+let final_cycle_check t =
+  let color = Hashtbl.create (Hashtbl.length t.adj) in
+  let found = ref false in
+  let rec dfs node =
+    match Hashtbl.find_opt color node with
+    | Some `Grey -> found := true
+    | Some `Black -> ()
+    | None ->
+      Hashtbl.replace color node `Grey;
+      (match Hashtbl.find_opt t.adj node with
+      | Some out -> List.iter dfs !out
+      | None -> ());
+      Hashtbl.replace color node `Black
+  in
+  Hashtbl.iter (fun node _ -> if not !found then dfs node) t.adj;
+  !found
+
+let finalize t =
+  prune_fixpoint t;
+  if final_cycle_check t then t.violation <- true;
+  note_mem t;
+  {
+    txns = t.commits;
+    violation = t.violation;
+    decided = t.decided;
+    undecided = t.undecided_count;
+    reachability_queries = t.queries;
+    peak_live = t.peak;
+    final_live = live t;
+    pruned_txns = t.pruned;
+  }

@@ -1,0 +1,50 @@
+(** A Cobra-style serializability checker (Fig. 14 baseline).
+
+    Cobra (Tan et al., OSDI 2020) verifies that a key-value history is
+    serializable by building a {e polygraph}: known dependency edges plus
+    binary constraints for every unordered pair of writers of a key, and
+    searching for an acyclic orientation.  This module implements the
+    polygraph core with Cobra's pruning loop:
+
+    - known edges: per-client session order and wr edges recovered from
+      uniquely-written values (Cobra's workload contract — time intervals
+      are {e not} used, that is Leopard's advantage);
+    - one constraint per unordered writer pair of a key, each orientation
+      carrying the coupled anti-dependency edges (readers of the earlier
+      writer precede the later writer);
+    - pruning: an orientation whose edges close a cycle with the known
+      graph is discarded; when both orientations are impossible the
+      history is non-serializable; each test is a whole-graph
+      reachability query, which is what makes Cobra's verification time
+      grow superlinearly with the transaction count.
+
+    Garbage collection mirrors Cobra's fence mechanism: every
+    [Fence n] committed transactions the checker pays a full-graph sweep
+    to identify frozen transactions (all constraints decided, old enough)
+    and drops them.  [No_gc] keeps everything. *)
+
+module Trace = Leopard_trace.Trace
+
+type gc = No_gc | Fence of int
+
+type report = {
+  txns : int;
+  violation : bool;
+  decided : int;  (** constraints resolved by pruning *)
+  undecided : int;  (** constraints left open (sent to the solver in real
+                        Cobra) *)
+  reachability_queries : int;
+  peak_live : int;  (** nodes + edges + live constraints high-water mark *)
+  final_live : int;
+  pruned_txns : int;
+}
+
+type t
+
+val create : gc:gc -> unit -> t
+
+val feed : t -> Trace.t -> unit
+(** Traces may arrive in any order that keeps each client's stream
+    monotone; only committed transactions enter the polygraph. *)
+
+val finalize : t -> report

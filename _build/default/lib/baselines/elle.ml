@@ -1,0 +1,253 @@
+module Cell = Leopard_trace.Cell
+module Trace = Leopard_trace.Trace
+
+type anomaly =
+  | Aborted_read of { reader : int; writer : int }
+  | Intermediate_read of { reader : int; writer : int }
+  | Lost_update of { key : Cell.t; t1 : int; t2 : int }
+  | Cycle of int list
+
+let anomaly_to_string = function
+  | Aborted_read { reader; writer } ->
+    Printf.sprintf "G1a aborted read: txn %d observed a value of aborted txn %d"
+      reader writer
+  | Intermediate_read { reader; writer } ->
+    Printf.sprintf
+      "G1b intermediate read: txn %d observed an overwritten intermediate \
+       value of txn %d"
+      reader writer
+  | Lost_update { key; t1; t2 } ->
+    Printf.sprintf
+      "lost update on %s: txns %d and %d both derive from the same version"
+      (Cell.to_string key) t1 t2
+  | Cycle nodes ->
+    Printf.sprintf "dependency cycle: %s"
+      (String.concat " -> " (List.map string_of_int nodes))
+
+type report = { txns : int; anomalies : anomaly list; ww_recovered : int }
+
+type txn_info = {
+  id : int;
+  client : int;
+  committed : bool;
+  reads : (Cell.t * Trace.value) list;  (* in operation order *)
+  writes : (Cell.t * Trace.value) list;  (* in operation order *)
+  first_read_before_write : (Cell.t, Trace.value) Hashtbl.t;
+      (* key -> value observed before this txn first wrote the key *)
+}
+
+let collect traces =
+  let tbl : (int, txn_info) Hashtbl.t = Hashtbl.create 1024 in
+  let get trace =
+    match Hashtbl.find_opt tbl trace.Trace.txn with
+    | Some i -> i
+    | None ->
+      let i =
+        {
+          id = trace.Trace.txn;
+          client = trace.Trace.client;
+          committed = false;
+          reads = [];
+          writes = [];
+          first_read_before_write = Hashtbl.create 4;
+        }
+      in
+      Hashtbl.replace tbl trace.Trace.txn i;
+      i
+  in
+  List.iter
+    (fun trace ->
+      match trace.Trace.payload with
+      | Trace.Read { items; _ } ->
+        let i = get trace in
+        let new_reads =
+          List.map (fun (it : Trace.item) -> (it.cell, it.value)) items
+        in
+        List.iter
+          (fun (key, value) ->
+            if
+              (not (List.mem_assoc key i.writes))
+              && not (Hashtbl.mem i.first_read_before_write key)
+            then Hashtbl.replace i.first_read_before_write key value)
+          new_reads;
+        Hashtbl.replace tbl trace.Trace.txn
+          { i with reads = i.reads @ new_reads }
+      | Trace.Write items ->
+        let i = get trace in
+        Hashtbl.replace tbl trace.Trace.txn
+          {
+            i with
+            writes =
+              i.writes
+              @ List.map (fun (it : Trace.item) -> (it.cell, it.value)) items;
+          }
+      | Trace.Commit ->
+        let i = get trace in
+        Hashtbl.replace tbl trace.Trace.txn { i with committed = true }
+      | Trace.Abort -> ())
+    traces;
+  tbl
+
+let check traces =
+  let tbl = collect traces in
+  let anomalies = ref [] in
+  let committed = Hashtbl.create 1024 in
+  Hashtbl.iter (fun id i -> if i.committed then Hashtbl.replace committed id i) tbl;
+  (* final (externally visible) and intermediate writes per txn *)
+  let final_writer = Hashtbl.create 1024 in
+  let intermediate = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun id (i : txn_info) ->
+      let finals = Hashtbl.create 8 in
+      List.iter (fun (key, value) -> Hashtbl.replace finals key value) i.writes;
+      List.iter
+        (fun (key, value) ->
+          match Hashtbl.find_opt finals key with
+          | Some v when v = value ->
+            if i.committed then Hashtbl.replace final_writer (key, value) id
+          | _ -> Hashtbl.replace intermediate (key, value) id)
+        i.writes;
+      ignore id)
+    tbl;
+  (* all values ever written, by any txn (for G1a) *)
+  let any_writer = Hashtbl.create 4096 in
+  Hashtbl.iter
+    (fun id (i : txn_info) ->
+      List.iter
+        (fun (key, value) -> Hashtbl.replace any_writer (key, value) id)
+        i.writes)
+    tbl;
+  (* ----- direct read anomalies ----- *)
+  Hashtbl.iter
+    (fun id (i : txn_info) ->
+      List.iter
+        (fun (key, value) ->
+          if not (List.mem_assoc key i.writes && not (Hashtbl.mem i.first_read_before_write key))
+          then
+            match Hashtbl.find_opt final_writer (key, value) with
+            | Some _ -> ()
+            | None -> (
+              match Hashtbl.find_opt any_writer (key, value) with
+              | Some w when w <> id ->
+                let winfo = Hashtbl.find tbl w in
+                if not winfo.committed then
+                  anomalies :=
+                    Aborted_read { reader = id; writer = w } :: !anomalies
+                else
+                  anomalies :=
+                    Intermediate_read { reader = id; writer = w } :: !anomalies
+              | Some _ | None -> () (* value from the untraced initial state *)))
+        i.reads)
+    committed;
+  (* ----- manifest version order: read-modify-write chains ----- *)
+  (* predecessor key/value observed by a committed writer of the key *)
+  let derives_from = Hashtbl.create 1024 in
+  let ww = ref [] in
+  Hashtbl.iter
+    (fun id (i : txn_info) ->
+      List.iter
+        (fun (key, _value) ->
+          match Hashtbl.find_opt i.first_read_before_write key with
+          | Some observed -> (
+            Hashtbl.add derives_from (key, observed) id;
+            match Hashtbl.find_opt final_writer (key, observed) with
+            | Some w when w <> id -> ww := (w, id) :: !ww
+            | Some _ | None -> ())
+          | None -> ())
+        i.writes)
+    committed;
+  (* lost-update signature: two committed RMWs derive from one version *)
+  let seen_pairs = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (key, observed) id ->
+      let others = Hashtbl.find_all derives_from (key, observed) in
+      List.iter
+        (fun other ->
+          if other < id then begin
+            let pair = (key, other, id) in
+            if not (Hashtbl.mem seen_pairs pair) then begin
+              Hashtbl.replace seen_pairs pair ();
+              anomalies := Lost_update { key; t1 = other; t2 = id } :: !anomalies
+            end
+          end)
+        others)
+    derives_from;
+  (* ----- dependency graph: wr + session + recovered ww + derived rw ----- *)
+  let adj = Hashtbl.create 1024 in
+  let add_edge a b =
+    if a <> b && Hashtbl.mem committed a && Hashtbl.mem committed b then begin
+      let out =
+        match Hashtbl.find_opt adj a with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.replace adj a r;
+          r
+      in
+      if not (List.mem b !out) then out := b :: !out
+    end
+  in
+  (* wr edges *)
+  Hashtbl.iter
+    (fun id (i : txn_info) ->
+      List.iter
+        (fun (key, value) ->
+          match Hashtbl.find_opt final_writer (key, value) with
+          | Some w -> add_edge w id
+          | None -> ())
+        i.reads)
+    committed;
+  (* session order *)
+  let sessions = Hashtbl.create 64 in
+  List.iter
+    (fun trace ->
+      match trace.Trace.payload with
+      | Trace.Commit ->
+        let prev = Hashtbl.find_opt sessions trace.Trace.client in
+        (match prev with Some p -> add_edge p trace.Trace.txn | None -> ());
+        Hashtbl.replace sessions trace.Trace.client trace.Trace.txn
+      | Trace.Read _ | Trace.Write _ | Trace.Abort -> ())
+    traces;
+  (* recovered ww, and rw: a reader of version v antidepends on the RMW
+     successor of v *)
+  List.iter (fun (a, b) -> add_edge a b) !ww;
+  Hashtbl.iter
+    (fun id (i : txn_info) ->
+      List.iter
+        (fun (key, value) ->
+          List.iter
+            (fun successor -> if successor <> id then add_edge id successor)
+            (Hashtbl.find_all derives_from (key, value)))
+        i.reads)
+    committed;
+  (* cycle search *)
+  let color = Hashtbl.create 1024 in
+  let cycle = ref None in
+  let rec dfs path node =
+    match Hashtbl.find_opt color node with
+    | Some `Grey ->
+      if !cycle = None then begin
+        let rec take acc = function
+          | [] -> acc
+          | x :: _ when x = node -> x :: acc
+          | x :: rest -> take (x :: acc) rest
+        in
+        cycle := Some (take [ node ] path)
+      end
+    | Some `Black -> ()
+    | None ->
+      Hashtbl.replace color node `Grey;
+      (match Hashtbl.find_opt adj node with
+      | Some out -> List.iter (dfs (node :: path)) !out
+      | None -> ());
+      Hashtbl.replace color node `Black
+  in
+  Hashtbl.iter (fun node _ -> if !cycle = None then dfs [] node) adj;
+  (match !cycle with
+  | Some nodes -> anomalies := Cycle nodes :: !anomalies
+  | None -> ());
+  {
+    txns = Hashtbl.length committed;
+    anomalies = List.rev !anomalies;
+    ww_recovered = List.length !ww;
+  }

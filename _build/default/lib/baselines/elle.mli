@@ -1,0 +1,41 @@
+(** An Elle-style anomaly checker (§VI-F comparison).
+
+    Elle (Alvaro & Kingsbury, VLDB 2020) infers isolation anomalies from
+    histories whose {e workload} makes version orders manifest — uniquely
+    written values, ideally read-modify-write chains — and reports the
+    Adya anomalies it can phrase as dependency-graph cycles plus the
+    direct read anomalies:
+
+    - {b G1a} (aborted read): a committed read observes a value written
+      by an aborted transaction;
+    - {b G1b} (intermediate read): a read observes a value the writer
+      overwrote before committing;
+    - {b lost-update signature}: two committed read-modify-writes of the
+      same key both derive from the same observed version;
+    - {b G1c / G2 cycles}: cycles over wr edges, session order and the ww
+      / rw edges recoverable from read-modify-write chains.
+
+    What it deliberately cannot do — the paper's point — is use time
+    intervals: a dirty write that leaves no cycle (TiDB bug 1), a lock
+    violation, or a stale read under a weak level produce no manifest
+    evidence, so Elle stays silent where Leopard's mechanism mirrors
+    report ME/CR violations. *)
+
+module Trace = Leopard_trace.Trace
+
+type anomaly =
+  | Aborted_read of { reader : int; writer : int }
+  | Intermediate_read of { reader : int; writer : int }
+  | Lost_update of { key : Leopard_trace.Cell.t; t1 : int; t2 : int }
+  | Cycle of int list
+
+val anomaly_to_string : anomaly -> string
+
+type report = {
+  txns : int;
+  anomalies : anomaly list;
+  ww_recovered : int;  (** ww edges recovered from RMW chains *)
+}
+
+val check : Trace.t list -> report
+(** Offline, whole-history analysis (Elle's mode of operation). *)

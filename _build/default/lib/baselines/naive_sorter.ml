@@ -1,0 +1,57 @@
+module Trace = Leopard_trace.Trace
+
+type t = {
+  sources : (unit -> Trace.t option) array;
+  mutable sorted : Trace.t list option;  (* None until first [next] *)
+  mutable peak : int;
+  mutable dispatched : int;
+}
+
+let create ~sources () = { sources; sorted = None; peak = 0; dispatched = 0 }
+
+let collect t =
+  let all = ref [] in
+  let count = ref 0 in
+  Array.iter
+    (fun source ->
+      let rec pull () =
+        match source () with
+        | Some trace ->
+          all := trace :: !all;
+          incr count;
+          pull ()
+        | None -> ()
+      in
+      pull ())
+    t.sources;
+  t.peak <- !count;
+  List.sort Trace.compare_by_bef !all
+
+let next t =
+  let sorted =
+    match t.sorted with
+    | Some s -> s
+    | None ->
+      let s = collect t in
+      t.sorted <- Some s;
+      s
+  in
+  match sorted with
+  | [] -> None
+  | trace :: rest ->
+    t.sorted <- Some rest;
+    t.dispatched <- t.dispatched + 1;
+    Some trace
+
+let drain t ~f =
+  let rec go n =
+    match next t with
+    | Some trace ->
+      f trace;
+      go (n + 1)
+    | None -> n
+  in
+  go 0
+
+let peak_memory t = t.peak
+let dispatched t = t.dispatched

@@ -1,0 +1,24 @@
+(** The naive trace-sorting baseline of Fig. 10.
+
+    Instead of the two-level pipeline's incremental watermark merge, this
+    collects {e every} trace from all clients into one global buffer and
+    sorts it once before dispatching — the "collect all traces from
+    multiple clients and sort them in a global buffer" strawman the paper
+    compares against.  Memory is the whole run; dispatch cannot start
+    until all clients finish. *)
+
+module Trace = Leopard_trace.Trace
+
+type t
+
+val create : sources:(unit -> Trace.t option) array -> unit -> t
+
+val next : t -> Trace.t option
+(** The first call drains and sorts everything; subsequent calls pop. *)
+
+val drain : t -> f:(Trace.t -> unit) -> int
+
+val peak_memory : t -> int
+(** Number of traces held at the high-water mark (the full run). *)
+
+val dispatched : t -> int

@@ -1,0 +1,1 @@
+lib/core/bug.ml: Anomaly Format Leopard_trace List String

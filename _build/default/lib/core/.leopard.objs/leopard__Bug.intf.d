@@ -1,0 +1,1 @@
+lib/core/bug.mli: Anomaly Format Leopard_trace

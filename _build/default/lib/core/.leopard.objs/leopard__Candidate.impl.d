@@ -1,0 +1,1 @@
+lib/core/candidate.ml: Leopard_util List Version_order

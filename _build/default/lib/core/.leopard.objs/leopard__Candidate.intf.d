@@ -1,0 +1,1 @@
+lib/core/candidate.mli: Leopard_util Version_order

@@ -1,0 +1,1 @@
+lib/core/checker.ml: Anomaly Bug Candidate Dep Fuw_verifier Hashtbl Il_profile Leopard_trace Leopard_util List Me_verifier Option Printf Sc_verifier Version_order

@@ -1,0 +1,1 @@
+lib/core/checker.mli: Bug Dep Il_profile Leopard_trace

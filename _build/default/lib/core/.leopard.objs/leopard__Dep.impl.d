@@ -1,0 +1,1 @@
+lib/core/dep.ml: Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/fuw_verifier.ml: Hashtbl Leopard_util List

@@ -1,0 +1,1 @@
+lib/core/fuw_verifier.mli: Leopard_util

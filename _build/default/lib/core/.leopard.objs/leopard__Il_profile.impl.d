@@ -1,0 +1,1 @@
+lib/core/il_profile.ml: List String

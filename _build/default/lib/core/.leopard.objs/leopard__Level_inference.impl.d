@@ -1,0 +1,1 @@
+lib/core/level_inference.ml: Bug Checker Format Il_profile List Printf String

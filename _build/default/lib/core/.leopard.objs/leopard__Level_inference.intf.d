@@ -1,0 +1,1 @@
+lib/core/level_inference.mli: Format Il_profile Leopard_trace

@@ -1,0 +1,1 @@
+lib/core/me_verifier.ml: Hashtbl Leopard_util List Option

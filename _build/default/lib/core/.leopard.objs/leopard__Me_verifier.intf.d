@@ -1,0 +1,1 @@
+lib/core/me_verifier.mli: Leopard_util

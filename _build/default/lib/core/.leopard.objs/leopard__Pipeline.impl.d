@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Leopard_trace Leopard_util Queue

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Leopard_trace

@@ -1,0 +1,1 @@
+lib/core/report_pp.ml: Anomaly Buffer Bug Checker Dep Hashtbl List Option Printf String

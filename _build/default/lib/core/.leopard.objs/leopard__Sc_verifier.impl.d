@@ -1,0 +1,1 @@
+lib/core/sc_verifier.ml: Anomaly Bug Dep Hashtbl Il_profile Leopard_util List Printf Queue

@@ -1,0 +1,1 @@
+lib/core/sc_verifier.mli: Bug Dep Il_profile Leopard_util

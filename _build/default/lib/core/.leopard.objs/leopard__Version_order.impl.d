@@ -1,0 +1,1 @@
+lib/core/version_order.ml: Leopard_trace Leopard_util List

@@ -1,0 +1,1 @@
+lib/core/version_order.mli: Leopard_trace Leopard_util

@@ -1,0 +1,66 @@
+type t =
+  | Dirty_write
+  | Dirty_read
+  | Aborted_read
+  | Intermediate_read
+  | Stale_read
+  | Future_read
+  | Lost_update
+  | Write_skew
+  | Serialization_order_inversion
+  | Dependency_cycle
+  | Read_lock_violation
+
+let to_string = function
+  | Dirty_write -> "dirty-write (G0)"
+  | Dirty_read -> "dirty-read"
+  | Aborted_read -> "aborted-read (G1a)"
+  | Intermediate_read -> "intermediate-read (G1b)"
+  | Stale_read -> "stale-read"
+  | Future_read -> "future-read"
+  | Lost_update -> "lost-update (P4)"
+  | Write_skew -> "write-skew (G2-item)"
+  | Serialization_order_inversion -> "serialization-order-inversion"
+  | Dependency_cycle -> "dependency-cycle (G1c/G2)"
+  | Read_lock_violation -> "read-lock-violation"
+
+let description = function
+  | Dirty_write ->
+    "two transactions certainly held exclusive locks on the same row at \
+     the same time"
+  | Dirty_read ->
+    "a read observed a value that no committed transaction installed"
+  | Aborted_read -> "a read observed a value written by an aborted transaction"
+  | Intermediate_read ->
+    "a read observed a non-final (overwritten) value of a transaction"
+  | Stale_read ->
+    "a read observed a version certainly overwritten before its snapshot"
+  | Future_read ->
+    "a read observed a version certainly committed after its snapshot"
+  | Lost_update ->
+    "two concurrent transactions updated the same row and both committed"
+  | Write_skew ->
+    "committed transactions form consecutive rw antidependencies the \
+     certifier must forbid"
+  | Serialization_order_inversion ->
+    "a dependency points from a certainly-younger transaction to a \
+     certainly-older one"
+  | Dependency_cycle -> "proven dependencies form a cycle"
+  | Read_lock_violation ->
+    "a locking read and a write certainly held incompatible locks \
+     simultaneously"
+
+let all =
+  [
+    Dirty_write;
+    Dirty_read;
+    Aborted_read;
+    Intermediate_read;
+    Stale_read;
+    Future_read;
+    Lost_update;
+    Write_skew;
+    Serialization_order_inversion;
+    Dependency_cycle;
+    Read_lock_violation;
+  ]

@@ -1,0 +1,36 @@
+(** Adya-style anomaly classification of detected violations.
+
+    Leopard's mechanism mirrors report {e which contract} broke (CR, ME,
+    FUW, SC); this module names {e what happened} in the vocabulary of
+    Adya's generalized isolation levels and Berenson et al.'s critique —
+    the names DBAs and bug trackers use.  The checker attaches a
+    classification to every bug descriptor it emits. *)
+
+type t =
+  | Dirty_write  (** G0: two transactions held incompatible write locks *)
+  | Dirty_read
+      (** G1b-flavoured: a read observed a value no committed transaction
+          installed (a concurrent writer's pending value) *)
+  | Aborted_read  (** G1a: a read observed an aborted transaction's value *)
+  | Intermediate_read
+      (** G1b: a read observed a value its own transaction had already
+          overwritten (or a writer's non-final value) *)
+  | Stale_read
+      (** a read observed a version provably overwritten before its
+          snapshot (non-repeatable / time-travel read) *)
+  | Future_read
+      (** a read observed a version provably committed after its
+          snapshot (causality violation) *)
+  | Lost_update  (** P4: concurrent updaters of one row both committed *)
+  | Write_skew  (** G2-item: consecutive rw antidependencies the SSI
+                    certifier must forbid *)
+  | Serialization_order_inversion
+      (** a dependency from a certainly-younger to a certainly-older
+          transaction under timestamp ordering *)
+  | Dependency_cycle  (** G1c/G2: a cycle of proven dependencies *)
+  | Read_lock_violation
+      (** a (locking) read and a write held incompatible locks *)
+
+val to_string : t -> string
+val description : t -> string
+val all : t list

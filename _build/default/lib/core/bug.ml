@@ -1,0 +1,38 @@
+module Cell = Leopard_trace.Cell
+
+type mechanism = Cr | Me | Fuw | Sc
+
+let mechanism_to_string = function
+  | Cr -> "CR"
+  | Me -> "ME"
+  | Fuw -> "FUW"
+  | Sc -> "SC"
+
+type t = {
+  mechanism : mechanism;
+  anomaly : Anomaly.t option;
+  txns : int list;
+  cell : Cell.t option;
+  row : (int * int) option;
+  detail : string;
+}
+
+let make ~mechanism ~txns ?anomaly ?cell ?row detail =
+  { mechanism; anomaly; txns; cell; row; detail }
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]" (mechanism_to_string t.mechanism);
+  (match t.anomaly with
+  | Some a -> Format.fprintf ppf "[%s]" (Anomaly.to_string a)
+  | None -> ());
+  Format.fprintf ppf " txns={%s}"
+    (String.concat "," (List.map string_of_int t.txns));
+  (match t.cell with
+  | Some c -> Format.fprintf ppf " cell=%a" Cell.pp c
+  | None -> ());
+  (match t.row with
+  | Some (tb, r) -> Format.fprintf ppf " row=t%d.r%d" tb r
+  | None -> ());
+  Format.fprintf ppf ": %s" t.detail
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,40 @@
+(** Minimal candidate version sets (paper §V-A, Fig. 6, Theorem 2).
+
+    Given a read's snapshot-generation interval and a cell's ordered
+    versions, classify each version and keep exactly those that are
+    possibly visible to the read:
+
+    - {b Future}: installed certainly after the snapshot — invisible;
+    - {b Overlap}: installation overlaps the snapshot — possibly visible;
+    - {b Pivot}: the newest version installed certainly before the
+      snapshot — possibly visible;
+    - {b Pivot_overlap}: installed certainly before the snapshot but
+      overlapping the pivot's installation — possibly visible (its true
+      order against the pivot is unknown);
+    - {b Garbage}: installed certainly before the pivot — certainly
+      overwritten, invisible.
+
+    Theorem 2: the candidate set (overlaps ∪ pivot ∪ pivot-overlaps) is
+    the minimal set of possibly-visible versions. *)
+
+module Interval = Leopard_util.Interval
+
+type classification = Future | Overlap | Pivot | Pivot_overlap | Garbage
+
+val classification_to_string : classification -> string
+
+val classify :
+  snapshot:Interval.t ->
+  Version_order.version list ->
+  (Version_order.version * classification) list
+(** Input must be in ascending commit-after order (as {!Version_order.chain}
+    returns); the output preserves that order. *)
+
+val candidates :
+  snapshot:Interval.t -> Version_order.version list -> Version_order.version list
+(** The possibly-visible versions, ascending. *)
+
+val has_pivot : snapshot:Interval.t -> Version_order.version list -> bool
+(** Whether some version is certainly installed before the snapshot.  When
+    false, the initial (untraced) database state may still be visible, so
+    a read matching no candidate is not a violation. *)

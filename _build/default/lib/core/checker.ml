@@ -1,0 +1,709 @@
+module Cell = Leopard_trace.Cell
+module Trace = Leopard_trace.Trace
+module Interval = Leopard_util.Interval
+
+type status = Active | Committed | Aborted
+
+type vtxn = {
+  vid : int;
+  mutable first_iv : Interval.t option;
+  mutable terminal_iv : Interval.t option;
+  mutable vstatus : status;
+  writes : (Trace.value * Interval.t) Cell.Tbl.t;  (* last write per cell *)
+  mutable write_cells : Cell.t list;  (* first-write order, reversed *)
+  mutable pending_deps : Dep.t list;
+      (* deps waiting for this endpoint's terminal *)
+}
+
+type pending_read = {
+  reader : int;
+  read_iv : Interval.t;
+  snapshot_iv : Interval.t;
+  items : (Cell.t * Trace.value) list;
+}
+
+type report = {
+  traces : int;
+  committed : int;
+  aborted : int;
+  bugs_total : int;
+  bugs : Bug.t list;
+  bugs_by_mechanism : (Bug.mechanism * int) list;
+  deps_deduced : int;
+  deduced_by_source : (Dep.source * int) list;
+  reads_checked : int;
+  peak_live : int;
+  final_live : int;
+  pruned_versions : int;
+  pruned_locks : int;
+  pruned_fuw : int;
+  pruned_graph : int;
+}
+
+type t = {
+  profile : Il_profile.t;
+  gc_every : int;
+  narrow_candidates : bool;
+  relaxed_reads : bool;
+  versions : Version_order.t;
+  me : Me_verifier.t;
+  fuw : Fuw_verifier.t;
+  sc : Sc_verifier.t;
+  log : Dep.Log.t;
+  txns : (int, vtxn) Hashtbl.t;
+  deferred : pending_read Leopard_util.Min_heap.t;
+  initial_readers : int list ref Cell.Tbl.t;
+      (* readers that observed a cell's untraced initial state before any
+         version was known; resolved into rw edges when the cell's first
+         version installs *)
+  aborted_values : (Trace.value * int * int) list ref Cell.Tbl.t;
+      (* (value, txn, terminal_aft) of aborted writes, kept only to
+         classify violations as G1a aborted reads *)
+  mutable frontier : int;
+  mutable traces : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable bugs_total : int;
+  mutable bugs : Bug.t list;  (* reversed; capped *)
+  mutable reads_checked : int;
+  mutable peak_live : int;
+  mutable pruned_versions : int;
+  mutable pruned_locks : int;
+  mutable pruned_fuw : int;
+  mutable pruned_graph : int;
+  mutable dep_hook : (Dep.t -> unit) option;
+  mech_counts : (Bug.mechanism, int) Hashtbl.t;
+}
+
+let max_stored_bugs = 10_000
+
+let create ?(gc_every = 512) ?(narrow_candidates = true)
+    ?(relaxed_reads = false) profile =
+  {
+    profile;
+    gc_every;
+    narrow_candidates;
+    relaxed_reads;
+    versions = Version_order.create ();
+    me = Me_verifier.create ();
+    fuw = Fuw_verifier.create ();
+    sc = Sc_verifier.create profile.Il_profile.check_sc;
+    log = Dep.Log.create ();
+    txns = Hashtbl.create 4096;
+    initial_readers = Cell.Tbl.create 64;
+    aborted_values = Cell.Tbl.create 64;
+    deferred =
+      Leopard_util.Min_heap.create ~compare:(fun a b ->
+          compare (Interval.aft a.read_iv) (Interval.aft b.read_iv));
+    frontier = min_int;
+    traces = 0;
+    committed = 0;
+    aborted = 0;
+    bugs_total = 0;
+    bugs = [];
+    reads_checked = 0;
+    peak_live = 0;
+    pruned_versions = 0;
+    pruned_locks = 0;
+    pruned_fuw = 0;
+    pruned_graph = 0;
+    dep_hook = None;
+    mech_counts = Hashtbl.create 4;
+  }
+
+let set_dep_hook t f = t.dep_hook <- Some f
+
+let vtxn t id =
+  match Hashtbl.find_opt t.txns id with
+  | Some v -> v
+  | None ->
+    let v =
+      {
+        vid = id;
+        first_iv = None;
+        terminal_iv = None;
+        vstatus = Active;
+        writes = Cell.Tbl.create 8;
+        write_cells = [];
+        pending_deps = [];
+      }
+    in
+    Hashtbl.replace t.txns id v;
+    v
+
+let status_of t id =
+  match Hashtbl.find_opt t.txns id with
+  | Some v -> v.vstatus
+  | None -> Committed (* pruned transactions were terminal; treat as done *)
+
+let report_bug t (bug : Bug.t) =
+  t.bugs_total <- t.bugs_total + 1;
+  Hashtbl.replace t.mech_counts bug.mechanism
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.mech_counts bug.mechanism));
+  if t.bugs_total <= max_stored_bugs then t.bugs <- bug :: t.bugs
+
+let live_size t =
+  Version_order.live_versions t.versions
+  + Me_verifier.live_entries t.me
+  + Fuw_verifier.live_entries t.fuw
+  + Sc_verifier.nodes t.sc + Sc_verifier.edges t.sc
+  + Leopard_util.Min_heap.length t.deferred
+  + Hashtbl.length t.txns
+
+(* ------------------------------------------------------------------ *)
+(* Dependency plumbing: log every deduction; forward to the certifier
+   once both endpoints are committed. *)
+
+let rec emit_dep t (d : Dep.t) =
+  if d.from_txn <> d.to_txn then begin
+    let fresh = Dep.Log.add t.log d in
+    if fresh then begin
+      (match t.dep_hook with Some f -> f d | None -> ());
+      forward_dep t d
+    end
+  end
+
+and forward_dep t (d : Dep.t) =
+  match (status_of t d.from_txn, status_of t d.to_txn) with
+  | Committed, Committed ->
+    List.iter (report_bug t) (Sc_verifier.add_dep t.sc d)
+  | Aborted, _ | _, Aborted -> ()
+  | Active, _ ->
+    let v = vtxn t d.from_txn in
+    v.pending_deps <- d :: v.pending_deps
+  | _, Active ->
+    let v = vtxn t d.to_txn in
+    v.pending_deps <- d :: v.pending_deps
+
+and flush_pending t v =
+  let deps = v.pending_deps in
+  v.pending_deps <- [];
+  List.iter (forward_dep t) deps
+
+
+(* ------------------------------------------------------------------ *)
+(* CR verification of one deferred read (Algorithm 2, ConsistentRead) *)
+
+(* The §V-A cooperation optimization: among candidates certainly installed
+   before the snapshot (the pivot and its overlaps), a version with a
+   deduced ww successor in the same group was certainly overwritten before
+   the snapshot and cannot be visible. *)
+let narrow t ~snapshot candidates =
+  if not t.narrow_candidates then candidates
+  else begin
+    let before_snapshot (v : Version_order.version) =
+      Interval.certainly_before v.commit_iv snapshot
+    in
+    let group = List.filter before_snapshot candidates in
+    List.filter
+      (fun (v : Version_order.version) ->
+        (not (before_snapshot v))
+        || not
+             (List.exists
+                (fun (w : Version_order.version) ->
+                  w.vtxn <> v.vtxn && Dep.Log.mem t.log Dep.Ww v.vtxn w.vtxn)
+                group))
+      candidates
+  end
+
+let check_read t (pr : pending_read) =
+  t.reads_checked <- t.reads_checked + 1;
+  List.iter
+    (fun (cell, value) ->
+      let chain = Version_order.chain t.versions cell in
+      match chain with
+      | [] ->
+        (* Untraced cell so far: the read observed the initial state.  If
+           a first version installs later, the reader antidepends on it. *)
+        let readers =
+          match Cell.Tbl.find_opt t.initial_readers cell with
+          | Some r -> r
+          | None ->
+            let r = ref [] in
+            Cell.Tbl.add t.initial_readers cell r;
+            r
+        in
+        if not (List.mem pr.reader !readers) then
+          readers := pr.reader :: !readers
+      | _ ->
+        let candidates =
+          narrow t ~snapshot:pr.snapshot_iv
+            (Candidate.candidates ~snapshot:pr.snapshot_iv chain)
+        in
+        let matches =
+          List.filter
+            (fun (v : Version_order.version) ->
+              v.value = value)
+            candidates
+        in
+        (match matches with
+        | [] ->
+          if Candidate.has_pivot ~snapshot:pr.snapshot_iv chain then begin
+            (* classify: where did the impossible value come from? *)
+            let classified =
+              Candidate.classify ~snapshot:pr.snapshot_iv chain
+            in
+            let from_chain =
+              List.find_opt
+                (fun ((v : Version_order.version), _) -> v.value = value)
+                classified
+            in
+            let anomaly =
+              match from_chain with
+              | Some (_, Candidate.Garbage) -> Anomaly.Stale_read
+              | Some (_, Candidate.Future) -> Anomaly.Future_read
+              | Some (_, (Candidate.Overlap | Candidate.Pivot
+                         | Candidate.Pivot_overlap)) ->
+                (* in the candidate region but excluded by ww narrowing *)
+                Anomaly.Stale_read
+              | None -> (
+                match Cell.Tbl.find_opt t.aborted_values cell with
+                | Some entries
+                  when List.exists (fun (v, _, _) -> v = value) !entries ->
+                  Anomaly.Aborted_read
+                | Some _ | None -> Anomaly.Dirty_read)
+            in
+            report_bug t
+              (Bug.make ~mechanism:Bug.Cr ~anomaly ~txns:[ pr.reader ] ~cell
+                 (Printf.sprintf
+                    "read by txn %d observed value %d on %s, which matches \
+                     no possibly-visible version (%d candidates, %d known \
+                     versions)"
+                    pr.reader value (Cell.to_string cell)
+                    (List.length candidates) (List.length chain)))
+          end
+          else begin
+            (* No pivot: the read observed the untraced initial state.
+               When the oldest known version is certainly the first, it
+               is the initial state's direct successor, so the read
+               antidepends on its writer (Fig. 9 applied to the initial
+               version).  No pivot also implies nothing was pruned for
+               this cell, so the chain head is the genuine first
+               version. *)
+            match chain with
+            | first :: rest
+              when first.Version_order.vtxn <> pr.reader
+                   && (match rest with
+                      | [] -> true
+                      | second :: _ ->
+                        Interval.certainly_before first.Version_order.commit_iv
+                          second.Version_order.commit_iv) ->
+              emit_dep t
+                {
+                  Dep.kind = Dep.Rw;
+                  from_txn = pr.reader;
+                  to_txn = first.Version_order.vtxn;
+                  source = Dep.Derived_rw;
+                }
+            | _ -> ()
+          end
+        | [ v ] ->
+          if v.vtxn <> pr.reader then begin
+            emit_dep t
+              {
+                Dep.kind = Dep.Wr;
+                from_txn = v.vtxn;
+                to_txn = pr.reader;
+                source = Dep.From_cr;
+              };
+            (* register for future rw derivation *)
+            if not (List.mem pr.reader v.readers) then
+              v.readers <- pr.reader :: v.readers;
+            (* rw to an already-known direct successor *)
+            let rec successor = function
+              | a :: b :: rest ->
+                if a == v then Some b else successor (b :: rest)
+              | [ _ ] | [] -> None
+            in
+            match successor chain with
+            | Some (s : Version_order.version) when s.vtxn <> pr.reader ->
+              emit_dep t
+                {
+                  Dep.kind = Dep.Rw;
+                  from_txn = pr.reader;
+                  to_txn = s.vtxn;
+                  source = Dep.Derived_rw;
+                }
+            | Some _ | None -> ()
+          end
+        | _ :: _ :: _ -> ()  (* ambiguous match: uncertain, no deduction *)))
+    pr.items
+
+let flush_deferred t ~upto =
+  let ready =
+    Leopard_util.Min_heap.drain_while t.deferred (fun pr ->
+        Interval.aft pr.read_iv <= upto)
+  in
+  List.iter (check_read t) ready
+
+(* ------------------------------------------------------------------ *)
+(* GC *)
+
+let horizon t =
+  let h =
+    Hashtbl.fold
+      (fun _ v acc ->
+        match (v.vstatus, v.first_iv) with
+        | Active, Some iv -> min acc (Interval.bef iv)
+        | _ -> acc)
+      t.txns t.frontier
+  in
+  (* Defensive: a deferred read normally belongs to an active transaction
+     (its terminal trace cannot start before the read ends at a sequential
+     client), but hostile histories can violate that; never prune past a
+     queued read's snapshot. *)
+  List.fold_left
+    (fun acc pr -> min acc (Interval.bef pr.snapshot_iv))
+    h
+    (Leopard_util.Min_heap.to_sorted_list t.deferred)
+
+let run_gc t =
+  let h = horizon t in
+  t.pruned_versions <-
+    t.pruned_versions + Version_order.prune t.versions ~horizon:h;
+  t.pruned_locks <- t.pruned_locks + Me_verifier.prune t.me ~horizon:h;
+  t.pruned_fuw <- t.pruned_fuw + Fuw_verifier.prune t.fuw ~horizon:h;
+  t.pruned_graph <- t.pruned_graph + Sc_verifier.gc t.sc ~frontier:h;
+  Cell.Tbl.iter
+    (fun _cell entries ->
+      entries := List.filter (fun (_, _, aft) -> aft > h) !entries)
+    t.aborted_values;
+  (* prune terminated transaction records behind the horizon *)
+  let victims =
+    Hashtbl.fold
+      (fun id v acc ->
+        match (v.vstatus, v.terminal_iv) with
+        | (Committed | Aborted), Some iv when Interval.aft iv <= h ->
+          id :: acc
+        | _ -> acc)
+      t.txns []
+  in
+  List.iter (Hashtbl.remove t.txns) victims
+
+(* ------------------------------------------------------------------ *)
+(* Trace handlers *)
+
+let me_granule t (cell : Cell.t) =
+  match t.profile.Il_profile.lock_granularity with
+  | Il_profile.Row_locks -> Cell.row_key cell
+  | Il_profile.Table_locks -> (cell.Cell.table, -1)
+
+let me_on_pair t ~row ~(mine : Me_verifier.entry) ~(other : Me_verifier.entry)
+    verdict =
+  match verdict with
+  | Me_verifier.Violation ->
+    let anomaly =
+      if mine.mode = Me_verifier.X && other.mode = Me_verifier.X then
+        Anomaly.Dirty_write
+      else Anomaly.Read_lock_violation
+    in
+    report_bug t
+      (Bug.make ~mechanism:Bug.Me ~anomaly ~txns:[ mine.etxn; other.etxn ] ~row
+         (Printf.sprintf
+            "incompatible locks on row (t%d,r%d): transactions %d and %d \
+             certainly held conflicting locks simultaneously"
+            (fst row) (snd row) mine.etxn other.etxn))
+  | Me_verifier.Ww (first, second) ->
+    if status_of t first = Committed && status_of t second = Committed then
+      emit_dep t
+        {
+          Dep.kind = Dep.Ww;
+          from_txn = first;
+          to_txn = second;
+          source = Dep.From_me;
+        }
+  | Me_verifier.Unordered -> ()
+
+let handle_read t (v : vtxn) trace items locking =
+  let iv = Trace.interval trace in
+  (* mutual exclusion entries *)
+  let p = t.profile in
+  let rows =
+    List.sort_uniq compare
+      (List.map (fun (i : Trace.item) -> me_granule t i.cell) items)
+  in
+  if p.Il_profile.check_me then begin
+    if locking && p.Il_profile.me_locking_reads then
+      List.iter
+        (fun row -> Me_verifier.acquire t.me ~row ~txn:v.vid Me_verifier.X ~iv)
+        rows
+    else if (not locking) && p.Il_profile.me_reads then
+      List.iter
+        (fun row -> Me_verifier.acquire t.me ~row ~txn:v.vid Me_verifier.S ~iv)
+        rows
+  end;
+  match p.Il_profile.check_cr with
+  | None -> ()
+  | Some granularity ->
+    let snapshot_iv =
+      match granularity with
+      | Il_profile.Stmt_snapshot ->
+        if t.relaxed_reads then
+          (* claim compatibility: any snapshot between transaction begin
+             and this statement may have served the read *)
+          match v.first_iv with
+          | Some f -> Interval.make ~bef:(Interval.bef f) ~aft:(Interval.aft iv)
+          | None -> iv
+        else iv
+      | Il_profile.Txn_snapshot -> (
+        match v.first_iv with Some f -> f | None -> iv)
+    in
+    (* Case 1 of CR: an operation must see the transaction's own earlier
+       writes.  Items on cells this transaction wrote must return the
+       latest own value; other items go through candidate matching once
+       the frontier passes the read. *)
+    let deferred_items =
+      List.filter_map
+        (fun (i : Trace.item) ->
+          match Cell.Tbl.find_opt v.writes i.cell with
+          | Some (own_value, _) ->
+            if i.value <> own_value then
+              report_bug t
+                (Bug.make ~mechanism:Bug.Cr ~anomaly:Anomaly.Intermediate_read
+                   ~txns:[ v.vid ] ~cell:i.cell
+                   (Printf.sprintf
+                      "read by txn %d observed value %d on %s although the \
+                       transaction's own latest write installed %d"
+                      v.vid i.value (Cell.to_string i.cell) own_value));
+            None
+          | None -> Some (i.cell, i.value))
+        items
+    in
+    if deferred_items <> [] then
+      Leopard_util.Min_heap.push t.deferred
+        {
+          reader = v.vid;
+          read_iv = iv;
+          snapshot_iv;
+          items = deferred_items;
+        }
+
+let handle_write t (v : vtxn) trace items =
+  let iv = Trace.interval trace in
+  let p = t.profile in
+  List.iter
+    (fun (i : Trace.item) ->
+      if not (Cell.Tbl.mem v.writes i.cell) then
+        v.write_cells <- i.cell :: v.write_cells;
+      Cell.Tbl.replace v.writes i.cell (i.value, iv))
+    items;
+  if p.Il_profile.check_me then begin
+    let rows =
+      List.sort_uniq compare
+        (List.map (fun (i : Trace.item) -> me_granule t i.cell) items)
+    in
+    List.iter
+      (fun row -> Me_verifier.acquire t.me ~row ~txn:v.vid Me_verifier.X ~iv)
+      rows
+  end
+
+let install_versions t (v : vtxn) ~commit_iv =
+  List.iter
+    (fun cell ->
+      match Cell.Tbl.find_opt v.writes cell with
+      | None -> ()
+      | Some (value, write_iv) ->
+        let version =
+          {
+            Version_order.value;
+            vtxn = v.vid;
+            write_iv;
+            commit_iv;
+            readers = [];
+          }
+        in
+        let is_first = ref false in
+        Version_order.install t.versions cell version
+          ~predecessor:(fun pred ->
+            match pred with
+            | None -> is_first := true
+            | Some (p : Version_order.version) ->
+              if
+                Interval.certainly_before p.commit_iv commit_iv
+                && p.vtxn <> v.vid
+              then
+                emit_dep t
+                  {
+                    Dep.kind = Dep.Ww;
+                    from_txn = p.vtxn;
+                    to_txn = v.vid;
+                    source = Dep.From_version_order;
+                  };
+              (* Fig. 9: readers matched to the predecessor antidepend on
+                 the new direct successor. *)
+              List.iter
+                (fun reader ->
+                  if reader <> v.vid then
+                    emit_dep t
+                      {
+                        Dep.kind = Dep.Rw;
+                        from_txn = reader;
+                        to_txn = v.vid;
+                        source = Dep.Derived_rw;
+                      })
+                p.readers)
+          ~successor:(fun succ ->
+            match succ with
+            | None ->
+              (* Appended at the tail.  If it is also the very first
+                 version of the cell, readers of the untraced initial
+                 state antidepend on it. *)
+              if !is_first then begin
+                match Cell.Tbl.find_opt t.initial_readers cell with
+                | Some readers ->
+                  List.iter
+                    (fun reader ->
+                      if reader <> v.vid then
+                        emit_dep t
+                          {
+                            Dep.kind = Dep.Rw;
+                            from_txn = reader;
+                            to_txn = v.vid;
+                            source = Dep.Derived_rw;
+                          })
+                    !readers;
+                  Cell.Tbl.remove t.initial_readers cell
+                | None -> ()
+              end
+            | Some (s : Version_order.version) ->
+              if
+                Interval.certainly_before commit_iv s.commit_iv
+                && s.vtxn <> v.vid
+              then
+                emit_dep t
+                  {
+                    Dep.kind = Dep.Ww;
+                    from_txn = v.vid;
+                    to_txn = s.vtxn;
+                    source = Dep.From_version_order;
+                  }))
+    (List.rev v.write_cells)
+
+let handle_commit t (v : vtxn) trace =
+  let commit_iv = Trace.interval trace in
+  v.terminal_iv <- Some commit_iv;
+  v.vstatus <- Committed;
+  t.committed <- t.committed + 1;
+  let first_iv =
+    match v.first_iv with Some f -> f | None -> commit_iv
+  in
+  if t.profile.Il_profile.check_sc <> None then
+    Sc_verifier.note_commit t.sc ~txn:v.vid ~first_iv ~terminal_iv:commit_iv;
+  (* lock releases + pair checks *)
+  if t.profile.Il_profile.check_me then
+    Me_verifier.release t.me ~txn:v.vid ~iv:commit_iv ~on_pair:(me_on_pair t);
+  (* version installation (CR mirror) *)
+  if t.profile.Il_profile.check_cr <> None then
+    install_versions t v ~commit_iv;
+  (* FUW registration and pair checks *)
+  if t.profile.Il_profile.check_fuw && v.write_cells <> [] then begin
+    let rows =
+      List.sort_uniq compare (List.map Cell.row_key v.write_cells)
+    in
+    let entry =
+      { Fuw_verifier.ftxn = v.vid; snapshot_iv = first_iv; commit_iv }
+    in
+    List.iter
+      (fun row ->
+        Fuw_verifier.register t.fuw ~row entry ~on_pair:(fun ~row ~other verdict ->
+            match verdict with
+            | Fuw_verifier.Violation ->
+              report_bug t
+                (Bug.make ~mechanism:Bug.Fuw ~anomaly:Anomaly.Lost_update
+                   ~txns:[ other.ftxn; v.vid ] ~row
+                   (Printf.sprintf
+                      "first-updater-wins violated on row (t%d,r%d): \
+                       concurrent transactions %d and %d both committed \
+                       updates"
+                      (fst row) (snd row) other.ftxn v.vid))
+            | Fuw_verifier.Ww (first, second) ->
+              if
+                status_of t first = Committed
+                && status_of t second = Committed
+              then
+                emit_dep t
+                  {
+                    Dep.kind = Dep.Ww;
+                    from_txn = first;
+                    to_txn = second;
+                    source = Dep.From_fuw;
+                  }
+            | Fuw_verifier.Unordered -> ()))
+      rows
+  end;
+  flush_pending t v
+
+let handle_abort t (v : vtxn) trace =
+  let iv = Trace.interval trace in
+  v.terminal_iv <- Some iv;
+  v.vstatus <- Aborted;
+  t.aborted <- t.aborted + 1;
+  v.pending_deps <- [];
+  Cell.Tbl.iter
+    (fun cell (value, _) ->
+      let entries =
+        match Cell.Tbl.find_opt t.aborted_values cell with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Cell.Tbl.add t.aborted_values cell r;
+          r
+      in
+      entries := (value, v.vid, Interval.aft iv) :: !entries)
+    v.writes;
+  if t.profile.Il_profile.check_me then
+    Me_verifier.release t.me ~txn:v.vid ~iv ~on_pair:(me_on_pair t)
+
+(* ------------------------------------------------------------------ *)
+
+let feed t trace =
+  if trace.Trace.ts_bef < t.frontier then
+    invalid_arg
+      (Printf.sprintf
+         "Checker.feed: trace ts_bef %d is behind the frontier %d (traces \
+          must be dispatched in sorted order)"
+         trace.Trace.ts_bef t.frontier);
+  t.frontier <- trace.Trace.ts_bef;
+  t.traces <- t.traces + 1;
+  (* Safe point: every version visible to these reads is installed. *)
+  flush_deferred t ~upto:t.frontier;
+  let v = vtxn t trace.Trace.txn in
+  if v.first_iv = None then v.first_iv <- Some (Trace.interval trace);
+  (match trace.Trace.payload with
+  | Trace.Read { items; locking } -> handle_read t v trace items locking
+  | Trace.Write items -> handle_write t v trace items
+  | Trace.Commit -> handle_commit t v trace
+  | Trace.Abort -> handle_abort t v trace);
+  let live = live_size t in
+  if live > t.peak_live then t.peak_live <- live;
+  if t.gc_every > 0 && t.traces mod t.gc_every = 0 then run_gc t
+
+let feed_all t traces = List.iter (feed t) traces
+
+let finalize t =
+  flush_deferred t ~upto:max_int;
+  t.frontier <- max_int;
+  if t.gc_every > 0 then run_gc t
+
+let deduced t kind from_txn to_txn = Dep.Log.mem t.log kind from_txn to_txn
+
+let report t =
+  {
+    traces = t.traces;
+    committed = t.committed;
+    aborted = t.aborted;
+    bugs_total = t.bugs_total;
+    bugs = List.rev t.bugs;
+    bugs_by_mechanism =
+      List.sort compare
+        (Hashtbl.fold (fun m n acc -> (m, n) :: acc) t.mech_counts []);
+    deps_deduced = Dep.Log.count t.log;
+    deduced_by_source = Dep.Log.by_source t.log;
+    reads_checked = t.reads_checked;
+    peak_live = t.peak_live;
+    final_live = live_size t;
+    pruned_versions = t.pruned_versions;
+    pruned_locks = t.pruned_locks;
+    pruned_fuw = t.pruned_fuw;
+    pruned_graph = t.pruned_graph;
+  }

@@ -1,0 +1,100 @@
+(** The Verifier — mechanism-mirrored verification (paper §V, Algorithm 2).
+
+    [feed] consumes traces in non-decreasing [ts_bef] order (as the
+    two-level pipeline dispatches them) and mirrors the engine's internal
+    state: ordered versions per cell, an interval lock table, a
+    first-updater-wins registry and a dependency graph.  The four
+    verifications run cooperatively and exchange the dependencies each can
+    prove:
+
+    - {b CR} checks every read against the minimal candidate version set
+      (Theorem 2) and deduces wr edges from unique matches;
+    - {b ME} checks conflicting lock pairs at release time (Theorem 3) and
+      deduces ww edges;
+    - {b FUW} checks committed co-updaters of a row (Theorem 4) and
+      deduces ww edges;
+    - {b SC} mirrors the engine's certifier over all deduced edges, plus
+      rw edges derived from wr + version order (Fig. 9).
+
+    Reads are verified once the dispatch frontier passes their
+    after-timestamp, which guarantees every version possibly visible to
+    them has been installed in the mirror — this is what makes the online
+    check sound despite out-of-order commit/read [ts_bef] interleavings.
+
+    Obsolete state is pruned periodically: versions behind the pivot of
+    every possible future snapshot, released locks behind the horizon,
+    FUW entries behind the horizon and garbage transactions of the
+    dependency graph (Definition 4, Theorem 5). *)
+
+module Trace = Leopard_trace.Trace
+
+type t
+
+val create :
+  ?gc_every:int ->
+  ?narrow_candidates:bool ->
+  ?relaxed_reads:bool ->
+  Il_profile.t ->
+  t
+(** [gc_every] (default 512 traces, 0 disables) controls pruning
+    frequency.
+
+    [narrow_candidates] (default true) enables the paper's §V-A
+    cooperation optimization: ww dependencies deduced by the ME and FUW
+    mechanisms order versions whose installation intervals overlap, so a
+    version provably overwritten before the snapshot is dropped from the
+    candidate set even when intervals alone could not exclude it.  A
+    smaller candidate set means stricter CR checks (more violations
+    caught); on a correct engine the deduced order is real, so no false
+    positives are introduced.
+
+    [relaxed_reads] (default false) switches statement-level CR from the
+    exact mechanism mirror ("the snapshot is taken at this statement") to
+    claim compatibility ("the snapshot was taken somewhere between
+    transaction begin and this statement").  Use it when asking whether a
+    history {e supports} a weaker claim — e.g. level inference verifying
+    a serializable history against a read-committed profile, where the
+    stronger engine's transaction-level snapshots are legal. *)
+
+val feed : t -> Trace.t -> unit
+(** Traces must arrive in non-decreasing [ts_bef] order; raises
+    [Invalid_argument] otherwise. *)
+
+val feed_all : t -> Trace.t list -> unit
+
+val finalize : t -> unit
+(** Flush deferred read checks and run a last pruning pass.  Must be
+    called once after the final trace. *)
+
+type report = {
+  traces : int;
+  committed : int;
+  aborted : int;
+  bugs_total : int;
+  bugs : Bug.t list;  (** first 10_000, in detection order *)
+  bugs_by_mechanism : (Bug.mechanism * int) list;
+      (** violation counts per mechanism (complete, not capped) *)
+  deps_deduced : int;
+  deduced_by_source : (Dep.source * int) list;
+  reads_checked : int;
+  peak_live : int;  (** high-water mark of mirrored-state size (versions +
+                        locks + FUW entries + graph nodes/edges + deferred
+                        reads + live transactions) — the memory metric *)
+  final_live : int;
+  pruned_versions : int;
+  pruned_locks : int;
+  pruned_fuw : int;
+  pruned_graph : int;
+}
+
+val report : t -> report
+
+val deduced : t -> Dep.kind -> int -> int -> bool
+(** Deduction-log membership — feeds the Fig. 13 classification. *)
+
+val live_size : t -> int
+(** Current mirrored-state size (see {!report.peak_live}). *)
+
+val set_dep_hook : t -> (Dep.t -> unit) -> unit
+(** Subscribe to every fresh deduction (used by the naive cycle-search
+    baseline to obtain the same dependencies Leopard deduces). *)

@@ -1,0 +1,59 @@
+module Interval = Leopard_util.Interval
+
+type entry = {
+  ftxn : int;
+  snapshot_iv : Interval.t;
+  commit_iv : Interval.t;
+}
+
+type verdict = Violation | Ww of int * int | Unordered
+
+let judge ~a ~b =
+  let a_first = Interval.possibly_before a.commit_iv b.snapshot_iv in
+  let b_first = Interval.possibly_before b.commit_iv a.snapshot_iv in
+  match (a_first, b_first) with
+  | false, false -> Violation
+  | true, false -> Ww (a.ftxn, b.ftxn)
+  | false, true -> Ww (b.ftxn, a.ftxn)
+  | true, true -> Unordered
+
+type t = {
+  rows : (int * int, entry list ref) Hashtbl.t;
+  mutable live : int;
+}
+
+let create () = { rows = Hashtbl.create 1024; live = 0 }
+
+let register t ~row entry ~on_pair =
+  let entries =
+    match Hashtbl.find_opt t.rows row with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.replace t.rows row r;
+      r
+  in
+  List.iter
+    (fun other ->
+      if other.ftxn <> entry.ftxn then
+        on_pair ~row ~other (judge ~a:other ~b:entry))
+    !entries;
+  entries := entry :: !entries;
+  t.live <- t.live + 1
+
+let live_entries t = t.live
+
+let prune t ~horizon =
+  let dropped = ref 0 in
+  Hashtbl.iter
+    (fun _row entries ->
+      let keep, drop =
+        List.partition
+          (fun e -> Interval.aft e.commit_iv > horizon)
+          !entries
+      in
+      dropped := !dropped + List.length drop;
+      entries := keep)
+    t.rows;
+  t.live <- t.live - !dropped;
+  !dropped

@@ -1,0 +1,112 @@
+type snapshot_granularity = Txn_snapshot | Stmt_snapshot
+
+type certifier = Ssi_pattern | Mvto_order | Cycle_detect
+
+let certifier_to_string = function
+  | Ssi_pattern -> "ssi"
+  | Mvto_order -> "mvto"
+  | Cycle_detect -> "cycle"
+
+type lock_granularity = Row_locks | Table_locks
+
+type t = {
+  name : string;
+  check_me : bool;
+  me_locking_reads : bool;
+  me_reads : bool;
+  lock_granularity : lock_granularity;
+  check_cr : snapshot_granularity option;
+  check_fuw : bool;
+  check_sc : certifier option;
+}
+
+let make ~name ?(check_me = false) ?(me_locking_reads = false)
+    ?(me_reads = false) ?(lock_granularity = Row_locks) ?(check_cr = None)
+    ?(check_fuw = false) ?(check_sc = None) () =
+  {
+    name;
+    check_me;
+    me_locking_reads;
+    me_reads;
+    lock_granularity;
+    check_cr;
+    check_fuw;
+    check_sc;
+  }
+
+let postgresql_serializable =
+  make ~name:"postgresql/SR" ~check_me:true ~me_locking_reads:true
+    ~check_cr:(Some Txn_snapshot) ~check_fuw:true ~check_sc:(Some Ssi_pattern)
+    ()
+
+let postgresql_si =
+  make ~name:"postgresql/SI" ~check_me:true ~me_locking_reads:true
+    ~check_cr:(Some Txn_snapshot) ~check_fuw:true ()
+
+(* PostgreSQL's repeatable read *is* snapshot isolation (Ports & Grittner,
+   VLDB 2012): same mechanisms, different SQL name. *)
+let postgresql_rr = { postgresql_si with name = "postgresql/RR" }
+
+let postgresql_rc =
+  make ~name:"postgresql/RC" ~check_me:true ~me_locking_reads:true
+    ~check_cr:(Some Stmt_snapshot) ()
+
+let innodb_serializable =
+  make ~name:"innodb/SR" ~check_me:true ~me_locking_reads:true ~me_reads:true
+    ~check_cr:(Some Txn_snapshot) ()
+
+let innodb_rr =
+  make ~name:"innodb/RR" ~check_me:true ~me_locking_reads:true
+    ~check_cr:(Some Txn_snapshot) ()
+
+let innodb_rc =
+  make ~name:"innodb/RC" ~check_me:true ~me_locking_reads:true
+    ~check_cr:(Some Stmt_snapshot) ()
+
+let tidb_rr =
+  make ~name:"tidb/RR" ~check_me:true ~me_locking_reads:true
+    ~check_cr:(Some Txn_snapshot) ()
+
+let tidb_si =
+  make ~name:"tidb/SI" ~me_locking_reads:true ~check_cr:(Some Txn_snapshot)
+    ~check_fuw:true ()
+
+let cockroachdb_serializable =
+  make ~name:"cockroachdb/SR" ~check_cr:(Some Txn_snapshot)
+    ~check_sc:(Some Mvto_order) ()
+
+let sqlite_serializable =
+  make ~name:"sqlite/SR" ~check_me:true ~me_locking_reads:true ~me_reads:true
+    ~lock_granularity:Table_locks ()
+
+let foundationdb_serializable =
+  make ~name:"foundationdb/SR" ~check_cr:(Some Txn_snapshot)
+    ~check_sc:(Some Cycle_detect) ()
+
+let oracle_si =
+  make ~name:"oracle/SI" ~check_me:true ~me_locking_reads:true
+    ~check_cr:(Some Txn_snapshot) ~check_fuw:true ()
+
+let oracle_rc =
+  make ~name:"oracle/RC" ~check_me:true ~me_locking_reads:true
+    ~check_cr:(Some Stmt_snapshot) ()
+
+let all =
+  [
+    postgresql_serializable;
+    postgresql_si;
+    postgresql_rr;
+    postgresql_rc;
+    innodb_serializable;
+    innodb_rr;
+    innodb_rc;
+    tidb_rr;
+    tidb_si;
+    cockroachdb_serializable;
+    sqlite_serializable;
+    foundationdb_serializable;
+    oracle_si;
+    oracle_rc;
+  ]
+
+let find name = List.find_opt (fun p -> String.equal p.name name) all

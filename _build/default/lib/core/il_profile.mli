@@ -1,0 +1,76 @@
+(** Verification profiles — which mechanisms to verify for a given
+    (DBMS, isolation level) pair.
+
+    This is the verifier-side mirror of the paper's Fig. 1 matrix.  It is
+    deliberately independent of the engine library: a black-box checker
+    only knows the {e claimed} concurrency-control recipe of the system
+    under test, exactly what Fig. 1 tabulates for each commercial DBMS. *)
+
+type snapshot_granularity = Txn_snapshot | Stmt_snapshot
+
+(** Which certifier the SC verification mirrors. *)
+type certifier =
+  | Ssi_pattern
+      (** PostgreSQL: flag two consecutive rw antidependencies between
+          certainly-concurrent transactions *)
+  | Mvto_order
+      (** CockroachDB: flag a dependency that certainly goes from a
+          younger transaction to an older one *)
+  | Cycle_detect
+      (** generic conflict-serializability: flag any cycle of deduced
+          dependencies (used to mirror OCC validation) *)
+
+val certifier_to_string : certifier -> string
+
+(** Lock granule the ME verification mirrors. *)
+type lock_granularity = Row_locks | Table_locks
+
+type t = {
+  name : string;  (** e.g. "postgresql/SR" *)
+  check_me : bool;  (** verify mutual exclusion of write locks *)
+  me_locking_reads : bool;  (** locking reads acquire X locks *)
+  me_reads : bool;  (** plain reads acquire S locks (pure 2PL reads) *)
+  lock_granularity : lock_granularity;
+  check_cr : snapshot_granularity option;
+  check_fuw : bool;
+  check_sc : certifier option;
+}
+
+val make :
+  name:string ->
+  ?check_me:bool ->
+  ?me_locking_reads:bool ->
+  ?me_reads:bool ->
+  ?lock_granularity:lock_granularity ->
+  ?check_cr:snapshot_granularity option ->
+  ?check_fuw:bool ->
+  ?check_sc:certifier option ->
+  unit ->
+  t
+(** Defaults: everything off / [None] / {!Row_locks}. *)
+
+(** {2 Fig. 1 presets} *)
+
+val postgresql_serializable : t
+val postgresql_si : t
+
+val postgresql_rr : t
+(** PostgreSQL's repeatable read {e is} snapshot isolation — same
+    mechanisms as {!postgresql_si} under the SQL-standard name. *)
+
+val postgresql_rc : t
+val innodb_serializable : t
+val innodb_rr : t
+val innodb_rc : t
+val tidb_rr : t
+val tidb_si : t
+val cockroachdb_serializable : t
+val sqlite_serializable : t
+val foundationdb_serializable : t
+val oracle_si : t
+val oracle_rc : t
+
+val all : t list
+
+val find : string -> t option
+(** Look up by [name] (e.g. ["postgresql/SR"]). *)

@@ -1,0 +1,38 @@
+(** Isolation-level inference: which claims does a history support?
+
+    The paper points out that Elle cannot distinguish repeatable read
+    from serializable on PostgreSQL (§VI-F).  Leopard can: each
+    (DBMS, level) claim names a set of mechanisms, so re-verifying one
+    history against successively stronger profiles yields the strongest
+    claim the history is consistent with — e.g. a run with write skew
+    passes `postgresql/SI` but fails `postgresql/SR`, whose certifier
+    check would have had to abort it.
+
+    Inference replays the same trace list against every profile of the
+    given DBMS (cheap: verification is linear), so it wants a complete,
+    sorted history — use it offline or at the end of a run.
+
+    Profiles are checked in {e claim-compatibility} mode
+    ({!Checker.create}'s [relaxed_reads]): behaviour stronger than a
+    claim never fails it — a serializable history's transaction-level
+    snapshots are legal under a read-committed claim even though they are
+    not what a statement-snapshot engine would have produced. *)
+
+type verdict = {
+  profile : Il_profile.t;
+  passed : bool;
+  violations : int;
+  violating_mechanisms : string list;  (** e.g. [["SC"]] *)
+}
+
+val infer :
+  dbms:string -> Leopard_trace.Trace.t list -> verdict list
+(** One verdict per profile of [dbms] (profiles named ["dbms/LEVEL"]),
+    in {!Il_profile.all} order.  Traces must be globally sorted by
+    [ts_bef].  Returns [] for an unknown DBMS. *)
+
+val strongest_passed : verdict list -> Il_profile.t option
+(** The last passing profile in the conventional RC < RR < SI < SR
+    strength order; [None] if everything failed. *)
+
+val pp_verdicts : Format.formatter -> verdict list -> unit

@@ -1,0 +1,158 @@
+module Trace = Leopard_trace.Trace
+
+type pull = Item of Trace.t | Pending | Closed
+
+type local = {
+  queue : Trace.t Queue.t;
+  source : unit -> pull;
+  mutable exhausted : bool;
+  mutable last_bef : int;
+      (* ts_bef of the last trace pulled: since each client's stream is
+         monotone, it lower-bounds everything the client will still send,
+         which keeps the watermark sound while the client is Pending *)
+}
+
+type t = {
+  locals : local array;
+  batch : int;
+  optimized : bool;
+  heap : Trace.t Leopard_util.Min_heap.t;
+  mutable dispatched : int;
+  mutable peak : int;
+}
+
+let create ?(batch = 64) ?(optimized = true) ~sources () =
+  {
+    locals =
+      Array.map
+        (fun source ->
+          { queue = Queue.create (); source; exhausted = false; last_bef = min_int })
+        sources;
+    batch = max 1 batch;
+    optimized;
+    heap = Leopard_util.Min_heap.create ~compare:Trace.compare_by_bef;
+    dispatched = 0;
+    peak = 0;
+  }
+
+let of_lists ?batch ?optimized lists =
+  let sources =
+    Array.map
+      (fun traces ->
+        let rest = ref traces in
+        fun () ->
+          match !rest with
+          | [] -> Closed
+          | t :: tl ->
+            rest := tl;
+            Item t)
+      lists
+  in
+  create ?batch ?optimized ~sources ()
+
+let buffered t =
+  Leopard_util.Min_heap.length t.heap
+  + Array.fold_left (fun acc l -> acc + Queue.length l.queue) 0 t.locals
+
+let note_memory t =
+  let m = buffered t in
+  if m > t.peak then t.peak <- m
+
+(* Pull up to [batch] traces from a client into its (empty) local buffer. *)
+let refill t l =
+  if (not l.exhausted) && Queue.is_empty l.queue then begin
+    let rec pull n =
+      if n > 0 then
+        match l.source () with
+        | Item trace ->
+          l.last_bef <- trace.Trace.ts_bef;
+          Queue.push trace l.queue;
+          pull (n - 1)
+        | Closed -> l.exhausted <- true
+        | Pending -> ()
+    in
+    pull t.batch
+  end
+
+let refill_all t = Array.iter (refill t) t.locals
+
+(* The watermark (Theorem 1): nothing with a smaller ts_bef can still
+   arrive.  For a non-empty local that bound is its head; for an empty
+   live local it is the last timestamp it delivered (its stream is
+   monotone); an empty local that never delivered pins the watermark at
+   -infinity, so nothing dispatches until every client has spoken. *)
+let watermark t =
+  Array.fold_left
+    (fun acc l ->
+      match Queue.peek_opt l.queue with
+      | Some trace -> min acc trace.Trace.ts_bef
+      | None -> if l.exhausted then acc else min acc l.last_bef)
+    max_int t.locals
+
+let drain_local_into_heap t l =
+  Queue.iter (fun trace -> Leopard_util.Min_heap.push t.heap trace) l.queue;
+  Queue.clear l.queue
+
+let min_head t =
+  Array.fold_left
+    (fun acc l ->
+      match Queue.peek_opt l.queue with
+      | Some trace -> min acc trace.Trace.ts_bef
+      | None -> acc)
+    max_int t.locals
+
+(* One fetch round (stages b-d of Algorithm 1).  Unoptimized: the global
+   buffer fetches from every local buffer.  Optimized: only from the
+   local buffer(s) holding the smallest head timestamp, so a slow client
+   cannot force unrelated traces to pile up in the heap. *)
+let fetch_round t =
+  note_memory t;
+  if t.optimized then begin
+    let h = min_head t in
+    Array.iter
+      (fun l ->
+        match Queue.peek_opt l.queue with
+        | Some trace when trace.Trace.ts_bef = h -> drain_local_into_heap t l
+        | Some _ | None -> ())
+      t.locals
+  end
+  else Array.iter (drain_local_into_heap t) t.locals;
+  refill_all t;
+  note_memory t
+
+let sources_done t =
+  Array.for_all (fun l -> l.exhausted && Queue.is_empty l.queue) t.locals
+
+let closed t = sources_done t && Leopard_util.Min_heap.is_empty t.heap
+
+let rec next t =
+  refill_all t;
+  let w = watermark t in
+  match Leopard_util.Min_heap.peek t.heap with
+  | Some trace when trace.Trace.ts_bef < w || sources_done t ->
+    ignore (Leopard_util.Min_heap.pop t.heap);
+    t.dispatched <- t.dispatched + 1;
+    Some trace
+  | (Some _ | None)
+    when Array.exists (fun l -> not (Queue.is_empty l.queue)) t.locals ->
+    fetch_round t;
+    next t
+  | Some _ | None ->
+    (* nothing buffered locally: either every source is done and the heap
+       is drained, or a live source is Pending and the watermark cannot
+       prove anything more dispatchable right now *)
+    None
+
+let drain t ~f =
+  let rec go n =
+    match next t with
+    | Some trace ->
+      f trace;
+      go (n + 1)
+    | None -> n
+  in
+  go 0
+
+let dispatched t = t.dispatched
+let peak_memory t = t.peak
+let heap_size t = Leopard_util.Min_heap.length t.heap

@@ -1,0 +1,65 @@
+(** The two-level pipeline — online trace sorting (paper §IV-C,
+    Algorithm 1, Theorem 1).
+
+    Clients produce traces in increasing [ts_bef] order individually, but
+    the verifier needs one globally sorted stream.  The pipeline buffers
+    each client's stream in a local buffer and merges batches into a
+    global min-heap, dispatching a trace only when the watermark — the
+    smallest head [ts_bef] across local buffers — proves nothing smaller
+    can still arrive (Theorem 1).
+
+    Two §IV-C optimizations are toggleable for the Fig. 10 ablation:
+
+    - {b prefer-smallest}: fetch only from the local buffers whose head
+      timestamps are smallest instead of draining every buffer each
+      round, so one slow client cannot inflate the heap;
+    - {b balanced flow}: fetch at most as many traces into the heap as
+      were dispatched out of it, keeping the heap size stable.
+
+    Sources are pull-based: the pipeline fetches from
+    [source client] when it refills that client's local buffer, which
+    models clients pushing fixed-size batches. *)
+
+module Trace = Leopard_trace.Trace
+
+type pull = Item of Trace.t | Pending | Closed
+(** What a client source answers when the pipeline refills a local
+    buffer: a trace, "nothing right now, still running" (online mode), or
+    end of stream. *)
+
+type t
+
+val create :
+  ?batch:int ->
+  ?optimized:bool ->
+  sources:(unit -> pull) array ->
+  unit ->
+  t
+(** [batch] (default 64) is the local-buffer capacity; [optimized]
+    (default true) enables both §IV-C optimizations. *)
+
+val of_lists : ?batch:int -> ?optimized:bool -> Trace.t list array -> t
+(** Offline convenience: one finished stream per client. *)
+
+val next : t -> Trace.t option
+(** Dispatch the next trace in global [ts_bef] order.  [None] means
+    nothing is {e currently} dispatchable: all sources are closed and
+    drained, or some live source is [Pending] and the watermark cannot
+    advance (check {!closed}). *)
+
+val drain : t -> f:(Trace.t -> unit) -> int
+(** Dispatch everything currently dispatchable; returns the number of
+    traces dispatched by this call.  In online mode call it again after
+    clients make progress. *)
+
+val closed : t -> bool
+(** Every source has reported [Closed] and all buffers are empty. *)
+
+val dispatched : t -> int
+
+val peak_memory : t -> int
+(** High-water mark of buffered traces (global heap + local buffers) —
+    the Fig. 10 memory metric. *)
+
+val heap_size : t -> int
+(** Current global-buffer occupancy. *)

@@ -1,0 +1,81 @@
+let anomaly_census (r : Checker.report) =
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Bug.t) ->
+      match b.anomaly with
+      | Some a ->
+        Hashtbl.replace tally a
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tally a))
+      | None -> ())
+    r.bugs;
+  List.sort
+    (fun (_, a) (_, b) -> compare b a)
+    (Hashtbl.fold (fun a n acc -> (a, n) :: acc) tally [])
+
+let verdict_line (r : Checker.report) =
+  if r.bugs_total = 0 then "PASS — no isolation violations"
+  else
+    let top =
+      match anomaly_census r with
+      | [] -> ""
+      | census ->
+        let head = List.filteri (fun i _ -> i < 3) census in
+        Printf.sprintf " (top anomalies: %s)"
+          (String.concat ", "
+             (List.map
+                (fun (a, n) -> Printf.sprintf "%s x%d" (Anomaly.to_string a) n)
+                head))
+    in
+    Printf.sprintf "FAIL — %d violations%s" r.bugs_total top
+
+let summary (r : Checker.report) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "traces %d | committed %d | aborted %d | reads checked %d\n"
+       r.traces r.committed r.aborted r.reads_checked);
+  Buffer.add_string buf
+    (Printf.sprintf "dependencies deduced %d" r.deps_deduced);
+  let by_source =
+    List.sort compare
+      (List.map
+         (fun (s, n) -> Printf.sprintf "%s=%d" (Dep.source_to_string s) n)
+         r.deduced_by_source)
+  in
+  if by_source <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf " (%s)" (String.concat ", " by_source));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf
+       "mirrored state: peak %d, final %d | pruned: versions %d, locks %d, \
+        fuw %d, graph %d\n"
+       r.peak_live r.final_live r.pruned_versions r.pruned_locks r.pruned_fuw
+       r.pruned_graph);
+  if r.bugs_by_mechanism <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "violations by mechanism: %s\n"
+         (String.concat ", "
+            (List.map
+               (fun (m, n) ->
+                 Printf.sprintf "%s=%d" (Bug.mechanism_to_string m) n)
+               r.bugs_by_mechanism)));
+  Buffer.contents buf
+
+let bugs ?(limit = 5) (r : Checker.report) =
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i b ->
+      if i < limit then begin
+        Buffer.add_string buf (Bug.to_string b);
+        Buffer.add_char buf '\n'
+      end)
+    r.bugs;
+  if r.bugs_total > limit then
+    Buffer.add_string buf
+      (Printf.sprintf "... and %d more\n" (r.bugs_total - limit));
+  Buffer.contents buf
+
+let print ?limit (r : Checker.report) =
+  print_string (summary r);
+  print_string (bugs ?limit r);
+  print_endline (verdict_line r)

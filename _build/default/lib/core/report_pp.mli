@@ -1,0 +1,23 @@
+(** Human-readable rendering of verification reports.
+
+    One place for the presentation logic the CLI, examples and bench
+    harness share: a one-line verdict, a summary block, a deduction
+    breakdown, a capped bug listing and an anomaly census. *)
+
+val verdict_line : Checker.report -> string
+(** ["PASS — no isolation violations"] or
+    ["FAIL — N violations (top anomalies: ...)"]. *)
+
+val summary : Checker.report -> string
+(** Multi-line block: traces, transactions, reads checked, deductions by
+    source, memory counters, pruning counters. *)
+
+val bugs : ?limit:int -> Checker.report -> string
+(** The first [limit] (default 5) bug descriptors, one per line; empty
+    string when the report is clean. *)
+
+val anomaly_census : Checker.report -> (Anomaly.t * int) list
+(** Violation counts by classification, descending. *)
+
+val print : ?limit:int -> Checker.report -> unit
+(** [summary] + [bugs] + [verdict_line] to stdout. *)

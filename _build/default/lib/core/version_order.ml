@@ -1,0 +1,94 @@
+module Cell = Leopard_trace.Cell
+module Trace = Leopard_trace.Trace
+module Interval = Leopard_util.Interval
+
+type version = {
+  value : Trace.value;
+  vtxn : int;
+  write_iv : Interval.t;
+  commit_iv : Interval.t;
+  mutable readers : int list;
+}
+
+type chain = { mutable versions : version list (* ascending commit aft *) }
+
+type t = { chains : chain Cell.Tbl.t; mutable live : int }
+
+let create () = { chains = Cell.Tbl.create 4096; live = 0 }
+
+let get_chain t cell =
+  match Cell.Tbl.find_opt t.chains cell with
+  | Some c -> c
+  | None ->
+    let c = { versions = [] } in
+    Cell.Tbl.add t.chains cell c;
+    c
+
+let install t cell v ~predecessor ~successor =
+  let c = get_chain t cell in
+  let key x = Interval.aft x.commit_iv in
+  (* Ascending insert; new versions usually go at the tail. *)
+  let rec go prev = function
+    | [] ->
+      predecessor prev;
+      successor None;
+      [ v ]
+    | hd :: tl when key v <= key hd ->
+      predecessor prev;
+      successor (Some hd);
+      v :: hd :: tl
+    | hd :: tl -> hd :: go (Some hd) tl
+  in
+  c.versions <- go None c.versions;
+  t.live <- t.live + 1
+
+let chain t cell =
+  match Cell.Tbl.find_opt t.chains cell with
+  | Some c -> c.versions
+  | None -> []
+
+let find_by_value t cell value =
+  List.filter (fun v -> v.value = value) (chain t cell)
+
+let live_versions t = t.live
+let cells t = Cell.Tbl.length t.chains
+
+let prune t ~horizon =
+  let dropped = ref 0 in
+  Cell.Tbl.iter
+    (fun _cell c ->
+      (* The pivot for any snapshot taken at or after the horizon is at
+         least the newest version with commit aft <= horizon.  Versions
+         certainly installed before that pivot (aft <= pivot.bef) are
+         garbage for every such snapshot; versions overlapping the pivot
+         remain possible candidates and must be kept (Fig. 6). *)
+      let rec newest_before acc = function
+        | [] -> acc
+        | v :: tl ->
+          if Interval.aft v.commit_iv <= horizon then newest_before (Some v) tl
+          else newest_before acc tl
+      in
+      match newest_before None c.versions with
+      | None -> ()
+      | Some pivot ->
+        (* Any version at least as new as the horizon-pivot can become
+           the pivot of some future snapshot; a version certainly before
+           *all* of them is garbage for every future read. *)
+        let boundary =
+          List.fold_left
+            (fun acc v ->
+              if Interval.aft v.commit_iv >= Interval.aft pivot.commit_iv
+              then min acc (Interval.bef v.commit_iv)
+              else acc)
+            max_int c.versions
+        in
+        let keep, garbage =
+          List.partition
+            (fun v -> v == pivot || Interval.aft v.commit_iv > boundary)
+            c.versions
+        in
+        dropped := !dropped + List.length garbage;
+        c.versions <- keep)
+    t.chains;
+  t.live <- t.live - !dropped;
+  !dropped

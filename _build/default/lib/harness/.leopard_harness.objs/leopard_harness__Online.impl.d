@@ -1,0 +1,1 @@
+lib/harness/online.ml: Array Leopard Leopard_trace Queue Run Sys

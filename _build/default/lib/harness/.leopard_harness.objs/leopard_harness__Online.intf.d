@@ -1,0 +1,1 @@
+lib/harness/online.mli: Leopard Run

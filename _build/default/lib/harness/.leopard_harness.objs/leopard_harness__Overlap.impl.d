@@ -1,0 +1,1 @@
+lib/harness/overlap.ml: Hashtbl Leopard_trace Leopard_util List Minidb Run

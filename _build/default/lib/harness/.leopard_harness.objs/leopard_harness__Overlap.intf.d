@@ -1,0 +1,1 @@
+lib/harness/overlap.mli: Minidb Run

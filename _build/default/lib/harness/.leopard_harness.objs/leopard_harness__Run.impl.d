@@ -1,0 +1,1 @@
+lib/harness/run.ml: Array Hashtbl Leopard_trace Leopard_util Leopard_workload List Minidb

@@ -1,0 +1,1 @@
+lib/harness/run.mli: Hashtbl Leopard_trace Leopard_workload Minidb

@@ -1,0 +1,62 @@
+module Trace = Leopard_trace.Trace
+
+type result = {
+  outcome : Run.outcome;
+  report : Leopard.Checker.report;
+  verify_wall_s : float;
+  rounds : int;
+  max_lag : int;
+  final_lag : int;
+}
+
+let run ?(batch_window_ns = 500_000) ?(gc_every = 512) ~il (cfg : Run.config) =
+  let queues = Array.init cfg.Run.clients (fun _ -> Queue.create ()) in
+  let workload_done = ref false in
+  let produced = ref 0 in
+  let sources =
+    Array.map
+      (fun queue () ->
+        match Queue.take_opt queue with
+        | Some trace -> Leopard.Pipeline.Item trace
+        | None ->
+          if !workload_done then Leopard.Pipeline.Closed
+          else Leopard.Pipeline.Pending)
+      queues
+  in
+  let pipeline = Leopard.Pipeline.create ~sources () in
+  let checker = Leopard.Checker.create ~gc_every il in
+  let verify_wall = ref 0.0 in
+  let rounds = ref 0 in
+  let max_lag = ref 0 in
+  let final_lag = ref 0 in
+  let drain () =
+    incr rounds;
+    let lag = !produced - Leopard.Pipeline.dispatched pipeline in
+    if lag > !max_lag then max_lag := lag;
+    let t0 = Sys.time () in
+    ignore (Leopard.Pipeline.drain pipeline ~f:(Leopard.Checker.feed checker));
+    verify_wall := !verify_wall +. (Sys.time () -. t0)
+  in
+  let observer trace =
+    incr produced;
+    Queue.push trace queues.(trace.Trace.client)
+  in
+  let cfg =
+    { cfg with Run.observer = Some observer; tick = Some (batch_window_ns, drain) }
+  in
+  let outcome = Run.execute cfg in
+  (* the workload stopped: everything left is dispatchable *)
+  final_lag := !produced - Leopard.Pipeline.dispatched pipeline;
+  workload_done := true;
+  let t0 = Sys.time () in
+  ignore (Leopard.Pipeline.drain pipeline ~f:(Leopard.Checker.feed checker));
+  Leopard.Checker.finalize checker;
+  verify_wall := !verify_wall +. (Sys.time () -. t0);
+  {
+    outcome;
+    report = Leopard.Checker.report checker;
+    verify_wall_s = !verify_wall;
+    rounds = !rounds;
+    max_lag = !max_lag;
+    final_lag = !final_lag;
+  }

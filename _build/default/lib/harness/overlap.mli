@@ -1,0 +1,38 @@
+(** Overlap-ratio measurement — β of Figs. 4 and 13.
+
+    The paper defines β = B/A where A is the number of actual
+    dependencies between committed transactions and B the number whose
+    conflicting operations have overlapping trace time intervals (the
+    {e uncertain} dependencies a black-box checker cannot order from
+    timestamps alone).
+
+    Because our engine records ground truth, both A and B are exact.
+    Given a verifier's deduction log, {!classify} additionally splits the
+    uncertain dependencies into those Leopard managed to deduce through
+    its four mechanisms and those that remain uncertain (Fig. 13). *)
+
+type beta = {
+  total : int;  (** A: dependencies with traces at both endpoints *)
+  overlapping : int;  (** B: endpoint intervals overlap *)
+  ww : int * int;  (** (A, B) restricted to ww *)
+  wr : int * int;
+  rw : int * int;
+}
+
+val ratio : beta -> float
+(** B/A; 0 when A = 0. *)
+
+val compute : Run.outcome -> beta
+
+type classified = {
+  beta : beta;
+  deduced : int;  (** overlapping dependencies the verifier deduced *)
+  uncertain : int;  (** overlapping dependencies left undeduced *)
+}
+
+val classify :
+  Run.outcome ->
+  deduced:(Minidb.Ground_truth.dep_kind -> int -> int -> bool) ->
+  classified
+(** [deduced kind from_txn to_txn] is the verifier's deduction log
+    membership test. *)

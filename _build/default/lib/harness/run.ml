@@ -1,0 +1,252 @@
+module Trace = Leopard_trace.Trace
+module Rng = Leopard_util.Rng
+module Engine = Minidb.Engine
+module Sim = Minidb.Sim
+
+type latency = {
+  net_mean_ns : float;
+  think_mean_ns : float;
+  op_gap_ns : float;
+  commit_extra_ns : float;
+}
+
+let default_latency =
+  {
+    net_mean_ns = 50_000.0;
+    think_mean_ns = 100_000.0;
+    op_gap_ns = 10_000.0;
+    commit_extra_ns = 30_000.0;
+  }
+
+type stop = Txn_count of int | Sim_time_ns of int
+
+type config = {
+  spec : Leopard_workload.Spec.t;
+  profile : Minidb.Profile.t;
+  level : Minidb.Isolation.level;
+  faults : Minidb.Fault.Set.t;
+  clients : int;
+  stop : stop;
+  seed : int;
+  latency : latency;
+  latency_of : (int -> latency) option;
+  observer : (Trace.t -> unit) option;
+  tick : (int * (unit -> unit)) option;
+}
+
+let config ?(faults = Minidb.Fault.Set.empty) ?(clients = 8) ?(seed = 42)
+    ?(latency = default_latency) ?latency_of ?observer ?tick ~spec ~profile
+    ~level ~stop () =
+  {
+    spec;
+    profile;
+    level;
+    faults;
+    clients;
+    stop;
+    seed;
+    latency;
+    latency_of;
+    observer;
+    tick;
+  }
+
+let latency_for cfg client =
+  match cfg.latency_of with Some f -> f client | None -> cfg.latency
+
+type outcome = {
+  client_traces : Trace.t list array;
+  op_trace : (int, Trace.t) Hashtbl.t;
+  truth_deps : Minidb.Ground_truth.dep list;
+  committed : int -> bool;
+  peek : Leopard_trace.Cell.t -> Trace.value option;
+  commits : int;
+  aborts : int;
+  aborts_fuw : int;
+  aborts_certifier : int;
+  aborts_deadlock : int;
+  deadlocks : int;
+  sim_duration_ns : int;
+  ops : int;
+}
+
+type state = {
+  cfg : config;
+  sim : Sim.t;
+  engine : Engine.t;
+  buffers : Trace.t list ref array;  (* newest first; reversed at the end *)
+  op_trace : (int, Trace.t) Hashtbl.t;
+  mutable next_op : int;
+  mutable finished_txns : int;
+  mutable stop_now : bool;
+}
+
+let fresh_op st =
+  let id = st.next_op in
+  st.next_op <- id + 1;
+  id
+
+let should_stop st =
+  st.stop_now
+  ||
+  match st.cfg.stop with
+  | Txn_count n -> st.finished_txns >= n
+  | Sim_time_ns t -> Sim.now st.sim >= t
+
+let delay rng mean = 1 + int_of_float (Rng.exponential rng mean)
+
+(* Issue one request: network hop to the server, engine execution
+   (possibly delayed by lock queues), network hop back. *)
+let issue st rng ~client ~txn ~request ~receive =
+  let latency = latency_for st.cfg client in
+  let ts_bef = Sim.now st.sim in
+  let d_in = delay rng latency.net_mean_ns in
+  let op_id = fresh_op st in
+  Sim.schedule_after st.sim ~delay:d_in (fun () ->
+      Engine.exec st.engine txn ~op_id request ~k:(fun result ->
+          let extra =
+            match request with
+            | Engine.Commit -> delay rng latency.commit_extra_ns
+            | Engine.Read _ | Engine.Write _ | Engine.Abort -> 0
+          in
+          let d_out = extra + delay rng latency.net_mean_ns in
+          Sim.schedule_after st.sim ~delay:d_out (fun () ->
+              receive ~op_id ~ts_bef result)))
+
+let emit st ~client ~txn_id ~op_id ~ts_bef payload =
+  let trace =
+    { Trace.ts_bef; ts_aft = Sim.now st.sim; txn = txn_id; client; payload }
+  in
+  st.buffers.(client) := trace :: !(st.buffers.(client));
+  Hashtbl.replace st.op_trace op_id trace;
+  (match st.cfg.observer with Some f -> f trace | None -> ());
+  trace
+
+let rec run_client st rng ~client =
+  if should_stop st then ()
+  else begin
+    let txn = Engine.begin_txn st.engine ~client in
+    let txn_id = Engine.txn_id txn in
+    let finish_txn () =
+      st.finished_txns <- st.finished_txns + 1;
+      if should_stop st then ()
+      else
+        Sim.schedule_after st.sim
+          ~delay:(delay rng (latency_for st.cfg client).think_mean_ns)
+          (fun () -> run_client st rng ~client)
+    in
+    let abort_and_finish ~op_id ~ts_bef =
+      ignore (emit st ~client ~txn_id ~op_id ~ts_bef Trace.Abort);
+      finish_txn ()
+    in
+    let rec step (prog : Leopard_workload.Program.t) =
+      let continue next =
+        Sim.schedule_after st.sim
+          ~delay:(delay rng (latency_for st.cfg client).op_gap_ns)
+          (fun () -> step next)
+      in
+      match prog with
+      | Leopard_workload.Program.Finish ->
+        issue st rng ~client ~txn ~request:Engine.Commit
+          ~receive:(fun ~op_id ~ts_bef result ->
+            match result with
+            | Engine.Ok_commit ->
+              ignore (emit st ~client ~txn_id ~op_id ~ts_bef Trace.Commit);
+              finish_txn ()
+            | Engine.Err _ -> abort_and_finish ~op_id ~ts_bef
+            | Engine.Ok_read _ | Engine.Ok_write ->
+              assert false)
+      | Leopard_workload.Program.Rollback ->
+        issue st rng ~client ~txn ~request:Engine.Abort
+          ~receive:(fun ~op_id ~ts_bef _result ->
+            abort_and_finish ~op_id ~ts_bef)
+      | Leopard_workload.Program.Read { cells; locking; predicate; k } ->
+        issue st rng ~client ~txn
+          ~request:(Engine.Read { cells; locking; predicate })
+          ~receive:(fun ~op_id ~ts_bef result ->
+            match result with
+            | Engine.Ok_read items ->
+              ignore
+                (emit st ~client ~txn_id ~op_id ~ts_bef
+                   (Trace.Read { items; locking }));
+              continue (k items)
+            | Engine.Err _ -> abort_and_finish ~op_id ~ts_bef
+            | Engine.Ok_write | Engine.Ok_commit -> assert false)
+      | Leopard_workload.Program.Write { items; k } ->
+        issue st rng ~client ~txn ~request:(Engine.Write items)
+          ~receive:(fun ~op_id ~ts_bef result ->
+            match result with
+            | Engine.Ok_write ->
+              let titems =
+                List.map
+                  (fun (cell, value) -> { Trace.cell; value })
+                  items
+              in
+              ignore
+                (emit st ~client ~txn_id ~op_id ~ts_bef (Trace.Write titems));
+              continue (k ())
+            | Engine.Err _ -> abort_and_finish ~op_id ~ts_bef
+            | Engine.Ok_read _ | Engine.Ok_commit -> assert false)
+    in
+    step (st.cfg.spec.Leopard_workload.Spec.next_txn rng)
+  end
+
+let execute cfg =
+  let sim = Sim.create () in
+  let engine =
+    Engine.create sim ~profile:cfg.profile ~level:cfg.level ~faults:cfg.faults
+  in
+  Engine.load engine cfg.spec.Leopard_workload.Spec.initial;
+  let st =
+    {
+      cfg;
+      sim;
+      engine;
+      buffers = Array.init cfg.clients (fun _ -> ref []);
+      op_trace = Hashtbl.create 4096;
+      next_op = 0;
+      finished_txns = 0;
+      stop_now = false;
+    }
+  in
+  let root = Rng.create cfg.seed in
+  for client = 0 to cfg.clients - 1 do
+    let rng = Rng.split root in
+    (* Stagger client start-ups slightly, as real clients would. *)
+    Sim.schedule_after sim ~delay:(Rng.int rng 10_000) (fun () ->
+        run_client st rng ~client)
+  done;
+  (match cfg.tick with
+  | Some (interval_ns, f) ->
+    let interval_ns = max 1 interval_ns in
+    let rec tick () =
+      f ();
+      if not (should_stop st) then
+        Sim.schedule_after sim ~delay:interval_ns tick
+    in
+    Sim.schedule_after sim ~delay:interval_ns tick
+  | None -> ());
+  Sim.run sim;
+  let committed id = Engine.committed engine id in
+  {
+    client_traces = Array.map (fun r -> List.rev !r) st.buffers;
+    op_trace = st.op_trace;
+    truth_deps =
+      Minidb.Ground_truth.deps (Engine.ground_truth engine) ~committed;
+    committed;
+    peek = (fun cell -> Engine.peek engine cell);
+    commits = Engine.commits engine;
+    aborts = Engine.aborts engine;
+    aborts_fuw = Engine.aborts_by engine Engine.Fuw_conflict;
+    aborts_certifier = Engine.aborts_by engine (Engine.Certifier_conflict "");
+    aborts_deadlock = Engine.aborts_by engine Engine.Deadlock_victim;
+    deadlocks = Engine.deadlocks engine;
+    sim_duration_ns = Sim.now sim;
+    ops = Engine.ops_executed engine;
+  }
+
+let all_traces_sorted outcome =
+  let all =
+    Array.fold_left (fun acc l -> List.rev_append l acc) [] outcome.client_traces
+  in
+  List.sort Trace.compare_by_bef all

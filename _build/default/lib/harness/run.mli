@@ -1,0 +1,93 @@
+(** Closed-loop workload execution — the client side of the paper's setup.
+
+    [execute] simulates [clients] concurrent clients (the paper's "thread
+    scale") running transaction programs from a {!Leopard_workload.Spec.t}
+    against a {!Minidb.Engine.t}.  Each operation is issued with a network
+    hop, executed at the server (possibly after lock waits), and answered
+    with another hop; the client logs the interval trace
+    [(ts_bef, ts_aft, payload)] exactly as the paper's Tracer does.
+
+    When the engine aborts a transaction (deadlock, FUW, certifier), the
+    client logs an abort trace whose interval spans the failed call, and
+    moves on to the next transaction.
+
+    The result carries both the black-box view (per-client trace streams,
+    monotone in [ts_bef] as Algorithm 1 requires) and the white-box view
+    (ground-truth dependencies, commit/abort counts, simulated duration)
+    used to score the verification. *)
+
+module Trace = Leopard_trace.Trace
+
+type latency = {
+  net_mean_ns : float;  (** mean one-way network hop (exponential) *)
+  think_mean_ns : float;  (** mean gap between transactions *)
+  op_gap_ns : float;  (** mean client-side gap between operations *)
+  commit_extra_ns : float;  (** extra server latency on commit (fsync) *)
+}
+
+val default_latency : latency
+
+type stop = Txn_count of int | Sim_time_ns of int
+(** Stop after N {e committed-or-aborted} transactions in total, or at a
+    simulated instant. *)
+
+type config = {
+  spec : Leopard_workload.Spec.t;
+  profile : Minidb.Profile.t;
+  level : Minidb.Isolation.level;
+  faults : Minidb.Fault.Set.t;
+  clients : int;
+  stop : stop;
+  seed : int;
+  latency : latency;
+  latency_of : (int -> latency) option;
+      (** per-client latency override (heterogeneous clients /
+          stragglers); defaults to [latency] for every client *)
+  observer : (Trace.t -> unit) option;
+      (** called synchronously for every trace as the client logs it —
+          the hook live (online) verification attaches to *)
+  tick : (int * (unit -> unit)) option;
+      (** [(interval_ns, f)]: run [f] every [interval_ns] of simulated
+          time while clients are active (the paper batches traces into
+          the pipeline every 0.5 s) *)
+}
+
+val config :
+  ?faults:Minidb.Fault.Set.t ->
+  ?clients:int ->
+  ?seed:int ->
+  ?latency:latency ->
+  ?latency_of:(int -> latency) ->
+  ?observer:(Trace.t -> unit) ->
+  ?tick:int * (unit -> unit) ->
+  spec:Leopard_workload.Spec.t ->
+  profile:Minidb.Profile.t ->
+  level:Minidb.Isolation.level ->
+  stop:stop ->
+  unit ->
+  config
+
+type outcome = {
+  client_traces : Trace.t list array;
+      (** per client, in issue order (monotone ts_bef) *)
+  op_trace : (int, Trace.t) Hashtbl.t;  (** op id -> its trace *)
+  truth_deps : Minidb.Ground_truth.dep list;
+      (** exact dependencies between committed transactions *)
+  committed : int -> bool;
+  peek : Leopard_trace.Cell.t -> Trace.value option;
+      (** final committed value of a cell (white-box test oracle) *)
+  commits : int;
+  aborts : int;
+  aborts_fuw : int;
+  aborts_certifier : int;
+  aborts_deadlock : int;
+  deadlocks : int;
+  sim_duration_ns : int;
+  ops : int;
+}
+
+val execute : config -> outcome
+
+val all_traces_sorted : outcome -> Trace.t list
+(** Every trace of the run, globally sorted by [ts_bef] (convenience for
+    feeding verifiers without a pipeline). *)

@@ -1,0 +1,1 @@
+lib/minidb/engine.ml: Fault Ground_truth Hashtbl Isolation Leopard_trace List Lock_manager Option Printf Profile Sim Version_store

@@ -1,0 +1,1 @@
+lib/minidb/engine.mli: Fault Ground_truth Isolation Leopard_trace Profile Sim

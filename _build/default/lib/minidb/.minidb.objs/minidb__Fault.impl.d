@@ -1,0 +1,1 @@
+lib/minidb/fault.ml: List Set String

@@ -1,0 +1,1 @@
+lib/minidb/fault.mli: Set

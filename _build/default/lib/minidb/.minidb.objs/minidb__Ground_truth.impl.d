@@ -1,0 +1,1 @@
+lib/minidb/ground_truth.ml: Hashtbl Leopard_trace List

@@ -1,0 +1,1 @@
+lib/minidb/ground_truth.mli: Leopard_trace

@@ -1,0 +1,1 @@
+lib/minidb/isolation.ml: Format String

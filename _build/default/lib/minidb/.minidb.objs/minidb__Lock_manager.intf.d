@@ -1,0 +1,1 @@
+lib/minidb/lock_manager.mli: Sim

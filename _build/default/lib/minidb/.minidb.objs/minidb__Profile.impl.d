@@ -1,0 +1,1 @@
+lib/minidb/profile.ml: Isolation Leopard_util List String

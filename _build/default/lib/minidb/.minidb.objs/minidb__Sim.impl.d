@@ -1,0 +1,1 @@
+lib/minidb/sim.ml: Leopard_util Printf

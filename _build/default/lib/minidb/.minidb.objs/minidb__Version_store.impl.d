@@ -1,0 +1,1 @@
+lib/minidb/version_store.ml: Hashtbl Leopard_trace List

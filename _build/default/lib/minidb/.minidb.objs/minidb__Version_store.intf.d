@@ -1,0 +1,1 @@
+lib/minidb/version_store.mli: Leopard_trace

@@ -1,0 +1,204 @@
+type mode = S | X
+type row = int * int
+type outcome = Granted | Deadlock
+
+type waiter = { wtxn : int; wmode : mode; k : outcome -> unit }
+
+type row_state = {
+  mutable held : (int * mode) list;  (* each txn at most once, strongest mode *)
+  queue : waiter Queue.t;
+}
+
+type t = {
+  sim : Sim.t;
+  rows : (row, row_state) Hashtbl.t;
+  by_txn : (int, row list) Hashtbl.t;
+  blocked : (int, row) Hashtbl.t;  (* txn -> row it is queued on *)
+  s_ignores_x : bool;
+  mutable deadlocks : int;
+}
+
+let create sim ~s_ignores_x =
+  {
+    sim;
+    rows = Hashtbl.create 1024;
+    by_txn = Hashtbl.create 256;
+    blocked = Hashtbl.create 64;
+    s_ignores_x;
+    deadlocks = 0;
+  }
+
+let state t row =
+  match Hashtbl.find_opt t.rows row with
+  | Some s -> s
+  | None ->
+    let s = { held = []; queue = Queue.create () } in
+    Hashtbl.replace t.rows row s;
+    s
+
+let compatible t ~requested ~held =
+  match (requested, held) with
+  | S, S -> true
+  | S, X -> t.s_ignores_x
+  | X, (S | X) -> false
+
+let holds t ~txn row =
+  match Hashtbl.find_opt t.rows row with
+  | None -> None
+  | Some s -> List.assoc_opt txn s.held
+
+let holders t row =
+  match Hashtbl.find_opt t.rows row with None -> [] | Some s -> s.held
+
+let remember_row t txn row =
+  let rows = Option.value ~default:[] (Hashtbl.find_opt t.by_txn txn) in
+  if not (List.mem row rows) then Hashtbl.replace t.by_txn txn (row :: rows)
+
+(* A request can be granted iff every other holder is compatible and —
+   strict FIFO — no one is queued ahead.  Upgrades jump the queue, which
+   avoids an S->X upgrade self-blocking behind requests that wait on the
+   upgrader itself. *)
+let can_grant t s ~txn ~mode ~jump_queue =
+  let others_ok =
+    List.for_all
+      (fun (h, hm) -> h = txn || compatible t ~requested:mode ~held:hm)
+      s.held
+  in
+  others_ok && (jump_queue || Queue.is_empty s.queue)
+
+let add_holder s ~txn ~mode =
+  let current = List.assoc_opt txn s.held in
+  match (current, mode) with
+  | Some X, _ -> ()
+  | Some S, S -> ()
+  | Some S, X -> s.held <- (txn, X) :: List.remove_assoc txn s.held
+  | None, m -> s.held <- (txn, m) :: s.held
+
+(* Transactions blocking a request on row state [s]: incompatible holders
+   plus mutually incompatible earlier waiters. *)
+let blockers t s ~txn ~mode =
+  let held_blockers =
+    List.filter_map
+      (fun (h, hm) ->
+        if h <> txn && not (compatible t ~requested:mode ~held:hm) then Some h
+        else None)
+      s.held
+  in
+  let queue_blockers =
+    Queue.fold
+      (fun acc w ->
+        if w.wtxn <> txn
+           && (not (compatible t ~requested:mode ~held:w.wmode)
+               || not (compatible t ~requested:w.wmode ~held:mode))
+        then w.wtxn :: acc
+        else acc)
+      [] s.queue
+  in
+  held_blockers @ queue_blockers
+
+let blockers_of_blocked t node =
+  match Hashtbl.find_opt t.blocked node with
+  | None -> []
+  | Some row -> (
+    match Hashtbl.find_opt t.rows row with
+    | None -> []
+    | Some s ->
+      let mode =
+        Queue.fold
+          (fun acc w -> if w.wtxn = node then Some w.wmode else acc)
+          None s.queue
+      in
+      (match mode with
+      | None -> []
+      | Some m -> blockers t s ~txn:node ~mode:m))
+
+(* Waits-for cycle check: would the new request's edges [txn -> seeds]
+   close a cycle back to [txn]?  Follow edges of blocked transactions
+   only; active (running) transactions have no outgoing edges. *)
+let would_deadlock t ~txn ~seeds =
+  let visited = Hashtbl.create 16 in
+  let rec dfs node =
+    if node = txn then true
+    else if Hashtbl.mem visited node then false
+    else begin
+      Hashtbl.replace visited node ();
+      List.exists dfs (blockers_of_blocked t node)
+    end
+  in
+  List.exists dfs seeds
+
+let rec wake t row s =
+  match Queue.peek_opt s.queue with
+  | None -> ()
+  | Some w ->
+    if can_grant t s ~txn:w.wtxn ~mode:w.wmode ~jump_queue:true then begin
+      ignore (Queue.pop s.queue);
+      Hashtbl.remove t.blocked w.wtxn;
+      add_holder s ~txn:w.wtxn ~mode:w.wmode;
+      remember_row t w.wtxn row;
+      Sim.schedule_after t.sim ~delay:0 (fun () -> w.k Granted);
+      wake t row s
+    end
+
+let acquire t ~txn row mode ~k =
+  let s = state t row in
+  let already = List.assoc_opt txn s.held in
+  let satisfied =
+    match (already, mode) with
+    | Some X, _ -> true
+    | Some S, S -> true
+    | Some S, X | None, _ -> false
+  in
+  if satisfied then Sim.schedule_after t.sim ~delay:0 (fun () -> k Granted)
+  else begin
+    let upgrade = already = Some S in
+    if can_grant t s ~txn ~mode ~jump_queue:upgrade then begin
+      add_holder s ~txn ~mode;
+      remember_row t txn row;
+      Sim.schedule_after t.sim ~delay:0 (fun () -> k Granted)
+    end
+    else begin
+      let seeds = blockers t s ~txn ~mode in
+      if would_deadlock t ~txn ~seeds then begin
+        t.deadlocks <- t.deadlocks + 1;
+        Sim.schedule_after t.sim ~delay:0 (fun () -> k Deadlock)
+      end
+      else begin
+        Queue.push { wtxn = txn; wmode = mode; k } s.queue;
+        Hashtbl.replace t.blocked txn row
+      end
+    end
+  end
+
+let release_row t ~txn row =
+  match Hashtbl.find_opt t.rows row with
+  | None -> ()
+  | Some s ->
+    if List.mem_assoc txn s.held then begin
+      s.held <- List.remove_assoc txn s.held;
+      (match Hashtbl.find_opt t.by_txn txn with
+      | Some rows ->
+        Hashtbl.replace t.by_txn txn (List.filter (fun r -> r <> row) rows)
+      | None -> ());
+      wake t row s
+    end
+
+let release_all t ~txn =
+  match Hashtbl.find_opt t.by_txn txn with
+  | None -> ()
+  | Some rows ->
+    Hashtbl.remove t.by_txn txn;
+    List.iter
+      (fun row ->
+        match Hashtbl.find_opt t.rows row with
+        | None -> ()
+        | Some s ->
+          if List.mem_assoc txn s.held then begin
+            s.held <- List.remove_assoc txn s.held;
+            wake t row s
+          end)
+      rows
+
+let waiting t = Hashtbl.length t.blocked
+
+let deadlocks t = t.deadlocks

@@ -1,0 +1,50 @@
+(** Row-granularity two-phase locking — the ME mechanism.
+
+    Shared/exclusive locks per [(table, row)] granule with FIFO wait
+    queues driven by the simulation clock, re-entrant acquisition and
+    S→X upgrades, and waits-for-graph deadlock detection that aborts the
+    requester.
+
+    Lock waits are what make operation time intervals stretch and overlap
+    in traces, so this module is directly responsible for the β
+    phenomenon of Fig. 4. *)
+
+type mode = S | X
+
+type row = int * int
+(** [(table, row)] — see {!Leopard_trace.Cell.row_key}. *)
+
+type outcome =
+  | Granted  (** the lock is held; the continuation runs at grant time *)
+  | Deadlock  (** the request would close a waits-for cycle; not enqueued *)
+
+type t
+
+val create : Sim.t -> s_ignores_x:bool -> t
+(** [s_ignores_x] injects {!Fault.Shared_lock_ignores_exclusive}: S
+    requests are treated as compatible with held X locks. *)
+
+val acquire : t -> txn:int -> row -> mode -> k:(outcome -> unit) -> unit
+(** Request a lock.  [k Granted] is scheduled at the simulated instant the
+    lock is granted (immediately if free, else when predecessors release).
+    [k Deadlock] is scheduled immediately when the request would deadlock;
+    the caller is expected to abort the transaction. *)
+
+val holds : t -> txn:int -> row -> mode option
+(** Strongest mode currently held by [txn] on [row]. *)
+
+val holders : t -> row -> (int * mode) list
+(** All current holders. *)
+
+val release_all : t -> txn:int -> unit
+(** Drop every lock held by [txn] (commit/abort), waking compatible
+    waiters in FIFO order. *)
+
+val release_row : t -> txn:int -> row -> unit
+(** Drop one lock early ({!Fault.Early_lock_release}). *)
+
+val waiting : t -> int
+(** Number of queued requests (diagnostics). *)
+
+val deadlocks : t -> int
+(** Total requests denied for deadlock since creation. *)

@@ -1,0 +1,166 @@
+open Isolation
+
+type t = {
+  name : string;
+  style : string;
+  levels : (Isolation.level * Isolation.mechanisms) list;
+}
+
+let mechanisms t level = List.assoc level t.levels
+let supports t level = List.mem_assoc level t.levels
+
+let base =
+  {
+    me_writes = true;
+    me_locking_reads = true;
+    me_reads = false;
+    cr = Some Txn_level;
+    fuw = false;
+    sc = None;
+    lock_granularity = Row_locks;
+  }
+
+let postgresql =
+  {
+    name = "postgresql";
+    style = "2PL+MVCC+SSI";
+    levels =
+      [
+        (Serializable, { base with fuw = true; sc = Some Ssi });
+        (Snapshot_isolation, { base with fuw = true });
+        (Repeatable_read, { base with fuw = true });
+        (Read_committed, { base with cr = Some Stmt_level });
+      ];
+  }
+
+let innodb =
+  {
+    name = "innodb";
+    style = "2PL+MVCC";
+    levels =
+      [
+        (Serializable, { base with me_reads = true });
+        (Repeatable_read, base);
+        (Read_committed, { base with cr = Some Stmt_level });
+      ];
+  }
+
+let tidb =
+  {
+    name = "tidb";
+    style = "2PL+MVCC / Percolator";
+    levels =
+      [
+        (Repeatable_read, base);
+        (Read_committed, { base with cr = Some Stmt_level });
+        ( Snapshot_isolation,
+          {
+            me_writes = false;
+            me_locking_reads = true;
+            me_reads = false;
+            cr = Some Txn_level;
+            fuw = true;
+            sc = None;
+            lock_granularity = Row_locks;
+          } );
+      ];
+  }
+
+let cockroachdb =
+  {
+    name = "cockroachdb";
+    style = "TO+MVCC";
+    levels =
+      [
+        ( Serializable,
+          {
+            me_writes = false;
+            me_locking_reads = false;
+            me_reads = false;
+            cr = Some Txn_level;
+            fuw = false;
+            sc = Some Mvto;
+            lock_granularity = Row_locks;
+          } );
+      ];
+  }
+
+let sqlite =
+  {
+    name = "sqlite";
+    style = "2PL";
+    levels =
+      [
+        ( Serializable,
+          {
+            me_writes = true;
+            me_locking_reads = true;
+            me_reads = true;
+            cr = None;
+            fuw = false;
+            sc = None;
+            lock_granularity = Table_locks;
+          } );
+      ];
+  }
+
+let foundationdb =
+  {
+    name = "foundationdb";
+    style = "OCC+MVCC";
+    levels =
+      [
+        ( Serializable,
+          {
+            me_writes = false;
+            me_locking_reads = false;
+            me_reads = false;
+            cr = Some Txn_level;
+            fuw = false;
+            sc = Some Occ_validate;
+            lock_granularity = Row_locks;
+          } );
+      ];
+  }
+
+let oracle =
+  {
+    name = "oracle";
+    style = "2PL+MVCC";
+    levels =
+      [
+        (Snapshot_isolation, { base with fuw = true });
+        (Read_committed, { base with cr = Some Stmt_level });
+      ];
+  }
+
+let all =
+  [ postgresql; innodb; tidb; cockroachdb; sqlite; foundationdb; oracle ]
+
+let find name =
+  List.find_opt (fun p -> String.equal p.name name) all
+
+let fig1_matrix () =
+  let rows =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun (level, m) ->
+            let mark b = if b then "yes" else "" in
+            [
+              p.name;
+              p.style;
+              level_to_string level;
+              mark (m.me_writes || m.me_reads);
+              mark (m.cr <> None);
+              mark m.fuw;
+              (match m.sc with None -> "" | Some k -> sc_kind_to_string k);
+            ])
+          p.levels)
+      all
+  in
+  Leopard_util.Table.render
+    ~aligns:
+      Leopard_util.Table.[ Left; Left; Left; Left; Left; Left; Left ]
+    ~header:[ "DBMS"; "CC style"; "IL"; "ME"; "CR"; "FUW"; "SC" ]
+    rows

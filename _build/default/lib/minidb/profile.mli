@@ -1,0 +1,56 @@
+(** Named DBMS profiles — the rows of the paper's Fig. 1.
+
+    A profile fixes the concurrency-control style of a commercial DBMS and
+    maps each isolation level it offers to the mechanisms implementing it.
+    Leopard's verifier uses the same matrix (mirrored in
+    [Leopard.Il_profile]) to decide which of the four verifications to run
+    for a given system under test. *)
+
+type t = {
+  name : string;  (** e.g. "postgresql" *)
+  style : string;  (** e.g. "2PL+MVCC+SSI" *)
+  levels : (Isolation.level * Isolation.mechanisms) list;
+      (** isolation levels the profile supports *)
+}
+
+val mechanisms : t -> Isolation.level -> Isolation.mechanisms
+(** Raises [Not_found] if the profile does not offer the level. *)
+
+val supports : t -> Isolation.level -> bool
+
+(** {2 The Fig. 1 matrix} *)
+
+val postgresql : t
+(** 2PL+MVCC+SSI.  SR = ME+CR+FUW+SC(SSI); SI = ME+CR+FUW;
+    RC = ME+CR(statement). *)
+
+val innodb : t
+(** 2PL+MVCC (also models Aurora / PolarDB / SQL Server row).
+    SR = pure-2PL reads + CR; RR = ME+CR(txn) {e without} FUW (lost updates
+    admitted, as the paper notes); RC = ME+CR(statement). *)
+
+val tidb : t
+(** 2PL+MVCC for RR/RC; Percolator-style SI = CR+SC(OCC validation),
+    no pessimistic write locks. *)
+
+val cockroachdb : t
+(** TO+MVCC.  SR = CR+SC(MVTO), lock-free. *)
+
+val sqlite : t
+(** Pure 2PL, no MVCC: SR = ME only (reads take S locks). *)
+
+val foundationdb : t
+(** OCC+MVCC.  SR = CR+SC(OCC validation). *)
+
+val oracle : t
+(** 2PL+MVCC with FUW: SI = ME+CR+FUW; RC = ME+CR(statement).  Also models
+    NuoDB / SAP HANA. *)
+
+val all : t list
+(** Every profile above, in Fig. 1 order. *)
+
+val find : string -> t option
+(** Look up a profile by [name]. *)
+
+val fig1_matrix : unit -> string
+(** Render the Fig. 1 mechanism matrix as an ASCII table. *)

@@ -1,0 +1,33 @@
+type event = { at : int; thunk : unit -> unit }
+
+type t = {
+  agenda : event Leopard_util.Min_heap.t;
+  mutable clock : int;
+}
+
+let compare_event a b = compare a.at b.at
+
+let create () =
+  { agenda = Leopard_util.Min_heap.create ~compare:compare_event; clock = 0 }
+
+let now t = t.clock
+
+let schedule t ~at thunk =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule: time %d is before now %d" at t.clock);
+  Leopard_util.Min_heap.push t.agenda { at; thunk }
+
+let schedule_after t ~delay thunk =
+  schedule t ~at:(t.clock + max 0 delay) thunk
+
+let step t =
+  match Leopard_util.Min_heap.pop t.agenda with
+  | None -> false
+  | Some { at; thunk } ->
+    t.clock <- at;
+    thunk ();
+    true
+
+let run t = while step t do () done
+let pending t = Leopard_util.Min_heap.length t.agenda

@@ -1,0 +1,37 @@
+(** Discrete-event simulation clock.
+
+    The paper's experiments run real clients against a real DBMS on
+    NTP-synchronised machines.  Here, clients and the engine share a
+    simulated nanosecond clock instead: every latency (network hop,
+    execution, lock wait, think time) is an explicit scheduled event.
+    This preserves the phenomenon Leopard must cope with — operation
+    intervals of concurrent clients genuinely overlap — while making runs
+    deterministic and giving the harness exact ground truth.
+
+    Events scheduled for the same instant fire in scheduling order
+    (FIFO), which keeps whole experiments reproducible. *)
+
+type t
+
+val create : unit -> t
+(** Fresh simulation starting at time 0. *)
+
+val now : t -> int
+(** Current simulated time in nanoseconds. *)
+
+val schedule : t -> at:int -> (unit -> unit) -> unit
+(** [schedule t ~at f] runs [f] when the clock reaches [at].  [at] must not
+    be in the past ([at >= now t]); same-instant scheduling is allowed and
+    runs after the current event completes. *)
+
+val schedule_after : t -> delay:int -> (unit -> unit) -> unit
+(** [schedule_after t ~delay f] = [schedule t ~at:(now t + max 0 delay) f]. *)
+
+val run : t -> unit
+(** Execute events until the agenda is empty. *)
+
+val step : t -> bool
+(** Execute the single next event; [false] when the agenda was empty. *)
+
+val pending : t -> int
+(** Number of events still scheduled. *)

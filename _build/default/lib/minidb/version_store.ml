@@ -1,0 +1,117 @@
+module Cell = Leopard_trace.Cell
+
+type version = {
+  value : Leopard_trace.Trace.value;
+  writer : int;
+  writer_ts : int;
+  write_op : int;
+  commit_ts : int;
+}
+
+type row = int * int
+
+type row_info = {
+  mutable last_commit_ts : int;
+  mutable last_writer : int;
+  mutable last_writer_ts : int;
+  mutable max_read_ts : int;
+  mutable readers : (int * int) list;
+}
+
+type cell_state = {
+  mutable committed : version list;  (* newest first by commit_ts *)
+  mutable aborted : version list;  (* newest first by commit_ts *)
+}
+
+type t = {
+  cells : cell_state Cell.Tbl.t;
+  rows : (row, row_info) Hashtbl.t;
+}
+
+let create () = { cells = Cell.Tbl.create 4096; rows = Hashtbl.create 1024 }
+
+let cell_state t cell =
+  match Cell.Tbl.find_opt t.cells cell with
+  | Some s -> s
+  | None ->
+    let s = { committed = []; aborted = [] } in
+    Cell.Tbl.add t.cells cell s;
+    s
+
+let load t cell value =
+  let s = cell_state t cell in
+  s.committed <-
+    { value; writer = -1; writer_ts = -1; write_op = -1; commit_ts = 0 }
+    :: s.committed
+
+(* Insert keeping the newest-first commit_ts order; equal stamps keep the
+   newer insertion in front. *)
+let insert_sorted versions v =
+  let rec go = function
+    | [] -> [ v ]
+    | hd :: _ as rest when v.commit_ts >= hd.commit_ts -> v :: rest
+    | hd :: tl -> hd :: go tl
+  in
+  go versions
+
+let install t cell v =
+  let s = cell_state t cell in
+  s.committed <- insert_sorted s.committed v
+
+let visible t cell ~ts =
+  match Cell.Tbl.find_opt t.cells cell with
+  | None -> None
+  | Some s -> List.find_opt (fun v -> v.commit_ts <= ts) s.committed
+
+let visible_mvto t cell ~writer_ts_max =
+  match Cell.Tbl.find_opt t.cells cell with
+  | None -> None
+  | Some s -> List.find_opt (fun v -> v.writer_ts <= writer_ts_max) s.committed
+
+let committed_newer_than t cell ~ts =
+  match Cell.Tbl.find_opt t.cells cell with
+  | None -> []
+  | Some s -> List.filter (fun v -> v.commit_ts > ts) s.committed
+
+let latest t cell =
+  match Cell.Tbl.find_opt t.cells cell with
+  | None | Some { committed = []; _ } -> None
+  | Some { committed = v :: _; _ } -> Some v
+
+let predecessor_of_visible t cell ~ts =
+  match Cell.Tbl.find_opt t.cells cell with
+  | None -> None
+  | Some s ->
+    let rec go = function
+      | v :: next :: _ when v.commit_ts <= ts -> Some next
+      | _ :: tl -> go tl
+      | [] -> None
+    in
+    go s.committed
+
+let record_aborted t cell v =
+  let s = cell_state t cell in
+  s.aborted <- insert_sorted s.aborted v
+
+let latest_aborted_newer_than t cell ~ts =
+  match Cell.Tbl.find_opt t.cells cell with
+  | None -> None
+  | Some s -> List.find_opt (fun v -> v.commit_ts > ts) s.aborted
+
+let row_info t row =
+  match Hashtbl.find_opt t.rows row with
+  | Some info -> info
+  | None ->
+    let info =
+      {
+        last_commit_ts = 0;
+        last_writer = -1;
+        last_writer_ts = -1;
+        max_read_ts = 0;
+        readers = [];
+      }
+    in
+    Hashtbl.replace t.rows row info;
+    info
+
+let cells t = Cell.Tbl.length t.cells

@@ -1,0 +1,72 @@
+(** Multi-version storage — the substrate of the CR mechanism.
+
+    Committed versions are kept per cell, newest first by commit
+    timestamp.  Row-level metadata (last committed writer, maximum read
+    timestamp, registered readers) supports FUW, MVTO and SSI.  Aborted
+    versions are retained in a side list solely so that the
+    {!Fault.Read_aborted_version} fault can surface them. *)
+
+type version = {
+  value : Leopard_trace.Trace.value;
+  writer : int;  (** installing transaction id; [-1] for the initial load *)
+  writer_ts : int;  (** installing transaction's start timestamp (MVTO) *)
+  write_op : int;  (** op id of the installing write; [-1] initial *)
+  commit_ts : int;  (** instant the version became visible *)
+}
+
+type row = int * int
+
+type row_info = {
+  mutable last_commit_ts : int;  (** commit ts of the row's latest writer *)
+  mutable last_writer : int;
+  mutable last_writer_ts : int;  (** start ts of the row's latest writer *)
+  mutable max_read_ts : int;  (** largest reader start ts (MVTO) *)
+  mutable readers : (int * int) list;
+      (** (txn, snapshot_ts) of readers, for SSI rw tracking *)
+}
+
+type t
+
+val create : unit -> t
+
+val load : t -> Leopard_trace.Cell.t -> Leopard_trace.Trace.value -> unit
+(** Initial population: installs a version with [commit_ts = 0] and
+    [writer = -1]. *)
+
+val install : t -> Leopard_trace.Cell.t -> version -> unit
+(** Insert into the committed chain, keeping commit-timestamp order (the
+    {!Fault.Version_order_inversion} and {!Fault.Delayed_visibility}
+    faults exploit non-monotonic [commit_ts] values). *)
+
+val visible : t -> Leopard_trace.Cell.t -> ts:int -> version option
+(** Newest version with [commit_ts <= ts] — snapshot visibility. *)
+
+val visible_mvto :
+  t -> Leopard_trace.Cell.t -> writer_ts_max:int -> version option
+(** Newest version whose writer start timestamp is [<= writer_ts_max]. *)
+
+val latest : t -> Leopard_trace.Cell.t -> version option
+(** Newest committed version regardless of snapshot. *)
+
+val committed_newer_than :
+  t -> Leopard_trace.Cell.t -> ts:int -> version list
+(** Committed versions with [commit_ts > ts], newest first — the
+    uncertainty window of a CockroachDB-style snapshot read. *)
+
+val predecessor_of_visible :
+  t -> Leopard_trace.Cell.t -> ts:int -> version option
+(** The version directly older than {!visible} — what {!Fault.Stale_read}
+    returns when it exists. *)
+
+val record_aborted : t -> Leopard_trace.Cell.t -> version -> unit
+
+val latest_aborted_newer_than :
+  t -> Leopard_trace.Cell.t -> ts:int -> version option
+(** Most recent aborted version installed after [ts]
+    ({!Fault.Read_aborted_version}). *)
+
+val row_info : t -> row -> row_info
+(** Metadata record for a row, created on first use. *)
+
+val cells : t -> int
+(** Number of distinct cells with at least one version (diagnostics). *)

@@ -1,0 +1,1 @@
+lib/trace/cell.ml: Format Hashtbl Map Set

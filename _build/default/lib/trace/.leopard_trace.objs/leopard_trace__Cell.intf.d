@@ -1,0 +1,1 @@
+lib/trace/cell.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/trace/codec.ml: Cell Fun List Printf String Trace

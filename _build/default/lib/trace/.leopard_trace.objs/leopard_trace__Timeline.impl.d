@@ -1,0 +1,1 @@
+lib/trace/timeline.ml: Buffer Bytes Cell List Printf Trace

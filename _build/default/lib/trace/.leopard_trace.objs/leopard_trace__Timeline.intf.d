@@ -1,0 +1,1 @@
+lib/trace/timeline.mli: Cell Trace

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Cell Format Leopard_util Printf

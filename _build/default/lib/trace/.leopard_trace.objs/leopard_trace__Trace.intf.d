@@ -1,0 +1,1 @@
+lib/trace/trace.mli: Cell Format Leopard_util

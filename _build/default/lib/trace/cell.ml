@@ -1,0 +1,36 @@
+type t = { table : int; row : int; col : int }
+
+let make ~table ~row ~col = { table; row; col }
+let row_key t = (t.table, t.row)
+
+let compare a b =
+  let c = compare a.table b.table in
+  if c <> 0 then c
+  else
+    let c = compare a.row b.row in
+    if c <> 0 then c else compare a.col b.col
+
+let equal a b = a.table = b.table && a.row = b.row && a.col = b.col
+
+let hash t = Hashtbl.hash (t.table, t.row, t.col)
+
+let pp ppf t = Format.fprintf ppf "t%d.r%d.c%d" t.table t.row t.col
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Tbl = Hashtbl.Make (Hashed)

@@ -1,0 +1,28 @@
+(** Cell addresses — the unit of data Leopard reasons about.
+
+    A cell is one column of one row of one table.  Reads and writes carry
+    sets of [(cell, value)] items; version chains (both in the engine under
+    test and in the verifier's mirror) are kept per cell.
+
+    Column granularity is deliberate: the paper observes (§VI-D, Fig. 13)
+    that TPC-C transactions touching {e different attributes of the same
+    record} produce dependencies Leopard cannot deduce, because the traces
+    carry no common cell.  The engine still locks at row granularity, so
+    such dependencies are real — exactly the mismatch the paper reports. *)
+
+type t = { table : int; row : int; col : int }
+
+val make : table:int -> row:int -> col:int -> t
+
+val row_key : t -> int * int
+(** [(table, row)] — the lock granule of the engine's lock manager. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

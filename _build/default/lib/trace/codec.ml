@@ -1,0 +1,128 @@
+let header = "# leopard-trace v1"
+
+let item_to_string (i : Trace.item) =
+  Printf.sprintf "%d.%d.%d=%d" i.cell.Cell.table i.cell.Cell.row
+    i.cell.Cell.col i.value
+
+let items_to_string items = String.concat "," (List.map item_to_string items)
+
+let to_line (t : Trace.t) =
+  let head kind =
+    Printf.sprintf "%s %d %d %d %d" kind t.ts_bef t.ts_aft t.txn t.client
+  in
+  match t.payload with
+  | Trace.Read { items; locking } ->
+    Printf.sprintf "%s %s%s" (head "R")
+      (if locking then "! " else "")
+      (items_to_string items)
+  | Trace.Write items -> Printf.sprintf "%s %s" (head "W") (items_to_string items)
+  | Trace.Commit -> head "C"
+  | Trace.Abort -> head "A"
+
+let parse_item s =
+  match String.split_on_char '=' s with
+  | [ addr; value ] -> (
+    match String.split_on_char '.' addr with
+    | [ table; row; col ] -> (
+      try
+        Ok
+          {
+            Trace.cell =
+              Cell.make ~table:(int_of_string table) ~row:(int_of_string row)
+                ~col:(int_of_string col);
+            value = int_of_string value;
+          }
+      with Failure _ -> Error (Printf.sprintf "bad item %S" s))
+    | _ -> Error (Printf.sprintf "bad cell address in %S" s))
+  | _ -> Error (Printf.sprintf "bad item %S" s)
+
+let parse_items s =
+  let parts = String.split_on_char ',' s in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+      match parse_item p with
+      | Ok item -> go (item :: acc) rest
+      | Error e -> Error e)
+  in
+  go [] parts
+
+let of_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else begin
+    let fields =
+      List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+    in
+    let make ~kind ~bef ~aft ~txn ~client rest =
+      try
+        let ts_bef = int_of_string bef
+        and ts_aft = int_of_string aft
+        and txn = int_of_string txn
+        and client = int_of_string client in
+        let payload =
+          match (kind, rest) with
+          | "C", [] -> Ok Trace.Commit
+          | "A", [] -> Ok Trace.Abort
+          | "W", [ items ] -> (
+            match parse_items items with
+            | Ok items -> Ok (Trace.Write items)
+            | Error e -> Error e)
+          | "R", [ items ] -> (
+            match parse_items items with
+            | Ok items -> Ok (Trace.Read { items; locking = false })
+            | Error e -> Error e)
+          | "R", [ "!"; items ] -> (
+            match parse_items items with
+            | Ok items -> Ok (Trace.Read { items; locking = true })
+            | Error e -> Error e)
+          | _ -> Error (Printf.sprintf "malformed %s line" kind)
+        in
+        match payload with
+        | Ok payload ->
+          let trace = { Trace.ts_bef; ts_aft; txn; client; payload } in
+          (match Trace.well_formed trace with
+          | Ok () -> Ok (Some trace)
+          | Error e -> Error e)
+        | Error e -> Error e
+      with Failure _ -> Error "bad integer field"
+    in
+    match fields with
+    | kind :: bef :: aft :: txn :: client :: rest
+      when List.mem kind [ "R"; "W"; "C"; "A" ] ->
+      make ~kind ~bef ~aft ~txn ~client rest
+    | _ -> Error (Printf.sprintf "unrecognised line %S" line)
+  end
+
+let write_channel oc traces =
+  output_string oc header;
+  output_char oc '\n';
+  List.iter
+    (fun t ->
+      output_string oc (to_line t);
+      output_char oc '\n')
+    traces
+
+let read_channel ic =
+  let rec go acc lineno =
+    match input_line ic with
+    | exception End_of_file -> Ok (List.rev acc)
+    | line -> (
+      match of_line line with
+      | Ok (Some trace) -> go (trace :: acc) (lineno + 1)
+      | Ok None -> go acc (lineno + 1)
+      | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  go [] 1
+
+let save ~path traces =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> write_channel oc traces)
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> read_channel ic)

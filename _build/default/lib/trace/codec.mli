@@ -1,0 +1,36 @@
+(** A plain-text trace format, for recording histories and re-checking
+    them offline.
+
+    Real deployments decouple collection from verification: clients
+    append traces to a log while running, and the checker replays the log
+    later (or on another machine).  One line per trace:
+
+    {v
+    R <ts_bef> <ts_aft> <txn> <client> [!] <t.r.c>=<value>,...
+    W <ts_bef> <ts_aft> <txn> <client> <t.r.c>=<value>,...
+    C <ts_bef> <ts_aft> <txn> <client>
+    A <ts_bef> <ts_aft> <txn> <client>
+    v}
+
+    [R] is a read (with [!] marking a locking read), [W] a write, [C] a
+    commit, [A] an abort; cells are [table.row.column].  Lines beginning
+    with [#] and blank lines are ignored.  The format is stable,
+    diff-friendly and greppable. *)
+
+val header : string
+(** The recommended first line, ["# leopard-trace v1"]. *)
+
+val to_line : Trace.t -> string
+(** Encode one trace (no trailing newline). *)
+
+val of_line : string -> (Trace.t option, string) result
+(** Decode one line; [Ok None] for comments and blank lines. *)
+
+val write_channel : out_channel -> Trace.t list -> unit
+(** Header plus one line per trace. *)
+
+val read_channel : in_channel -> (Trace.t list, string) result
+(** Reads until EOF; errors carry the 1-based line number. *)
+
+val save : path:string -> Trace.t list -> unit
+val load : path:string -> (Trace.t list, string) result

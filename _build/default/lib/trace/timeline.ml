@@ -1,0 +1,65 @@
+let glyph (t : Trace.t) =
+  match t.payload with
+  | Trace.Read { locking = true; _ } -> 'L'
+  | Trace.Read _ -> 'R'
+  | Trace.Write _ -> 'W'
+  | Trace.Commit -> 'C'
+  | Trace.Abort -> 'A'
+
+let render ?(max_width = 100) ?(max_clients = 16) traces =
+  match traces with
+  | [] -> "(empty history)\n"
+  | _ ->
+    let lo =
+      List.fold_left (fun acc (t : Trace.t) -> min acc t.ts_bef) max_int traces
+    in
+    let hi =
+      List.fold_left (fun acc (t : Trace.t) -> max acc t.ts_aft) min_int traces
+    in
+    let span = max 1 (hi - lo) in
+    let width = max 10 max_width in
+    let col ts = (ts - lo) * (width - 1) / span in
+    let clients =
+      List.sort_uniq compare (List.map (fun (t : Trace.t) -> t.client) traces)
+    in
+    let shown = List.filteri (fun i _ -> i < max_clients) clients in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "time %d .. %d (1 column = %d time units)\n" lo hi
+         (max 1 (span / width)));
+    List.iter
+      (fun client ->
+        let lane = Bytes.make width ' ' in
+        List.iter
+          (fun (t : Trace.t) ->
+            if t.client = client then begin
+              let a = col t.ts_bef and b = max (col t.ts_bef) (col t.ts_aft) in
+              for i = a to min b (width - 1) do
+                Bytes.set lane i (glyph t)
+              done
+            end)
+          traces;
+        Buffer.add_string buf
+          (Printf.sprintf "client %3d |%s|\n" client (Bytes.to_string lane)))
+      shown;
+    if List.length clients > max_clients then
+      Buffer.add_string buf
+        (Printf.sprintf "... and %d more clients\n"
+           (List.length clients - max_clients));
+    Buffer.contents buf
+
+let render_for_cell ?max_width cell traces =
+  let touches (t : Trace.t) =
+    List.exists
+      (fun (i : Trace.item) -> Cell.equal i.cell cell)
+      (Trace.read_items t @ Trace.write_items t)
+  in
+  let txns =
+    List.filter_map
+      (fun (t : Trace.t) -> if touches t then Some t.txn else None)
+      traces
+  in
+  let keep (t : Trace.t) =
+    touches t || (Trace.is_terminal t && List.mem t.txn txns)
+  in
+  render ?max_width (List.filter keep traces)

@@ -1,0 +1,24 @@
+(** ASCII timelines of trace histories — a debugging lens.
+
+    Renders a history as one lane per client, time flowing left to right,
+    each operation drawn over its [(ts_bef, ts_aft)] interval:
+
+    {v
+    client 0 |  RRRR      WWW        CC
+    client 1 |      WWWWWWWWW   CCCC
+    v}
+
+    [R]ead / locking read [L] / [W]rite / [C]ommit / [A]bort.  Interval
+    overlaps — the uncertainty Leopard reasons about — are visible at a
+    glance as vertically aligned glyphs.  Designed for the small
+    reproduction cases in bug reports, not for full runs: rendering is
+    clipped to [max_width] columns and the first [max_clients] lanes. *)
+
+val render : ?max_width:int -> ?max_clients:int -> Trace.t list -> string
+(** Defaults: [max_width = 100], [max_clients = 16].  Traces may be in
+    any order; an empty history renders as a note line. *)
+
+val render_for_cell : ?max_width:int -> Cell.t -> Trace.t list -> string
+(** Like {!render} but keeps only the traces touching the given cell
+    (plus their transactions' terminals) — the view used when explaining
+    a single-cell violation. *)

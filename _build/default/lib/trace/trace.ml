@@ -1,0 +1,79 @@
+type txn_id = int
+type client_id = int
+type value = int
+
+type item = { cell : Cell.t; value : value }
+
+type payload =
+  | Read of { items : item list; locking : bool }
+  | Write of item list
+  | Commit
+  | Abort
+
+type t = {
+  ts_bef : int;
+  ts_aft : int;
+  txn : txn_id;
+  client : client_id;
+  payload : payload;
+}
+
+let interval t = Leopard_util.Interval.make ~bef:t.ts_bef ~aft:t.ts_aft
+
+let compare_by_bef a b =
+  let c = compare a.ts_bef b.ts_bef in
+  if c <> 0 then c
+  else
+    let c = compare a.ts_aft b.ts_aft in
+    if c <> 0 then c
+    else
+      let c = compare a.client b.client in
+      if c <> 0 then c else compare a.txn b.txn
+
+let is_terminal t = match t.payload with Commit | Abort -> true | Read _ | Write _ -> false
+
+let read_items t =
+  match t.payload with Read { items; _ } -> items | Write _ | Commit | Abort -> []
+
+let write_items t =
+  match t.payload with Write items -> items | Read _ | Commit | Abort -> []
+
+let well_formed t =
+  if t.ts_bef >= t.ts_aft then
+    Error
+      (Printf.sprintf "trace of txn %d: ts_bef %d >= ts_aft %d" t.txn t.ts_bef
+         t.ts_aft)
+  else if t.txn < 0 then Error "negative txn id"
+  else if t.client < 0 then Error "negative client id"
+  else
+    match t.payload with
+    | Read { items = []; _ } -> Error "empty read set"
+    | Write [] -> Error "empty write set"
+    | Read _ | Write _ | Commit | Abort -> Ok ()
+
+let pp_item ppf (i : item) =
+  Format.fprintf ppf "%a=%d" Cell.pp i.cell i.value
+
+let pp_items ppf items =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp_item ppf items
+
+let pp ppf t =
+  let kind =
+    match t.payload with
+    | Read { locking = true; _ } -> "read!"
+    | Read _ -> "read"
+    | Write _ -> "write"
+    | Commit -> "commit"
+    | Abort -> "abort"
+  in
+  Format.fprintf ppf "@[<h>[%d,%d] c%d t%d %s" t.ts_bef t.ts_aft t.client t.txn
+    kind;
+  (match t.payload with
+  | Read { items; _ } -> Format.fprintf ppf " {%a}" pp_items items
+  | Write items -> Format.fprintf ppf " {%a}" pp_items items
+  | Commit | Abort -> ());
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,63 @@
+(** Interval-based traces — the only information Leopard sees (paper §IV-A).
+
+    Each client logs, for every operation it issues, the timestamp taken
+    just before the call ([ts_bef]), the timestamp taken just after the
+    call returned ([ts_aft]), the operation kind and the data it touched:
+
+    - a read logs the values it {e observed} per cell,
+    - a write logs the values it {e wrote} per cell,
+    - commit/abort log only the transaction.
+
+    Nothing else crosses the black-box boundary: no internal timestamps,
+    no lock events, no version identifiers.  Versions are matched by
+    value, which is why workloads writing duplicate values (SmallBank's
+    [amalgamate]) leave some dependencies undeducible (Fig. 13a). *)
+
+type txn_id = int
+type client_id = int
+type value = int
+
+type item = { cell : Cell.t; value : value }
+(** One accessed version: the cell and the value observed or written. *)
+
+type payload =
+  | Read of { items : item list; locking : bool }
+      (** Observed read set.  [locking] marks a locking read
+          ([SELECT ... FOR UPDATE]): the client knows which statement it
+          issued, so the flag is legitimately client-side knowledge.  A
+          locking read participates in mutual-exclusion verification. *)
+  | Write of item list  (** Written values (blind or read-modify-write). *)
+  | Commit
+  | Abort
+
+type t = {
+  ts_bef : int;  (** client timestamp immediately before issuing the op *)
+  ts_aft : int;  (** client timestamp immediately after the op returned *)
+  txn : txn_id;
+  client : client_id;
+  payload : payload;
+}
+
+val interval : t -> Leopard_util.Interval.t
+(** The open interval [(ts_bef, ts_aft)] containing the unknown effect
+    instant. *)
+
+val compare_by_bef : t -> t -> int
+(** The pipeline's dispatch order: by [ts_bef], ties by [ts_aft], then by
+    [(client, txn)] for determinism. *)
+
+val is_terminal : t -> bool
+(** Commit or abort. *)
+
+val read_items : t -> item list
+(** Items of a read payload; [] otherwise. *)
+
+val write_items : t -> item list
+(** Items of a write payload; [] otherwise. *)
+
+val well_formed : t -> (unit, string) result
+(** Structural checks: [ts_bef < ts_aft], non-empty read/write sets, ids
+    non-negative. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

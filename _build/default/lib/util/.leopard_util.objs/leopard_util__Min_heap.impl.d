@@ -1,0 +1,1 @@
+lib/util/min_heap.ml: Array List

@@ -1,0 +1,29 @@
+type t = { bef : int; aft : int }
+
+let make ~bef ~aft =
+  if bef >= aft then
+    invalid_arg
+      (Printf.sprintf "Interval.make: need bef < aft, got (%d, %d)" bef aft);
+  { bef; aft }
+
+let bef t = t.bef
+let aft t = t.aft
+let duration t = t.aft - t.bef
+let certainly_before a b = a.aft <= b.bef
+let possibly_before a b = a.bef < b.aft
+let overlaps a b = not (certainly_before a b) && not (certainly_before b a)
+
+let compare_by_bef a b =
+  let c = compare a.bef b.bef in
+  if c <> 0 then c else compare a.aft b.aft
+
+let compare_by_aft a b =
+  let c = compare a.aft b.aft in
+  if c <> 0 then c else compare a.bef b.bef
+
+let equal a b = a.bef = b.bef && a.aft = b.aft
+
+let hull a b = { bef = min a.bef b.bef; aft = max a.aft b.aft }
+
+let pp ppf t = Format.fprintf ppf "(%d, %d)" t.bef t.aft
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,58 @@
+(** Time-interval algebra for interval-based traces (paper §IV, Fig. 3).
+
+    A trace records that an operation took effect at some unknown instant
+    strictly inside the open interval [(ts_bef, ts_aft)] measured at the
+    client.  All of Leopard's black-box reasoning reduces to two questions
+    about such intervals:
+
+    - {b certainty}: is the effect of [a] guaranteed to precede the effect
+      of [b]?  (the intervals do not overlap — Fig. 3(a));
+    - {b possibility}: could the effect of [a] have preceded the effect of
+      [b]?  (used to enumerate the feasible orders of Theorems 3 and 4).
+
+    Timestamps are [int] nanoseconds of simulated (or real monotonic)
+    time. *)
+
+type t = private { bef : int; aft : int }
+(** An open interval [(bef, aft)] with [bef < aft].  The unknown effect
+    instant lies strictly between the two endpoints. *)
+
+val make : bef:int -> aft:int -> t
+(** [make ~bef ~aft] builds an interval.  Raises [Invalid_argument] unless
+    [bef < aft]. *)
+
+val bef : t -> int
+val aft : t -> int
+
+val duration : t -> int
+(** [aft - bef]. *)
+
+val certainly_before : t -> t -> bool
+(** [certainly_before a b] — every instant of [a] precedes every instant of
+    [b]: [a.aft <= b.bef].  This is Fig. 3(a): a dependency can be deduced
+    directly. *)
+
+val possibly_before : t -> t -> bool
+(** [possibly_before a b] — there exist instants [p_a] in [a] and [p_b] in
+    [b] with [p_a < p_b]; for open intervals this is [a.bef < b.aft - 1]
+    relaxed to [a.bef < b.aft] (instants are reals strictly inside).  The
+    feasible-order enumeration of Theorems 3/4 is built from this. *)
+
+val overlaps : t -> t -> bool
+(** Neither interval is certainly before the other — Fig. 3(b)-(d): the
+    order of effects cannot be decided from timestamps alone. *)
+
+val compare_by_bef : t -> t -> int
+(** Total order by [bef], ties by [aft] — the trace-sorting order of the
+    two-level pipeline. *)
+
+val compare_by_aft : t -> t -> int
+(** Total order by [aft], ties by [bef] — the ordered-version order used by
+    the consistent-read verifier (§V-A). *)
+
+val equal : t -> t -> bool
+val hull : t -> t -> t
+(** Smallest interval containing both. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,64 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  (* SplitMix64 finaliser: variant 13 of Stafford's mixers. *)
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = next_int64 t in
+  { state = mix64 seed }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over the top 62 bits keeps the result unbiased. *)
+  let mask = max_int in
+  let rec go () =
+    let raw = Int64.to_int (next_int64 t) land mask in
+    let r = raw mod bound in
+    if raw - r > mask - bound + 1 then go () else r
+  in
+  go ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 uniform mantissa bits. *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let chance t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t 1.0 < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let exponential t mean =
+  let u = 1.0 -. float t 1.0 in
+  -.mean *. log u

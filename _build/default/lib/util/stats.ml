@@ -1,0 +1,63 @@
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () =
+  { count = 0; sum = 0.0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+let add t x =
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then 0.0 else t.mean
+let stddev t = if t.count < 2 then 0.0 else sqrt (t.m2 /. float_of_int t.count)
+let min t = t.min
+let max t = t.max
+
+let merge a b =
+  if a.count = 0 then { b with count = b.count }
+  else if b.count = 0 then { a with count = a.count }
+  else begin
+    let n = a.count + b.count in
+    let delta = b.mean -. a.mean in
+    let mean =
+      a.mean +. (delta *. float_of_int b.count /. float_of_int n)
+    in
+    let m2 =
+      a.m2 +. b.m2
+      +. (delta *. delta *. float_of_int a.count *. float_of_int b.count
+          /. float_of_int n)
+    in
+    {
+      count = n;
+      sum = a.sum +. b.sum;
+      mean;
+      m2;
+      min = Stdlib.min a.min b.min;
+      max = Stdlib.max a.max b.max;
+    }
+  end
+
+let percentile samples p =
+  match samples with
+  | [] -> 0.0
+  | _ ->
+    let arr = Array.of_list samples in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    let p = if p < 0.0 then 0.0 else if p > 100.0 then 100.0 else p in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
+    arr.(idx)

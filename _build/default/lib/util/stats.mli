@@ -1,0 +1,31 @@
+(** Online summary statistics for experiment reporting.
+
+    Welford's algorithm for mean/variance plus min/max/sum; constant
+    memory.  Percentiles, when needed, are computed from an explicit
+    sample list with {!percentile}. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+(** 0. when empty. *)
+
+val stddev : t -> float
+(** Population standard deviation; 0. for fewer than two samples. *)
+
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators (exact for count/sum/min/max, Chan's formula
+    for variance). *)
+
+val percentile : float list -> float -> float
+(** [percentile samples p] with [p] in [\[0,100\]], nearest-rank method;
+    0. on an empty list. *)

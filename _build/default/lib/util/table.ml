@@ -1,0 +1,70 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?(aligns = []) ~header rows =
+  let ncols =
+    List.fold_left
+      (fun acc row -> Stdlib.max acc (List.length row))
+      (List.length header) rows
+  in
+  let get row i = match List.nth_opt row i with Some s -> s | None -> "" in
+  let widths =
+    Array.init ncols (fun i ->
+        List.fold_left
+          (fun acc row -> Stdlib.max acc (String.length (get row i)))
+          (String.length (get header i))
+          rows)
+  in
+  let align_of i =
+    match List.nth_opt aligns i with Some a -> a | None -> Right
+  in
+  let render_row row =
+    let cells =
+      List.init ncols (fun i -> pad (align_of i) widths.(i) (get row i))
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let sep =
+    "|"
+    ^ String.concat "|"
+        (List.init ncols (fun i -> String.make (widths.(i) + 2) '-'))
+    ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ?aligns ~header rows =
+  print_string (render ?aligns ~header rows);
+  flush stdout
+
+let fmt_float ?(decimals = 2) x =
+  if Float.is_integer x && Float.abs x < 1e15 && decimals <= 2 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.*f" decimals x
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

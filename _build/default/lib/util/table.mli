@@ -1,0 +1,23 @@
+(** Fixed-width ASCII tables for the benchmark harness.
+
+    The bench executable reproduces each paper figure as a printed table of
+    rows (series values per parameter setting); this module renders them
+    with aligned columns so the output reads like the paper's plots in
+    tabular form. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out a table.  Column widths fit the widest
+    cell; [aligns] defaults to [Right] for every column.  Rows shorter than
+    the header are padded with empty cells. *)
+
+val print : ?aligns:align list -> header:string list -> string list list -> unit
+(** {!render} followed by [print_string] and a newline flush. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Compact float formatting for cells (default 2 decimals; integers render
+    without a fractional part). *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer ("12_345" style uses commas: "12,345"). *)

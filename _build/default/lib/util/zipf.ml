@@ -1,0 +1,51 @@
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  half_pow_theta : float;
+}
+
+let zeta n theta =
+  let acc = ref 0.0 in
+  for i = 1 to n do
+    acc := !acc +. (1.0 /. (float_of_int i ** theta))
+  done;
+  !acc
+
+let create ~n ~theta =
+  if n < 1 then invalid_arg "Zipf.create: n must be >= 1";
+  if theta < 0.0 then invalid_arg "Zipf.create: theta must be >= 0";
+  if theta = 0.0 then
+    { n; theta; alpha = 0.0; zetan = 0.0; eta = 0.0; half_pow_theta = 0.0 }
+  else begin
+    let zetan = zeta n theta in
+    let zeta2 = zeta 2 theta in
+    let alpha = 1.0 /. (1.0 -. theta) in
+    let eta =
+      (1.0 -. ((2.0 /. float_of_int n) ** (1.0 -. theta)))
+      /. (1.0 -. (zeta2 /. zetan))
+    in
+    { n; theta; alpha; zetan; eta; half_pow_theta = 1.0 +. (0.5 ** theta) }
+  end
+
+let sample t rng =
+  if t.theta = 0.0 then Rng.int rng t.n
+  else begin
+    (* YCSB's zipfian inversion (Gray et al., "Quickly generating
+       billion-record synthetic databases"). *)
+    let u = Rng.float rng 1.0 in
+    let uz = u *. t.zetan in
+    if uz < 1.0 then 0
+    else if uz < t.half_pow_theta then 1
+    else
+      let rank =
+        int_of_float
+          (float_of_int t.n *. (((t.eta *. u) -. t.eta +. 1.0) ** t.alpha))
+      in
+      if rank >= t.n then t.n - 1 else if rank < 0 then 0 else rank
+  end
+
+let n t = t.n
+let theta t = t.theta

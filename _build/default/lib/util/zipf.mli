@@ -1,0 +1,23 @@
+(** Zipfian key sampling, as used by YCSB.
+
+    A [Zipf.t] draws integers in [\[0, n)] where rank [k] has probability
+    proportional to [1 / (k+1)^theta].  [theta = 0] degenerates to the
+    uniform distribution; YCSB-A's default hot-spot setting is
+    [theta = 0.99].  The implementation precomputes the harmonic
+    normaliser and uses the classical YCSB inversion formula, so sampling
+    is O(1) after O(n) setup. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] prepares a sampler over [\[0, n)].
+    Requires [n >= 1] and [theta >= 0.]. *)
+
+val sample : t -> Rng.t -> int
+(** Draw one rank.  Rank 0 is the most popular key. *)
+
+val n : t -> int
+(** Size of the key space. *)
+
+val theta : t -> float
+(** The skew parameter the sampler was built with. *)

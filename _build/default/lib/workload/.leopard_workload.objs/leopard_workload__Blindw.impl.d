@@ -1,0 +1,1 @@
+lib/workload/blindw.ml: Leopard_trace Leopard_util List Program Spec

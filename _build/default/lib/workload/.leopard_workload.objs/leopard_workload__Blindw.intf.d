@@ -1,0 +1,1 @@
+lib/workload/blindw.mli: Spec

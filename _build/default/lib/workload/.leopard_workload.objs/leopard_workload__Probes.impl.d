@@ -1,0 +1,1 @@
+lib/workload/probes.ml: Leopard_trace Leopard_util List Minidb Program Spec

@@ -1,0 +1,1 @@
+lib/workload/probes.mli: Minidb Spec

@@ -1,0 +1,1 @@
+lib/workload/program.ml: Leopard_trace List

@@ -1,0 +1,1 @@
+lib/workload/program.mli: Leopard_trace

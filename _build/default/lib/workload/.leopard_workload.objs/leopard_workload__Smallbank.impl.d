@@ -1,0 +1,1 @@
+lib/workload/smallbank.ml: Leopard_trace Leopard_util List Printf Program Spec

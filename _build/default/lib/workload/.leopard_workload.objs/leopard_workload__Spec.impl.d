@@ -1,0 +1,1 @@
+lib/workload/spec.ml: Leopard_trace Leopard_util Program

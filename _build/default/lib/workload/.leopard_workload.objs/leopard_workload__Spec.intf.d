@@ -1,0 +1,1 @@
+lib/workload/spec.mli: Leopard_trace Leopard_util Program

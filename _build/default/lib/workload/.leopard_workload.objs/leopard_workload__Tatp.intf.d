@@ -1,0 +1,1 @@
+lib/workload/tatp.mli: Spec

@@ -1,0 +1,1 @@
+lib/workload/tpcc.ml: Leopard_trace Leopard_util List Printf Program Spec

@@ -1,0 +1,1 @@
+lib/workload/tpcc.mli: Spec

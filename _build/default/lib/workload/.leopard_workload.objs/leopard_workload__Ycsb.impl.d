@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Leopard_trace Leopard_util List Printf Program Spec

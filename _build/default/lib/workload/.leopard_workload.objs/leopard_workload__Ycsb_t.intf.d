@@ -1,0 +1,1 @@
+lib/workload/ycsb_t.mli: Leopard_trace Spec

@@ -1,0 +1,49 @@
+module Cell = Leopard_trace.Cell
+module Rng = Leopard_util.Rng
+
+type variant = W | RW | RW_plus
+
+let variant_to_string = function
+  | W -> "blindw-w"
+  | RW -> "blindw-rw"
+  | RW_plus -> "blindw-rw+"
+
+let table = 0
+let range_width = 10
+
+let cell row = Cell.make ~table ~row ~col:0
+
+let spec ?(rows = 2_000) ?(txn_len = 8) variant =
+  let fresh = Spec.fresh_value_counter () in
+  let initial = List.init rows (fun row -> (cell row, row + 1)) in
+  let write_step rng () =
+    let row = Rng.int rng rows in
+    Program.write [ (cell row, fresh ()) ] (fun () -> Program.finish)
+  in
+  let item_read_step rng () =
+    let row = Rng.int rng rows in
+    Program.read [ cell row ] (fun _ -> Program.finish)
+  in
+  let range_read_step rng () =
+    let start = Rng.int rng (max 1 (rows - range_width)) in
+    let cells = List.init range_width (fun i -> cell (start + i)) in
+    Program.read ~predicate:true cells (fun _ -> Program.finish)
+  in
+  let write_txn rng =
+    Program.seq (List.init txn_len (fun _ -> write_step rng))
+  in
+  let read_txn ~ranges rng =
+    Program.seq
+      (List.init txn_len (fun i ->
+           if ranges && i mod 2 = 0 then range_read_step rng
+           else item_read_step rng))
+  in
+  let next_txn rng =
+    match variant with
+    | W -> write_txn rng
+    | RW ->
+      if Rng.bool rng then write_txn rng else read_txn ~ranges:false rng
+    | RW_plus ->
+      if Rng.bool rng then write_txn rng else read_txn ~ranges:true rng
+  in
+  Spec.make ~name:(variant_to_string variant) ~initial ~next_txn

@@ -1,0 +1,22 @@
+(** The BlindW workload family (designed by Cobra, extended by the paper).
+
+    A single table of [rows] (default 2_000) single-column records with
+    uniformly accessed keys and [txn_len] operations per transaction
+    (default 8).  Three variants (§VI, "Workload"):
+
+    - {b BlindW-W}: 100% blind-write transactions with uniquely written
+      values — the hard case for ww tracking (Fig. 13c);
+    - {b BlindW-RW}: an even mix of item-read transactions and blind-write
+      transactions — exercises all three dependency types (Figs. 13d, 14);
+    - {b BlindW-RW+}: BlindW-RW with half of the item-reads replaced by
+      10-key range reads — the stress case for verification cost
+      (Figs. 10, 11). *)
+
+type variant = W | RW | RW_plus
+
+val variant_to_string : variant -> string
+
+val table : int
+
+val spec : ?rows:int -> ?txn_len:int -> variant -> Spec.t
+(** Defaults: [rows = 2_000], [txn_len = 8]. *)

@@ -1,0 +1,263 @@
+module Cell = Leopard_trace.Cell
+module Rng = Leopard_util.Rng
+module F = Minidb.Fault
+
+type probe = {
+  fault : Minidb.Fault.t;
+  spec : Spec.t;
+  db_profile : Minidb.Profile.t;
+  level : Minidb.Isolation.level;
+  verifier_profile : string;
+  clients : int;
+  txns : int;
+}
+
+let hot_table = 0
+let pad_table = 9
+let hot_rows = 4
+
+let hot row = Cell.make ~table:hot_table ~row ~col:0
+let pad_cell row = Cell.make ~table:pad_table ~row ~col:0
+
+let initial =
+  List.init hot_rows (fun r -> (hot r, 777))
+
+(* Padding: reads of private rows, to stretch a transaction in time
+   without creating conflicts. *)
+let padding fresh_pad n next =
+  let steps =
+    List.init n (fun _ () ->
+        Program.read [ pad_cell (fresh_pad ()) ] (fun _ -> Program.finish))
+  in
+  Program.chain (Program.seq steps) [ (fun () -> next) ]
+
+let pad_counter () =
+  let c = ref 0 in
+  fun () ->
+    incr c;
+    !c
+
+let mk_spec ~name next_txn = Spec.make ~name ~initial ~next_txn
+
+(* A long transaction that writes a hot row early then dawdles, paired
+   with a short transaction touching the same row: the short transaction
+   nests inside the long one's lock hold whenever the engine wrongly lets
+   it through. *)
+let nesting_spec ~name ~long ~short =
+  let next_txn rng =
+    if Rng.bool rng then long rng else short rng
+  in
+  mk_spec ~name next_txn
+
+let default ~fault ~spec ?(db_profile = Minidb.Profile.tidb)
+    ?(level = Minidb.Isolation.Repeatable_read) ?(verifier_profile = "tidb/RR")
+    ?(clients = 16) ?(txns = 3_000) () =
+  { fault; spec; db_profile; level; verifier_profile; clients; txns }
+
+let for_fault fault =
+  let fresh = Spec.fresh_value_counter () in
+  let fpad = pad_counter () in
+  match fault with
+  | F.No_lock_on_noop_update ->
+    (* TiDB bug 1: an update writing the current value takes no lock.
+       Every write stores the constant 777, so after the first commit all
+       updates are no-ops; the short writer slips inside the long
+       writer's hold. *)
+    let long rng =
+      let r = Rng.int rng hot_rows in
+      Program.write [ (hot r, 777) ] (fun () ->
+          padding fpad 6 Program.finish)
+    in
+    let short rng =
+      let r = Rng.int rng hot_rows in
+      Program.write [ (hot r, 777) ] (fun () -> Program.finish)
+    in
+    default ~fault ~spec:(nesting_spec ~name:"probe-noop-update" ~long ~short) ()
+  | F.Stale_read ->
+    let next rng =
+      let r = Rng.int rng hot_rows in
+      if Rng.bool rng then
+        Program.write [ (hot r, fresh ()) ] (fun () -> Program.finish)
+      else Program.read [ hot r ] (fun _ -> Program.finish)
+    in
+    default ~fault ~spec:(mk_spec ~name:"probe-stale-read" next) ()
+  | F.Predicate_read_ignores_locks ->
+    (* TiDB bug 3: FOR UPDATE through a join forgets the lock. *)
+    let long rng =
+      let r = Rng.int rng hot_rows in
+      Program.write [ (hot r, fresh ()) ] (fun () ->
+          padding fpad 6 Program.finish)
+    in
+    let short _rng =
+      let cells = List.init hot_rows hot in
+      Program.read ~locking:true ~predicate:true cells (fun _ ->
+          Program.finish)
+    in
+    default ~fault
+      ~spec:(nesting_spec ~name:"probe-predicate-lock" ~long ~short)
+      ()
+  | F.Read_two_versions ->
+    (* TiDB bug 4: a query returns both the own pending write and a
+       deleted version. *)
+    let next rng =
+      let r = Rng.int rng hot_rows in
+      Program.write [ (hot r, fresh ()) ] (fun () ->
+          Program.read [ hot r ] (fun _ -> Program.finish))
+    in
+    default ~fault ~spec:(mk_spec ~name:"probe-two-versions" next) ()
+  | F.No_fuw ->
+    (* Lost update: read-modify-write on hot rows with a widened race
+       window; under snapshot isolation FUW must abort the second
+       updater. *)
+    let next rng =
+      let r = Rng.int rng hot_rows in
+      Program.read [ hot r ] (fun items ->
+          let v = Program.value_of items (hot r) in
+          padding fpad 3
+            (Program.write_then [ (hot r, v + 1) ] Program.finish))
+    in
+    default ~fault
+      ~spec:(mk_spec ~name:"probe-lost-update" next)
+      ~db_profile:Minidb.Profile.postgresql
+      ~level:Minidb.Isolation.Snapshot_isolation
+      ~verifier_profile:"postgresql/SI" ()
+  | F.No_ssi ->
+    (* Write skew on row pairs (2i, 2i+1). *)
+    let pairs = 2 in
+    let next rng =
+      let p = Rng.int rng pairs in
+      let a = hot (2 * p) and b = hot ((2 * p) + 1) in
+      let target = if Rng.bool rng then a else b in
+      Program.read [ a; b ] (fun _ ->
+          padding fpad 3
+            (Program.write_then [ (target, fresh ()) ] Program.finish))
+    in
+    default ~fault
+      ~spec:(mk_spec ~name:"probe-write-skew" next)
+      ~db_profile:Minidb.Profile.postgresql
+      ~level:Minidb.Isolation.Serializable ~verifier_profile:"postgresql/SR"
+      ()
+  | F.Dirty_read ->
+    let long rng =
+      let r = Rng.int rng hot_rows in
+      Program.write [ (hot r, fresh ()) ] (fun () ->
+          padding fpad 6 Program.finish)
+    in
+    let short rng =
+      let r = Rng.int rng hot_rows in
+      Program.read [ hot r ] (fun _ -> Program.finish)
+    in
+    default ~fault ~spec:(nesting_spec ~name:"probe-dirty-read" ~long ~short) ()
+  | F.Stmt_snapshot_under_txn_cr ->
+    let next rng =
+      let r = Rng.int rng hot_rows in
+      if Rng.bool rng then
+        Program.write [ (hot r, fresh ()) ] (fun () -> Program.finish)
+      else
+        Program.read [ hot r ] (fun _ ->
+            padding fpad 6
+              (Program.read [ hot r ] (fun _ -> Program.finish)))
+    in
+    default ~fault ~spec:(mk_spec ~name:"probe-stmt-snapshot" next) ()
+  | F.Early_lock_release ->
+    let long rng =
+      let r = Rng.int rng hot_rows in
+      Program.write [ (hot r, fresh ()) ] (fun () ->
+          padding fpad 6 Program.finish)
+    in
+    let short rng =
+      let r = Rng.int rng hot_rows in
+      Program.write [ (hot r, fresh ()) ] (fun () -> Program.finish)
+    in
+    default ~fault
+      ~spec:(nesting_spec ~name:"probe-early-release" ~long ~short)
+      ()
+  | F.Snapshot_reset_on_write ->
+    let next rng =
+      let r = Rng.int rng hot_rows in
+      if Rng.bool rng then
+        Program.write [ (hot r, fresh ()) ] (fun () -> Program.finish)
+      else
+        Program.read [ hot r ] (fun _ ->
+            padding fpad 5
+              (Program.write [ (pad_cell (fpad ()), fresh ()) ] (fun () ->
+                   Program.read [ hot r ] (fun _ -> Program.finish))))
+    in
+    default ~fault ~spec:(mk_spec ~name:"probe-snapshot-reset" next) ()
+  | F.Mvto_no_check ->
+    (* A slow old transaction writes a hot row after a young one already
+       committed a newer version — timestamp inversion. *)
+    let long rng =
+      let r = Rng.int rng hot_rows in
+      padding fpad 8
+        (Program.write_then [ (hot r, fresh ()) ] Program.finish)
+    in
+    let short rng =
+      let r = Rng.int rng hot_rows in
+      Program.write [ (hot r, fresh ()) ] (fun () -> Program.finish)
+    in
+    default ~fault
+      ~spec:(nesting_spec ~name:"probe-ts-inversion" ~long ~short)
+      ~db_profile:Minidb.Profile.cockroachdb
+      ~level:Minidb.Isolation.Serializable
+      ~verifier_profile:"cockroachdb/SR" ()
+  | F.Ignore_own_writes ->
+    let next rng =
+      let r = Rng.int rng hot_rows in
+      Program.read [ hot r ] (fun _ ->
+          Program.write [ (hot r, fresh ()) ] (fun () ->
+              Program.read [ hot r ] (fun _ -> Program.finish)))
+    in
+    default ~fault ~spec:(mk_spec ~name:"probe-own-writes" next) ()
+  | F.Version_order_inversion ->
+    let next rng =
+      let r = Rng.int rng hot_rows in
+      if Rng.chance rng 0.6 then
+        Program.write [ (hot r, fresh ()) ] (fun () -> Program.finish)
+      else Program.read [ hot r ] (fun _ -> Program.finish)
+    in
+    default ~fault ~spec:(mk_spec ~name:"probe-version-inversion" next) ()
+  | F.Read_aborted_version ->
+    let next rng =
+      let r = Rng.int rng hot_rows in
+      match Rng.int rng 3 with
+      | 0 ->
+        Program.write [ (hot r, fresh ()) ] (fun () -> Program.rollback)
+      | 1 -> Program.write [ (hot r, fresh ()) ] (fun () -> Program.finish)
+      | _ -> Program.read [ hot r ] (fun _ -> Program.finish)
+    in
+    default ~fault ~spec:(mk_spec ~name:"probe-aborted-read" next) ()
+  | F.Partial_commit ->
+    let next rng =
+      let r = Rng.int rng (hot_rows / 2) in
+      let a = hot (2 * r) and b = hot ((2 * r) + 1) in
+      if Rng.bool rng then
+        let v = fresh () in
+        Program.write [ (a, v); (b, v + 500_000) ] (fun () -> Program.finish)
+      else Program.read [ b ] (fun _ -> Program.finish)
+    in
+    default ~fault ~spec:(mk_spec ~name:"probe-partial-commit" next) ()
+  | F.Delayed_visibility ->
+    let next rng =
+      let r = Rng.int rng hot_rows in
+      if Rng.bool rng then
+        Program.write [ (hot r, fresh ()) ] (fun () -> Program.finish)
+      else Program.read [ hot r ] (fun _ -> Program.finish)
+    in
+    default ~fault ~spec:(mk_spec ~name:"probe-delayed-visibility" next) ()
+  | F.Shared_lock_ignores_exclusive ->
+    let long rng =
+      let r = Rng.int rng hot_rows in
+      Program.write [ (hot r, fresh ()) ] (fun () ->
+          padding fpad 6 Program.finish)
+    in
+    let short rng =
+      let r = Rng.int rng hot_rows in
+      Program.read [ hot r ] (fun _ -> Program.finish)
+    in
+    default ~fault
+      ~spec:(nesting_spec ~name:"probe-slock-xlock" ~long ~short)
+      ~db_profile:Minidb.Profile.sqlite ~level:Minidb.Isolation.Serializable
+      ~verifier_profile:"sqlite/SR" ()
+
+let all () = List.map for_fault Minidb.Fault.all

@@ -1,0 +1,26 @@
+(** Fault probes — targeted micro-workloads that reliably trigger each of
+    the seventeen injectable engine faults (DESIGN.md §4), reproducing the
+    paper's §VI-F bug study.
+
+    The paper found its bugs by running ordinary workloads for a long
+    time; in a time-boxed reproduction we instead shape each workload so
+    the faulty code path executes often and the resulting traces carry
+    {e certain} interval evidence (nested lock holds, clearly-future
+    versions, …).  Each probe names the engine profile/isolation level
+    under which the fault is a genuine bug, and the Leopard verification
+    profile (by name) expected to flag it. *)
+
+type probe = {
+  fault : Minidb.Fault.t;
+  spec : Spec.t;
+  db_profile : Minidb.Profile.t;
+  level : Minidb.Isolation.level;
+  verifier_profile : string;
+      (** a {!Leopard.Il_profile} name, e.g. "tidb/RR" *)
+  clients : int;
+  txns : int;
+}
+
+val for_fault : Minidb.Fault.t -> probe
+val all : unit -> probe list
+(** One probe per fault, in {!Minidb.Fault.all} order. *)

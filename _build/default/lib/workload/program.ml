@@ -1,0 +1,53 @@
+module Cell = Leopard_trace.Cell
+module Trace = Leopard_trace.Trace
+
+type t =
+  | Finish
+  | Rollback
+  | Read of {
+      cells : Cell.t list;
+      locking : bool;
+      predicate : bool;
+      k : Trace.item list -> t;
+    }
+  | Write of { items : (Cell.t * Trace.value) list; k : unit -> t }
+
+let read ?(locking = false) ?(predicate = false) cells k =
+  Read { cells; locking; predicate; k }
+
+let write items k = Write { items; k }
+let finish = Finish
+let rollback = Rollback
+
+let write_then items next = Write { items; k = (fun () -> next) }
+
+let rec seq = function
+  | [] -> Finish
+  | step :: rest -> (
+    match step () with
+    | Finish | Rollback -> seq rest
+    | Read r -> Read { r with k = (fun items -> chain (r.k items) rest) }
+    | Write w -> Write { w with k = (fun () -> chain (w.k ()) rest) })
+
+and chain prog rest =
+  match prog with
+  | Finish -> seq rest
+  | Rollback -> Rollback
+  | Read r -> Read { r with k = (fun items -> chain (r.k items) rest) }
+  | Write w -> Write { w with k = (fun () -> chain (w.k ()) rest) }
+
+let value_of items cell =
+  match
+    List.find_opt (fun (i : Trace.item) -> Cell.equal i.cell cell) items
+  with
+  | Some i -> i.value
+  | None -> 0
+
+let rec length = function
+  | Finish | Rollback -> 0
+  | Read { cells; k; _ } ->
+    let fake =
+      List.map (fun cell -> { Trace.cell; value = 0 }) cells
+    in
+    1 + length (k fake)
+  | Write { k; _ } -> 1 + length (k ())

@@ -1,0 +1,50 @@
+(** Transaction programs.
+
+    A workload produces {e programs}: little coroutines that issue reads
+    and writes and decide later operations from earlier results (SmallBank
+    computes the amalgamated sum it writes; TPC-C's new-order reads stock
+    quantities it then updates).  The harness drives a program one
+    operation at a time against the engine, logging an interval trace per
+    operation — exactly the paper's client-side Tracer.
+
+    A program never sees failures: when the engine aborts the transaction,
+    the driver stops the program and logs the abort. *)
+
+module Cell = Leopard_trace.Cell
+module Trace = Leopard_trace.Trace
+
+type t =
+  | Finish  (** issue COMMIT *)
+  | Rollback  (** issue ABORT *)
+  | Read of {
+      cells : Cell.t list;
+      locking : bool;
+      predicate : bool;
+      k : Trace.item list -> t;
+    }
+  | Write of { items : (Cell.t * Trace.value) list; k : unit -> t }
+
+(** {2 Combinators} *)
+
+val read : ?locking:bool -> ?predicate:bool -> Cell.t list -> (Trace.item list -> t) -> t
+val write : (Cell.t * Trace.value) list -> (unit -> t) -> t
+val finish : t
+val rollback : t
+
+val write_then : (Cell.t * Trace.value) list -> t -> t
+(** [write_then items next] writes then continues with [next]. *)
+
+val seq : (unit -> t) list -> t
+(** Run unit-continuation steps in order, then {!finish}. *)
+
+val chain : t -> (unit -> t) list -> t
+(** [chain prog rest] runs [prog]; when it finishes, continues with the
+    [rest] steps ([Rollback] short-circuits). *)
+
+val value_of : Trace.item list -> Cell.t -> Trace.value
+(** First observed value for a cell in a read result; 0 when absent. *)
+
+val length : t -> int
+(** Number of data operations in the program's default (all-reads-zero)
+    path — used by tests; data-dependent branches are evaluated with empty
+    read results. *)

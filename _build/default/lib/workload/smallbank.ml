@@ -1,0 +1,97 @@
+module Cell = Leopard_trace.Cell
+module Rng = Leopard_util.Rng
+
+let checking_table = 0
+let savings_table = 1
+let hot_accounts = 100
+
+let checking a = Cell.make ~table:checking_table ~row:a ~col:0
+let savings a = Cell.make ~table:savings_table ~row:a ~col:0
+
+let spec ?(scale_factor = 1) ?(hotspot = 0.0) () =
+  let accounts = 1_000 * max 1 scale_factor in
+  let initial =
+    List.concat_map
+      (fun a -> [ (checking a, 10_000 + a); (savings a, 20_000 + a) ])
+      (List.init accounts (fun a -> a))
+  in
+  let pick_account rng =
+    if hotspot > 0.0 && Rng.chance rng hotspot then
+      Rng.int rng (min hot_accounts accounts)
+    else Rng.int rng accounts
+  in
+  let pick_two rng =
+    let a = pick_account rng in
+    let rec other () =
+      let b = pick_account rng in
+      if b = a then other () else b
+    in
+    (a, other ())
+  in
+  let balance rng =
+    let a = pick_account rng in
+    Program.read [ checking a; savings a ] (fun _ -> Program.finish)
+  in
+  let deposit_checking rng =
+    let a = pick_account rng in
+    let amount = 1 + Rng.int rng 100 in
+    Program.read [ checking a ] (fun items ->
+        let bal = Program.value_of items (checking a) in
+        Program.write_then [ (checking a, bal + amount) ] Program.finish)
+  in
+  let transact_savings rng =
+    let a = pick_account rng in
+    let amount = 1 + Rng.int rng 100 in
+    Program.read [ savings a ] (fun items ->
+        let bal = Program.value_of items (savings a) in
+        Program.write_then [ (savings a, bal + amount) ] Program.finish)
+  in
+  let amalgamate rng =
+    let a, b = pick_two rng in
+    Program.read [ checking a; savings a ] (fun items_a ->
+        let total =
+          Program.value_of items_a (checking a)
+          + Program.value_of items_a (savings a)
+        in
+        Program.read [ checking b ] (fun items_b ->
+            let bal_b = Program.value_of items_b (checking b) in
+            (* The paper's duplicate-value case: A's accounts are always
+               zeroed, so these writes are indistinguishable by value. *)
+            Program.write_then
+              [ (checking a, 0); (savings a, 0); (checking b, bal_b + total) ]
+              Program.finish))
+  in
+  let write_check rng =
+    let a = pick_account rng in
+    let amount = 1 + Rng.int rng 100 in
+    Program.read [ checking a; savings a ] (fun items ->
+        let c = Program.value_of items (checking a) in
+        let s = Program.value_of items (savings a) in
+        let fee = if c + s < amount then 1 else 0 in
+        Program.write_then [ (checking a, c - amount - fee) ] Program.finish)
+  in
+  let send_payment rng =
+    let a, b = pick_two rng in
+    let amount = 1 + Rng.int rng 100 in
+    Program.read [ checking a ] (fun items_a ->
+        let bal_a = Program.value_of items_a (checking a) in
+        if bal_a < amount then Program.rollback
+        else
+          Program.read [ checking b ] (fun items_b ->
+              let bal_b = Program.value_of items_b (checking b) in
+              Program.write_then
+                [ (checking a, bal_a - amount); (checking b, bal_b + amount) ]
+                Program.finish))
+  in
+  let next_txn rng =
+    match Rng.int rng 6 with
+    | 0 -> balance rng
+    | 1 -> deposit_checking rng
+    | 2 -> transact_savings rng
+    | 3 -> amalgamate rng
+    | 4 -> write_check rng
+    | _ -> send_payment rng
+  in
+  Spec.make
+    ~name:(Printf.sprintf "smallbank(sf=%d)" scale_factor)
+    ~initial ~next_txn

@@ -1,0 +1,26 @@
+(** SmallBank (Alomari et al., ICDE 2008) — the banking micro-benchmark
+    the paper uses for complex-application-logic experiments.
+
+    Two tables, checking and savings, one balance column each, over
+    [accounts] customers (default [1_000 * scale_factor]).  Six
+    transaction types with the standard uniform mix:
+
+    - [balance]: read both balances of one customer (read-only);
+    - [deposit_checking]: read-modify-write of the checking balance;
+    - [transact_savings]: read-modify-write of the savings balance;
+    - [amalgamate]: move everything from customer A to customer B — it
+      {e always writes zero} to A's two accounts, the duplicate values
+      that defeat value-based version matching (Fig. 13a);
+    - [write_check]: conditional debit after reading both balances;
+    - [send_payment]: transfer between two checking accounts.
+
+    Balances evolve by deltas, so written values are data-dependent and
+    only mostly unique. *)
+
+val checking_table : int
+val savings_table : int
+
+val spec : ?scale_factor:int -> ?hotspot:float -> unit -> Spec.t
+(** [hotspot] (default [0.]) is the probability that a transaction picks
+    its customer from the first 100 accounts, to raise contention.
+    [scale_factor] (default 1) scales the number of accounts by 1_000. *)

@@ -1,0 +1,16 @@
+module Cell = Leopard_trace.Cell
+module Trace = Leopard_trace.Trace
+
+type t = {
+  name : string;
+  initial : (Cell.t * Trace.value) list;
+  next_txn : Leopard_util.Rng.t -> Program.t;
+}
+
+let make ~name ~initial ~next_txn = { name; initial; next_txn }
+
+let fresh_value_counter () =
+  let counter = ref 1_000_000 in
+  fun () ->
+    incr counter;
+    !counter

@@ -1,0 +1,32 @@
+(** Workload specification.
+
+    A spec packages what the harness needs to run a benchmark: the initial
+    database population and a generator producing the next transaction
+    program for a client.  Generators draw from an explicit {!Rng.t}, so a
+    run is fully determined by its seed.
+
+    [fresh_value] hands out run-unique values; workloads use it wherever
+    the paper's workloads write "uniquely written values" (BlindW), and
+    deliberately do {e not} use it where the paper relies on duplicates
+    (SmallBank's [amalgamate] zeroing accounts). *)
+
+module Cell = Leopard_trace.Cell
+module Trace = Leopard_trace.Trace
+
+type t = {
+  name : string;
+  initial : (Cell.t * Trace.value) list;
+      (** initial population, installed before any client starts *)
+  next_txn : Leopard_util.Rng.t -> Program.t;
+      (** build one transaction program *)
+}
+
+val make :
+  name:string ->
+  initial:(Cell.t * Trace.value) list ->
+  next_txn:(Leopard_util.Rng.t -> Program.t) ->
+  t
+
+val fresh_value_counter : unit -> unit -> Trace.value
+(** A counter starting at 1_000_000 so generated values never collide with
+    initial-population values. *)

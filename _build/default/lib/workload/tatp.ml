@@ -1,0 +1,106 @@
+module Cell = Leopard_trace.Cell
+module Rng = Leopard_util.Rng
+
+let subscriber_table = 0
+let access_info_table = 1
+let special_facility_table = 2
+let call_forwarding_table = 3
+
+let s_bit = 0
+let s_location = 1
+let ai_data = 0
+let sf_data = 0
+let cf_active = 0
+
+let facilities_per_sub = 4
+let slots_per_facility = 3
+
+let subscriber s col = Cell.make ~table:subscriber_table ~row:s ~col
+
+let access_info s ai =
+  Cell.make ~table:access_info_table
+    ~row:((s * facilities_per_sub) + ai)
+    ~col:ai_data
+
+let special_facility s sf =
+  Cell.make ~table:special_facility_table
+    ~row:((s * facilities_per_sub) + sf)
+    ~col:sf_data
+
+let call_forwarding s sf slot =
+  Cell.make ~table:call_forwarding_table
+    ~row:((((s * facilities_per_sub) + sf) * slots_per_facility) + slot)
+    ~col:cf_active
+
+let spec ?(subscribers = 2_000) () =
+  let fresh = Spec.fresh_value_counter () in
+  let initial =
+    let acc = ref [] in
+    for s = 0 to subscribers - 1 do
+      acc := (subscriber s s_bit, s mod 2) :: (subscriber s s_location, s) :: !acc;
+      for f = 0 to facilities_per_sub - 1 do
+        acc :=
+          (access_info s f, (s * 10) + f)
+          :: (special_facility s f, (s * 10) + f + 5)
+          :: !acc;
+        for slot = 0 to slots_per_facility - 1 do
+          acc := (call_forwarding s f slot, (s + f + slot) mod 2) :: !acc
+        done
+      done
+    done;
+    !acc
+  in
+  let pick rng = Rng.int rng subscribers in
+  let get_subscriber_data rng =
+    let s = pick rng in
+    Program.read [ subscriber s s_bit; subscriber s s_location ] (fun _ ->
+        Program.finish)
+  in
+  let get_access_data rng =
+    let s = pick rng in
+    let ai = Rng.int rng facilities_per_sub in
+    Program.read [ access_info s ai ] (fun _ -> Program.finish)
+  in
+  let get_new_destination rng =
+    let s = pick rng in
+    let sf = Rng.int rng facilities_per_sub in
+    Program.read [ special_facility s sf ] (fun _ ->
+        let slots =
+          List.init slots_per_facility (fun slot -> call_forwarding s sf slot)
+        in
+        Program.read ~predicate:true slots (fun _ -> Program.finish))
+  in
+  let update_location rng =
+    let s = pick rng in
+    Program.write [ (subscriber s s_location, fresh ()) ] (fun () ->
+        Program.finish)
+  in
+  let update_subscriber_data rng =
+    let s = pick rng in
+    let sf = Rng.int rng facilities_per_sub in
+    Program.read [ subscriber s s_bit ] (fun items ->
+        let bit = Program.value_of items (subscriber s s_bit) in
+        Program.write_then
+          [ (subscriber s s_bit, 1 - (bit land 1)); (special_facility s sf, fresh ()) ]
+          Program.finish)
+  in
+  let toggle_call_forwarding ~on rng =
+    let s = pick rng in
+    let sf = Rng.int rng facilities_per_sub in
+    let slot = Rng.int rng slots_per_facility in
+    Program.read [ special_facility s sf ] (fun _ ->
+        Program.write_then
+          [ (call_forwarding s sf slot, if on then fresh () else 0) ]
+          Program.finish)
+  in
+  let next_txn rng =
+    let roll = Rng.int rng 100 in
+    if roll < 35 then get_subscriber_data rng
+    else if roll < 70 then get_access_data rng
+    else if roll < 80 then get_new_destination rng
+    else if roll < 94 then update_location rng
+    else if roll < 96 then update_subscriber_data rng
+    else if roll < 98 then toggle_call_forwarding ~on:true rng
+    else toggle_call_forwarding ~on:false rng
+  in
+  Spec.make ~name:(Printf.sprintf "tatp(n=%d)" subscribers) ~initial ~next_txn

@@ -1,0 +1,20 @@
+(** TATP (Telecom Application Transaction Processing) — the classic
+    read-dominant OLTP benchmark, included to exercise the verifier on a
+    workload whose dependency mix is the opposite of BlindW's: ~80%
+    single-row reads over four tables keyed by subscriber.
+
+    Simplified tables: subscriber (bit, location columns), access-info
+    (4 rows per subscriber), special-facility (4 per subscriber) and
+    call-forwarding (3 slots per facility).  Transaction mix follows the
+    standard: 35% get-subscriber-data, 35% get-access-data, 10%
+    get-new-destination, 14% update-location, 2% update-subscriber-data,
+    4% insert/delete-call-forwarding (modelled as activation-flag
+    writes). *)
+
+val subscriber_table : int
+val access_info_table : int
+val special_facility_table : int
+val call_forwarding_table : int
+
+val spec : ?subscribers:int -> unit -> Spec.t
+(** Default [subscribers = 2_000]. *)

@@ -1,0 +1,248 @@
+module Cell = Leopard_trace.Cell
+module Rng = Leopard_util.Rng
+
+let warehouse_table = 0
+let district_table = 1
+let customer_table = 2
+let stock_table = 3
+let order_table = 4
+let order_line_table = 5
+let item_table = 6
+
+let districts_per_wh = 10
+let customers_per_district = 30
+let items_per_wh = 200
+let max_orders_per_district = 10_000
+
+(* columns *)
+let w_ytd = 0
+let w_tax = 1
+let d_ytd = 0
+let d_next_o_id = 1
+let d_tax = 2
+let c_balance = 0
+let c_ytd_payment = 1
+let c_delivery_cnt = 3
+let s_quantity = 0
+let s_ytd = 1
+let o_customer = 0
+let o_ol_cnt = 1
+let o_carrier = 2
+let ol_item = 0
+let ol_qty = 1
+let ol_amount = 2
+let i_price = 0
+let remote_payment_pct = 15
+let remote_stock_pct = 1
+
+let wh w col = Cell.make ~table:warehouse_table ~row:w ~col
+let district_row w d = (w * districts_per_wh) + d
+let dist w d col = Cell.make ~table:district_table ~row:(district_row w d) ~col
+
+let customer_row w d c =
+  (district_row w d * customers_per_district) + c
+
+let cust w d c col = Cell.make ~table:customer_table ~row:(customer_row w d c) ~col
+let stock_row w i = (w * items_per_wh) + i
+let stock w i col = Cell.make ~table:stock_table ~row:(stock_row w i) ~col
+let order_row w d o = (district_row w d * max_orders_per_district) + o
+let order w d o col = Cell.make ~table:order_table ~row:(order_row w d o) ~col
+
+let order_line w d o line col =
+  Cell.make ~table:order_line_table ~row:((order_row w d o * 15) + line) ~col
+
+let item i col = Cell.make ~table:item_table ~row:i ~col
+
+let spec ?(scale_factor = 1) () =
+  let warehouses = max 1 scale_factor in
+  let initial =
+    let acc = ref [] in
+    for w = 0 to warehouses - 1 do
+      acc := (wh w w_ytd, 1_000) :: (wh w w_tax, 7 + w) :: !acc;
+      for d = 0 to districts_per_wh - 1 do
+        acc :=
+          (dist w d d_ytd, 500)
+          :: (dist w d d_next_o_id, 1)
+          :: (dist w d d_tax, 5 + d)
+          :: !acc;
+        for c = 0 to customers_per_district - 1 do
+          acc :=
+            (cust w d c c_balance, 100 + c)
+            :: (cust w d c c_ytd_payment, 0)
+            :: (cust w d c c_delivery_cnt, 0)
+            :: !acc
+        done
+      done;
+      for i = 0 to items_per_wh - 1 do
+        acc := (stock w i s_quantity, 50 + (i mod 41)) :: (stock w i s_ytd, 0) :: !acc
+      done
+    done;
+    (* the read-only item catalog (shared across warehouses) *)
+    for i = 0 to items_per_wh - 1 do
+      acc := (item i i_price, 100 + (i * 3 mod 97)) :: !acc
+    done;
+    !acc
+  in
+  (* TPC-C's remote accesses: with small probability a transaction crosses
+     warehouses, the source of inter-warehouse contention at sf > 1. *)
+  let maybe_remote rng w =
+    if warehouses > 1 && Rng.int rng 100 < remote_payment_pct then
+      let rec other () =
+        let w' = Rng.int rng warehouses in
+        if w' = w then other () else w'
+      in
+      other ()
+    else w
+  in
+  let supply_warehouse rng w =
+    if warehouses > 1 && Rng.int rng 100 < remote_stock_pct then
+      Rng.int rng warehouses
+    else w
+  in
+  let pick rng =
+    let w = Rng.int rng warehouses in
+    let d = Rng.int rng districts_per_wh in
+    let c = Rng.int rng customers_per_district in
+    (w, d, c)
+  in
+  let new_order rng =
+    let w, d, c = pick rng in
+    let n_lines = 5 + Rng.int rng 6 in
+    let item_ids = List.init n_lines (fun _ -> Rng.int rng items_per_wh) in
+    Program.read [ wh w w_tax; dist w d d_tax; dist w d d_next_o_id ]
+      (fun items ->
+        let o_id =
+          Program.value_of items (dist w d d_next_o_id)
+          mod max_orders_per_district
+        in
+        Program.write
+          [ (dist w d d_next_o_id, o_id + 1) ]
+          (fun () ->
+            let line_steps =
+              List.mapi
+                (fun line item_id () ->
+                  let qty = 1 + Rng.int rng 10 in
+                  let sw = supply_warehouse rng w in
+                  Program.read [ item item_id i_price; stock sw item_id s_quantity ]
+                    (fun sitems ->
+                      let price = Program.value_of sitems (item item_id i_price) in
+                      let q =
+                        Program.value_of sitems (stock sw item_id s_quantity)
+                      in
+                      let q' = if q - qty < 10 then q - qty + 91 else q - qty in
+                      Program.write
+                        [
+                          (stock sw item_id s_quantity, q');
+                          (stock sw item_id s_ytd, q + qty);
+                        ]
+                        (fun () ->
+                          Program.write_then
+                            [
+                              (order_line w d o_id line ol_item, item_id + 1);
+                              (order_line w d o_id line ol_qty, qty);
+                              (order_line w d o_id line ol_amount, qty * price);
+                            ]
+                            Program.finish)))
+                item_ids
+            in
+            Program.chain
+              (Program.write_then
+                 [ (order w d o_id o_customer, c + 1); (order w d o_id o_ol_cnt, n_lines) ]
+                 Program.finish)
+              line_steps))
+  in
+  let payment rng =
+    let w, d, c = pick rng in
+    (* 15% of payments are for a customer of a remote warehouse *)
+    let cw = maybe_remote rng w in
+    let h = 1 + Rng.int rng 500 in
+    Program.read [ wh w w_ytd ] (fun witems ->
+        let wy = Program.value_of witems (wh w w_ytd) in
+        Program.write
+          [ (wh w w_ytd, wy + h) ]
+          (fun () ->
+            Program.read [ dist w d d_ytd ] (fun ditems ->
+                let dy = Program.value_of ditems (dist w d d_ytd) in
+                Program.write
+                  [ (dist w d d_ytd, dy + h) ]
+                  (fun () ->
+                    Program.read
+                      [ cust cw d c c_balance; cust cw d c c_ytd_payment ]
+                      (fun citems ->
+                        let bal = Program.value_of citems (cust cw d c c_balance) in
+                        let ytd =
+                          Program.value_of citems (cust cw d c c_ytd_payment)
+                        in
+                        Program.write_then
+                          [
+                            (cust cw d c c_balance, bal - h);
+                            (cust cw d c c_ytd_payment, ytd + h);
+                          ]
+                          Program.finish)))))
+  in
+  let order_status rng =
+    let w, d, c = pick rng in
+    Program.read [ cust w d c c_balance ] (fun _ ->
+        Program.read [ dist w d d_next_o_id ] (fun items ->
+            let next = Program.value_of items (dist w d d_next_o_id) in
+            if next <= 1 then Program.finish
+            else
+              let o = (next - 1) mod max_orders_per_district in
+              Program.read [ order w d o o_customer; order w d o o_ol_cnt ]
+                (fun oitems ->
+                  let n = Program.value_of oitems (order w d o o_ol_cnt) in
+                  if n <= 0 then Program.finish
+                  else
+                    let lines =
+                      List.init (min n 15) (fun l ->
+                          order_line w d o l ol_amount)
+                    in
+                    Program.read ~predicate:true lines (fun _ -> Program.finish))))
+  in
+  let delivery rng =
+    let w, d, _ = pick rng in
+    Program.read [ dist w d d_next_o_id ] (fun items ->
+        let next = Program.value_of items (dist w d d_next_o_id) in
+        if next <= 1 then Program.finish
+        else
+          let o = (next - 1) mod max_orders_per_district in
+          Program.read ~locking:true [ order w d o o_customer ] (fun oitems ->
+              let c_raw = Program.value_of oitems (order w d o o_customer) in
+              if c_raw <= 0 then Program.finish
+              else
+                let c = (c_raw - 1) mod customers_per_district in
+                Program.write
+                  [ (order w d o o_carrier, 1 + (o mod 10)) ]
+                  (fun () ->
+                    Program.read
+                      [ cust w d c c_balance; cust w d c c_delivery_cnt ]
+                      (fun citems ->
+                        let bal = Program.value_of citems (cust w d c c_balance) in
+                        let cnt =
+                          Program.value_of citems (cust w d c c_delivery_cnt)
+                        in
+                        Program.write_then
+                          [
+                            (cust w d c c_balance, bal + 50);
+                            (cust w d c c_delivery_cnt, cnt + 1);
+                          ]
+                          Program.finish))))
+  in
+  let stock_level rng =
+    let w, d, _ = pick rng in
+    ignore d;
+    let start = Rng.int rng (max 1 (items_per_wh - 20)) in
+    let cells = List.init 20 (fun i -> stock w (start + i) s_quantity) in
+    Program.read ~predicate:true cells (fun _ -> Program.finish)
+  in
+  let next_txn rng =
+    let roll = Rng.int rng 100 in
+    if roll < 45 then new_order rng
+    else if roll < 88 then payment rng
+    else if roll < 92 then order_status rng
+    else if roll < 96 then delivery rng
+    else stock_level rng
+  in
+  Spec.make
+    ~name:(Printf.sprintf "tpcc(sf=%d)" scale_factor)
+    ~initial ~next_txn

@@ -1,0 +1,31 @@
+(** Simplified TPC-C — the complex-logic workload of Figs. 10, 12, 13.
+
+    Five transaction types over six tables with the standard mix
+    (45% new-order, 43% payment, 4% order-status / delivery /
+    stock-level).  Rows carry several columns and transactions read/write
+    {e subsets} of a row's columns — payment updates [district.ytd] while
+    new-order updates [district.next_o_id] — producing the row-level
+    dependencies that value-based trace matching cannot deduce, the
+    TPC-C effect of Fig. 13b.
+
+    Scaled down from the official specification to simulator size:
+    [warehouses = scale_factor], 10 districts per warehouse, 30 customers
+    per district, 200 stock items per warehouse plus a shared read-only
+    item catalog.  New-order inserts fresh order and order-line rows, so
+    reads of just-created rows occur; 15% of payments touch a remote
+    warehouse's customer and 1% of order lines are supplied by a remote
+    warehouse's stock — the cross-warehouse contention of the real
+    benchmark at [scale_factor > 1]. *)
+
+val warehouse_table : int
+val district_table : int
+val customer_table : int
+val stock_table : int
+val order_table : int
+val order_line_table : int
+
+val item_table : int
+(** The read-only item catalog (prices), shared across warehouses. *)
+
+val spec : ?scale_factor:int -> unit -> Spec.t
+(** Default [scale_factor = 1]. *)

@@ -1,0 +1,24 @@
+module Cell = Leopard_trace.Cell
+
+let table = 0
+
+let cell row = Cell.make ~table ~row ~col:0
+
+let spec ?(rows = 100_000) ?(theta = 0.8) ?(read_ratio = 0.5)
+    ?(ops_per_txn = 1) () =
+  let zipf = Leopard_util.Zipf.create ~n:rows ~theta in
+  let fresh = Spec.fresh_value_counter () in
+  let initial = List.init rows (fun row -> (cell row, row + 1)) in
+  let next_txn rng =
+    let steps =
+      List.init ops_per_txn (fun _ () ->
+          let row = Leopard_util.Zipf.sample zipf rng in
+          if Leopard_util.Rng.chance rng read_ratio then
+            Program.read [ cell row ] (fun _ -> Program.finish)
+          else Program.write [ (cell row, fresh ()) ] (fun () -> Program.finish))
+    in
+    Program.seq steps
+  in
+  Spec.make
+    ~name:(Printf.sprintf "ycsb-a(theta=%.2f,r=%.2f)" theta read_ratio)
+    ~initial ~next_txn

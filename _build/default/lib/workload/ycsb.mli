@@ -1,0 +1,21 @@
+(** YCSB-A: the update-heavy key-value workload of the paper's Fig. 4.
+
+    One table of [rows] single-column records.  Each transaction performs
+    [ops_per_txn] operations (default 1, YCSB's autocommit style); each
+    operation reads with probability [read_ratio] and blind-writes a
+    unique value otherwise.  Keys are zipfian with parameter [theta] —
+    the paper sweeps [theta], the thread scale and the read ratio to
+    control contention and hence the overlap ratio β. *)
+
+val table : int
+(** Table id used by the generated cells (0). *)
+
+val spec :
+  ?rows:int ->
+  ?theta:float ->
+  ?read_ratio:float ->
+  ?ops_per_txn:int ->
+  unit ->
+  Spec.t
+(** Defaults: [rows = 100_000], [theta = 0.8], [read_ratio = 0.5],
+    [ops_per_txn = 1]. *)

@@ -1,0 +1,59 @@
+module Cell = Leopard_trace.Cell
+module Rng = Leopard_util.Rng
+
+let table = 0
+
+let account_cell a = Cell.make ~table ~row:a ~col:0
+
+let initial_balance a = 1_000 + (a mod 17)
+
+let initial_total ~accounts =
+  let rec go acc a =
+    if a >= accounts then acc else go (acc + initial_balance a) (a + 1)
+  in
+  go 0 0
+
+let spec ?(accounts = 1_000) ?(theta = 0.6) ?(audit_width = 4) () =
+  let zipf = Leopard_util.Zipf.create ~n:accounts ~theta in
+  let initial =
+    List.init accounts (fun a -> (account_cell a, initial_balance a))
+  in
+  let pick rng = Leopard_util.Zipf.sample zipf rng in
+  let pick_two rng =
+    let a = pick rng in
+    let rec other () =
+      let b = pick rng in
+      if b = a then other () else b
+    in
+    (a, other ())
+  in
+  let transfer rng =
+    let a, b = pick_two rng in
+    let amount = 1 + Rng.int rng 50 in
+    Program.read [ account_cell a; account_cell b ] (fun items ->
+        let bal_a = Program.value_of items (account_cell a) in
+        let bal_b = Program.value_of items (account_cell b) in
+        Program.write_then
+          [ (account_cell a, bal_a - amount); (account_cell b, bal_b + amount) ]
+          Program.finish)
+  in
+  let audit rng =
+    let start = Rng.int rng (max 1 (accounts - audit_width)) in
+    let cells = List.init audit_width (fun i -> account_cell (start + i)) in
+    Program.read ~predicate:true cells (fun _ -> Program.finish)
+  in
+  let touch rng =
+    let a = pick rng in
+    Program.read [ account_cell a ] (fun items ->
+        let bal = Program.value_of items (account_cell a) in
+        Program.write_then [ (account_cell a, bal + 0) ] Program.finish)
+  in
+  let next_txn rng =
+    let roll = Rng.int rng 100 in
+    if roll < 50 then transfer rng
+    else if roll < 80 then audit rng
+    else touch rng
+  in
+  Spec.make
+    ~name:(Printf.sprintf "ycsb+t(n=%d,theta=%.2f)" accounts theta)
+    ~initial ~next_txn

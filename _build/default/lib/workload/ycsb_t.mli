@@ -1,0 +1,25 @@
+(** YCSB+T (Dey et al., ICDEW 2014) — the transactional, closed-economy
+    extension of YCSB the paper cites.
+
+    One table of [accounts] balances forming a closed economy: every
+    transaction preserves the total balance, so the sum over all accounts
+    is an application-level invariant.  Isolation bugs that Leopard flags
+    from traces (lost updates above all) also break this invariant, which
+    gives the test suite an independent, end-state oracle.
+
+    Transaction mix:
+    - {b transfer} (50%): read two accounts, move a random amount
+      (read-modify-write, sum-preserving);
+    - {b audit} (30%): read [audit_width] accounts (read-only);
+    - {b touch} (20%): read-modify-write of one account adding zero —
+      exercises RMW contention without changing balances. *)
+
+val table : int
+
+val spec : ?accounts:int -> ?theta:float -> ?audit_width:int -> unit -> Spec.t
+(** Defaults: [accounts = 1_000], [theta = 0.6], [audit_width = 4]. *)
+
+val initial_total : accounts:int -> int
+(** The invariant: sum of all balances at population time. *)
+
+val account_cell : int -> Leopard_trace.Cell.t

@@ -1,0 +1,1 @@
+test/helpers.ml: Leopard Leopard_harness Leopard_trace Leopard_util List Minidb QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_anomaly.ml: Alcotest Hashtbl Helpers Leopard Leopard_harness Leopard_workload List Minidb Option Printf String

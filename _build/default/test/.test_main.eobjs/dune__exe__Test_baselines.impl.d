@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Helpers Leopard Leopard_baselines Leopard_harness Leopard_workload List Minidb Option Printf String

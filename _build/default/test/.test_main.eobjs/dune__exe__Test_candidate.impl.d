@@ -1,0 +1,1 @@
+test/test_candidate.ml: Alcotest Hashtbl Helpers Leopard Leopard_util List Printf QCheck String

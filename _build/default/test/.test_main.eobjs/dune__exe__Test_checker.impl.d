@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Helpers Leopard Leopard_trace List

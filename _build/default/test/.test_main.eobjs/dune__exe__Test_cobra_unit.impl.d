@@ -1,0 +1,1 @@
+test/test_cobra_unit.ml: Alcotest Helpers Leopard_baselines List

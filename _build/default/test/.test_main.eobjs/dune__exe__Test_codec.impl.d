@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Filename Fun Helpers Leopard Leopard_harness Leopard_trace Leopard_workload List Minidb QCheck Result String Sys

@@ -1,0 +1,1 @@
+test/test_elle_unit.ml: Alcotest Helpers Leopard_baselines List

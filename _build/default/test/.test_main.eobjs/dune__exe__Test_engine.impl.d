@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Helpers Leopard_trace List Minidb String

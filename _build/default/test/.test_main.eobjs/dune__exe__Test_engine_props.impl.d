@@ -1,0 +1,1 @@
+test/test_engine_props.ml: Alcotest Hashtbl Helpers Leopard_workload List Minidb Printf

@@ -1,0 +1,1 @@
+test/test_fuw_verifier.ml: Alcotest Helpers Leopard Leopard_util List QCheck

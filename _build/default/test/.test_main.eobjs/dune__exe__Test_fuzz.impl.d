@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Hashtbl Helpers Leopard Leopard_trace List Option QCheck

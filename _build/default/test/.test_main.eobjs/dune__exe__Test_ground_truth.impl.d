@@ -1,0 +1,1 @@
+test/test_ground_truth.ml: Alcotest Helpers List Minidb

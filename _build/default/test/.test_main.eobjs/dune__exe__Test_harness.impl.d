@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Hashtbl Helpers Leopard_harness Leopard_trace Leopard_workload List Minidb Printf

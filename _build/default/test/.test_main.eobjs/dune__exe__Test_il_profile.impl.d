@@ -1,0 +1,1 @@
+test/test_il_profile.ml: Alcotest Leopard List Minidb Option String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Helpers Leopard Leopard_baselines Leopard_harness Leopard_trace Leopard_workload List Minidb Option Printf

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Fun Helpers Leopard_util List QCheck

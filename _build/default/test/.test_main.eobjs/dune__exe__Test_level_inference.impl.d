@@ -1,0 +1,1 @@
+test/test_level_inference.ml: Alcotest Helpers Leopard Leopard_harness Leopard_workload List Minidb

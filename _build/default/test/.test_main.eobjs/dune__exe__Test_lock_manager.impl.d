@@ -1,0 +1,1 @@
+test/test_lock_manager.ml: Alcotest List Minidb

@@ -1,0 +1,1 @@
+test/test_me_verifier.ml: Alcotest Helpers Leopard Leopard_util List QCheck

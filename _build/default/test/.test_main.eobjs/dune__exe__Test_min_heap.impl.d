@@ -1,0 +1,1 @@
+test/test_min_heap.ml: Alcotest Helpers Leopard_util List QCheck

@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest Array Helpers Leopard Leopard_harness Leopard_workload List Minidb Option Printf

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Gen Helpers Leopard Leopard_baselines Leopard_trace List QCheck

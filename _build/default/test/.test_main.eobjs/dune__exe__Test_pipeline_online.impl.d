@@ -1,0 +1,1 @@
+test/test_pipeline_online.ml: Alcotest Helpers Leopard Leopard_trace List Queue

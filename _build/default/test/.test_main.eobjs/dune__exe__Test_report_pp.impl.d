@@ -1,0 +1,1 @@
+test/test_report_pp.ml: Alcotest Helpers Leopard Leopard_harness Leopard_workload List Minidb Option String

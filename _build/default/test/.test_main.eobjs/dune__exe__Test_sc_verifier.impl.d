@@ -1,0 +1,1 @@
+test/test_sc_verifier.ml: Alcotest Array Helpers Leopard Leopard_util List QCheck

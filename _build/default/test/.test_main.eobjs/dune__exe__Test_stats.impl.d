@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Gen Helpers Leopard_util List QCheck String

@@ -1,0 +1,1 @@
+test/test_tatp.ml: Alcotest Helpers Leopard Leopard_harness Leopard_trace Leopard_util Leopard_workload List Minidb Printf

@@ -1,0 +1,1 @@
+test/test_timeline.ml: Alcotest Helpers Leopard_trace List String

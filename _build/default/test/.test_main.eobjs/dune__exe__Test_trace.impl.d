@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Helpers Leopard_trace Leopard_util List Result String

@@ -1,0 +1,1 @@
+test/test_version_store.ml: Alcotest Helpers List Minidb

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Helpers Leopard Leopard_trace Leopard_util Leopard_workload List Minidb Printf

@@ -1,0 +1,1 @@
+test/test_ycsb_t.ml: Alcotest Helpers Leopard Leopard_harness Leopard_util Leopard_workload List Minidb

@@ -1,0 +1,1 @@
+test/test_zipf.ml: Alcotest Array Leopard_util Printf

@@ -1,0 +1,80 @@
+(* Anomaly classification: each fault class maps to the right Adya-style
+   name on the bug descriptors. *)
+
+module W = Leopard_workload
+module Il = Leopard.Il_profile
+
+let dominant_anomaly (report : Leopard.Checker.report) =
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Leopard.Bug.t) ->
+      match b.anomaly with
+      | Some a ->
+        Hashtbl.replace tally a
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tally a))
+      | None -> ())
+    report.bugs;
+  Hashtbl.fold
+    (fun a n best ->
+      match best with
+      | Some (_, m) when m >= n -> best
+      | _ -> Some (a, n))
+    tally None
+
+let check_probe fault expected () =
+  let p = W.Probes.for_fault fault in
+  let outcome =
+    Helpers.run_workload ~clients:p.clients ~txns:p.txns ~seed:5
+      ~faults:(Minidb.Fault.Set.singleton fault)
+      ~spec:p.spec ~profile:p.db_profile ~level:p.level ()
+  in
+  let il = Option.get (Il.find p.verifier_profile) in
+  let report = Helpers.check il (Leopard_harness.Run.all_traces_sorted outcome) in
+  match dominant_anomaly report with
+  | Some (a, _) ->
+    Alcotest.(check string)
+      (Printf.sprintf "%s classified" (Minidb.Fault.to_string fault))
+      (Leopard.Anomaly.to_string expected)
+      (Leopard.Anomaly.to_string a)
+  | None -> Alcotest.fail "no classified bugs"
+
+let test_names_unique () =
+  let names = List.map Leopard.Anomaly.to_string Leopard.Anomaly.all in
+  Alcotest.(check int) "distinct names" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "has description" true
+        (String.length (Leopard.Anomaly.description a) > 10))
+    Leopard.Anomaly.all
+
+let suite =
+  [
+    Alcotest.test_case "names unique, described" `Quick test_names_unique;
+    Alcotest.test_case "stale read classified" `Slow
+      (check_probe Minidb.Fault.Stale_read Leopard.Anomaly.Stale_read);
+    Alcotest.test_case "dirty read classified" `Slow
+      (check_probe Minidb.Fault.Dirty_read Leopard.Anomaly.Dirty_read);
+    Alcotest.test_case "aborted read classified" `Slow
+      (check_probe Minidb.Fault.Read_aborted_version
+         Leopard.Anomaly.Aborted_read);
+    Alcotest.test_case "lost update classified" `Slow
+      (check_probe Minidb.Fault.No_fuw Leopard.Anomaly.Lost_update);
+    Alcotest.test_case "write skew classified" `Slow
+      (check_probe Minidb.Fault.No_ssi Leopard.Anomaly.Write_skew);
+    Alcotest.test_case "timestamp inversion classified" `Slow
+      (check_probe Minidb.Fault.Mvto_no_check
+         Leopard.Anomaly.Serialization_order_inversion);
+    Alcotest.test_case "dirty write classified" `Slow
+      (check_probe Minidb.Fault.No_lock_on_noop_update
+         Leopard.Anomaly.Dirty_write);
+    Alcotest.test_case "read-lock violation classified" `Slow
+      (check_probe Minidb.Fault.Shared_lock_ignores_exclusive
+         Leopard.Anomaly.Read_lock_violation);
+    Alcotest.test_case "own-write miss classified" `Slow
+      (check_probe Minidb.Fault.Ignore_own_writes
+         Leopard.Anomaly.Intermediate_read);
+    Alcotest.test_case "snapshot tear classified" `Slow
+      (check_probe Minidb.Fault.Stmt_snapshot_under_txn_cr
+         Leopard.Anomaly.Future_read);
+  ]

@@ -1,0 +1,151 @@
+module B = Leopard_baselines
+module W = Leopard_workload
+module H = Leopard_harness
+
+let run ?(faults = Minidb.Fault.Set.empty) ?(clients = 12) ?(txns = 600)
+    ~spec ~profile ~level () =
+  Helpers.run_workload ~clients ~txns ~seed:31 ~faults ~spec ~profile ~level ()
+
+let clean_blindw () =
+  run ~spec:(W.Blindw.spec W.Blindw.RW) ~profile:Minidb.Profile.postgresql
+    ~level:Minidb.Isolation.Serializable ()
+
+let cobra_on ?(gc = B.Cobra.No_gc) traces =
+  let c = B.Cobra.create ~gc () in
+  List.iter (B.Cobra.feed c) traces;
+  B.Cobra.finalize c
+
+let test_cobra_accepts_clean () =
+  let o = clean_blindw () in
+  let r = cobra_on (H.Run.all_traces_sorted o) in
+  Alcotest.(check bool) "no violation" false r.violation;
+  Alcotest.(check bool) "constraints decided" true (r.decided > 0);
+  Alcotest.(check bool) "queries performed" true (r.reachability_queries > 0)
+
+let test_cobra_rejects_write_skew () =
+  let p = W.Probes.for_fault Minidb.Fault.No_ssi in
+  let o =
+    run ~faults:(Minidb.Fault.Set.singleton p.fault) ~clients:p.clients
+      ~txns:p.txns ~spec:p.spec ~profile:p.db_profile ~level:p.level ()
+  in
+  let r = cobra_on (H.Run.all_traces_sorted o) in
+  Alcotest.(check bool) "violation found" true r.violation
+
+let test_cobra_fence_gc_bounds_memory () =
+  let o = clean_blindw () in
+  let traces = H.Run.all_traces_sorted o in
+  let no_gc = cobra_on ~gc:B.Cobra.No_gc traces in
+  let fenced = cobra_on ~gc:(B.Cobra.Fence 20) traces in
+  Alcotest.(check bool) "fence prunes" true (fenced.pruned_txns > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "fenced memory below no-gc (%d < %d)" fenced.peak_live
+       no_gc.peak_live)
+    true
+    (fenced.peak_live < no_gc.peak_live);
+  Alcotest.(check bool) "both accept" true
+    ((not fenced.violation) && not no_gc.violation)
+
+let test_elle_clean () =
+  let o = clean_blindw () in
+  let r = B.Elle.check (H.Run.all_traces_sorted o) in
+  Alcotest.(check int) "no anomalies" 0 (List.length r.anomalies)
+
+let test_elle_finds_lost_update () =
+  let p = W.Probes.for_fault Minidb.Fault.No_fuw in
+  let o =
+    run ~faults:(Minidb.Fault.Set.singleton p.fault) ~clients:p.clients
+      ~txns:p.txns ~spec:p.spec ~profile:p.db_profile ~level:p.level ()
+  in
+  let r = B.Elle.check (H.Run.all_traces_sorted o) in
+  let lost =
+    List.exists
+      (function B.Elle.Lost_update _ -> true | _ -> false)
+      r.anomalies
+  in
+  Alcotest.(check bool) "lost update found" true lost;
+  Alcotest.(check bool) "ww recovered from RMW" true (r.ww_recovered > 0)
+
+let test_elle_finds_write_skew_cycle () =
+  let p = W.Probes.for_fault Minidb.Fault.No_ssi in
+  let o =
+    run ~faults:(Minidb.Fault.Set.singleton p.fault) ~clients:p.clients
+      ~txns:p.txns ~spec:p.spec ~profile:p.db_profile ~level:p.level ()
+  in
+  let r = B.Elle.check (H.Run.all_traces_sorted o) in
+  Alcotest.(check bool) "cycle found" true
+    (List.exists (function B.Elle.Cycle _ -> true | _ -> false) r.anomalies)
+
+let test_elle_misses_dirty_write () =
+  (* the paper's Bug 1: a dirty write with no dependency cycle — Leopard's
+     ME flags it, Elle stays silent *)
+  let p = W.Probes.for_fault Minidb.Fault.No_lock_on_noop_update in
+  let o =
+    run ~faults:(Minidb.Fault.Set.singleton p.fault) ~clients:p.clients
+      ~txns:p.txns ~spec:p.spec ~profile:p.db_profile ~level:p.level ()
+  in
+  let elle = B.Elle.check (H.Run.all_traces_sorted o) in
+  Alcotest.(check int) "elle silent" 0 (List.length elle.anomalies);
+  let il = Option.get (Leopard.Il_profile.find p.verifier_profile) in
+  let leopard = Helpers.check il (H.Run.all_traces_sorted o) in
+  Alcotest.(check bool) "leopard catches it" true (leopard.bugs_total > 0)
+
+let test_elle_finds_aborted_read () =
+  let p = W.Probes.for_fault Minidb.Fault.Read_aborted_version in
+  let o =
+    run ~faults:(Minidb.Fault.Set.singleton p.fault) ~clients:p.clients
+      ~txns:p.txns ~spec:p.spec ~profile:p.db_profile ~level:p.level ()
+  in
+  let r = B.Elle.check (H.Run.all_traces_sorted o) in
+  Alcotest.(check bool) "G1a found" true
+    (List.exists
+       (function B.Elle.Aborted_read _ -> true | _ -> false)
+       r.anomalies)
+
+let test_elle_anomaly_printing () =
+  let a = B.Elle.Aborted_read { reader = 1; writer = 2 } in
+  Alcotest.(check bool) "prints" true
+    (String.length (B.Elle.anomaly_to_string a) > 10)
+
+let test_naive_sorter_memory () =
+  let o = clean_blindw () in
+  let lists = Array.to_list o.client_traces in
+  let total = List.length (List.concat lists) in
+  let sources =
+    Array.of_list
+      (List.map
+         (fun traces ->
+           let r = ref traces in
+           fun () ->
+             match !r with
+             | [] -> None
+             | t :: tl ->
+               r := tl;
+               Some t)
+         lists)
+  in
+  let naive = B.Naive_sorter.create ~sources () in
+  let n = B.Naive_sorter.drain naive ~f:(fun _ -> ()) in
+  Alcotest.(check int) "all dispatched" total n;
+  Alcotest.(check int) "memory is whole run" total
+    (B.Naive_sorter.peak_memory naive)
+
+let suite =
+  [
+    Alcotest.test_case "cobra accepts clean history" `Slow
+      test_cobra_accepts_clean;
+    Alcotest.test_case "cobra rejects write skew" `Slow
+      test_cobra_rejects_write_skew;
+    Alcotest.test_case "cobra fence gc bounds memory" `Slow
+      test_cobra_fence_gc_bounds_memory;
+    Alcotest.test_case "elle clean" `Slow test_elle_clean;
+    Alcotest.test_case "elle finds lost update" `Slow
+      test_elle_finds_lost_update;
+    Alcotest.test_case "elle finds write-skew cycle" `Slow
+      test_elle_finds_write_skew_cycle;
+    Alcotest.test_case "elle misses dirty write, leopard catches" `Slow
+      test_elle_misses_dirty_write;
+    Alcotest.test_case "elle finds aborted read (G1a)" `Slow
+      test_elle_finds_aborted_read;
+    Alcotest.test_case "elle anomaly printing" `Quick test_elle_anomaly_printing;
+    Alcotest.test_case "naive sorter memory" `Slow test_naive_sorter_memory;
+  ]

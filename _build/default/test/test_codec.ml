@@ -1,0 +1,149 @@
+module Codec = Leopard_trace.Codec
+module Trace = Leopard_trace.Trace
+
+let x = Helpers.cell 0
+let y = Helpers.cell ~table:2 ~col:3 7
+
+let samples =
+  [
+    Helpers.read ~txn:1 ~client:2 ~bef:10 ~aft:20 [ (x, 5); (y, -3) ];
+    Helpers.read ~locking:true ~txn:1 ~client:2 ~bef:30 ~aft:40 [ (y, 9) ];
+    Helpers.write ~txn:1 ~client:2 ~bef:50 ~aft:60 [ (x, 123456) ];
+    Helpers.commit ~txn:1 ~client:2 ~bef:70 ~aft:80 ();
+    Helpers.abort ~txn:3 ~client:0 ~bef:90 ~aft:100 ();
+  ]
+
+let test_roundtrip_each () =
+  List.iter
+    (fun t ->
+      match Codec.of_line (Codec.to_line t) with
+      | Ok (Some t') ->
+        Alcotest.(check string) "roundtrip" (Trace.to_string t)
+          (Trace.to_string t')
+      | Ok None -> Alcotest.fail "decoded to nothing"
+      | Error e -> Alcotest.failf "decode error: %s" e)
+    samples
+
+let test_comments_and_blanks () =
+  Alcotest.(check bool) "comment" true (Codec.of_line "# hello" = Ok None);
+  Alcotest.(check bool) "blank" true (Codec.of_line "   " = Ok None)
+
+let test_bad_lines () =
+  let bad l = Result.is_error (Codec.of_line l) in
+  Alcotest.(check bool) "garbage" true (bad "Z 1 2 3 4");
+  Alcotest.(check bool) "bad int" true (bad "C x 2 3 4");
+  Alcotest.(check bool) "bad item" true (bad "W 1 2 3 4 nonsense");
+  Alcotest.(check bool) "inverted interval" true (bad "C 9 8 3 4");
+  Alcotest.(check bool) "commit with items" true (bad "C 1 2 3 4 0.0.0=1")
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "leopard" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Codec.save ~path samples;
+      match Codec.load ~path with
+      | Ok traces ->
+        Alcotest.(check int) "count" (List.length samples)
+          (List.length traces);
+        List.iter2
+          (fun a b ->
+            Alcotest.(check string) "same" (Trace.to_string a)
+              (Trace.to_string b))
+          samples traces
+      | Error e -> Alcotest.failf "load failed: %s" e)
+
+let test_error_line_number () =
+  let path = Filename.temp_file "leopard" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "# header\nC 1 2 3 4\nBROKEN\n";
+      close_out oc;
+      match Codec.load ~path with
+      | Error e ->
+        Alcotest.(check bool) "mentions line 3" true
+          (let contains hay needle =
+             let nl = String.length needle and hl = String.length hay in
+             let rec go i =
+               i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+             in
+             go 0
+           in
+           contains e "line 3")
+      | Ok _ -> Alcotest.fail "expected error")
+
+let test_real_run_roundtrip () =
+  let outcome =
+    Helpers.run_workload ~clients:6 ~txns:150
+      ~spec:(Leopard_workload.Smallbank.spec ())
+      ~profile:Minidb.Profile.postgresql
+      ~level:Minidb.Isolation.Snapshot_isolation ()
+  in
+  let traces = Leopard_harness.Run.all_traces_sorted outcome in
+  let path = Filename.temp_file "leopard" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Codec.save ~path traces;
+      match Codec.load ~path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok loaded ->
+        (* verifying the reloaded history gives the same verdicts *)
+        let a = Helpers.check Leopard.Il_profile.postgresql_si traces in
+        let b = Helpers.check Leopard.Il_profile.postgresql_si loaded in
+        Alcotest.(check int) "same traces" a.traces b.traces;
+        Alcotest.(check int) "same bugs" a.bugs_total b.bugs_total;
+        Alcotest.(check int) "same deps" a.deps_deduced b.deps_deduced)
+
+let gen_trace =
+  QCheck.Gen.(
+    let cell =
+      map3
+        (fun t r c -> Leopard_trace.Cell.make ~table:t ~row:r ~col:c)
+        (int_bound 9) (int_bound 10_000) (int_bound 5)
+    in
+    let item = map2 (fun c v -> (c, v - 500)) cell (int_bound 1_000) in
+    let interval = map2 (fun b d -> (b, b + 1 + d)) (int_bound 100_000) (int_bound 1_000) in
+    let ids = pair (int_bound 10_000) (int_bound 64) in
+    oneof
+      [
+        map3
+          (fun (b, a) (txn, client) items ->
+            Helpers.read ~txn ~client ~bef:b ~aft:a items)
+          interval ids (list_size (1 -- 5) item);
+        map3
+          (fun (b, a) (txn, client) items ->
+            Helpers.write ~txn ~client ~bef:b ~aft:a items)
+          interval ids (list_size (1 -- 5) item);
+        map2
+          (fun (b, a) (txn, client) ->
+            Helpers.commit ~txn ~client ~bef:b ~aft:a ())
+          interval ids;
+        map2
+          (fun (b, a) (txn, client) ->
+            Helpers.abort ~txn ~client ~bef:b ~aft:a ())
+          interval ids;
+      ])
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"codec roundtrips arbitrary traces" ~count:500
+    (QCheck.make gen_trace ~print:Trace.to_string)
+    (fun t ->
+      match Codec.of_line (Codec.to_line t) with
+      | Ok (Some t') -> Trace.to_string t = Trace.to_string t'
+      | Ok None | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip samples" `Quick test_roundtrip_each;
+    Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+    Alcotest.test_case "bad lines rejected" `Quick test_bad_lines;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "error carries line number" `Quick
+      test_error_line_number;
+    Alcotest.test_case "real run roundtrip + same verdicts" `Quick
+      test_real_run_roundtrip;
+    Helpers.qtest prop_roundtrip;
+  ]

@@ -1,0 +1,555 @@
+module Sim = Minidb.Sim
+module E = Minidb.Engine
+module F = Minidb.Fault
+module P = Minidb.Profile
+module I = Minidb.Isolation
+
+let x = Helpers.cell 0
+let y = Helpers.cell 1
+
+type ctx = { sim : Sim.t; eng : E.t; mutable next_op : int }
+
+let setup ?(faults = []) ~profile ~level ?(load = [ (x, 1); (y, 2) ]) () =
+  let sim = Sim.create () in
+  let eng =
+    E.create sim ~profile ~level ~faults:(F.Set.of_list faults)
+  in
+  E.load eng load;
+  { sim; eng; next_op = 0 }
+
+let op ctx txn ~at req k =
+  Sim.schedule ctx.sim ~at (fun () ->
+      let op_id = ctx.next_op in
+      ctx.next_op <- op_id + 1;
+      E.exec ctx.eng txn ~op_id req ~k)
+
+let read_req ?(locking = false) ?(predicate = false) cells =
+  E.Read { cells; locking; predicate }
+
+let expect_values name expected = function
+  | E.Ok_read items ->
+    Alcotest.(check (list int)) name expected
+      (List.map (fun (i : Leopard_trace.Trace.item) -> i.value) items)
+  | E.Err r -> Alcotest.failf "%s: aborted (%s)" name (E.abort_reason_to_string r)
+  | E.Ok_write | E.Ok_commit -> Alcotest.failf "%s: unexpected result" name
+
+let expect_ok name = function
+  | E.Ok_write | E.Ok_commit -> ()
+  | E.Ok_read _ -> Alcotest.failf "%s: unexpected read result" name
+  | E.Err r -> Alcotest.failf "%s: aborted (%s)" name (E.abort_reason_to_string r)
+
+let expect_abort name = function
+  | E.Err _ -> ()
+  | E.Ok_read _ | E.Ok_write | E.Ok_commit ->
+    Alcotest.failf "%s: expected abort" name
+
+(* --- consistent read semantics --- *)
+
+let test_txn_level_snapshot () =
+  (* Repeatable read: a transaction-level snapshot ignores later commits. *)
+  let ctx = setup ~profile:P.innodb ~level:I.Repeatable_read () in
+  let reader = E.begin_txn ctx.eng ~client:0 in
+  let writer = E.begin_txn ctx.eng ~client:1 in
+  op ctx reader ~at:100 (read_req [ x ]) (expect_values "first read" [ 1 ]);
+  op ctx writer ~at:200 (E.Write [ (x, 50) ]) (expect_ok "write");
+  op ctx writer ~at:210 E.Commit (expect_ok "commit");
+  op ctx reader ~at:300 (read_req [ x ]) (expect_values "repeatable" [ 1 ]);
+  Sim.run ctx.sim
+
+let test_stmt_level_snapshot () =
+  (* Read committed: each statement sees the latest committed state. *)
+  let ctx = setup ~profile:P.innodb ~level:I.Read_committed () in
+  let reader = E.begin_txn ctx.eng ~client:0 in
+  let writer = E.begin_txn ctx.eng ~client:1 in
+  op ctx reader ~at:100 (read_req [ x ]) (expect_values "first read" [ 1 ]);
+  op ctx writer ~at:200 (E.Write [ (x, 50) ]) (expect_ok "write");
+  op ctx writer ~at:210 E.Commit (expect_ok "commit");
+  op ctx reader ~at:300 (read_req [ x ]) (expect_values "sees new" [ 50 ]);
+  Sim.run ctx.sim
+
+let test_own_writes_visible () =
+  let ctx = setup ~profile:P.postgresql ~level:I.Snapshot_isolation () in
+  let t = E.begin_txn ctx.eng ~client:0 in
+  op ctx t ~at:100 (E.Write [ (x, 9) ]) (expect_ok "write");
+  op ctx t ~at:110 (read_req [ x ]) (expect_values "own write" [ 9 ]);
+  Sim.run ctx.sim
+
+let test_no_dirty_read () =
+  let ctx = setup ~profile:P.postgresql ~level:I.Read_committed () in
+  let writer = E.begin_txn ctx.eng ~client:0 in
+  let reader = E.begin_txn ctx.eng ~client:1 in
+  op ctx writer ~at:100 (E.Write [ (x, 9) ]) (expect_ok "write");
+  op ctx reader ~at:200 (read_req [ x ]) (expect_values "no dirty read" [ 1 ]);
+  op ctx writer ~at:300 E.Commit (expect_ok "commit");
+  Sim.run ctx.sim
+
+let expect_abort_silent = function
+  | E.Err E.User_abort -> ()
+  | E.Ok_read _ | E.Ok_write | E.Ok_commit | E.Err _ ->
+    Alcotest.fail "expected user abort"
+
+let test_abort_discards () =
+  let ctx = setup ~profile:P.postgresql ~level:I.Read_committed () in
+  let writer = E.begin_txn ctx.eng ~client:0 in
+  let reader = E.begin_txn ctx.eng ~client:1 in
+  op ctx writer ~at:100 (E.Write [ (x, 9) ]) (expect_ok "write");
+  op ctx writer ~at:110 E.Abort expect_abort_silent;
+  op ctx reader ~at:200 (read_req [ x ]) (expect_values "rolled back" [ 1 ]);
+  Sim.run ctx.sim;
+  Alcotest.(check int) "no commits" 0 (E.commits ctx.eng)
+
+(* --- mutual exclusion --- *)
+
+let test_write_lock_blocks () =
+  let ctx = setup ~profile:P.postgresql ~level:I.Read_committed () in
+  let t1 = E.begin_txn ctx.eng ~client:0 in
+  let t2 = E.begin_txn ctx.eng ~client:1 in
+  let t2_done = ref (-1) in
+  op ctx t1 ~at:100 (E.Write [ (x, 5) ]) (expect_ok "t1 write");
+  op ctx t2 ~at:150 (E.Write [ (x, 6) ]) (fun r ->
+      expect_ok "t2 write" r;
+      t2_done := Sim.now ctx.sim);
+  op ctx t1 ~at:500 E.Commit (expect_ok "t1 commit");
+  Sim.run ctx.sim;
+  Alcotest.(check bool) "t2 waited for t1's commit" true (!t2_done >= 500)
+
+let test_deadlock_victim () =
+  let ctx = setup ~profile:P.postgresql ~level:I.Read_committed () in
+  let t1 = E.begin_txn ctx.eng ~client:0 in
+  let t2 = E.begin_txn ctx.eng ~client:1 in
+  let aborted = ref 0 in
+  let count = function
+    | E.Err E.Deadlock_victim -> incr aborted
+    | _ -> ()
+  in
+  op ctx t1 ~at:100 (E.Write [ (x, 5) ]) (expect_ok "t1 x");
+  op ctx t2 ~at:110 (E.Write [ (y, 6) ]) (expect_ok "t2 y");
+  op ctx t1 ~at:200 (E.Write [ (y, 7) ]) count;
+  op ctx t2 ~at:210 (E.Write [ (x, 8) ]) (fun r ->
+      count r;
+      (* whoever survives can commit *)
+      if r = E.Ok_write then
+        E.exec ctx.eng t2 ~op_id:99 E.Commit ~k:(expect_ok "t2 commit"));
+  Sim.run ctx.sim;
+  Alcotest.(check int) "one deadlock victim" 1 !aborted;
+  Alcotest.(check int) "deadlock counter" 1 (E.deadlocks ctx.eng)
+
+(* --- first updater wins --- *)
+
+let test_fuw_aborts_second_updater () =
+  let ctx = setup ~profile:P.postgresql ~level:I.Snapshot_isolation () in
+  let t1 = E.begin_txn ctx.eng ~client:0 in
+  let t2 = E.begin_txn ctx.eng ~client:1 in
+  (* both take their snapshot before either commits *)
+  op ctx t1 ~at:100 (read_req [ x ]) (expect_values "t1 snap" [ 1 ]);
+  op ctx t2 ~at:110 (read_req [ x ]) (expect_values "t2 snap" [ 1 ]);
+  op ctx t1 ~at:200 (E.Write [ (x, 5) ]) (expect_ok "t1 write");
+  op ctx t1 ~at:210 E.Commit (expect_ok "t1 commit");
+  op ctx t2 ~at:300 (E.Write [ (x, 6) ]) (expect_abort "t2 fuw");
+  Sim.run ctx.sim;
+  Alcotest.(check int) "fuw abort counted" 1
+    (E.aborts_by ctx.eng E.Fuw_conflict)
+
+let test_fuw_off_at_rc () =
+  let ctx = setup ~profile:P.postgresql ~level:I.Read_committed () in
+  let t1 = E.begin_txn ctx.eng ~client:0 in
+  let t2 = E.begin_txn ctx.eng ~client:1 in
+  op ctx t1 ~at:100 (read_req [ x ]) (expect_values "t1 snap" [ 1 ]);
+  op ctx t2 ~at:110 (read_req [ x ]) (expect_values "t2 snap" [ 1 ]);
+  op ctx t1 ~at:200 (E.Write [ (x, 5) ]) (expect_ok "t1 write");
+  op ctx t1 ~at:210 E.Commit (expect_ok "t1 commit");
+  op ctx t2 ~at:300 (E.Write [ (x, 6) ]) (expect_ok "t2 write allowed");
+  op ctx t2 ~at:400 E.Commit (expect_ok "t2 commit");
+  Sim.run ctx.sim
+
+(* --- SSI --- *)
+
+let test_ssi_aborts_write_skew () =
+  let ctx = setup ~profile:P.postgresql ~level:I.Serializable () in
+  let t1 = E.begin_txn ctx.eng ~client:0 in
+  let t2 = E.begin_txn ctx.eng ~client:1 in
+  let t2_commit = ref `Pending in
+  op ctx t1 ~at:100 (read_req [ x; y ]) (expect_values "t1 reads" [ 1; 2 ]);
+  op ctx t2 ~at:110 (read_req [ x; y ]) (expect_values "t2 reads" [ 1; 2 ]);
+  op ctx t1 ~at:200 (E.Write [ (x, 5) ]) (expect_ok "t1 writes x");
+  op ctx t2 ~at:210 (E.Write [ (y, 6) ]) (expect_ok "t2 writes y");
+  op ctx t1 ~at:300 E.Commit (expect_ok "t1 commits first");
+  op ctx t2 ~at:400 E.Commit (fun r ->
+      t2_commit := (match r with E.Ok_commit -> `Ok | _ -> `Aborted));
+  Sim.run ctx.sim;
+  Alcotest.(check bool) "write skew prevented" true (!t2_commit = `Aborted)
+
+let test_ssi_allows_serial () =
+  let ctx = setup ~profile:P.postgresql ~level:I.Serializable () in
+  let t1 = E.begin_txn ctx.eng ~client:0 in
+  op ctx t1 ~at:100 (read_req [ x; y ]) (expect_values "reads" [ 1; 2 ]);
+  op ctx t1 ~at:110 (E.Write [ (x, 5) ]) (expect_ok "write");
+  op ctx t1 ~at:120 E.Commit (expect_ok "commit");
+  let t2 = E.begin_txn ctx.eng ~client:1 in
+  op ctx t2 ~at:200 (read_req [ x; y ]) (expect_values "reads new" [ 5; 2 ]);
+  op ctx t2 ~at:210 (E.Write [ (y, 6) ]) (expect_ok "write");
+  op ctx t2 ~at:220 E.Commit (expect_ok "commit");
+  Sim.run ctx.sim;
+  Alcotest.(check int) "both committed" 2 (E.commits ctx.eng)
+
+(* --- MVTO (CockroachDB) --- *)
+
+let test_mvto_uncertainty_restart () =
+  let ctx = setup ~profile:P.cockroachdb ~level:I.Serializable () in
+  let old_txn = E.begin_txn ctx.eng ~client:0 in
+  let writer = E.begin_txn ctx.eng ~client:1 in
+  (* writer starts before the reader, commits after the reader began *)
+  op ctx writer ~at:50 (E.Write [ (x, 5) ]) (expect_ok "w writes");
+  op ctx old_txn ~at:100 (read_req [ y ]) (expect_values "r starts" [ 2 ]);
+  op ctx writer ~at:200 E.Commit (expect_ok "w commits");
+  op ctx old_txn ~at:300 (read_req [ x ]) (expect_abort "uncertainty restart");
+  Sim.run ctx.sim
+
+let test_mvto_write_too_late () =
+  let ctx = setup ~profile:P.cockroachdb ~level:I.Serializable () in
+  let old_txn = E.begin_txn ctx.eng ~client:0 in
+  let young = E.begin_txn ctx.eng ~client:1 in
+  op ctx old_txn ~at:100 (read_req [ y ]) (expect_values "old starts" [ 2 ]);
+  op ctx young ~at:150 (E.Write [ (x, 5) ]) (expect_ok "young writes");
+  op ctx young ~at:160 E.Commit (expect_ok "young commits");
+  op ctx old_txn ~at:300 (E.Write [ (x, 6) ]) (expect_abort "old write refused");
+  Sim.run ctx.sim
+
+(* --- OCC (FoundationDB) --- *)
+
+let test_occ_validation_abort () =
+  let ctx = setup ~profile:P.foundationdb ~level:I.Serializable () in
+  let t1 = E.begin_txn ctx.eng ~client:0 in
+  let t2 = E.begin_txn ctx.eng ~client:1 in
+  op ctx t1 ~at:100 (read_req [ x ]) (expect_values "t1 reads" [ 1 ]);
+  op ctx t2 ~at:150 (E.Write [ (x, 5) ]) (expect_ok "t2 writes");
+  op ctx t2 ~at:160 E.Commit (expect_ok "t2 commits");
+  op ctx t1 ~at:200 (E.Write [ (y, 6) ]) (expect_ok "t1 writes");
+  op ctx t1 ~at:300 E.Commit (expect_abort "t1 validation fails");
+  Sim.run ctx.sim
+
+let test_occ_clean_commit () =
+  let ctx = setup ~profile:P.foundationdb ~level:I.Serializable () in
+  let t1 = E.begin_txn ctx.eng ~client:0 in
+  op ctx t1 ~at:100 (read_req [ x ]) (expect_values "reads" [ 1 ]);
+  op ctx t1 ~at:110 (E.Write [ (y, 6) ]) (expect_ok "writes");
+  op ctx t1 ~at:120 E.Commit (expect_ok "commits");
+  Sim.run ctx.sim
+
+(* --- fault injection unit checks --- *)
+
+let test_fault_stale_read () =
+  let ctx =
+    setup ~faults:[ F.Stale_read ] ~profile:P.innodb ~level:I.Repeatable_read ()
+  in
+  let w = E.begin_txn ctx.eng ~client:0 in
+  op ctx w ~at:100 (E.Write [ (x, 5) ]) (expect_ok "w");
+  op ctx w ~at:110 E.Commit (expect_ok "c");
+  let r = E.begin_txn ctx.eng ~client:1 in
+  op ctx r ~at:200 (read_req [ x ]) (expect_values "stale value" [ 1 ]);
+  Sim.run ctx.sim
+
+let test_fault_dirty_read () =
+  let ctx =
+    setup ~faults:[ F.Dirty_read ] ~profile:P.innodb ~level:I.Repeatable_read ()
+  in
+  let w = E.begin_txn ctx.eng ~client:0 in
+  let r = E.begin_txn ctx.eng ~client:1 in
+  op ctx w ~at:100 (E.Write [ (x, 5) ]) (expect_ok "w");
+  op ctx r ~at:200 (read_req [ x ]) (expect_values "dirty value" [ 5 ]);
+  op ctx w ~at:300 E.Commit (expect_ok "c");
+  Sim.run ctx.sim
+
+let test_fault_ignore_own_writes () =
+  let ctx =
+    setup
+      ~faults:[ F.Ignore_own_writes ]
+      ~profile:P.innodb ~level:I.Repeatable_read ()
+  in
+  let t = E.begin_txn ctx.eng ~client:0 in
+  op ctx t ~at:100 (E.Write [ (x, 5) ]) (expect_ok "w");
+  op ctx t ~at:110 (read_req [ x ]) (expect_values "misses own write" [ 1 ]);
+  Sim.run ctx.sim
+
+let test_fault_read_two_versions () =
+  let ctx =
+    setup
+      ~faults:[ F.Read_two_versions ]
+      ~profile:P.innodb ~level:I.Repeatable_read ()
+  in
+  let t = E.begin_txn ctx.eng ~client:0 in
+  op ctx t ~at:100 (E.Write [ (x, 5) ]) (expect_ok "w");
+  op ctx t ~at:110 (read_req [ x ]) (fun r ->
+      match r with
+      | E.Ok_read items ->
+        Alcotest.(check int) "two items for one cell" 2 (List.length items)
+      | _ -> Alcotest.fail "read failed");
+  Sim.run ctx.sim
+
+let test_fault_no_lock_on_noop () =
+  let ctx =
+    setup
+      ~faults:[ F.No_lock_on_noop_update ]
+      ~profile:P.innodb ~level:I.Repeatable_read ()
+  in
+  let t1 = E.begin_txn ctx.eng ~client:0 in
+  let t2 = E.begin_txn ctx.eng ~client:1 in
+  let t2_done = ref (-1) in
+  (* both write the current value: no lock is taken, t2 does not wait *)
+  op ctx t1 ~at:100 (E.Write [ (x, 1) ]) (expect_ok "t1 noop write");
+  op ctx t2 ~at:150 (E.Write [ (x, 1) ]) (fun r ->
+      expect_ok "t2 noop write" r;
+      t2_done := Sim.now ctx.sim);
+  op ctx t1 ~at:500 E.Commit (expect_ok "t1 commit");
+  Sim.run ctx.sim;
+  Alcotest.(check bool) "t2 did not wait (dirty write)" true
+    (!t2_done < 500 && !t2_done >= 0)
+
+let test_fault_early_lock_release () =
+  let ctx =
+    setup
+      ~faults:[ F.Early_lock_release ]
+      ~profile:P.innodb ~level:I.Repeatable_read ()
+  in
+  let t1 = E.begin_txn ctx.eng ~client:0 in
+  let t2 = E.begin_txn ctx.eng ~client:1 in
+  let t2_done = ref (-1) in
+  op ctx t1 ~at:100 (E.Write [ (x, 5) ]) (expect_ok "t1 write");
+  op ctx t2 ~at:150 (E.Write [ (x, 6) ]) (fun r ->
+      expect_ok "t2 write" r;
+      t2_done := Sim.now ctx.sim);
+  op ctx t1 ~at:500 E.Commit (expect_ok "t1 commit");
+  Sim.run ctx.sim;
+  Alcotest.(check bool) "lock released early" true
+    (!t2_done < 500 && !t2_done >= 0)
+
+let test_fault_partial_commit () =
+  let ctx =
+    setup ~faults:[ F.Partial_commit ] ~profile:P.innodb
+      ~level:I.Repeatable_read ()
+  in
+  let w = E.begin_txn ctx.eng ~client:0 in
+  op ctx w ~at:100 (E.Write [ (x, 5); (y, 6) ]) (expect_ok "w");
+  op ctx w ~at:110 E.Commit (expect_ok "c");
+  let r = E.begin_txn ctx.eng ~client:1 in
+  op ctx r ~at:200 (read_req [ x; y ]) (expect_values "prefix only" [ 5; 2 ]);
+  Sim.run ctx.sim
+
+let test_fault_delayed_visibility () =
+  let ctx =
+    setup
+      ~faults:[ F.Delayed_visibility ]
+      ~profile:P.innodb ~level:I.Read_committed ()
+  in
+  let w = E.begin_txn ctx.eng ~client:0 in
+  op ctx w ~at:100 (E.Write [ (x, 5) ]) (expect_ok "w");
+  op ctx w ~at:110 E.Commit (expect_ok "c");
+  let r1 = E.begin_txn ctx.eng ~client:1 in
+  op ctx r1 ~at:200 (read_req [ x ]) (expect_values "invisible yet" [ 1 ]);
+  let r2 = E.begin_txn ctx.eng ~client:2 in
+  op ctx r2 ~at:20_000_000 (read_req [ x ]) (expect_values "visible later" [ 5 ]);
+  Sim.run ctx.sim
+
+let test_fault_no_fuw () =
+  let ctx =
+    setup ~faults:[ F.No_fuw ] ~profile:P.postgresql
+      ~level:I.Snapshot_isolation ()
+  in
+  let t1 = E.begin_txn ctx.eng ~client:0 in
+  let t2 = E.begin_txn ctx.eng ~client:1 in
+  op ctx t1 ~at:100 (read_req [ x ]) (expect_values "t1 snap" [ 1 ]);
+  op ctx t2 ~at:110 (read_req [ x ]) (expect_values "t2 snap" [ 1 ]);
+  op ctx t1 ~at:200 (E.Write [ (x, 5) ]) (expect_ok "t1 write");
+  op ctx t1 ~at:210 E.Commit (expect_ok "t1 commit");
+  op ctx t2 ~at:300 (E.Write [ (x, 6) ]) (expect_ok "lost update admitted");
+  op ctx t2 ~at:400 E.Commit (expect_ok "t2 commit");
+  Sim.run ctx.sim;
+  Alcotest.(check int) "both committed" 2 (E.commits ctx.eng)
+
+(* --- ground truth --- *)
+
+let test_ground_truth_deps () =
+  let ctx = setup ~profile:P.postgresql ~level:I.Read_committed () in
+  let t1 = E.begin_txn ctx.eng ~client:0 in
+  let t2 = E.begin_txn ctx.eng ~client:1 in
+  let t3 = E.begin_txn ctx.eng ~client:2 in
+  (* t1 installs x=5; t2 reads it; t3 overwrites it. *)
+  op ctx t1 ~at:100 (E.Write [ (x, 5) ]) (expect_ok "t1 w");
+  op ctx t1 ~at:110 E.Commit (expect_ok "t1 c");
+  op ctx t2 ~at:200 (read_req [ x ]) (expect_values "t2 r" [ 5 ]);
+  op ctx t2 ~at:210 E.Commit (expect_ok "t2 c");
+  op ctx t3 ~at:300 (E.Write [ (x, 7) ]) (expect_ok "t3 w");
+  op ctx t3 ~at:310 E.Commit (expect_ok "t3 c");
+  Sim.run ctx.sim;
+  let deps =
+    Minidb.Ground_truth.deps (E.ground_truth ctx.eng)
+      ~committed:(E.committed ctx.eng)
+  in
+  let has kind from_txn to_txn =
+    List.exists
+      (fun (d : Minidb.Ground_truth.dep) ->
+        d.kind = kind
+        && d.from_txn = E.txn_id from_txn
+        && d.to_txn = E.txn_id to_txn)
+      deps
+  in
+  Alcotest.(check bool) "wr t1->t2" true (has Minidb.Ground_truth.Wr t1 t2);
+  Alcotest.(check bool) "ww t1->t3" true (has Minidb.Ground_truth.Ww t1 t3);
+  Alcotest.(check bool) "rw t2->t3" true (has Minidb.Ground_truth.Rw t2 t3);
+  Alcotest.(check int) "exactly three deps" 3 (List.length deps)
+
+let test_abort_wakes_waiters () =
+  (* a user rollback releases locks and unblocks the queue *)
+  let ctx = setup ~profile:P.postgresql ~level:I.Read_committed () in
+  let t1 = E.begin_txn ctx.eng ~client:0 in
+  let t2 = E.begin_txn ctx.eng ~client:1 in
+  let t2_done = ref (-1) in
+  op ctx t1 ~at:100 (E.Write [ (x, 5) ]) (expect_ok "t1 write");
+  op ctx t2 ~at:150 (E.Write [ (x, 6) ]) (fun r ->
+      expect_ok "t2 write" r;
+      t2_done := Sim.now ctx.sim);
+  op ctx t1 ~at:300 E.Abort expect_abort_silent;
+  Sim.run ctx.sim;
+  Alcotest.(check bool) "t2 granted at abort" true (!t2_done >= 300)
+
+let test_predicate_fault_scope () =
+  (* the predicate-read fault must not affect plain locking reads *)
+  let ctx =
+    setup
+      ~faults:[ F.Predicate_read_ignores_locks ]
+      ~profile:P.postgresql ~level:I.Read_committed ()
+  in
+  let t1 = E.begin_txn ctx.eng ~client:0 in
+  let t2 = E.begin_txn ctx.eng ~client:1 in
+  let t2_done = ref (-1) in
+  op ctx t1 ~at:100 (E.Write [ (x, 5) ]) (expect_ok "t1 write");
+  (* plain FOR UPDATE read still honours the lock... *)
+  op ctx t2 ~at:150
+    (read_req ~locking:true [ x ])
+    (fun r ->
+      (match r with
+      | E.Ok_read _ -> ()
+      | _ -> Alcotest.fail "read failed");
+      t2_done := Sim.now ctx.sim);
+  op ctx t1 ~at:400 E.Commit (expect_ok "t1 commit");
+  Sim.run ctx.sim;
+  Alcotest.(check bool) "plain locking read waited" true (!t2_done >= 400);
+  (* ...while a predicate FOR UPDATE read slips through *)
+  let t3 = E.begin_txn ctx.eng ~client:2 in
+  let t4 = E.begin_txn ctx.eng ~client:3 in
+  let t4_done = ref (-1) in
+  op ctx t3 ~at:1_000 (E.Write [ (x, 7) ]) (expect_ok "t3 write");
+  op ctx t4 ~at:1_050
+    (read_req ~locking:true ~predicate:true [ x ])
+    (fun _ -> t4_done := Sim.now ctx.sim);
+  op ctx t3 ~at:2_000 E.Commit (expect_ok "t3 commit");
+  Sim.run ctx.sim;
+  Alcotest.(check bool) "predicate read did not wait (fault)" true
+    (!t4_done >= 0 && !t4_done < 2_000)
+
+let test_mvto_registers_read_ts () =
+  (* after an older reader, a younger writer of the same row aborts *)
+  let ctx = setup ~profile:P.cockroachdb ~level:I.Serializable () in
+  let reader = E.begin_txn ctx.eng ~client:0 in
+  let writer = E.begin_txn ctx.eng ~client:1 in
+  op ctx writer ~at:50 (read_req [ y ]) (expect_values "writer starts" [ 2 ]);
+  op ctx reader ~at:100 (read_req [ x ]) (expect_values "read" [ 1 ]);
+  op ctx writer ~at:200 (E.Write [ (x, 9) ]) (expect_abort "older writer loses");
+  Sim.run ctx.sim
+
+let test_table_locks_serialize () =
+  (* SQLite locks whole tables: a write to a different row of the same
+     table still waits *)
+  let ctx =
+    setup ~profile:P.sqlite ~level:I.Serializable
+      ~load:[ (x, 1); (y, 2) ] ()
+  in
+  (* x = (0,0,0) and y = (0,1,0) share table 0 *)
+  let t1 = E.begin_txn ctx.eng ~client:0 in
+  let t2 = E.begin_txn ctx.eng ~client:1 in
+  let t2_done = ref (-1) in
+  op ctx t1 ~at:100 (E.Write [ (x, 5) ]) (expect_ok "t1 writes row 0");
+  op ctx t2 ~at:150 (E.Write [ (y, 6) ]) (fun r ->
+      expect_ok "t2 writes row 1" r;
+      t2_done := Sim.now ctx.sim);
+  op ctx t1 ~at:500 E.Commit (expect_ok "t1 commit");
+  Sim.run ctx.sim;
+  Alcotest.(check bool) "t2 waited for the table lock" true (!t2_done >= 500)
+
+let test_table_locks_tables_independent () =
+  let other = Leopard_trace.Cell.make ~table:5 ~row:0 ~col:0 in
+  let ctx =
+    setup ~profile:P.sqlite ~level:I.Serializable
+      ~load:[ (x, 1); (other, 2) ] ()
+  in
+  let t1 = E.begin_txn ctx.eng ~client:0 in
+  let t2 = E.begin_txn ctx.eng ~client:1 in
+  let t2_done = ref (-1) in
+  op ctx t1 ~at:100 (E.Write [ (x, 5) ]) (expect_ok "t1 writes table 0");
+  op ctx t2 ~at:150 (E.Write [ (other, 6) ]) (fun r ->
+      expect_ok "t2 writes table 5" r;
+      t2_done := Sim.now ctx.sim);
+  op ctx t1 ~at:500 E.Commit (expect_ok "t1 commit");
+  Sim.run ctx.sim;
+  Alcotest.(check bool) "different tables do not conflict" true
+    (!t2_done < 500 && !t2_done >= 0)
+
+let test_profile_validation () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "unsupported level"
+    (Invalid_argument "Engine.create: profile cockroachdb does not support RC")
+    (fun () ->
+      ignore
+        (E.create sim ~profile:P.cockroachdb ~level:I.Read_committed
+           ~faults:F.Set.empty))
+
+let test_fig1_matrix_renders () =
+  let s = Minidb.Profile.fig1_matrix () in
+  Alcotest.(check bool) "mentions postgresql" true
+    (String.length s > 100)
+
+let suite =
+  [
+    Alcotest.test_case "txn-level snapshot (RR)" `Quick test_txn_level_snapshot;
+    Alcotest.test_case "stmt-level snapshot (RC)" `Quick test_stmt_level_snapshot;
+    Alcotest.test_case "own writes visible" `Quick test_own_writes_visible;
+    Alcotest.test_case "no dirty read" `Quick test_no_dirty_read;
+    Alcotest.test_case "abort discards" `Quick test_abort_discards;
+    Alcotest.test_case "write lock blocks" `Quick test_write_lock_blocks;
+    Alcotest.test_case "deadlock victim" `Quick test_deadlock_victim;
+    Alcotest.test_case "FUW aborts second updater" `Quick
+      test_fuw_aborts_second_updater;
+    Alcotest.test_case "no FUW at read committed" `Quick test_fuw_off_at_rc;
+    Alcotest.test_case "SSI aborts write skew" `Quick test_ssi_aborts_write_skew;
+    Alcotest.test_case "SSI allows serial history" `Quick test_ssi_allows_serial;
+    Alcotest.test_case "MVTO uncertainty restart" `Quick
+      test_mvto_uncertainty_restart;
+    Alcotest.test_case "MVTO refuses late write" `Quick test_mvto_write_too_late;
+    Alcotest.test_case "OCC validation abort" `Quick test_occ_validation_abort;
+    Alcotest.test_case "OCC clean commit" `Quick test_occ_clean_commit;
+    Alcotest.test_case "fault: stale read" `Quick test_fault_stale_read;
+    Alcotest.test_case "fault: dirty read" `Quick test_fault_dirty_read;
+    Alcotest.test_case "fault: ignore own writes" `Quick
+      test_fault_ignore_own_writes;
+    Alcotest.test_case "fault: read two versions" `Quick
+      test_fault_read_two_versions;
+    Alcotest.test_case "fault: no lock on noop update" `Quick
+      test_fault_no_lock_on_noop;
+    Alcotest.test_case "fault: early lock release" `Quick
+      test_fault_early_lock_release;
+    Alcotest.test_case "fault: partial commit" `Quick test_fault_partial_commit;
+    Alcotest.test_case "fault: delayed visibility" `Quick
+      test_fault_delayed_visibility;
+    Alcotest.test_case "fault: no FUW" `Quick test_fault_no_fuw;
+    Alcotest.test_case "ground truth deps" `Quick test_ground_truth_deps;
+    Alcotest.test_case "abort wakes waiters" `Quick test_abort_wakes_waiters;
+    Alcotest.test_case "predicate fault scope" `Quick test_predicate_fault_scope;
+    Alcotest.test_case "MVTO registers read timestamps" `Quick
+      test_mvto_registers_read_ts;
+    Alcotest.test_case "table locks serialize a table" `Quick
+      test_table_locks_serialize;
+    Alcotest.test_case "table locks: tables independent" `Quick
+      test_table_locks_tables_independent;
+    Alcotest.test_case "profile validation" `Quick test_profile_validation;
+    Alcotest.test_case "Fig.1 matrix renders" `Quick test_fig1_matrix_renders;
+  ]

@@ -1,0 +1,111 @@
+module Fuw = Leopard.Fuw_verifier
+module Interval = Leopard_util.Interval
+
+let iv = Helpers.iv
+
+let entry ~txn ~snapshot ~commit =
+  { Fuw.ftxn = txn; snapshot_iv = snapshot; commit_iv = commit }
+
+(* Fig. 8(a): both snapshots precede both commits -> concurrent updaters
+   both committed -> violation. *)
+let test_fig8a_violation () =
+  let t0 = entry ~txn:0 ~snapshot:(iv 20 30) ~commit:(iv 100 110) in
+  let t1 = entry ~txn:1 ~snapshot:(iv 0 10) ~commit:(iv 60 70) in
+  Alcotest.(check bool) "violation" true
+    (Fuw.judge ~a:t0 ~b:t1 = Fuw.Violation)
+
+(* Fig. 8(b): exactly one serial order feasible -> ww. *)
+let test_fig8b_ww () =
+  let t0 = entry ~txn:0 ~snapshot:(iv 0 10) ~commit:(iv 20 35) in
+  let t1 = entry ~txn:1 ~snapshot:(iv 30 40) ~commit:(iv 50 60) in
+  match Fuw.judge ~a:t0 ~b:t1 with
+  | Fuw.Ww (0, 1) -> ()
+  | _ -> Alcotest.fail "expected ww 0->1"
+
+let test_disjoint_direct () =
+  let t0 = entry ~txn:0 ~snapshot:(iv 0 5) ~commit:(iv 10 15) in
+  let t1 = entry ~txn:1 ~snapshot:(iv 20 25) ~commit:(iv 30 35) in
+  match Fuw.judge ~a:t0 ~b:t1 with
+  | Fuw.Ww (0, 1) -> ()
+  | _ -> Alcotest.fail "expected direct ww"
+
+let prop_theorem4 =
+  let gen =
+    QCheck.Gen.(
+      let wf =
+        map
+          (fun (a, b, c, d) ->
+            let xs = List.sort compare [ a; b; c; d ] in
+            match xs with
+            | [ p; q; r; s ] -> (iv p (q + 1), iv (q + 1 + r) (q + 2 + r + s))
+            | _ -> assert false)
+          (quad (int_bound 100) (int_bound 100) (int_bound 100) (int_bound 100))
+      in
+      pair wf wf)
+  in
+  QCheck.Test.make ~name:"theorem 4: never unordered" ~count:1000
+    (QCheck.make gen) (fun ((s0, c0), (s1, c1)) ->
+      let e0 = entry ~txn:0 ~snapshot:s0 ~commit:c0 in
+      let e1 = entry ~txn:1 ~snapshot:s1 ~commit:c1 in
+      Fuw.judge ~a:e0 ~b:e1 <> Fuw.Unordered)
+
+let prop_violation_certain =
+  QCheck.Test.make ~name:"FUW violation means certain concurrency" ~count:500
+    QCheck.(
+      quad (int_bound 50) (int_bound 50) (int_bound 50) (int_bound 50))
+    (fun (a, b, c, d) ->
+      let s0 = iv a (a + b + 1) and c0 = iv (a + b + 1) (a + b + c + 2) in
+      let s1 = iv c (c + d + 1) and c1 = iv (c + d + 1) (c + d + a + 2) in
+      let e0 = entry ~txn:0 ~snapshot:s0 ~commit:c0 in
+      let e1 = entry ~txn:1 ~snapshot:s1 ~commit:c1 in
+      match Fuw.judge ~a:e0 ~b:e1 with
+      | Fuw.Violation ->
+        Interval.bef c0 >= Interval.aft s1 && Interval.bef c1 >= Interval.aft s0
+      | Fuw.Ww _ | Fuw.Unordered -> true)
+
+let row = (0, 0)
+
+let test_register_pairs () =
+  let t = Fuw.create () in
+  let verdicts = ref [] in
+  let on_pair ~row:_ ~other:_ v = verdicts := v :: !verdicts in
+  Fuw.register t ~row
+    (entry ~txn:1 ~snapshot:(iv 0 5) ~commit:(iv 10 15))
+    ~on_pair;
+  Alcotest.(check int) "first registration silent" 0 (List.length !verdicts);
+  Fuw.register t ~row
+    (entry ~txn:2 ~snapshot:(iv 20 25) ~commit:(iv 30 35))
+    ~on_pair;
+  (match !verdicts with
+  | [ Fuw.Ww (1, 2) ] -> ()
+  | _ -> Alcotest.fail "expected ww 1->2");
+  (* a third concurrent updater conflicts with both *)
+  Fuw.register t ~row
+    (entry ~txn:3 ~snapshot:(iv 1 4) ~commit:(iv 40 45))
+    ~on_pair;
+  let violations =
+    List.filter (fun v -> v = Fuw.Violation) !verdicts
+  in
+  Alcotest.(check int) "txn3 concurrent with both earlier updaters" 2
+    (List.length violations)
+
+let test_prune () =
+  let t = Fuw.create () in
+  let on_pair ~row:_ ~other:_ _ = () in
+  Fuw.register t ~row (entry ~txn:1 ~snapshot:(iv 0 5) ~commit:(iv 10 15)) ~on_pair;
+  Fuw.register t ~row (entry ~txn:2 ~snapshot:(iv 20 25) ~commit:(iv 30 35)) ~on_pair;
+  Alcotest.(check int) "two entries" 2 (Fuw.live_entries t);
+  let dropped = Fuw.prune t ~horizon:20 in
+  Alcotest.(check int) "old entry dropped" 1 dropped;
+  Alcotest.(check int) "recent kept" 1 (Fuw.live_entries t)
+
+let suite =
+  [
+    Alcotest.test_case "Fig.8a violation" `Quick test_fig8a_violation;
+    Alcotest.test_case "Fig.8b ww deduction" `Quick test_fig8b_ww;
+    Alcotest.test_case "disjoint direct order" `Quick test_disjoint_direct;
+    Helpers.qtest prop_theorem4;
+    Helpers.qtest prop_violation_certain;
+    Alcotest.test_case "register evaluates pairs" `Quick test_register_pairs;
+    Alcotest.test_case "prune" `Quick test_prune;
+  ]

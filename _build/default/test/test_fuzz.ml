@@ -1,0 +1,130 @@
+(* Robustness fuzzing: arbitrary well-formed trace soups must never crash
+   the checker, whatever profile runs, and its counters must stay
+   consistent.  (Soundness on *plausible* histories is covered by the
+   integration suite; this is about total functions on hostile input.) *)
+
+module Trace = Leopard_trace.Trace
+
+let gen_soup =
+  QCheck.Gen.(
+    let cell =
+      map2
+        (fun r c -> Leopard_trace.Cell.make ~table:0 ~row:r ~col:c)
+        (int_bound 5) (int_bound 1)
+    in
+    let item = map2 (fun c v -> (c, v)) cell (int_bound 6) in
+    (* a pool of transactions, each with a monotone local time cursor *)
+    list_size (0 -- 120)
+      (pair (int_bound 7) (pair (int_bound 3) (list_size (1 -- 3) item))))
+
+let build_traces ops =
+  (* assign monotone interval starts globally; ops of one txn stay in
+     order AND sequential (a real client only issues the next call after
+     the previous reply); terminal state tracked so a txn never acts
+     after ending *)
+  let time = ref 0 in
+  let ended = Hashtbl.create 8 in
+  let last_aft = Hashtbl.create 8 in
+  let acc = ref [] in
+  List.iter
+    (fun (txn, (kind, items)) ->
+      if not (Hashtbl.mem ended txn) then begin
+        time := !time + 1 + (txn mod 3);
+        let bef =
+          max !time (1 + Option.value ~default:0 (Hashtbl.find_opt last_aft txn))
+        in
+        let aft = bef + 1 + ((txn * 7) mod 5) in
+        Hashtbl.replace last_aft txn aft;
+        time := max !time bef;
+        let payload =
+          match kind with
+          | 0 ->
+            Trace.Read
+              {
+                items =
+                  List.map (fun (cell, value) -> { Trace.cell; value }) items;
+                locking = txn mod 2 = 0;
+              }
+          | 1 ->
+            Trace.Write
+              (List.map (fun (cell, value) -> { Trace.cell; value }) items)
+          | 2 ->
+            Hashtbl.replace ended txn ();
+            Trace.Commit
+          | _ ->
+            Hashtbl.replace ended txn ();
+            Trace.Abort
+        in
+        acc := { Trace.ts_bef = bef; ts_aft = aft; txn; client = txn; payload } :: !acc
+      end)
+    ops;
+  List.rev !acc
+
+let profiles =
+  [
+    Leopard.Il_profile.postgresql_serializable;
+    Leopard.Il_profile.postgresql_rc;
+    Leopard.Il_profile.innodb_serializable;
+    Leopard.Il_profile.tidb_rr;
+    Leopard.Il_profile.cockroachdb_serializable;
+    Leopard.Il_profile.sqlite_serializable;
+    Leopard.Il_profile.foundationdb_serializable;
+  ]
+
+let prop_no_crash =
+  QCheck.Test.make ~name:"checker total on arbitrary histories" ~count:300
+    (QCheck.make gen_soup)
+    (fun ops ->
+      let traces = build_traces ops in
+      List.for_all
+        (fun profile ->
+          let checker = Leopard.Checker.create ~gc_every:7 profile in
+          List.iter (Leopard.Checker.feed checker) traces;
+          Leopard.Checker.finalize checker;
+          let r = Leopard.Checker.report checker in
+          r.traces = List.length traces
+          && r.bugs_total >= List.length r.bugs
+          && r.committed + r.aborted
+             <= List.length (List.filter Trace.is_terminal traces)
+          && r.final_live >= 0
+          && r.peak_live >= r.final_live)
+        profiles)
+
+let prop_gc_invariant_verdicts =
+  QCheck.Test.make ~name:"gc cadence never changes verdicts" ~count:150
+    (QCheck.make gen_soup)
+    (fun ops ->
+      let traces = build_traces ops in
+      let bugs gc_every =
+        let checker =
+          Leopard.Checker.create ~gc_every
+            Leopard.Il_profile.postgresql_serializable
+        in
+        List.iter (Leopard.Checker.feed checker) traces;
+        Leopard.Checker.finalize checker;
+        (Leopard.Checker.report checker).bugs_total
+      in
+      bugs 0 = bugs 1 && bugs 0 = bugs 13)
+
+let prop_codec_roundtrip_soup =
+  QCheck.Test.make ~name:"codec roundtrips fuzzed histories" ~count:200
+    (QCheck.make gen_soup)
+    (fun ops ->
+      let traces = build_traces ops in
+      let lines = List.map Leopard_trace.Codec.to_line traces in
+      let decoded =
+        List.map
+          (fun l ->
+            match Leopard_trace.Codec.of_line l with
+            | Ok (Some t) -> t
+            | Ok None | Error _ -> raise Exit)
+          lines
+      in
+      List.map Trace.to_string decoded = List.map Trace.to_string traces)
+
+let suite =
+  [
+    Helpers.qtest prop_no_crash;
+    Helpers.qtest prop_gc_invariant_verdicts;
+    Helpers.qtest prop_codec_roundtrip_soup;
+  ]

@@ -1,0 +1,108 @@
+module Gt = Minidb.Ground_truth
+
+let x = Helpers.cell 0
+let x2 = Helpers.cell ~col:1 0  (* same row, different column *)
+let row = (0, 0)
+
+let all_committed _ = true
+
+let test_cell_ww_chain () =
+  let t = Gt.create () in
+  Gt.record_cell_install t x ~txn:1 ~op:10;
+  Gt.record_cell_install t x ~txn:2 ~op:20;
+  Gt.record_cell_install t x ~txn:3 ~op:30;
+  let deps = Gt.deps t ~committed:all_committed in
+  let ww =
+    List.filter (fun (d : Gt.dep) -> d.kind = Gt.Ww) deps
+    |> List.map (fun (d : Gt.dep) -> (d.from_txn, d.to_txn))
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair int int))) "consecutive ww" [ (1, 2); (2, 3) ] ww
+
+let test_wr_and_rw () =
+  let t = Gt.create () in
+  Gt.record_cell_install t x ~txn:1 ~op:10;
+  Gt.record_read t x ~reader:2 ~op:20 ~seen_writer:1 ~seen_op:10;
+  Gt.record_cell_install t x ~txn:3 ~op:30;
+  let deps = Gt.deps t ~committed:all_committed in
+  let has kind from_txn to_txn =
+    List.exists
+      (fun (d : Gt.dep) ->
+        d.kind = kind && d.from_txn = from_txn && d.to_txn = to_txn)
+      deps
+  in
+  Alcotest.(check bool) "wr 1->2" true (has Gt.Wr 1 2);
+  Alcotest.(check bool) "rw 2->3" true (has Gt.Rw 2 3);
+  Alcotest.(check bool) "ww 1->3" true (has Gt.Ww 1 3)
+
+let test_initial_read_rw () =
+  let t = Gt.create () in
+  Gt.record_read t x ~reader:2 ~op:20 ~seen_writer:(-1) ~seen_op:(-1);
+  Gt.record_cell_install t x ~txn:3 ~op:30;
+  let deps = Gt.deps t ~committed:all_committed in
+  Alcotest.(check bool) "rw from initial reader" true
+    (List.exists
+       (fun (d : Gt.dep) -> d.kind = Gt.Rw && d.from_txn = 2 && d.to_txn = 3)
+       deps);
+  (* no wr to the untraced initial writer *)
+  Alcotest.(check bool) "no wr from initial" true
+    (not (List.exists (fun (d : Gt.dep) -> d.kind = Gt.Wr) deps))
+
+let test_row_only_flag () =
+  let t = Gt.create () in
+  (* txn 1 and 2 write different columns of the same row *)
+  Gt.record_cell_install t x ~txn:1 ~op:10;
+  Gt.record_row_install t row ~txn:1 ~op:10;
+  Gt.record_cell_install t x2 ~txn:2 ~op:20;
+  Gt.record_row_install t row ~txn:2 ~op:20;
+  let deps = Gt.deps t ~committed:all_committed in
+  (match
+     List.find_opt
+       (fun (d : Gt.dep) -> d.kind = Gt.Ww && d.from_txn = 1 && d.to_txn = 2)
+       deps
+   with
+  | Some d -> Alcotest.(check bool) "row-only conflict" true d.Gt.row_only
+  | None -> Alcotest.fail "expected row-level ww")
+
+let test_cell_witness_supersedes_row_only () =
+  let t = Gt.create () in
+  (* both write the SAME cell and the row *)
+  Gt.record_cell_install t x ~txn:1 ~op:10;
+  Gt.record_row_install t row ~txn:1 ~op:10;
+  Gt.record_cell_install t x ~txn:2 ~op:20;
+  Gt.record_row_install t row ~txn:2 ~op:20;
+  let deps = Gt.deps t ~committed:all_committed in
+  let ww =
+    List.filter
+      (fun (d : Gt.dep) -> d.kind = Gt.Ww && d.from_txn = 1 && d.to_txn = 2)
+      deps
+  in
+  Alcotest.(check int) "deduplicated" 1 (List.length ww);
+  Alcotest.(check bool) "cell witness wins" false
+    (List.hd ww).Gt.row_only
+
+let test_committed_filter () =
+  let t = Gt.create () in
+  Gt.record_cell_install t x ~txn:1 ~op:10;
+  Gt.record_cell_install t x ~txn:2 ~op:20;
+  let deps = Gt.deps t ~committed:(fun id -> id <> 2) in
+  Alcotest.(check int) "uncommitted endpoint excluded" 0 (List.length deps)
+
+let test_self_deps_excluded () =
+  let t = Gt.create () in
+  Gt.record_cell_install t x ~txn:1 ~op:10;
+  Gt.record_read t x ~reader:1 ~op:11 ~seen_writer:1 ~seen_op:10;
+  Alcotest.(check int) "no self edges" 0
+    (List.length (Gt.deps t ~committed:all_committed))
+
+let suite =
+  [
+    Alcotest.test_case "cell ww chain" `Quick test_cell_ww_chain;
+    Alcotest.test_case "wr and rw" `Quick test_wr_and_rw;
+    Alcotest.test_case "rw from initial read" `Quick test_initial_read_rw;
+    Alcotest.test_case "row-only flag" `Quick test_row_only_flag;
+    Alcotest.test_case "cell witness supersedes row-only" `Quick
+      test_cell_witness_supersedes_row_only;
+    Alcotest.test_case "committed filter" `Quick test_committed_filter;
+    Alcotest.test_case "self deps excluded" `Quick test_self_deps_excluded;
+  ]

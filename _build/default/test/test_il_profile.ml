@@ -1,0 +1,79 @@
+module Il = Leopard.Il_profile
+
+let test_find () =
+  Alcotest.(check bool) "finds SR" true (Il.find "postgresql/SR" <> None);
+  Alcotest.(check bool) "finds table-lock profile" true
+    (Il.find "sqlite/SR" <> None);
+  Alcotest.(check bool) "rejects unknown" true (Il.find "mysql/XX" = None)
+
+let test_names_unique () =
+  let names = List.map (fun (p : Il.t) -> p.name) Il.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_rr_is_si () =
+  let rr = Option.get (Il.find "postgresql/RR") in
+  let si = Option.get (Il.find "postgresql/SI") in
+  Alcotest.(check bool) "same mechanisms" true
+    (rr.check_me = si.check_me && rr.check_cr = si.check_cr
+    && rr.check_fuw = si.check_fuw && rr.check_sc = si.check_sc)
+
+let test_sqlite_table_locks () =
+  let p = Option.get (Il.find "sqlite/SR") in
+  Alcotest.(check bool) "table granularity" true
+    (p.lock_granularity = Il.Table_locks);
+  Alcotest.(check bool) "no CR" true (p.check_cr = None)
+
+let test_engine_verifier_agreement () =
+  (* every verifier profile name corresponds to an engine (profile, level)
+     that actually exists, and their mechanism sets agree where they
+     should *)
+  List.iter
+    (fun (p : Il.t) ->
+      match String.split_on_char '/' p.name with
+      | [ dbms; level_s ] ->
+        let engine = Option.get (Minidb.Profile.find dbms) in
+        (match Minidb.Isolation.level_of_string level_s with
+        | Some level when Minidb.Profile.supports engine level ->
+          let m = Minidb.Profile.mechanisms engine level in
+          Alcotest.(check bool)
+            (p.name ^ ": ME agreement")
+            true
+            (p.check_me = (m.Minidb.Isolation.me_writes || m.me_reads));
+          Alcotest.(check bool)
+            (p.name ^ ": CR agreement")
+            true
+            ((p.check_cr <> None) = (m.cr <> None))
+        | _ ->
+          (* postgresql/RR is an alias level the engine spells SI *)
+          Alcotest.(check bool)
+            (p.name ^ " is a documented alias")
+            true
+            (p.name = "postgresql/RR"))
+      | _ -> Alcotest.failf "bad profile name %s" p.name)
+    Il.all
+
+let test_mechanism_letters () =
+  let m =
+    Minidb.Profile.mechanisms Minidb.Profile.postgresql
+      Minidb.Isolation.Serializable
+  in
+  Alcotest.(check string) "pg SR letters" "ME+CR+FUW+SC"
+    (Minidb.Isolation.mechanism_letters m);
+  let sqlite =
+    Minidb.Profile.mechanisms Minidb.Profile.sqlite
+      Minidb.Isolation.Serializable
+  in
+  Alcotest.(check string) "sqlite letters" "ME"
+    (Minidb.Isolation.mechanism_letters sqlite)
+
+let suite =
+  [
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "names unique" `Quick test_names_unique;
+    Alcotest.test_case "postgresql RR is SI" `Quick test_rr_is_si;
+    Alcotest.test_case "sqlite table locks" `Quick test_sqlite_table_locks;
+    Alcotest.test_case "engine/verifier agreement" `Quick
+      test_engine_verifier_agreement;
+    Alcotest.test_case "mechanism letters" `Quick test_mechanism_letters;
+  ]

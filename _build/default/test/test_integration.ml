@@ -1,0 +1,245 @@
+(* End-to-end soundness and completeness:
+   - soundness: fault-free runs across every (workload, profile, level)
+     combination report zero violations;
+   - completeness on the catalogue: every injected fault is detected by
+     its expected mechanism through the full pipeline. *)
+
+module W = Leopard_workload
+module H = Leopard_harness
+module Il = Leopard.Il_profile
+
+let pipeline_check il outcome =
+  let checker = Leopard.Checker.create il in
+  let pipe = Leopard.Pipeline.of_lists outcome.H.Run.client_traces in
+  ignore (Leopard.Pipeline.drain pipe ~f:(Leopard.Checker.feed checker));
+  Leopard.Checker.finalize checker;
+  Leopard.Checker.report checker
+
+let clean_combos =
+  [
+    ("blindw-rw+/pg-sr", W.Blindw.spec W.Blindw.RW_plus, Minidb.Profile.postgresql,
+     Minidb.Isolation.Serializable, Il.postgresql_serializable);
+    ("blindw-rw/pg-si", W.Blindw.spec W.Blindw.RW, Minidb.Profile.postgresql,
+     Minidb.Isolation.Snapshot_isolation, Il.postgresql_si);
+    ("blindw-w/pg-rc", W.Blindw.spec W.Blindw.W, Minidb.Profile.postgresql,
+     Minidb.Isolation.Read_committed, Il.postgresql_rc);
+    ("smallbank/innodb-rr", W.Smallbank.spec (), Minidb.Profile.innodb,
+     Minidb.Isolation.Repeatable_read, Il.innodb_rr);
+    ("smallbank/innodb-sr", W.Smallbank.spec (), Minidb.Profile.innodb,
+     Minidb.Isolation.Serializable, Il.innodb_serializable);
+    ("tpcc/pg-sr", W.Tpcc.spec (), Minidb.Profile.postgresql,
+     Minidb.Isolation.Serializable, Il.postgresql_serializable);
+    ("tpcc/pg-rc", W.Tpcc.spec (), Minidb.Profile.postgresql,
+     Minidb.Isolation.Read_committed, Il.postgresql_rc);
+    ("smallbank/tidb-si", W.Smallbank.spec (), Minidb.Profile.tidb,
+     Minidb.Isolation.Snapshot_isolation, Il.tidb_si);
+    ("blindw-rw/cockroach-sr", W.Blindw.spec W.Blindw.RW,
+     Minidb.Profile.cockroachdb, Minidb.Isolation.Serializable,
+     Il.cockroachdb_serializable);
+    ("blindw-rw/sqlite-sr", W.Blindw.spec W.Blindw.RW, Minidb.Profile.sqlite,
+     Minidb.Isolation.Serializable, Il.sqlite_serializable);
+    ("blindw-rw/fdb-sr", W.Blindw.spec W.Blindw.RW, Minidb.Profile.foundationdb,
+     Minidb.Isolation.Serializable, Il.foundationdb_serializable);
+    ("ycsb/oracle-si", W.Ycsb.spec ~rows:5_000 ~theta:0.9 (),
+     Minidb.Profile.oracle, Minidb.Isolation.Snapshot_isolation, Il.oracle_si);
+  ]
+
+let test_clean name spec profile level il () =
+  let outcome =
+    Helpers.run_workload ~clients:12 ~txns:600 ~seed:21 ~spec ~profile ~level ()
+  in
+  let report = pipeline_check il outcome in
+  Alcotest.(check int)
+    (Printf.sprintf "%s: no false positives" name)
+    0 report.bugs_total;
+  Alcotest.(check bool) "verified some reads or locks" true
+    (report.traces > 0 && report.committed > 0)
+
+let test_fault_detected (p : W.Probes.probe) () =
+  let faulted =
+    Helpers.run_workload ~clients:p.clients ~txns:p.txns ~seed:5
+      ~faults:(Minidb.Fault.Set.singleton p.fault)
+      ~spec:p.spec ~profile:p.db_profile ~level:p.level ()
+  in
+  let il = Option.get (Il.find p.verifier_profile) in
+  let report = pipeline_check il faulted in
+  Alcotest.(check bool)
+    (Printf.sprintf "fault %s detected" (Minidb.Fault.to_string p.fault))
+    true (report.bugs_total > 0);
+  Alcotest.(check bool) "expected mechanism fired" true
+    (List.mem
+       (Minidb.Fault.expected_mechanism p.fault)
+       (Helpers.bug_mechanisms report))
+
+let test_fault_clean_baseline (p : W.Probes.probe) () =
+  let clean =
+    Helpers.run_workload ~clients:p.clients ~txns:p.txns ~seed:5
+      ~spec:p.spec ~profile:p.db_profile ~level:p.level ()
+  in
+  let il = Option.get (Il.find p.verifier_profile) in
+  let report = pipeline_check il clean in
+  Alcotest.(check int)
+    (Printf.sprintf "probe %s clean run silent" (Minidb.Fault.to_string p.fault))
+    0 report.bugs_total
+
+let test_cycle_search_cross_validation () =
+  (* the naive cycle searcher must agree with Leopard on a clean run *)
+  let outcome =
+    Helpers.run_workload ~clients:12 ~txns:500 ~seed:33
+      ~spec:(W.Blindw.spec W.Blindw.RW) ~profile:Minidb.Profile.postgresql
+      ~level:Minidb.Isolation.Serializable ()
+  in
+  let cs =
+    Leopard_baselines.Cycle_search.create ~search_every:50
+      Il.postgresql_serializable
+  in
+  List.iter
+    (Leopard_baselines.Cycle_search.feed cs)
+    (H.Run.all_traces_sorted outcome);
+  Leopard_baselines.Cycle_search.finalize cs;
+  Alcotest.(check int) "no cycles on serializable run" 0
+    (Leopard_baselines.Cycle_search.cycles_found cs);
+  Alcotest.(check bool) "graph populated" true
+    (Leopard_baselines.Cycle_search.nodes cs > 0)
+
+let test_cycle_search_finds_skew () =
+  let p = W.Probes.for_fault Minidb.Fault.No_ssi in
+  let outcome =
+    Helpers.run_workload ~clients:p.clients ~txns:p.txns ~seed:5
+      ~faults:(Minidb.Fault.Set.singleton p.fault)
+      ~spec:p.spec ~profile:p.db_profile ~level:p.level ()
+  in
+  let cs =
+    Leopard_baselines.Cycle_search.create ~search_every:100
+      Il.postgresql_serializable
+  in
+  List.iter
+    (Leopard_baselines.Cycle_search.feed cs)
+    (H.Run.all_traces_sorted outcome);
+  Leopard_baselines.Cycle_search.finalize cs;
+  Alcotest.(check bool) "write skew shows as cycle" true
+    (Leopard_baselines.Cycle_search.cycles_found cs > 0)
+
+let test_combined_faults () =
+  (* two independent faults at once: both mechanisms must fire *)
+  let p = W.Probes.for_fault Minidb.Fault.No_fuw in
+  let faults =
+    Minidb.Fault.Set.of_list [ Minidb.Fault.No_fuw; Minidb.Fault.Stale_read ]
+  in
+  let outcome =
+    Helpers.run_workload ~clients:p.clients ~txns:p.txns ~seed:5 ~faults
+      ~spec:p.spec ~profile:p.db_profile ~level:p.level ()
+  in
+  let report =
+    pipeline_check (Option.get (Il.find p.verifier_profile)) outcome
+  in
+  let mechs = Helpers.bug_mechanisms report in
+  Alcotest.(check bool) "FUW fired" true (List.mem "FUW" mechs);
+  Alcotest.(check bool) "CR fired" true (List.mem "CR" mechs);
+  Alcotest.(check bool) "per-mechanism counts partition the total" true
+    (List.fold_left (fun acc (_, n) -> acc + n) 0
+       report.Leopard.Checker.bugs_by_mechanism
+    = report.Leopard.Checker.bugs_total)
+
+let test_relaxed_reads_unit () =
+  (* a transaction-level snapshot served under a statement-level claim:
+     the strict mirror flags it, the claim-compatibility mode accepts *)
+  let x = Helpers.cell 0 in
+  let traces =
+    [
+      Helpers.write ~txn:1 ~bef:10 ~aft:20 [ (x, 100) ];
+      Helpers.commit ~txn:1 ~bef:30 ~aft:40 ();
+      (* txn 3's first statement pins its view *)
+      Helpers.read ~txn:3 ~bef:50 ~aft:60 [ (x, 100) ];
+      Helpers.write ~txn:2 ~bef:70 ~aft:80 [ (x, 200) ];
+      Helpers.commit ~txn:2 ~bef:90 ~aft:100 ();
+      (* second statement still sees the old value: legal for a stronger
+         (snapshot) engine, not what a statement-snapshot engine does *)
+      Helpers.read ~txn:3 ~bef:110 ~aft:120 [ (x, 100) ];
+      Helpers.commit ~txn:3 ~bef:130 ~aft:140 ();
+    ]
+  in
+  let sorted = List.sort Leopard_trace.Trace.compare_by_bef traces in
+  let strict = Leopard.Checker.create Il.postgresql_rc in
+  List.iter (Leopard.Checker.feed strict) sorted;
+  Leopard.Checker.finalize strict;
+  Alcotest.(check bool) "strict mirror flags it" true
+    ((Leopard.Checker.report strict).bugs_total > 0);
+  let relaxed = Leopard.Checker.create ~relaxed_reads:true Il.postgresql_rc in
+  List.iter (Leopard.Checker.feed relaxed) sorted;
+  Leopard.Checker.finalize relaxed;
+  Alcotest.(check int) "claim compatibility accepts" 0
+    (Leopard.Checker.report relaxed).bugs_total
+
+let test_pipeline_equals_sorted_feed () =
+  (* dispatching through the two-level pipeline and feeding a pre-sorted
+     list must be indistinguishable to the checker *)
+  let outcome =
+    Helpers.run_workload ~clients:10 ~txns:600 ~seed:44
+      ~spec:(W.Blindw.spec W.Blindw.RW_plus) ~profile:Minidb.Profile.postgresql
+      ~level:Minidb.Isolation.Serializable ()
+  in
+  let via_pipeline = pipeline_check Il.postgresql_serializable outcome in
+  let via_sort =
+    Helpers.check Il.postgresql_serializable
+      (H.Run.all_traces_sorted outcome)
+  in
+  Alcotest.(check int) "same traces" via_sort.traces via_pipeline.traces;
+  Alcotest.(check int) "same bugs" via_sort.bugs_total via_pipeline.bugs_total;
+  Alcotest.(check int) "same deps" via_sort.deps_deduced
+    via_pipeline.deps_deduced;
+  Alcotest.(check int) "same reads checked" via_sort.reads_checked
+    via_pipeline.reads_checked
+
+let test_memory_bounded_by_gc () =
+  (* a long run with GC must keep far less live state than without *)
+  let outcome =
+    Helpers.run_workload ~clients:8 ~txns:2_000 ~seed:9
+      ~spec:(W.Blindw.spec W.Blindw.RW) ~profile:Minidb.Profile.postgresql
+      ~level:Minidb.Isolation.Serializable ()
+  in
+  let traces = H.Run.all_traces_sorted outcome in
+  let with_gc = Leopard.Checker.create ~gc_every:256 Il.postgresql_serializable in
+  let without = Leopard.Checker.create ~gc_every:0 Il.postgresql_serializable in
+  List.iter (Leopard.Checker.feed with_gc) traces;
+  List.iter (Leopard.Checker.feed without) traces;
+  Leopard.Checker.finalize with_gc;
+  Leopard.Checker.finalize without;
+  let rg = Leopard.Checker.report with_gc in
+  let rn = Leopard.Checker.report without in
+  Alcotest.(check int) "same verdicts" rn.bugs_total rg.bugs_total;
+  Alcotest.(check bool)
+    (Printf.sprintf "gc bounds memory (%d < %d)" rg.peak_live rn.peak_live)
+    true
+    (rg.peak_live < rn.peak_live)
+
+let suite =
+  List.map
+    (fun (name, spec, profile, level, il) ->
+      Alcotest.test_case ("clean " ^ name) `Slow
+        (test_clean name spec profile level il))
+    clean_combos
+  @ List.concat_map
+      (fun (p : W.Probes.probe) ->
+        [
+          Alcotest.test_case
+            ("fault detected: " ^ Minidb.Fault.to_string p.fault)
+            `Slow (test_fault_detected p);
+          Alcotest.test_case
+            ("probe clean: " ^ Minidb.Fault.to_string p.fault)
+            `Slow (test_fault_clean_baseline p);
+        ])
+      (W.Probes.all ())
+  @ [
+      Alcotest.test_case "cycle search agrees on clean run" `Slow
+        test_cycle_search_cross_validation;
+      Alcotest.test_case "cycle search finds write skew" `Slow
+        test_cycle_search_finds_skew;
+      Alcotest.test_case "pipeline equals sorted feed" `Slow
+        test_pipeline_equals_sorted_feed;
+      Alcotest.test_case "combined faults both fire" `Slow test_combined_faults;
+      Alcotest.test_case "relaxed reads (claim compatibility)" `Quick
+        test_relaxed_reads_unit;
+      Alcotest.test_case "gc bounds memory, same verdicts" `Slow
+        test_memory_bounded_by_gc;
+    ]

@@ -1,0 +1,122 @@
+module Interval = Leopard_util.Interval
+
+let iv = Helpers.iv
+
+(* Fig. 3(a): disjoint intervals give certainty. *)
+let test_certainly_before () =
+  Alcotest.(check bool) "disjoint" true
+    (Interval.certainly_before (iv 0 5) (iv 5 10));
+  Alcotest.(check bool) "gap" true
+    (Interval.certainly_before (iv 0 5) (iv 7 10));
+  Alcotest.(check bool) "overlap not certain" false
+    (Interval.certainly_before (iv 0 6) (iv 5 10));
+  Alcotest.(check bool) "reverse" false
+    (Interval.certainly_before (iv 5 10) (iv 0 5))
+
+(* Fig. 3(b)-(d): overlap shapes. *)
+let test_overlaps () =
+  Alcotest.(check bool) "partial" true (Interval.overlaps (iv 0 6) (iv 5 10));
+  Alcotest.(check bool) "containment" true
+    (Interval.overlaps (iv 0 10) (iv 3 7));
+  Alcotest.(check bool) "identical" true (Interval.overlaps (iv 1 4) (iv 1 4));
+  Alcotest.(check bool) "disjoint" false (Interval.overlaps (iv 0 5) (iv 5 10));
+  Alcotest.(check bool) "symmetric" true (Interval.overlaps (iv 5 10) (iv 0 6))
+
+let test_possibly_before () =
+  (* a's instant can precede b's instant iff a.bef < b.aft *)
+  Alcotest.(check bool) "disjoint forward" true
+    (Interval.possibly_before (iv 0 5) (iv 5 10));
+  Alcotest.(check bool) "disjoint backward" false
+    (Interval.possibly_before (iv 5 10) (iv 0 5));
+  Alcotest.(check bool) "overlap both ways (fwd)" true
+    (Interval.possibly_before (iv 0 6) (iv 5 10));
+  Alcotest.(check bool) "overlap both ways (bwd)" true
+    (Interval.possibly_before (iv 5 10) (iv 0 6))
+
+let test_make_invalid () =
+  Alcotest.check_raises "bef >= aft"
+    (Invalid_argument "Interval.make: need bef < aft, got (5, 5)") (fun () ->
+      ignore (iv 5 5))
+
+let test_accessors () =
+  let i = iv 3 9 in
+  Alcotest.(check int) "bef" 3 (Interval.bef i);
+  Alcotest.(check int) "aft" 9 (Interval.aft i);
+  Alcotest.(check int) "duration" 6 (Interval.duration i)
+
+let test_hull () =
+  Alcotest.(check bool) "hull" true
+    (Interval.equal (Interval.hull (iv 1 4) (iv 3 9)) (iv 1 9))
+
+let test_orders () =
+  Alcotest.(check bool) "by bef" true
+    (Interval.compare_by_bef (iv 1 9) (iv 2 3) < 0);
+  Alcotest.(check bool) "by bef tie on aft" true
+    (Interval.compare_by_bef (iv 1 3) (iv 1 9) < 0);
+  Alcotest.(check bool) "by aft" true
+    (Interval.compare_by_aft (iv 5 6) (iv 1 9) < 0)
+
+let interval_gen =
+  QCheck.Gen.(
+    map2
+      (fun a b -> iv (min a b) (max a b + 1))
+      (int_bound 1000) (int_bound 1000))
+
+let arb_interval = QCheck.make interval_gen ~print:Interval.to_string
+
+let prop_trichotomy =
+  QCheck.Test.make ~name:"exactly one of before/after/overlaps" ~count:500
+    (QCheck.pair arb_interval arb_interval)
+    (fun (a, b) ->
+      let cases =
+        [
+          Interval.certainly_before a b;
+          Interval.certainly_before b a;
+          Interval.overlaps a b;
+        ]
+      in
+      List.length (List.filter Fun.id cases) = 1)
+
+let prop_certain_implies_possible =
+  QCheck.Test.make ~name:"certainly_before implies possibly_before" ~count:500
+    (QCheck.pair arb_interval arb_interval)
+    (fun (a, b) ->
+      (not (Interval.certainly_before a b)) || Interval.possibly_before a b)
+
+let prop_not_possible_is_certain_reverse =
+  QCheck.Test.make ~name:"not possibly_before a b implies certainly_before b a"
+    ~count:500
+    (QCheck.pair arb_interval arb_interval)
+    (fun (a, b) ->
+      Interval.possibly_before a b || Interval.certainly_before b a)
+
+let prop_instants_witness =
+  (* Monte-carlo soundness: real instants drawn inside the intervals
+     respect the certainty predicates. *)
+  QCheck.Test.make ~name:"sampled instants agree with certainty" ~count:500
+    (QCheck.triple arb_interval arb_interval QCheck.small_int)
+    (fun (a, b, seed) ->
+      let rng = Leopard_util.Rng.create seed in
+      let inside i =
+        let lo = Interval.bef i and hi = Interval.aft i in
+        lo + 1 + Leopard_util.Rng.int rng (max 1 (hi - lo - 1))
+        |> float_of_int
+        |> fun x -> x -. 0.5
+      in
+      let pa = inside a and pb = inside b in
+      (not (Interval.certainly_before a b)) || pa < pb)
+
+let suite =
+  [
+    Alcotest.test_case "certainly_before (Fig 3a)" `Quick test_certainly_before;
+    Alcotest.test_case "overlaps (Fig 3b-d)" `Quick test_overlaps;
+    Alcotest.test_case "possibly_before" `Quick test_possibly_before;
+    Alcotest.test_case "make rejects empty" `Quick test_make_invalid;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "hull" `Quick test_hull;
+    Alcotest.test_case "orders" `Quick test_orders;
+    Helpers.qtest prop_trichotomy;
+    Helpers.qtest prop_certain_implies_possible;
+    Helpers.qtest prop_not_possible_is_certain_reverse;
+    Helpers.qtest prop_instants_witness;
+  ]

@@ -1,0 +1,172 @@
+module Sim = Minidb.Sim
+module Lm = Minidb.Lock_manager
+
+let row = (0, 0)
+let row2 = (0, 1)
+
+let setup () =
+  let sim = Sim.create () in
+  (sim, Lm.create sim ~s_ignores_x:false)
+
+(* Helper: acquire and log the outcome with the sim time it was granted. *)
+let acquire sim lm ~txn r mode log =
+  ignore sim;
+  Lm.acquire lm ~txn r mode ~k:(fun outcome ->
+      log := (txn, outcome, Sim.now sim) :: !log)
+
+let test_grant_free () =
+  let sim, lm = setup () in
+  let log = ref [] in
+  acquire sim lm ~txn:1 row Lm.X log;
+  Sim.run sim;
+  Alcotest.(check int) "granted" 1 (List.length !log);
+  Alcotest.(check bool) "holds X" true (Lm.holds lm ~txn:1 row = Some Lm.X)
+
+let test_shared_compatible () =
+  let sim, lm = setup () in
+  let log = ref [] in
+  acquire sim lm ~txn:1 row Lm.S log;
+  acquire sim lm ~txn:2 row Lm.S log;
+  Sim.run sim;
+  Alcotest.(check int) "both granted" 2 (List.length !log);
+  Alcotest.(check int) "two holders" 2 (List.length (Lm.holders lm row))
+
+let test_exclusive_blocks () =
+  let sim, lm = setup () in
+  let log = ref [] in
+  Sim.schedule sim ~at:0 (fun () -> acquire sim lm ~txn:1 row Lm.X log);
+  Sim.schedule sim ~at:1 (fun () -> acquire sim lm ~txn:2 row Lm.X log);
+  Sim.schedule sim ~at:10 (fun () -> Lm.release_all lm ~txn:1);
+  Sim.run sim;
+  match List.rev !log with
+  | [ (1, Lm.Granted, t1); (2, Lm.Granted, t2) ] ->
+    Alcotest.(check int) "t1 immediate" 0 t1;
+    Alcotest.(check int) "t2 waits for release" 10 t2
+  | _ -> Alcotest.fail "unexpected grant sequence"
+
+let test_fifo_queue () =
+  let sim, lm = setup () in
+  let log = ref [] in
+  Sim.schedule sim ~at:0 (fun () -> acquire sim lm ~txn:1 row Lm.X log);
+  Sim.schedule sim ~at:1 (fun () -> acquire sim lm ~txn:2 row Lm.X log);
+  Sim.schedule sim ~at:2 (fun () -> acquire sim lm ~txn:3 row Lm.X log);
+  Sim.schedule sim ~at:10 (fun () -> Lm.release_all lm ~txn:1);
+  Sim.schedule sim ~at:20 (fun () -> Lm.release_all lm ~txn:2);
+  Sim.run sim;
+  let order = List.rev_map (fun (txn, _, _) -> txn) !log in
+  Alcotest.(check (list int)) "FIFO" [ 1; 2; 3 ] order
+
+let test_reentrant () =
+  let sim, lm = setup () in
+  let log = ref [] in
+  acquire sim lm ~txn:1 row Lm.X log;
+  acquire sim lm ~txn:1 row Lm.X log;
+  acquire sim lm ~txn:1 row Lm.S log;
+  Sim.run sim;
+  Alcotest.(check int) "all granted immediately" 3 (List.length !log)
+
+let test_upgrade () =
+  let sim, lm = setup () in
+  let log = ref [] in
+  acquire sim lm ~txn:1 row Lm.S log;
+  acquire sim lm ~txn:1 row Lm.X log;
+  Sim.run sim;
+  Alcotest.(check bool) "upgraded to X" true (Lm.holds lm ~txn:1 row = Some Lm.X)
+
+let test_upgrade_waits_for_other_reader () =
+  let sim, lm = setup () in
+  let log = ref [] in
+  Sim.schedule sim ~at:0 (fun () ->
+      acquire sim lm ~txn:1 row Lm.S log;
+      acquire sim lm ~txn:2 row Lm.S log);
+  Sim.schedule sim ~at:1 (fun () -> acquire sim lm ~txn:1 row Lm.X log);
+  Sim.schedule sim ~at:10 (fun () -> Lm.release_all lm ~txn:2);
+  Sim.run sim;
+  let upgrade_grant =
+    List.find_opt (fun (txn, _, t) -> txn = 1 && t = 10) !log
+  in
+  Alcotest.(check bool) "upgrade granted at release" true
+    (upgrade_grant <> None)
+
+let test_deadlock_detected () =
+  let sim, lm = setup () in
+  let outcomes = ref [] in
+  Sim.schedule sim ~at:0 (fun () ->
+      acquire sim lm ~txn:1 row Lm.X outcomes;
+      acquire sim lm ~txn:2 row2 Lm.X outcomes);
+  (* 2 waits for row (held by 1); then 1 requests row2 (held by 2) *)
+  Sim.schedule sim ~at:1 (fun () -> acquire sim lm ~txn:2 row Lm.X outcomes);
+  Sim.schedule sim ~at:2 (fun () -> acquire sim lm ~txn:1 row2 Lm.X outcomes);
+  Sim.run sim;
+  let deadlocked =
+    List.filter (fun (_, o, _) -> o = Lm.Deadlock) !outcomes
+  in
+  Alcotest.(check int) "one victim" 1 (List.length deadlocked);
+  (match deadlocked with
+  | [ (txn, _, _) ] -> Alcotest.(check int) "requester is victim" 1 txn
+  | _ -> ());
+  Alcotest.(check int) "counted" 1 (Lm.deadlocks lm)
+
+let test_no_false_deadlock () =
+  let sim, lm = setup () in
+  let outcomes = ref [] in
+  Sim.schedule sim ~at:0 (fun () -> acquire sim lm ~txn:1 row Lm.X outcomes);
+  Sim.schedule sim ~at:1 (fun () -> acquire sim lm ~txn:2 row Lm.X outcomes);
+  Sim.schedule sim ~at:2 (fun () -> acquire sim lm ~txn:3 row Lm.X outcomes);
+  Sim.schedule sim ~at:5 (fun () -> Lm.release_all lm ~txn:1);
+  Sim.schedule sim ~at:6 (fun () -> Lm.release_all lm ~txn:2);
+  Sim.run sim;
+  Alcotest.(check int) "no deadlocks" 0 (Lm.deadlocks lm);
+  Alcotest.(check int) "all granted" 3
+    (List.length (List.filter (fun (_, o, _) -> o = Lm.Granted) !outcomes))
+
+let test_release_row () =
+  let sim, lm = setup () in
+  let log = ref [] in
+  Sim.schedule sim ~at:0 (fun () ->
+      acquire sim lm ~txn:1 row Lm.X log;
+      acquire sim lm ~txn:1 row2 Lm.X log);
+  Sim.schedule sim ~at:1 (fun () -> acquire sim lm ~txn:2 row Lm.X log);
+  Sim.schedule sim ~at:5 (fun () -> Lm.release_row lm ~txn:1 row);
+  Sim.run sim;
+  Alcotest.(check bool) "row released and regranted" true
+    (Lm.holds lm ~txn:2 row = Some Lm.X);
+  Alcotest.(check bool) "row2 still held" true
+    (Lm.holds lm ~txn:1 row2 = Some Lm.X)
+
+let test_s_ignores_x_fault () =
+  let sim = Sim.create () in
+  let lm = Lm.create sim ~s_ignores_x:true in
+  let log = ref [] in
+  Sim.schedule sim ~at:0 (fun () -> acquire sim lm ~txn:1 row Lm.X log);
+  Sim.schedule sim ~at:1 (fun () -> acquire sim lm ~txn:2 row Lm.S log);
+  Sim.run sim;
+  Alcotest.(check int) "S granted during X (fault)" 2 (List.length !log)
+
+let test_waiting_count () =
+  let sim, lm = setup () in
+  let log = ref [] in
+  Sim.schedule sim ~at:0 (fun () -> acquire sim lm ~txn:1 row Lm.X log);
+  Sim.schedule sim ~at:1 (fun () -> acquire sim lm ~txn:2 row Lm.X log);
+  Sim.schedule sim ~at:2 (fun () ->
+      Alcotest.(check int) "one waiter" 1 (Lm.waiting lm));
+  Sim.schedule sim ~at:3 (fun () -> Lm.release_all lm ~txn:1);
+  Sim.run sim;
+  Alcotest.(check int) "drained" 0 (Lm.waiting lm)
+
+let suite =
+  [
+    Alcotest.test_case "grant when free" `Quick test_grant_free;
+    Alcotest.test_case "S locks share" `Quick test_shared_compatible;
+    Alcotest.test_case "X blocks and waits" `Quick test_exclusive_blocks;
+    Alcotest.test_case "FIFO queue" `Quick test_fifo_queue;
+    Alcotest.test_case "re-entrant" `Quick test_reentrant;
+    Alcotest.test_case "S to X upgrade" `Quick test_upgrade;
+    Alcotest.test_case "upgrade waits for other reader" `Quick
+      test_upgrade_waits_for_other_reader;
+    Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+    Alcotest.test_case "no false deadlock" `Quick test_no_false_deadlock;
+    Alcotest.test_case "release single row" `Quick test_release_row;
+    Alcotest.test_case "s_ignores_x fault" `Quick test_s_ignores_x_fault;
+    Alcotest.test_case "waiting count" `Quick test_waiting_count;
+  ]

@@ -1,0 +1,161 @@
+module Pipeline = Leopard.Pipeline
+module Trace = Leopard_trace.Trace
+
+let x = Helpers.cell 0
+
+let mk_trace ~client ~bef =
+  Helpers.write ~client ~txn:(client * 1000 + bef) ~bef ~aft:(bef + 1)
+    [ (x, bef) ]
+
+let sources_of lists = Array.of_list lists
+
+let drain_all pipe =
+  let out = ref [] in
+  let n = Pipeline.drain pipe ~f:(fun t -> out := t :: !out) in
+  (n, List.rev !out)
+
+let befs traces = List.map (fun t -> t.Trace.ts_bef) traces
+
+(* Fig. 5: two clients, interleaved timestamps. *)
+let test_fig5_example () =
+  let c0 = List.map (fun b -> mk_trace ~client:0 ~bef:b) [ 1; 4; 7; 10 ] in
+  let c1 = List.map (fun b -> mk_trace ~client:1 ~bef:b) [ 3; 8; 9; 12 ] in
+  let pipe = Pipeline.of_lists ~batch:2 (sources_of [ c0; c1 ]) in
+  let n, out = drain_all pipe in
+  Alcotest.(check int) "all dispatched" 8 n;
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 4; 7; 8; 9; 10; 12 ] (befs out)
+
+let test_single_client () =
+  let c0 = List.map (fun b -> mk_trace ~client:0 ~bef:b) [ 1; 2; 3 ] in
+  let pipe = Pipeline.of_lists (sources_of [ c0 ]) in
+  let n, out = drain_all pipe in
+  Alcotest.(check int) "count" 3 n;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (befs out)
+
+let test_empty_sources () =
+  let pipe = Pipeline.of_lists (sources_of [ []; [] ]) in
+  let n, _ = drain_all pipe in
+  Alcotest.(check int) "nothing" 0 n
+
+let test_uneven_clients () =
+  (* one client much slower (sparser, larger timestamps) *)
+  let fast = List.init 50 (fun i -> mk_trace ~client:0 ~bef:(i * 2)) in
+  let slow = List.init 5 (fun i -> mk_trace ~client:1 ~bef:(i * 31)) in
+  let pipe = Pipeline.of_lists ~batch:8 (sources_of [ fast; slow ]) in
+  let n, out = drain_all pipe in
+  Alcotest.(check int) "all out" 55 n;
+  let sorted = List.sort compare (befs out) in
+  Alcotest.(check (list int)) "monotone" sorted (befs out)
+
+let test_optimized_memory_not_worse () =
+  let mk () =
+    List.init 4 (fun c ->
+        List.init 100 (fun i -> mk_trace ~client:c ~bef:((i * 4) + c)))
+  in
+  let run ~optimized =
+    let pipe = Pipeline.of_lists ~batch:16 ~optimized (sources_of (mk ())) in
+    ignore (drain_all pipe);
+    Pipeline.peak_memory pipe
+  in
+  Alcotest.(check bool) "optimized uses no more memory" true
+    (run ~optimized:true <= run ~optimized:false)
+
+let test_naive_sorter_equivalent () =
+  let lists =
+    List.init 3 (fun c ->
+        List.init 40 (fun i -> mk_trace ~client:c ~bef:((i * 3) + c)))
+  in
+  let pipe = Pipeline.of_lists (sources_of lists) in
+  let _, out_pipe = drain_all pipe in
+  let naive =
+    Leopard_baselines.Naive_sorter.create
+      ~sources:
+        (Array.map
+           (fun traces ->
+             let r = ref traces in
+             fun () ->
+               match !r with
+               | [] -> None
+               | t :: tl ->
+                 r := tl;
+                 Some t)
+           (sources_of lists))
+      ()
+  in
+  let out_naive = ref [] in
+  ignore
+    (Leopard_baselines.Naive_sorter.drain naive ~f:(fun t ->
+         out_naive := t :: !out_naive));
+  Alcotest.(check (list int)) "same dispatch order" (befs out_pipe)
+    (befs (List.rev !out_naive));
+  Alcotest.(check int) "naive memory is whole run" 120
+    (Leopard_baselines.Naive_sorter.peak_memory naive)
+
+(* Theorem 1: for arbitrary monotone per-client streams, the dispatch
+   order is globally monotone and complete. *)
+let prop_theorem1 =
+  let gen =
+    QCheck.Gen.(
+      list_size (1 -- 6)
+        (map
+           (fun deltas ->
+             let _, acc =
+               List.fold_left
+                 (fun (t, acc) d ->
+                   let t = t + 1 + (d mod 20) in
+                   (t, t :: acc))
+                 (0, []) deltas
+             in
+             List.rev acc)
+           (list_size (0 -- 40) (int_bound 100))))
+  in
+  QCheck.Test.make ~name:"theorem 1: dispatch is sorted and complete"
+    ~count:300 (QCheck.make gen)
+    (fun client_befs ->
+      let lists =
+        List.mapi
+          (fun c befs -> List.map (fun b -> mk_trace ~client:c ~bef:b) befs)
+          client_befs
+      in
+      let total = List.length (List.concat lists) in
+      let pipe = Pipeline.of_lists ~batch:4 (sources_of lists) in
+      let n, out = drain_all pipe in
+      let bs = befs out in
+      n = total && bs = List.sort compare bs)
+
+let prop_theorem1_unoptimized =
+  QCheck.Test.make ~name:"theorem 1 holds without optimizations" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 4) (list_of_size Gen.(0 -- 20) small_nat))
+    (fun raw ->
+      let lists =
+        List.mapi
+          (fun c deltas ->
+            let _, acc =
+              List.fold_left
+                (fun (t, acc) d ->
+                  let t = t + 1 + d in
+                  (t, mk_trace ~client:c ~bef:t :: acc))
+                (0, []) deltas
+            in
+            List.rev acc)
+          raw
+      in
+      let total = List.length (List.concat lists) in
+      let pipe = Pipeline.of_lists ~batch:3 ~optimized:false (sources_of lists) in
+      let n, out = drain_all pipe in
+      let bs = befs out in
+      n = total && bs = List.sort compare bs)
+
+let suite =
+  [
+    Alcotest.test_case "Fig.5 example" `Quick test_fig5_example;
+    Alcotest.test_case "single client" `Quick test_single_client;
+    Alcotest.test_case "empty sources" `Quick test_empty_sources;
+    Alcotest.test_case "uneven clients" `Quick test_uneven_clients;
+    Alcotest.test_case "optimized memory not worse" `Quick
+      test_optimized_memory_not_worse;
+    Alcotest.test_case "naive sorter equivalent output" `Quick
+      test_naive_sorter_equivalent;
+    Helpers.qtest prop_theorem1;
+    Helpers.qtest prop_theorem1_unoptimized;
+  ]

@@ -1,0 +1,104 @@
+(* Pipeline online semantics: Pending sources, watermark soundness from
+   last-delivered bounds, and Closed transitions. *)
+
+module Pipeline = Leopard.Pipeline
+module Trace = Leopard_trace.Trace
+
+let x = Helpers.cell 0
+
+let mk ~client ~bef =
+  Helpers.write ~client ~txn:((client * 1000) + bef) ~bef ~aft:(bef + 1)
+    [ (x, bef) ]
+
+(* a live source backed by a queue: Pending while the queue is empty and
+   the client alive, Closed afterwards *)
+let queue_source () =
+  let q = Queue.create () in
+  let live = ref true in
+  let source () =
+    match Queue.take_opt q with
+    | Some t -> Pipeline.Item t
+    | None -> if !live then Pipeline.Pending else Pipeline.Closed
+  in
+  (q, live, source)
+
+let test_pending_blocks_dispatch () =
+  let q0, _, s0 = queue_source () in
+  let q1, live1, s1 = queue_source () in
+  let pipe = Pipeline.create ~batch:2 ~sources:[| s0; s1 |] () in
+  Queue.push (mk ~client:0 ~bef:5) q0;
+  (* client 1 has produced nothing: nothing may leave *)
+  Alcotest.(check bool) "blocked" true (Pipeline.next pipe = None);
+  Alcotest.(check bool) "not closed" false (Pipeline.closed pipe);
+  (* once client 1 speaks with a smaller timestamp, it goes first.  A
+     second, later trace moves its bound past 3 (the pipeline must hold a
+     trace while its own client could still emit an equal ts_bef). *)
+  Queue.push (mk ~client:1 ~bef:3) q1;
+  Queue.push (mk ~client:1 ~bef:8) q1;
+  (match Pipeline.next pipe with
+  | Some t -> Alcotest.(check int) "smaller first" 3 t.Trace.ts_bef
+  | None -> Alcotest.fail "expected dispatch");
+  live1 := false;
+  ignore live1
+
+let test_last_bef_bound_enables_dispatch () =
+  let q0, live0, s0 = queue_source () in
+  let q1, live1, s1 = queue_source () in
+  let pipe = Pipeline.create ~batch:2 ~sources:[| s0; s1 |] () in
+  (* client 1 delivered bef 10 then went quiet: its future is >= 10, so
+     client 0's strictly smaller traces may leave; 6 is held because
+     client 0 itself could still emit another bef=6, and 10 because of
+     client 1 *)
+  Queue.push (mk ~client:1 ~bef:10) q1;
+  ignore (Pipeline.next pipe);
+  Queue.push (mk ~client:0 ~bef:4) q0;
+  Queue.push (mk ~client:0 ~bef:6) q0;
+  let seen = ref [] in
+  ignore (Pipeline.drain pipe ~f:(fun t -> seen := t.Trace.ts_bef :: !seen));
+  Alcotest.(check (list int)) "4 out on the bound" [ 4 ] (List.rev !seen);
+  live0 := false;
+  live1 := false;
+  let rest = ref [] in
+  ignore (Pipeline.drain pipe ~f:(fun t -> rest := t.Trace.ts_bef :: !rest));
+  Alcotest.(check (list int)) "the held traces drain on close" [ 6; 10 ]
+    (List.rev !rest)
+
+let test_closed_drains_everything () =
+  let q0, live0, s0 = queue_source () in
+  let _, live1, s1 = queue_source () in
+  let pipe = Pipeline.create ~sources:[| s0; s1 |] () in
+  Queue.push (mk ~client:0 ~bef:7) q0;
+  live0 := false;
+  live1 := false;
+  (match Pipeline.next pipe with
+  | Some t -> Alcotest.(check int) "drained" 7 t.Trace.ts_bef
+  | None -> Alcotest.fail "expected trace");
+  Alcotest.(check bool) "exhausted" true (Pipeline.next pipe = None);
+  Alcotest.(check bool) "closed" true (Pipeline.closed pipe)
+
+let test_drain_resumable () =
+  let q, live, source = queue_source () in
+  let pipe = Pipeline.create ~sources:[| source |] () in
+  Queue.push (mk ~client:0 ~bef:1) q;
+  Queue.push (mk ~client:0 ~bef:2) q;
+  let n1 = Pipeline.drain pipe ~f:(fun _ -> ()) in
+  (* 2 cannot leave yet: the client might still produce another bef=2 *)
+  Alcotest.(check int) "first batch" 1 n1;
+  Queue.push (mk ~client:0 ~bef:5) q;
+  let n2 = Pipeline.drain pipe ~f:(fun _ -> ()) in
+  Alcotest.(check int) "second batch" 1 n2;
+  live := false;
+  let n3 = Pipeline.drain pipe ~f:(fun _ -> ()) in
+  Alcotest.(check int) "final drain" 1 n3;
+  Alcotest.(check int) "all dispatched" 3 (Pipeline.dispatched pipe)
+
+let suite =
+  [
+    Alcotest.test_case "pending blocks dispatch" `Quick
+      test_pending_blocks_dispatch;
+    Alcotest.test_case "last-bef bound enables dispatch" `Quick
+      test_last_bef_bound_enables_dispatch;
+    Alcotest.test_case "closed drains everything" `Quick
+      test_closed_drains_everything;
+    Alcotest.test_case "drain is resumable" `Quick test_drain_resumable;
+  ]

@@ -1,0 +1,67 @@
+module W = Leopard_workload
+module Rp = Leopard.Report_pp
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let clean_report () =
+  Helpers.check Leopard.Il_profile.postgresql_si
+    [
+      Helpers.write ~txn:1 ~bef:10 ~aft:20 [ (Helpers.cell 0, 1) ];
+      Helpers.commit ~txn:1 ~bef:30 ~aft:40 ();
+    ]
+
+let faulted_report () =
+  let p = W.Probes.for_fault Minidb.Fault.No_fuw in
+  let o =
+    Helpers.run_workload ~clients:p.clients ~txns:800 ~seed:5
+      ~faults:(Minidb.Fault.Set.singleton p.fault)
+      ~spec:p.spec ~profile:p.db_profile ~level:p.level ()
+  in
+  Helpers.check
+    (Option.get (Leopard.Il_profile.find p.verifier_profile))
+    (Leopard_harness.Run.all_traces_sorted o)
+
+let test_verdict_lines () =
+  Alcotest.(check string) "pass" "PASS — no isolation violations"
+    (Rp.verdict_line (clean_report ()));
+  let v = Rp.verdict_line (faulted_report ()) in
+  Alcotest.(check bool) "fail mentions anomaly" true
+    (contains v "FAIL" && contains v "lost-update")
+
+let test_summary_fields () =
+  let s = Rp.summary (clean_report ()) in
+  Alcotest.(check bool) "mentions traces" true (contains s "traces 2");
+  Alcotest.(check bool) "mentions mirrored state" true
+    (contains s "mirrored state")
+
+let test_bugs_capped () =
+  let r = faulted_report () in
+  let b = Rp.bugs ~limit:2 r in
+  Alcotest.(check bool) "shows cap marker" true
+    (r.bugs_total <= 2 || contains b "more");
+  Alcotest.(check string) "clean renders empty" "" (Rp.bugs (clean_report ()))
+
+let test_census () =
+  let census = Rp.anomaly_census (faulted_report ()) in
+  Alcotest.(check bool) "nonempty" true (census <> []);
+  (match census with
+  | (a, n) :: _ ->
+    Alcotest.(check string) "dominant is lost update" "lost-update (P4)"
+      (Leopard.Anomaly.to_string a);
+    Alcotest.(check bool) "count positive" true (n > 0)
+  | [] -> ());
+  Alcotest.(check (list string)) "clean census empty" []
+    (List.map
+       (fun (a, _) -> Leopard.Anomaly.to_string a)
+       (Rp.anomaly_census (clean_report ())))
+
+let suite =
+  [
+    Alcotest.test_case "verdict lines" `Slow test_verdict_lines;
+    Alcotest.test_case "summary fields" `Quick test_summary_fields;
+    Alcotest.test_case "bugs capped" `Slow test_bugs_capped;
+    Alcotest.test_case "anomaly census" `Slow test_census;
+  ]

@@ -1,0 +1,135 @@
+module Rng = Leopard_util.Rng
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next_int64 a = Rng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_split_independence () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  (* Advancing the child must not perturb the parent. *)
+  let probe = Rng.copy parent in
+  for _ = 1 to 50 do
+    ignore (Rng.next_int64 child)
+  done;
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "parent unaffected" (Rng.next_int64 probe)
+      (Rng.next_int64 parent)
+  done
+
+let test_copy () =
+  let a = Rng.create 9 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a)
+      (Rng.next_int64 b)
+  done
+
+let test_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_int_one () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "bound 1 gives 0" 0 (Rng.int rng 1)
+  done
+
+let test_int_invalid () =
+  let rng = Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_in () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1_000 do
+    let x = Rng.int_in rng (-3) 7 in
+    Alcotest.(check bool) "inclusive range" true (x >= -3 && x <= 7)
+  done
+
+let test_float_bounds () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_int_uniformity () =
+  let rng = Rng.create 13 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Rng.int rng 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iteri
+    (fun i count ->
+      let expected = n / 10 in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d near uniform" i)
+        true
+        (abs (count - expected) < expected / 5))
+    buckets
+
+let test_chance_extremes () =
+  let rng = Rng.create 17 in
+  Alcotest.(check bool) "p=0 never" false (Rng.chance rng 0.0);
+  Alcotest.(check bool) "p=1 always" true (Rng.chance rng 1.0)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 19 in
+  let a = Array.init 50 (fun i -> i) in
+  let b = Array.copy a in
+  Rng.shuffle rng b;
+  let sa = Array.to_list a and sb = List.sort compare (Array.to_list b) in
+  Alcotest.(check (list int)) "same multiset" sa sb
+
+let test_pick () =
+  let rng = Rng.create 23 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "picked element" true (Array.mem (Rng.pick rng a) a)
+  done
+
+let test_exponential_positive () =
+  let rng = Rng.create 29 in
+  let sum = ref 0.0 in
+  for _ = 1 to 10_000 do
+    let x = Rng.exponential rng 100.0 in
+    Alcotest.(check bool) "positive" true (x >= 0.0);
+    sum := !sum +. x
+  done;
+  let mean = !sum /. 10_000.0 in
+  Alcotest.(check bool) "mean near 100" true (mean > 90.0 && mean < 110.0)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "different seeds differ" `Quick test_different_seeds;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int bound 1" `Quick test_int_one;
+    Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+    Alcotest.test_case "int_in inclusive" `Quick test_int_in;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+    Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "pick membership" `Quick test_pick;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_positive;
+  ]

@@ -1,0 +1,192 @@
+module Sc = Leopard.Sc_verifier
+module Dep = Leopard.Dep
+
+let iv = Helpers.iv
+
+let dep kind from_txn to_txn =
+  { Dep.kind; from_txn; to_txn; source = Dep.From_cr }
+
+(* Register txn [i] with first op at [first] and commit at [terminal]. *)
+let note t ~txn ~first ~terminal =
+  Sc.note_commit t ~txn ~first_iv:first ~terminal_iv:terminal
+
+let test_ssi_pattern_detected () =
+  let t = Sc.create (Some Leopard.Il_profile.Ssi_pattern) in
+  (* three pairwise concurrent transactions *)
+  note t ~txn:1 ~first:(iv 0 10) ~terminal:(iv 100 110);
+  note t ~txn:2 ~first:(iv 0 10) ~terminal:(iv 100 110);
+  note t ~txn:3 ~first:(iv 0 10) ~terminal:(iv 100 110);
+  Alcotest.(check int) "first rw fine" 0
+    (List.length (Sc.add_dep t (dep Dep.Rw 1 2)));
+  let bugs = Sc.add_dep t (dep Dep.Rw 2 3) in
+  Alcotest.(check int) "pivot detected" 1 (List.length bugs)
+
+let test_ssi_two_cycle () =
+  let t = Sc.create (Some Leopard.Il_profile.Ssi_pattern) in
+  note t ~txn:1 ~first:(iv 0 10) ~terminal:(iv 100 110);
+  note t ~txn:2 ~first:(iv 0 10) ~terminal:(iv 100 110);
+  ignore (Sc.add_dep t (dep Dep.Rw 1 2));
+  let bugs = Sc.add_dep t (dep Dep.Rw 2 1) in
+  Alcotest.(check bool) "rw two-cycle flagged" true (List.length bugs > 0)
+
+let test_ssi_requires_concurrency () =
+  let t = Sc.create (Some Leopard.Il_profile.Ssi_pattern) in
+  (* serial transactions: rw chains are harmless *)
+  note t ~txn:1 ~first:(iv 0 10) ~terminal:(iv 20 30);
+  note t ~txn:2 ~first:(iv 40 50) ~terminal:(iv 60 70);
+  note t ~txn:3 ~first:(iv 80 90) ~terminal:(iv 95 99);
+  Alcotest.(check int) "serial rw 1" 0
+    (List.length (Sc.add_dep t (dep Dep.Rw 1 2)));
+  Alcotest.(check int) "serial rw 2" 0
+    (List.length (Sc.add_dep t (dep Dep.Rw 2 3)))
+
+let test_ssi_ignores_ww_wr () =
+  let t = Sc.create (Some Leopard.Il_profile.Ssi_pattern) in
+  note t ~txn:1 ~first:(iv 0 10) ~terminal:(iv 100 110);
+  note t ~txn:2 ~first:(iv 0 10) ~terminal:(iv 100 110);
+  note t ~txn:3 ~first:(iv 0 10) ~terminal:(iv 100 110);
+  ignore (Sc.add_dep t (dep Dep.Ww 1 2));
+  Alcotest.(check int) "ww then wr harmless" 0
+    (List.length (Sc.add_dep t (dep Dep.Wr 2 3)))
+
+let test_mvto_inversion () =
+  let t = Sc.create (Some Leopard.Il_profile.Mvto_order) in
+  note t ~txn:1 ~first:(iv 0 10) ~terminal:(iv 100 110);  (* older *)
+  note t ~txn:2 ~first:(iv 50 60) ~terminal:(iv 100 110);  (* younger *)
+  Alcotest.(check int) "old->young fine" 0
+    (List.length (Sc.add_dep t (dep Dep.Ww 1 2)));
+  let bugs = Sc.add_dep t (dep Dep.Wr 2 1) in
+  Alcotest.(check int) "young->old flagged" 1 (List.length bugs)
+
+let test_mvto_overlap_not_flagged () =
+  let t = Sc.create (Some Leopard.Il_profile.Mvto_order) in
+  (* overlapping first ops: order uncertain, must not flag *)
+  note t ~txn:1 ~first:(iv 0 10) ~terminal:(iv 100 110);
+  note t ~txn:2 ~first:(iv 5 15) ~terminal:(iv 100 110);
+  Alcotest.(check int) "uncertain order tolerated" 0
+    (List.length (Sc.add_dep t (dep Dep.Ww 2 1)))
+
+let test_cycle_detect () =
+  let t = Sc.create (Some Leopard.Il_profile.Cycle_detect) in
+  note t ~txn:1 ~first:(iv 0 10) ~terminal:(iv 20 30);
+  note t ~txn:2 ~first:(iv 0 10) ~terminal:(iv 20 30);
+  note t ~txn:3 ~first:(iv 0 10) ~terminal:(iv 20 30);
+  ignore (Sc.add_dep t (dep Dep.Ww 1 2));
+  ignore (Sc.add_dep t (dep Dep.Wr 2 3));
+  let bugs = Sc.add_dep t (dep Dep.Rw 3 1) in
+  Alcotest.(check int) "cycle closed" 1 (List.length bugs);
+  Alcotest.(check bool) "has_cycle agrees" true (Sc.has_cycle t)
+
+let test_no_certifier () =
+  let t = Sc.create None in
+  note t ~txn:1 ~first:(iv 0 10) ~terminal:(iv 20 30);
+  note t ~txn:2 ~first:(iv 0 10) ~terminal:(iv 20 30);
+  ignore (Sc.add_dep t (dep Dep.Rw 1 2));
+  Alcotest.(check int) "edges tracked" 1 (Sc.edges t)
+
+let test_unknown_endpoint_ignored () =
+  let t = Sc.create (Some Leopard.Il_profile.Cycle_detect) in
+  note t ~txn:1 ~first:(iv 0 10) ~terminal:(iv 20 30);
+  Alcotest.(check int) "edge to unknown dropped" 0
+    (List.length (Sc.add_dep t (dep Dep.Ww 1 99)));
+  Alcotest.(check int) "no edge stored" 0 (Sc.edges t)
+
+(* Definition 4 / Theorem 5 garbage collection *)
+let test_gc_prunes_garbage () =
+  let t = Sc.create (Some Leopard.Il_profile.Cycle_detect) in
+  note t ~txn:1 ~first:(iv 0 10) ~terminal:(iv 20 30);
+  note t ~txn:2 ~first:(iv 0 10) ~terminal:(iv 20 30);
+  ignore (Sc.add_dep t (dep Dep.Ww 1 2));
+  (* txn1: in-degree 0, terminal aft 30 <= frontier 50 -> garbage;
+     cascades to txn2 once 1's edge is dropped *)
+  let pruned = Sc.gc t ~frontier:50 in
+  Alcotest.(check int) "cascade prunes both" 2 pruned;
+  Alcotest.(check int) "empty graph" 0 (Sc.nodes t)
+
+let test_gc_keeps_recent () =
+  let t = Sc.create (Some Leopard.Il_profile.Cycle_detect) in
+  note t ~txn:1 ~first:(iv 0 10) ~terminal:(iv 20 30);
+  note t ~txn:2 ~first:(iv 0 10) ~terminal:(iv 60 70);
+  ignore (Sc.add_dep t (dep Dep.Ww 1 2));
+  let pruned = Sc.gc t ~frontier:50 in
+  (* txn1 is garbage; txn2's terminal is after the frontier *)
+  Alcotest.(check int) "only old pruned" 1 pruned;
+  Alcotest.(check int) "recent kept" 1 (Sc.nodes t)
+
+let test_gc_keeps_referenced () =
+  let t = Sc.create (Some Leopard.Il_profile.Cycle_detect) in
+  note t ~txn:1 ~first:(iv 0 10) ~terminal:(iv 20 30);
+  note t ~txn:2 ~first:(iv 0 10) ~terminal:(iv 20 30);
+  (* edge 2 -> 1 gives txn1 in-degree 1; txn2 is garbage *)
+  ignore (Sc.add_dep t (dep Dep.Ww 2 1));
+  let pruned = Sc.gc t ~frontier:50 in
+  Alcotest.(check int) "both eventually pruned via cascade" 2 pruned
+
+let test_ssi_pattern_survives_gc () =
+  (* regression (found by fuzzing): Definition 4's pruning is stated for
+     cycles, but an in-degree-zero reader can still be the x of a future
+     x -> pivot -> y dangerous structure; its interval evidence must
+     survive the pruning of its node *)
+  let t = Sc.create (Some Leopard.Il_profile.Ssi_pattern) in
+  note t ~txn:7 ~first:(iv 0 10) ~terminal:(iv 8 13);
+  note t ~txn:0 ~first:(iv 3 4) ~terminal:(iv 15 16);
+  ignore (Sc.add_dep t (dep Dep.Rw 7 0));
+  (* txn 7: in-degree 0, terminal aft 13 <= frontier -> pruned *)
+  let pruned = Sc.gc t ~frontier:14 in
+  Alcotest.(check int) "reader pruned" 1 pruned;
+  note t ~txn:5 ~first:(iv 14 15) ~terminal:(iv 18 19);
+  let bugs = Sc.add_dep t (dep Dep.Rw 0 5) in
+  Alcotest.(check int) "pattern still detected" 1 (List.length bugs)
+
+(* Theorem 5 property: pruning never removes a node that a later edge
+   insertion could pull into a cycle — later transactions begin after the
+   frontier, so no future edge can point at a pruned node.  We check the
+   operational consequence: a cycle formed among retained nodes is still
+   detected after an arbitrary gc. *)
+let prop_gc_preserves_detection =
+  QCheck.Test.make ~name:"theorem 5: gc never hides future cycles" ~count:200
+    QCheck.(pair (int_bound 4) (int_bound 1000))
+    (fun (extra, seed) ->
+      let rng = Leopard_util.Rng.create seed in
+      let t = Sc.create (Some Leopard.Il_profile.Cycle_detect) in
+      (* old garbage transactions *)
+      for i = 1 to 3 + extra do
+        note t ~txn:i ~first:(iv 0 5) ~terminal:(iv 10 (15 + i))
+      done;
+      ignore (Sc.gc t ~frontier:100);
+      (* new transactions beginning after the frontier *)
+      let base = 1000 in
+      for i = 0 to 2 do
+        note t ~txn:(base + i)
+          ~first:(iv (110 + i) (120 + i))
+          ~terminal:(iv 200 210)
+      done;
+      let shuffle = [| 0; 1; 2 |] in
+      Leopard_util.Rng.shuffle rng shuffle;
+      ignore (Sc.add_dep t (dep Dep.Ww (base + shuffle.(0)) (base + shuffle.(1))));
+      ignore (Sc.add_dep t (dep Dep.Ww (base + shuffle.(1)) (base + shuffle.(2))));
+      let bugs = Sc.add_dep t (dep Dep.Rw (base + shuffle.(2)) (base + shuffle.(0))) in
+      List.length bugs = 1)
+
+let suite =
+  [
+    Alcotest.test_case "SSI pattern detected" `Quick test_ssi_pattern_detected;
+    Alcotest.test_case "SSI rw two-cycle" `Quick test_ssi_two_cycle;
+    Alcotest.test_case "SSI requires concurrency" `Quick
+      test_ssi_requires_concurrency;
+    Alcotest.test_case "SSI ignores ww/wr chains" `Quick test_ssi_ignores_ww_wr;
+    Alcotest.test_case "MVTO inversion" `Quick test_mvto_inversion;
+    Alcotest.test_case "MVTO overlap tolerated" `Quick
+      test_mvto_overlap_not_flagged;
+    Alcotest.test_case "cycle detect" `Quick test_cycle_detect;
+    Alcotest.test_case "no certifier" `Quick test_no_certifier;
+    Alcotest.test_case "unknown endpoint ignored" `Quick
+      test_unknown_endpoint_ignored;
+    Alcotest.test_case "gc prunes garbage" `Quick test_gc_prunes_garbage;
+    Alcotest.test_case "gc keeps recent" `Quick test_gc_keeps_recent;
+    Alcotest.test_case "gc cascades through references" `Quick
+      test_gc_keeps_referenced;
+    Alcotest.test_case "SSI pattern survives gc (regression)" `Quick
+      test_ssi_pattern_survives_gc;
+    Helpers.qtest prop_gc_preserves_detection;
+  ]

@@ -1,0 +1,68 @@
+module Sim = Minidb.Sim
+
+let test_event_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~at:30 (fun () -> log := 30 :: !log);
+  Sim.schedule sim ~at:10 (fun () -> log := 10 :: !log);
+  Sim.schedule sim ~at:20 (fun () -> log := 20 :: !log);
+  Sim.run sim;
+  Alcotest.(check (list int)) "time order" [ 10; 20; 30 ] (List.rev !log)
+
+let test_same_time_fifo () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sim.schedule sim ~at:7 (fun () -> log := i :: !log)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "FIFO at equal time" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_clock_advances () =
+  let sim = Sim.create () in
+  let seen = ref (-1) in
+  Sim.schedule sim ~at:42 (fun () -> seen := Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check int) "now inside event" 42 !seen;
+  Alcotest.(check int) "clock rests at last event" 42 (Sim.now sim)
+
+let test_nested_scheduling () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~at:5 (fun () ->
+      log := `A :: !log;
+      Sim.schedule_after sim ~delay:3 (fun () -> log := `B :: !log);
+      Sim.schedule_after sim ~delay:0 (fun () -> log := `C :: !log));
+  Sim.run sim;
+  Alcotest.(check int) "3 events" 3 (List.length !log);
+  Alcotest.(check bool) "same-instant event before later one" true
+    (List.rev !log = [ `A; `C; `B ])
+
+let test_past_rejected () =
+  let sim = Sim.create () in
+  Sim.schedule sim ~at:10 (fun () ->
+      Alcotest.check_raises "past schedule"
+        (Invalid_argument "Sim.schedule: time 5 is before now 10") (fun () ->
+          Sim.schedule sim ~at:5 (fun () -> ())));
+  Sim.run sim
+
+let test_step_and_pending () =
+  let sim = Sim.create () in
+  Sim.schedule sim ~at:1 ignore;
+  Sim.schedule sim ~at:2 ignore;
+  Alcotest.(check int) "pending" 2 (Sim.pending sim);
+  Alcotest.(check bool) "step" true (Sim.step sim);
+  Alcotest.(check int) "pending after step" 1 (Sim.pending sim);
+  Alcotest.(check bool) "step" true (Sim.step sim);
+  Alcotest.(check bool) "exhausted" false (Sim.step sim)
+
+let suite =
+  [
+    Alcotest.test_case "event order" `Quick test_event_order;
+    Alcotest.test_case "same-time FIFO" `Quick test_same_time_fifo;
+    Alcotest.test_case "clock advances" `Quick test_clock_advances;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "past schedule rejected" `Quick test_past_rejected;
+    Alcotest.test_case "step and pending" `Quick test_step_and_pending;
+  ]

@@ -1,0 +1,95 @@
+module Stats = Leopard_util.Stats
+module Table = Leopard_util.Table
+
+let test_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 0.0 (Stats.mean s)
+
+let test_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check int) "count" 8 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "stddev" 2.0 (Stats.stddev s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.max s);
+  Alcotest.(check (float 1e-9)) "sum" 40.0 (Stats.sum s)
+
+let test_merge () =
+  let a = Stats.create () and b = Stats.create () and c = Stats.create () in
+  let xs = [ 1.0; 2.0; 3.0 ] and ys = [ 10.0; 20.0 ] in
+  List.iter (Stats.add a) xs;
+  List.iter (Stats.add b) ys;
+  List.iter (Stats.add c) (xs @ ys);
+  let m = Stats.merge a b in
+  Alcotest.(check int) "count" (Stats.count c) (Stats.count m);
+  Alcotest.(check (float 1e-9)) "mean" (Stats.mean c) (Stats.mean m);
+  Alcotest.(check (float 1e-6)) "stddev" (Stats.stddev c) (Stats.stddev m);
+  Alcotest.(check (float 1e-9)) "min" (Stats.min c) (Stats.min m);
+  Alcotest.(check (float 1e-9)) "max" (Stats.max c) (Stats.max m)
+
+let test_merge_empty () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.add a 5.0;
+  let m1 = Stats.merge a b and m2 = Stats.merge b a in
+  Alcotest.(check int) "a+empty" 1 (Stats.count m1);
+  Alcotest.(check int) "empty+a" 1 (Stats.count m2)
+
+let test_percentile () =
+  let samples = [ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0; 9.0; 10.0 ] in
+  Alcotest.(check (float 1e-9)) "p50" 5.0 (Stats.percentile samples 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 10.0 (Stats.percentile samples 100.0);
+  Alcotest.(check (float 1e-9)) "p10" 1.0 (Stats.percentile samples 10.0);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Stats.percentile [] 50.0)
+
+let prop_mean_bounds =
+  QCheck.Test.make ~name:"mean within min..max" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      Stats.mean s >= Stats.min s -. 1e-9
+      && Stats.mean s <= Stats.max s +. 1e-9)
+
+let test_table_render () =
+  let out =
+    Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "5 lines (incl trailing empty)" 5 (List.length lines);
+  (match lines with
+  | h :: sep :: r1 :: _ ->
+    Alcotest.(check string) "header" "|   a | bb |" h;
+    Alcotest.(check string) "separator" "|-----|----|" sep;
+    Alcotest.(check string) "row" "|   1 |  2 |" r1
+  | _ -> Alcotest.fail "missing lines")
+
+let test_table_alignment () =
+  let out =
+    Table.render ~aligns:[ Table.Left ] ~header:[ "x" ] [ [ "ab" ]; [ "c" ] ]
+  in
+  Alcotest.(check bool) "left aligned" true
+    (String.length out > 0
+    && String.split_on_char '\n' out |> fun l -> List.nth l 3 = "| c  |")
+
+let test_fmt () =
+  Alcotest.(check string) "fmt_int" "12,345" (Table.fmt_int 12345);
+  Alcotest.(check string) "fmt_int small" "37" (Table.fmt_int 37);
+  Alcotest.(check string) "fmt_int negative" "-1,000" (Table.fmt_int (-1000));
+  Alcotest.(check string) "fmt_float integral" "4" (Table.fmt_float 4.0);
+  Alcotest.(check string) "fmt_float frac" "3.14"
+    (Table.fmt_float ~decimals:2 3.14159)
+
+let suite =
+  [
+    Alcotest.test_case "empty stats" `Quick test_empty;
+    Alcotest.test_case "basic stats" `Quick test_basic;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "merge with empty" `Quick test_merge_empty;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Helpers.qtest prop_mean_bounds;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table alignment" `Quick test_table_alignment;
+    Alcotest.test_case "number formatting" `Quick test_fmt;
+  ]

@@ -1,0 +1,82 @@
+module W = Leopard_workload
+module Program = W.Program
+
+let test_shape () =
+  let spec = W.Tatp.spec ~subscribers:100 () in
+  (* 2 subscriber cells + 4*(2) facility cells + 12 cf cells per sub *)
+  Alcotest.(check int) "initial size" (100 * (2 + 8 + 12))
+    (List.length spec.W.Spec.initial);
+  let rng = Leopard_util.Rng.create 3 in
+  for _ = 1 to 200 do
+    let len = Program.length (spec.W.Spec.next_txn rng) in
+    Alcotest.(check bool) "1-2 ops" true (len >= 1 && len <= 2)
+  done
+
+let test_read_heavy () =
+  let spec = W.Tatp.spec ~subscribers:100 () in
+  let rng = Leopard_util.Rng.create 5 in
+  let reads = ref 0 and writes = ref 0 in
+  for _ = 1 to 2_000 do
+    let rec walk = function
+      | Program.Finish | Program.Rollback -> ()
+      | Program.Read { cells; k; _ } ->
+        incr reads;
+        walk
+          (k
+             (List.map
+                (fun cell -> { Leopard_trace.Trace.cell; value = 1 })
+                cells))
+      | Program.Write { k; _ } ->
+        incr writes;
+        walk (k ())
+    in
+    walk (spec.W.Spec.next_txn rng)
+  done;
+  let total = !reads + !writes in
+  let read_share = float_of_int !reads /. float_of_int total in
+  Alcotest.(check bool)
+    (Printf.sprintf "read share %.2f in [0.7, 0.95]" read_share)
+    true
+    (read_share > 0.7 && read_share < 0.95)
+
+let test_clean_verification () =
+  List.iter
+    (fun (level, il) ->
+      let o =
+        Helpers.run_workload ~clients:16 ~txns:800 ~seed:61
+          ~spec:(W.Tatp.spec ~subscribers:500 ())
+          ~profile:Minidb.Profile.postgresql ~level ()
+      in
+      let report =
+        Helpers.check il (Leopard_harness.Run.all_traces_sorted o)
+      in
+      Alcotest.(check int)
+        (il.Leopard.Il_profile.name ^ " clean")
+        0 report.bugs_total)
+    [
+      (Minidb.Isolation.Serializable, Leopard.Il_profile.postgresql_serializable);
+      (Minidb.Isolation.Read_committed, Leopard.Il_profile.postgresql_rc);
+    ]
+
+let test_fault_detected () =
+  let o =
+    Helpers.run_workload ~clients:16 ~txns:1_500 ~seed:61
+      ~faults:(Minidb.Fault.Set.singleton Minidb.Fault.Stale_read)
+      ~spec:(W.Tatp.spec ~subscribers:200 ())
+      ~profile:Minidb.Profile.postgresql ~level:Minidb.Isolation.Serializable
+      ()
+  in
+  let report =
+    Helpers.check Leopard.Il_profile.postgresql_serializable
+      (Leopard_harness.Run.all_traces_sorted o)
+  in
+  Alcotest.(check bool) "stale reads caught on TATP" true
+    (report.bugs_total > 0)
+
+let suite =
+  [
+    Alcotest.test_case "shape" `Quick test_shape;
+    Alcotest.test_case "read-heavy mix" `Quick test_read_heavy;
+    Alcotest.test_case "clean verification" `Slow test_clean_verification;
+    Alcotest.test_case "fault detected" `Slow test_fault_detected;
+  ]

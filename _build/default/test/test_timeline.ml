@@ -1,0 +1,69 @@
+module Timeline = Leopard_trace.Timeline
+
+let x = Helpers.cell 0
+let y = Helpers.cell 1
+
+let history =
+  [
+    Helpers.write ~client:0 ~txn:1 ~bef:0 ~aft:20 [ (x, 1) ];
+    Helpers.read ~client:1 ~txn:2 ~bef:10 ~aft:30 [ (y, 2) ];
+    Helpers.commit ~client:0 ~txn:1 ~bef:40 ~aft:60 ();
+    Helpers.abort ~client:1 ~txn:2 ~bef:70 ~aft:100 ();
+  ]
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_lanes () =
+  let s = Timeline.render ~max_width:50 history in
+  Alcotest.(check bool) "client 0 lane" true (contains s "client   0");
+  Alcotest.(check bool) "client 1 lane" true (contains s "client   1");
+  Alcotest.(check bool) "write glyph" true (contains s "W");
+  Alcotest.(check bool) "read glyph" true (contains s "R");
+  Alcotest.(check bool) "commit glyph" true (contains s "C");
+  Alcotest.(check bool) "abort glyph" true (contains s "A")
+
+let test_locking_glyph () =
+  let s =
+    Timeline.render ~max_width:30
+      [ Helpers.read ~locking:true ~client:0 ~txn:1 ~bef:0 ~aft:10 [ (x, 1) ] ]
+  in
+  Alcotest.(check bool) "locking read glyph" true (contains s "L")
+
+let test_empty () =
+  Alcotest.(check string) "empty note" "(empty history)\n" (Timeline.render [])
+
+let test_width_clipped () =
+  let s = Timeline.render ~max_width:40 history in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "line within budget" true (String.length line < 60))
+    (String.split_on_char '\n' s)
+
+let test_client_cap () =
+  let traces =
+    List.init 20 (fun c ->
+        Helpers.write ~client:c ~txn:c ~bef:(c * 10) ~aft:((c * 10) + 5)
+          [ (x, c) ])
+  in
+  let s = Timeline.render ~max_clients:4 traces in
+  Alcotest.(check bool) "mentions elided clients" true
+    (contains s "16 more clients")
+
+let test_for_cell () =
+  let s = Timeline.render_for_cell ~max_width:50 x history in
+  (* txn 2 never touches x, so its lane is empty/absent *)
+  Alcotest.(check bool) "keeps x's writer" true (contains s "W");
+  Alcotest.(check bool) "drops y's reader" false (contains s "R")
+
+let suite =
+  [
+    Alcotest.test_case "lanes and glyphs" `Quick test_lanes;
+    Alcotest.test_case "locking read glyph" `Quick test_locking_glyph;
+    Alcotest.test_case "empty history" `Quick test_empty;
+    Alcotest.test_case "width clipped" `Quick test_width_clipped;
+    Alcotest.test_case "client cap" `Quick test_client_cap;
+    Alcotest.test_case "per-cell view" `Quick test_for_cell;
+  ]

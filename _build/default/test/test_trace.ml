@@ -1,0 +1,90 @@
+module Cell = Leopard_trace.Cell
+module Trace = Leopard_trace.Trace
+
+let c00 = Helpers.cell 0
+let c01 = Helpers.cell ~col:1 0
+let c10 = Helpers.cell 1
+
+let test_cell_compare () =
+  Alcotest.(check bool) "equal" true (Cell.equal c00 (Helpers.cell 0));
+  Alcotest.(check bool) "col differs" false (Cell.equal c00 c01);
+  Alcotest.(check bool) "order by row" true (Cell.compare c00 c10 < 0);
+  Alcotest.(check bool) "order by col" true (Cell.compare c00 c01 < 0);
+  Alcotest.(check int) "hash equal for equal" (Cell.hash c00)
+    (Cell.hash (Helpers.cell 0))
+
+let test_cell_row_key () =
+  Alcotest.(check (pair int int)) "row key ignores col" (0, 0)
+    (Cell.row_key c01)
+
+let test_cell_containers () =
+  let s = Cell.Set.of_list [ c00; c01; c00 ] in
+  Alcotest.(check int) "set dedupes" 2 (Cell.Set.cardinal s);
+  let m = Cell.Map.(add c00 1 (add c10 2 empty)) in
+  Alcotest.(check (option int)) "map find" (Some 2) (Cell.Map.find_opt c10 m)
+
+let test_trace_interval () =
+  let t = Helpers.read ~txn:1 ~bef:10 ~aft:20 [ (c00, 5) ] in
+  let i = Trace.interval t in
+  Alcotest.(check int) "bef" 10 (Leopard_util.Interval.bef i);
+  Alcotest.(check int) "aft" 20 (Leopard_util.Interval.aft i)
+
+let test_compare_by_bef () =
+  let a = Helpers.read ~txn:1 ~bef:10 ~aft:20 [ (c00, 5) ] in
+  let b = Helpers.read ~txn:2 ~bef:11 ~aft:12 [ (c00, 5) ] in
+  let c = Helpers.read ~txn:3 ~bef:10 ~aft:15 [ (c00, 5) ] in
+  Alcotest.(check bool) "a < b" true (Trace.compare_by_bef a b < 0);
+  Alcotest.(check bool) "ties by aft" true (Trace.compare_by_bef c a < 0)
+
+let test_terminal () =
+  Alcotest.(check bool) "commit" true
+    (Trace.is_terminal (Helpers.commit ~txn:1 ~bef:1 ~aft:2 ()));
+  Alcotest.(check bool) "abort" true
+    (Trace.is_terminal (Helpers.abort ~txn:1 ~bef:1 ~aft:2 ()));
+  Alcotest.(check bool) "read" false
+    (Trace.is_terminal (Helpers.read ~txn:1 ~bef:1 ~aft:2 [ (c00, 1) ]))
+
+let test_items_accessors () =
+  let r = Helpers.read ~txn:1 ~bef:1 ~aft:2 [ (c00, 7) ] in
+  let w = Helpers.write ~txn:1 ~bef:1 ~aft:2 [ (c10, 8) ] in
+  Alcotest.(check int) "read items" 1 (List.length (Trace.read_items r));
+  Alcotest.(check int) "read items of write" 0
+    (List.length (Trace.read_items w));
+  Alcotest.(check int) "write items" 1 (List.length (Trace.write_items w))
+
+let test_well_formed () =
+  let ok t = Result.is_ok (Trace.well_formed t) in
+  Alcotest.(check bool) "good read" true
+    (ok (Helpers.read ~txn:1 ~bef:1 ~aft:2 [ (c00, 1) ]));
+  Alcotest.(check bool) "inverted interval" false
+    (ok { (Helpers.commit ~txn:1 ~bef:5 ~aft:6 ()) with Trace.ts_aft = 4 });
+  Alcotest.(check bool) "empty read set" false
+    (ok (Helpers.read ~txn:1 ~bef:1 ~aft:2 []));
+  Alcotest.(check bool) "negative txn" false
+    (ok (Helpers.commit ~txn:(-1) ~bef:1 ~aft:2 ()))
+
+let test_pp () =
+  let t = Helpers.read ~locking:true ~txn:3 ~bef:1 ~aft:2 [ (c00, 9) ] in
+  let s = Trace.to_string t in
+  Alcotest.(check bool) "mentions locking read" true
+    (String.length s > 0
+    &&
+    let contains hay needle =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+      go 0
+    in
+    contains s "read!" && contains s "t0.r0.c0=9")
+
+let suite =
+  [
+    Alcotest.test_case "cell compare/equal/hash" `Quick test_cell_compare;
+    Alcotest.test_case "cell row key" `Quick test_cell_row_key;
+    Alcotest.test_case "cell containers" `Quick test_cell_containers;
+    Alcotest.test_case "trace interval" `Quick test_trace_interval;
+    Alcotest.test_case "compare_by_bef" `Quick test_compare_by_bef;
+    Alcotest.test_case "is_terminal" `Quick test_terminal;
+    Alcotest.test_case "item accessors" `Quick test_items_accessors;
+    Alcotest.test_case "well_formed" `Quick test_well_formed;
+    Alcotest.test_case "pretty printer" `Quick test_pp;
+  ]

@@ -1,0 +1,102 @@
+module Vs = Minidb.Version_store
+
+let c = Helpers.cell 0
+
+let mk ?(writer = 1) ?(writer_ts = 0) ?(op = 0) ~value ~commit_ts () =
+  { Vs.value; writer; writer_ts; write_op = op; commit_ts }
+
+let test_load_and_visible () =
+  let s = Vs.create () in
+  Vs.load s c 777;
+  (match Vs.visible s c ~ts:100 with
+  | Some v ->
+    Alcotest.(check int) "initial value" 777 v.Vs.value;
+    Alcotest.(check int) "initial writer" (-1) v.Vs.writer
+  | None -> Alcotest.fail "no visible version");
+  Alcotest.(check int) "one cell" 1 (Vs.cells s)
+
+let test_snapshot_visibility () =
+  let s = Vs.create () in
+  Vs.load s c 0;
+  Vs.install s c (mk ~writer:1 ~value:10 ~commit_ts:100 ());
+  Vs.install s c (mk ~writer:2 ~value:20 ~commit_ts:200 ());
+  let value_at ts =
+    match Vs.visible s c ~ts with Some v -> v.Vs.value | None -> -1
+  in
+  Alcotest.(check int) "before both" 0 (value_at 50);
+  Alcotest.(check int) "after first" 10 (value_at 150);
+  Alcotest.(check int) "at exact ts" 10 (value_at 100);
+  Alcotest.(check int) "after second" 20 (value_at 300)
+
+let test_out_of_order_install () =
+  let s = Vs.create () in
+  Vs.install s c (mk ~writer:2 ~value:20 ~commit_ts:200 ());
+  Vs.install s c (mk ~writer:1 ~value:10 ~commit_ts:100 ());
+  let value_at ts =
+    match Vs.visible s c ~ts with Some v -> v.Vs.value | None -> -1
+  in
+  Alcotest.(check int) "sorted chain" 10 (value_at 150);
+  Alcotest.(check int) "newest wins" 20 (value_at 250)
+
+let test_predecessor () =
+  let s = Vs.create () in
+  Vs.install s c (mk ~writer:1 ~value:10 ~commit_ts:100 ());
+  Vs.install s c (mk ~writer:2 ~value:20 ~commit_ts:200 ());
+  (match Vs.predecessor_of_visible s c ~ts:300 with
+  | Some v -> Alcotest.(check int) "stale version" 10 v.Vs.value
+  | None -> Alcotest.fail "expected predecessor");
+  Alcotest.(check bool) "none below oldest" true
+    (Vs.predecessor_of_visible s c ~ts:150 = None)
+
+let test_committed_newer_than () =
+  let s = Vs.create () in
+  Vs.install s c (mk ~writer:1 ~value:10 ~commit_ts:100 ());
+  Vs.install s c (mk ~writer:2 ~value:20 ~commit_ts:200 ());
+  Vs.install s c (mk ~writer:3 ~value:30 ~commit_ts:300 ());
+  let newer = Vs.committed_newer_than s c ~ts:150 in
+  Alcotest.(check (list int)) "newer values" [ 30; 20 ]
+    (List.map (fun v -> v.Vs.value) newer)
+
+let test_visible_mvto () =
+  let s = Vs.create () in
+  Vs.install s c (mk ~writer:1 ~writer_ts:10 ~value:10 ~commit_ts:100 ());
+  Vs.install s c (mk ~writer:2 ~writer_ts:20 ~value:20 ~commit_ts:200 ());
+  (match Vs.visible_mvto s c ~writer_ts_max:15 with
+  | Some v -> Alcotest.(check int) "by writer ts" 10 v.Vs.value
+  | None -> Alcotest.fail "expected version")
+
+let test_aborted_versions () =
+  let s = Vs.create () in
+  Vs.install s c (mk ~writer:1 ~value:10 ~commit_ts:100 ());
+  Vs.record_aborted s c (mk ~writer:9 ~value:99 ~commit_ts:150 ());
+  (match Vs.latest_aborted_newer_than s c ~ts:100 with
+  | Some v -> Alcotest.(check int) "aborted surfaced" 99 v.Vs.value
+  | None -> Alcotest.fail "expected aborted version");
+  Alcotest.(check bool) "not newer than 200" true
+    (Vs.latest_aborted_newer_than s c ~ts:200 = None);
+  (* aborted versions never appear in normal visibility *)
+  match Vs.visible s c ~ts:500 with
+  | Some v -> Alcotest.(check int) "committed only" 10 v.Vs.value
+  | None -> Alcotest.fail "expected committed version"
+
+let test_row_info () =
+  let s = Vs.create () in
+  let info = Vs.row_info s (0, 0) in
+  Alcotest.(check int) "fresh last_commit" 0 info.Vs.last_commit_ts;
+  info.Vs.last_commit_ts <- 42;
+  let info2 = Vs.row_info s (0, 0) in
+  Alcotest.(check int) "same record" 42 info2.Vs.last_commit_ts;
+  let other = Vs.row_info s (0, 1) in
+  Alcotest.(check int) "distinct rows distinct" 0 other.Vs.last_commit_ts
+
+let suite =
+  [
+    Alcotest.test_case "load and visible" `Quick test_load_and_visible;
+    Alcotest.test_case "snapshot visibility" `Quick test_snapshot_visibility;
+    Alcotest.test_case "out-of-order install" `Quick test_out_of_order_install;
+    Alcotest.test_case "predecessor of visible" `Quick test_predecessor;
+    Alcotest.test_case "committed_newer_than" `Quick test_committed_newer_than;
+    Alcotest.test_case "visible_mvto" `Quick test_visible_mvto;
+    Alcotest.test_case "aborted side list" `Quick test_aborted_versions;
+    Alcotest.test_case "row info" `Quick test_row_info;
+  ]

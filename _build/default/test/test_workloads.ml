@@ -1,0 +1,212 @@
+module W = Leopard_workload
+module Rng = Leopard_util.Rng
+module Program = W.Program
+
+let rec ops_of_program prog =
+  match prog with
+  | Program.Finish | Program.Rollback -> []
+  | Program.Read { cells; k; _ } ->
+    let fake =
+      List.map (fun cell -> { Leopard_trace.Trace.cell; value = 1 }) cells
+    in
+    `Read (List.length cells) :: ops_of_program (k fake)
+  | Program.Write { items; k } ->
+    `Write (List.length items) :: ops_of_program (k ())
+
+let test_program_combinators () =
+  let prog =
+    Program.read [ Helpers.cell 0 ] (fun _ ->
+        Program.write_then [ (Helpers.cell 1, 5) ] Program.finish)
+  in
+  Alcotest.(check int) "length" 2 (Program.length prog);
+  match ops_of_program prog with
+  | [ `Read 1; `Write 1 ] -> ()
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_program_seq () =
+  let step () = Program.write [ (Helpers.cell 0, 1) ] (fun () -> Program.finish) in
+  let prog = Program.seq [ step; step; step ] in
+  Alcotest.(check int) "three ops" 3 (Program.length prog)
+
+let test_program_rollback_short_circuits () =
+  let prog =
+    Program.chain Program.rollback
+      [ (fun () -> Program.write [ (Helpers.cell 0, 1) ] (fun () -> Program.finish)) ]
+  in
+  Alcotest.(check int) "rollback stops" 0 (Program.length prog)
+
+let test_value_of () =
+  let items =
+    [
+      { Leopard_trace.Trace.cell = Helpers.cell 0; value = 7 };
+      { Leopard_trace.Trace.cell = Helpers.cell 1; value = 8 };
+    ]
+  in
+  Alcotest.(check int) "found" 8 (Program.value_of items (Helpers.cell 1));
+  Alcotest.(check int) "absent" 0 (Program.value_of items (Helpers.cell 9))
+
+let test_ycsb_shape () =
+  let spec = W.Ycsb.spec ~rows:100 ~theta:0.5 ~read_ratio:1.0 ~ops_per_txn:3 () in
+  Alcotest.(check int) "initial rows" 100 (List.length spec.W.Spec.initial);
+  let rng = Rng.create 1 in
+  let prog = spec.W.Spec.next_txn rng in
+  Alcotest.(check int) "3 ops" 3 (Program.length prog);
+  List.iter
+    (function
+      | `Read _ -> ()
+      | `Write _ -> Alcotest.fail "read_ratio 1.0 must not write")
+    (ops_of_program prog)
+
+let test_ycsb_write_ratio () =
+  let spec = W.Ycsb.spec ~rows:100 ~theta:0.0 ~read_ratio:0.0 () in
+  let rng = Rng.create 1 in
+  List.iter
+    (function
+      | `Write _ -> () | `Read _ -> Alcotest.fail "expected writes only")
+    (ops_of_program (spec.W.Spec.next_txn rng))
+
+let test_blindw_variants () =
+  let rng = Rng.create 5 in
+  let w = W.Blindw.spec ~rows:50 ~txn_len:4 W.Blindw.W in
+  Alcotest.(check int) "blindw-w length" 4
+    (Program.length (w.W.Spec.next_txn rng));
+  List.iter
+    (function
+      | `Write 1 -> () | _ -> Alcotest.fail "blindw-w is all single writes")
+    (ops_of_program (w.W.Spec.next_txn rng));
+  (* RW+: read transactions contain 10-key range reads *)
+  let rwp = W.Blindw.spec ~rows:50 ~txn_len:4 W.Blindw.RW_plus in
+  let saw_range = ref false in
+  for _ = 1 to 50 do
+    List.iter
+      (function `Read 10 -> saw_range := true | _ -> ())
+      (ops_of_program (rwp.W.Spec.next_txn rng))
+  done;
+  Alcotest.(check bool) "range reads present" true !saw_range
+
+let test_blindw_unique_values () =
+  let spec = W.Blindw.spec ~rows:50 ~txn_len:8 W.Blindw.W in
+  let rng = Rng.create 7 in
+  let values = ref [] in
+  for _ = 1 to 20 do
+    let rec collect prog =
+      match prog with
+      | Program.Finish | Program.Rollback -> ()
+      | Program.Read { k; _ } -> collect (k [])
+      | Program.Write { items; k } ->
+        List.iter (fun (_, v) -> values := v :: !values) items;
+        collect (k ())
+    in
+    collect (spec.W.Spec.next_txn rng)
+  done;
+  let sorted = List.sort compare !values in
+  let deduped = List.sort_uniq compare !values in
+  Alcotest.(check int) "written values unique" (List.length deduped)
+    (List.length sorted)
+
+let test_smallbank_amalgamate_zeroes () =
+  (* run many transactions; amalgamate must write literal zeroes *)
+  let spec = W.Smallbank.spec () in
+  let rng = Rng.create 11 in
+  let zero_writes = ref 0 in
+  for _ = 1 to 300 do
+    let rec walk prog =
+      match prog with
+      | Program.Finish | Program.Rollback -> ()
+      | Program.Read { cells; k; _ } ->
+        walk
+          (k
+             (List.map
+                (fun cell -> { Leopard_trace.Trace.cell; value = 5 })
+                cells))
+      | Program.Write { items; k } ->
+        List.iter (fun (_, v) -> if v = 0 then incr zero_writes) items;
+        walk (k ())
+    in
+    walk (spec.W.Spec.next_txn rng)
+  done;
+  Alcotest.(check bool) "duplicate zero writes occur" true (!zero_writes > 10)
+
+let test_smallbank_initial () =
+  let spec = W.Smallbank.spec ~scale_factor:2 () in
+  Alcotest.(check int) "two cells per account" (2 * 2000)
+    (List.length spec.W.Spec.initial)
+
+let test_tpcc_generation () =
+  let spec = W.Tpcc.spec () in
+  let rng = Rng.create 13 in
+  (* every transaction type must be generable without exceptions *)
+  for _ = 1 to 500 do
+    ignore (Program.length (spec.W.Spec.next_txn rng))
+  done;
+  Alcotest.(check bool) "initial population present" true
+    (List.length spec.W.Spec.initial > 1000)
+
+let test_tpcc_multi_column () =
+  (* payment writes two different columns of the same customer row *)
+  let spec = W.Tpcc.spec () in
+  let rng = Rng.create 17 in
+  let saw_multi_col = ref false in
+  for _ = 1 to 300 do
+    let rec walk prog =
+      match prog with
+      | Program.Finish | Program.Rollback -> ()
+      | Program.Read { cells; k; _ } ->
+        walk
+          (k (List.map (fun cell -> { Leopard_trace.Trace.cell; value = 3 }) cells))
+      | Program.Write { items; k } ->
+        let rows =
+          List.sort_uniq compare
+            (List.map (fun (c, _) -> Leopard_trace.Cell.row_key c) items)
+        in
+        if List.length items > List.length rows then saw_multi_col := true;
+        walk (k ())
+    in
+    walk (spec.W.Spec.next_txn rng)
+  done;
+  Alcotest.(check bool) "multi-column writes occur" true !saw_multi_col
+
+let test_determinism () =
+  let spec = W.Blindw.spec W.Blindw.RW in
+  let collect seed =
+    let rng = Rng.create seed in
+    List.init 10 (fun _ -> ops_of_program (spec.W.Spec.next_txn rng))
+  in
+  Alcotest.(check bool) "same seed same programs" true
+    (collect 3 = collect 3);
+  Alcotest.(check bool) "different seeds differ" true (collect 3 <> collect 4)
+
+let test_probes_complete () =
+  let probes = W.Probes.all () in
+  Alcotest.(check int) "one probe per fault" (List.length Minidb.Fault.all)
+    (List.length probes);
+  List.iter
+    (fun (p : W.Probes.probe) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "probe %s has verifier profile"
+           (Minidb.Fault.to_string p.fault))
+        true
+        (Leopard.Il_profile.find p.verifier_profile <> None);
+      Alcotest.(check bool) "engine profile supports level" true
+        (Minidb.Profile.supports p.db_profile p.level))
+    probes
+
+let suite =
+  [
+    Alcotest.test_case "program combinators" `Quick test_program_combinators;
+    Alcotest.test_case "program seq" `Quick test_program_seq;
+    Alcotest.test_case "rollback short-circuits" `Quick
+      test_program_rollback_short_circuits;
+    Alcotest.test_case "value_of" `Quick test_value_of;
+    Alcotest.test_case "ycsb shape" `Quick test_ycsb_shape;
+    Alcotest.test_case "ycsb write ratio" `Quick test_ycsb_write_ratio;
+    Alcotest.test_case "blindw variants" `Quick test_blindw_variants;
+    Alcotest.test_case "blindw unique values" `Quick test_blindw_unique_values;
+    Alcotest.test_case "smallbank amalgamate zeroes" `Quick
+      test_smallbank_amalgamate_zeroes;
+    Alcotest.test_case "smallbank initial" `Quick test_smallbank_initial;
+    Alcotest.test_case "tpcc generation" `Quick test_tpcc_generation;
+    Alcotest.test_case "tpcc multi-column writes" `Quick test_tpcc_multi_column;
+    Alcotest.test_case "workload determinism" `Quick test_determinism;
+    Alcotest.test_case "probes complete" `Quick test_probes_complete;
+  ]

@@ -1,0 +1,72 @@
+(* YCSB+T: the closed-economy invariant as an independent oracle. *)
+
+module W = Leopard_workload
+module Yt = W.Ycsb_t
+
+let accounts = 300
+
+let total_of (outcome : Leopard_harness.Run.outcome) =
+  let sum = ref 0 in
+  for a = 0 to accounts - 1 do
+    match outcome.peek (Yt.account_cell a) with
+    | Some v -> sum := !sum + v
+    | None -> Alcotest.failf "account %d missing" a
+  done;
+  !sum
+
+let run ?faults ~level () =
+  Helpers.run_workload ~clients:16 ~txns:1_500 ~seed:51 ?faults
+    ~spec:(Yt.spec ~accounts ~theta:0.9 ())
+    ~profile:Minidb.Profile.postgresql ~level ()
+
+let test_invariant_holds_at_si () =
+  let o = run ~level:Minidb.Isolation.Snapshot_isolation () in
+  Alcotest.(check int) "closed economy preserved"
+    (Yt.initial_total ~accounts) (total_of o)
+
+let test_invariant_holds_at_sr () =
+  let o = run ~level:Minidb.Isolation.Serializable () in
+  Alcotest.(check int) "closed economy preserved"
+    (Yt.initial_total ~accounts) (total_of o)
+
+let test_lost_updates_break_invariant_and_are_flagged () =
+  let faults = Minidb.Fault.Set.singleton Minidb.Fault.No_fuw in
+  let o = run ~faults ~level:Minidb.Isolation.Snapshot_isolation () in
+  (* the end-state oracle sees money created/destroyed... *)
+  Alcotest.(check bool) "invariant broken" true
+    (total_of o <> Yt.initial_total ~accounts);
+  (* ...and Leopard sees the same bug from traces alone *)
+  let report =
+    Helpers.check Leopard.Il_profile.postgresql_si
+      (Leopard_harness.Run.all_traces_sorted o)
+  in
+  Alcotest.(check bool) "FUW violations flagged" true
+    (List.mem "FUW" (Helpers.bug_mechanisms report))
+
+let test_clean_verification () =
+  let o = run ~level:Minidb.Isolation.Snapshot_isolation () in
+  let report =
+    Helpers.check Leopard.Il_profile.postgresql_si
+      (Leopard_harness.Run.all_traces_sorted o)
+  in
+  Alcotest.(check int) "no false positives" 0 report.bugs_total
+
+let test_spec_shape () =
+  let spec = Yt.spec ~accounts:50 () in
+  Alcotest.(check int) "initial size" 50
+    (List.length spec.W.Spec.initial);
+  let rng = Leopard_util.Rng.create 3 in
+  for _ = 1 to 100 do
+    let len = W.Program.length (spec.W.Spec.next_txn rng) in
+    Alcotest.(check bool) "1-2 ops" true (len >= 1 && len <= 2)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "invariant holds at SI" `Slow test_invariant_holds_at_si;
+    Alcotest.test_case "invariant holds at SR" `Slow test_invariant_holds_at_sr;
+    Alcotest.test_case "lost updates break invariant and are flagged" `Slow
+      test_lost_updates_break_invariant_and_are_flagged;
+    Alcotest.test_case "clean verification" `Slow test_clean_verification;
+    Alcotest.test_case "spec shape" `Quick test_spec_shape;
+  ]

@@ -1,0 +1,75 @@
+module Rng = Leopard_util.Rng
+module Zipf = Leopard_util.Zipf
+
+let sample_counts ~n ~theta ~draws =
+  let z = Zipf.create ~n ~theta in
+  let rng = Rng.create 101 in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let k = Zipf.sample z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  counts
+
+let test_bounds () =
+  let z = Zipf.create ~n:100 ~theta:0.99 in
+  let rng = Rng.create 1 in
+  for _ = 1 to 50_000 do
+    let k = Zipf.sample z rng in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 100)
+  done
+
+let test_uniform_when_theta_zero () =
+  let counts = sample_counts ~n:10 ~theta:0.0 ~draws:100_000 in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rank %d near uniform" i)
+        true
+        (abs (c - 10_000) < 2_000))
+    counts
+
+let test_skew_orders_ranks () =
+  let counts = sample_counts ~n:100 ~theta:0.99 ~draws:200_000 in
+  Alcotest.(check bool) "rank 0 hottest" true (counts.(0) > counts.(10));
+  Alcotest.(check bool) "rank 1 hotter than rank 50" true
+    (counts.(1) > counts.(50));
+  (* zipf(0.99): rank 0 should take a large share *)
+  Alcotest.(check bool) "rank 0 share > 10%" true (counts.(0) > 20_000)
+
+let test_higher_theta_more_skew () =
+  let c1 = sample_counts ~n:50 ~theta:0.5 ~draws:100_000 in
+  let c2 = sample_counts ~n:50 ~theta:0.99 ~draws:100_000 in
+  Alcotest.(check bool) "theta 0.99 concentrates more" true
+    (c2.(0) > c1.(0))
+
+let test_n_one () =
+  let z = Zipf.create ~n:1 ~theta:0.99 in
+  let rng = Rng.create 2 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "only rank 0" 0 (Zipf.sample z rng)
+  done
+
+let test_accessors () =
+  let z = Zipf.create ~n:42 ~theta:0.7 in
+  Alcotest.(check int) "n" 42 (Zipf.n z);
+  Alcotest.(check (float 1e-9)) "theta" 0.7 (Zipf.theta z)
+
+let test_invalid () =
+  Alcotest.check_raises "n = 0"
+    (Invalid_argument "Zipf.create: n must be >= 1") (fun () ->
+      ignore (Zipf.create ~n:0 ~theta:0.5));
+  Alcotest.check_raises "negative theta"
+    (Invalid_argument "Zipf.create: theta must be >= 0") (fun () ->
+      ignore (Zipf.create ~n:5 ~theta:(-1.0)))
+
+let suite =
+  [
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "uniform at theta=0" `Quick test_uniform_when_theta_zero;
+    Alcotest.test_case "skew orders ranks" `Quick test_skew_orders_ranks;
+    Alcotest.test_case "higher theta more skew" `Quick test_higher_theta_more_skew;
+    Alcotest.test_case "n=1" `Quick test_n_one;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid;
+  ]
