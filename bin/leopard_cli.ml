@@ -37,51 +37,86 @@ let print_inference ~dbms traces =
     | None -> Printf.printf "no claim supported\n"
   end
 
-(* Verify a previously recorded trace file (see Leopard_trace.Codec). *)
-let check_file ~dbms ~level ~show_bugs ~infer path =
-  match
-    (Minidb.Isolation.level_of_string level, Leopard_trace.Codec.load ~path)
-  with
-  | None, _ ->
-    prerr_endline ("unknown isolation level: " ^ level);
-    exit 2
-  | _, Error e ->
-    prerr_endline ("cannot load " ^ path ^ ": " ^ e);
-    exit 2
-  | Some level, Ok traces ->
-    let il =
-      match verifier_profile ~dbms ~level with
-      | Some il -> il
-      | None ->
-        prerr_endline "no verification profile for this (dbms, level)";
-        exit 2
-    in
-    let checker = Leopard.Checker.create il in
-    let sorted = List.sort Leopard_trace.Trace.compare_by_bef traces in
-    if infer then print_inference ~dbms sorted;
-    let wall0 = Sys.time () in
-    List.iter (Leopard.Checker.feed checker) sorted;
-    Leopard.Checker.finalize checker;
-    let wall = Sys.time () -. wall0 in
-    let report = Leopard.Checker.report checker in
-    Printf.printf
-      "checked  : %s — %d traces, %d committed txns, %.1f ms wall\n" path
-      report.traces report.committed (wall *. 1e3);
-    if report.bugs_total = 0 then begin
+(* Shared epilogue: exit 0 verified, 1 violation, 3 inconclusive (2 is
+   reserved for usage errors).  Byte-identical to the historical output
+   on clean, degradation-free runs. *)
+let finish ~show_bugs (report : Leopard.Checker.report) =
+  if report.bugs_total = 0 then begin
+    match Leopard.Checker.verdict report with
+    | Leopard.Checker.Inconclusive reason ->
+      Printf.printf "verdict  : INCONCLUSIVE — no violations proven, but %s\n"
+        reason;
+      exit 3
+    | Leopard.Checker.Verified | Leopard.Checker.Violation ->
       Printf.printf "verdict  : PASS — no isolation violations\n";
       exit 0
-    end
-    else begin
-      Printf.printf "verdict  : FAIL — %d violations\n" report.bugs_total;
-      List.iteri
-        (fun i b ->
-          if i < show_bugs then Printf.printf "  %s\n" (Leopard.Bug.to_string b))
-        report.bugs;
-      exit 1
-    end
+  end
+  else begin
+    Printf.printf "verdict  : FAIL — %d violations\n" report.bugs_total;
+    List.iteri
+      (fun i b ->
+        if i < show_bugs then Printf.printf "  %s\n" (Leopard.Bug.to_string b))
+      report.bugs;
+    exit 1
+  end
+
+(* Verify a previously recorded trace file (see Leopard_trace.Codec). *)
+let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
+  let level =
+    match Minidb.Isolation.level_of_string level with
+    | Some l -> l
+    | None ->
+      prerr_endline ("unknown isolation level: " ^ level);
+      exit 2
+  in
+  let traces, skipped =
+    if lenient then (
+      match Leopard_trace.Codec.load_lenient ~path with
+      | traces, skipped -> (traces, skipped)
+      | exception Sys_error e ->
+        prerr_endline ("cannot load " ^ path ^ ": " ^ e);
+        exit 2)
+    else
+      match Leopard_trace.Codec.load ~path with
+      | Ok traces -> (traces, [])
+      | Error e ->
+        prerr_endline ("cannot load " ^ path ^ ": " ^ e);
+        exit 2
+      | exception Sys_error e ->
+        prerr_endline ("cannot load " ^ path ^ ": " ^ e);
+        exit 2
+  in
+  let il =
+    match verifier_profile ~dbms ~level with
+    | Some il -> il
+    | None ->
+      prerr_endline "no verification profile for this (dbms, level)";
+      exit 2
+  in
+  let checker = Leopard.Checker.create il in
+  let sorted = List.sort Leopard_trace.Trace.compare_by_bef traces in
+  if infer then print_inference ~dbms sorted;
+  let wall0 = Sys.time () in
+  (* losses must be known before reads are checked, so a value whose
+     write may have been on a skipped line is not misreported as a bug *)
+  Leopard.Checker.note_lost_traces checker (List.length skipped);
+  List.iter (Leopard.Checker.feed checker) sorted;
+  Leopard.Checker.finalize checker;
+  let wall = Sys.time () -. wall0 in
+  let report = Leopard.Checker.report checker in
+  Printf.printf "checked  : %s — %d traces, %d committed txns, %.1f ms wall\n"
+    path report.traces report.committed (wall *. 1e3);
+  if skipped <> [] then begin
+    Printf.printf "skipped  : %d undecodable line(s)\n" (List.length skipped);
+    List.iteri
+      (fun i (lineno, diag) ->
+        if i < show_bugs then Printf.printf "  line %d: %s\n" lineno diag)
+      skipped
+  end;
+  finish ~show_bugs report
 
 let run_workload_mode workload dbms level faults clients txns seed show_bugs
-    record infer =
+    record infer chaos max_retries max_stall_ns =
   match
     ( workload_of_string workload,
       Minidb.Profile.find dbms,
@@ -113,11 +148,6 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
             exit 2)
         Minidb.Fault.Set.empty faults
     in
-    let config =
-      Leopard_harness.Run.config ~clients ~seed ~faults ~spec ~profile ~level
-        ~stop:(Leopard_harness.Run.Txn_count txns) ()
-    in
-    let outcome = Leopard_harness.Run.execute config in
     let il =
       match verifier_profile ~dbms ~level with
       | Some il -> il
@@ -125,59 +155,90 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
         prerr_endline "no verification profile for this (dbms, level)";
         exit 2
     in
-    let checker = Leopard.Checker.create il in
-    let pipeline = Leopard.Pipeline.of_lists outcome.client_traces in
-    let wall0 = Sys.time () in
-    ignore (Leopard.Pipeline.drain pipeline ~f:(Leopard.Checker.feed checker));
-    Leopard.Checker.finalize checker;
-    let wall = Sys.time () -. wall0 in
-    let report = Leopard.Checker.report checker in
-    Printf.printf "run      : %s on %s/%s, %d clients, seed %d\n"
-      spec.Leopard_workload.Spec.name dbms
-      (Minidb.Isolation.level_to_string level)
-      clients seed;
-    if not (Minidb.Fault.Set.is_empty faults) then
-      Printf.printf "faults   : %s\n"
-        (String.concat ", "
-           (List.map Minidb.Fault.to_string (Minidb.Fault.Set.elements faults)));
-    Printf.printf "engine   : %d committed, %d aborted, %.1f ms simulated\n"
-      outcome.commits outcome.aborts
-      (float_of_int outcome.sim_duration_ns /. 1e6);
-    Printf.printf
-      "verifier : %d traces, %d reads checked, %d deps deduced, %.1f ms wall\n"
-      report.traces report.reads_checked report.deps_deduced (wall *. 1e3);
-    Printf.printf "memory   : peak %d mirrored entries (pipeline peak %d)\n"
-      report.peak_live
-      (Leopard.Pipeline.peak_memory pipeline);
-    (match record with
-    | Some path ->
-      Leopard_trace.Codec.save ~path
-        (Leopard_harness.Run.all_traces_sorted outcome);
-      Printf.printf "recorded : %s (%d traces)\n" path report.traces
-    | None -> ());
-    if infer then
-      print_inference ~dbms (Leopard_harness.Run.all_traces_sorted outcome);
-    if report.bugs_total = 0 then begin
-      Printf.printf "verdict  : PASS — no isolation violations\n";
-      exit 0
-    end
-    else begin
-      Printf.printf "verdict  : FAIL — %d violations\n" report.bugs_total;
-      List.iteri
-        (fun i b ->
-          if i < show_bugs then
-            Printf.printf "  %s\n" (Leopard.Bug.to_string b))
-        report.bugs;
-      exit 1
-    end
+    let config =
+      Leopard_harness.Run.config ~clients ~seed ~faults ?chaos ~max_retries
+        ~spec ~profile ~level ~stop:(Leopard_harness.Run.Txn_count txns) ()
+    in
+    let header outcome =
+      Printf.printf "run      : %s on %s/%s, %d clients, seed %d\n"
+        spec.Leopard_workload.Spec.name dbms
+        (Minidb.Isolation.level_to_string level)
+        clients seed;
+      if not (Minidb.Fault.Set.is_empty faults) then
+        Printf.printf "faults   : %s\n"
+          (String.concat ", "
+             (List.map Minidb.Fault.to_string
+                (Minidb.Fault.Set.elements faults)));
+      Printf.printf "engine   : %d committed, %d aborted, %.1f ms simulated\n"
+        outcome.Leopard_harness.Run.commits outcome.Leopard_harness.Run.aborts
+        (float_of_int outcome.Leopard_harness.Run.sim_duration_ns /. 1e6);
+      if max_retries > 0 then
+        Printf.printf "retries  : %d aborted attempts re-run (cap %d)\n"
+          outcome.Leopard_harness.Run.retries max_retries
+    in
+    let footer outcome (report : Leopard.Checker.report) =
+      (match record with
+      | Some path ->
+        Leopard_trace.Codec.save ~path
+          (Leopard_harness.Run.all_traces_sorted outcome);
+        Printf.printf "recorded : %s (%d traces)\n" path report.traces
+      | None -> ());
+      if infer then
+        print_inference ~dbms (Leopard_harness.Run.all_traces_sorted outcome);
+      finish ~show_bugs report
+    in
+    (match chaos with
+    | None ->
+      (* offline: collect the whole run, then drain through the pipeline *)
+      let outcome = Leopard_harness.Run.execute config in
+      let checker = Leopard.Checker.create il in
+      let pipeline = Leopard.Pipeline.of_lists outcome.client_traces in
+      let wall0 = Sys.time () in
+      ignore
+        (Leopard.Pipeline.drain pipeline ~f:(Leopard.Checker.feed checker));
+      Leopard.Checker.finalize checker;
+      let wall = Sys.time () -. wall0 in
+      let report = Leopard.Checker.report checker in
+      header outcome;
+      Printf.printf
+        "verifier : %d traces, %d reads checked, %d deps deduced, %.1f ms \
+         wall\n"
+        report.traces report.reads_checked report.deps_deduced (wall *. 1e3);
+      Printf.printf "memory   : peak %d mirrored entries (pipeline peak %d)\n"
+        report.peak_live
+        (Leopard.Pipeline.peak_memory pipeline);
+      footer outcome report
+    | Some _ ->
+      (* chaotic collection: verify online so crashed clients release the
+         watermark and in-flight transactions are marked indeterminate *)
+      let res = Leopard_harness.Online.run ~max_stall_ns ~il config in
+      let outcome = res.Leopard_harness.Online.outcome in
+      let report = res.Leopard_harness.Online.report in
+      header outcome;
+      Printf.printf
+        "chaos    : %d crashed client(s), %d indeterminate txn(s), %d \
+         dropped, %d duplicated, %d delayed\n"
+        (List.length outcome.Leopard_harness.Run.crashed_clients)
+        (List.length outcome.Leopard_harness.Run.indeterminate_txns)
+        outcome.Leopard_harness.Run.chaos_dropped
+        outcome.Leopard_harness.Run.chaos_duplicated
+        outcome.Leopard_harness.Run.chaos_delayed;
+      Printf.printf
+        "verifier : %d traces, %d reads checked, %d deps deduced, %.1f ms \
+         wall (%d rounds)\n"
+        report.traces report.reads_checked report.deps_deduced
+        (res.Leopard_harness.Online.verify_wall_s *. 1e3)
+        res.Leopard_harness.Online.rounds;
+      print_string (Leopard.Report_pp.degradation_line report.degradation);
+      footer outcome report)
 
 let run workload dbms level faults clients txns seed show_bugs record check
-    infer =
+    infer chaos max_retries max_stall_ns lenient =
   match check with
-  | Some path -> check_file ~dbms ~level ~show_bugs ~infer path
+  | Some path -> check_file ~dbms ~level ~show_bugs ~infer ~lenient path
   | None ->
     run_workload_mode workload dbms level faults clients txns seed show_bugs
-      record infer
+      record infer chaos max_retries max_stall_ns
 
 open Cmdliner
 
@@ -246,12 +307,95 @@ let infer =
            offers, whether the history supports that claim (level \
            inference).")
 
+let chaos_crash =
+  Arg.(
+    value & opt float 0.0
+    & info [ "chaos-crash" ] ~docv:"PROB"
+        ~doc:"Per-operation probability that a client crashes.")
+
+let chaos_drop =
+  Arg.(
+    value & opt float 0.0
+    & info [ "chaos-drop" ] ~docv:"PROB"
+        ~doc:"Per-trace probability of delivery loss on the collection path.")
+
+let chaos_dup =
+  Arg.(
+    value & opt float 0.0
+    & info [ "chaos-dup" ] ~docv:"PROB"
+        ~doc:"Per-trace probability of duplicate delivery.")
+
+let chaos_delay =
+  Arg.(
+    value & opt float 0.0
+    & info [ "chaos-delay" ] ~docv:"PROB"
+        ~doc:"Per-trace probability of delayed delivery.")
+
+let chaos_delay_ns =
+  Arg.(
+    value & opt int 500_000
+    & info [ "chaos-delay-ns" ] ~docv:"NS"
+        ~doc:"Upper bound on injected delivery delay (simulated ns).")
+
+let chaos_skew_ns =
+  Arg.(
+    value & opt int 0
+    & info [ "chaos-skew-ns" ] ~docv:"NS"
+        ~doc:"Per-client clock skew magnitude bound (simulated ns).")
+
+let chaos_seed =
+  Arg.(
+    value & opt int 1
+    & info [ "chaos-seed" ] ~docv:"SEED"
+        ~doc:"Seed of the chaos decision streams (independent of --seed).")
+
+let chaos_term =
+  let make crash drop dup delay delay_ns skew_ns cseed =
+    let cfg =
+      Leopard_harness.Chaos.config ~seed:cseed ~crash_prob:crash
+        ~drop_prob:drop ~dup_prob:dup ~delay_prob:delay ~max_delay_ns:delay_ns
+        ~clock_skew_ns:skew_ns ()
+    in
+    if Leopard_harness.Chaos.is_disabled cfg then None else Some cfg
+  in
+  Cmdliner.Term.(
+    const make $ chaos_crash $ chaos_drop $ chaos_dup $ chaos_delay
+    $ chaos_delay_ns $ chaos_skew_ns $ chaos_seed)
+
+let max_retries =
+  Arg.(
+    value & opt int 0
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:
+          "Re-run a transaction program up to $(docv) times when the engine \
+           aborts it (deadlock victim, first-updater-wins, certifier), with \
+           bounded exponential backoff.")
+
+let max_stall_ns =
+  Arg.(
+    value & opt int 2_000_000
+    & info [ "max-stall-ns" ] ~docv:"NS"
+        ~doc:
+          "Chaos mode: how long (simulated ns) an empty-but-live client \
+           stream may pin the dispatch watermark before being treated as \
+           stalled.")
+
+let lenient =
+  Arg.(
+    value & flag
+    & info [ "lenient" ]
+        ~doc:
+          "With --check: skip undecodable trace lines instead of rejecting \
+           the file, counting them as lost (the verdict degrades to \
+           INCONCLUSIVE rather than claiming a full pass).")
+
 let cmd =
   let doc = "verify isolation levels from client-side traces (Leopard)" in
   Cmd.v
     (Cmd.info "leopard" ~doc)
     Term.(
       const run $ workload $ dbms $ level $ faults $ clients $ txns $ seed
-      $ show_bugs $ record $ check $ infer)
+      $ show_bugs $ record $ check $ infer $ chaos_term $ max_retries
+      $ max_stall_ns $ lenient)
 
 let () = exit (Cmd.eval cmd)

@@ -2,7 +2,7 @@ module Cell = Leopard_trace.Cell
 module Trace = Leopard_trace.Trace
 module Interval = Leopard_util.Interval
 
-type status = Active | Committed | Aborted
+type status = Active | Committed | Aborted | Indeterminate
 
 type vtxn = {
   vid : int;
@@ -22,6 +22,22 @@ type pending_read = {
   items : (Cell.t * Trace.value) list;
 }
 
+type degradation = {
+  crashed_clients : int;
+  indeterminate_txns : int;
+  dup_traces_dropped : int;
+  late_traces_dropped : int;
+  lost_traces : int;
+  inconclusive_reads : int;
+  unterminated_txns : int;
+}
+
+let degradation_free d =
+  d.crashed_clients = 0 && d.indeterminate_txns = 0
+  && d.dup_traces_dropped = 0 && d.late_traces_dropped = 0
+  && d.lost_traces = 0 && d.inconclusive_reads = 0
+  && d.unterminated_txns = 0
+
 type report = {
   traces : int;
   committed : int;
@@ -38,7 +54,10 @@ type report = {
   pruned_locks : int;
   pruned_fuw : int;
   pruned_graph : int;
+  degradation : degradation;
 }
+
+type verdict = Verified | Violation | Inconclusive of string
 
 type t = {
   profile : Il_profile.t;
@@ -59,6 +78,17 @@ type t = {
   aborted_values : (Trace.value * int * int) list ref Cell.Tbl.t;
       (* (value, txn, terminal_aft) of aborted writes, kept only to
          classify violations as G1a aborted reads *)
+  indeterminate_ids : (int, unit) Hashtbl.t;
+      (* txns whose commit outcome the collector cannot know (crashed
+         clients): excluded from ME/FUW/SC obligations, and reads
+         matching their writes are inconclusive, not violations *)
+  indeterminate_values : (Trace.value * int) list ref Cell.Tbl.t;
+      (* (value, txn) of indeterminate writes; never pruned — a crashed
+         commit may have installed them at any later point *)
+  dedup_seen : (int * int * int, Trace.t) Hashtbl.t;
+      (* (client, txn, ts_bef) of traces at the current frontier, for
+         dropping chaos-duplicated deliveries *)
+  mutable dedup_ts : int;
   mutable frontier : int;
   mutable traces : int;
   mutable committed : int;
@@ -71,6 +101,12 @@ type t = {
   mutable pruned_locks : int;
   mutable pruned_fuw : int;
   mutable pruned_graph : int;
+  mutable dup_dropped : int;
+  mutable inconclusive_reads : int;
+  mutable ext_crashed_clients : int;
+  mutable ext_late_dropped : int;
+  mutable ext_lost : int;
+  mutable finalized : bool;
   mutable dep_hook : (Dep.t -> unit) option;
   mech_counts : (Bug.mechanism, int) Hashtbl.t;
 }
@@ -92,6 +128,10 @@ let create ?(gc_every = 512) ?(narrow_candidates = true)
     txns = Hashtbl.create 4096;
     initial_readers = Cell.Tbl.create 64;
     aborted_values = Cell.Tbl.create 64;
+    indeterminate_ids = Hashtbl.create 8;
+    indeterminate_values = Cell.Tbl.create 8;
+    dedup_seen = Hashtbl.create 64;
+    dedup_ts = min_int;
     deferred =
       Leopard_util.Min_heap.create ~compare:(fun a b ->
           compare (Interval.aft a.read_iv) (Interval.aft b.read_iv));
@@ -107,6 +147,12 @@ let create ?(gc_every = 512) ?(narrow_candidates = true)
     pruned_locks = 0;
     pruned_fuw = 0;
     pruned_graph = 0;
+    dup_dropped = 0;
+    inconclusive_reads = 0;
+    ext_crashed_clients = 0;
+    ext_late_dropped = 0;
+    ext_lost = 0;
+    finalized = false;
     dep_hook = None;
     mech_counts = Hashtbl.create 4;
   }
@@ -122,7 +168,9 @@ let vtxn t id =
         vid = id;
         first_iv = None;
         terminal_iv = None;
-        vstatus = Active;
+        vstatus =
+          (if Hashtbl.mem t.indeterminate_ids id then Indeterminate
+           else Active);
         writes = Cell.Tbl.create 8;
         write_cells = [];
         pending_deps = [];
@@ -168,6 +216,7 @@ and forward_dep t (d : Dep.t) =
   | Committed, Committed ->
     List.iter (report_bug t) (Sc_verifier.add_dep t.sc d)
   | Aborted, _ | _, Aborted -> ()
+  | Indeterminate, _ | _, Indeterminate -> ()
   | Active, _ ->
     let v = vtxn t d.from_txn in
     v.pending_deps <- d :: v.pending_deps
@@ -180,6 +229,42 @@ and flush_pending t v =
   v.pending_deps <- [];
   List.iter (forward_dep t) deps
 
+(* ------------------------------------------------------------------ *)
+(* Indeterminate transactions: a crashed client's in-flight transaction
+   may or may not have committed server-side, and the trace stream cannot
+   tell.  Treating it as either outcome risks false alarms, so it carries
+   no obligations: its ME locks are discarded unchecked (release instant
+   unknown), it joins no FUW/SC state (never registered without a commit
+   trace), pending deps touching it are dropped, and reads observing one
+   of its written values are inconclusive rather than violations. *)
+
+let register_indeterminate_value t cell value vid =
+  let entries =
+    match Cell.Tbl.find_opt t.indeterminate_values cell with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Cell.Tbl.add t.indeterminate_values cell r;
+      r
+  in
+  if not (List.mem (value, vid) !entries) then
+    entries := (value, vid) :: !entries
+
+let make_indeterminate t (v : vtxn) =
+  v.vstatus <- Indeterminate;
+  v.pending_deps <- [];
+  Me_verifier.discard t.me ~txn:v.vid;
+  Cell.Tbl.iter
+    (fun cell (value, _) -> register_indeterminate_value t cell value v.vid)
+    v.writes
+
+let mark_indeterminate t ~txn =
+  if not (Hashtbl.mem t.indeterminate_ids txn) then begin
+    Hashtbl.replace t.indeterminate_ids txn ();
+    match Hashtbl.find_opt t.txns txn with
+    | Some v when v.vstatus = Active -> make_indeterminate t v
+    | Some _ | None -> ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* CR verification of one deferred read (Algorithm 2, ConsistentRead) *)
@@ -212,6 +297,13 @@ let check_read t (pr : pending_read) =
     (fun (cell, value) ->
       let chain = Version_order.chain t.versions cell in
       match chain with
+      | []
+        when (match Cell.Tbl.find_opt t.indeterminate_values cell with
+             | Some entries -> List.exists (fun (v, _) -> v = value) !entries
+             | None -> false) ->
+        (* no committed version, but the value matches an indeterminate
+           write: the crashed transaction may have committed it *)
+        t.inconclusive_reads <- t.inconclusive_reads + 1
       | [] ->
         (* Untraced cell so far: the read observed the initial state.  If
            a first version installs later, the reader antidepends on it. *)
@@ -238,7 +330,22 @@ let check_read t (pr : pending_read) =
         in
         (match matches with
         | [] ->
-          if Candidate.has_pivot ~snapshot:pr.snapshot_iv chain then begin
+          let indeterminate_origin =
+            match Cell.Tbl.find_opt t.indeterminate_values cell with
+            | Some entries -> List.exists (fun (v, _) -> v = value) !entries
+            | None -> false
+          in
+          if indeterminate_origin then
+            (* the value may stem from a crashed client's transaction
+               whose commit outcome is unknown: neither a violation nor a
+               pass can be concluded *)
+            t.inconclusive_reads <- t.inconclusive_reads + 1
+          else if t.ext_lost > 0 || t.ext_late_dropped > 0 then
+            (* the collection is known lossy: the observed value may stem
+               from a write whose trace never reached the verifier, so a
+               missing match is not evidence of a violation *)
+            t.inconclusive_reads <- t.inconclusive_reads + 1
+          else if Candidate.has_pivot ~snapshot:pr.snapshot_iv chain then begin
             (* classify: where did the impossible value come from? *)
             let classified =
               Candidate.classify ~snapshot:pr.snapshot_iv chain
@@ -422,7 +529,7 @@ let handle_read t (v : vtxn) trace items locking =
     List.sort_uniq compare
       (List.map (fun (i : Trace.item) -> me_granule t i.cell) items)
   in
-  if p.Il_profile.check_me then begin
+  if p.Il_profile.check_me && v.vstatus <> Indeterminate then begin
     if locking && p.Il_profile.me_locking_reads then
       List.iter
         (fun row -> Me_verifier.acquire t.me ~row ~txn:v.vid Me_verifier.X ~iv)
@@ -485,9 +592,11 @@ let handle_write t (v : vtxn) trace items =
     (fun (i : Trace.item) ->
       if not (Cell.Tbl.mem v.writes i.cell) then
         v.write_cells <- i.cell :: v.write_cells;
-      Cell.Tbl.replace v.writes i.cell (i.value, iv))
+      Cell.Tbl.replace v.writes i.cell (i.value, iv);
+      if v.vstatus = Indeterminate then
+        register_indeterminate_value t i.cell i.value v.vid)
     items;
-  if p.Il_profile.check_me then begin
+  if p.Il_profile.check_me && v.vstatus <> Indeterminate then begin
     let rows =
       List.sort_uniq compare
         (List.map (fun (i : Trace.item) -> me_granule t i.cell) items)
@@ -656,13 +765,37 @@ let handle_abort t (v : vtxn) trace =
 
 (* ------------------------------------------------------------------ *)
 
-let feed t trace =
+(* Duplicate deliveries (chaos / retrying shippers) are deduped by
+   (client, txn, ts_bef): a client issues at most one op at a given
+   instant, so two structurally equal traces under that key are one
+   delivery seen twice.  Keys are only retained while the frontier sits
+   at their ts_bef — sorted dispatch guarantees any duplicate that was
+   not dropped as late arrives within that window. *)
+let duplicate_delivery t trace =
+  if trace.Trace.ts_bef > t.dedup_ts then begin
+    Hashtbl.reset t.dedup_seen;
+    t.dedup_ts <- trace.Trace.ts_bef
+  end;
+  let key = (trace.Trace.client, trace.Trace.txn, trace.Trace.ts_bef) in
+  match Hashtbl.find_opt t.dedup_seen key with
+  | Some prev when prev = trace -> true
+  | Some _ -> false (* same key, different op: not a duplicate *)
+  | None ->
+    Hashtbl.replace t.dedup_seen key trace;
+    false
+
+let rec feed t trace =
   if trace.Trace.ts_bef < t.frontier then
     invalid_arg
       (Printf.sprintf
          "Checker.feed: trace ts_bef %d is behind the frontier %d (traces \
           must be dispatched in sorted order)"
          trace.Trace.ts_bef t.frontier);
+  if duplicate_delivery t trace then
+    t.dup_dropped <- t.dup_dropped + 1
+  else feed_fresh t trace
+
+and feed_fresh t trace =
   t.frontier <- trace.Trace.ts_bef;
   t.traces <- t.traces + 1;
   (* Safe point: every version visible to these reads is installed. *)
@@ -672,6 +805,11 @@ let feed t trace =
   (match trace.Trace.payload with
   | Trace.Read { items; locking } -> handle_read t v trace items locking
   | Trace.Write items -> handle_write t v trace items
+  | (Trace.Commit | Trace.Abort) when v.vstatus = Indeterminate ->
+    (* defensive: a terminal for a transaction already declared
+       indeterminate (e.g. a late mark racing a delivered terminal) adds
+       no obligations — the declaration wins *)
+    ()
   | Trace.Commit -> handle_commit t v trace
   | Trace.Abort -> handle_abort t v trace);
   let live = live_size t in
@@ -683,9 +821,34 @@ let feed_all t traces = List.iter (feed t) traces
 let finalize t =
   flush_deferred t ~upto:max_int;
   t.frontier <- max_int;
+  t.finalized <- true;
   if t.gc_every > 0 then run_gc t
 
 let deduced t kind from_txn to_txn = Dep.Log.mem t.log kind from_txn to_txn
+
+let note_crashed_clients t n =
+  t.ext_crashed_clients <- t.ext_crashed_clients + n
+
+let note_late_dropped t n = t.ext_late_dropped <- t.ext_late_dropped + n
+let note_lost_traces t n = t.ext_lost <- t.ext_lost + n
+
+let degradation t =
+  {
+    crashed_clients = t.ext_crashed_clients;
+    indeterminate_txns = Hashtbl.length t.indeterminate_ids;
+    dup_traces_dropped = t.dup_dropped;
+    late_traces_dropped = t.ext_late_dropped;
+    lost_traces = t.ext_lost;
+    inconclusive_reads = t.inconclusive_reads;
+    unterminated_txns =
+      (* only meaningful once the stream ended: mid-run every in-flight
+         transaction is legitimately unterminated *)
+      (if not t.finalized then 0
+       else
+         Hashtbl.fold
+           (fun _ v acc -> if v.vstatus = Active then acc + 1 else acc)
+           t.txns 0);
+  }
 
 let report t =
   {
@@ -706,4 +869,28 @@ let report t =
     pruned_locks = t.pruned_locks;
     pruned_fuw = t.pruned_fuw;
     pruned_graph = t.pruned_graph;
+    degradation = degradation t;
   }
+
+let degradation_reason d =
+  let parts = [] in
+  let add parts n singular plural =
+    if n = 0 then parts
+    else Printf.sprintf "%d %s" n (if n = 1 then singular else plural) :: parts
+  in
+  let parts = add parts d.crashed_clients "client crashed" "clients crashed" in
+  let parts =
+    add parts d.indeterminate_txns "transaction with indeterminate outcome"
+      "transactions with indeterminate outcome"
+  in
+  let parts = add parts d.lost_traces "trace lost in collection" "traces lost in collection" in
+  let parts = add parts d.late_traces_dropped "late trace dropped" "late traces dropped" in
+  let parts = add parts d.dup_traces_dropped "duplicate dropped" "duplicates dropped" in
+  let parts = add parts d.inconclusive_reads "read inconclusive" "reads inconclusive" in
+  let parts = add parts d.unterminated_txns "transaction unterminated" "transactions unterminated" in
+  String.concat ", " (List.rev parts)
+
+let verdict (r : report) =
+  if r.bugs_total > 0 then Violation
+  else if degradation_free r.degradation then Verified
+  else Inconclusive (degradation_reason r.degradation)

@@ -58,13 +58,55 @@ val create :
 
 val feed : t -> Trace.t -> unit
 (** Traces must arrive in non-decreasing [ts_bef] order; raises
-    [Invalid_argument] otherwise. *)
+    [Invalid_argument] otherwise.  A structurally identical duplicate of
+    a trace already fed at the same [(client, txn, ts_bef)] (a double
+    delivery) is silently dropped and counted in
+    {!degradation.dup_traces_dropped}. *)
 
 val feed_all : t -> Trace.t list -> unit
 
 val finalize : t -> unit
 (** Flush deferred read checks and run a last pruning pass.  Must be
     called once after the final trace. *)
+
+val mark_indeterminate : t -> txn:int -> unit
+(** Declare that [txn]'s commit outcome is unknowable from the trace
+    stream (its client crashed with the transaction in flight — the
+    commit may or may not have taken effect server-side).  The
+    transaction is excluded from ME/FUW/SC obligations, dependencies
+    touching it are dropped, and reads observing one of its written
+    values count as inconclusive instead of reporting a violation.  May
+    be called before or after the transaction's traces are fed; call it
+    no later than the batch in which the crash was detected so downstream
+    reads are already covered when they are checked. *)
+
+val note_crashed_clients : t -> int -> unit
+(** Add externally detected client crashes to the degradation stats. *)
+
+val note_late_dropped : t -> int -> unit
+(** Add traces the pipeline dropped as late ({!Pipeline.late_dropped}). *)
+
+val note_lost_traces : t -> int -> unit
+(** Add traces known lost before dispatch (collection drops, corrupt
+    trace-file lines skipped by [Codec.load_lenient], ...). *)
+
+type degradation = {
+  crashed_clients : int;
+  indeterminate_txns : int;  (** transactions marked indeterminate *)
+  dup_traces_dropped : int;  (** duplicate deliveries deduped by [feed] *)
+  late_traces_dropped : int;  (** reported via {!note_late_dropped} *)
+  lost_traces : int;  (** reported via {!note_lost_traces} *)
+  inconclusive_reads : int;
+      (** reads whose observed value matches an indeterminate write:
+          neither verified nor a violation *)
+  unterminated_txns : int;
+      (** transactions with no terminal trace and no indeterminate mark
+          at [finalize] (truncated collection); 0 before [finalize] *)
+}
+
+val degradation_free : degradation -> bool
+(** All counters zero — the collection was complete and clean, so a
+    bug-free report means [Verified], not merely "nothing found". *)
 
 type report = {
   traces : int;
@@ -85,9 +127,22 @@ type report = {
   pruned_locks : int;
   pruned_fuw : int;
   pruned_graph : int;
+  degradation : degradation;
 }
 
 val report : t -> report
+
+type verdict =
+  | Verified  (** clean report over a complete, undegraded collection *)
+  | Violation  (** at least one isolation violation was proven *)
+  | Inconclusive of string
+      (** no violation proven, but the collection degraded (crashes,
+          losses, indeterminate outcomes) — the argument summarizes how.
+          Soundness note: violations found under degradation are still
+          reported as {!Violation}; degradation never hides a proven
+          bug, it only prevents a hollow "verified". *)
+
+val verdict : report -> verdict
 
 val deduced : t -> Dep.kind -> int -> int -> bool
 (** Deduction-log membership — feeds the Fig. 13 classification. *)

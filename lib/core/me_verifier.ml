@@ -89,6 +89,23 @@ let release t ~txn ~iv ~on_pair =
             mine_entries)
       rows
 
+let discard t ~txn =
+  match Hashtbl.find_opt t.by_txn txn with
+  | None -> ()
+  | Some rows ->
+    Hashtbl.remove t.by_txn txn;
+    List.iter
+      (fun row ->
+        match Hashtbl.find_opt t.rows row with
+        | None -> ()
+        | Some entries ->
+          let keep, drop =
+            List.partition (fun e -> e.etxn <> txn) !entries
+          in
+          t.live <- t.live - List.length drop;
+          entries := keep)
+      rows
+
 let live_entries t = t.live
 
 let prune t ~horizon =

@@ -57,6 +57,12 @@ val release :
 (** Mark all of [txn]'s locks released at the terminal interval [iv], then
     evaluate every conflicting pair whose partner is already released. *)
 
+val discard : t -> txn:int -> unit
+(** Forget every entry of [txn] {e without} pair checks.  For
+    indeterminate-outcome transactions (crashed clients): their release
+    instant is unknown, so no overlap conclusion involving them is
+    sound — they carry no ME obligations. *)
+
 val live_entries : t -> int
 (** Lock-table size — the ME memory metric. *)
 

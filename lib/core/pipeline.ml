@@ -1,37 +1,59 @@
 module Trace = Leopard_trace.Trace
 
-type pull = Item of Trace.t | Pending | Closed
+type pull = Item of Trace.t | Pending | Closed | Closed_crashed
 
 type local = {
   queue : Trace.t Queue.t;
   source : unit -> pull;
   mutable exhausted : bool;
+  mutable crashed : bool;
   mutable last_bef : int;
-      (* ts_bef of the last trace pulled: since each client's stream is
+      (* largest ts_bef pulled so far: since each client's stream is
          monotone, it lower-bounds everything the client will still send,
          which keeps the watermark sound while the client is Pending *)
+  mutable last_progress : int;
+      (* now() at creation / last Item — drives the stall bound *)
 }
 
 type t = {
   locals : local array;
   batch : int;
   optimized : bool;
+  max_stall_ns : int option;
+  now : unit -> int;
   heap : Trace.t Leopard_util.Min_heap.t;
+  mutable frontier : int;  (* largest ts_bef dispatched *)
   mutable dispatched : int;
+  mutable late_dropped : int;
+  mutable crashed_sources : int;
   mutable peak : int;
 }
 
-let create ?(batch = 64) ?(optimized = true) ~sources () =
+let create ?(batch = 64) ?(optimized = true) ?max_stall_ns
+    ?(now = fun () -> 0) ~sources () =
+  let t0 = now () in
   {
     locals =
       Array.map
         (fun source ->
-          { queue = Queue.create (); source; exhausted = false; last_bef = min_int })
+          {
+            queue = Queue.create ();
+            source;
+            exhausted = false;
+            crashed = false;
+            last_bef = min_int;
+            last_progress = t0;
+          })
         sources;
     batch = max 1 batch;
     optimized;
+    max_stall_ns;
+    now;
     heap = Leopard_util.Min_heap.create ~compare:Trace.compare_by_bef;
+    frontier = min_int;
     dispatched = 0;
+    late_dropped = 0;
+    crashed_sources = 0;
     peak = 0;
   }
 
@@ -58,6 +80,18 @@ let note_memory t =
   let m = buffered t in
   if m > t.peak then t.peak <- m
 
+(* A live, empty source that has made no progress for max_stall_ns: its
+   bound no longer pins the watermark, so a dead client cannot freeze
+   dispatch forever.  Anything it delivers behind the frontier after the
+   bound released is dropped as late (and counted). *)
+let stalled t l =
+  match t.max_stall_ns with
+  | None -> false
+  | Some bound ->
+    (not l.exhausted)
+    && Queue.is_empty l.queue
+    && t.now () - l.last_progress >= bound
+
 (* Pull up to [batch] traces from a client into its (empty) local buffer. *)
 let refill t l =
   if (not l.exhausted) && Queue.is_empty l.queue then begin
@@ -65,10 +99,27 @@ let refill t l =
       if n > 0 then
         match l.source () with
         | Item trace ->
-          l.last_bef <- trace.Trace.ts_bef;
-          Queue.push trace l.queue;
-          pull (n - 1)
+          l.last_progress <- t.now ();
+          if trace.Trace.ts_bef < t.frontier then begin
+            (* behind what was already dispatched (delayed delivery, or a
+               revived source whose stall bound elapsed): unsound to feed
+               downstream, so drop and account for it *)
+            t.late_dropped <- t.late_dropped + 1;
+            pull (n - 1)
+          end
+          else begin
+            if trace.Trace.ts_bef > l.last_bef then
+              l.last_bef <- trace.Trace.ts_bef;
+            Queue.push trace l.queue;
+            pull (n - 1)
+          end
         | Closed -> l.exhausted <- true
+        | Closed_crashed ->
+          l.exhausted <- true;
+          if not l.crashed then begin
+            l.crashed <- true;
+            t.crashed_sources <- t.crashed_sources + 1
+          end
         | Pending -> ()
     in
     pull t.batch
@@ -80,13 +131,16 @@ let refill_all t = Array.iter (refill t) t.locals
    arrive.  For a non-empty local that bound is its head; for an empty
    live local it is the last timestamp it delivered (its stream is
    monotone); an empty local that never delivered pins the watermark at
-   -infinity, so nothing dispatches until every client has spoken. *)
+   -infinity, so nothing dispatches until every client has spoken — unless
+   the stall bound has elapsed, in which case the silent client forfeits
+   its bound (late arrivals are dropped instead). *)
 let watermark t =
   Array.fold_left
     (fun acc l ->
       match Queue.peek_opt l.queue with
       | Some trace -> min acc trace.Trace.ts_bef
-      | None -> if l.exhausted then acc else min acc l.last_bef)
+      | None ->
+        if l.exhausted || stalled t l then acc else min acc l.last_bef)
     max_int t.locals
 
 let drain_local_into_heap t l =
@@ -131,8 +185,19 @@ let rec next t =
   match Leopard_util.Min_heap.peek t.heap with
   | Some trace when trace.Trace.ts_bef < w || sources_done t ->
     ignore (Leopard_util.Min_heap.pop t.heap);
-    t.dispatched <- t.dispatched + 1;
-    Some trace
+    if trace.Trace.ts_bef < t.frontier then begin
+      (* Delayed delivery can leave a client's queue unsorted, so a trace
+         older than what was already dispatched may only surface here at
+         the heap, past the refill-time check.  Feeding it downstream
+         would violate dispatch order; drop it as late instead. *)
+      t.late_dropped <- t.late_dropped + 1;
+      next t
+    end
+    else begin
+      if trace.Trace.ts_bef > t.frontier then t.frontier <- trace.Trace.ts_bef;
+      t.dispatched <- t.dispatched + 1;
+      Some trace
+    end
   | (Some _ | None)
     when Array.exists (fun l -> not (Queue.is_empty l.queue)) t.locals ->
     fetch_round t;
@@ -154,5 +219,11 @@ let drain t ~f =
   go 0
 
 let dispatched t = t.dispatched
+let late_dropped t = t.late_dropped
+let crashed_sources t = t.crashed_sources
+
+let stalled_sources t =
+  Array.fold_left (fun acc l -> if stalled t l then acc + 1 else acc) 0 t.locals
+
 let peak_memory t = t.peak
 let heap_size t = Leopard_util.Min_heap.length t.heap

@@ -18,25 +18,51 @@
 
     Sources are pull-based: the pipeline fetches from
     [source client] when it refills that client's local buffer, which
-    models clients pushing fixed-size batches. *)
+    models clients pushing fixed-size batches.
+
+    {b Robustness.}  Real collection paths are lossy: clients crash,
+    delivery stalls, traces arrive late.  Three hardenings keep the
+    pipeline live and sound under those conditions (see
+    [docs/ROBUSTNESS.md]):
+
+    - a source may declare {!Closed_crashed} — its client died; the
+      stream ends like [Closed] but the pipeline counts it;
+    - with [max_stall_ns] set, a live source that delivers nothing for
+      that long forfeits its watermark bound, so one silent client
+      cannot pin the watermark at its last timestamp (or at -infinity if
+      it never spoke) and freeze dispatch forever;
+    - any trace arriving behind the dispatch frontier — delayed
+      delivery, or a stalled source reviving after its bound was
+      forfeited — is dropped and counted ({!late_dropped}) instead of
+      corrupting the sorted stream downstream. *)
 
 module Trace = Leopard_trace.Trace
 
-type pull = Item of Trace.t | Pending | Closed
+type pull = Item of Trace.t | Pending | Closed | Closed_crashed
 (** What a client source answers when the pipeline refills a local
-    buffer: a trace, "nothing right now, still running" (online mode), or
-    end of stream. *)
+    buffer: a trace, "nothing right now, still running" (online mode),
+    end of stream, or end of stream because the client is known to have
+    crashed (liveness declaration — same watermark effect as [Closed],
+    tracked separately for degradation reporting). *)
 
 type t
 
 val create :
   ?batch:int ->
   ?optimized:bool ->
+  ?max_stall_ns:int ->
+  ?now:(unit -> int) ->
   sources:(unit -> pull) array ->
   unit ->
   t
 (** [batch] (default 64) is the local-buffer capacity; [optimized]
-    (default true) enables both §IV-C optimizations. *)
+    (default true) enables both §IV-C optimizations.
+
+    [max_stall_ns] (default: none — block forever, the paper's
+    assumption of complete streams) bounds how long an empty live source
+    may pin the watermark, measured against [now] (default: constant 0,
+    i.e. the bound never trips unless a clock is supplied).  Pass the
+    simulation or wall clock via [now] when enabling the bound. *)
 
 val of_lists : ?batch:int -> ?optimized:bool -> Trace.t list array -> t
 (** Offline convenience: one finished stream per client. *)
@@ -56,6 +82,17 @@ val closed : t -> bool
 (** Every source has reported [Closed] and all buffers are empty. *)
 
 val dispatched : t -> int
+
+val late_dropped : t -> int
+(** Traces discarded because they arrived behind the dispatch frontier
+    (delayed delivery / revived stalled sources).  Non-zero means the
+    verification input was incomplete — report it as degradation. *)
+
+val crashed_sources : t -> int
+(** Sources that ended with {!Closed_crashed}. *)
+
+val stalled_sources : t -> int
+(** Live sources currently past the [max_stall_ns] bound. *)
 
 val peak_memory : t -> int
 (** High-water mark of buffered traces (global heap + local buffers) —

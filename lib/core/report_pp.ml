@@ -12,8 +12,27 @@ let anomaly_census (r : Checker.report) =
     (fun (_, a) (_, b) -> compare b a)
     (Hashtbl.fold (fun a n acc -> (a, n) :: acc) tally [])
 
+let degradation_line (d : Checker.degradation) =
+  if Checker.degradation_free d then ""
+  else
+    Printf.sprintf
+      "degradation: crashed clients %d | indeterminate txns %d | dropped \
+       traces %d (late %d, dup %d, lost %d) | inconclusive reads %d | \
+       unterminated txns %d\n"
+      d.Checker.crashed_clients d.Checker.indeterminate_txns
+      (d.Checker.late_traces_dropped + d.Checker.dup_traces_dropped
+     + d.Checker.lost_traces)
+      d.Checker.late_traces_dropped d.Checker.dup_traces_dropped
+      d.Checker.lost_traces d.Checker.inconclusive_reads
+      d.Checker.unterminated_txns
+
 let verdict_line (r : Checker.report) =
-  if r.bugs_total = 0 then "PASS — no isolation violations"
+  if r.bugs_total = 0 then
+    match Checker.verdict r with
+    | Checker.Inconclusive reason ->
+      Printf.sprintf "INCONCLUSIVE — no violations proven, but %s" reason
+    | Checker.Verified | Checker.Violation ->
+      "PASS — no isolation violations"
   else
     let top =
       match anomaly_census r with
@@ -59,6 +78,7 @@ let summary (r : Checker.report) =
                (fun (m, n) ->
                  Printf.sprintf "%s=%d" (Bug.mechanism_to_string m) n)
                r.bugs_by_mechanism)));
+  Buffer.add_string buf (degradation_line r.degradation);
   Buffer.contents buf
 
 let bugs ?(limit = 5) (r : Checker.report) =

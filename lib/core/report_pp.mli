@@ -5,12 +5,19 @@
     breakdown, a capped bug listing and an anomaly census. *)
 
 val verdict_line : Checker.report -> string
-(** ["PASS — no isolation violations"] or
-    ["FAIL — N violations (top anomalies: ...)"]. *)
+(** ["PASS — no isolation violations"],
+    ["FAIL — N violations (top anomalies: ...)"] or, for a clean report
+    over a degraded collection,
+    ["INCONCLUSIVE — no violations proven, but ..."]. *)
 
 val summary : Checker.report -> string
 (** Multi-line block: traces, transactions, reads checked, deductions by
-    source, memory counters, pruning counters. *)
+    source, memory counters, pruning counters, and — only when present —
+    a degradation line (crashed clients, dropped traces, ...). *)
+
+val degradation_line : Checker.degradation -> string
+(** One line of degradation counters, or the empty string when the
+    collection was clean ({!Checker.degradation_free}). *)
 
 val bugs : ?limit:int -> Checker.report -> string
 (** The first [limit] (default 5) bug descriptors, one per line; empty

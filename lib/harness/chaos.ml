@@ -1,0 +1,125 @@
+module Trace = Leopard_trace.Trace
+module Rng = Leopard_util.Rng
+
+type config = {
+  seed : int;
+  crash_prob : float;
+  drop_prob : float;
+  dup_prob : float;
+  delay_prob : float;
+  max_delay_ns : int;
+  clock_skew_ns : int;
+  session_timeout_ns : int;
+}
+
+let disabled =
+  {
+    seed = 1;
+    crash_prob = 0.0;
+    drop_prob = 0.0;
+    dup_prob = 0.0;
+    delay_prob = 0.0;
+    max_delay_ns = 500_000;
+    clock_skew_ns = 0;
+    session_timeout_ns = 1_000_000;
+  }
+
+let config ?(seed = 1) ?(crash_prob = 0.0) ?(drop_prob = 0.0) ?(dup_prob = 0.0)
+    ?(delay_prob = 0.0) ?(max_delay_ns = 500_000) ?(clock_skew_ns = 0)
+    ?(session_timeout_ns = 1_000_000) () =
+  {
+    seed;
+    crash_prob;
+    drop_prob;
+    dup_prob;
+    delay_prob;
+    max_delay_ns;
+    clock_skew_ns;
+    session_timeout_ns;
+  }
+
+let is_disabled c =
+  c.crash_prob <= 0.0 && c.drop_prob <= 0.0 && c.dup_prob <= 0.0
+  && c.delay_prob <= 0.0 && c.clock_skew_ns <= 0
+
+type client_state = {
+  rng : Rng.t;  (* this client's private decision stream *)
+  cskew : int;
+  mutable crashed : bool;
+}
+
+type t = {
+  cfg : config;
+  per_client : client_state array;
+  mutable crash_records : (int * int) list;  (* (client, in-flight txn) *)
+  mutable n_dropped : int;
+  mutable n_duplicated : int;
+  mutable n_delayed : int;
+}
+
+let create ~clients cfg =
+  let root = Rng.create cfg.seed in
+  {
+    cfg;
+    per_client =
+      Array.init clients (fun _ ->
+          let rng = Rng.split root in
+          let cskew =
+            if cfg.clock_skew_ns > 0 then
+              Rng.int_in rng (-cfg.clock_skew_ns) cfg.clock_skew_ns
+            else 0
+          in
+          { rng; cskew; crashed = false });
+    crash_records = [];
+    n_dropped = 0;
+    n_duplicated = 0;
+    n_delayed = 0;
+  }
+
+let cfg t = t.cfg
+
+let roll_crash t ~client =
+  let c = t.per_client.(client) in
+  (not c.crashed) && Rng.chance c.rng t.cfg.crash_prob
+
+let note_crash t ~client ~txn =
+  let c = t.per_client.(client) in
+  if not c.crashed then begin
+    c.crashed <- true;
+    t.crash_records <- (client, txn) :: t.crash_records
+  end
+
+let is_crashed t ~client = t.per_client.(client).crashed
+let skew t ~client = t.per_client.(client).cskew
+
+let deliver t ~client trace =
+  let c = t.per_client.(client) in
+  if Rng.chance c.rng t.cfg.drop_prob then begin
+    t.n_dropped <- t.n_dropped + 1;
+    []
+  end
+  else begin
+    let one () =
+      if Rng.chance c.rng t.cfg.delay_prob then begin
+        t.n_delayed <- t.n_delayed + 1;
+        (1 + Rng.int c.rng (max 1 t.cfg.max_delay_ns), trace)
+      end
+      else (0, trace)
+    in
+    let first = one () in
+    if Rng.chance c.rng t.cfg.dup_prob then begin
+      t.n_duplicated <- t.n_duplicated + 1;
+      [ first; one () ]
+    end
+    else [ first ]
+  end
+
+let crashed_clients t =
+  List.sort_uniq compare (List.map fst t.crash_records)
+
+let indeterminate_txns t =
+  List.sort_uniq compare (List.map snd t.crash_records)
+
+let dropped t = t.n_dropped
+let duplicated t = t.n_duplicated
+let delayed t = t.n_delayed

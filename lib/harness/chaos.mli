@@ -1,0 +1,108 @@
+(** Collection-path chaos — adversarial conditions on the {e Tracer} side.
+
+    {!Minidb.Fault} plants bugs inside the engine so Leopard has
+    violations to find; this module instead degrades the path between a
+    correct client and the verifier, the failure modes a production
+    tracer actually sees (paper §IV deployments):
+
+    - {b client crash}: at a random operation the client process dies.
+      The request already left for the server, but no trace is logged and
+      the stream stops; the in-flight transaction's outcome becomes
+      {e indeterminate} (a crashed commit may or may not have taken
+      effect server-side);
+    - {b clock skew}: a constant per-client offset on every logged
+      timestamp;
+    - {b trace drop}: a logged trace is lost before reaching the
+      collector;
+    - {b trace duplication}: a trace is delivered twice (e.g. a retrying
+      shipper);
+    - {b delayed delivery}: a trace reaches the collector late, possibly
+      behind its successors.
+
+    Every decision is drawn from per-client streams split off one seed,
+    so a chaotic run is exactly reproducible, and an all-zero
+    configuration draws nothing at all — it is byte-identical to running
+    without chaos.
+
+    The verification side is expected to answer with graceful
+    degradation, not false alarms: {!Leopard.Pipeline} drops late
+    traces against its dispatch frontier, {!Leopard.Checker} dedupes
+    deliveries and excludes indeterminate transactions from ME/FUW/SC
+    obligations, and the final verdict becomes
+    [Inconclusive] rather than a spurious [Violation]. *)
+
+module Trace = Leopard_trace.Trace
+
+type config = {
+  seed : int;
+  crash_prob : float;  (** per-operation probability the client dies *)
+  drop_prob : float;  (** per-trace probability of delivery loss *)
+  dup_prob : float;  (** per-trace probability of double delivery *)
+  delay_prob : float;  (** per-trace probability of delayed delivery *)
+  max_delay_ns : int;  (** delay bound for delayed deliveries *)
+  clock_skew_ns : int;  (** per-client skew magnitude bound *)
+  session_timeout_ns : int;
+      (** how long the server waits before reaping a crashed client's
+          orphaned transaction (releases its locks) *)
+}
+
+val disabled : config
+(** All probabilities zero, no skew: injecting this config changes
+    nothing (the no-op identity the tests assert). *)
+
+val config :
+  ?seed:int ->
+  ?crash_prob:float ->
+  ?drop_prob:float ->
+  ?dup_prob:float ->
+  ?delay_prob:float ->
+  ?max_delay_ns:int ->
+  ?clock_skew_ns:int ->
+  ?session_timeout_ns:int ->
+  unit ->
+  config
+(** Defaults: seed 1, everything else as {!disabled}, [max_delay_ns]
+    500_000, [session_timeout_ns] 1_000_000. *)
+
+val is_disabled : config -> bool
+
+type t
+(** Mutable per-run chaos state: one decision stream per client, plus
+    the record of what was injected. *)
+
+val create : clients:int -> config -> t
+val cfg : t -> config
+
+(** {2 Client-side hooks (used by {!Run})} *)
+
+val roll_crash : t -> client:int -> bool
+(** Draw the crash decision for the next operation; always [false] for
+    an already-crashed client or when [crash_prob] is zero. *)
+
+val note_crash : t -> client:int -> txn:int -> unit
+(** Record that [client] died with [txn] in flight; [txn]'s outcome is
+    indeterminate from the collector's point of view. *)
+
+val is_crashed : t -> client:int -> bool
+
+val skew : t -> client:int -> int
+(** The client's constant clock offset (zero unless [clock_skew_ns] is
+    positive; sampled once per client in [[-bound, +bound]]). *)
+
+val deliver : t -> client:int -> Trace.t -> (int * Trace.t) list
+(** Push one logged trace through the lossy delivery path: a list of
+    [(delay_ns, trace)] deliveries — empty when dropped, two entries
+    when duplicated, positive delays for late arrivals. *)
+
+(** {2 Results (read after the run)} *)
+
+val crashed_clients : t -> int list
+(** Ascending client ids. *)
+
+val indeterminate_txns : t -> int list
+(** Transactions whose outcome the collector cannot know (in flight at a
+    client crash), ascending. *)
+
+val dropped : t -> int
+val duplicated : t -> int
+val delayed : t -> int

@@ -9,32 +9,78 @@ type result = {
   final_lag : int;
 }
 
-let run ?(batch_window_ns = 500_000) ?(gc_every = 512) ~il (cfg : Run.config) =
+let run ?(batch_window_ns = 500_000) ?(gc_every = 512) ?max_stall_ns ~il
+    (cfg : Run.config) =
   let queues = Array.init cfg.Run.clients (fun _ -> Queue.create ()) in
   let workload_done = ref false in
   let produced = ref 0 in
+  let rounds = ref 0 in
+  let chaos = cfg.Run.chaos in
   let sources =
-    Array.map
-      (fun queue () ->
+    Array.mapi
+      (fun client queue () ->
         match Queue.take_opt queue with
         | Some trace -> Leopard.Pipeline.Item trace
         | None ->
           if !workload_done then Leopard.Pipeline.Closed
-          else Leopard.Pipeline.Pending)
+          else begin
+            match chaos with
+            | Some ch when Chaos.is_crashed ch ~client ->
+              (* the client is dead: its stream has definitively ended,
+                 so release the watermark instead of pinning it *)
+              Leopard.Pipeline.Closed_crashed
+            | Some _ | None -> Leopard.Pipeline.Pending
+          end)
       queues
   in
-  let pipeline = Leopard.Pipeline.create ~sources () in
+  (* Deterministic monitor clock for the stall bound: batch window k of
+     the tick runs at simulated instant k * batch_window_ns. *)
+  let now () = !rounds * batch_window_ns in
+  let pipeline = Leopard.Pipeline.create ?max_stall_ns ~now ~sources () in
   let checker = Leopard.Checker.create ~gc_every il in
   let verify_wall = ref 0.0 in
-  let rounds = ref 0 in
   let max_lag = ref 0 in
   let final_lag = ref 0 in
+  (* Indeterminate marks must land before the traces they govern are fed:
+     a crash at tick k is marked at tick k+1, ahead of any dispatch of
+     post-crash timestamps. *)
+  let mark_indeterminates () =
+    match chaos with
+    | Some ch ->
+      List.iter
+        (fun txn -> Leopard.Checker.mark_indeterminate checker ~txn)
+        (Chaos.indeterminate_txns ch)
+    | None -> ()
+  in
+  (* Loss accounting is incremental, not end-of-run: a read checked in
+     round k must already know the collection lost traces in rounds < k,
+     or the checker would flag a violation it cannot actually prove. *)
+  let noted_lost = ref 0 in
+  let noted_late = ref 0 in
+  let sync_losses () =
+    (match chaos with
+    | Some ch ->
+      let lost = Chaos.dropped ch in
+      if lost > !noted_lost then begin
+        Leopard.Checker.note_lost_traces checker (lost - !noted_lost);
+        noted_lost := lost
+      end
+    | None -> ());
+    let late = Leopard.Pipeline.late_dropped pipeline in
+    if late > !noted_late then begin
+      Leopard.Checker.note_late_dropped checker (late - !noted_late);
+      noted_late := late
+    end
+  in
   let drain () =
     incr rounds;
     let lag = !produced - Leopard.Pipeline.dispatched pipeline in
     if lag > !max_lag then max_lag := lag;
     let t0 = Sys.time () in
+    mark_indeterminates ();
+    sync_losses ();
     ignore (Leopard.Pipeline.drain pipeline ~f:(Leopard.Checker.feed checker));
+    sync_losses ();
     verify_wall := !verify_wall +. (Sys.time () -. t0)
   in
   let observer trace =
@@ -49,7 +95,19 @@ let run ?(batch_window_ns = 500_000) ?(gc_every = 512) ~il (cfg : Run.config) =
   final_lag := !produced - Leopard.Pipeline.dispatched pipeline;
   workload_done := true;
   let t0 = Sys.time () in
+  mark_indeterminates ();
+  sync_losses ();
   ignore (Leopard.Pipeline.drain pipeline ~f:(Leopard.Checker.feed checker));
+  sync_losses ();
+  (* Anything still queued belongs to a source the pipeline closed as
+     crashed before the trace straggled in — lost to the verifier. *)
+  let stranded = Array.fold_left (fun n q -> n + Queue.length q) 0 queues in
+  if stranded > 0 then Leopard.Checker.note_lost_traces checker stranded;
+  (match chaos with
+  | Some ch ->
+    Leopard.Checker.note_crashed_clients checker
+      (List.length (Chaos.crashed_clients ch))
+  | None -> ());
   Leopard.Checker.finalize checker;
   verify_wall := !verify_wall +. (Sys.time () -. t0);
   {

@@ -27,9 +27,22 @@ type result = {
 val run :
   ?batch_window_ns:int ->
   ?gc_every:int ->
+  ?max_stall_ns:int ->
   il:Leopard.Il_profile.t ->
   Run.config ->
   result
 (** [batch_window_ns] defaults to 500_000 ns of simulated time (the
     paper's 0.5 s scaled to simulator latencies).  The config's
-    [observer] and [tick] hooks are taken over by the monitor. *)
+    [observer] and [tick] hooks are taken over by the monitor.
+
+    When the config carries a {!Chaos.t}, the monitor degrades
+    gracefully instead of wedging: a crashed client's source reports
+    {!Leopard.Pipeline.Closed_crashed} (its stream has definitively
+    ended), its in-flight transaction is marked
+    {!Leopard.Checker.mark_indeterminate} before the next dispatch, and
+    collection losses are recorded on the checker so the report's
+    verdict comes out [Inconclusive] rather than a false [Verified] or
+    a spurious violation.  [max_stall_ns] (simulated time, measured in
+    whole batch windows) additionally bounds how long an empty-but-live
+    source may pin the watermark — the liveness backstop when no crash
+    signal is available. *)

@@ -32,11 +32,15 @@ type config = {
   latency_of : (int -> latency) option;
   observer : (Trace.t -> unit) option;
   tick : (int * (unit -> unit)) option;
+  chaos : Chaos.t option;
+  max_retries : int;
+  retry_backoff_ns : float;
 }
 
 let config ?(faults = Minidb.Fault.Set.empty) ?(clients = 8) ?(seed = 42)
-    ?(latency = default_latency) ?latency_of ?observer ?tick ~spec ~profile
-    ~level ~stop () =
+    ?(latency = default_latency) ?latency_of ?observer ?tick ?chaos
+    ?(max_retries = 0) ?(retry_backoff_ns = 100_000.0) ~spec ~profile ~level
+    ~stop () =
   {
     spec;
     profile;
@@ -49,6 +53,9 @@ let config ?(faults = Minidb.Fault.Set.empty) ?(clients = 8) ?(seed = 42)
     latency_of;
     observer;
     tick;
+    chaos = Option.map (fun c -> Chaos.create ~clients c) chaos;
+    max_retries;
+    retry_backoff_ns;
   }
 
 let latency_for cfg client =
@@ -68,6 +75,12 @@ type outcome = {
   deadlocks : int;
   sim_duration_ns : int;
   ops : int;
+  retries : int;
+  crashed_clients : int list;
+  indeterminate_txns : int list;
+  chaos_dropped : int;
+  chaos_duplicated : int;
+  chaos_delayed : int;
 }
 
 type state = {
@@ -78,6 +91,11 @@ type state = {
   op_trace : (int, Trace.t) Hashtbl.t;
   mutable next_op : int;
   mutable finished_txns : int;
+  mutable retries : int;
+  mutable live_clients : int;
+      (* clients that will still schedule work; when it reaches 0 the
+         tick loop must stop too, or a run whose clients all crashed
+         before the stop condition would spin forever *)
   mutable stop_now : bool;
 }
 
@@ -113,31 +131,110 @@ let issue st rng ~client ~txn ~request ~receive =
           Sim.schedule_after st.sim ~delay:d_out (fun () ->
               receive ~op_id ~ts_bef result)))
 
+let deliver_now st ~client trace =
+  st.buffers.(client) := trace :: !(st.buffers.(client));
+  match st.cfg.observer with Some f -> f trace | None -> ()
+
 let emit st ~client ~txn_id ~op_id ~ts_bef payload =
   let trace =
     { Trace.ts_bef; ts_aft = Sim.now st.sim; txn = txn_id; client; payload }
   in
-  st.buffers.(client) := trace :: !(st.buffers.(client));
-  Hashtbl.replace st.op_trace op_id trace;
-  (match st.cfg.observer with Some f -> f trace | None -> ());
-  trace
+  match st.cfg.chaos with
+  | None ->
+    Hashtbl.replace st.op_trace op_id trace;
+    deliver_now st ~client trace;
+    trace
+  | Some ch ->
+    (* what the client logs carries its (possibly skewed) clock; what the
+       collector receives additionally went through the lossy path *)
+    let s = Chaos.skew ch ~client in
+    let trace =
+      if s = 0 then trace
+      else
+        {
+          trace with
+          Trace.ts_bef = trace.Trace.ts_bef + s;
+          ts_aft = trace.Trace.ts_aft + s;
+        }
+    in
+    Hashtbl.replace st.op_trace op_id trace;
+    List.iter
+      (fun (delay_ns, tr) ->
+        if delay_ns = 0 then deliver_now st ~client tr
+        else
+          Sim.schedule_after st.sim ~delay:delay_ns (fun () ->
+              deliver_now st ~client tr))
+      (Chaos.deliver ch ~client trace);
+    trace
+
+(* Bounded exponential backoff: mean doubles per retry, capped at 32x. *)
+let backoff_mean st tries =
+  st.cfg.retry_backoff_ns *. float_of_int (1 lsl min tries 5)
+
+let client_done st = st.live_clients <- st.live_clients - 1
 
 let rec run_client st rng ~client =
-  if should_stop st then ()
-  else begin
+  if should_stop st then client_done st
+  else
+    attempt st rng ~client
+      ~prog:(st.cfg.spec.Leopard_workload.Spec.next_txn rng)
+      ~tries:0
+
+(* One transaction attempt.  [prog] is re-run verbatim (as a fresh
+   transaction) when the engine aborts it and retries remain. *)
+and attempt st rng ~client ~prog ~tries =
+  begin
     let txn = Engine.begin_txn st.engine ~client in
     let txn_id = Engine.txn_id txn in
-    let finish_txn () =
-      st.finished_txns <- st.finished_txns + 1;
-      if should_stop st then ()
+    let next_txn () =
+      if should_stop st then client_done st
       else
         Sim.schedule_after st.sim
           ~delay:(delay rng (latency_for st.cfg client).think_mean_ns)
           (fun () -> run_client st rng ~client)
     in
-    let abort_and_finish ~op_id ~ts_bef =
+    let finish_txn () =
+      st.finished_txns <- st.finished_txns + 1;
+      next_txn ()
+    in
+    let abort_and_finish ?(retryable = false) ~op_id ~ts_bef () =
       ignore (emit st ~client ~txn_id ~op_id ~ts_bef Trace.Abort);
-      finish_txn ()
+      st.finished_txns <- st.finished_txns + 1;
+      if should_stop st then client_done st
+      else if retryable && tries < st.cfg.max_retries then begin
+        st.retries <- st.retries + 1;
+        Sim.schedule_after st.sim
+          ~delay:(delay rng (backoff_mean st tries))
+          (fun () ->
+            if should_stop st then client_done st
+            else attempt st rng ~client ~prog ~tries:(tries + 1))
+      end
+      else next_txn ()
+    in
+    (* Chaos crash: the request leaves for the server, but the client dies
+       before the reply — nothing is logged and nothing further is issued.
+       A crashed commit may have taken effect server-side (indeterminate);
+       an orphaned read/write transaction is reaped by the server after
+       the session timeout, releasing its locks. *)
+    let issue_op ~request ~receive =
+      match st.cfg.chaos with
+      | Some ch when Chaos.roll_crash ch ~client ->
+        Chaos.note_crash ch ~client ~txn:txn_id;
+        st.finished_txns <- st.finished_txns + 1;
+        client_done st;
+        issue st rng ~client ~txn ~request
+          ~receive:(fun ~op_id:_ ~ts_bef:_ _result ->
+            match request with
+            | Engine.Commit | Engine.Abort -> ()
+            | Engine.Read _ | Engine.Write _ ->
+              Sim.schedule_after st.sim
+                ~delay:(Chaos.cfg ch).Chaos.session_timeout_ns
+                (fun () ->
+                  if Engine.txn_alive txn then
+                    Engine.exec st.engine txn ~op_id:(fresh_op st)
+                      Engine.Abort
+                      ~k:(fun _ -> ())))
+      | Some _ | None -> issue st rng ~client ~txn ~request ~receive
     in
     let rec step (prog : Leopard_workload.Program.t) =
       let continue next =
@@ -147,21 +244,23 @@ let rec run_client st rng ~client =
       in
       match prog with
       | Leopard_workload.Program.Finish ->
-        issue st rng ~client ~txn ~request:Engine.Commit
+        issue_op ~request:Engine.Commit
           ~receive:(fun ~op_id ~ts_bef result ->
             match result with
             | Engine.Ok_commit ->
               ignore (emit st ~client ~txn_id ~op_id ~ts_bef Trace.Commit);
               finish_txn ()
-            | Engine.Err _ -> abort_and_finish ~op_id ~ts_bef
+            | Engine.Err _ ->
+              abort_and_finish ~retryable:true ~op_id ~ts_bef ()
             | Engine.Ok_read _ | Engine.Ok_write ->
               assert false)
       | Leopard_workload.Program.Rollback ->
-        issue st rng ~client ~txn ~request:Engine.Abort
+        issue_op ~request:Engine.Abort
           ~receive:(fun ~op_id ~ts_bef _result ->
-            abort_and_finish ~op_id ~ts_bef)
+            (* a user-requested rollback is intentional, not retried *)
+            abort_and_finish ~op_id ~ts_bef ())
       | Leopard_workload.Program.Read { cells; locking; predicate; k } ->
-        issue st rng ~client ~txn
+        issue_op
           ~request:(Engine.Read { cells; locking; predicate })
           ~receive:(fun ~op_id ~ts_bef result ->
             match result with
@@ -170,10 +269,11 @@ let rec run_client st rng ~client =
                 (emit st ~client ~txn_id ~op_id ~ts_bef
                    (Trace.Read { items; locking }));
               continue (k items)
-            | Engine.Err _ -> abort_and_finish ~op_id ~ts_bef
+            | Engine.Err _ ->
+              abort_and_finish ~retryable:true ~op_id ~ts_bef ()
             | Engine.Ok_write | Engine.Ok_commit -> assert false)
       | Leopard_workload.Program.Write { items; k } ->
-        issue st rng ~client ~txn ~request:(Engine.Write items)
+        issue_op ~request:(Engine.Write items)
           ~receive:(fun ~op_id ~ts_bef result ->
             match result with
             | Engine.Ok_write ->
@@ -185,10 +285,11 @@ let rec run_client st rng ~client =
               ignore
                 (emit st ~client ~txn_id ~op_id ~ts_bef (Trace.Write titems));
               continue (k ())
-            | Engine.Err _ -> abort_and_finish ~op_id ~ts_bef
+            | Engine.Err _ ->
+              abort_and_finish ~retryable:true ~op_id ~ts_bef ()
             | Engine.Ok_read _ | Engine.Ok_commit -> assert false)
     in
-    step (st.cfg.spec.Leopard_workload.Spec.next_txn rng)
+    step prog
   end
 
 let execute cfg =
@@ -206,6 +307,8 @@ let execute cfg =
       op_trace = Hashtbl.create 4096;
       next_op = 0;
       finished_txns = 0;
+      retries = 0;
+      live_clients = cfg.clients;
       stop_now = false;
     }
   in
@@ -221,7 +324,7 @@ let execute cfg =
     let interval_ns = max 1 interval_ns in
     let rec tick () =
       f ();
-      if not (should_stop st) then
+      if (not (should_stop st)) && st.live_clients > 0 then
         Sim.schedule_after sim ~delay:interval_ns tick
     in
     Sim.schedule_after sim ~delay:interval_ns tick
@@ -243,6 +346,21 @@ let execute cfg =
     deadlocks = Engine.deadlocks engine;
     sim_duration_ns = Sim.now sim;
     ops = Engine.ops_executed engine;
+    retries = st.retries;
+    crashed_clients =
+      (match cfg.chaos with
+      | Some ch -> Chaos.crashed_clients ch
+      | None -> []);
+    indeterminate_txns =
+      (match cfg.chaos with
+      | Some ch -> Chaos.indeterminate_txns ch
+      | None -> []);
+    chaos_dropped =
+      (match cfg.chaos with Some ch -> Chaos.dropped ch | None -> 0);
+    chaos_duplicated =
+      (match cfg.chaos with Some ch -> Chaos.duplicated ch | None -> 0);
+    chaos_delayed =
+      (match cfg.chaos with Some ch -> Chaos.delayed ch | None -> 0);
   }
 
 let all_traces_sorted outcome =

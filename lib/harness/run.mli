@@ -50,6 +50,17 @@ type config = {
       (** [(interval_ns, f)]: run [f] every [interval_ns] of simulated
           time while clients are active (the paper batches traces into
           the pipeline every 0.5 s) *)
+  chaos : Chaos.t option;
+      (** collection-path fault injection (client crashes, lossy
+          delivery, clock skew); [None] leaves the run byte-identical to
+          the chaos-free harness *)
+  max_retries : int;
+      (** how many times a client re-runs a transaction program the
+          engine aborted (deadlock victim, FUW, certifier); 0 preserves
+          the abort-and-move-on behaviour *)
+  retry_backoff_ns : float;
+      (** mean of the first retry delay; doubles per attempt (bounded
+          exponential backoff, capped at 32x) *)
 }
 
 val config :
@@ -60,6 +71,9 @@ val config :
   ?latency_of:(int -> latency) ->
   ?observer:(Trace.t -> unit) ->
   ?tick:int * (unit -> unit) ->
+  ?chaos:Chaos.config ->
+  ?max_retries:int ->
+  ?retry_backoff_ns:float ->
   spec:Leopard_workload.Spec.t ->
   profile:Minidb.Profile.t ->
   level:Minidb.Isolation.level ->
@@ -84,6 +98,14 @@ type outcome = {
   deadlocks : int;
   sim_duration_ns : int;
   ops : int;
+  retries : int;  (** engine-aborted attempts re-run under [max_retries] *)
+  crashed_clients : int list;  (** chaos-killed clients, ascending *)
+  indeterminate_txns : int list;
+      (** transactions in flight at a client crash — their outcome is
+          unknowable from the traces (ascending ids) *)
+  chaos_dropped : int;  (** traces lost on the collection path *)
+  chaos_duplicated : int;  (** traces delivered twice *)
+  chaos_delayed : int;  (** traces delivered late *)
 }
 
 val execute : config -> outcome

@@ -126,3 +126,21 @@ let load ~path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> read_channel ic)
+
+let read_channel_lenient ic =
+  let rec go acc skipped lineno =
+    match input_line ic with
+    | exception End_of_file -> (List.rev acc, List.rev skipped)
+    | line -> (
+      match of_line line with
+      | Ok (Some trace) -> go (trace :: acc) skipped (lineno + 1)
+      | Ok None -> go acc skipped (lineno + 1)
+      | Error e -> go acc ((lineno, e) :: skipped) (lineno + 1))
+  in
+  go [] [] 1
+
+let load_lenient ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> read_channel_lenient ic)

@@ -34,3 +34,16 @@ val read_channel : in_channel -> (Trace.t list, string) result
 
 val save : path:string -> Trace.t list -> unit
 val load : path:string -> (Trace.t list, string) result
+
+val read_channel_lenient : in_channel -> Trace.t list * (int * string) list
+(** Like {!read_channel}, but a malformed line is skipped and reported
+    as [(1-based line number, diagnostic)] instead of discarding the
+    whole stream — truncated or partially corrupted trace files (crashed
+    clients, torn writes) still yield every decodable trace.  Feed the
+    skipped count to [Checker.note_lost_traces] so the verdict degrades
+    to [Inconclusive] rather than silently "verifying" a partial
+    history. *)
+
+val load_lenient : path:string -> Trace.t list * (int * string) list
+(** {!read_channel_lenient} over a file.  Raises [Sys_error] if the file
+    cannot be opened (same as {!load}). *)

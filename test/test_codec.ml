@@ -97,6 +97,56 @@ let test_real_run_roundtrip () =
         Alcotest.(check int) "same bugs" a.bugs_total b.bugs_total;
         Alcotest.(check int) "same deps" a.deps_deduced b.deps_deduced)
 
+let test_lenient_skips_bad_lines () =
+  let path = Filename.temp_file "leopard" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "# header\nC 1 2 3 4\nBROKEN\nW 5 6 3 4 0.0.0=1\nC x 8 3 4\n";
+      close_out oc;
+      let traces, skipped = Codec.load_lenient ~path in
+      Alcotest.(check int) "decodable traces kept" 2 (List.length traces);
+      Alcotest.(check (list int)) "skipped line numbers" [ 3; 5 ]
+        (List.map fst skipped);
+      List.iter
+        (fun (_, diag) ->
+          Alcotest.(check bool) "diagnostic non-empty" true (diag <> ""))
+        skipped)
+
+let test_lenient_clean_file_equals_strict () =
+  let path = Filename.temp_file "leopard" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Codec.save ~path samples;
+      let lenient, skipped = Codec.load_lenient ~path in
+      Alcotest.(check int) "nothing skipped" 0 (List.length skipped);
+      match Codec.load ~path with
+      | Error e -> Alcotest.failf "strict load failed: %s" e
+      | Ok strict ->
+        Alcotest.(check (list string)) "same traces as strict"
+          (List.map Trace.to_string strict)
+          (List.map Trace.to_string lenient))
+
+let test_lenient_truncated_tail () =
+  (* a torn final line (crashed writer) must not cost the prefix *)
+  let path = Filename.temp_file "leopard" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc (Codec.header ^ "\n");
+      List.iter
+        (fun t -> output_string oc (Codec.to_line t ^ "\n"))
+        samples;
+      output_string oc "W 110 120 5 1 0.0";
+      close_out oc;
+      let traces, skipped = Codec.load_lenient ~path in
+      Alcotest.(check int) "prefix intact" (List.length samples)
+        (List.length traces);
+      Alcotest.(check int) "torn line reported" 1 (List.length skipped))
+
 let gen_trace =
   QCheck.Gen.(
     let cell =
@@ -145,5 +195,11 @@ let suite =
       test_error_line_number;
     Alcotest.test_case "real run roundtrip + same verdicts" `Quick
       test_real_run_roundtrip;
+    Alcotest.test_case "lenient load skips bad lines" `Quick
+      test_lenient_skips_bad_lines;
+    Alcotest.test_case "lenient load equals strict on clean files" `Quick
+      test_lenient_clean_file_equals_strict;
+    Alcotest.test_case "lenient load survives truncated tail" `Quick
+      test_lenient_truncated_tail;
     Helpers.qtest prop_roundtrip;
   ]

@@ -92,6 +92,80 @@ let test_drain_resumable () =
   Alcotest.(check int) "final drain" 1 n3;
   Alcotest.(check int) "all dispatched" 3 (Pipeline.dispatched pipe)
 
+(* Regression: a client that never delivers anything pins the watermark
+   at -infinity forever — a single dead client used to freeze dispatch
+   for the whole run.  With a stall bound, the silent source forfeits
+   its watermark contribution once now() passes the bound. *)
+let test_stall_bound_releases_watermark () =
+  let q0, _, s0 = queue_source () in
+  let _, _, s1 = queue_source () in
+  (* client 1 stays Pending forever *)
+  let now = ref 0 in
+  let pipe =
+    Pipeline.create ~max_stall_ns:100
+      ~now:(fun () -> !now)
+      ~sources:[| s0; s1 |] ()
+  in
+  Queue.push (mk ~client:0 ~bef:5) q0;
+  Queue.push (mk ~client:0 ~bef:9) q0;
+  (* within the bound the silent client still holds everything back *)
+  now := 50;
+  Alcotest.(check bool) "held within bound" true (Pipeline.next pipe = None);
+  (* past the bound every silent source forfeits its bound — client 1
+     (never spoke) and client 0 (quiet since its last delivery) alike —
+     so the whole buffer flows *)
+  now := 200;
+  let seen = ref [] in
+  ignore (Pipeline.drain pipe ~f:(fun t -> seen := t.Trace.ts_bef :: !seen));
+  Alcotest.(check (list int)) "dispatch resumed" [ 5; 9 ] (List.rev !seen);
+  Alcotest.(check int) "both sources stalled" 2 (Pipeline.stalled_sources pipe)
+
+let test_stalled_source_late_arrival_dropped () =
+  let q0, _, s0 = queue_source () in
+  let q1, live1, s1 = queue_source () in
+  let now = ref 0 in
+  let pipe =
+    Pipeline.create ~max_stall_ns:100
+      ~now:(fun () -> !now)
+      ~sources:[| s0; s1 |] ()
+  in
+  Queue.push (mk ~client:0 ~bef:5) q0;
+  Queue.push (mk ~client:0 ~bef:9) q0;
+  now := 200;
+  let first = ref [] in
+  ignore (Pipeline.drain pipe ~f:(fun t -> first := t.Trace.ts_bef :: !first));
+  (* client 0 just delivered (its last_progress is fresh), so its own
+     bound still holds 9; only the silent client 1 is stalled *)
+  Alcotest.(check (list int)) "stall released client 1's pin" [ 5 ]
+    (List.rev !first);
+  (* the stalled client revives with a timestamp behind the frontier:
+     feeding it downstream would break dispatch order, so it is dropped
+     and accounted as late *)
+  Queue.push (mk ~client:1 ~bef:2) q1;
+  live1 := false;
+  let rest = ref [] in
+  ignore (Pipeline.drain pipe ~f:(fun t -> rest := t.Trace.ts_bef :: !rest));
+  Alcotest.(check (list int)) "late revival yields nothing" [] (List.rev !rest);
+  Alcotest.(check int) "late arrival dropped" 1 (Pipeline.late_dropped pipe)
+
+(* A crashed source declares its stream over: the watermark releases
+   immediately, without waiting out any stall bound. *)
+let test_closed_crashed_releases_watermark () =
+  let q0, live0, s0 = queue_source () in
+  let crashed = ref false in
+  let s1 () = if !crashed then Pipeline.Closed_crashed else Pipeline.Pending in
+  let pipe = Pipeline.create ~sources:[| s0; s1 |] () in
+  Queue.push (mk ~client:0 ~bef:5) q0;
+  Alcotest.(check bool) "blocked while pending" true (Pipeline.next pipe = None);
+  crashed := true;
+  live0 := false;
+  let seen = ref [] in
+  ignore (Pipeline.drain pipe ~f:(fun t -> seen := t.Trace.ts_bef :: !seen));
+  Alcotest.(check (list int)) "flows after crash declaration" [ 5 ]
+    (List.rev !seen);
+  Alcotest.(check int) "crash counted" 1 (Pipeline.crashed_sources pipe);
+  Alcotest.(check bool) "pipeline closed" true (Pipeline.closed pipe)
+
 let suite =
   [
     Alcotest.test_case "pending blocks dispatch" `Quick
@@ -101,4 +175,10 @@ let suite =
     Alcotest.test_case "closed drains everything" `Quick
       test_closed_drains_everything;
     Alcotest.test_case "drain is resumable" `Quick test_drain_resumable;
+    Alcotest.test_case "stall bound releases watermark" `Quick
+      test_stall_bound_releases_watermark;
+    Alcotest.test_case "stalled source's late arrival dropped" `Quick
+      test_stalled_source_late_arrival_dropped;
+    Alcotest.test_case "crashed source releases watermark" `Quick
+      test_closed_crashed_releases_watermark;
   ]
