@@ -780,6 +780,147 @@ let ablation () =
        [ 8; 64; 256; 1024 ])
 
 (* ------------------------------------------------------------------ *)
+(* Recovery: WAL overhead and replay speed *)
+
+let emit_json = ref false
+
+let recovery () =
+  section "Recovery — WAL write overhead and replay speed";
+  let clients = 24 and txns = 8_000 in
+  let spec = W.Smallbank.spec () in
+  let timed_run ~wal =
+    let cfg =
+      H.Run.config ~clients ~seed:43 ~wal ~spec ~profile:pg ~level:sr
+        ~stop:(H.Run.Txn_count txns) ()
+    in
+    let t0 = wall () in
+    let o = H.Run.execute cfg in
+    (o, wall () -. t0)
+  in
+  let ops_per_s (o : H.Run.outcome) t =
+    if t <= 0.0 then 0.0
+    else float_of_int (o.H.Run.commits + o.H.Run.aborts) /. t
+  in
+  ignore (timed_run ~wal:false) (* warm-up: exclude cold-start noise *);
+  let o_off, t_off = timed_run ~wal:false in
+  let o_on, t_on = timed_run ~wal:true in
+  let tput_off = ops_per_s o_off t_off and tput_on = ops_per_s o_on t_on in
+  let overhead_pct =
+    if tput_off <= 0.0 then 0.0
+    else 100.0 *. (1.0 -. (tput_on /. tput_off))
+  in
+  print_endline "(a) engine throughput, WAL off vs on (smallbank, 8k txns):";
+  Table.print
+    ~aligns:Table.[ Left ]
+    ~header:[ "wal"; "txns"; "wall(ms)"; "ops/s"; "records" ]
+    [
+      [
+        "off";
+        Table.fmt_int (o_off.H.Run.commits + o_off.H.Run.aborts);
+        fmt_ms t_off;
+        Table.fmt_float ~decimals:0 tput_off;
+        "-";
+      ];
+      [
+        "on";
+        Table.fmt_int (o_on.H.Run.commits + o_on.H.Run.aborts);
+        fmt_ms t_on;
+        Table.fmt_float ~decimals:0 tput_on;
+        Table.fmt_int o_on.H.Run.wal_appended;
+      ];
+    ];
+  Printf.printf "\nwal overhead: %.1f%% of wal-off throughput\n" overhead_pct;
+  (* (b) replay speed: append n commit records to a fault-free WAL, crash,
+     and time the Version_store rebuild *)
+  let replay_point n =
+    let wal = Minidb.Wal.create () in
+    for i = 0 to n - 1 do
+      Minidb.Wal.append wal
+        {
+          Minidb.Wal.txn = i;
+          client = i mod clients;
+          start_ts = (i * 100) + 1;
+          commit_ts = (i * 100) + 50;
+          writes =
+            List.init 4 (fun j ->
+                {
+                  Minidb.Wal.cell =
+                    Leopard_trace.Cell.make ~table:0
+                      ~row:(((i * 7) + j) mod 1024)
+                      ~col:0;
+                  value = (i * 4) + j;
+                  write_op = j;
+                  commit_ts = (i * 100) + 50 + j;
+                });
+        }
+    done;
+    let records, damage = Minidb.Wal.crash wal in
+    let t0 = wall () in
+    let _store, summary =
+      Minidb.Recovery.replay ~initial:[] ~records
+        ~fresh_ts:(fun () -> (n * 100) + 1)
+        ~damage
+    in
+    let dt = wall () -. t0 in
+    (summary, dt)
+  in
+  let replay_sizes = [ 2_000; 10_000; 50_000 ] in
+  let replay_rows =
+    List.map
+      (fun n ->
+        let summary, dt = replay_point n in
+        let per_s =
+          if dt <= 0.0 then 0.0 else float_of_int summary.replayed /. dt
+        in
+        (n, summary, dt, per_s))
+      replay_sizes
+  in
+  print_endline "\n(b) recovery replay (fault-free crash, 4 writes/record):";
+  Table.print
+    ~header:[ "records"; "versions"; "replay(ms)"; "records/s" ]
+    (List.map
+       (fun (n, (s : Minidb.Recovery.summary), dt, per_s) ->
+         [
+           Table.fmt_int n;
+           Table.fmt_int s.versions_installed;
+           fmt_ms dt;
+           Table.fmt_float ~decimals:0 per_s;
+         ])
+       replay_rows);
+  if !emit_json then begin
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"workload\": \"smallbank\",\n  \"txns\": %d,\n  \"clients\": \
+          %d,\n"
+         txns clients);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"wal_off_ops_per_s\": %.1f,\n" tput_off);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"wal_on_ops_per_s\": %.1f,\n" tput_on);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"wal_overhead_pct\": %.2f,\n" overhead_pct);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"wal_records\": %d,\n" o_on.H.Run.wal_appended);
+    Buffer.add_string buf "  \"replay\": [\n";
+    List.iteri
+      (fun i (n, (s : Minidb.Recovery.summary), dt, per_s) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"records\": %d, \"versions\": %d, \"wall_ms\": %.3f, \
+              \"records_per_s\": %.1f}%s\n"
+             n s.versions_installed (dt *. 1e3) per_s
+             (if i = List.length replay_rows - 1 then "" else ",")))
+      replay_rows;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out "BENCH_recovery.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_endline "\nwrote BENCH_recovery.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -793,12 +934,23 @@ let experiments =
     ("profiles", profiles);
     ("online", online);
     ("ablation", ablation);
+    ("recovery", recovery);
     ("micro", micro);
   ]
 
 let () =
+  let argv =
+    List.filter
+      (fun a ->
+        if a = "--json" then begin
+          emit_json := true;
+          false
+        end
+        else true)
+      (Array.to_list Sys.argv)
+  in
   let requested =
-    match Array.to_list Sys.argv with
+    match argv with
     | _ :: ([ arg ] as args) ->
       if List.mem arg [ "-h"; "--help" ] then begin
         Printf.printf "usage: main.exe [%s]\n"

@@ -69,16 +69,16 @@ let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
       prerr_endline ("unknown isolation level: " ^ level);
       exit 2
   in
-  let traces, skipped =
+  let traces, epochs, skipped =
     if lenient then (
-      match Leopard_trace.Codec.load_lenient ~path with
-      | traces, skipped -> (traces, skipped)
+      match Leopard_trace.Codec.load_lenient_ext ~path with
+      | traces, epochs, skipped -> (traces, epochs, skipped)
       | exception Sys_error e ->
         prerr_endline ("cannot load " ^ path ^ ": " ^ e);
         exit 2)
     else
-      match Leopard_trace.Codec.load ~path with
-      | Ok traces -> (traces, [])
+      match Leopard_trace.Codec.load_ext ~path with
+      | Ok (traces, epochs) -> (traces, epochs, [])
       | Error e ->
         prerr_endline ("cannot load " ^ path ^ ": " ^ e);
         exit 2
@@ -100,12 +100,25 @@ let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
   (* losses must be known before reads are checked, so a value whose
      write may have been on a skipped line is not misreported as a bug *)
   Leopard.Checker.note_lost_traces checker (List.length skipped);
+  (* epoch markers: restarts are free, recovery damage degrades *)
+  List.iter
+    (fun (m : Leopard_trace.Codec.epoch_mark) ->
+      Leopard.Checker.note_restart checker ~at:m.at ~replayed:m.replayed
+        ~damaged:m.damaged)
+    epochs;
   List.iter (Leopard.Checker.feed checker) sorted;
   Leopard.Checker.finalize checker;
   let wall = Sys.time () -. wall0 in
   let report = Leopard.Checker.report checker in
   Printf.printf "checked  : %s — %d traces, %d committed txns, %.1f ms wall\n"
     path report.traces report.committed (wall *. 1e3);
+  if epochs <> [] then
+    Printf.printf "recovery : trace spans %d server restart(s), %d wal \
+                   record(s) damaged\n"
+      (List.length epochs)
+      (List.fold_left
+         (fun acc (m : Leopard_trace.Codec.epoch_mark) -> acc + m.damaged)
+         0 epochs);
   if skipped <> [] then begin
     Printf.printf "skipped  : %d undecodable line(s)\n" (List.length skipped);
     List.iteri
@@ -116,7 +129,7 @@ let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
   finish ~show_bugs report
 
 let run_workload_mode workload dbms level faults clients txns seed show_bugs
-    record infer chaos max_retries max_stall_ns =
+    record infer chaos max_retries max_stall_ns (wal, crash_at, wal_faults) =
   match
     ( workload_of_string workload,
       Minidb.Profile.find dbms,
@@ -157,7 +170,19 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
     in
     let config =
       Leopard_harness.Run.config ~clients ~seed ~faults ?chaos ~max_retries
-        ~spec ~profile ~level ~stop:(Leopard_harness.Run.Txn_count txns) ()
+        ~wal ~crash_at ?wal_faults ~spec ~profile ~level
+        ~stop:(Leopard_harness.Run.Txn_count txns) ()
+    in
+    let codec_epochs (outcome : Leopard_harness.Run.outcome) =
+      List.mapi
+        (fun i (e : Leopard_harness.Run.epoch_mark) ->
+          {
+            Leopard_trace.Codec.at = e.at;
+            epoch = i + 1;
+            replayed = e.replayed;
+            damaged = e.damaged;
+          })
+        outcome.Leopard_harness.Run.epochs
     in
     let header outcome =
       Printf.printf "run      : %s on %s/%s, %d clients, seed %d\n"
@@ -174,12 +199,20 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
         (float_of_int outcome.Leopard_harness.Run.sim_duration_ns /. 1e6);
       if max_retries > 0 then
         Printf.printf "retries  : %d aborted attempts re-run (cap %d)\n"
-          outcome.Leopard_harness.Run.retries max_retries
+          outcome.Leopard_harness.Run.retries max_retries;
+      if outcome.Leopard_harness.Run.restarts > 0 then
+        Printf.printf
+          "recovery : %d server restart(s), %d txn(s) aborted by crash, %d \
+           wal record(s) appended, %d damaged\n"
+          outcome.Leopard_harness.Run.restarts
+          outcome.Leopard_harness.Run.aborts_crash
+          outcome.Leopard_harness.Run.wal_appended
+          outcome.Leopard_harness.Run.wal_damaged
     in
     let footer outcome (report : Leopard.Checker.report) =
       (match record with
       | Some path ->
-        Leopard_trace.Codec.save ~path
+        Leopard_trace.Codec.save_ext ~path ~epochs:(codec_epochs outcome)
           (Leopard_harness.Run.all_traces_sorted outcome);
         Printf.printf "recorded : %s (%d traces)\n" path report.traces
       | None -> ());
@@ -194,6 +227,11 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
       let checker = Leopard.Checker.create il in
       let pipeline = Leopard.Pipeline.of_lists outcome.client_traces in
       let wall0 = Sys.time () in
+      List.iter
+        (fun (e : Leopard_harness.Run.epoch_mark) ->
+          Leopard.Checker.note_restart checker ~at:e.at ~replayed:e.replayed
+            ~damaged:e.damaged)
+        outcome.Leopard_harness.Run.epochs;
       ignore
         (Leopard.Pipeline.drain pipeline ~f:(Leopard.Checker.feed checker));
       Leopard.Checker.finalize checker;
@@ -207,6 +245,7 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
       Printf.printf "memory   : peak %d mirrored entries (pipeline peak %d)\n"
         report.peak_live
         (Leopard.Pipeline.peak_memory pipeline);
+      print_string (Leopard.Report_pp.degradation_line report.degradation);
       footer outcome report
     | Some _ ->
       (* chaotic collection: verify online so crashed clients release the
@@ -233,12 +272,12 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
       footer outcome report)
 
 let run workload dbms level faults clients txns seed show_bugs record check
-    infer chaos max_retries max_stall_ns lenient =
+    infer chaos max_retries max_stall_ns lenient recovery =
   match check with
   | Some path -> check_file ~dbms ~level ~show_bugs ~infer ~lenient path
   | None ->
     run_workload_mode workload dbms level faults clients txns seed show_bugs
-      record infer chaos max_retries max_stall_ns
+      record infer chaos max_retries max_stall_ns recovery
 
 open Cmdliner
 
@@ -380,6 +419,88 @@ let max_stall_ns =
            stream may pin the dispatch watermark before being treated as \
            stalled.")
 
+let wal_flag =
+  Arg.(
+    value & flag
+    & info [ "wal" ]
+        ~doc:
+          "Run the engine with the write-ahead log enabled (implied by \
+           --crash-at and by any --wal-fault-* probability).")
+
+let crash_at =
+  Arg.(
+    value & opt_all int []
+    & info [ "crash-at" ] ~docv:"NS"
+        ~doc:
+          "Crash the server at simulated instant $(docv) and recover from \
+           the write-ahead log (repeatable: each instant is one \
+           crash-recovery epoch).  In-flight transactions are aborted with \
+           server-crash; clients retry under --max-retries.")
+
+let wal_fault_torn =
+  Arg.(
+    value & opt float 0.0
+    & info [ "wal-fault-torn" ] ~docv:"PROB"
+        ~doc:
+          "Per-crash probability that the tail WAL record is torn: a \
+           committed transaction recovers with only part of its write set.")
+
+let wal_fault_lost =
+  Arg.(
+    value & opt float 0.0
+    & info [ "wal-fault-lost-fsync" ] ~docv:"PROB"
+        ~doc:
+          "Per-crash probability that an fsync window of the newest commit \
+           records is lost: those transactions vanish on recovery.")
+
+let wal_fault_reorder =
+  Arg.(
+    value & opt float 0.0
+    & info [ "wal-fault-reorder" ] ~docv:"PROB"
+        ~doc:
+          "Per-crash probability that a reordered flush persisted newer \
+           records but lost an older one: a mid-log commit vanishes while \
+           later commits survive.")
+
+let wal_fault_dup =
+  Arg.(
+    value & opt float 0.0
+    & info [ "wal-fault-dup" ] ~docv:"PROB"
+        ~doc:
+          "Per-crash probability that recovery replays a superseded commit \
+           record twice, resurrecting an overwritten version as newest \
+           (a recovered lost update).")
+
+let wal_fault_window =
+  Arg.(
+    value & opt int 3
+    & info [ "wal-fault-window" ] ~docv:"N"
+        ~doc:"Size bound of the lost-fsync / reordered-flush window.")
+
+let wal_fault_seed =
+  Arg.(
+    value & opt int 0
+    & info [ "wal-fault-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed of the durability-fault stream (independent of --seed and \
+           --chaos-seed).")
+
+let recovery_term =
+  let make wal crash_at torn lost reorder dup window fseed =
+    let cfg =
+      Minidb.Wal.fault_cfg ~seed:fseed ~torn_tail_prob:torn
+        ~lost_fsync_prob:lost ~lost_fsync_window:window
+        ~reordered_flush_prob:reorder ~dup_replay_prob:dup ()
+    in
+    let wal_faults =
+      if Minidb.Wal.faults_disabled cfg then None else Some cfg
+    in
+    (wal, crash_at, wal_faults)
+  in
+  Cmdliner.Term.(
+    const make $ wal_flag $ crash_at $ wal_fault_torn $ wal_fault_lost
+    $ wal_fault_reorder $ wal_fault_dup $ wal_fault_window $ wal_fault_seed)
+
 let lenient =
   Arg.(
     value & flag
@@ -396,6 +517,6 @@ let cmd =
     Term.(
       const run $ workload $ dbms $ level $ faults $ clients $ txns $ seed
       $ show_bugs $ record $ check $ infer $ chaos_term $ max_retries
-      $ max_stall_ns $ lenient)
+      $ max_stall_ns $ lenient $ recovery_term)
 
 let () = exit (Cmd.eval cmd)

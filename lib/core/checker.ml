@@ -30,13 +30,18 @@ type degradation = {
   lost_traces : int;
   inconclusive_reads : int;
   unterminated_txns : int;
+  restarts : int;
+  recovery_lost_records : int;
 }
 
+(* [restarts] is deliberately absent: a clean crash–recovery epoch loses
+   nothing, so a multi-epoch trace with zero damaged records still earns
+   a full [Verified].  Only actual recovery losses degrade the verdict. *)
 let degradation_free d =
   d.crashed_clients = 0 && d.indeterminate_txns = 0
   && d.dup_traces_dropped = 0 && d.late_traces_dropped = 0
   && d.lost_traces = 0 && d.inconclusive_reads = 0
-  && d.unterminated_txns = 0
+  && d.unterminated_txns = 0 && d.recovery_lost_records = 0
 
 type report = {
   traces : int;
@@ -106,6 +111,8 @@ type t = {
   mutable ext_crashed_clients : int;
   mutable ext_late_dropped : int;
   mutable ext_lost : int;
+  mutable ext_restarts : int;
+  mutable ext_recovery_lost : int;
   mutable finalized : bool;
   mutable dep_hook : (Dep.t -> unit) option;
   mech_counts : (Bug.mechanism, int) Hashtbl.t;
@@ -152,6 +159,8 @@ let create ?(gc_every = 512) ?(narrow_candidates = true)
     ext_crashed_clients = 0;
     ext_late_dropped = 0;
     ext_lost = 0;
+    ext_restarts = 0;
+    ext_recovery_lost = 0;
     finalized = false;
     dep_hook = None;
     mech_counts = Hashtbl.create 4;
@@ -832,6 +841,19 @@ let note_crashed_clients t n =
 let note_late_dropped t n = t.ext_late_dropped <- t.ext_late_dropped + n
 let note_lost_traces t n = t.ext_lost <- t.ext_lost + n
 
+(* Recovery damage is deliberately NOT funnelled into [note_lost_traces]:
+   a lost trace weakens what the verifier may claim about unmatched reads
+   (the missing write may simply be the lost trace), but a damaged WAL
+   record is the server's own confession — real recoveries detect torn
+   and missing records by CRC scan.  The traces themselves are all
+   present, so a post-crash read contradicting them is a {e provable}
+   violation, exactly what the durability faults plant. *)
+let note_restart t ~at ~replayed ~damaged =
+  if at < 0 || replayed < 0 || damaged < 0 then
+    invalid_arg "Checker.note_restart: negative count";
+  t.ext_restarts <- t.ext_restarts + 1;
+  t.ext_recovery_lost <- t.ext_recovery_lost + damaged
+
 let degradation t =
   {
     crashed_clients = t.ext_crashed_clients;
@@ -848,6 +870,8 @@ let degradation t =
          Hashtbl.fold
            (fun _ v acc -> if v.vstatus = Active then acc + 1 else acc)
            t.txns 0);
+    restarts = t.ext_restarts;
+    recovery_lost_records = t.ext_recovery_lost;
   }
 
 let report t =
@@ -888,6 +912,10 @@ let degradation_reason d =
   let parts = add parts d.dup_traces_dropped "duplicate dropped" "duplicates dropped" in
   let parts = add parts d.inconclusive_reads "read inconclusive" "reads inconclusive" in
   let parts = add parts d.unterminated_txns "transaction unterminated" "transactions unterminated" in
+  let parts =
+    add parts d.recovery_lost_records "wal record lost in recovery"
+      "wal records lost in recovery"
+  in
   String.concat ", " (List.rev parts)
 
 let verdict (r : report) =

@@ -90,6 +90,20 @@ val note_lost_traces : t -> int -> unit
 (** Add traces known lost before dispatch (collection drops, corrupt
     trace-file lines skipped by [Codec.load_lenient], ...). *)
 
+val note_restart : t -> at:int -> replayed:int -> damaged:int -> unit
+(** Declare one server crash–recovery epoch boundary (a trace-file
+    [E] marker, or [Run]'s [epochs]): the server crashed at instant
+    [at] and recovered by replaying [replayed] WAL records, [damaged]
+    of which were torn, lost, reordered or duplicated.  A clean restart
+    ([damaged = 0]) does not degrade the verdict — the trace stream is
+    complete and every post-crash timestamp is fresher than the crash,
+    so the obligations remain fully checkable.  Damaged records are
+    counted in {!degradation.recovery_lost_records} and weaken
+    [Verified] to [Inconclusive].  Unlike {!note_lost_traces}, recovery
+    damage never downgrades unmatched reads: the traces are all
+    present, so a read contradicting them is still a provable
+    violation.  Raises [Invalid_argument] on negative inputs. *)
+
 type degradation = {
   crashed_clients : int;
   indeterminate_txns : int;  (** transactions marked indeterminate *)
@@ -102,11 +116,16 @@ type degradation = {
   unterminated_txns : int;
       (** transactions with no terminal trace and no indeterminate mark
           at [finalize] (truncated collection); 0 before [finalize] *)
+  restarts : int;  (** crash–recovery epochs ({!note_restart}) *)
+  recovery_lost_records : int;
+      (** WAL records damaged across all recoveries; non-zero weakens
+          [Verified] to [Inconclusive] *)
 }
 
 val degradation_free : degradation -> bool
 (** All counters zero — the collection was complete and clean, so a
-    bug-free report means [Verified], not merely "nothing found". *)
+    bug-free report means [Verified], not merely "nothing found".
+    [restarts] is exempt: a clean multi-epoch trace still verifies. *)
 
 type report = {
   traces : int;

@@ -20,6 +20,13 @@
     [source client] when it refills that client's local buffer, which
     models clients pushing fixed-size batches.
 
+    {b Multi-epoch traces.}  A stream spanning server crash–recovery
+    epochs needs no special handling here: the engine's clock is
+    monotone across restarts, so per-client streams stay monotone in
+    [ts_bef] and the watermark argument is untouched.  Epoch boundaries
+    are metadata for the checker ([Checker.note_restart]), not for the
+    sorter.
+
     {b Robustness.}  Real collection paths are lossy: clients crash,
     delivery stalls, traces arrive late.  Three hardenings keep the
     pipeline live and sound under those conditions (see

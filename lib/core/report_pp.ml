@@ -18,13 +18,14 @@ let degradation_line (d : Checker.degradation) =
     Printf.sprintf
       "degradation: crashed clients %d | indeterminate txns %d | dropped \
        traces %d (late %d, dup %d, lost %d) | inconclusive reads %d | \
-       unterminated txns %d\n"
+       unterminated txns %d | restarts %d (wal records lost %d)\n"
       d.Checker.crashed_clients d.Checker.indeterminate_txns
       (d.Checker.late_traces_dropped + d.Checker.dup_traces_dropped
      + d.Checker.lost_traces)
       d.Checker.late_traces_dropped d.Checker.dup_traces_dropped
       d.Checker.lost_traces d.Checker.inconclusive_reads
-      d.Checker.unterminated_txns
+      d.Checker.unterminated_txns d.Checker.restarts
+      d.Checker.recovery_lost_records
 
 let verdict_line (r : Checker.report) =
   if r.bugs_total = 0 then

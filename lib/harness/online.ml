@@ -103,6 +103,13 @@ let run ?(batch_window_ns = 500_000) ?(gc_every = 512) ?max_stall_ns ~il
      crashed before the trace straggled in — lost to the verifier. *)
   let stranded = Array.fold_left (fun n q -> n + Queue.length q) 0 queues in
   if stranded > 0 then Leopard.Checker.note_lost_traces checker stranded;
+  (* Crash–recovery epochs the run spanned: clean restarts keep the
+     verdict intact, recovery damage degrades it. *)
+  List.iter
+    (fun (e : Run.epoch_mark) ->
+      Leopard.Checker.note_restart checker ~at:e.Run.at
+        ~replayed:e.Run.replayed ~damaged:e.Run.damaged)
+    outcome.Run.epochs;
   (match chaos with
   | Some ch ->
     Leopard.Checker.note_crashed_clients checker

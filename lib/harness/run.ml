@@ -35,12 +35,15 @@ type config = {
   chaos : Chaos.t option;
   max_retries : int;
   retry_backoff_ns : float;
+  wal : bool;
+  crash_at : int list;  (* simulated instants of server crashes *)
+  wal_faults : Minidb.Wal.fault_cfg option;
 }
 
 let config ?(faults = Minidb.Fault.Set.empty) ?(clients = 8) ?(seed = 42)
     ?(latency = default_latency) ?latency_of ?observer ?tick ?chaos
-    ?(max_retries = 0) ?(retry_backoff_ns = 100_000.0) ~spec ~profile ~level
-    ~stop () =
+    ?(max_retries = 0) ?(retry_backoff_ns = 100_000.0) ?(wal = false)
+    ?(crash_at = []) ?wal_faults ~spec ~profile ~level ~stop () =
   {
     spec;
     profile;
@@ -56,10 +59,20 @@ let config ?(faults = Minidb.Fault.Set.empty) ?(clients = 8) ?(seed = 42)
     chaos = Option.map (fun c -> Chaos.create ~clients c) chaos;
     max_retries;
     retry_backoff_ns;
+    (* crashing or injecting durability faults implies logging *)
+    wal = wal || crash_at <> [] || wal_faults <> None;
+    crash_at;
+    wal_faults;
   }
 
 let latency_for cfg client =
   match cfg.latency_of with Some f -> f client | None -> cfg.latency
+
+type epoch_mark = {
+  at : int;  (** simulated instant of the crash *)
+  replayed : int;  (** WAL records applied during recovery *)
+  damaged : int;  (** records torn/lost/reordered/duplicated *)
+}
 
 type outcome = {
   client_traces : Trace.t list array;
@@ -67,12 +80,21 @@ type outcome = {
   truth_deps : Minidb.Ground_truth.dep list;
   committed : int -> bool;
   peek : Leopard_trace.Cell.t -> Trace.value option;
+  snapshot :
+    unit -> (Leopard_trace.Cell.t * Minidb.Version_store.version list) list;
+      (* committed-state image of the live store; see
+         [Version_store.snapshot_committed] *)
   commits : int;
   aborts : int;
   aborts_fuw : int;
   aborts_certifier : int;
   aborts_deadlock : int;
+  aborts_crash : int;
   deadlocks : int;
+  restarts : int;
+  epochs : epoch_mark list;  (* crash/restart boundaries, oldest first *)
+  wal_appended : int;
+  wal_damaged : int;
   sim_duration_ns : int;
   ops : int;
   retries : int;
@@ -168,8 +190,11 @@ let emit st ~client ~txn_id ~op_id ~ts_bef payload =
     trace
 
 (* Bounded exponential backoff: mean doubles per retry, capped at 32x. *)
+let backoff_mean_ns ~retry_backoff_ns ~tries =
+  retry_backoff_ns *. float_of_int (1 lsl min tries 5)
+
 let backoff_mean st tries =
-  st.cfg.retry_backoff_ns *. float_of_int (1 lsl min tries 5)
+  backoff_mean_ns ~retry_backoff_ns:st.cfg.retry_backoff_ns ~tries
 
 let client_done st = st.live_clients <- st.live_clients - 1
 
@@ -294,10 +319,31 @@ and attempt st rng ~client ~prog ~tries =
 
 let execute cfg =
   let sim = Sim.create () in
+  let wal =
+    if cfg.wal then Some (Minidb.Wal.create ?faults:cfg.wal_faults ())
+    else None
+  in
   let engine =
-    Engine.create sim ~profile:cfg.profile ~level:cfg.level ~faults:cfg.faults
+    Engine.create ?wal sim ~profile:cfg.profile ~level:cfg.level
+      ~faults:cfg.faults
   in
   Engine.load engine cfg.spec.Leopard_workload.Spec.initial;
+  (* Crash/restart epochs: each instant kills the server between events
+     and recovers it from the WAL before the next event runs.  Scheduled
+     up front from the config, never drawn from the workload's RNG. *)
+  let epochs = ref [] in
+  List.iter
+    (fun at ->
+      Sim.schedule sim ~at:(max 1 at) (fun () ->
+          let s = Engine.crash_recover engine in
+          epochs :=
+            {
+              at = Sim.now sim;
+              replayed = s.Minidb.Recovery.replayed;
+              damaged = Minidb.Wal.damaged_records s.Minidb.Recovery.damage;
+            }
+            :: !epochs))
+    (List.sort_uniq compare cfg.crash_at);
   let st =
     {
       cfg;
@@ -338,12 +384,19 @@ let execute cfg =
       Minidb.Ground_truth.deps (Engine.ground_truth engine) ~committed;
     committed;
     peek = (fun cell -> Engine.peek engine cell);
+    snapshot = (fun () -> Engine.snapshot_committed engine);
     commits = Engine.commits engine;
     aborts = Engine.aborts engine;
     aborts_fuw = Engine.aborts_by engine Engine.Fuw_conflict;
     aborts_certifier = Engine.aborts_by engine (Engine.Certifier_conflict "");
     aborts_deadlock = Engine.aborts_by engine Engine.Deadlock_victim;
+    aborts_crash = Engine.aborts_by engine Engine.Server_crash;
     deadlocks = Engine.deadlocks engine;
+    restarts = Engine.restarts engine;
+    epochs = List.rev !epochs;
+    wal_appended = Engine.wal_appended engine;
+    wal_damaged =
+      List.fold_left (fun acc e -> acc + e.damaged) 0 !epochs;
     sim_duration_ns = Sim.now sim;
     ops = Engine.ops_executed engine;
     retries = st.retries;

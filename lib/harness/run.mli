@@ -61,6 +61,16 @@ type config = {
   retry_backoff_ns : float;
       (** mean of the first retry delay; doubles per attempt (bounded
           exponential backoff, capped at 32x) *)
+  wal : bool;
+      (** log every commit's installed write set to a {!Minidb.Wal};
+          forced on whenever [crash_at] or [wal_faults] is set *)
+  crash_at : int list;
+      (** simulated instants at which the server crashes and recovers
+          from the WAL; in-flight transactions die with a definite
+          [Server_crash] abort and clients retry under [max_retries] *)
+  wal_faults : Minidb.Wal.fault_cfg option;
+      (** durability fault model applied at crash/replay time, drawn
+          from its own seeded stream (never the workload's) *)
 }
 
 val config :
@@ -74,12 +84,21 @@ val config :
   ?chaos:Chaos.config ->
   ?max_retries:int ->
   ?retry_backoff_ns:float ->
+  ?wal:bool ->
+  ?crash_at:int list ->
+  ?wal_faults:Minidb.Wal.fault_cfg ->
   spec:Leopard_workload.Spec.t ->
   profile:Minidb.Profile.t ->
   level:Minidb.Isolation.level ->
   stop:stop ->
   unit ->
   config
+
+type epoch_mark = {
+  at : int;  (** simulated instant of the crash *)
+  replayed : int;  (** WAL records applied during recovery *)
+  damaged : int;  (** records torn/lost/reordered/duplicated *)
+}
 
 type outcome = {
   client_traces : Trace.t list array;
@@ -90,12 +109,21 @@ type outcome = {
   committed : int -> bool;
   peek : Leopard_trace.Cell.t -> Trace.value option;
       (** final committed value of a cell (white-box test oracle) *)
+  snapshot :
+    unit -> (Leopard_trace.Cell.t * Minidb.Version_store.version list) list;
+      (** committed-state image of the live store — equality across a
+          fault-free crash proves byte-identical recovery *)
   commits : int;
   aborts : int;
   aborts_fuw : int;
   aborts_certifier : int;
   aborts_deadlock : int;
+  aborts_crash : int;  (** transactions killed by server crashes *)
   deadlocks : int;
+  restarts : int;  (** crash–recovery epochs the run spanned *)
+  epochs : epoch_mark list;  (** crash boundaries, oldest first *)
+  wal_appended : int;  (** commit records logged *)
+  wal_damaged : int;  (** records damaged across all recoveries *)
   sim_duration_ns : int;
   ops : int;
   retries : int;  (** engine-aborted attempts re-run under [max_retries] *)
@@ -109,6 +137,11 @@ type outcome = {
 }
 
 val execute : config -> outcome
+
+val backoff_mean_ns : retry_backoff_ns:float -> tries:int -> float
+(** Mean of the retry delay before attempt [tries + 1]:
+    [retry_backoff_ns * 2^min(tries, 5)] — exposed pure so tests can
+    assert the backoff is bounded. *)
 
 val all_traces_sorted : outcome -> Trace.t list
 (** Every trace of the run, globally sorted by [ts_bef] (convenience for

@@ -7,12 +7,14 @@ type abort_reason =
   | Fuw_conflict
   | Certifier_conflict of string
   | User_abort
+  | Server_crash
 
 let abort_reason_to_string = function
   | Deadlock_victim -> "deadlock"
   | Fuw_conflict -> "first-updater-wins"
   | Certifier_conflict s -> "certifier:" ^ s
   | User_abort -> "user-abort"
+  | Server_crash -> "server-crash"
 
 type request =
   | Read of { cells : Cell.t list; locking : bool; predicate : bool }
@@ -31,6 +33,7 @@ type txn_state = Active | Committed_at of int | Aborted
 type txn = {
   id : int;
   client : int;
+  epoch : int;  (* server epoch the txn was started in *)
   mutable state : txn_state;
   mutable snapshot_ts : int;  (* -1 until taken *)
   mutable start_ts : int;  (* -1 until first operation *)
@@ -45,26 +48,31 @@ type t = {
   sim : Sim.t;
   mech : Isolation.mechanisms;
   faults : Fault.Set.t;
-  store : Version_store.t;
+  mutable store : Version_store.t;  (* swapped wholesale on recovery *)
+  wal : Wal.t option;
   locks : Lock_manager.t;
   truth : Ground_truth.t;
   txns : (int, txn) Hashtbl.t;
   active : (int, txn) Hashtbl.t;
   pending : (int * Trace.value * int) list Cell.Tbl.t;
       (* cell -> (txn, value, op) of uncommitted writers, newest first *)
+  mutable initial : (Cell.t * Trace.value) list;  (* reverse load order *)
+  mutable epoch : int;  (* bumped by every crash *)
   mutable next_txn : int;
   mutable last_stamp : int;
   mutable commits : int;
+  mutable restarts : int;
   mutable aborts_deadlock : int;
   mutable aborts_fuw : int;
   mutable aborts_certifier : int;
   mutable aborts_user : int;
+  mutable aborts_crash : int;
   mutable ops : int;
 }
 
 let fault t f = Fault.Set.mem f t.faults
 
-let create sim ~profile ~level ~faults =
+let create ?wal sim ~profile ~level ~faults =
   if not (Profile.supports profile level) then
     invalid_arg
       (Printf.sprintf "Engine.create: profile %s does not support %s"
@@ -76,6 +84,7 @@ let create sim ~profile ~level ~faults =
     mech;
     faults;
     store = Version_store.create ();
+    wal;
     locks =
       Lock_manager.create sim
         ~s_ignores_x:(Fault.Set.mem Fault.Shared_lock_ignores_exclusive faults);
@@ -83,13 +92,17 @@ let create sim ~profile ~level ~faults =
     txns = Hashtbl.create 4096;
     active = Hashtbl.create 64;
     pending = Cell.Tbl.create 256;
+    initial = [];
+    epoch = 0;
     next_txn = 0;
     last_stamp = 0;
     commits = 0;
+    restarts = 0;
     aborts_deadlock = 0;
     aborts_fuw = 0;
     aborts_certifier = 0;
     aborts_user = 0;
+    aborts_crash = 0;
     ops = 0;
   }
 
@@ -102,6 +115,7 @@ let stamp t =
   s
 
 let load t items =
+  t.initial <- List.rev_append items t.initial;
   List.iter (fun (cell, value) -> Version_store.load t.store cell value) items
 
 let begin_txn t ~client =
@@ -111,6 +125,7 @@ let begin_txn t ~client =
     {
       id;
       client;
+      epoch = t.epoch;
       state = Active;
       snapshot_ts = -1;
       start_ts = -1;
@@ -145,15 +160,50 @@ let commits t = t.commits
 
 let aborts t =
   t.aborts_deadlock + t.aborts_fuw + t.aborts_certifier + t.aborts_user
+  + t.aborts_crash
 
 let aborts_by t = function
   | Deadlock_victim -> t.aborts_deadlock
   | Fuw_conflict -> t.aborts_fuw
   | Certifier_conflict _ -> t.aborts_certifier
   | User_abort -> t.aborts_user
+  | Server_crash -> t.aborts_crash
 
 let deadlocks t = Lock_manager.deadlocks t.locks
 let ops_executed t = t.ops
+let epoch t = t.epoch
+let restarts t = t.restarts
+let wal_appended t = match t.wal with None -> 0 | Some w -> Wal.appended w
+let snapshot_committed t = Version_store.snapshot_committed t.store
+
+(* Simulated server crash + recovery, in place.  Volatile state (active
+   transactions, their pending writes, the lock table) evaporates; the
+   committed state is rebuilt from the WAL.  Every killed transaction's
+   future requests get [Err Server_crash] replies, so clients observe a
+   definite abort and may retry in the new epoch. *)
+let crash_recover t =
+  match t.wal with
+  | None -> invalid_arg "Engine.crash_recover: engine created without ?wal"
+  | Some wal ->
+    Hashtbl.iter
+      (fun _ txn ->
+        if txn.state = Active then begin
+          txn.state <- Aborted;
+          t.aborts_crash <- t.aborts_crash + 1
+        end)
+      t.active;
+    Hashtbl.reset t.active;
+    Cell.Tbl.reset t.pending;
+    Lock_manager.crash_all t.locks;
+    t.epoch <- t.epoch + 1;
+    t.restarts <- t.restarts + 1;
+    let records, damage = Wal.crash wal in
+    let store, summary =
+      Recovery.replay ~initial:(List.rev t.initial) ~records
+        ~fresh_ts:(fun () -> stamp t) ~damage
+    in
+    t.store <- store;
+    summary
 
 let min_active_start t =
   Hashtbl.fold
@@ -201,7 +251,8 @@ let finish_abort t txn reason =
   | Deadlock_victim -> t.aborts_deadlock <- t.aborts_deadlock + 1
   | Fuw_conflict -> t.aborts_fuw <- t.aborts_fuw + 1
   | Certifier_conflict _ -> t.aborts_certifier <- t.aborts_certifier + 1
-  | User_abort -> t.aborts_user <- t.aborts_user + 1);
+  | User_abort -> t.aborts_user <- t.aborts_user + 1
+  | Server_crash -> t.aborts_crash <- t.aborts_crash + 1);
   let ts = stamp t in
   (* Retain aborted values so Fault.Read_aborted_version can surface them. *)
   Cell.Tbl.iter
@@ -248,17 +299,22 @@ let snapshot_for_op t txn =
 (* ------------------------------------------------------------------ *)
 (* Lock acquisition over a row list, CPS style *)
 
-let acquire_rows t txn rows mode ~ok ~dead =
+let acquire_rows t (txn : txn) rows mode ~ok ~dead =
   let rec go = function
     | [] -> ok ()
     | row :: rest ->
       Lock_manager.acquire t.locks ~txn:txn.id row mode ~k:(function
         | Lock_manager.Granted ->
-          if txn.state <> Active then
+          if txn.epoch < t.epoch then
+            (* the server crashed while we waited *)
+            dead Server_crash
+          else if txn.state <> Active then
             (* aborted while waiting (cannot normally happen; guard) *)
             dead Deadlock_victim
           else go rest
-        | Lock_manager.Deadlock -> dead Deadlock_victim)
+        | Lock_manager.Deadlock ->
+          if txn.epoch < t.epoch then dead Server_crash
+          else dead Deadlock_victim)
   in
   go rows
 
@@ -608,31 +664,54 @@ let do_commit t txn ~op_id ~k =
         end
         else write_cells
       in
+      let installs =
+        List.filter_map
+          (fun cell ->
+            match Cell.Tbl.find_opt txn.writes cell with
+            | None -> None
+            | Some (value, wop) ->
+              let cts =
+                if fault t Fault.Version_order_inversion then
+                  (* slot the new version just behind the newest real
+                     version, so readers keep seeing the old head *)
+                  match Version_store.latest t.store cell with
+                  | Some head when head.writer >= 0 ->
+                    max 1 (head.commit_ts - 1)
+                  | Some _ | None -> visible_ts
+                else visible_ts
+              in
+              Some (cell, value, wop, cts))
+          cells_to_install
+      in
       List.iter
-        (fun cell ->
-          match Cell.Tbl.find_opt txn.writes cell with
-          | None -> ()
-          | Some (value, wop) ->
-            let cts =
-              if fault t Fault.Version_order_inversion then
-                (* slot the new version just behind the newest real
-                   version, so readers keep seeing the old head *)
-                match Version_store.latest t.store cell with
-                | Some head when head.writer >= 0 ->
-                  max 1 (head.commit_ts - 1)
-                | Some _ | None -> visible_ts
-              else visible_ts
-            in
-            Version_store.install t.store cell
-              {
-                Version_store.value;
-                writer = txn.id;
-                writer_ts = txn.start_ts;
-                write_op = wop;
-                commit_ts = cts;
-              };
-            Ground_truth.record_cell_install t.truth cell ~txn:txn.id ~op:wop)
-        cells_to_install;
+        (fun (cell, value, wop, cts) ->
+          Version_store.install t.store cell
+            {
+              Version_store.value;
+              writer = txn.id;
+              writer_ts = txn.start_ts;
+              write_op = wop;
+              commit_ts = cts;
+            };
+          Ground_truth.record_cell_install t.truth cell ~txn:txn.id ~op:wop)
+        installs;
+      (* Durability: one commit record with the installed write set,
+         appended before the acknowledgement leaves the server. *)
+      (match t.wal with
+      | None -> ()
+      | Some wal ->
+        Wal.append wal
+          {
+            Wal.txn = txn.id;
+            client = txn.client;
+            start_ts = txn.start_ts;
+            commit_ts = commit_stamp;
+            writes =
+              List.map
+                (fun (cell, value, wop, cts) ->
+                  { Wal.cell; value; write_op = wop; commit_ts = cts })
+                installs;
+          });
       (* Row-level metadata + ground truth, on the real commit stamp. *)
       List.iter
         (fun row ->
@@ -665,8 +744,13 @@ let do_commit t txn ~op_id ~k =
 
 (* ------------------------------------------------------------------ *)
 
-let exec t txn ~op_id request ~k =
-  if txn.state <> Active then k (Err User_abort)
+let exec t (txn : txn) ~op_id request ~k =
+  if txn.epoch < t.epoch then
+    (* the txn belongs to a pre-crash epoch: its server-side state is
+       gone.  Every request gets a definite crash error — the reply
+       always arrives, so no transaction is left indeterminate. *)
+    k (Err Server_crash)
+  else if txn.state <> Active then k (Err User_abort)
   else
     match request with
     | Read { cells; locking; predicate } ->

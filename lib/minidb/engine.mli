@@ -33,6 +33,11 @@ type abort_reason =
   | Fuw_conflict  (** first updater won; this transaction lost *)
   | Certifier_conflict of string  (** SSI / MVTO / OCC refusal *)
   | User_abort
+  | Server_crash
+      (** the server crashed during the transaction's epoch: its
+          server-side state is gone.  The reply still arrives (the
+          outcome is definite, never indeterminate) and the abort is
+          retryable in the new epoch. *)
 
 val abort_reason_to_string : abort_reason -> string
 
@@ -56,12 +61,15 @@ type result =
           released.  The client should log an abort trace. *)
 
 val create :
+  ?wal:Wal.t ->
   Sim.t ->
   profile:Profile.t ->
   level:Isolation.level ->
   faults:Fault.Set.t ->
   t
-(** Raises [Invalid_argument] if the profile does not support the level. *)
+(** Raises [Invalid_argument] if the profile does not support the level.
+    With [?wal], every commit appends its installed write set to the log
+    before the acknowledgement leaves, enabling {!crash_recover}. *)
 
 val mechanisms : t -> Isolation.mechanisms
 
@@ -90,6 +98,30 @@ val ground_truth : t -> Ground_truth.t
 val committed : t -> int -> bool
 (** Whether the given transaction id committed. *)
 
+(** {2 Crash–recovery} *)
+
+val crash_recover : t -> Recovery.summary
+(** Simulated instantaneous server crash followed by recovery, in place:
+    active transactions die (their pending writes and locks evaporate;
+    queued lock waiters are answered, not abandoned), the epoch is
+    bumped, and the committed store is rebuilt from the WAL under the
+    log's durability fault model.  Post-crash requests of pre-crash
+    transactions get [Err Server_crash].  Timestamps stay globally
+    monotone across the restart, so a single trace file spanning epochs
+    remains checkable.  Raises [Invalid_argument] when the engine was
+    created without [?wal]. *)
+
+val epoch : t -> int
+(** Current server epoch; 0 until the first crash. *)
+
+val restarts : t -> int
+(** Number of crash–recovery cycles so far. *)
+
+val snapshot_committed : t -> (Cell.t * Version_store.version list) list
+(** {!Version_store.snapshot_committed} of the live store — the
+    canonical committed-state image used to prove recovery is
+    byte-identical. *)
+
 (** {2 Statistics} *)
 
 val commits : t -> int
@@ -97,3 +129,6 @@ val aborts : t -> int
 val aborts_by : t -> abort_reason -> int
 val deadlocks : t -> int
 val ops_executed : t -> int
+
+val wal_appended : t -> int
+(** Commit records appended to the WAL ([0] without one). *)

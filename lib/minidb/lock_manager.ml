@@ -202,3 +202,20 @@ let release_all t ~txn =
 let waiting t = Hashtbl.length t.blocked
 
 let deadlocks t = t.deadlocks
+
+(* A server crash wipes the lock table.  Every queued waiter's
+   continuation still fires (with [Deadlock]) so no client is left
+   hanging mid-request; the engine, having already bumped its epoch,
+   reports the abort as a server crash rather than a deadlock. *)
+let crash_all t =
+  let waiters =
+    Hashtbl.fold
+      (fun _ s acc -> Queue.fold (fun acc w -> w :: acc) acc s.queue)
+      t.rows []
+  in
+  Hashtbl.reset t.rows;
+  Hashtbl.reset t.by_txn;
+  Hashtbl.reset t.blocked;
+  List.iter
+    (fun w -> Sim.schedule_after t.sim ~delay:0 (fun () -> w.k Deadlock))
+    waiters

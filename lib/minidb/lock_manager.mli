@@ -48,3 +48,10 @@ val waiting : t -> int
 
 val deadlocks : t -> int
 (** Total requests denied for deadlock since creation. *)
+
+val crash_all : t -> unit
+(** Server crash: wipe all held locks, wait queues and waits-for state.
+    Queued waiters are not abandoned — each continuation is scheduled
+    with [Deadlock] so the in-flight request still completes; the engine
+    translates the outcome to a crash abort for old-epoch transactions.
+    The deadlock counter is untouched. *)

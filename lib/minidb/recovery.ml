@@ -1,0 +1,53 @@
+module Cell = Leopard_trace.Cell
+
+type summary = {
+  replayed : int;
+  versions_installed : int;
+  duplicated : int;
+  damage : Wal.damage;
+}
+
+let replay ~initial ~records ~fresh_ts ~damage =
+  let store = Version_store.create () in
+  List.iter (fun (cell, value) -> Version_store.load store cell value) initial;
+  let seen = Hashtbl.create 256 in
+  let replayed = ref 0 in
+  let installed = ref 0 in
+  let duplicated = ref 0 in
+  let apply (r : Wal.record) =
+    let dup = Hashtbl.mem seen r.Wal.txn in
+    if not dup then Hashtbl.replace seen r.Wal.txn ();
+    (* A duplicate re-applies at a fresh recovery stamp: its versions
+       land on top of the committed chains instead of at their original
+       place, resurrecting whatever the original record wrote. *)
+    let txn_commit_ts = if dup then fresh_ts () else r.Wal.commit_ts in
+    incr replayed;
+    if dup then incr duplicated;
+    List.iter
+      (fun (w : Wal.write) ->
+        let commit_ts = if dup then txn_commit_ts else w.Wal.commit_ts in
+        Version_store.install store w.Wal.cell
+          {
+            Version_store.value = w.Wal.value;
+            writer = r.Wal.txn;
+            writer_ts = r.Wal.start_ts;
+            write_op = w.Wal.write_op;
+            commit_ts;
+          };
+        incr installed;
+        let info = Version_store.row_info store (Cell.row_key w.Wal.cell) in
+        if txn_commit_ts >= info.Version_store.last_commit_ts then begin
+          info.Version_store.last_commit_ts <- txn_commit_ts;
+          info.Version_store.last_writer <- r.Wal.txn;
+          info.Version_store.last_writer_ts <- r.Wal.start_ts
+        end)
+      r.Wal.writes
+  in
+  List.iter apply records;
+  ( store,
+    {
+      replayed = !replayed;
+      versions_installed = !installed;
+      duplicated = !duplicated;
+      damage;
+    } )

@@ -1,0 +1,34 @@
+(** Crash recovery: rebuild a {!Version_store} from the write-ahead log.
+
+    Replay installs every surviving {!Wal.record} at its {e original}
+    per-cell commit stamp, so a fault-free recovery reconstructs the
+    committed state byte-for-byte ({!Version_store.snapshot_committed}
+    equality, proven in [test_recovery.ml]).  Row metadata is rebuilt
+    from the records' transaction-level stamps; the volatile reader-side
+    fields ([max_read_ts], [readers]) restart empty, which is sound
+    because every post-crash timestamp is strictly newer than any
+    pre-crash read.
+
+    A record appearing a second time in the replay list (a
+    {!Wal.Dup_replay} victim) is re-applied at a {e fresh} stamp drawn
+    from [fresh_ts], pushing the resurrected version to the top of its
+    chains — the planted anomaly a post-crash consistent read trips
+    over. *)
+
+type summary = {
+  replayed : int;  (** log records applied during replay *)
+  versions_installed : int;  (** individual cell versions installed *)
+  duplicated : int;  (** records re-applied at a fresh stamp *)
+  damage : Wal.damage;  (** what the crash cost, per fault *)
+}
+
+val replay :
+  initial:(Leopard_trace.Cell.t * Leopard_trace.Trace.value) list ->
+  records:Wal.record list ->
+  fresh_ts:(unit -> int) ->
+  damage:Wal.damage ->
+  Version_store.t * summary
+(** [replay ~initial ~records ~fresh_ts ~damage] rebuilds a store from
+    the initially-loaded cells plus [records] in list order.  [records]
+    comes straight from {!Wal.crash}; [fresh_ts] supplies recovery-time
+    stamps for duplicate re-application. *)

@@ -115,3 +115,10 @@ let row_info t row =
     info
 
 let cells t = Cell.Tbl.length t.cells
+
+let snapshot_committed t =
+  Cell.Tbl.fold
+    (fun cell s acc ->
+      match s.committed with [] -> acc | vs -> (cell, vs) :: acc)
+    t.cells []
+  |> List.sort (fun (a, _) (b, _) -> Cell.compare a b)

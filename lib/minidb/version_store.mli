@@ -70,3 +70,10 @@ val row_info : t -> row -> row_info
 
 val cells : t -> int
 (** Number of distinct cells with at least one version (diagnostics). *)
+
+val snapshot_committed : t -> (Leopard_trace.Cell.t * version list) list
+(** Every non-empty committed chain (newest first), sorted by cell — a
+    canonical image of the committed state.  Recovery is byte-identical
+    exactly when the pre-crash and post-recovery snapshots are equal;
+    aborted side lists and volatile row metadata (readers, max read
+    timestamp) are deliberately excluded. *)

@@ -47,7 +47,14 @@ let parse_items s =
   in
   go [] parts
 
-let of_line line =
+type epoch_mark = { at : int; epoch : int; replayed : int; damaged : int }
+
+let epoch_to_line m =
+  Printf.sprintf "E %d %d %d %d" m.at m.epoch m.replayed m.damaged
+
+type entry = Trace of Trace.t | Epoch of epoch_mark
+
+let entry_of_line line =
   let line = String.trim line in
   if line = "" || line.[0] = '#' then Ok None
   else begin
@@ -82,7 +89,7 @@ let of_line line =
         | Ok payload ->
           let trace = { Trace.ts_bef; ts_aft; txn; client; payload } in
           (match Trace.well_formed trace with
-          | Ok () -> Ok (Some trace)
+          | Ok () -> Ok (Some (Trace trace))
           | Error e -> Error e)
         | Error e -> Error e
       with Failure _ -> Error "bad integer field"
@@ -91,56 +98,113 @@ let of_line line =
     | kind :: bef :: aft :: txn :: client :: rest
       when List.mem kind [ "R"; "W"; "C"; "A" ] ->
       make ~kind ~bef ~aft ~txn ~client rest
+    | [ "E"; at; epoch; replayed; damaged ] -> (
+      try
+        let m =
+          {
+            at = int_of_string at;
+            epoch = int_of_string epoch;
+            replayed = int_of_string replayed;
+            damaged = int_of_string damaged;
+          }
+        in
+        if m.at < 0 || m.epoch < 1 || m.replayed < 0 || m.damaged < 0 then
+          Error (Printf.sprintf "malformed epoch marker %S" line)
+        else Ok (Some (Epoch m))
+      with Failure _ -> Error "bad integer field")
     | _ -> Error (Printf.sprintf "unrecognised line %S" line)
   end
 
-let write_channel oc traces =
+let of_line line =
+  match entry_of_line line with
+  | Ok (Some (Trace t)) -> Ok (Some t)
+  | Ok (Some (Epoch _)) | Ok None -> Ok None
+  | Error e -> Error e
+
+(* Epoch markers are interleaved at their crash instant, so the file
+   reads chronologically: every trace after an [E] line belongs to the
+   post-restart epoch (by the engine's monotone clock, all its
+   timestamps exceed [at]). *)
+let write_channel_ext oc ~epochs traces =
   output_string oc header;
   output_char oc '\n';
-  List.iter
-    (fun t ->
-      output_string oc (to_line t);
-      output_char oc '\n')
-    traces
-
-let read_channel ic =
-  let rec go acc lineno =
-    match input_line ic with
-    | exception End_of_file -> Ok (List.rev acc)
-    | line -> (
-      match of_line line with
-      | Ok (Some trace) -> go (trace :: acc) (lineno + 1)
-      | Ok None -> go acc (lineno + 1)
-      | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  let emit line =
+    output_string oc line;
+    output_char oc '\n'
   in
-  go [] 1
+  let epochs = List.sort (fun a b -> compare a.at b.at) epochs in
+  let rec go epochs traces =
+    match (epochs, traces) with
+    | e :: es, t :: _ when e.at <= t.Trace.ts_bef ->
+      emit (epoch_to_line e);
+      go es traces
+    | es, t :: ts ->
+      emit (to_line t);
+      go es ts
+    | e :: es, [] ->
+      emit (epoch_to_line e);
+      go es []
+    | [], [] -> ()
+  in
+  go epochs traces
 
-let save ~path traces =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> write_channel oc traces)
+let write_channel oc traces = write_channel_ext oc ~epochs:[] traces
 
-let load ~path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> read_channel ic)
-
-let read_channel_lenient ic =
-  let rec go acc skipped lineno =
+let read_channel_ext ic =
+  let rec go acc epochs lineno =
     match input_line ic with
-    | exception End_of_file -> (List.rev acc, List.rev skipped)
+    | exception End_of_file -> Ok (List.rev acc, List.rev epochs)
     | line -> (
-      match of_line line with
-      | Ok (Some trace) -> go (trace :: acc) skipped (lineno + 1)
-      | Ok None -> go acc skipped (lineno + 1)
-      | Error e -> go acc ((lineno, e) :: skipped) (lineno + 1))
+      match entry_of_line line with
+      | Ok (Some (Trace trace)) -> go (trace :: acc) epochs (lineno + 1)
+      | Ok (Some (Epoch m)) -> go acc (m :: epochs) (lineno + 1)
+      | Ok None -> go acc epochs (lineno + 1)
+      | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
   in
   go [] [] 1
 
-let load_lenient ~path =
+let read_channel ic = Result.map fst (read_channel_ext ic)
+
+let save_ext ~path ~epochs traces =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> write_channel_ext oc ~epochs traces)
+
+let save ~path traces = save_ext ~path ~epochs:[] traces
+
+let load_ext ~path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> read_channel_lenient ic)
+    (fun () -> read_channel_ext ic)
+
+let load ~path = Result.map fst (load_ext ~path)
+
+let read_channel_lenient_ext ic =
+  let rec go acc epochs skipped lineno =
+    match input_line ic with
+    | exception End_of_file -> (List.rev acc, List.rev epochs, List.rev skipped)
+    | line -> (
+      match entry_of_line line with
+      | Ok (Some (Trace trace)) ->
+        go (trace :: acc) epochs skipped (lineno + 1)
+      | Ok (Some (Epoch m)) -> go acc (m :: epochs) skipped (lineno + 1)
+      | Ok None -> go acc epochs skipped (lineno + 1)
+      | Error e -> go acc epochs ((lineno, e) :: skipped) (lineno + 1))
+  in
+  go [] [] [] 1
+
+let read_channel_lenient ic =
+  let traces, _epochs, skipped = read_channel_lenient_ext ic in
+  (traces, skipped)
+
+let load_lenient_ext ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> read_channel_lenient_ext ic)
+
+let load_lenient ~path =
+  let traces, _epochs, skipped = load_lenient_ext ~path in
+  (traces, skipped)

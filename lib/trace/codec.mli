@@ -15,16 +15,45 @@
     [R] is a read (with [!] marking a locking read), [W] a write, [C] a
     commit, [A] an abort; cells are [table.row.column].  Lines beginning
     with [#] and blank lines are ignored.  The format is stable,
-    diff-friendly and greppable. *)
+    diff-friendly and greppable.
+
+    A single file can span server restarts: an {e epoch marker} line
+
+    {v
+    E <at> <epoch> <replayed> <damaged>
+    v}
+
+    records a crash at instant [at] after which the server recovered
+    into [epoch] (1-based), replaying [replayed] WAL records of which
+    [damaged] were torn, lost, reordered or duplicated.  Markers sort
+    chronologically with the traces; readers unaware of them (the plain
+    [load]/[load_lenient]) skip them without error. *)
 
 val header : string
 (** The recommended first line, ["# leopard-trace v1"]. *)
+
+type epoch_mark = {
+  at : int;  (** simulated instant of the crash *)
+  epoch : int;  (** 1-based epoch entered by the recovery *)
+  replayed : int;  (** WAL records replayed *)
+  damaged : int;  (** records damaged by durability faults *)
+}
+
+val epoch_to_line : epoch_mark -> string
+(** Encode one epoch marker (no trailing newline). *)
+
+type entry = Trace of Trace.t | Epoch of epoch_mark
+
+val entry_of_line : string -> (entry option, string) result
+(** Decode one line; [Ok None] for comments and blank lines.  Malformed
+    epoch markers are errors, like malformed traces. *)
 
 val to_line : Trace.t -> string
 (** Encode one trace (no trailing newline). *)
 
 val of_line : string -> (Trace.t option, string) result
-(** Decode one line; [Ok None] for comments and blank lines. *)
+(** Decode one line; [Ok None] for comments, blank lines {e and} epoch
+    markers (use {!entry_of_line} to observe those). *)
 
 val write_channel : out_channel -> Trace.t list -> unit
 (** Header plus one line per trace. *)
@@ -34,6 +63,25 @@ val read_channel : in_channel -> (Trace.t list, string) result
 
 val save : path:string -> Trace.t list -> unit
 val load : path:string -> (Trace.t list, string) result
+
+(** {2 Multi-epoch (crash–recovery) variants} *)
+
+val write_channel_ext :
+  out_channel -> epochs:epoch_mark list -> Trace.t list -> unit
+(** Header, traces, and epoch markers merged at their crash instants
+    ([traces] must be sorted by [ts_bef], as {!write_channel} assumes). *)
+
+val read_channel_ext :
+  in_channel -> (Trace.t list * epoch_mark list, string) result
+
+val save_ext : path:string -> epochs:epoch_mark list -> Trace.t list -> unit
+val load_ext : path:string -> (Trace.t list * epoch_mark list, string) result
+
+val read_channel_lenient_ext :
+  in_channel -> Trace.t list * epoch_mark list * (int * string) list
+
+val load_lenient_ext :
+  path:string -> Trace.t list * epoch_mark list * (int * string) list
 
 val read_channel_lenient : in_channel -> Trace.t list * (int * string) list
 (** Like {!read_channel}, but a malformed line is skipped and reported

@@ -159,6 +159,69 @@ let test_retries_rerun_aborted_txns () =
   Alcotest.(check int) "retried run verifies clean" 0
     report.Checker.bugs_total
 
+(* Every engine abort reason is retried under ~max_retries, not only
+   first-updater-wins: deadlock victims (locking profiles) and certifier
+   conflicts (SSI) re-run the same transaction program too. *)
+let retry_scenario ~spec ~profile ~level ~max_retries =
+  let cfg =
+    Run.config ~clients:8 ~seed:21 ~max_retries ~spec ~profile ~level
+      ~stop:(Run.Txn_count 400) ()
+  in
+  Run.execute cfg
+
+let test_retries_cover_all_abort_reasons () =
+  let cases =
+    [
+      ( "fuw victim",
+        Leopard_workload.Blindw.spec Leopard_workload.Blindw.W,
+        Minidb.Profile.postgresql,
+        Minidb.Isolation.Snapshot_isolation,
+        fun o -> o.Run.aborts_fuw );
+      ( "certifier victim",
+        Leopard_workload.Blindw.spec Leopard_workload.Blindw.RW,
+        Minidb.Profile.cockroachdb,
+        Minidb.Isolation.Serializable,
+        fun o -> o.Run.aborts_certifier );
+      ( "deadlock victim",
+        (* few rows + multi-row blind writes in random order: classic
+           lock-order cycles under 2PL *)
+        Leopard_workload.Blindw.spec ~rows:50 Leopard_workload.Blindw.W,
+        Minidb.Profile.innodb,
+        Minidb.Isolation.Repeatable_read,
+        fun o -> o.Run.aborts_deadlock );
+    ]
+  in
+  List.iter
+    (fun (name, spec, profile, level, count) ->
+      let plain = retry_scenario ~spec ~profile ~level ~max_retries:0 in
+      Alcotest.(check bool)
+        (name ^ " aborts occur")
+        true (count plain > 0);
+      Alcotest.(check int) (name ^ " no retries at cap 0") 0 plain.Run.retries;
+      let retried = retry_scenario ~spec ~profile ~level ~max_retries:3 in
+      Alcotest.(check bool)
+        (name ^ " is re-run")
+        true
+        (count retried > 0 && retried.Run.retries > 0))
+    cases
+
+let test_backoff_is_bounded () =
+  let base = 50_000.0 in
+  (* doubles per attempt ... *)
+  Alcotest.(check (float 0.0)) "first retry" base
+    (Run.backoff_mean_ns ~retry_backoff_ns:base ~tries:0);
+  Alcotest.(check (float 0.0)) "second retry" (base *. 2.0)
+    (Run.backoff_mean_ns ~retry_backoff_ns:base ~tries:1);
+  let prev = ref 0.0 in
+  for tries = 0 to 20 do
+    let b = Run.backoff_mean_ns ~retry_backoff_ns:base ~tries in
+    Alcotest.(check bool) "monotone non-decreasing" true (b >= !prev);
+    prev := b
+  done;
+  (* ... and caps at 32x, however many attempts pile up *)
+  Alcotest.(check (float 0.0)) "capped at 32x" (base *. 32.0)
+    (Run.backoff_mean_ns ~retry_backoff_ns:base ~tries:1000)
+
 (* Checker-level semantics of indeterminate transactions: a read that
    observed a crashed transaction's write is inconclusive, not a bug —
    whether the crash is declared before or after the traces arrive. *)
@@ -227,6 +290,10 @@ let suite =
       test_chaos_does_not_mask_violations;
     Alcotest.test_case "retries re-run aborted txns" `Quick
       test_retries_rerun_aborted_txns;
+    Alcotest.test_case "retries cover all abort reasons" `Quick
+      test_retries_cover_all_abort_reasons;
+    Alcotest.test_case "retry backoff is bounded" `Quick
+      test_backoff_is_bounded;
     Alcotest.test_case "indeterminate read is inconclusive" `Quick
       test_indeterminate_read_is_inconclusive;
     Alcotest.test_case "duplicate traces deduplicated" `Quick

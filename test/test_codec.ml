@@ -185,9 +185,73 @@ let prop_roundtrip =
       | Ok (Some t') -> Trace.to_string t = Trace.to_string t'
       | Ok None | Error _ -> false)
 
+(* Epoch markers: one file spans server restarts. *)
+
+let marks =
+  [
+    { Codec.at = 15; epoch = 1; replayed = 3; damaged = 0 };
+    { Codec.at = 65; epoch = 2; replayed = 7; damaged = 2 };
+  ]
+
+let test_epoch_line_roundtrip () =
+  List.iter
+    (fun m ->
+      let line = Codec.epoch_to_line m in
+      (match Codec.entry_of_line line with
+      | Ok (Some (Codec.Epoch m')) ->
+        Alcotest.(check bool) "epoch mark roundtrips" true (m = m')
+      | _ -> Alcotest.failf "bad epoch decode: %s" line);
+      (* plain of_line treats markers like comments: present but not a
+         trace, so pre-epoch readers keep working *)
+      Alcotest.(check bool)
+        "of_line skips markers" true
+        (Codec.of_line line = Ok None))
+    marks
+
+let test_malformed_epoch_lines_rejected () =
+  let bad l = Result.is_error (Codec.entry_of_line l) in
+  Alcotest.(check bool) "missing fields" true (bad "E 1 2");
+  Alcotest.(check bool) "trailing junk" true (bad "E 1 2 3 4 5");
+  Alcotest.(check bool) "bad int" true (bad "E one 2 3 4");
+  Alcotest.(check bool) "epoch zero" true (bad "E 10 0 3 0");
+  Alcotest.(check bool) "negative damage" true (bad "E 10 1 3 -1");
+  Alcotest.(check bool)
+    "strict of_line also rejects" true
+    (Result.is_error (Codec.of_line "E 1 2"))
+
+let test_ext_file_roundtrip () =
+  let path = Filename.temp_file "leopard" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Codec.save_ext ~path ~epochs:marks samples;
+      (* markers are merged chronologically: each E line precedes the
+         first trace at-or-after its crash instant *)
+      (match Codec.load_ext ~path with
+      | Ok (traces, epochs) ->
+        Alcotest.(check int) "traces survive" (List.length samples)
+          (List.length traces);
+        Alcotest.(check bool) "epochs survive in order" true (epochs = marks)
+      | Error e -> Alcotest.failf "load_ext failed: %s" e);
+      (* plain load of the same file sees the traces and no error *)
+      (match Codec.load ~path with
+      | Ok traces ->
+        Alcotest.(check int) "plain load ignores markers"
+          (List.length samples) (List.length traces)
+      | Error e -> Alcotest.failf "plain load failed: %s" e);
+      let _, epochs, skipped = Codec.load_lenient_ext ~path in
+      Alcotest.(check bool) "lenient sees epochs too" true (epochs = marks);
+      Alcotest.(check int) "nothing skipped" 0 (List.length skipped))
+
 let suite =
   [
     Alcotest.test_case "roundtrip samples" `Quick test_roundtrip_each;
+    Alcotest.test_case "epoch marker roundtrip" `Quick
+      test_epoch_line_roundtrip;
+    Alcotest.test_case "malformed epoch markers rejected" `Quick
+      test_malformed_epoch_lines_rejected;
+    Alcotest.test_case "multi-epoch file roundtrip" `Quick
+      test_ext_file_roundtrip;
     Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
     Alcotest.test_case "bad lines rejected" `Quick test_bad_lines;
     Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;

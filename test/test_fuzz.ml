@@ -122,9 +122,89 @@ let prop_codec_roundtrip_soup =
       in
       List.map Trace.to_string decoded = List.map Trace.to_string traces)
 
+(* Lenient loading under line-level corruption: whatever bytes a mutated
+   trace file holds, [load_lenient_ext] must return (never raise), decode
+   exactly the lines [entry_of_line] accepts, and report every rejected
+   line — by number — as skipped.  An unmutated file skips nothing. *)
+let gen_mutated_file =
+  QCheck.Gen.(
+    let mutation =
+      (* (line pick, kind, position pick, replacement byte) *)
+      quad (int_bound 200) (int_bound 3) (int_bound 80)
+        (map Char.chr (32 -- 126))
+    in
+    pair gen_soup (list_size (0 -- 8) mutation))
+
+let mutate_line kind pos byte line =
+  let n = String.length line in
+  match kind with
+  | 0 when n > 0 ->
+    (* flip one byte *)
+    let b = Bytes.of_string line in
+    Bytes.set b (pos mod n) byte;
+    Bytes.to_string b
+  | 1 when n > 0 -> String.sub line 0 (pos mod n) (* truncate *)
+  | 2 -> String.make (1 + (pos mod 7)) byte (* replace with junk *)
+  | _ -> Printf.sprintf "%c %s" byte line (* bogus directive prefix *)
+
+let write_lines path lines =
+  let oc = open_out path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc
+
+let lenient_load_oracle lines =
+  let path = Filename.temp_file "leopard-fuzz" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_lines path lines;
+      let traces, epochs, skipped = Leopard_trace.Codec.load_lenient_ext ~path in
+      let expect_bad =
+        List.filter_map Fun.id
+          (List.mapi
+             (fun i line ->
+               match Leopard_trace.Codec.entry_of_line line with
+               | Error _ -> Some (i + 1)
+               | Ok _ -> None)
+             lines)
+      in
+      List.map fst skipped = expect_bad
+      && List.length traces + List.length epochs + List.length skipped
+         <= List.length lines)
+
+let prop_lenient_total_on_mutations =
+  QCheck.Test.make ~name:"lenient load total on mutated files" ~count:200
+    (QCheck.make gen_mutated_file)
+    (fun (ops, mutations) ->
+      let traces = build_traces ops in
+      let clean_lines =
+        Leopard_trace.Codec.epoch_to_line
+          { Leopard_trace.Codec.at = 1; epoch = 1; replayed = 0; damaged = 0 }
+        :: List.map Leopard_trace.Codec.to_line traces
+      in
+      let mutated =
+        List.fold_left
+          (fun lines (idx, kind, pos, byte) ->
+            let n = List.length lines in
+            if n = 0 then lines
+            else
+              List.mapi
+                (fun i l -> if i = idx mod n then mutate_line kind pos byte l else l)
+                lines)
+          clean_lines mutations
+      in
+      (* unmutated file: nothing skipped, everything decoded *)
+      (mutations <> [] || lenient_load_oracle clean_lines)
+      && lenient_load_oracle mutated)
+
 let suite =
   [
     Helpers.qtest prop_no_crash;
     Helpers.qtest prop_gc_invariant_verdicts;
     Helpers.qtest prop_codec_roundtrip_soup;
+    Helpers.qtest prop_lenient_total_on_mutations;
   ]
