@@ -921,6 +921,126 @@ let recovery () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Net: wire-layer overhead and per-fault-class latency *)
+
+let net_bench () =
+  section "Net — wire overhead vs in-process, per fault class";
+  let clients = 16 and txns = 3_000 in
+  let spec = W.Smallbank.spec () in
+  let si = Minidb.Isolation.Snapshot_isolation in
+  let run ?net () =
+    let cfg =
+      H.Run.config ~clients ~seed:43 ?net ~spec ~profile:pg ~level:si
+        ~stop:(H.Run.Txn_count txns) ()
+    in
+    let t0 = wall () in
+    let o = H.Run.execute cfg in
+    (o, wall () -. t0)
+  in
+  (* op latency = the client-observed interval of every trace *)
+  let latencies (o : H.Run.outcome) =
+    List.map
+      (fun t ->
+        float_of_int
+          (t.Leopard_trace.Trace.ts_aft - t.Leopard_trace.Trace.ts_bef))
+      (H.Run.all_traces_sorted o)
+  in
+  let pct = Leopard_util.Stats.percentile in
+  let fault_link f = H.Run.net_config ~fault:f () in
+  let classes =
+    [
+      ("in-process", None);
+      ("wire/clean", Some (H.Run.net_config ()));
+      ( "wire/delay",
+        Some (fault_link (Leopard_net.Faulty_link.config ~delay_prob:0.10 ()))
+      );
+      ( "wire/drop",
+        Some (fault_link (Leopard_net.Faulty_link.config ~drop_prob:0.05 ()))
+      );
+      ( "wire/dup",
+        Some (fault_link (Leopard_net.Faulty_link.config ~dup_prob:0.05 ())) );
+      ( "wire/reorder",
+        Some
+          (fault_link (Leopard_net.Faulty_link.config ~reorder_prob:0.05 ()))
+      );
+      ( "wire/reset",
+        Some (fault_link (Leopard_net.Faulty_link.config ~reset_prob:0.05 ()))
+      );
+    ]
+  in
+  ignore (run ()) (* warm-up: exclude cold-start noise *);
+  let rows =
+    List.map
+      (fun (name, net) ->
+        let o, t = run ?net () in
+        let ls = latencies o in
+        let tput =
+          if t <= 0.0 then 0.0
+          else float_of_int (o.H.Run.commits + o.H.Run.aborts) /. t
+        in
+        let resends, give_ups, ambiguous =
+          match o.H.Run.net with
+          | Some ns ->
+            (ns.H.Run.resends, ns.H.Run.give_ups, List.length ns.H.Run.ambiguous)
+          | None -> (0, 0, 0)
+        in
+        (name, o, t, tput, pct ls 50.0, pct ls 99.0, resends, give_ups,
+         ambiguous))
+      classes
+  in
+  Table.print
+    ~aligns:Table.[ Left ]
+    ~header:
+      [
+        "path"; "txns/s"; "wall(ms)"; "p50(us)"; "p99(us)"; "resends";
+        "give-ups"; "ambiguous";
+      ]
+    (List.map
+       (fun (name, _o, t, tput, p50, p99, resends, give_ups, ambiguous) ->
+         [
+           name;
+           Table.fmt_float ~decimals:0 tput;
+           fmt_ms t;
+           Table.fmt_float ~decimals:1 (p50 /. 1e3);
+           Table.fmt_float ~decimals:1 (p99 /. 1e3);
+           Table.fmt_int resends;
+           Table.fmt_int give_ups;
+           Table.fmt_int ambiguous;
+         ])
+       rows);
+  print_endline
+    "\nwire/clean is byte-identical to in-process on the simulated clock \
+     (same traces, same p50/p99); its cost is host wall time only.";
+  if !emit_json then begin
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"workload\": \"smallbank\",\n  \"txns\": %d,\n  \"clients\": \
+          %d,\n"
+         txns clients);
+    Buffer.add_string buf "  \"paths\": [\n";
+    let n = List.length rows in
+    List.iteri
+      (fun i (name, o, t, tput, p50, p99, resends, give_ups, ambiguous) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"path\": %S, \"commits\": %d, \"aborts\": %d, \
+              \"wall_ms\": %.3f, \"txns_per_s\": %.1f, \"p50_ns\": %.0f, \
+              \"p99_ns\": %.0f, \"resends\": %d, \"give_ups\": %d, \
+              \"ambiguous_commits\": %d}%s\n"
+             name o.H.Run.commits o.H.Run.aborts (t *. 1e3) tput p50 p99
+             resends give_ups ambiguous
+             (if i = n - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out "BENCH_net.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_endline "\nwrote BENCH_net.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -935,6 +1055,7 @@ let experiments =
     ("online", online);
     ("ablation", ablation);
     ("recovery", recovery);
+    ("net", net_bench);
     ("micro", micro);
   ]
 

@@ -69,16 +69,16 @@ let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
       prerr_endline ("unknown isolation level: " ^ level);
       exit 2
   in
-  let traces, epochs, skipped =
+  let traces, epochs, ambiguous, skipped =
     if lenient then (
-      match Leopard_trace.Codec.load_lenient_ext ~path with
-      | traces, epochs, skipped -> (traces, epochs, skipped)
+      match Leopard_trace.Codec.load_lenient_full ~path with
+      | traces, epochs, ambiguous, skipped -> (traces, epochs, ambiguous, skipped)
       | exception Sys_error e ->
         prerr_endline ("cannot load " ^ path ^ ": " ^ e);
         exit 2)
     else
-      match Leopard_trace.Codec.load_ext ~path with
-      | Ok (traces, epochs) -> (traces, epochs, [])
+      match Leopard_trace.Codec.load_full ~path with
+      | Ok (traces, epochs, ambiguous) -> (traces, epochs, ambiguous, [])
       | Error e ->
         prerr_endline ("cannot load " ^ path ^ ": " ^ e);
         exit 2
@@ -106,6 +106,13 @@ let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
       Leopard.Checker.note_restart checker ~at:m.at ~replayed:m.replayed
         ~damaged:m.damaged)
     epochs;
+  (* ambiguous-commit marks must land before the traces they govern, or
+     the checker would treat the commit-less transaction as merely
+     unterminated instead of resolvable from later reads *)
+  List.iter
+    (fun (m : Leopard_trace.Codec.ambiguous_mark) ->
+      Leopard.Checker.mark_ambiguous_commit checker ~txn:m.txn)
+    ambiguous;
   List.iter (Leopard.Checker.feed checker) sorted;
   Leopard.Checker.finalize checker;
   let wall = Sys.time () -. wall0 in
@@ -119,6 +126,11 @@ let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
       (List.fold_left
          (fun acc (m : Leopard_trace.Codec.epoch_mark) -> acc + m.damaged)
          0 epochs);
+  if ambiguous <> [] then
+    Printf.printf
+      "ambiguous: %d commit(s) with unknown outcome, %d resolved by later \
+       committed reads\n"
+      (List.length ambiguous) report.resolved_ambiguous;
   if skipped <> [] then begin
     Printf.printf "skipped  : %d undecodable line(s)\n" (List.length skipped);
     List.iteri
@@ -129,7 +141,8 @@ let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
   finish ~show_bugs report
 
 let run_workload_mode workload dbms level faults clients txns seed show_bugs
-    record infer chaos max_retries max_stall_ns (wal, crash_at, wal_faults) =
+    record infer chaos net max_retries max_stall_ns (wal, crash_at, wal_faults)
+    =
   match
     ( workload_of_string workload,
       Minidb.Profile.find dbms,
@@ -169,8 +182,8 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
         exit 2
     in
     let config =
-      Leopard_harness.Run.config ~clients ~seed ~faults ?chaos ~max_retries
-        ~wal ~crash_at ?wal_faults ~spec ~profile ~level
+      Leopard_harness.Run.config ~clients ~seed ~faults ?chaos ?net
+        ~max_retries ~wal ~crash_at ?wal_faults ~spec ~profile ~level
         ~stop:(Leopard_harness.Run.Txn_count txns) ()
     in
     let codec_epochs (outcome : Leopard_harness.Run.outcome) =
@@ -183,6 +196,14 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
             damaged = e.damaged;
           })
         outcome.Leopard_harness.Run.epochs
+    in
+    let codec_ambiguous (outcome : Leopard_harness.Run.outcome) =
+      match outcome.Leopard_harness.Run.net with
+      | Some ns ->
+        List.map
+          (fun (client, txn, at) -> { Leopard_trace.Codec.at; txn; client })
+          ns.Leopard_harness.Run.ambiguous
+      | None -> []
     in
     let header outcome =
       Printf.printf "run      : %s on %s/%s, %d clients, seed %d\n"
@@ -207,12 +228,35 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
           outcome.Leopard_harness.Run.restarts
           outcome.Leopard_harness.Run.aborts_crash
           outcome.Leopard_harness.Run.wal_appended
-          outcome.Leopard_harness.Run.wal_damaged
+          outcome.Leopard_harness.Run.wal_damaged;
+      match outcome.Leopard_harness.Run.net with
+      | Some ns ->
+        Printf.printf
+          "network  : %d reset(s), %d dropped, %d duplicated, %d delayed, %d \
+           reordered | %d rejected, %d resend(s), %d give-up(s)\n"
+          ns.Leopard_harness.Run.resets ns.Leopard_harness.Run.msg_dropped
+          ns.Leopard_harness.Run.msg_duplicated
+          ns.Leopard_harness.Run.msg_delayed
+          ns.Leopard_harness.Run.msg_reordered
+          ns.Leopard_harness.Run.rejected ns.Leopard_harness.Run.resends
+          ns.Leopard_harness.Run.give_ups;
+        if
+          ns.Leopard_harness.Run.ambiguous <> []
+          || ns.Leopard_harness.Run.dup_commit_acks > 0
+        then
+          Printf.printf
+            "network  : %d ambiguous commit(s), %d duplicate commit ack(s) \
+             absorbed idempotently\n"
+            (List.length ns.Leopard_harness.Run.ambiguous)
+            ns.Leopard_harness.Run.dup_commit_acks
+      | None -> ()
     in
     let footer outcome (report : Leopard.Checker.report) =
       (match record with
       | Some path ->
-        Leopard_trace.Codec.save_ext ~path ~epochs:(codec_epochs outcome)
+        Leopard_trace.Codec.save_ext ~path
+          ~ambiguous:(codec_ambiguous outcome)
+          ~epochs:(codec_epochs outcome)
           (Leopard_harness.Run.all_traces_sorted outcome);
         Printf.printf "recorded : %s (%d traces)\n" path report.traces
       | None -> ());
@@ -232,6 +276,14 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
           Leopard.Checker.note_restart checker ~at:e.at ~replayed:e.replayed
             ~damaged:e.damaged)
         outcome.Leopard_harness.Run.epochs;
+      (* wire mode: ambiguous-commit marks must precede their traces *)
+      (match outcome.Leopard_harness.Run.net with
+      | Some ns ->
+        List.iter
+          (fun (_client, txn, _at) ->
+            Leopard.Checker.mark_ambiguous_commit checker ~txn)
+          ns.Leopard_harness.Run.ambiguous
+      | None -> ());
       ignore
         (Leopard.Pipeline.drain pipeline ~f:(Leopard.Checker.feed checker));
       Leopard.Checker.finalize checker;
@@ -271,13 +323,104 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
       print_string (Leopard.Report_pp.degradation_line report.degradation);
       footer outcome report)
 
+(* Flag values arrive raw (validated BEFORE any is-disabled
+   short-circuit, so "--chaos-drop 1.5" is a usage error even though the
+   chaos plane would have been off); configs are only built after every
+   value passed. *)
 let run workload dbms level faults clients txns seed show_bugs record check
-    infer chaos max_retries max_stall_ns lenient recovery =
+    infer chaos_raw net_raw max_retries max_stall_ns lenient recovery_raw =
+  let ( chaos_crash, chaos_drop, chaos_dup, chaos_delay, chaos_delay_ns,
+        chaos_skew_ns, chaos_seed ) =
+    chaos_raw
+  in
+  let wal, crash_at, wal_torn, wal_lost, wal_reorder, wal_dup, wal_window,
+      wal_seed =
+    recovery_raw
+  in
+  let ( net_enabled, net_delay, net_delay_ns, net_drop, net_dup, net_reorder,
+        net_reorder_ns, net_reset, net_seed, net_timeout_ns, net_max_tries,
+        net_queue_cap, net_session_timeout_ns ) =
+    net_raw
+  in
+  (let open Leopard_harness.Cli_validate in
+   match
+     first_error
+       [
+         positive ~flag:"--clients" clients;
+         positive ~flag:"--txns" txns;
+         non_negative ~flag:"--show-bugs" show_bugs;
+         non_negative ~flag:"--max-retries" max_retries;
+         positive ~flag:"--max-stall-ns" max_stall_ns;
+         prob ~flag:"--chaos-crash" chaos_crash;
+         prob ~flag:"--chaos-drop" chaos_drop;
+         prob ~flag:"--chaos-dup" chaos_dup;
+         prob ~flag:"--chaos-delay" chaos_delay;
+         non_negative ~flag:"--chaos-delay-ns" chaos_delay_ns;
+         non_negative ~flag:"--chaos-skew-ns" chaos_skew_ns;
+         crash_schedule ~flag:"--crash-at" crash_at;
+         prob ~flag:"--wal-fault-torn" wal_torn;
+         prob ~flag:"--wal-fault-lost-fsync" wal_lost;
+         prob ~flag:"--wal-fault-reorder" wal_reorder;
+         prob ~flag:"--wal-fault-dup" wal_dup;
+         positive ~flag:"--wal-fault-window" wal_window;
+         prob ~flag:"--net-fault-delay" net_delay;
+         non_negative ~flag:"--net-fault-delay-ns" net_delay_ns;
+         prob ~flag:"--net-fault-drop" net_drop;
+         prob ~flag:"--net-fault-dup" net_dup;
+         prob ~flag:"--net-fault-reorder" net_reorder;
+         non_negative ~flag:"--net-fault-reorder-ns" net_reorder_ns;
+         prob ~flag:"--net-fault-reset" net_reset;
+         positive ~flag:"--net-timeout-ns" net_timeout_ns;
+         positive ~flag:"--net-max-tries" net_max_tries;
+         positive ~flag:"--net-queue-cap" net_queue_cap;
+         positive ~flag:"--net-session-timeout-ns" net_session_timeout_ns;
+       ]
+   with
+   | Some e ->
+     prerr_endline (error_to_string e);
+     exit 2
+   | None -> ());
   match check with
   | Some path -> check_file ~dbms ~level ~show_bugs ~infer ~lenient path
   | None ->
+    let chaos =
+      let cfg =
+        Leopard_harness.Chaos.config ~seed:chaos_seed ~crash_prob:chaos_crash
+          ~drop_prob:chaos_drop ~dup_prob:chaos_dup ~delay_prob:chaos_delay
+          ~max_delay_ns:chaos_delay_ns ~clock_skew_ns:chaos_skew_ns ()
+      in
+      if Leopard_harness.Chaos.is_disabled cfg then None else Some cfg
+    in
+    let net =
+      let fault =
+        Leopard_net.Faulty_link.config ~seed:net_seed ~delay_prob:net_delay
+          ~max_delay_ns:net_delay_ns ~drop_prob:net_drop ~dup_prob:net_dup
+          ~reorder_prob:net_reorder ~reorder_window_ns:net_reorder_ns
+          ~reset_prob:net_reset ()
+      in
+      (* any nonzero fault rate implies the wire, like the chaos plane;
+         --net alone gives the zero-fault (byte-identical) wire *)
+      if net_enabled || not (Leopard_net.Faulty_link.is_disabled fault) then
+        Some
+          (Leopard_harness.Run.net_config ~fault
+             ~client:
+               (Leopard_net.Client.config ~request_timeout_ns:net_timeout_ns
+                  ~max_tries:net_max_tries ())
+             ~queue_capacity:net_queue_cap
+             ~session_timeout_ns:net_session_timeout_ns ())
+      else None
+    in
+    let wal_faults =
+      let cfg =
+        Minidb.Wal.fault_cfg ~seed:wal_seed ~torn_tail_prob:wal_torn
+          ~lost_fsync_prob:wal_lost ~lost_fsync_window:wal_window
+          ~reordered_flush_prob:wal_reorder ~dup_replay_prob:wal_dup ()
+      in
+      if Minidb.Wal.faults_disabled cfg then None else Some cfg
+    in
     run_workload_mode workload dbms level faults clients txns seed show_bugs
-      record infer chaos max_retries max_stall_ns recovery
+      record infer chaos net max_retries max_stall_ns
+      (wal, crash_at, wal_faults)
 
 open Cmdliner
 
@@ -388,18 +531,128 @@ let chaos_seed =
     & info [ "chaos-seed" ] ~docv:"SEED"
         ~doc:"Seed of the chaos decision streams (independent of --seed).")
 
+(* raw values only — validation and construction happen in [run], after
+   every flag can be checked in one pass *)
 let chaos_term =
   let make crash drop dup delay delay_ns skew_ns cseed =
-    let cfg =
-      Leopard_harness.Chaos.config ~seed:cseed ~crash_prob:crash
-        ~drop_prob:drop ~dup_prob:dup ~delay_prob:delay ~max_delay_ns:delay_ns
-        ~clock_skew_ns:skew_ns ()
-    in
-    if Leopard_harness.Chaos.is_disabled cfg then None else Some cfg
+    (crash, drop, dup, delay, delay_ns, skew_ns, cseed)
   in
   Cmdliner.Term.(
     const make $ chaos_crash $ chaos_drop $ chaos_dup $ chaos_delay
     $ chaos_delay_ns $ chaos_skew_ns $ chaos_seed)
+
+let net_flag =
+  Arg.(
+    value & flag
+    & info [ "net" ]
+        ~doc:
+          "Run the workload through the wire layer: requests travel as \
+           serialized messages through a seeded faulty link to per-session \
+           server queues, with timeouts, bounded retries and idempotent \
+           commit tokens.  Implied by any nonzero --net-fault-* rate; with \
+           all rates zero the traces are byte-identical to the in-process \
+           path for the same --seed.")
+
+let net_fault_delay =
+  Arg.(
+    value & opt float 0.0
+    & info [ "net-fault-delay" ] ~docv:"PROB"
+        ~doc:"Per-message probability of extra wire latency.")
+
+let net_fault_delay_ns =
+  Arg.(
+    value & opt int 400_000
+    & info [ "net-fault-delay-ns" ] ~docv:"NS"
+        ~doc:"Upper bound on injected extra wire latency (simulated ns).")
+
+let net_fault_drop =
+  Arg.(
+    value & opt float 0.0
+    & info [ "net-fault-drop" ] ~docv:"PROB"
+        ~doc:
+          "Per-message probability of silent loss (the sender only learns \
+           via timeout).")
+
+let net_fault_dup =
+  Arg.(
+    value & opt float 0.0
+    & info [ "net-fault-dup" ] ~docv:"PROB"
+        ~doc:
+          "Per-message probability of duplicate delivery (retried COMMITs \
+           are absorbed by idempotent commit tokens).")
+
+let net_fault_reorder =
+  Arg.(
+    value & opt float 0.0
+    & info [ "net-fault-reorder" ] ~docv:"PROB"
+        ~doc:
+          "Per-message probability of delivery at a random point inside the \
+           reordering window.")
+
+let net_fault_reorder_ns =
+  Arg.(
+    value & opt int 200_000
+    & info [ "net-fault-reorder-ns" ] ~docv:"NS"
+        ~doc:"Size of the reordering window (simulated ns).")
+
+let net_fault_reset =
+  Arg.(
+    value & opt float 0.0
+    & info [ "net-fault-reset" ] ~docv:"PROB"
+        ~doc:
+          "Per-message probability of a connection reset: the message is \
+           lost and the sender finds out (a reset COMMIT acknowledgement is \
+           an ambiguous commit).")
+
+let net_fault_seed =
+  Arg.(
+    value & opt int 1
+    & info [ "net-fault-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed of the wire fault streams (independent of --seed, \
+           --chaos-seed and --wal-fault-seed).")
+
+let net_timeout_ns =
+  Arg.(
+    value & opt int 2_000_000
+    & info [ "net-timeout-ns" ] ~docv:"NS"
+        ~doc:"Per-attempt request timeout before a retransmission.")
+
+let net_max_tries =
+  Arg.(
+    value & opt int 3
+    & info [ "net-max-tries" ] ~docv:"N"
+        ~doc:
+          "Send attempts per request before the client gives up (a given-up \
+           COMMIT is recorded as an ambiguous outcome).")
+
+let net_queue_cap =
+  Arg.(
+    value & opt int 64
+    & info [ "net-queue-cap" ] ~docv:"N"
+        ~doc:
+          "Per-session server queue bound; requests beyond it are load-shed \
+           with a definite rejection.")
+
+let net_session_timeout_ns =
+  Arg.(
+    value & opt int 1_000_000
+    & info [ "net-session-timeout-ns" ] ~docv:"NS"
+        ~doc:
+          "How long the server keeps an orphaned transaction (client gave \
+           up) before reaping it with an abort.")
+
+let net_term =
+  let make enabled delay delay_ns drop dup reorder reorder_ns reset nseed
+      timeout_ns max_tries queue_cap session_timeout_ns =
+    ( enabled, delay, delay_ns, drop, dup, reorder, reorder_ns, reset, nseed,
+      timeout_ns, max_tries, queue_cap, session_timeout_ns )
+  in
+  Cmdliner.Term.(
+    const make $ net_flag $ net_fault_delay $ net_fault_delay_ns
+    $ net_fault_drop $ net_fault_dup $ net_fault_reorder
+    $ net_fault_reorder_ns $ net_fault_reset $ net_fault_seed $ net_timeout_ns
+    $ net_max_tries $ net_queue_cap $ net_session_timeout_ns)
 
 let max_retries =
   Arg.(
@@ -487,15 +740,7 @@ let wal_fault_seed =
 
 let recovery_term =
   let make wal crash_at torn lost reorder dup window fseed =
-    let cfg =
-      Minidb.Wal.fault_cfg ~seed:fseed ~torn_tail_prob:torn
-        ~lost_fsync_prob:lost ~lost_fsync_window:window
-        ~reordered_flush_prob:reorder ~dup_replay_prob:dup ()
-    in
-    let wal_faults =
-      if Minidb.Wal.faults_disabled cfg then None else Some cfg
-    in
-    (wal, crash_at, wal_faults)
+    (wal, crash_at, torn, lost, reorder, dup, window, fseed)
   in
   Cmdliner.Term.(
     const make $ wal_flag $ crash_at $ wal_fault_torn $ wal_fault_lost
@@ -516,7 +761,7 @@ let cmd =
     (Cmd.info "leopard" ~doc)
     Term.(
       const run $ workload $ dbms $ level $ faults $ clients $ txns $ seed
-      $ show_bugs $ record $ check $ infer $ chaos_term $ max_retries
-      $ max_stall_ns $ lenient $ recovery_term)
+      $ show_bugs $ record $ check $ infer $ chaos_term $ net_term
+      $ max_retries $ max_stall_ns $ lenient $ recovery_term)
 
 let () = exit (Cmd.eval cmd)

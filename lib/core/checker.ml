@@ -22,6 +22,18 @@ type pending_read = {
   items : (Cell.t * Trace.value) list;
 }
 
+(* One read item whose observed value matches an unresolved indeterminate
+   write, parked until the reader terminates: a *committed* reader proves
+   the writer's commit took effect (outcome resolution), any other fate
+   leaves the item inconclusive. *)
+type await_entry = {
+  a_cell : Cell.t;
+  a_value : Trace.value;
+  a_writer : int;
+  a_read_iv : Interval.t;
+  a_snapshot_iv : Interval.t;
+}
+
 type degradation = {
   crashed_clients : int;
   indeterminate_txns : int;
@@ -32,6 +44,7 @@ type degradation = {
   unterminated_txns : int;
   restarts : int;
   recovery_lost_records : int;
+  ambiguous_commits : int;
 }
 
 (* [restarts] is deliberately absent: a clean crash–recovery epoch loses
@@ -42,6 +55,7 @@ let degradation_free d =
   && d.dup_traces_dropped = 0 && d.late_traces_dropped = 0
   && d.lost_traces = 0 && d.inconclusive_reads = 0
   && d.unterminated_txns = 0 && d.recovery_lost_records = 0
+  && d.ambiguous_commits = 0
 
 type report = {
   traces : int;
@@ -59,6 +73,7 @@ type report = {
   pruned_locks : int;
   pruned_fuw : int;
   pruned_graph : int;
+  resolved_ambiguous : int;
   degradation : degradation;
 }
 
@@ -90,6 +105,16 @@ type t = {
   indeterminate_values : (Trace.value * int) list ref Cell.Tbl.t;
       (* (value, txn) of indeterminate writes; never pruned — a crashed
          commit may have installed them at any later point *)
+  ambiguous_ids : (int, unit) Hashtbl.t;
+      (* txns whose COMMIT was sent but never acknowledged (wire faults):
+         indeterminate like a crashed client's, but *resolvable* — a
+         later committed read observing their writes proves the commit *)
+  resolved_ids : (int, unit) Hashtbl.t;
+      (* indeterminate/ambiguous txns promoted to definitely-committed
+         by outcome resolution; marks stay in their tables, resolution
+         is recorded here *)
+  awaiting : (int, await_entry list ref) Hashtbl.t;
+      (* reader txn -> read items parked on an unresolved writer *)
   dedup_seen : (int * int * int, Trace.t) Hashtbl.t;
       (* (client, txn, ts_bef) of traces at the current frontier, for
          dropping chaos-duplicated deliveries *)
@@ -137,6 +162,9 @@ let create ?(gc_every = 512) ?(narrow_candidates = true)
     aborted_values = Cell.Tbl.create 64;
     indeterminate_ids = Hashtbl.create 8;
     indeterminate_values = Cell.Tbl.create 8;
+    ambiguous_ids = Hashtbl.create 8;
+    resolved_ids = Hashtbl.create 8;
+    awaiting = Hashtbl.create 8;
     dedup_seen = Hashtbl.create 64;
     dedup_ts = min_int;
     deferred =
@@ -178,7 +206,11 @@ let vtxn t id =
         first_iv = None;
         terminal_iv = None;
         vstatus =
-          (if Hashtbl.mem t.indeterminate_ids id then Indeterminate
+          (if
+             Hashtbl.mem t.indeterminate_ids id
+             || Hashtbl.mem t.ambiguous_ids id
+                && not (Hashtbl.mem t.resolved_ids id)
+           then Indeterminate
            else Active);
         writes = Cell.Tbl.create 8;
         write_cells = [];
@@ -275,6 +307,34 @@ let mark_indeterminate t ~txn =
     | Some _ | None -> ()
   end
 
+(* An ambiguous commit (wire faults: COMMIT sent, acknowledgement never
+   received) carries the same exclusions as a crashed client's
+   transaction, but unlike the chaos plane it is {e resolvable}: the
+   COMMIT was definitely issued, so a later {e committed} read observing
+   one of its written values proves the engine applied it, and the
+   checker promotes it to definitely-committed (outcome resolution).
+   Unresolved ones surface as the [ambiguous_commits] degradation. *)
+let mark_ambiguous_commit t ~txn =
+  if
+    (not (Hashtbl.mem t.ambiguous_ids txn))
+    && not (Hashtbl.mem t.resolved_ids txn)
+  then begin
+    Hashtbl.replace t.ambiguous_ids txn ();
+    match Hashtbl.find_opt t.txns txn with
+    | Some v when v.vstatus = Active -> make_indeterminate t v
+    | Some _ | None -> ()
+  end
+
+let indeterminate_writer t cell value =
+  match Cell.Tbl.find_opt t.indeterminate_values cell with
+  | Some entries ->
+    Option.map snd (List.find_opt (fun (v, _) -> v = value) !entries)
+  | None -> None
+
+let resolvable t writer =
+  Hashtbl.mem t.ambiguous_ids writer
+  && not (Hashtbl.mem t.resolved_ids writer)
+
 (* ------------------------------------------------------------------ *)
 (* CR verification of one deferred read (Algorithm 2, ConsistentRead) *)
 
@@ -300,150 +360,336 @@ let narrow t ~snapshot candidates =
       candidates
   end
 
-let check_read t (pr : pending_read) =
-  t.reads_checked <- t.reads_checked + 1;
+let install_versions t (v : vtxn) ~commit_iv =
   List.iter
-    (fun (cell, value) ->
-      let chain = Version_order.chain t.versions cell in
-      match chain with
-      | []
-        when (match Cell.Tbl.find_opt t.indeterminate_values cell with
-             | Some entries -> List.exists (fun (v, _) -> v = value) !entries
-             | None -> false) ->
-        (* no committed version, but the value matches an indeterminate
-           write: the crashed transaction may have committed it *)
+    (fun cell ->
+      match Cell.Tbl.find_opt v.writes cell with
+      | None -> ()
+      | Some (value, write_iv) ->
+        let version =
+          {
+            Version_order.value;
+            vtxn = v.vid;
+            write_iv;
+            commit_iv;
+            readers = [];
+          }
+        in
+        let is_first = ref false in
+        Version_order.install t.versions cell version
+          ~predecessor:(fun pred ->
+            match pred with
+            | None -> is_first := true
+            | Some (p : Version_order.version) ->
+              if
+                Interval.certainly_before p.commit_iv commit_iv
+                && p.vtxn <> v.vid
+              then
+                emit_dep t
+                  {
+                    Dep.kind = Dep.Ww;
+                    from_txn = p.vtxn;
+                    to_txn = v.vid;
+                    source = Dep.From_version_order;
+                  };
+              (* Fig. 9: readers matched to the predecessor antidepend on
+                 the new direct successor. *)
+              List.iter
+                (fun reader ->
+                  if reader <> v.vid then
+                    emit_dep t
+                      {
+                        Dep.kind = Dep.Rw;
+                        from_txn = reader;
+                        to_txn = v.vid;
+                        source = Dep.Derived_rw;
+                      })
+                p.readers)
+          ~successor:(fun succ ->
+            match succ with
+            | None ->
+              (* Appended at the tail.  If it is also the very first
+                 version of the cell, readers of the untraced initial
+                 state antidepend on it. *)
+              if !is_first then begin
+                match Cell.Tbl.find_opt t.initial_readers cell with
+                | Some readers ->
+                  List.iter
+                    (fun reader ->
+                      if reader <> v.vid then
+                        emit_dep t
+                          {
+                            Dep.kind = Dep.Rw;
+                            from_txn = reader;
+                            to_txn = v.vid;
+                            source = Dep.Derived_rw;
+                          })
+                    !readers;
+                  Cell.Tbl.remove t.initial_readers cell
+                | None -> ()
+              end
+            | Some (s : Version_order.version) ->
+              if
+                Interval.certainly_before commit_iv s.commit_iv
+                && s.vtxn <> v.vid
+              then
+                emit_dep t
+                  {
+                    Dep.kind = Dep.Ww;
+                    from_txn = v.vid;
+                    to_txn = s.vtxn;
+                    source = Dep.From_version_order;
+                  }))
+    (List.rev v.write_cells)
+
+let rec check_read t (pr : pending_read) =
+  t.reads_checked <- t.reads_checked + 1;
+  List.iter (fun (cell, value) -> check_item t pr cell value) pr.items
+
+and check_item t (pr : pending_read) cell value =
+  let chain = Version_order.chain t.versions cell in
+  match chain with
+  | [] -> (
+    match indeterminate_writer t cell value with
+    | Some writer when resolvable t writer ->
+      (* no committed version, but the value matches an unacknowledged
+         commit's write: resolvable once the reader's fate is known *)
+      defer_or_resolve t pr cell value writer
+    | Some _ ->
+      (* no committed version, but the value matches an indeterminate
+         write: the crashed transaction may have committed it *)
+      t.inconclusive_reads <- t.inconclusive_reads + 1
+    | None ->
+      (* Untraced cell so far: the read observed the initial state.  If
+         a first version installs later, the reader antidepends on it. *)
+      let readers =
+        match Cell.Tbl.find_opt t.initial_readers cell with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Cell.Tbl.add t.initial_readers cell r;
+          r
+      in
+      if not (List.mem pr.reader !readers) then
+        readers := pr.reader :: !readers)
+  | _ -> (
+    let candidates =
+      narrow t ~snapshot:pr.snapshot_iv
+        (Candidate.candidates ~snapshot:pr.snapshot_iv chain)
+    in
+    let matches =
+      List.filter
+        (fun (v : Version_order.version) -> v.value = value)
+        candidates
+    in
+    match matches with
+    | [] -> (
+      match indeterminate_writer t cell value with
+      | Some writer when resolvable t writer ->
+        defer_or_resolve t pr cell value writer
+      | Some _ ->
+        (* the value may stem from a crashed client's transaction
+           whose commit outcome is unknown: neither a violation nor a
+           pass can be concluded *)
         t.inconclusive_reads <- t.inconclusive_reads + 1
-      | [] ->
-        (* Untraced cell so far: the read observed the initial state.  If
-           a first version installs later, the reader antidepends on it. *)
-        let readers =
-          match Cell.Tbl.find_opt t.initial_readers cell with
-          | Some r -> r
-          | None ->
-            let r = ref [] in
-            Cell.Tbl.add t.initial_readers cell r;
-            r
-        in
-        if not (List.mem pr.reader !readers) then
-          readers := pr.reader :: !readers
-      | _ ->
-        let candidates =
-          narrow t ~snapshot:pr.snapshot_iv
-            (Candidate.candidates ~snapshot:pr.snapshot_iv chain)
-        in
-        let matches =
-          List.filter
-            (fun (v : Version_order.version) ->
-              v.value = value)
-            candidates
-        in
-        (match matches with
-        | [] ->
-          let indeterminate_origin =
-            match Cell.Tbl.find_opt t.indeterminate_values cell with
-            | Some entries -> List.exists (fun (v, _) -> v = value) !entries
-            | None -> false
+      | None ->
+        if t.ext_lost > 0 || t.ext_late_dropped > 0 then
+          (* the collection is known lossy: the observed value may stem
+             from a write whose trace never reached the verifier, so a
+             missing match is not evidence of a violation *)
+          t.inconclusive_reads <- t.inconclusive_reads + 1
+        else if Candidate.has_pivot ~snapshot:pr.snapshot_iv chain then begin
+          (* classify: where did the impossible value come from? *)
+          let classified =
+            Candidate.classify ~snapshot:pr.snapshot_iv chain
           in
-          if indeterminate_origin then
-            (* the value may stem from a crashed client's transaction
-               whose commit outcome is unknown: neither a violation nor a
-               pass can be concluded *)
-            t.inconclusive_reads <- t.inconclusive_reads + 1
-          else if t.ext_lost > 0 || t.ext_late_dropped > 0 then
-            (* the collection is known lossy: the observed value may stem
-               from a write whose trace never reached the verifier, so a
-               missing match is not evidence of a violation *)
-            t.inconclusive_reads <- t.inconclusive_reads + 1
-          else if Candidate.has_pivot ~snapshot:pr.snapshot_iv chain then begin
-            (* classify: where did the impossible value come from? *)
-            let classified =
-              Candidate.classify ~snapshot:pr.snapshot_iv chain
-            in
-            let from_chain =
-              List.find_opt
-                (fun ((v : Version_order.version), _) -> v.value = value)
-                classified
-            in
-            let anomaly =
-              match from_chain with
-              | Some (_, Candidate.Garbage) -> Anomaly.Stale_read
-              | Some (_, Candidate.Future) -> Anomaly.Future_read
-              | Some (_, (Candidate.Overlap | Candidate.Pivot
-                         | Candidate.Pivot_overlap)) ->
-                (* in the candidate region but excluded by ww narrowing *)
-                Anomaly.Stale_read
-              | None -> (
-                match Cell.Tbl.find_opt t.aborted_values cell with
-                | Some entries
-                  when List.exists (fun (v, _, _) -> v = value) !entries ->
-                  Anomaly.Aborted_read
-                | Some _ | None -> Anomaly.Dirty_read)
-            in
-            report_bug t
-              (Bug.make ~mechanism:Bug.Cr ~anomaly ~txns:[ pr.reader ] ~cell
-                 (Printf.sprintf
-                    "read by txn %d observed value %d on %s, which matches \
-                     no possibly-visible version (%d candidates, %d known \
-                     versions)"
-                    pr.reader value (Cell.to_string cell)
-                    (List.length candidates) (List.length chain)))
-          end
-          else begin
-            (* No pivot: the read observed the untraced initial state.
-               When the oldest known version is certainly the first, it
-               is the initial state's direct successor, so the read
-               antidepends on its writer (Fig. 9 applied to the initial
-               version).  No pivot also implies nothing was pruned for
-               this cell, so the chain head is the genuine first
-               version. *)
-            match chain with
-            | first :: rest
-              when first.Version_order.vtxn <> pr.reader
-                   && (match rest with
-                      | [] -> true
-                      | second :: _ ->
-                        Interval.certainly_before first.Version_order.commit_iv
-                          second.Version_order.commit_iv) ->
-              emit_dep t
-                {
-                  Dep.kind = Dep.Rw;
-                  from_txn = pr.reader;
-                  to_txn = first.Version_order.vtxn;
-                  source = Dep.Derived_rw;
-                }
-            | _ -> ()
-          end
-        | [ v ] ->
-          if v.vtxn <> pr.reader then begin
+          let from_chain =
+            List.find_opt
+              (fun ((v : Version_order.version), _) -> v.value = value)
+              classified
+          in
+          let anomaly =
+            match from_chain with
+            | Some (_, Candidate.Garbage) -> Anomaly.Stale_read
+            | Some (_, Candidate.Future) -> Anomaly.Future_read
+            | Some (_, (Candidate.Overlap | Candidate.Pivot
+                       | Candidate.Pivot_overlap)) ->
+              (* in the candidate region but excluded by ww narrowing *)
+              Anomaly.Stale_read
+            | None -> (
+              match Cell.Tbl.find_opt t.aborted_values cell with
+              | Some entries
+                when List.exists (fun (v, _, _) -> v = value) !entries ->
+                Anomaly.Aborted_read
+              | Some _ | None -> Anomaly.Dirty_read)
+          in
+          report_bug t
+            (Bug.make ~mechanism:Bug.Cr ~anomaly ~txns:[ pr.reader ] ~cell
+               (Printf.sprintf
+                  "read by txn %d observed value %d on %s, which matches \
+                   no possibly-visible version (%d candidates, %d known \
+                   versions)"
+                  pr.reader value (Cell.to_string cell)
+                  (List.length candidates) (List.length chain)))
+        end
+        else begin
+          (* No pivot: the read observed the untraced initial state.
+             When the oldest known version is certainly the first, it
+             is the initial state's direct successor, so the read
+             antidepends on its writer (Fig. 9 applied to the initial
+             version).  No pivot also implies nothing was pruned for
+             this cell, so the chain head is the genuine first
+             version. *)
+          match chain with
+          | first :: rest
+            when first.Version_order.vtxn <> pr.reader
+                 && (match rest with
+                    | [] -> true
+                    | second :: _ ->
+                      Interval.certainly_before first.Version_order.commit_iv
+                        second.Version_order.commit_iv) ->
             emit_dep t
               {
-                Dep.kind = Dep.Wr;
-                from_txn = v.vtxn;
-                to_txn = pr.reader;
-                source = Dep.From_cr;
-              };
-            (* register for future rw derivation *)
-            if not (List.mem pr.reader v.readers) then
-              v.readers <- pr.reader :: v.readers;
-            (* rw to an already-known direct successor *)
-            let rec successor = function
-              | a :: b :: rest ->
-                if a == v then Some b else successor (b :: rest)
-              | [ _ ] | [] -> None
-            in
-            match successor chain with
-            | Some (s : Version_order.version) when s.vtxn <> pr.reader ->
-              emit_dep t
-                {
-                  Dep.kind = Dep.Rw;
-                  from_txn = pr.reader;
-                  to_txn = s.vtxn;
-                  source = Dep.Derived_rw;
-                }
-            | Some _ | None -> ()
+                Dep.kind = Dep.Rw;
+                from_txn = pr.reader;
+                to_txn = first.Version_order.vtxn;
+                source = Dep.Derived_rw;
+              }
+          | _ -> ()
+        end)
+    | [ v ] ->
+      if v.vtxn <> pr.reader then begin
+        emit_dep t
+          {
+            Dep.kind = Dep.Wr;
+            from_txn = v.vtxn;
+            to_txn = pr.reader;
+            source = Dep.From_cr;
+          };
+        (* register for future rw derivation *)
+        if not (List.mem pr.reader v.readers) then
+          v.readers <- pr.reader :: v.readers;
+        (* rw to an already-known direct successor *)
+        let rec successor = function
+          | a :: b :: rest ->
+            if a == v then Some b else successor (b :: rest)
+          | [ _ ] | [] -> None
+        in
+        match successor chain with
+        | Some (s : Version_order.version) when s.vtxn <> pr.reader ->
+          emit_dep t
+            {
+              Dep.kind = Dep.Rw;
+              from_txn = pr.reader;
+              to_txn = s.vtxn;
+              source = Dep.Derived_rw;
+            }
+        | Some _ | None -> ()
+      end
+    | _ :: _ :: _ -> ()  (* ambiguous match: uncertain, no deduction *))
+
+(* Outcome resolution (the wire layer's counterpart to Algorithm 2): a
+   read item matching an unresolved ambiguous commit is settled by the
+   {e reader's} fate.  A committed reader is proof the writer's commit
+   took effect — the engine served the value to a transaction that went
+   on to commit, which no engine at read-committed or above does for an
+   unapplied write — so the writer is promoted and the item re-checked
+   against the now-installed version.  Any other fate for the reader
+   (aborted, itself indeterminate, never terminated) leaves the item
+   inconclusive, exactly as PR 1's blanket exclusion would have. *)
+and defer_or_resolve t (pr : pending_read) cell value writer =
+  match status_of t pr.reader with
+  | Committed ->
+    if promote_ambiguous t writer ~observed_aft:(Interval.aft pr.read_iv) then
+      check_item t pr cell value
+    else t.inconclusive_reads <- t.inconclusive_reads + 1
+  | Active ->
+    let entries =
+      match Hashtbl.find_opt t.awaiting pr.reader with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.replace t.awaiting pr.reader r;
+        r
+    in
+    entries :=
+      {
+        a_cell = cell;
+        a_value = value;
+        a_writer = writer;
+        a_read_iv = pr.read_iv;
+        a_snapshot_iv = pr.snapshot_iv;
+      }
+      :: !entries
+  | Aborted | Indeterminate ->
+    t.inconclusive_reads <- t.inconclusive_reads + 1
+
+(* Promote an ambiguous commit to definitely-committed.  The commit
+   interval is deliberately wide — from the writer's first operation to
+   the observing read's end — which only ever {e adds} visibility
+   candidates downstream, so the promotion cannot manufacture a
+   violation out of uncertainty.  ME and FUW obligations stay waived
+   (their release/registration instants are unknowable), matching the
+   conservative treatment of indeterminate transactions. *)
+and promote_ambiguous t writer ~observed_aft =
+  match Hashtbl.find_opt t.txns writer with
+  | Some w when w.vstatus = Indeterminate && resolvable t writer ->
+    Cell.Tbl.iter
+      (fun _cell entries ->
+        entries := List.filter (fun (_, id) -> id <> writer) !entries)
+      t.indeterminate_values;
+    Hashtbl.replace t.resolved_ids writer ();
+    w.vstatus <- Committed;
+    t.committed <- t.committed + 1;
+    let bef =
+      match w.first_iv with
+      | Some f -> min (Interval.bef f) (observed_aft - 1)
+      | None -> observed_aft - 1
+    in
+    let commit_iv = Interval.make ~bef ~aft:observed_aft in
+    w.terminal_iv <- Some commit_iv;
+    let first_iv = match w.first_iv with Some f -> f | None -> commit_iv in
+    if t.profile.Il_profile.check_sc <> None then
+      Sc_verifier.note_commit t.sc ~txn:w.vid ~first_iv ~terminal_iv:commit_iv;
+    if t.profile.Il_profile.check_cr <> None then
+      install_versions t w ~commit_iv;
+    flush_pending t w;
+    true
+  | Some _ | None -> false
+
+(* Settle the read items parked on ambiguous writers once their reader
+   terminates.  Called from the terminal-trace handlers and finalize. *)
+and resolve_awaiting t (v : vtxn) ~committed =
+  match Hashtbl.find_opt t.awaiting v.vid with
+  | None -> ()
+  | Some entries ->
+    Hashtbl.remove t.awaiting v.vid;
+    List.iter
+      (fun e ->
+        if committed then begin
+          let pr =
+            {
+              reader = v.vid;
+              read_iv = e.a_read_iv;
+              snapshot_iv = e.a_snapshot_iv;
+              items = [];
+            }
+          in
+          if resolvable t e.a_writer then begin
+            if
+              promote_ambiguous t e.a_writer
+                ~observed_aft:(Interval.aft e.a_read_iv)
+            then check_item t pr e.a_cell e.a_value
+            else t.inconclusive_reads <- t.inconclusive_reads + 1
           end
-        | _ :: _ :: _ -> ()  (* ambiguous match: uncertain, no deduction *)))
-    pr.items
+          else
+            (* already promoted by another reader: re-check against the
+               installed version *)
+            check_item t pr e.a_cell e.a_value
+        end
+        else if resolvable t e.a_writer then
+          t.inconclusive_reads <- t.inconclusive_reads + 1)
+      (List.rev !entries)
 
 let flush_deferred t ~upto =
   let ready =
@@ -615,88 +861,6 @@ let handle_write t (v : vtxn) trace items =
       rows
   end
 
-let install_versions t (v : vtxn) ~commit_iv =
-  List.iter
-    (fun cell ->
-      match Cell.Tbl.find_opt v.writes cell with
-      | None -> ()
-      | Some (value, write_iv) ->
-        let version =
-          {
-            Version_order.value;
-            vtxn = v.vid;
-            write_iv;
-            commit_iv;
-            readers = [];
-          }
-        in
-        let is_first = ref false in
-        Version_order.install t.versions cell version
-          ~predecessor:(fun pred ->
-            match pred with
-            | None -> is_first := true
-            | Some (p : Version_order.version) ->
-              if
-                Interval.certainly_before p.commit_iv commit_iv
-                && p.vtxn <> v.vid
-              then
-                emit_dep t
-                  {
-                    Dep.kind = Dep.Ww;
-                    from_txn = p.vtxn;
-                    to_txn = v.vid;
-                    source = Dep.From_version_order;
-                  };
-              (* Fig. 9: readers matched to the predecessor antidepend on
-                 the new direct successor. *)
-              List.iter
-                (fun reader ->
-                  if reader <> v.vid then
-                    emit_dep t
-                      {
-                        Dep.kind = Dep.Rw;
-                        from_txn = reader;
-                        to_txn = v.vid;
-                        source = Dep.Derived_rw;
-                      })
-                p.readers)
-          ~successor:(fun succ ->
-            match succ with
-            | None ->
-              (* Appended at the tail.  If it is also the very first
-                 version of the cell, readers of the untraced initial
-                 state antidepend on it. *)
-              if !is_first then begin
-                match Cell.Tbl.find_opt t.initial_readers cell with
-                | Some readers ->
-                  List.iter
-                    (fun reader ->
-                      if reader <> v.vid then
-                        emit_dep t
-                          {
-                            Dep.kind = Dep.Rw;
-                            from_txn = reader;
-                            to_txn = v.vid;
-                            source = Dep.Derived_rw;
-                          })
-                    !readers;
-                  Cell.Tbl.remove t.initial_readers cell
-                | None -> ()
-              end
-            | Some (s : Version_order.version) ->
-              if
-                Interval.certainly_before commit_iv s.commit_iv
-                && s.vtxn <> v.vid
-              then
-                emit_dep t
-                  {
-                    Dep.kind = Dep.Ww;
-                    from_txn = v.vid;
-                    to_txn = s.vtxn;
-                    source = Dep.From_version_order;
-                  }))
-    (List.rev v.write_cells)
-
 let handle_commit t (v : vtxn) trace =
   let commit_iv = Trace.interval trace in
   v.terminal_iv <- Some commit_iv;
@@ -749,7 +913,8 @@ let handle_commit t (v : vtxn) trace =
             | Fuw_verifier.Unordered -> ()))
       rows
   end;
-  flush_pending t v
+  flush_pending t v;
+  resolve_awaiting t v ~committed:true
 
 let handle_abort t (v : vtxn) trace =
   let iv = Trace.interval trace in
@@ -770,7 +935,8 @@ let handle_abort t (v : vtxn) trace =
       entries := (value, v.vid, Interval.aft iv) :: !entries)
     v.writes;
   if t.profile.Il_profile.check_me then
-    Me_verifier.release t.me ~txn:v.vid ~iv ~on_pair:(me_on_pair t)
+    Me_verifier.release t.me ~txn:v.vid ~iv ~on_pair:(me_on_pair t);
+  resolve_awaiting t v ~committed:false
 
 (* ------------------------------------------------------------------ *)
 
@@ -814,10 +980,13 @@ and feed_fresh t trace =
   (match trace.Trace.payload with
   | Trace.Read { items; locking } -> handle_read t v trace items locking
   | Trace.Write items -> handle_write t v trace items
-  | (Trace.Commit | Trace.Abort) when v.vstatus = Indeterminate ->
+  | (Trace.Commit | Trace.Abort)
+    when v.vstatus = Indeterminate
+         || Hashtbl.mem t.resolved_ids trace.Trace.txn ->
     (* defensive: a terminal for a transaction already declared
-       indeterminate (e.g. a late mark racing a delivered terminal) adds
-       no obligations — the declaration wins *)
+       indeterminate (e.g. a late mark racing a delivered terminal) or
+       already promoted by outcome resolution adds no obligations — the
+       declaration wins *)
     ()
   | Trace.Commit -> handle_commit t v trace
   | Trace.Abort -> handle_abort t v trace);
@@ -830,6 +999,18 @@ let feed_all t traces = List.iter (feed t) traces
 let finalize t =
   flush_deferred t ~upto:max_int;
   t.frontier <- max_int;
+  (* read items still parked on an ambiguous writer: their reader never
+     terminated, so the writer stays unresolved and the items are
+     inconclusive *)
+  Hashtbl.iter
+    (fun _reader entries ->
+      List.iter
+        (fun e ->
+          if resolvable t e.a_writer then
+            t.inconclusive_reads <- t.inconclusive_reads + 1)
+        !entries)
+    t.awaiting;
+  Hashtbl.reset t.awaiting;
   t.finalized <- true;
   if t.gc_every > 0 then run_gc t
 
@@ -872,6 +1053,11 @@ let degradation t =
            t.txns 0);
     restarts = t.ext_restarts;
     recovery_lost_records = t.ext_recovery_lost;
+    ambiguous_commits =
+      Hashtbl.fold
+        (fun id () acc ->
+          if Hashtbl.mem t.resolved_ids id then acc else acc + 1)
+        t.ambiguous_ids 0;
   }
 
 let report t =
@@ -893,6 +1079,7 @@ let report t =
     pruned_locks = t.pruned_locks;
     pruned_fuw = t.pruned_fuw;
     pruned_graph = t.pruned_graph;
+    resolved_ambiguous = Hashtbl.length t.resolved_ids;
     degradation = degradation t;
   }
 
@@ -906,6 +1093,10 @@ let degradation_reason d =
   let parts =
     add parts d.indeterminate_txns "transaction with indeterminate outcome"
       "transactions with indeterminate outcome"
+  in
+  let parts =
+    add parts d.ambiguous_commits "commit with ambiguous outcome"
+      "commits with ambiguous outcome"
   in
   let parts = add parts d.lost_traces "trace lost in collection" "traces lost in collection" in
   let parts = add parts d.late_traces_dropped "late trace dropped" "late traces dropped" in

@@ -80,6 +80,23 @@ val mark_indeterminate : t -> txn:int -> unit
     no later than the batch in which the crash was detected so downstream
     reads are already covered when they are checked. *)
 
+val mark_ambiguous_commit : t -> txn:int -> unit
+(** Declare that [txn]'s client sent a COMMIT but never received the
+    acknowledgement (wire faults: the request or its reply was lost, or
+    the connection reset after delivery).  The transaction starts with
+    the same exclusions as {!mark_indeterminate}, but is {e resolvable}:
+    when a later {e committed} read observes one of its written values,
+    the checker promotes it to definitely-committed ("outcome
+    resolution" — an engine at read-committed or above never serves an
+    unapplied write to a transaction that goes on to commit) and the
+    read is re-checked against the promoted version.  Promoted
+    transactions count in {!report.resolved_ambiguous} and stop
+    degrading the verdict; unresolved ones count in
+    {!degradation.ambiguous_commits}.  ME and FUW obligations stay
+    waived even after promotion (their instants are unknowable).  Call
+    it no later than the batch in which the give-up was detected, like
+    {!mark_indeterminate}. *)
+
 val note_crashed_clients : t -> int -> unit
 (** Add externally detected client crashes to the degradation stats. *)
 
@@ -120,6 +137,10 @@ type degradation = {
   recovery_lost_records : int;
       (** WAL records damaged across all recoveries; non-zero weakens
           [Verified] to [Inconclusive] *)
+  ambiguous_commits : int;
+      (** commits still ambiguous after resolution
+          ({!mark_ambiguous_commit} minus promotions); non-zero weakens
+          [Verified] to [Inconclusive] *)
 }
 
 val degradation_free : degradation -> bool
@@ -146,6 +167,9 @@ type report = {
   pruned_locks : int;
   pruned_fuw : int;
   pruned_graph : int;
+  resolved_ambiguous : int;
+      (** ambiguous commits promoted to definitely-committed by a later
+          committed read observing their writes *)
   degradation : degradation;
 }
 

@@ -16,10 +16,12 @@ let degradation_line (d : Checker.degradation) =
   if Checker.degradation_free d then ""
   else
     Printf.sprintf
-      "degradation: crashed clients %d | indeterminate txns %d | dropped \
-       traces %d (late %d, dup %d, lost %d) | inconclusive reads %d | \
-       unterminated txns %d | restarts %d (wal records lost %d)\n"
+      "degradation: crashed clients %d | indeterminate txns %d | ambiguous \
+       commits %d | dropped traces %d (late %d, dup %d, lost %d) | \
+       inconclusive reads %d | unterminated txns %d | restarts %d (wal \
+       records lost %d)\n"
       d.Checker.crashed_clients d.Checker.indeterminate_txns
+      d.Checker.ambiguous_commits
       (d.Checker.late_traces_dropped + d.Checker.dup_traces_dropped
      + d.Checker.lost_traces)
       d.Checker.late_traces_dropped d.Checker.dup_traces_dropped

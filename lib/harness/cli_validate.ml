@@ -1,0 +1,51 @@
+(* Pure validation of numeric command-line options.
+
+   Every fault plane takes probabilities, schedules and timeouts from the
+   CLI; a typo there ("--chaos-drop 1.5", an unsorted --crash-at list)
+   must die with a one-line usage error (exit 2), never silently clamp or
+   surface later as a confusing Invalid_argument from deep inside a
+   config constructor.  The checks live here, separate from cmdliner, so
+   they are unit-testable and run on the raw flag values BEFORE any
+   is-disabled short-circuit — a nonsense probability is rejected even
+   when the plane it configures would have been off. *)
+
+type error = { flag : string; msg : string }
+
+let error_to_string e = Printf.sprintf "invalid %s: %s" e.flag e.msg
+
+let prob ~flag v =
+  if Float.is_nan v || v < 0.0 || v > 1.0 then
+    Some { flag; msg = Printf.sprintf "probability %g is not in [0, 1]" v }
+  else None
+
+let positive ~flag v =
+  if v <= 0 then Some { flag; msg = Printf.sprintf "%d is not positive" v }
+  else None
+
+let non_negative ~flag v =
+  if v < 0 then Some { flag; msg = Printf.sprintf "%d is negative" v }
+  else None
+
+(* A crash schedule must be strictly ascending positive instants: a
+   duplicate would crash the server twice at the same simulated instant,
+   and an out-of-order list almost always means the operator dropped a
+   digit.  Rejecting beats silently sorting. *)
+let crash_schedule ~flag instants =
+  let rec check prev = function
+    | [] -> None
+    | at :: _ when at <= 0 ->
+      Some { flag; msg = Printf.sprintf "instant %d is not positive" at }
+    | at :: _ when at = prev ->
+      Some { flag; msg = Printf.sprintf "duplicate instant %d" at }
+    | at :: _ when at < prev ->
+      Some
+        {
+          flag;
+          msg =
+            Printf.sprintf "instants must be ascending (%d after %d)" at prev;
+        }
+    | at :: rest -> check at rest
+  in
+  check 0 instants
+
+let first_error checks = List.find_map Fun.id checks

@@ -1,0 +1,33 @@
+(** Pure validators for command-line numeric options.
+
+    Fault-plane flags (probabilities, crash schedules, timeouts, queue
+    bounds) are validated on their raw values before any configuration
+    object is built — and before any "all rates are zero, plane
+    disabled" short-circuit, so a nonsense value is a usage error even
+    when it would have had no effect.  Each validator returns
+    [Some error] on the first problem it finds, [None] when the value is
+    acceptable; the driver prints {!error_to_string} on stderr and exits
+    2 (reserved for usage errors; verdicts use 0/1/3). *)
+
+type error = { flag : string; msg : string }
+
+val error_to_string : error -> string
+(** ["invalid <flag>: <msg>"] — the one-line stderr message. *)
+
+val prob : flag:string -> float -> error option
+(** Probabilities must lie in [[0, 1]]; NaN is rejected too. *)
+
+val positive : flag:string -> int -> error option
+(** Timeouts, queue capacities, retry budgets, windows: must be [> 0]. *)
+
+val non_negative : flag:string -> int -> error option
+(** Delay bounds and skew magnitudes: must be [>= 0]. *)
+
+val crash_schedule : flag:string -> int list -> error option
+(** A [--crash-at] schedule must be strictly ascending positive
+    instants: duplicates and out-of-order entries are rejected rather
+    than silently sorted or deduplicated. *)
+
+val first_error : error option list -> error option
+(** The first [Some] in flag order, so the reported error matches the
+    leftmost offending option. *)

@@ -43,13 +43,23 @@ let run ?(batch_window_ns = 500_000) ?(gc_every = 512) ?max_stall_ns ~il
   let final_lag = ref 0 in
   (* Indeterminate marks must land before the traces they govern are fed:
      a crash at tick k is marked at tick k+1, ahead of any dispatch of
-     post-crash timestamps. *)
+     post-crash timestamps.  Ambiguous commits from the wire (client gave
+     up on a COMMIT without learning the outcome) are polled the same
+     way — both calls are idempotent, so re-marking every round is
+     harmless. *)
   let mark_indeterminates () =
-    match chaos with
+    (match chaos with
     | Some ch ->
       List.iter
         (fun txn -> Leopard.Checker.mark_indeterminate checker ~txn)
         (Chaos.indeterminate_txns ch)
+    | None -> ());
+    match cfg.Run.net with
+    | Some rt ->
+      List.iter
+        (fun (_client, txn, _at) ->
+          Leopard.Checker.mark_ambiguous_commit checker ~txn)
+        (Run.net_ambiguous rt)
     | None -> ()
   in
   (* Loss accounting is incremental, not end-of-run: a read checked in

@@ -2,6 +2,7 @@ module Trace = Leopard_trace.Trace
 module Rng = Leopard_util.Rng
 module Engine = Minidb.Engine
 module Sim = Minidb.Sim
+module Net = Leopard_net
 
 type latency = {
   net_mean_ns : float;
@@ -20,6 +21,41 @@ let default_latency =
 
 type stop = Txn_count of int | Sim_time_ns of int
 
+(* Wire mode: requests travel as serialized messages through a seeded
+   faulty link to a per-session server queue, instead of being invoked
+   in-process.  The fault/client knobs are [Net]'s; [queue_capacity]
+   bounds each session's server queue (load shedding beyond it);
+   [session_timeout_ns] is how long the server keeps an orphaned
+   transaction alive after its client gave up before reaping it. *)
+type net_config = {
+  net_fault : Net.Faulty_link.config;
+  net_client : Net.Client.config;
+  queue_capacity : int;
+  session_timeout_ns : int;
+}
+
+let net_config ?(fault = Net.Faulty_link.disabled)
+    ?(client = Net.Client.config ()) ?(queue_capacity = 64)
+    ?(session_timeout_ns = 1_000_000) () =
+  if queue_capacity < 1 then
+    invalid_arg "Run.net_config: queue_capacity must be >= 1";
+  if session_timeout_ns <= 0 then
+    invalid_arg "Run.net_config: session_timeout_ns must be positive";
+  { net_fault = fault; net_client = client; queue_capacity; session_timeout_ns }
+
+(* Per-run wire state, created at config time (like [Chaos.create]) so an
+   online monitor can poll [ambiguous] while the run progresses. *)
+type net_rt = {
+  ncfg : net_config;
+  link : Net.Faulty_link.t;
+  net_rngs : Rng.t array;  (* per-client retry/backoff jitter streams *)
+  mutable ambiguous : (int * int * int) list;
+      (* (client, txn, gave_up_at) of commits with unknown outcome;
+         newest first *)
+}
+
+let net_ambiguous rt = List.rev rt.ambiguous
+
 type config = {
   spec : Leopard_workload.Spec.t;
   profile : Minidb.Profile.t;
@@ -33,6 +69,7 @@ type config = {
   observer : (Trace.t -> unit) option;
   tick : (int * (unit -> unit)) option;
   chaos : Chaos.t option;
+  net : net_rt option;
   max_retries : int;
   retry_backoff_ns : float;
   wal : bool;
@@ -41,7 +78,7 @@ type config = {
 }
 
 let config ?(faults = Minidb.Fault.Set.empty) ?(clients = 8) ?(seed = 42)
-    ?(latency = default_latency) ?latency_of ?observer ?tick ?chaos
+    ?(latency = default_latency) ?latency_of ?observer ?tick ?chaos ?net
     ?(max_retries = 0) ?(retry_backoff_ns = 100_000.0) ?(wal = false)
     ?(crash_at = []) ?wal_faults ~spec ~profile ~level ~stop () =
   {
@@ -57,6 +94,23 @@ let config ?(faults = Minidb.Fault.Set.empty) ?(clients = 8) ?(seed = 42)
     observer;
     tick;
     chaos = Option.map (fun c -> Chaos.create ~clients c) chaos;
+    net =
+      Option.map
+        (fun n ->
+          let root = Rng.create n.net_fault.Net.Faulty_link.seed in
+          (* the link splits the first [clients] streams off this same
+             seed; skip past them so a client's retry jitter never shares
+             a state with its fault stream *)
+          for _ = 1 to clients do
+            ignore (Rng.split root)
+          done;
+          {
+            ncfg = n;
+            link = Net.Faulty_link.create ~sessions:clients n.net_fault;
+            net_rngs = Array.init clients (fun _ -> Rng.split root);
+            ambiguous = [];
+          })
+        net;
     max_retries;
     retry_backoff_ns;
     (* crashing or injecting durability faults implies logging *)
@@ -103,12 +157,28 @@ type outcome = {
   chaos_dropped : int;
   chaos_duplicated : int;
   chaos_delayed : int;
+  net : net_stats option;
+}
+
+and net_stats = {
+  resets : int;
+  msg_dropped : int;
+  msg_duplicated : int;
+  msg_delayed : int;
+  msg_reordered : int;
+  rejected : int;  (* requests load-shed by the server *)
+  resends : int;
+  give_ups : int;
+  ambiguous : (int * int * int) list;
+      (* (client, txn, gave_up_at) of ambiguous commits, oldest first *)
+  dup_commit_acks : int;  (* commits acknowledged idempotently *)
 }
 
 type state = {
   cfg : config;
   sim : Sim.t;
   engine : Engine.t;
+  net_exec : (Net.Server.t * Net.Client.t array) option;
   buffers : Trace.t list ref array;  (* newest first; reversed at the end *)
   op_trace : (int, Trace.t) Hashtbl.t;
   mutable next_op : int;
@@ -152,6 +222,61 @@ let issue st rng ~client ~txn ~request ~receive =
           let d_out = extra + delay rng latency.net_mean_ns in
           Sim.schedule_after st.sim ~delay:d_out (fun () ->
               receive ~op_id ~ts_bef result)))
+
+(* Issue one request through the wire.  The workload rng supplies exactly
+   the draws the in-process [issue] makes — [d_in] at the issue instant,
+   commit-extra + [d_out] at each reply instant — so a zero-fault link
+   replays the in-process run byte-for-byte; every retry/backoff/fault
+   decision comes from the net streams instead.  [on_undelivered] fires
+   when the call settles without a server outcome (load-shed or
+   every attempt timed out/reset): for a COMMIT that is the ambiguous
+   case, for anything else a definite client-side abort. *)
+let issue_net st ~server ~nclient rng ~client ~txn ~request ~receive
+    ~on_undelivered =
+  let latency = latency_for st.cfg client in
+  let ts_bef = Sim.now st.sim in
+  let d_in = delay rng latency.net_mean_ns in
+  let op_id = fresh_op st in
+  Net.Server.register_txn server txn;
+  let body =
+    match request with
+    | Engine.Read { cells; locking; predicate } ->
+      Net.Wire.Read { cells; locking; predicate }
+    | Engine.Write items -> Net.Wire.Write items
+    | Engine.Commit -> Net.Wire.Commit { token = Engine.txn_id txn }
+    | Engine.Abort -> Net.Wire.Abort
+  in
+  Net.Client.call nclient ~txn:(Engine.txn_id txn) ~op:op_id ~body
+    ~first_send_delay_ns:d_in
+    ~resp_base_delay_ns:(fun _resp ->
+      let extra =
+        match request with
+        | Engine.Commit -> delay rng latency.commit_extra_ns
+        | Engine.Read _ | Engine.Write _ | Engine.Abort -> 0
+      in
+      extra + delay rng latency.net_mean_ns)
+    ~k:(fun outcome ->
+      match outcome with
+      | Net.Client.Reply (Net.Wire.Ok_read items) ->
+        receive ~op_id ~ts_bef (Engine.Ok_read items)
+      | Net.Client.Reply Net.Wire.Ok_write ->
+        receive ~op_id ~ts_bef Engine.Ok_write
+      | Net.Client.Reply Net.Wire.Ok_commit ->
+        receive ~op_id ~ts_bef Engine.Ok_commit
+      | Net.Client.Reply (Net.Wire.Refused reason) ->
+        receive ~op_id ~ts_bef (Engine.Err reason)
+      | Net.Client.Reply (Net.Wire.Began _) ->
+        assert false (* the harness begins transactions client-side *)
+      | Net.Client.Reply Net.Wire.Rejected | Net.Client.No_reply ->
+        on_undelivered ~op_id ~ts_bef)
+
+(* Route a request through the configured transport. *)
+let transport st rng ~client ~txn ~request ~receive ~on_undelivered =
+  match st.net_exec with
+  | None -> issue st rng ~client ~txn ~request ~receive
+  | Some (server, nclients) ->
+    issue_net st ~server ~nclient:nclients.(client) rng ~client ~txn ~request
+      ~receive ~on_undelivered
 
 let deliver_now st ~client trace =
   st.buffers.(client) := trace :: !(st.buffers.(client));
@@ -236,6 +361,40 @@ and attempt st rng ~client ~prog ~tries =
       end
       else next_txn ()
     in
+    (* Server-side reaper: abort an orphaned transaction (its client
+       crashed or gave up) once the session timeout elapses, releasing
+       its locks.  A commit that sneaks in before the reaper fires wins —
+       [txn_alive] is checked at reap time. *)
+    let reap_after ~timeout_ns =
+      Sim.schedule_after st.sim ~delay:timeout_ns (fun () ->
+          if Engine.txn_alive txn then
+            Engine.exec st.engine txn ~op_id:(fresh_op st) Engine.Abort
+              ~k:(fun _ -> ()))
+    in
+    (* A wire call that settled without a server outcome.  A COMMIT is the
+       ambiguous case: any attempt may have been applied, so the client
+       logs no terminal trace, records the give-up for the checker, and
+       moves on.  Anything else is a definite client-side abort — the
+       client never sent (and never will send) COMMIT, and the reaper
+       guarantees the server-side abort — so the abort trace is truthful. *)
+    let on_undelivered ~request ~op_id ~ts_bef =
+      let timeout_ns =
+        match st.cfg.net with
+        | Some rt -> rt.ncfg.session_timeout_ns
+        | None -> assert false (* only the wire transport settles this way *)
+      in
+      reap_after ~timeout_ns;
+      match request with
+      | Engine.Commit ->
+        (match st.cfg.net with
+        | Some rt ->
+          rt.ambiguous <- (client, txn_id, Sim.now st.sim) :: rt.ambiguous
+        | None -> ());
+        finish_txn ()
+      | Engine.Abort -> abort_and_finish ~op_id ~ts_bef ()
+      | Engine.Read _ | Engine.Write _ ->
+        abort_and_finish ~retryable:true ~op_id ~ts_bef ()
+    in
     (* Chaos crash: the request leaves for the server, but the client dies
        before the reply — nothing is logged and nothing further is issued.
        A crashed commit may have taken effect server-side (indeterminate);
@@ -247,19 +406,18 @@ and attempt st rng ~client ~prog ~tries =
         Chaos.note_crash ch ~client ~txn:txn_id;
         st.finished_txns <- st.finished_txns + 1;
         client_done st;
-        issue st rng ~client ~txn ~request
-          ~receive:(fun ~op_id:_ ~ts_bef:_ _result ->
-            match request with
-            | Engine.Commit | Engine.Abort -> ()
-            | Engine.Read _ | Engine.Write _ ->
-              Sim.schedule_after st.sim
-                ~delay:(Chaos.cfg ch).Chaos.session_timeout_ns
-                (fun () ->
-                  if Engine.txn_alive txn then
-                    Engine.exec st.engine txn ~op_id:(fresh_op st)
-                      Engine.Abort
-                      ~k:(fun _ -> ())))
-      | Some _ | None -> issue st rng ~client ~txn ~request ~receive
+        let dead_receive ~op_id:_ ~ts_bef:_ _result =
+          match request with
+          | Engine.Commit | Engine.Abort -> ()
+          | Engine.Read _ | Engine.Write _ ->
+            reap_after ~timeout_ns:(Chaos.cfg ch).Chaos.session_timeout_ns
+        in
+        transport st rng ~client ~txn ~request ~receive:dead_receive
+          ~on_undelivered:(fun ~op_id ~ts_bef ->
+            dead_receive ~op_id ~ts_bef (Engine.Err Engine.User_abort))
+      | Some _ | None ->
+        transport st rng ~client ~txn ~request ~receive
+          ~on_undelivered:(on_undelivered ~request)
     in
     let rec step (prog : Leopard_workload.Program.t) =
       let continue next =
@@ -344,11 +502,26 @@ let execute cfg =
             }
             :: !epochs))
     (List.sort_uniq compare cfg.crash_at);
+  let net_exec =
+    Option.map
+      (fun rt ->
+        let server =
+          Net.Server.create ~engine ~queue_capacity:rt.ncfg.queue_capacity
+        in
+        let nclients =
+          Array.init cfg.clients (fun i ->
+              Net.Client.create sim ~rng:rt.net_rngs.(i) ~link:rt.link ~server
+                ~session:i rt.ncfg.net_client)
+        in
+        (server, nclients))
+      cfg.net
+  in
   let st =
     {
       cfg;
       sim;
       engine;
+      net_exec;
       buffers = Array.init cfg.clients (fun _ -> ref []);
       op_trace = Hashtbl.create 4096;
       next_op = 0;
@@ -414,6 +587,24 @@ let execute cfg =
       (match cfg.chaos with Some ch -> Chaos.duplicated ch | None -> 0);
     chaos_delayed =
       (match cfg.chaos with Some ch -> Chaos.delayed ch | None -> 0);
+    net =
+      (match (cfg.net, st.net_exec) with
+      | Some rt, Some (server, nclients) ->
+        let sum f = Array.fold_left (fun acc c -> acc + f c) 0 nclients in
+        Some
+          {
+            resets = Net.Faulty_link.resets rt.link;
+            msg_dropped = Net.Faulty_link.dropped rt.link;
+            msg_duplicated = Net.Faulty_link.duplicated rt.link;
+            msg_delayed = Net.Faulty_link.delayed rt.link;
+            msg_reordered = Net.Faulty_link.reordered rt.link;
+            rejected = Net.Server.rejected server;
+            resends = sum Net.Client.resends;
+            give_ups = sum Net.Client.give_ups;
+            ambiguous = List.rev rt.ambiguous;
+            dup_commit_acks = Engine.duplicate_commit_acks engine;
+          }
+      | _ -> None);
   }
 
 let all_traces_sorted outcome =

@@ -31,6 +31,39 @@ type stop = Txn_count of int | Sim_time_ns of int
 (** Stop after N {e committed-or-aborted} transactions in total, or at a
     simulated instant. *)
 
+type net_config = {
+  net_fault : Leopard_net.Faulty_link.config;
+      (** seeded per-message fault model of the wire *)
+  net_client : Leopard_net.Client.config;
+      (** request timeouts and bounded retries *)
+  queue_capacity : int;
+      (** per-session server queue bound; requests beyond it are
+          load-shed with a definite [Rejected] *)
+  session_timeout_ns : int;
+      (** how long the server keeps an orphaned transaction (client gave
+          up) before reaping it with an abort *)
+}
+
+val net_config :
+  ?fault:Leopard_net.Faulty_link.config ->
+  ?client:Leopard_net.Client.config ->
+  ?queue_capacity:int ->
+  ?session_timeout_ns:int ->
+  unit ->
+  net_config
+(** Defaults: disabled link, default client config, capacity 64, session
+    timeout 1_000_000 ns.  Raises [Invalid_argument] on a non-positive
+    capacity or timeout. *)
+
+type net_rt
+(** Per-run wire state (link, per-client retry streams, ambiguous-commit
+    log), created by {!config} like the chaos plane's. *)
+
+val net_ambiguous : net_rt -> (int * int * int) list
+(** [(client, txn, gave_up_at)] of every commit whose outcome the client
+    never learned, oldest first — pollable mid-run by an online monitor
+    (feed the txn ids to [Checker.mark_ambiguous_commit]). *)
+
 type config = {
   spec : Leopard_workload.Spec.t;
   profile : Minidb.Profile.t;
@@ -54,6 +87,13 @@ type config = {
       (** collection-path fault injection (client crashes, lossy
           delivery, clock skew); [None] leaves the run byte-identical to
           the chaos-free harness *)
+  net : net_rt option;
+      (** wire mode: requests travel as serialized messages through a
+          seeded faulty link to per-session server queues, with
+          timeouts, bounded retries and idempotent commit tokens.  With
+          a disabled (zero-rate) link the traces are byte-identical to
+          the in-process path for the same workload seed; [None] skips
+          the wire entirely *)
   max_retries : int;
       (** how many times a client re-runs a transaction program the
           engine aborted (deadlock victim, FUW, certifier); 0 preserves
@@ -82,6 +122,7 @@ val config :
   ?observer:(Trace.t -> unit) ->
   ?tick:int * (unit -> unit) ->
   ?chaos:Chaos.config ->
+  ?net:net_config ->
   ?max_retries:int ->
   ?retry_backoff_ns:float ->
   ?wal:bool ->
@@ -134,6 +175,24 @@ type outcome = {
   chaos_dropped : int;  (** traces lost on the collection path *)
   chaos_duplicated : int;  (** traces delivered twice *)
   chaos_delayed : int;  (** traces delivered late *)
+  net : net_stats option;  (** wire-mode statistics; [None] off the wire *)
+}
+
+and net_stats = {
+  resets : int;  (** connection resets injected *)
+  msg_dropped : int;  (** messages silently lost *)
+  msg_duplicated : int;  (** messages delivered twice *)
+  msg_delayed : int;  (** messages given extra latency *)
+  msg_reordered : int;  (** messages routed through the reorder window *)
+  rejected : int;  (** requests load-shed by a full session queue *)
+  resends : int;  (** client retransmissions (attempts beyond the first) *)
+  give_ups : int;  (** calls settled without any reply *)
+  ambiguous : (int * int * int) list;
+      (** [(client, txn, gave_up_at)] of commits with unknown outcome,
+          oldest first — feed to [Checker.mark_ambiguous_commit] *)
+  dup_commit_acks : int;
+      (** COMMITs the engine acknowledged idempotently (retried or
+          link-duplicated commit tokens that had already been applied) *)
 }
 
 val execute : config -> outcome

@@ -67,6 +67,7 @@ type t = {
   mutable aborts_certifier : int;
   mutable aborts_user : int;
   mutable aborts_crash : int;
+  mutable dup_commit_acks : int;
   mutable ops : int;
 }
 
@@ -103,6 +104,7 @@ let create ?wal sim ~profile ~level ~faults =
     aborts_certifier = 0;
     aborts_user = 0;
     aborts_crash = 0;
+    dup_commit_acks = 0;
     ops = 0;
   }
 
@@ -169,6 +171,7 @@ let aborts_by t = function
   | User_abort -> t.aborts_user
   | Server_crash -> t.aborts_crash
 
+let duplicate_commit_acks t = t.dup_commit_acks
 let deadlocks t = Lock_manager.deadlocks t.locks
 let ops_executed t = t.ops
 let epoch t = t.epoch
@@ -744,7 +747,22 @@ let do_commit t txn ~op_id ~k =
 
 (* ------------------------------------------------------------------ *)
 
-let exec t (txn : txn) ~op_id request ~k =
+let rec exec t (txn : txn) ~op_id request ~k =
+  match (request, txn.state) with
+  | Commit, Committed_at _ ->
+    (* Idempotent commit token (the transaction id is the token): the
+       commit already applied, so a retried or link-duplicated COMMIT is
+       re-acknowledged without re-executing.  The transaction-status
+       table — persisted alongside the WAL in a real engine — *is* the
+       idempotency table.  Checked before the epoch guard: "your commit
+       was applied" remains true across a crash; whether it *survived*
+       the crash is the WAL's business, and a lossy recovery surfaces as
+       a post-crash read violation, never as a flapping ack. *)
+    t.dup_commit_acks <- t.dup_commit_acks + 1;
+    k Ok_commit
+  | _ -> exec_once t txn ~op_id request ~k
+
+and exec_once t (txn : txn) ~op_id request ~k =
   if txn.epoch < t.epoch then
     (* the txn belongs to a pre-crash epoch: its server-side state is
        gone.  Every request gets a definite crash error — the reply

@@ -88,7 +88,18 @@ val txn_alive : txn -> bool
 
 val exec : t -> txn -> op_id:int -> request -> k:(result -> unit) -> unit
 (** Submit a request at the current simulated instant.  [k] fires exactly
-    once, at the simulated completion instant. *)
+    once, at the simulated completion instant.
+
+    Commit is {e idempotent}: a [Commit] for a transaction that already
+    committed is re-acknowledged with [Ok_commit] without re-executing
+    (the transaction id acts as the commit token; the status table is
+    the idempotency table).  This is what makes wire-level COMMIT
+    retries and duplications safe — see {!duplicate_commit_acks}. *)
+
+val duplicate_commit_acks : t -> int
+(** How many [Commit] requests were acknowledged idempotently because
+    the transaction had already committed (retried/duplicated commit
+    tokens). *)
 
 val peek : t -> Cell.t -> Trace.value option
 (** Latest committed value of a cell — a white-box oracle for tests

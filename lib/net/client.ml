@@ -1,0 +1,124 @@
+module Rng = Leopard_util.Rng
+module Sim = Minidb.Sim
+
+type config = {
+  request_timeout_ns : int;
+  max_tries : int;
+  retry_backoff_ns : float;
+  resend_mean_ns : float;
+}
+
+let config ?(request_timeout_ns = 2_000_000) ?(max_tries = 3)
+    ?(retry_backoff_ns = 100_000.0) ?(resend_mean_ns = 50_000.0) () =
+  if request_timeout_ns <= 0 then
+    invalid_arg "Client.config: request_timeout_ns must be positive";
+  if max_tries < 1 then invalid_arg "Client.config: max_tries must be >= 1";
+  { request_timeout_ns; max_tries; retry_backoff_ns; resend_mean_ns }
+
+type outcome = Reply of Wire.resp_body | No_reply
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;  (* network decision stream, never the workload's *)
+  link : Faulty_link.t;
+  server : Server.t;
+  session : int;
+  cfg : config;
+  mutable next_seq : int;
+  mutable n_resends : int;
+  mutable n_give_ups : int;
+}
+
+let create sim ~rng ~link ~server ~session cfg =
+  {
+    sim;
+    rng;
+    link;
+    server;
+    session;
+    cfg;
+    next_seq = 0;
+    n_resends = 0;
+    n_give_ups = 0;
+  }
+
+(* Per-call settlement state.  [attempt] identifies the live attempt so a
+   stale failure signal (a reset racing the timeout of the same attempt,
+   or arriving after a newer attempt already started) cannot double-fire
+   the retry path. *)
+type pending = { mutable settled : bool; mutable attempt : int }
+
+let jittered rng mean = 1 + int_of_float (Rng.exponential rng mean)
+
+let call t ~txn ~op ~body ~first_send_delay_ns ~resp_base_delay_ns ~k =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let req = { Wire.session = t.session; seq; txn; op; body } in
+  let p = { settled = false; attempt = 1 } in
+  let settle outcome =
+    if not p.settled then begin
+      p.settled <- true;
+      k outcome
+    end
+  in
+  let rec send ~delay ~attempt =
+    (* request direction *)
+    (match Faulty_link.route t.link ~session:t.session with
+    | Faulty_link.Deliver extras ->
+      List.iter
+        (fun extra ->
+          Sim.schedule_after t.sim ~delay:(delay + extra) (fun () ->
+              Server.submit t.server req ~reply:(fun resp ->
+                  (* response direction; the return-hop base latency is
+                     drawn by the caller at the instant the reply leaves *)
+                  let base = resp_base_delay_ns resp.Wire.body in
+                  match Faulty_link.route t.link ~session:t.session with
+                  | Faulty_link.Deliver extras ->
+                    List.iter
+                      (fun extra ->
+                        Sim.schedule_after t.sim ~delay:(base + extra)
+                          (fun () -> settle (Reply resp.Wire.body)))
+                      extras
+                  | Faulty_link.Drop -> ()
+                  | Faulty_link.Reset ->
+                    (* the ack is lost but the reset is visible: fail the
+                       attempt as soon as the reset propagates *)
+                    Sim.schedule_after t.sim ~delay:base (fun () ->
+                        fail_attempt ~attempt))))
+        extras
+    | Faulty_link.Drop -> ()
+    | Faulty_link.Reset ->
+      Sim.schedule_after t.sim ~delay (fun () -> fail_attempt ~attempt));
+    (* Per-attempt timeout, armed regardless of the request's fate.  A
+       disabled link is a perfect wire: no timeout is armed, so a request
+       parked in a server-side lock queue past the deadline never spawns
+       a spurious retry and the zero-fault run stays byte-identical to
+       the in-process path. *)
+    if not (Faulty_link.is_disabled (Faulty_link.cfg t.link)) then
+      Sim.schedule_after t.sim
+        ~delay:(delay + t.cfg.request_timeout_ns)
+        (fun () -> fail_attempt ~attempt)
+  and fail_attempt ~attempt =
+    if (not p.settled) && attempt = p.attempt then begin
+      if attempt >= t.cfg.max_tries then begin
+        t.n_give_ups <- t.n_give_ups + 1;
+        settle No_reply
+      end
+      else begin
+        p.attempt <- attempt + 1;
+        t.n_resends <- t.n_resends + 1;
+        let mean =
+          t.cfg.retry_backoff_ns *. float_of_int (1 lsl min (attempt - 1) 5)
+        in
+        Sim.schedule_after t.sim ~delay:(jittered t.rng mean) (fun () ->
+            if not p.settled then
+              send
+                ~delay:(jittered t.rng t.cfg.resend_mean_ns)
+                ~attempt:(attempt + 1))
+      end
+    end
+  in
+  send ~delay:first_send_delay_ns ~attempt:1
+
+let resends t = t.n_resends
+let give_ups t = t.n_give_ups

@@ -1,0 +1,80 @@
+(** The client side of the wire: timeouts, bounded retries, exactly-once
+    settlement.
+
+    [call] sends one request through the {!Faulty_link} and settles its
+    continuation {e exactly once}, whatever the link does:
+
+    - a response delivered (possibly a duplicate — stragglers for an
+      already-settled call are dropped by sequence number) settles with
+      [Reply];
+    - a connection reset observed on either direction fails the current
+      attempt immediately;
+    - otherwise a per-attempt timeout fails it after
+      [request_timeout_ns];
+    - a failed attempt is resent with bounded exponential backoff (mean
+      doubles per attempt, capped at 32x) up to [max_tries] total
+      attempts, after which the call settles with [No_reply].
+
+    [No_reply] is genuinely ambiguous: any attempt may have reached the
+    server and executed — for a COMMIT this is the ambiguous-commit
+    case the checker must resolve.  Retries are safe because commits
+    carry idempotency tokens and reads/writes re-execute idempotently
+    within their transaction ({!Server}).
+
+    All retry/backoff randomness comes from the client's {e network}
+    stream (never the workload's), so a fault-free call draws nothing
+    from it and the zero-fault wire stays byte-identical to the
+    in-process path. *)
+
+type config = {
+  request_timeout_ns : int;  (** per-attempt reply deadline *)
+  max_tries : int;  (** total attempts (first send included), >= 1 *)
+  retry_backoff_ns : float;  (** mean backoff before attempt 2 *)
+  resend_mean_ns : float;  (** mean client-side latency of a resend *)
+}
+
+val config :
+  ?request_timeout_ns:int ->
+  ?max_tries:int ->
+  ?retry_backoff_ns:float ->
+  ?resend_mean_ns:float ->
+  unit ->
+  config
+(** Defaults: timeout 2_000_000 ns, 3 tries, backoff mean 100_000 ns,
+    resend mean 50_000 ns. *)
+
+type outcome =
+  | Reply of Wire.resp_body
+  | No_reply  (** every attempt timed out or was reset: outcome unknown *)
+
+type t
+
+val create :
+  Minidb.Sim.t ->
+  rng:Leopard_util.Rng.t ->
+  link:Faulty_link.t ->
+  server:Server.t ->
+  session:int ->
+  config ->
+  t
+
+val call :
+  t ->
+  txn:int ->
+  op:int ->
+  body:Wire.req_body ->
+  first_send_delay_ns:int ->
+  resp_base_delay_ns:(Wire.resp_body -> int) ->
+  k:(outcome -> unit) ->
+  unit
+(** Issue one request.  [first_send_delay_ns] is the one-way latency of
+    the first send (drawn by the caller, so the zero-fault wire replays
+    the in-process delay draws exactly); [resp_base_delay_ns] is called
+    once per server reply to draw the return-hop latency.  [k] fires
+    exactly once. *)
+
+val resends : t -> int
+(** Attempts beyond the first, across all calls. *)
+
+val give_ups : t -> int
+(** Calls settled [No_reply]. *)

@@ -1,0 +1,110 @@
+module Rng = Leopard_util.Rng
+
+type config = {
+  seed : int;
+  delay_prob : float;
+  max_delay_ns : int;
+  drop_prob : float;
+  dup_prob : float;
+  reorder_prob : float;
+  reorder_window_ns : int;
+  reset_prob : float;
+}
+
+let disabled =
+  {
+    seed = 1;
+    delay_prob = 0.0;
+    max_delay_ns = 400_000;
+    drop_prob = 0.0;
+    dup_prob = 0.0;
+    reorder_prob = 0.0;
+    reorder_window_ns = 200_000;
+    reset_prob = 0.0;
+  }
+
+let config ?(seed = 1) ?(delay_prob = 0.0) ?(max_delay_ns = 400_000)
+    ?(drop_prob = 0.0) ?(dup_prob = 0.0) ?(reorder_prob = 0.0)
+    ?(reorder_window_ns = 200_000) ?(reset_prob = 0.0) () =
+  {
+    seed;
+    delay_prob;
+    max_delay_ns;
+    drop_prob;
+    dup_prob;
+    reorder_prob;
+    reorder_window_ns;
+    reset_prob;
+  }
+
+let is_disabled c =
+  c.delay_prob <= 0.0 && c.drop_prob <= 0.0 && c.dup_prob <= 0.0
+  && c.reorder_prob <= 0.0 && c.reset_prob <= 0.0
+
+type fate = Deliver of int list | Drop | Reset
+
+type t = {
+  cfg : config;
+  per_session : Rng.t array;
+  mutable n_resets : int;
+  mutable n_dropped : int;
+  mutable n_duplicated : int;
+  mutable n_delayed : int;
+  mutable n_reordered : int;
+}
+
+let create ~sessions cfg =
+  let root = Rng.create cfg.seed in
+  {
+    cfg;
+    per_session = Array.init sessions (fun _ -> Rng.split root);
+    n_resets = 0;
+    n_dropped = 0;
+    n_duplicated = 0;
+    n_delayed = 0;
+    n_reordered = 0;
+  }
+
+let cfg t = t.cfg
+
+(* One copy's extra latency: a long delay, a reordering-window slot, or
+   nothing.  Reordering is just a bounded random delay — a later message
+   drawn a smaller slot (or none) overtakes this one. *)
+let extra_of_copy t rng =
+  if Rng.chance rng t.cfg.delay_prob then begin
+    t.n_delayed <- t.n_delayed + 1;
+    1 + Rng.int rng (max 1 t.cfg.max_delay_ns)
+  end
+  else if Rng.chance rng t.cfg.reorder_prob then begin
+    t.n_reordered <- t.n_reordered + 1;
+    1 + Rng.int rng (max 1 t.cfg.reorder_window_ns)
+  end
+  else 0
+
+let route t ~session =
+  if is_disabled t.cfg then Deliver [ 0 ]
+  else begin
+    let rng = t.per_session.(session) in
+    if Rng.chance rng t.cfg.reset_prob then begin
+      t.n_resets <- t.n_resets + 1;
+      Reset
+    end
+    else if Rng.chance rng t.cfg.drop_prob then begin
+      t.n_dropped <- t.n_dropped + 1;
+      Drop
+    end
+    else begin
+      let first = extra_of_copy t rng in
+      if Rng.chance rng t.cfg.dup_prob then begin
+        t.n_duplicated <- t.n_duplicated + 1;
+        Deliver [ first; extra_of_copy t rng ]
+      end
+      else Deliver [ first ]
+    end
+  end
+
+let resets t = t.n_resets
+let dropped t = t.n_dropped
+let duplicated t = t.n_duplicated
+let delayed t = t.n_delayed
+let reordered t = t.n_reordered

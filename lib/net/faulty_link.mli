@@ -1,0 +1,86 @@
+(** A deterministic, seeded fault channel for wire messages.
+
+    The fourth fault plane of the repo: {!Minidb.Fault} corrupts the
+    engine's concurrency control, {!Minidb.Wal} faults corrupt what
+    survives a server crash, [Harness.Chaos] corrupts trace delivery to
+    the verifier — and this module corrupts the {e request/response
+    wire} between a client session and the server.  Network faults never
+    change what the database did and never lose a logged trace; they
+    change which requests arrive, how often, and whether the client
+    learns the outcome.
+
+    The interesting composite is the {b ambiguous commit}: a COMMIT
+    request delivered to the server whose acknowledgement is then lost
+    (dropped or reset).  The transaction {e did} commit, but the client
+    cannot know — the run records it as an indeterminate outcome and the
+    checker is left to resolve it from later reads.
+
+    Every decision is drawn from per-session SplitMix64 streams split
+    off one seed (independent of the workload's and every other fault
+    plane's stream): the same seed replays the same faults, and an
+    all-zero configuration draws nothing observable — routing through a
+    disabled link is byte-identical to the in-process path. *)
+
+type config = {
+  seed : int;
+  delay_prob : float;  (** per-message probability of extra latency *)
+  max_delay_ns : int;  (** bound on the injected extra latency *)
+  drop_prob : float;  (** per-message probability of silent loss *)
+  dup_prob : float;  (** per-message probability of double delivery *)
+  reorder_prob : float;
+      (** per-message probability of delivery at a random point inside
+          the reordering window — later messages can overtake it *)
+  reorder_window_ns : int;  (** size of the reordering window *)
+  reset_prob : float;
+      (** per-message probability of a connection reset: the message is
+          lost {e and} the sender finds out (unlike a silent drop) *)
+}
+
+val disabled : config
+(** All probabilities zero: routing through this config is a no-op. *)
+
+val config :
+  ?seed:int ->
+  ?delay_prob:float ->
+  ?max_delay_ns:int ->
+  ?drop_prob:float ->
+  ?dup_prob:float ->
+  ?reorder_prob:float ->
+  ?reorder_window_ns:int ->
+  ?reset_prob:float ->
+  unit ->
+  config
+(** Defaults: seed 1, probabilities zero, [max_delay_ns] 400_000,
+    [reorder_window_ns] 200_000. *)
+
+val is_disabled : config -> bool
+
+type fate =
+  | Deliver of int list
+      (** one extra-delay (ns) per delivered copy; [[0]] is the clean
+          single delivery, two entries mean the message was duplicated *)
+  | Drop  (** silently lost; the sender only learns via timeout *)
+  | Reset
+      (** lost with a connection reset the sender observes after a
+          one-way delay *)
+
+type t
+(** Mutable per-run link state: one decision stream per session plus
+    injection counters. *)
+
+val create : sessions:int -> config -> t
+val cfg : t -> config
+
+val route : t -> session:int -> fate
+(** Draw the fate of one message (either direction) on [session]'s
+    connection.  Zero-probability configs always return [Deliver [0]]
+    (and still consume no observable randomness from anyone else's
+    stream). *)
+
+(** {2 Injection counters (read after the run)} *)
+
+val resets : t -> int
+val dropped : t -> int
+val duplicated : t -> int
+val delayed : t -> int
+val reordered : t -> int

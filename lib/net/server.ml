@@ -1,0 +1,95 @@
+module Engine = Minidb.Engine
+
+type session = {
+  queue : (Wire.request * (Wire.response -> unit)) Queue.t;
+  mutable busy : bool;  (* a request is executing right now *)
+}
+
+type t = {
+  engine : Engine.t;
+  queue_capacity : int;
+  sessions : (int, session) Hashtbl.t;
+  txns : (int, Engine.txn) Hashtbl.t;
+  mutable n_rejected : int;
+}
+
+let create ~engine ~queue_capacity =
+  if queue_capacity < 1 then
+    invalid_arg "Server.create: queue_capacity must be >= 1";
+  {
+    engine;
+    queue_capacity;
+    sessions = Hashtbl.create 64;
+    txns = Hashtbl.create 4096;
+    n_rejected = 0;
+  }
+
+let register_txn t txn = Hashtbl.replace t.txns (Engine.txn_id txn) txn
+
+let session_of t id =
+  match Hashtbl.find_opt t.sessions id with
+  | Some s -> s
+  | None ->
+    let s = { queue = Queue.create (); busy = false } in
+    Hashtbl.replace t.sessions id s;
+    s
+
+let result_to_resp = function
+  | Engine.Ok_read items -> Wire.Ok_read items
+  | Engine.Ok_write -> Wire.Ok_write
+  | Engine.Ok_commit -> Wire.Ok_commit
+  | Engine.Err reason -> Wire.Refused reason
+
+let dispatch t (req : Wire.request) ~k =
+  match req.Wire.body with
+  | Wire.Begin ->
+    let txn = Engine.begin_txn t.engine ~client:req.Wire.session in
+    register_txn t txn;
+    k (Wire.Began (Engine.txn_id txn))
+  | body -> (
+    match Hashtbl.find_opt t.txns req.Wire.txn with
+    | None ->
+      (* unknown transaction (e.g. a straggler for a pruned id): a
+         definite refusal, never a hang *)
+      k (Wire.Refused Engine.User_abort)
+    | Some txn ->
+      let request =
+        match body with
+        | Wire.Read { cells; locking; predicate } ->
+          Engine.Read { cells; locking; predicate }
+        | Wire.Write items -> Engine.Write items
+        | Wire.Commit _ -> Engine.Commit
+        | Wire.Abort -> Engine.Abort
+        | Wire.Begin -> assert false
+      in
+      Engine.exec t.engine txn ~op_id:req.Wire.op request ~k:(fun r ->
+          k (result_to_resp r)))
+
+let rec pump t s =
+  match Queue.take_opt s.queue with
+  | None -> s.busy <- false
+  | Some (req, reply) ->
+    dispatch t req ~k:(fun body ->
+        reply { Wire.session = req.Wire.session; seq = req.Wire.seq; body };
+        pump t s)
+
+let submit t (req : Wire.request) ~reply =
+  let s = session_of t req.Wire.session in
+  if s.busy && Queue.length s.queue >= t.queue_capacity then begin
+    t.n_rejected <- t.n_rejected + 1;
+    reply
+      {
+        Wire.session = req.Wire.session;
+        seq = req.Wire.seq;
+        body = Wire.Rejected;
+      }
+  end
+  else begin
+    Queue.push (req, reply) s.queue;
+    if not s.busy then begin
+      s.busy <- true;
+      pump t s
+    end
+  end
+
+let rejected t = t.n_rejected

@@ -1,0 +1,40 @@
+(** The server side of the wire: per-session queues over the engine.
+
+    Requests of one session are executed strictly in arrival order, one
+    at a time — the next request is dispatched only after the engine's
+    continuation for the previous one fired (which may be much later,
+    when the request sat in a lock queue).  Sessions are independent.
+
+    Backpressure is explicit: each session queue holds at most
+    [queue_capacity] waiting requests.  A request arriving beyond that
+    is {e load-shed} with an immediate {!Wire.Rejected} response — a
+    definite "never executed", never a silent hang.  This is what keeps
+    a flooding retry storm from wedging the run.
+
+    Duplicate deliveries are harmless by construction: a duplicated
+    read/write re-executes idempotently inside the same transaction
+    (same op, same items, locks already held); a duplicated COMMIT hits
+    the engine's idempotent commit-token path and is acknowledged
+    without re-applying ({!Minidb.Engine.exec}); any straggler arriving
+    after the transaction died gets a definite [Refused]. *)
+
+type t
+
+val create : engine:Minidb.Engine.t -> queue_capacity:int -> t
+(** [queue_capacity] must be >= 1 (raises [Invalid_argument]
+    otherwise): capacity bounds the {e waiting} requests per session,
+    excluding the one executing. *)
+
+val register_txn : t -> Minidb.Engine.txn -> unit
+(** Make a transaction started outside the wire (the harness begins
+    transactions client-side, costing no simulated time) addressable by
+    requests carrying its id.  Idempotent. *)
+
+val submit : t -> Wire.request -> reply:(Wire.response -> unit) -> unit
+(** Hand one delivered request to the session's queue.  [reply] fires
+    exactly once per submitted request — immediately with [Rejected]
+    when shed, otherwise when the engine answered.  [reply] receives
+    the request's own [seq] so the caller can match it to the call. *)
+
+val rejected : t -> int
+(** Requests load-shed across all sessions. *)

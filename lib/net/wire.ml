@@ -1,0 +1,34 @@
+module Cell = Leopard_trace.Cell
+module Trace = Leopard_trace.Trace
+
+type req_body =
+  | Begin
+  | Read of { cells : Cell.t list; locking : bool; predicate : bool }
+  | Write of (Cell.t * Trace.value) list
+  | Commit of { token : int }
+  | Abort
+
+type request = {
+  session : int;
+  seq : int;
+  txn : int;
+  op : int;
+  body : req_body;
+}
+
+type resp_body =
+  | Began of int
+  | Ok_read of Trace.item list
+  | Ok_write
+  | Ok_commit
+  | Refused of Minidb.Engine.abort_reason
+  | Rejected
+
+type response = { session : int; seq : int; body : resp_body }
+
+let body_kind = function
+  | Begin -> "begin"
+  | Read _ -> "read"
+  | Write _ -> "write"
+  | Commit _ -> "commit"
+  | Abort -> "abort"

@@ -1,0 +1,50 @@
+(** The wire protocol between client sessions and the server.
+
+    Every message is tagged with the issuing session and a per-session,
+    strictly monotone sequence number.  The sequence number is what makes
+    retries safe: a response is matched to the {e call} it answers, so a
+    duplicated or straggling response for an already-settled call is
+    recognised and dropped instead of being misattributed to a later
+    request.
+
+    [Commit] additionally carries an idempotency token (the transaction
+    id): the server applies a commit with a given token {e exactly once},
+    so a retried or link-duplicated COMMIT that reaches the server after
+    the original took effect is acknowledged again rather than
+    re-executed or refused — see {!Minidb.Engine.exec}. *)
+
+module Cell = Leopard_trace.Cell
+module Trace = Leopard_trace.Trace
+
+type req_body =
+  | Begin
+  | Read of { cells : Cell.t list; locking : bool; predicate : bool }
+  | Write of (Cell.t * Trace.value) list
+  | Commit of { token : int }
+      (** [token] identifies the commit intent; applying the same token
+          twice is a no-op acknowledged positively *)
+  | Abort
+
+type request = {
+  session : int;  (** issuing client session *)
+  seq : int;  (** per-session sequence number, monotone *)
+  txn : int;  (** transaction the operation belongs to *)
+  op : int;  (** harness-level operation id (ground-truth bookkeeping) *)
+  body : req_body;
+}
+
+type resp_body =
+  | Began of int  (** transaction id allocated by the server *)
+  | Ok_read of Trace.item list
+  | Ok_write
+  | Ok_commit
+  | Refused of Minidb.Engine.abort_reason
+      (** definite engine-side refusal: the transaction is dead *)
+  | Rejected
+      (** load shed: the session queue was full and the request was
+          {e never executed} — a definite negative, unlike a timeout *)
+
+type response = { session : int; seq : int; body : resp_body }
+
+val body_kind : req_body -> string
+(** Short tag for logs/debugging ("begin", "read", ...). *)

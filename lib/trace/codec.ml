@@ -52,7 +52,12 @@ type epoch_mark = { at : int; epoch : int; replayed : int; damaged : int }
 let epoch_to_line m =
   Printf.sprintf "E %d %d %d %d" m.at m.epoch m.replayed m.damaged
 
-type entry = Trace of Trace.t | Epoch of epoch_mark
+type ambiguous_mark = { at : int; txn : int; client : int }
+
+let ambiguous_to_line (m : ambiguous_mark) =
+  Printf.sprintf "U %d %d %d" m.at m.txn m.client
+
+type entry = Trace of Trace.t | Epoch of epoch_mark | Ambiguous of ambiguous_mark
 
 let entry_of_line line =
   let line = String.trim line in
@@ -112,98 +117,139 @@ let entry_of_line line =
           Error (Printf.sprintf "malformed epoch marker %S" line)
         else Ok (Some (Epoch m))
       with Failure _ -> Error "bad integer field")
+    | [ "U"; at; txn; client ] -> (
+      try
+        let m =
+          {
+            at = int_of_string at;
+            txn = int_of_string txn;
+            client = int_of_string client;
+          }
+        in
+        if m.at < 0 || m.txn < 0 || m.client < 0 then
+          Error (Printf.sprintf "malformed ambiguous-commit marker %S" line)
+        else Ok (Some (Ambiguous m))
+      with Failure _ -> Error "bad integer field")
     | _ -> Error (Printf.sprintf "unrecognised line %S" line)
   end
 
 let of_line line =
   match entry_of_line line with
   | Ok (Some (Trace t)) -> Ok (Some t)
-  | Ok (Some (Epoch _)) | Ok None -> Ok None
+  | Ok (Some (Epoch _)) | Ok (Some (Ambiguous _)) | Ok None -> Ok None
   | Error e -> Error e
 
-(* Epoch markers are interleaved at their crash instant, so the file
-   reads chronologically: every trace after an [E] line belongs to the
-   post-restart epoch (by the engine's monotone clock, all its
-   timestamps exceed [at]). *)
-let write_channel_ext oc ~epochs traces =
+(* Epoch and ambiguous-commit markers are interleaved at their instants,
+   so the file reads chronologically: every trace after an [E] line
+   belongs to the post-restart epoch (by the engine's monotone clock,
+   all its timestamps exceed [at]), and a [U] line sits where the client
+   gave up on the commit. *)
+let write_channel_ext oc ?(ambiguous = []) ~epochs traces =
   output_string oc header;
   output_char oc '\n';
   let emit line =
     output_string oc line;
     output_char oc '\n'
   in
-  let epochs = List.sort (fun a b -> compare a.at b.at) epochs in
-  let rec go epochs traces =
-    match (epochs, traces) with
-    | e :: es, t :: _ when e.at <= t.Trace.ts_bef ->
-      emit (epoch_to_line e);
-      go es traces
-    | es, t :: ts ->
+  let marks =
+    List.stable_sort
+      (fun (a, _) (b, _) -> compare a b)
+      (List.map (fun (e : epoch_mark) -> (e.at, epoch_to_line e)) epochs
+      @ List.map
+          (fun (m : ambiguous_mark) -> (m.at, ambiguous_to_line m))
+          ambiguous)
+  in
+  let rec go marks traces =
+    match (marks, traces) with
+    | (at, line) :: ms, t :: _ when at <= t.Trace.ts_bef ->
+      emit line;
+      go ms traces
+    | ms, t :: ts ->
       emit (to_line t);
-      go es ts
-    | e :: es, [] ->
-      emit (epoch_to_line e);
-      go es []
+      go ms ts
+    | (_, line) :: ms, [] ->
+      emit line;
+      go ms []
     | [], [] -> ()
   in
-  go epochs traces
+  go marks traces
 
 let write_channel oc traces = write_channel_ext oc ~epochs:[] traces
 
-let read_channel_ext ic =
-  let rec go acc epochs lineno =
+let read_channel_full ic =
+  let rec go acc epochs amb lineno =
     match input_line ic with
-    | exception End_of_file -> Ok (List.rev acc, List.rev epochs)
+    | exception End_of_file -> Ok (List.rev acc, List.rev epochs, List.rev amb)
     | line -> (
       match entry_of_line line with
-      | Ok (Some (Trace trace)) -> go (trace :: acc) epochs (lineno + 1)
-      | Ok (Some (Epoch m)) -> go acc (m :: epochs) (lineno + 1)
-      | Ok None -> go acc epochs (lineno + 1)
+      | Ok (Some (Trace trace)) -> go (trace :: acc) epochs amb (lineno + 1)
+      | Ok (Some (Epoch m)) -> go acc (m :: epochs) amb (lineno + 1)
+      | Ok (Some (Ambiguous m)) -> go acc epochs (m :: amb) (lineno + 1)
+      | Ok None -> go acc epochs amb (lineno + 1)
       | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
   in
-  go [] [] 1
+  go [] [] [] 1
+
+let read_channel_ext ic =
+  Result.map (fun (traces, epochs, _amb) -> (traces, epochs))
+    (read_channel_full ic)
 
 let read_channel ic = Result.map fst (read_channel_ext ic)
 
-let save_ext ~path ~epochs traces =
+let save_ext ~path ?(ambiguous = []) ~epochs traces =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> write_channel_ext oc ~epochs traces)
+    (fun () -> write_channel_ext oc ~ambiguous ~epochs traces)
 
 let save ~path traces = save_ext ~path ~epochs:[] traces
 
-let load_ext ~path =
+let load_full ~path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> read_channel_ext ic)
+    (fun () -> read_channel_full ic)
+
+let load_ext ~path =
+  Result.map (fun (traces, epochs, _amb) -> (traces, epochs))
+    (load_full ~path)
 
 let load ~path = Result.map fst (load_ext ~path)
 
-let read_channel_lenient_ext ic =
-  let rec go acc epochs skipped lineno =
+let read_channel_lenient_full ic =
+  let rec go acc epochs amb skipped lineno =
     match input_line ic with
-    | exception End_of_file -> (List.rev acc, List.rev epochs, List.rev skipped)
+    | exception End_of_file ->
+      (List.rev acc, List.rev epochs, List.rev amb, List.rev skipped)
     | line -> (
       match entry_of_line line with
       | Ok (Some (Trace trace)) ->
-        go (trace :: acc) epochs skipped (lineno + 1)
-      | Ok (Some (Epoch m)) -> go acc (m :: epochs) skipped (lineno + 1)
-      | Ok None -> go acc epochs skipped (lineno + 1)
-      | Error e -> go acc epochs ((lineno, e) :: skipped) (lineno + 1))
+        go (trace :: acc) epochs amb skipped (lineno + 1)
+      | Ok (Some (Epoch m)) -> go acc (m :: epochs) amb skipped (lineno + 1)
+      | Ok (Some (Ambiguous m)) ->
+        go acc epochs (m :: amb) skipped (lineno + 1)
+      | Ok None -> go acc epochs amb skipped (lineno + 1)
+      | Error e -> go acc epochs amb ((lineno, e) :: skipped) (lineno + 1))
   in
-  go [] [] [] 1
+  go [] [] [] [] 1
+
+let read_channel_lenient_ext ic =
+  let traces, epochs, _amb, skipped = read_channel_lenient_full ic in
+  (traces, epochs, skipped)
 
 let read_channel_lenient ic =
   let traces, _epochs, skipped = read_channel_lenient_ext ic in
   (traces, skipped)
 
-let load_lenient_ext ~path =
+let load_lenient_full ~path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> read_channel_lenient_ext ic)
+    (fun () -> read_channel_lenient_full ic)
+
+let load_lenient_ext ~path =
+  let traces, epochs, _amb, skipped = load_lenient_full ~path in
+  (traces, epochs, skipped)
 
 let load_lenient ~path =
   let traces, _epochs, skipped = load_lenient_ext ~path in

@@ -25,9 +25,24 @@
 
     records a crash at instant [at] after which the server recovered
     into [epoch] (1-based), replaying [replayed] WAL records of which
-    [damaged] were torn, lost, reordered or duplicated.  Markers sort
-    chronologically with the traces; readers unaware of them (the plain
-    [load]/[load_lenient]) skip them without error. *)
+    [damaged] were torn, lost, reordered or duplicated.
+
+    An {e ambiguous-commit marker} line
+
+    {v
+    U <at> <txn> <client>
+    v}
+
+    records that [client] gave up at instant [at] on transaction
+    [txn]'s COMMIT without learning the outcome (the request or its
+    acknowledgement was lost on the wire): the transaction has no
+    terminal trace and its commit status is unknowable from the stream
+    alone.  Checkers feed these to [Checker.mark_ambiguous_commit]
+    before the traces.
+
+    Both marker kinds sort chronologically with the traces; readers
+    unaware of them (the plain [load]/[load_lenient], and the [_ext]
+    readers for [U] lines) skip them without error. *)
 
 val header : string
 (** The recommended first line, ["# leopard-trace v1"]. *)
@@ -42,11 +57,20 @@ type epoch_mark = {
 val epoch_to_line : epoch_mark -> string
 (** Encode one epoch marker (no trailing newline). *)
 
-type entry = Trace of Trace.t | Epoch of epoch_mark
+type ambiguous_mark = {
+  at : int;  (** simulated instant the client gave up *)
+  txn : int;  (** transaction whose commit outcome is unknown *)
+  client : int;  (** session that issued the commit *)
+}
+
+val ambiguous_to_line : ambiguous_mark -> string
+(** Encode one ambiguous-commit marker (no trailing newline). *)
+
+type entry = Trace of Trace.t | Epoch of epoch_mark | Ambiguous of ambiguous_mark
 
 val entry_of_line : string -> (entry option, string) result
 (** Decode one line; [Ok None] for comments and blank lines.  Malformed
-    epoch markers are errors, like malformed traces. *)
+    markers are errors, like malformed traces. *)
 
 val to_line : Trace.t -> string
 (** Encode one trace (no trailing newline). *)
@@ -67,21 +91,49 @@ val load : path:string -> (Trace.t list, string) result
 (** {2 Multi-epoch (crash–recovery) variants} *)
 
 val write_channel_ext :
-  out_channel -> epochs:epoch_mark list -> Trace.t list -> unit
-(** Header, traces, and epoch markers merged at their crash instants
-    ([traces] must be sorted by [ts_bef], as {!write_channel} assumes). *)
+  out_channel ->
+  ?ambiguous:ambiguous_mark list ->
+  epochs:epoch_mark list ->
+  Trace.t list ->
+  unit
+(** Header, traces, and markers merged at their instants ([traces] must
+    be sorted by [ts_bef], as {!write_channel} assumes). *)
 
 val read_channel_ext :
   in_channel -> (Trace.t list * epoch_mark list, string) result
+(** Ambiguous-commit markers are skipped (back-compat reader); use
+    {!read_channel_full} to observe them. *)
 
-val save_ext : path:string -> epochs:epoch_mark list -> Trace.t list -> unit
+val read_channel_full :
+  in_channel ->
+  (Trace.t list * epoch_mark list * ambiguous_mark list, string) result
+
+val save_ext :
+  path:string ->
+  ?ambiguous:ambiguous_mark list ->
+  epochs:epoch_mark list ->
+  Trace.t list ->
+  unit
+
 val load_ext : path:string -> (Trace.t list * epoch_mark list, string) result
+
+val load_full :
+  path:string ->
+  (Trace.t list * epoch_mark list * ambiguous_mark list, string) result
 
 val read_channel_lenient_ext :
   in_channel -> Trace.t list * epoch_mark list * (int * string) list
 
+val read_channel_lenient_full :
+  in_channel ->
+  Trace.t list * epoch_mark list * ambiguous_mark list * (int * string) list
+
 val load_lenient_ext :
   path:string -> Trace.t list * epoch_mark list * (int * string) list
+
+val load_lenient_full :
+  path:string ->
+  Trace.t list * epoch_mark list * ambiguous_mark list * (int * string) list
 
 val read_channel_lenient : in_channel -> Trace.t list * (int * string) list
 (** Like {!read_channel}, but a malformed line is skipped and reported

@@ -219,6 +219,63 @@ let test_malformed_epoch_lines_rejected () =
     "strict of_line also rejects" true
     (Result.is_error (Codec.of_line "E 1 2"))
 
+(* Ambiguous-commit markers: wire-mode COMMITs whose outcome the client
+   never learned.  They ride in the same file, sorted chronologically,
+   and readers unaware of them skip them without error. *)
+
+let amb_marks =
+  [
+    { Codec.at = 25; txn = 4; client = 1 };
+    { Codec.at = 75; txn = 9; client = 0 };
+  ]
+
+let test_ambiguous_line_roundtrip () =
+  List.iter
+    (fun m ->
+      let line = Codec.ambiguous_to_line m in
+      (match Codec.entry_of_line line with
+      | Ok (Some (Codec.Ambiguous m')) ->
+        Alcotest.(check bool) "ambiguous mark roundtrips" true (m = m')
+      | _ -> Alcotest.failf "bad ambiguous decode: %s" line);
+      Alcotest.(check bool)
+        "of_line skips U markers" true
+        (Codec.of_line line = Ok None))
+    amb_marks
+
+let test_malformed_ambiguous_lines_rejected () =
+  let bad l = Result.is_error (Codec.entry_of_line l) in
+  Alcotest.(check bool) "missing fields" true (bad "U 1 2");
+  Alcotest.(check bool) "trailing junk" true (bad "U 1 2 3 4");
+  Alcotest.(check bool) "bad int" true (bad "U one 2 3");
+  Alcotest.(check bool) "negative txn" true (bad "U 10 -1 0")
+
+let test_full_file_roundtrip () =
+  let path = Filename.temp_file "leopard" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Codec.save_ext ~path ~ambiguous:amb_marks ~epochs:marks samples;
+      (match Codec.load_full ~path with
+      | Ok (traces, epochs, ambiguous) ->
+        Alcotest.(check int) "traces survive" (List.length samples)
+          (List.length traces);
+        Alcotest.(check bool) "epochs survive" true (epochs = marks);
+        Alcotest.(check bool) "ambiguous marks survive in order" true
+          (ambiguous = amb_marks)
+      | Error e -> Alcotest.failf "load_full failed: %s" e);
+      (* the _ext reader predates U markers: it must skip them *)
+      (match Codec.load_ext ~path with
+      | Ok (traces, epochs) ->
+        Alcotest.(check int) "ext reader skips U lines"
+          (List.length samples) (List.length traces);
+        Alcotest.(check bool) "ext reader keeps epochs" true (epochs = marks)
+      | Error e -> Alcotest.failf "load_ext failed: %s" e);
+      let _, epochs, ambiguous, skipped = Codec.load_lenient_full ~path in
+      Alcotest.(check bool) "lenient full sees epochs" true (epochs = marks);
+      Alcotest.(check bool) "lenient full sees ambiguous" true
+        (ambiguous = amb_marks);
+      Alcotest.(check int) "nothing skipped" 0 (List.length skipped))
+
 let test_ext_file_roundtrip () =
   let path = Filename.temp_file "leopard" ".trace" in
   Fun.protect
@@ -252,6 +309,12 @@ let suite =
       test_malformed_epoch_lines_rejected;
     Alcotest.test_case "multi-epoch file roundtrip" `Quick
       test_ext_file_roundtrip;
+    Alcotest.test_case "ambiguous marker roundtrip" `Quick
+      test_ambiguous_line_roundtrip;
+    Alcotest.test_case "malformed ambiguous markers rejected" `Quick
+      test_malformed_ambiguous_lines_rejected;
+    Alcotest.test_case "full file roundtrip (U markers)" `Quick
+      test_full_file_roundtrip;
     Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
     Alcotest.test_case "bad lines rejected" `Quick test_bad_lines;
     Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
