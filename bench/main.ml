@@ -15,7 +15,7 @@ module H = Leopard_harness
 module B = Leopard_baselines
 module Table = Leopard_util.Table
 
-let wall () = Sys.time ()
+let wall () = Leopard_util.Clock.wall ()
 
 let section title = Printf.printf "\n=== %s ===\n\n%!" title
 

@@ -96,7 +96,7 @@ let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
   let checker = Leopard.Checker.create il in
   let sorted = List.sort Leopard_trace.Trace.compare_by_bef traces in
   if infer then print_inference ~dbms sorted;
-  let wall0 = Sys.time () in
+  let wall0 = Leopard_util.Clock.wall () in
   (* losses must be known before reads are checked, so a value whose
      write may have been on a skipped line is not misreported as a bug *)
   Leopard.Checker.note_lost_traces checker (List.length skipped);
@@ -115,7 +115,7 @@ let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
     ambiguous;
   List.iter (Leopard.Checker.feed checker) sorted;
   Leopard.Checker.finalize checker;
-  let wall = Sys.time () -. wall0 in
+  let wall = Leopard_util.Clock.wall () -. wall0 in
   let report = Leopard.Checker.report checker in
   Printf.printf "checked  : %s — %d traces, %d committed txns, %.1f ms wall\n"
     path report.traces report.committed (wall *. 1e3);
@@ -270,7 +270,7 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
       let outcome = Leopard_harness.Run.execute config in
       let checker = Leopard.Checker.create il in
       let pipeline = Leopard.Pipeline.of_lists outcome.client_traces in
-      let wall0 = Sys.time () in
+      let wall0 = Leopard_util.Clock.wall () in
       List.iter
         (fun (e : Leopard_harness.Run.epoch_mark) ->
           Leopard.Checker.note_restart checker ~at:e.at ~replayed:e.replayed
@@ -287,7 +287,7 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
       ignore
         (Leopard.Pipeline.drain pipeline ~f:(Leopard.Checker.feed checker));
       Leopard.Checker.finalize checker;
-      let wall = Sys.time () -. wall0 in
+      let wall = Leopard_util.Clock.wall () -. wall0 in
       let report = Leopard.Checker.report checker in
       header outcome;
       Printf.printf

@@ -1,0 +1,155 @@
+type file_result = {
+  path : string;
+  zone : Zone.t;
+  findings : Finding.t list;
+  suppressed : int;
+}
+
+let parse_impl ~path source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  match Parse.implementation lexbuf with
+  | str -> Ok str
+  | exception exn ->
+    let msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok (e : Location.error)) ->
+        Format.asprintf "%a" Location.print_report e
+      | _ -> Printexc.to_string exn
+    in
+    Error (String.map (fun c -> if c = '\n' then ' ' else c) msg)
+
+let lint_source ?zone ~path source =
+  let zone =
+    match zone with Some z -> z | None -> Zone.of_path path
+  in
+  match parse_impl ~path source with
+  | Error e -> Error e
+  | Ok str ->
+    let basename = Filename.basename path in
+    let raws = Rules.check ~zone ~basename str in
+    let sup = Suppress.scan source in
+    let active, suppressed =
+      List.fold_left
+        (fun (act, n) (r : Rules.raw) ->
+          if Suppress.allowed sup ~line:r.line ~slug:r.rule.Rules.slug then
+            (act, n + 1)
+          else
+            ( {
+                Finding.rule = r.rule;
+                file = path;
+                line = r.line;
+                col = r.col;
+                msg = r.msg;
+              }
+              :: act,
+              n ))
+        ([], 0) raws
+    in
+    Ok { path; zone; findings = List.rev active; suppressed }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file ?zone path =
+  match read_file path with
+  | source -> lint_source ?zone ~path source
+  | exception Sys_error e -> Error e
+
+let skip_dirs = [ "_build"; ".git"; "lint_fixtures"; "node_modules" ]
+
+let collect_ml_files roots =
+  let out = ref [] in
+  let rec walk path =
+    if Sys.is_directory path then begin
+      if not (List.mem (Filename.basename path) skip_dirs) then
+        Sys.readdir path |> Array.to_list
+        |> List.sort String.compare
+        |> List.iter (fun entry -> walk (Filename.concat path entry))
+    end
+    else if Filename.check_suffix path ".ml" then out := path :: !out
+  in
+  List.iter
+    (fun root -> if Sys.file_exists root then walk root)
+    roots;
+  List.sort String.compare !out
+
+type summary = {
+  files : int;
+  active : int;
+  suppressed_total : int;
+  results : file_result list;
+  errors : (string * string) list;
+}
+
+let lint_paths ?zone roots =
+  let files = collect_ml_files roots in
+  let results, errors =
+    List.fold_left
+      (fun (rs, es) path ->
+        match lint_file ?zone path with
+        | Ok r -> (r :: rs, es)
+        | Error e -> (rs, (path, e) :: es))
+      ([], []) files
+  in
+  let results = List.rev results and errors = List.rev errors in
+  let interesting =
+    List.filter (fun r -> r.findings <> [] || r.suppressed > 0) results
+  in
+  {
+    files = List.length files;
+    active =
+      List.fold_left (fun n r -> n + List.length r.findings) 0 results;
+    suppressed_total =
+      List.fold_left (fun n r -> n + r.suppressed) 0 results;
+    results = interesting;
+    errors;
+  }
+
+let pp_summary ppf s =
+  List.iter
+    (fun r ->
+      List.iter (fun f -> Fmt.pf ppf "%a@." Finding.pp f) r.findings)
+    s.results;
+  List.iter
+    (fun (path, e) -> Fmt.pf ppf "%s: parse error: %s@." path e)
+    s.errors;
+  Fmt.pf ppf "%d file%s checked, %d finding%s, %d suppressed%s@."
+    s.files
+    (if s.files = 1 then "" else "s")
+    s.active
+    (if s.active = 1 then "" else "s")
+    s.suppressed_total
+    (if s.errors = [] then ""
+     else Printf.sprintf ", %d parse error(s)" (List.length s.errors))
+
+let json_summary s =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"findings\":[";
+  let first = ref true in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun f ->
+          if not !first then Buffer.add_char buf ',';
+          first := false;
+          Buffer.add_string buf (Finding.to_json f))
+        r.findings)
+    s.results;
+  Buffer.add_string buf "],\"errors\":[";
+  let first = ref true in
+  List.iter
+    (fun (path, e) ->
+      if not !first then Buffer.add_char buf ',';
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf "{\"file\":\"%s\",\"msg\":\"%s\"}"
+           (Finding.json_escape path) (Finding.json_escape e)))
+    s.errors;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"files\":%d,\"active\":%d,\"suppressed\":%d}"
+       s.files s.active s.suppressed_total);
+  Buffer.contents buf

@@ -1,0 +1,41 @@
+(** Parse → check → suppress, over files and trees.
+
+    The driver owns everything above a single rule: locating [.ml]
+    files (deterministically — directory listings are sorted), parsing
+    them with compiler-libs, zone classification (overridable for
+    fixtures), suppression filtering, and report aggregation. *)
+
+type file_result = {
+  path : string;
+  zone : Zone.t;
+  findings : Finding.t list;  (** active findings, in source order *)
+  suppressed : int;  (** findings silenced by annotations *)
+}
+
+val lint_source :
+  ?zone:Zone.t -> path:string -> string -> (file_result, string) result
+(** Lint source text directly (the unit-test entry point).  [Error]
+    carries a parse diagnostic. *)
+
+val lint_file : ?zone:Zone.t -> string -> (file_result, string) result
+
+val collect_ml_files : string list -> string list
+(** Expand files/directories into a sorted list of [.ml] paths,
+    skipping [_build], [.git] and [lint_fixtures] subtrees. *)
+
+type summary = {
+  files : int;
+  active : int;
+  suppressed_total : int;
+  results : file_result list;  (** only files with findings or suppressions *)
+  errors : (string * string) list;  (** unparsable files: path, diagnostic *)
+}
+
+val lint_paths : ?zone:Zone.t -> string list -> summary
+
+val pp_summary : summary Fmt.t
+(** Human report: one line per finding plus a tail line with totals. *)
+
+val json_summary : summary -> string
+(** The whole run as one JSON document (findings array + totals),
+    the [LINT_report.json] artifact format. *)

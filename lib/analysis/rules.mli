@@ -1,0 +1,49 @@
+(** The rule catalogue and the Parsetree checks behind it.
+
+    Three groups mirror the repo's real hazard planes (docs/ANALYSIS.md
+    has the full catalogue with rationale):
+
+    - {b D — determinism}: byte-identical seeded replay forbids global
+      [Random], wall-clock reads outside the clock module, hashtable
+      iteration order escaping into traces or verdicts, and polymorphic
+      [compare]/[Hashtbl.hash];
+    - {b F — fault-plane isolation}: fault injection is a harness
+      capability; the verdict path ([lib/core], [lib/trace]) must not
+      reference fault machinery at all, and engine hot paths may
+      consult fault sets but never construct fault values; [exit] is
+      owned by [bin];
+    - {b E — verdict exhaustiveness}: matches over the verdict,
+      abort-reason and codec tag variant families must spell their arms
+      out, so adding a variant breaks the build loudly instead of
+      silently downgrading a Violation.
+
+    Checks are purely syntactic (Parsetree only, no typing), which is
+    what lets the linter run on a bare source tree in milliseconds; the
+    few places where syntax over-approximates (a local value punned
+    [compare], a membership test on a fault set) are handled by named
+    absolutions documented on each rule, or by an explicit
+    [(* lint: allow <slug> *)] suppression with a justification. *)
+
+type group = Determinism | Fault_plane | Exhaustiveness
+
+val group_to_string : group -> string
+
+type t = {
+  code : string;  (** stable id, e.g. ["D001"] *)
+  slug : string;  (** suppression key, e.g. ["random-global"] *)
+  group : group;
+  summary : string;  (** one-line description for [--list-rules] *)
+  rationale : string;  (** why violating it endangers the system *)
+}
+
+val all : t list
+(** The catalogue, in code order. *)
+
+val find_slug : string -> t option
+
+type raw = { rule : t; line : int; col : int; msg : string }
+(** A finding before suppression filtering (1-based line, 0-based col). *)
+
+val check : zone:Zone.t -> basename:string -> Parsetree.structure -> raw list
+(** Run every rule applicable to [zone]/[basename] over one parsed
+    implementation; findings come back in source order. *)

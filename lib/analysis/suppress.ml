@@ -1,0 +1,86 @@
+type t = {
+  file_allows : (string, unit) Hashtbl.t;
+  line_allows : (int * string, unit) Hashtbl.t;
+  mutable total : int;
+}
+
+let is_slug_char c =
+  (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'
+
+(* Find the next occurrence of [needle] in [hay] at or after [from]. *)
+let find_sub hay needle from =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go from
+
+let token_at line i =
+  let n = String.length line in
+  let rec skip i = if i < n && line.[i] = ' ' then skip (i + 1) else i in
+  let start = skip i in
+  let rec stop j = if j < n && is_slug_char line.[j] then stop (j + 1) else j in
+  let stop = stop start in
+  (String.sub line start (stop - start), stop)
+
+(* A line-level allow anchors where its comment *closes*, so a
+   multi-line justification still covers the code on the next line.
+   [close_line] finds the first line at or after the directive whose
+   text contains ["*)"] (searching past the directive on its own line);
+   an unterminated comment anchors at the directive line itself. *)
+let close_line lines ~lineno ~from =
+  let n = Array.length lines in
+  let rec go ln start =
+    if ln > n then lineno
+    else
+      match find_sub lines.(ln - 1) "*)" start with
+      | Some _ -> ln
+      | None -> go (ln + 1) 0
+  in
+  go lineno from
+
+let scan_line t lines ~lineno line =
+  let rec go from =
+    match find_sub line "lint:" from with
+    | None -> ()
+    | Some i ->
+      let directive, after = token_at line (i + String.length "lint:") in
+      (match directive with
+      | "allow" ->
+        let slug, stop = token_at line after in
+        if slug <> "" then begin
+          let anchor = close_line lines ~lineno ~from:stop in
+          Hashtbl.replace t.line_allows (anchor, slug) ();
+          t.total <- t.total + 1
+        end
+      | "allow-file" ->
+        let slug, _ = token_at line after in
+        if slug <> "" then begin
+          Hashtbl.replace t.file_allows slug ();
+          t.total <- t.total + 1
+        end
+      | _ -> ());
+      go (i + 5)
+  in
+  go 0
+
+let scan source =
+  let t =
+    {
+      file_allows = Hashtbl.create 4;
+      line_allows = Hashtbl.create 16;
+      total = 0;
+    }
+  in
+  let lines = Array.of_list (String.split_on_char '\n' source) in
+  Array.iteri (fun i line -> scan_line t lines ~lineno:(i + 1) line) lines;
+  t
+
+let allowed t ~line ~slug =
+  Hashtbl.mem t.file_allows slug
+  || Hashtbl.mem t.line_allows (line, slug)
+  || Hashtbl.mem t.line_allows (line - 1, slug)
+
+let count t = t.total

@@ -1,0 +1,35 @@
+(** Suppression annotations.
+
+    A finding is intentional sometimes — an order-insensitive fold, a
+    reporting-only clock read.  The escape hatch is a comment naming
+    the rule's slug plus (by convention, enforced by review) a
+    justification:
+
+    {v
+    (* lint: allow hashtbl-order — commutative count, order-free *)
+    Hashtbl.fold (fun _ n acc -> acc + n) tally 0
+    v}
+
+    A per-line annotation suppresses the named rule on the line where
+    its comment closes {e and} the following line — so it can sit
+    above the offending expression, and a multi-line justification
+    still covers the code beneath it.  A file-level annotation
+
+    {v
+    (* lint: allow-file poly-compare — keys are ints throughout *)
+    v}
+
+    suppresses the rule everywhere in the file.  Suppressed findings
+    are counted and reported separately, never silently dropped. *)
+
+type t
+
+val scan : string -> t
+(** Extract annotations from raw source text (comment syntax is not
+    parsed; any line containing [lint: allow ...] counts). *)
+
+val allowed : t -> line:int -> slug:string -> bool
+(** Is a finding of [slug] at [line] (1-based) suppressed? *)
+
+val count : t -> int
+(** Number of annotations found (file-level plus per-line). *)

@@ -1,0 +1,81 @@
+type t =
+  | Core
+  | Trace_lib
+  | Minidb
+  | Harness
+  | Net
+  | Util
+  | Workload
+  | Baselines
+  | Analysis
+  | Bin
+  | Bench
+  | Examples
+  | Test
+  | Other
+
+let all =
+  [
+    Core;
+    Trace_lib;
+    Minidb;
+    Harness;
+    Net;
+    Util;
+    Workload;
+    Baselines;
+    Analysis;
+    Bin;
+    Bench;
+    Examples;
+    Test;
+    Other;
+  ]
+
+let to_string = function
+  | Core -> "core"
+  | Trace_lib -> "trace"
+  | Minidb -> "minidb"
+  | Harness -> "harness"
+  | Net -> "net"
+  | Util -> "util"
+  | Workload -> "workload"
+  | Baselines -> "baselines"
+  | Analysis -> "analysis"
+  | Bin -> "bin"
+  | Bench -> "bench"
+  | Examples -> "examples"
+  | Test -> "test"
+  | Other -> "other"
+
+let of_string s =
+  List.find_opt (fun z -> String.equal (to_string z) s) all
+
+let lib_zone = function
+  | "core" -> Core
+  | "trace" -> Trace_lib
+  | "minidb" -> Minidb
+  | "harness" -> Harness
+  | "net" -> Net
+  | "util" -> Util
+  | "workload" -> Workload
+  | "baselines" -> Baselines
+  | "analysis" -> Analysis
+  | _ -> Other
+
+let of_path path =
+  let segs =
+    String.split_on_char '/' path
+    |> List.concat_map (String.split_on_char '\\')
+    |> List.filter (fun s -> s <> "" && s <> ".")
+  in
+  let rec scan = function
+    | "lib" :: sub :: _ -> lib_zone sub
+    | "bin" :: _ -> Bin
+    | "bench" :: _ -> Bench
+    | "examples" :: _ -> Examples
+    | "test" :: _ -> Test
+    | _ :: rest -> scan rest
+    | [] -> Other
+  in
+  scan segs

@@ -1,0 +1,37 @@
+(** Source-tree zones — the unit of rule scoping.
+
+    Every rule in {!Rules} applies to a subset of zones: fault
+    construction is legal in the harness but not in the engine's hot
+    paths, wall-clock reads are legal only in the dedicated clock
+    module, baselines are exempt from the iteration-order rule (they
+    are reference implementations, not part of the verdict path).  The
+    zone of a file is derived purely from its path, so the same file
+    always gets the same obligations no matter how the linter was
+    invoked. *)
+
+type t =
+  | Core  (** [lib/core] — the verifier; the verdict path *)
+  | Trace_lib  (** [lib/trace] — trace model and codec *)
+  | Minidb  (** [lib/minidb] — the engine under test *)
+  | Harness  (** [lib/harness] — run orchestration, chaos injection *)
+  | Net  (** [lib/net] — wire protocol and fault channel *)
+  | Util  (** [lib/util] — seeded RNG, clock, containers *)
+  | Workload  (** [lib/workload] — benchmark program generators *)
+  | Baselines  (** [lib/baselines] — reference checkers *)
+  | Analysis  (** [lib/analysis] — this linter (self-hosted rules) *)
+  | Bin  (** [bin] — executables; owns exit codes *)
+  | Bench  (** [bench] — benchmark driver *)
+  | Examples  (** [examples] *)
+  | Test  (** [test] — may invoke faults freely; not linted by the gate *)
+  | Other  (** anything else — treated like [Bin] *)
+
+val of_path : string -> t
+(** Classify by path segments: [.../lib/<sub>/...] maps to the library
+    zones, top-level [bin]/[bench]/[examples]/[test] to theirs. *)
+
+val of_string : string -> t option
+(** Parse a [--zone] argument (lowercase zone name, e.g. ["core"]). *)
+
+val to_string : t -> string
+
+val all : t list

@@ -8,6 +8,10 @@ let mechanism_to_string = function
   | Fuw -> "FUW"
   | Sc -> "SC"
 
+(* declaration order, so typed sorts keep the historical report order *)
+let mechanism_rank = function Cr -> 0 | Me -> 1 | Fuw -> 2 | Sc -> 3
+let compare_mechanism a b = Int.compare (mechanism_rank a) (mechanism_rank b)
+
 type t = {
   mechanism : mechanism;
   anomaly : Anomaly.t option;

@@ -10,6 +10,11 @@ type mechanism = Cr | Me | Fuw | Sc
 
 val mechanism_to_string : mechanism -> string
 
+val mechanism_rank : mechanism -> int
+(** Declaration-order rank (Cr = 0 … Sc = 3), for typed sorts. *)
+
+val compare_mechanism : mechanism -> mechanism -> int
+
 type t = {
   mechanism : mechanism;
   anomaly : Anomaly.t option;  (** Adya-style classification when known *)

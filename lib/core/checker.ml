@@ -169,7 +169,7 @@ let create ?(gc_every = 512) ?(narrow_candidates = true)
     dedup_ts = min_int;
     deferred =
       Leopard_util.Min_heap.create ~compare:(fun a b ->
-          compare (Interval.aft a.read_iv) (Interval.aft b.read_iv));
+          Int.compare (Interval.aft a.read_iv) (Interval.aft b.read_iv));
     frontier = min_int;
     traces = 0;
     committed = 0;
@@ -295,6 +295,8 @@ let make_indeterminate t (v : vtxn) =
   v.vstatus <- Indeterminate;
   v.pending_deps <- [];
   Me_verifier.discard t.me ~txn:v.vid;
+  (* lint: allow hashtbl-order — one binding per cell and the cells are
+     registered independently; visit order cannot be observed *)
   Cell.Tbl.iter
     (fun cell (value, _) -> register_indeterminate_value t cell value v.vid)
     v.writes
@@ -634,6 +636,8 @@ and defer_or_resolve t (pr : pending_read) cell value writer =
 and promote_ambiguous t writer ~observed_aft =
   match Hashtbl.find_opt t.txns writer with
   | Some w when w.vstatus = Indeterminate && resolvable t writer ->
+    (* lint: allow hashtbl-order — in-place per-key filter; no state
+       crosses from one binding to the next *)
     Cell.Tbl.iter
       (fun _cell entries ->
         entries := List.filter (fun (_, id) -> id <> writer) !entries)
@@ -703,6 +707,7 @@ let flush_deferred t ~upto =
 
 let horizon t =
   let h =
+    (* lint: allow hashtbl-order — min-fold; commutative and associative *)
     Hashtbl.fold
       (fun _ v acc ->
         match (v.vstatus, v.first_iv) with
@@ -726,12 +731,15 @@ let run_gc t =
   t.pruned_locks <- t.pruned_locks + Me_verifier.prune t.me ~horizon:h;
   t.pruned_fuw <- t.pruned_fuw + Fuw_verifier.prune t.fuw ~horizon:h;
   t.pruned_graph <- t.pruned_graph + Sc_verifier.gc t.sc ~frontier:h;
+  (* lint: allow hashtbl-order — in-place per-key prune, keys independent *)
   Cell.Tbl.iter
     (fun _cell entries ->
       entries := List.filter (fun (_, _, aft) -> aft > h) !entries)
     t.aborted_values;
   (* prune terminated transaction records behind the horizon *)
   let victims =
+    (* lint: allow hashtbl-order — collects a removal set; every victim is
+       removed whatever the fold order *)
     Hashtbl.fold
       (fun id v acc ->
         match (v.vstatus, v.terminal_iv) with
@@ -781,7 +789,7 @@ let handle_read t (v : vtxn) trace items locking =
   (* mutual exclusion entries *)
   let p = t.profile in
   let rows =
-    List.sort_uniq compare
+    List.sort_uniq Cell.compare_row_key
       (List.map (fun (i : Trace.item) -> me_granule t i.cell) items)
   in
   if p.Il_profile.check_me && v.vstatus <> Indeterminate then begin
@@ -853,7 +861,7 @@ let handle_write t (v : vtxn) trace items =
     items;
   if p.Il_profile.check_me && v.vstatus <> Indeterminate then begin
     let rows =
-      List.sort_uniq compare
+      List.sort_uniq Cell.compare_row_key
         (List.map (fun (i : Trace.item) -> me_granule t i.cell) items)
     in
     List.iter
@@ -880,7 +888,7 @@ let handle_commit t (v : vtxn) trace =
   (* FUW registration and pair checks *)
   if t.profile.Il_profile.check_fuw && v.write_cells <> [] then begin
     let rows =
-      List.sort_uniq compare (List.map Cell.row_key v.write_cells)
+      List.sort_uniq Cell.compare_row_key (List.map Cell.row_key v.write_cells)
     in
     let entry =
       { Fuw_verifier.ftxn = v.vid; snapshot_iv = first_iv; commit_iv }
@@ -922,6 +930,8 @@ let handle_abort t (v : vtxn) trace =
   v.vstatus <- Aborted;
   t.aborted <- t.aborted + 1;
   v.pending_deps <- [];
+  (* lint: allow hashtbl-order — one binding per written cell, each moved
+     to its own aborted-values entry; bindings never interact *)
   Cell.Tbl.iter
     (fun cell (value, _) ->
       let entries =
@@ -1002,6 +1012,7 @@ let finalize t =
   (* read items still parked on an ambiguous writer: their reader never
      terminated, so the writer stays unresolved and the items are
      inconclusive *)
+  (* lint: allow hashtbl-order — counting into a counter; commutative *)
   Hashtbl.iter
     (fun _reader entries ->
       List.iter
@@ -1048,12 +1059,14 @@ let degradation t =
          transaction is legitimately unterminated *)
       (if not t.finalized then 0
        else
+         (* lint: allow hashtbl-order — count-fold; commutative *)
          Hashtbl.fold
            (fun _ v acc -> if v.vstatus = Active then acc + 1 else acc)
            t.txns 0);
     restarts = t.ext_restarts;
     recovery_lost_records = t.ext_recovery_lost;
     ambiguous_commits =
+      (* lint: allow hashtbl-order — count-fold; commutative *)
       Hashtbl.fold
         (fun id () acc ->
           if Hashtbl.mem t.resolved_ids id then acc else acc + 1)
@@ -1068,7 +1081,8 @@ let report t =
     bugs_total = t.bugs_total;
     bugs = List.rev t.bugs;
     bugs_by_mechanism =
-      List.sort compare
+      List.sort
+        (fun (ma, _) (mb, _) -> Bug.compare_mechanism ma mb)
         (Hashtbl.fold (fun m n acc -> (m, n) :: acc) t.mech_counts []);
     deps_deduced = Dep.Log.count t.log;
     deduced_by_source = Dep.Log.by_source t.log;

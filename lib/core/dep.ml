@@ -18,6 +18,15 @@ let source_to_string = function
   | From_version_order -> "version-order"
   | Derived_rw -> "derived-rw"
 
+(* declaration order; pins the report ordering of [Log.by_source] *)
+let source_rank = function
+  | Direct -> 0
+  | From_cr -> 1
+  | From_me -> 2
+  | From_fuw -> 3
+  | From_version_order -> 4
+  | Derived_rw -> 5
+
 type t = { kind : kind; from_txn : int; to_txn : int; source : source }
 
 module Log = struct
@@ -49,13 +58,18 @@ module Log = struct
 
   let by_source t =
     let tally = Hashtbl.create 8 in
+    (* lint: allow hashtbl-order — counting into a tally is commutative *)
     Hashtbl.iter
       (fun _ d ->
         let c = Option.value ~default:0 (Hashtbl.find_opt tally d.source) in
         Hashtbl.replace tally d.source (c + 1))
       t.entries;
     Hashtbl.fold (fun s c acc -> (s, c) :: acc) tally []
+    |> List.sort (fun (a, _) (b, _) ->
+           Int.compare (source_rank a) (source_rank b))
 
+  (* lint: allow hashtbl-order — the log is a set to its consumers: the
+     checker re-derives any order it needs from transaction ids *)
   let iter t f = Hashtbl.iter (fun _ d -> f d) t.entries
 
   let forget_txn t txn =

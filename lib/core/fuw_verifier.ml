@@ -45,6 +45,8 @@ let live_entries t = t.live
 
 let prune t ~horizon =
   let dropped = ref 0 in
+  (* lint: allow hashtbl-order — per-key in-place prune plus a
+     commutative drop count *)
   Hashtbl.iter
     (fun _row entries ->
       let keep, drop =

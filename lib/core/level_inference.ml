@@ -33,7 +33,7 @@ let infer ~dbms traces =
       Checker.finalize checker;
       let report = Checker.report checker in
       let violating_mechanisms =
-        List.sort_uniq compare
+        List.sort_uniq String.compare
           (List.map
              (fun (b : Bug.t) -> Bug.mechanism_to_string b.mechanism)
              report.Checker.bugs)
@@ -45,7 +45,7 @@ let infer ~dbms traces =
         violating_mechanisms;
       })
     (List.sort
-       (fun a b -> compare (strength a) (strength b))
+       (fun a b -> Int.compare (strength a) (strength b))
        (profiles_of_dbms dbms))
 
 let strongest_passed verdicts =

@@ -9,7 +9,7 @@ let anomaly_census (r : Checker.report) =
       | None -> ())
     r.bugs;
   List.sort
-    (fun (_, a) (_, b) -> compare b a)
+    (fun (_, a) (_, b) -> Int.compare b a)
     (Hashtbl.fold (fun a n acc -> (a, n) :: acc) tally [])
 
 let degradation_line (d : Checker.degradation) =
@@ -58,7 +58,7 @@ let summary (r : Checker.report) =
   Buffer.add_string buf
     (Printf.sprintf "dependencies deduced %d" r.deps_deduced);
   let by_source =
-    List.sort compare
+    List.sort String.compare
       (List.map
          (fun (s, n) -> Printf.sprintf "%s=%d" (Dep.source_to_string s) n)
          r.deduced_by_source)

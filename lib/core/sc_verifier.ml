@@ -155,6 +155,8 @@ let gc t ~frontier =
   let pruned = ref 0 in
   let garbage n = n.in_degree = 0 && Interval.aft n.terminal_iv <= frontier in
   let queue = Queue.create () in
+  (* lint: allow hashtbl-order — seeds a deletion fixpoint: every garbage
+     node is removed (and counted once) whatever the seeding order *)
   Hashtbl.iter (fun _ n -> if garbage n then Queue.push n queue) t.nodes;
   while not (Queue.is_empty queue) do
     let n = Queue.pop queue in
@@ -191,4 +193,6 @@ let has_cycle t =
         Hashtbl.replace color id `Black;
         cyc)
   in
+  (* lint: allow hashtbl-order — boolean existence check: a cycle is
+     reachable from some node in it, whatever the start order *)
   Hashtbl.fold (fun id _ acc -> acc || dfs id) t.nodes false

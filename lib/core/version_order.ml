@@ -55,6 +55,8 @@ let cells t = Cell.Tbl.length t.chains
 
 let prune t ~horizon =
   let dropped = ref 0 in
+  (* lint: allow hashtbl-order — per-cell in-place prune plus a
+     commutative drop count *)
   Cell.Tbl.iter
     (fun _cell c ->
       (* The pivot for any snapshot taken at or after the horizon is at

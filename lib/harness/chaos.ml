@@ -115,10 +115,10 @@ let deliver t ~client trace =
   end
 
 let crashed_clients t =
-  List.sort_uniq compare (List.map fst t.crash_records)
+  List.sort_uniq Int.compare (List.map fst t.crash_records)
 
 let indeterminate_txns t =
-  List.sort_uniq compare (List.map snd t.crash_records)
+  List.sort_uniq Int.compare (List.map snd t.crash_records)
 
 let dropped t = t.n_dropped
 let duplicated t = t.n_duplicated

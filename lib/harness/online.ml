@@ -86,12 +86,12 @@ let run ?(batch_window_ns = 500_000) ?(gc_every = 512) ?max_stall_ns ~il
     incr rounds;
     let lag = !produced - Leopard.Pipeline.dispatched pipeline in
     if lag > !max_lag then max_lag := lag;
-    let t0 = Sys.time () in
+    let t0 = Leopard_util.Clock.wall () in
     mark_indeterminates ();
     sync_losses ();
     ignore (Leopard.Pipeline.drain pipeline ~f:(Leopard.Checker.feed checker));
     sync_losses ();
-    verify_wall := !verify_wall +. (Sys.time () -. t0)
+    verify_wall := !verify_wall +. (Leopard_util.Clock.wall () -. t0)
   in
   let observer trace =
     incr produced;
@@ -104,7 +104,7 @@ let run ?(batch_window_ns = 500_000) ?(gc_every = 512) ?max_stall_ns ~il
   (* the workload stopped: everything left is dispatchable *)
   final_lag := !produced - Leopard.Pipeline.dispatched pipeline;
   workload_done := true;
-  let t0 = Sys.time () in
+  let t0 = Leopard_util.Clock.wall () in
   mark_indeterminates ();
   sync_losses ();
   ignore (Leopard.Pipeline.drain pipeline ~f:(Leopard.Checker.feed checker));
@@ -126,7 +126,7 @@ let run ?(batch_window_ns = 500_000) ?(gc_every = 512) ?max_stall_ns ~il
       (List.length (Chaos.crashed_clients ch))
   | None -> ());
   Leopard.Checker.finalize checker;
-  verify_wall := !verify_wall +. (Sys.time () -. t0);
+  verify_wall := !verify_wall +. (Leopard_util.Clock.wall () -. t0);
   {
     outcome;
     report = Leopard.Checker.report checker;

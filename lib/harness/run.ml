@@ -433,7 +433,10 @@ and attempt st rng ~client ~prog ~tries =
             | Engine.Ok_commit ->
               ignore (emit st ~client ~txn_id ~op_id ~ts_bef Trace.Commit);
               finish_txn ()
-            | Engine.Err _ ->
+            | Engine.Err
+                ( Engine.Deadlock_victim | Engine.Fuw_conflict
+                | Engine.Certifier_conflict _ | Engine.User_abort
+                | Engine.Server_crash ) ->
               abort_and_finish ~retryable:true ~op_id ~ts_bef ()
             | Engine.Ok_read _ | Engine.Ok_write ->
               assert false)
@@ -452,7 +455,10 @@ and attempt st rng ~client ~prog ~tries =
                 (emit st ~client ~txn_id ~op_id ~ts_bef
                    (Trace.Read { items; locking }));
               continue (k items)
-            | Engine.Err _ ->
+            | Engine.Err
+                ( Engine.Deadlock_victim | Engine.Fuw_conflict
+                | Engine.Certifier_conflict _ | Engine.User_abort
+                | Engine.Server_crash ) ->
               abort_and_finish ~retryable:true ~op_id ~ts_bef ()
             | Engine.Ok_write | Engine.Ok_commit -> assert false)
       | Leopard_workload.Program.Write { items; k } ->
@@ -468,7 +474,10 @@ and attempt st rng ~client ~prog ~tries =
               ignore
                 (emit st ~client ~txn_id ~op_id ~ts_bef (Trace.Write titems));
               continue (k ())
-            | Engine.Err _ ->
+            | Engine.Err
+                ( Engine.Deadlock_victim | Engine.Fuw_conflict
+                | Engine.Certifier_conflict _ | Engine.User_abort
+                | Engine.Server_crash ) ->
               abort_and_finish ~retryable:true ~op_id ~ts_bef ()
             | Engine.Ok_read _ | Engine.Ok_commit -> assert false)
     in
@@ -501,7 +510,7 @@ let execute cfg =
               damaged = Minidb.Wal.damaged_records s.Minidb.Recovery.damage;
             }
             :: !epochs))
-    (List.sort_uniq compare cfg.crash_at);
+    (List.sort_uniq Int.compare cfg.crash_at);
   let net_exec =
     Option.map
       (fun rt ->

@@ -188,6 +188,8 @@ let crash_recover t =
   match t.wal with
   | None -> invalid_arg "Engine.crash_recover: engine created without ?wal"
   | Some wal ->
+    (* lint: allow hashtbl-order — marks every active txn aborted and
+       bumps a counter; per-txn updates, commutative *)
     Hashtbl.iter
       (fun _ txn ->
         if txn.state = Active then begin
@@ -209,6 +211,7 @@ let crash_recover t =
     summary
 
 let min_active_start t =
+  (* lint: allow hashtbl-order — min-fold; commutative and associative *)
   Hashtbl.fold
     (fun _ txn acc ->
       if txn.start_ts >= 0 then min acc txn.start_ts else acc)
@@ -228,6 +231,8 @@ let pending_add t cell ~txn ~value ~op =
 (* Remove a transaction's pending entries using its own write list, so the
    sweep is O(writes) rather than O(cells). *)
 let pending_remove t txn =
+  (* lint: allow hashtbl-order — per-cell in-place filter of an
+     independent index entry *)
   Cell.Tbl.iter
     (fun cell _ ->
       match Cell.Tbl.find_opt t.pending cell with
@@ -257,7 +262,9 @@ let finish_abort t txn reason =
   | User_abort -> t.aborts_user <- t.aborts_user + 1
   | Server_crash -> t.aborts_crash <- t.aborts_crash + 1);
   let ts = stamp t in
-  (* Retain aborted values so Fault.Read_aborted_version can surface them. *)
+  (* Retain aborted values so Fault.Read_aborted_version can surface them.
+     lint: allow hashtbl-order — one binding per written cell, each
+     recorded under its own cell in the version store *)
   Cell.Tbl.iter
     (fun cell (value, op) ->
       Version_store.record_aborted t.store cell
@@ -321,7 +328,8 @@ let acquire_rows t (txn : txn) rows mode ~ok ~dead =
   in
   go rows
 
-let dedup_rows cells = List.sort_uniq compare (List.map Cell.row_key cells)
+let dedup_rows cells =
+  List.sort_uniq Cell.compare_row_key (List.map Cell.row_key cells)
 
 (* The lock granule: SQLite locks whole tables, everything else rows. *)
 let granule t (cell : Cell.t) =
@@ -329,7 +337,8 @@ let granule t (cell : Cell.t) =
   | Isolation.Row_locks -> Cell.row_key cell
   | Isolation.Table_locks -> (cell.Cell.table, -1)
 
-let dedup_granules t cells = List.sort_uniq compare (List.map (granule t) cells)
+let dedup_granules t cells =
+  List.sort_uniq Cell.compare_row_key (List.map (granule t) cells)
 
 (* ------------------------------------------------------------------ *)
 (* SSI bookkeeping *)
@@ -760,7 +769,7 @@ let rec exec t (txn : txn) ~op_id request ~k =
        a post-crash read violation, never as a flapping ack. *)
     t.dup_commit_acks <- t.dup_commit_acks + 1;
     k Ok_commit
-  | _ -> exec_once t txn ~op_id request ~k
+  | (Read _ | Write _ | Commit | Abort), _ -> exec_once t txn ~op_id request ~k
 
 and exec_once t (txn : txn) ~op_id request ~k =
   if txn.epoch < t.epoch then

@@ -116,5 +116,7 @@ let paper_bug = function
 module Set = Set.Make (struct
   type nonrec t = t
 
+  (* lint: allow poly-compare — the fault type is all constant
+     constructors, so structural compare is total and stable *)
   let compare = compare
 end)

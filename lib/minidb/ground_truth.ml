@@ -4,6 +4,8 @@ type dep_kind = Ww | Wr | Rw
 
 let dep_kind_to_string = function Ww -> "ww" | Wr -> "wr" | Rw -> "rw"
 
+let dep_kind_rank = function Ww -> 0 | Wr -> 1 | Rw -> 2
+
 type dep = {
   kind : dep_kind;
   from_txn : int;
@@ -12,6 +14,24 @@ type dep = {
   to_op : int;
   row_only : bool;
 }
+
+(* total typed order: kind, then endpoints, then ops — [deps] returns a
+   sorted list so the ground truth reads the same on every run *)
+let compare_dep a b =
+  let c = Int.compare (dep_kind_rank a.kind) (dep_kind_rank b.kind) in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.from_txn b.from_txn in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.to_txn b.to_txn in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.from_op b.from_op in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.to_op b.to_op in
+          if c <> 0 then c else Bool.compare a.row_only b.row_only
 
 type install = { itxn : int; iop : int }
 
@@ -94,7 +114,11 @@ let deps t ~committed =
     in
     go chain
   in
+  (* lint: allow hashtbl-order — each chain feeds the [out] dedup table
+     keyed by (kind, from, to); a cell-level witness supersedes a
+     row-only one whichever lands first, so visit order is immaterial *)
   Cell.Tbl.iter (fun _cell r -> chain_ww ~row_only:false !r) t.cell_chains;
+  (* lint: allow hashtbl-order — same dedup-table argument as above *)
   Hashtbl.iter (fun _row r -> chain_ww ~row_only:true !r) t.row_chains;
   (* Reads: wr provenance and rw to the next committed version. *)
   List.iter
@@ -125,3 +149,4 @@ let deps t ~committed =
       end)
     t.reads;
   Hashtbl.fold (fun _ d acc -> d :: acc) out []
+  |> List.sort compare_dep

@@ -208,10 +208,13 @@ let deadlocks t = t.deadlocks
    hanging mid-request; the engine, having already bumped its epoch,
    reports the abort as a server crash rather than a deadlock. *)
 let crash_all t =
+  (* sorted by waiting txn so the wipe fires continuations in a
+     reproducible order, not the lock table's hash order *)
   let waiters =
     Hashtbl.fold
       (fun _ s acc -> Queue.fold (fun acc w -> w :: acc) acc s.queue)
       t.rows []
+    |> List.sort (fun a b -> Int.compare a.wtxn b.wtxn)
   in
   Hashtbl.reset t.rows;
   Hashtbl.reset t.by_txn;

@@ -5,7 +5,7 @@ type t = {
   mutable clock : int;
 }
 
-let compare_event a b = compare a.at b.at
+let compare_event a b = Int.compare a.at b.at
 
 let create () =
   { agenda = Leopard_util.Min_heap.create ~compare:compare_event; clock = 0 }

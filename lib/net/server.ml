@@ -46,7 +46,7 @@ let dispatch t (req : Wire.request) ~k =
     let txn = Engine.begin_txn t.engine ~client:req.Wire.session in
     register_txn t txn;
     k (Wire.Began (Engine.txn_id txn))
-  | body -> (
+  | (Wire.Read _ | Wire.Write _ | Wire.Commit _ | Wire.Abort) as body -> (
     match Hashtbl.find_opt t.txns req.Wire.txn with
     | None ->
       (* unknown transaction (e.g. a straggler for a pruned id): a

@@ -3,15 +3,23 @@ type t = { table : int; row : int; col : int }
 let make ~table ~row ~col = { table; row; col }
 let row_key t = (t.table, t.row)
 
-let compare a b =
-  let c = compare a.table b.table in
+let compare_row_key (ta, ra) (tb, rb) =
+  let c = Int.compare ta tb in
+  if c <> 0 then c else Int.compare ra rb
+
+let compare_fields a b =
+  let c = Int.compare a.table b.table in
   if c <> 0 then c
   else
-    let c = compare a.row b.row in
-    if c <> 0 then c else compare a.col b.col
+    let c = Int.compare a.row b.row in
+    if c <> 0 then c else Int.compare a.col b.col
+
+let compare = compare_fields
 
 let equal a b = a.table = b.table && a.row = b.row && a.col = b.col
 
+(* lint: allow poly-compare — hashing a fixed triple of ints; total and
+   deterministic, and the bucket layout is pinned by the existing tests *)
 let hash t = Hashtbl.hash (t.table, t.row, t.col)
 
 let pp ppf t = Format.fprintf ppf "t%d.r%d.c%d" t.table t.row t.col
@@ -20,7 +28,7 @@ let to_string t = Format.asprintf "%a" pp t
 module Ord = struct
   type nonrec t = t
 
-  let compare = compare
+  let compare = compare_fields
 end
 
 module Map = Map.Make (Ord)

@@ -17,6 +17,9 @@ val make : table:int -> row:int -> col:int -> t
 val row_key : t -> int * int
 (** [(table, row)] — the lock granule of the engine's lock manager. *)
 
+val compare_row_key : int * int -> int * int -> int
+(** Typed order on [row_key] pairs: table, then row. *)
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val hash : t -> int

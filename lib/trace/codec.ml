@@ -153,7 +153,7 @@ let write_channel_ext oc ?(ambiguous = []) ~epochs traces =
   in
   let marks =
     List.stable_sort
-      (fun (a, _) (b, _) -> compare a b)
+      (fun (a, _) (b, _) -> Int.compare a b)
       (List.map (fun (e : epoch_mark) -> (e.at, epoch_to_line e)) epochs
       @ List.map
           (fun (m : ambiguous_mark) -> (m.at, ambiguous_to_line m))

@@ -20,7 +20,8 @@ let render ?(max_width = 100) ?(max_clients = 16) traces =
     let width = max 10 max_width in
     let col ts = (ts - lo) * (width - 1) / span in
     let clients =
-      List.sort_uniq compare (List.map (fun (t : Trace.t) -> t.client) traces)
+      List.sort_uniq Int.compare
+        (List.map (fun (t : Trace.t) -> t.client) traces)
     in
     let shown = List.filteri (fun i _ -> i < max_clients) clients in
     let buf = Buffer.create 1024 in

@@ -21,14 +21,14 @@ type t = {
 let interval t = Leopard_util.Interval.make ~bef:t.ts_bef ~aft:t.ts_aft
 
 let compare_by_bef a b =
-  let c = compare a.ts_bef b.ts_bef in
+  let c = Int.compare a.ts_bef b.ts_bef in
   if c <> 0 then c
   else
-    let c = compare a.ts_aft b.ts_aft in
+    let c = Int.compare a.ts_aft b.ts_aft in
     if c <> 0 then c
     else
-      let c = compare a.client b.client in
-      if c <> 0 then c else compare a.txn b.txn
+      let c = Int.compare a.client b.client in
+      if c <> 0 then c else Int.compare a.txn b.txn
 
 let is_terminal t = match t.payload with Commit | Abort -> true | Read _ | Write _ -> false
 

@@ -1,0 +1,3 @@
+(* The linter (D002) exempts exactly this file; everything else calls
+   [Clock.wall]. *)
+let wall () = Sys.time ()

@@ -14,12 +14,12 @@ let possibly_before a b = a.bef < b.aft
 let overlaps a b = not (certainly_before a b) && not (certainly_before b a)
 
 let compare_by_bef a b =
-  let c = compare a.bef b.bef in
-  if c <> 0 then c else compare a.aft b.aft
+  let c = Int.compare a.bef b.bef in
+  if c <> 0 then c else Int.compare a.aft b.aft
 
 let compare_by_aft a b =
-  let c = compare a.aft b.aft in
-  if c <> 0 then c else compare a.bef b.bef
+  let c = Int.compare a.aft b.aft in
+  if c <> 0 then c else Int.compare a.bef b.bef
 
 let equal a b = a.bef = b.bef && a.aft = b.aft
 

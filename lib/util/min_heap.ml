@@ -8,8 +8,8 @@ type 'a t = {
   mutable peak : int;
 }
 
-let create ~compare =
-  { compare; data = [||]; size = 0; next_seq = 0; peak = 0 }
+let create ~compare:cmp =
+  { compare = cmp; data = [||]; size = 0; next_seq = 0; peak = 0 }
 
 let length t = t.size
 let is_empty t = t.size = 0

@@ -55,7 +55,7 @@ let percentile samples p =
   | [] -> 0.0
   | _ ->
     let arr = Array.of_list samples in
-    Array.sort compare arr;
+    Array.sort Float.compare arr;
     let n = Array.length arr in
     let p = if p < 0.0 then 0.0 else if p > 100.0 then 100.0 else p in
     let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in

@@ -1,0 +1,2 @@
+(* lint: allow abort-wildcard — fixture: conservative default *)
+let retryable = function Deadlock_victim -> true | Fuw_conflict -> true | _ -> false

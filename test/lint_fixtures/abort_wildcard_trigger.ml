@@ -1,0 +1,1 @@
+let retryable = function Deadlock_victim -> true | Fuw_conflict -> true | _ -> false

@@ -1,0 +1,2 @@
+(* lint: allow exit-in-lib — fixture: unreachable guard *)
+let die () = exit 2

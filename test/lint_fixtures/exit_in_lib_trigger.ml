@@ -1,0 +1,1 @@
+let die () = exit 2

@@ -1,0 +1,2 @@
+(* lint: allow fault-construct — fixture: constant for a table of docs *)
+let worst = Dirty_read

@@ -1,0 +1,1 @@
+let worst = Dirty_read

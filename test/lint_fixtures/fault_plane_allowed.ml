@@ -1,0 +1,2 @@
+(* lint: allow fault-plane — fixture: sanctioned cross-plane peek *)
+let no_faults = Fault.Set.empty

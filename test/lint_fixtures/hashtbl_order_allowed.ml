@@ -1,0 +1,4 @@
+(* lint: allow-file hashtbl-order *)
+let dump h = Hashtbl.iter (fun k v -> Printf.printf "%d=%d\n" k v) h
+
+let dump2 h = Hashtbl.fold (fun _ n acc -> n + acc) h 0

@@ -1,0 +1,1 @@
+let dump h = Hashtbl.iter (fun k v -> Printf.printf "%d=%d\n" k v) h

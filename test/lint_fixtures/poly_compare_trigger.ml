@@ -1,0 +1,1 @@
+let sorted l = List.sort compare l

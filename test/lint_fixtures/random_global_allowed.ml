@@ -1,0 +1,2 @@
+(* lint: allow random-global — fixture: deliberately exempted draw *)
+let roll () = Random.int 6

@@ -1,0 +1,2 @@
+(* D001: the global Random state is process-wide and unseeded. *)
+let roll () = Random.int 6

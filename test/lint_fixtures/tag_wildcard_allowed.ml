@@ -1,0 +1,2 @@
+(* lint: allow tag-wildcard — fixture: display-only classification *)
+let is_write = function Write -> true | Read -> false | _ -> false

@@ -1,0 +1,1 @@
+let is_write = function Write -> true | Read -> false | _ -> false

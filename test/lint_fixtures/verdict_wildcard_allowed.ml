@@ -1,0 +1,2 @@
+(* lint: allow verdict-wildcard — fixture: prose-rendering fallback *)
+let to_int = function Verified -> 0 | Violation -> 1 | _ -> 2

@@ -1,0 +1,1 @@
+let to_int = function Verified -> 0 | Violation -> 1 | _ -> 2

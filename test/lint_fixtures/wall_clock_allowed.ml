@@ -1,0 +1,2 @@
+(* lint: allow wall-clock — fixture: reporting-only duration *)
+let started_at () = Sys.time ()

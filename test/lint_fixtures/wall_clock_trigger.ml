@@ -1,0 +1,1 @@
+let started_at () = Sys.time ()

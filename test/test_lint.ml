@@ -1,0 +1,217 @@
+(* leopard-lint: rule catalogue, fixtures, suppression scanner and the
+   executable's exit codes.  Each rule has a pair of fixtures under
+   lint_fixtures/: [<slug>_trigger.ml] must produce exactly that rule's
+   finding, [<slug>_allowed.ml] is the same hazard under a suppression
+   annotation and must produce none.  The whole-repo zero-findings gate
+   runs as part of @runtest via the root dune rule; here we re-assert it
+   through the executable when the build tree is visible. *)
+
+module A = Leopard_analysis
+module Driver = A.Driver
+module Rules = A.Rules
+module Zone = A.Zone
+
+let fixtures_dir = "lint_fixtures"
+
+(* (slug, forced zone) — the zone makes the rule applicable to a bare
+   fixture file that lives under test/ (where most rules are off). *)
+let cases =
+  [
+    ("random-global", Zone.Core);
+    ("wall-clock", Zone.Core);
+    ("hashtbl-order", Zone.Core);
+    ("poly-compare", Zone.Core);
+    ("fault-plane", Zone.Core);
+    ("fault-construct", Zone.Minidb);
+    ("exit-in-lib", Zone.Core);
+    ("verdict-wildcard", Zone.Core);
+    ("abort-wildcard", Zone.Core);
+    ("tag-wildcard", Zone.Core);
+  ]
+
+let fixture_path slug variant =
+  let stem = String.map (fun c -> if c = '-' then '_' else c) slug in
+  Filename.concat fixtures_dir (stem ^ "_" ^ variant ^ ".ml")
+
+let lint_fixture ~zone path =
+  match Driver.lint_file ~zone path with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "%s did not parse: %s" path e
+
+let test_catalogue () =
+  Alcotest.(check bool) "at least 8 rules" true (List.length Rules.all >= 8);
+  let groups =
+    List.sort_uniq compare
+      (List.map (fun (r : Rules.t) -> Rules.group_to_string r.group) Rules.all)
+  in
+  Alcotest.(check (list string))
+    "all three groups"
+    [ "determinism"; "exhaustiveness"; "fault-plane" ]
+    groups;
+  let slugs = List.map (fun (r : Rules.t) -> r.slug) Rules.all in
+  Alcotest.(check int)
+    "slugs unique"
+    (List.length slugs)
+    (List.length (List.sort_uniq String.compare slugs));
+  List.iter
+    (fun (slug, _) ->
+      Alcotest.(check bool)
+        (slug ^ " is a known rule")
+        true
+        (Option.is_some (Rules.find_slug slug)))
+    cases
+
+let test_trigger (slug, zone) () =
+  let r = lint_fixture ~zone (fixture_path slug "trigger") in
+  let codes =
+    List.sort_uniq String.compare
+      (List.map (fun (f : A.Finding.t) -> f.rule.Rules.slug) r.findings)
+  in
+  Alcotest.(check (list string)) "exactly this rule fires" [ slug ] codes;
+  Alcotest.(check int) "nothing suppressed" 0 r.suppressed
+
+let test_allowed (slug, zone) () =
+  let r = lint_fixture ~zone (fixture_path slug "allowed") in
+  Alcotest.(check int) (slug ^ " fully suppressed") 0 (List.length r.findings);
+  Alcotest.(check bool) "suppression counted" true (r.suppressed >= 1)
+
+(* Scoping is part of each rule's contract: fault-plane and
+   exhaustiveness rules are off in the Test zone (tests construct faults
+   and write fallback arms on purpose), while determinism rules follow
+   their own exemptions (util hosts the rng). *)
+let test_zone_scoping () =
+  let quiet slug zone =
+    let r = lint_fixture ~zone (fixture_path slug "trigger") in
+    Alcotest.(check int)
+      (slug ^ " quiet in " ^ Zone.to_string zone)
+      0 (List.length r.findings)
+  in
+  List.iter
+    (fun slug -> quiet slug Zone.Test)
+    [
+      "fault-plane";
+      "fault-construct";
+      "exit-in-lib";
+      "verdict-wildcard";
+      "abort-wildcard";
+      "tag-wildcard";
+    ];
+  (* util is the sanctioned home of the rng *)
+  quiet "random-global" Zone.Util;
+  (* fault construction is the engine fault plane's own business *)
+  quiet "fault-construct" Zone.Harness
+
+let test_multiline_suppression () =
+  let src =
+    "(* lint: allow poly-compare — a justification long enough\n\
+    \   to span several comment lines before it finally\n\
+    \   closes *)\n\
+     let f l = List.sort compare l\n"
+  in
+  match Driver.lint_source ~zone:Zone.Core ~path:"inline.ml" src with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok r ->
+    Alcotest.(check int) "suppressed across comment lines" 0
+      (List.length r.findings);
+    Alcotest.(check int) "counted" 1 r.suppressed
+
+let test_suppression_does_not_leak () =
+  let src =
+    "(* lint: allow poly-compare — only covers the next line *)\n\
+     let g x = x\n\
+     let f l = List.sort compare l\n"
+  in
+  match Driver.lint_source ~zone:Zone.Core ~path:"inline.ml" src with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok r -> Alcotest.(check int) "finding survives" 1 (List.length r.findings)
+
+let test_parse_error () =
+  match Driver.lint_source ~zone:Zone.Core ~path:"bad.ml" "let let let" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a parse diagnostic"
+
+let test_json_shape () =
+  let summary = Driver.lint_paths ~zone:Zone.Core [ fixture_path "poly-compare" "trigger" ] in
+  let json = Driver.json_summary summary in
+  let has needle =
+    let n = String.length needle and h = String.length json in
+    let rec go i = i + n <= h && (String.sub json i n = needle || go (i + 1)) in
+    Alcotest.(check bool) ("json contains " ^ needle) true (go 0)
+  in
+  has "\"findings\"";
+  has "\"poly-compare\"";
+  has "\"active\":1"
+
+(* ---------------------------------------------------------------- *)
+(* Executable exit codes.  The test binary runs from test/ inside the
+   build tree, so the linter sits one directory up. *)
+
+let exe = Filename.concat ".." (Filename.concat "bin" "leopard_lint.exe")
+
+let run args = Sys.command (Filename.quote_command exe args)
+
+let test_exit_codes () =
+  if not (Sys.file_exists exe) then
+    Alcotest.skip ()
+  else begin
+    Alcotest.(check int) "clean file exits 0" 0
+      (run [ "-q"; "--zone"; "core"; fixture_path "poly-compare" "allowed" ]);
+    Alcotest.(check int) "findings exit 1" 1
+      (run [ "-q"; "--zone"; "core"; fixture_path "poly-compare" "trigger" ]);
+    Alcotest.(check int) "missing path exits 2" 2
+      (run [ "-q"; "no-such-file.ml" ]);
+    Alcotest.(check int) "--list-rules exits 0" 0 (run [ "--list-rules" ])
+  end
+
+(* Every trigger fixture individually fails the executable — the same
+   property `dune build @lint` relies on to block the build. *)
+let test_exit_codes_all_triggers () =
+  if not (Sys.file_exists exe) then Alcotest.skip ()
+  else
+    List.iter
+      (fun (slug, zone) ->
+        Alcotest.(check int)
+          (slug ^ " trigger fails the gate")
+          1
+          (run
+             [ "-q"; "--zone"; Zone.to_string zone; fixture_path slug "trigger" ]))
+      cases
+
+let test_repo_is_clean () =
+  (* The build tree mirrors the source tree, so when the linted roots
+     are visible from test/ we can re-run the whole-repo gate. *)
+  let roots =
+    List.filter
+      (fun d -> Sys.file_exists (Filename.concat ".." d))
+      [ "lib"; "bin"; "bench"; "examples" ]
+  in
+  if roots = [] || not (Sys.file_exists exe) then Alcotest.skip ()
+  else
+    Alcotest.(check int)
+      "zero findings over the repo" 0
+      (run ("-q" :: List.map (Filename.concat "..") roots))
+
+let suite =
+  let fixture_tests =
+    List.concat_map
+      (fun ((slug, _) as case) ->
+        [
+          Alcotest.test_case (slug ^ " trigger") `Quick (test_trigger case);
+          Alcotest.test_case (slug ^ " allowed") `Quick (test_allowed case);
+        ])
+      cases
+  in
+  [
+    Alcotest.test_case "rule catalogue" `Quick test_catalogue;
+    Alcotest.test_case "zone scoping" `Quick test_zone_scoping;
+    Alcotest.test_case "multi-line suppression" `Quick test_multiline_suppression;
+    Alcotest.test_case "suppression does not leak" `Quick
+      test_suppression_does_not_leak;
+    Alcotest.test_case "parse error is a diagnostic" `Quick test_parse_error;
+    Alcotest.test_case "json report shape" `Quick test_json_shape;
+    Alcotest.test_case "exit codes" `Quick test_exit_codes;
+    Alcotest.test_case "every trigger fails the gate" `Quick
+      test_exit_codes_all_triggers;
+    Alcotest.test_case "whole repo is clean" `Quick test_repo_is_clean;
+  ]
+  @ fixture_tests
