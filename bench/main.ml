@@ -1041,6 +1041,268 @@ let net_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Replication: ack mode x fault class — txn latency and verdict mix *)
+
+let replication_bench () =
+  let module Cluster = Leopard_replication.Cluster in
+  let module Repl_fault = Leopard_replication.Repl_fault in
+  let module Link = Leopard_net.Faulty_link in
+  let module Codec = Leopard_trace.Codec in
+  section "Replication — ack mode x fault class: latency and verdict mix";
+  let clients = 16 and txns = 800 and nseeds = 5 and seed0 = 211 in
+  let si = Minidb.Isolation.Snapshot_isolation in
+  (* Four-cell read-modify-write: dense enough conflicts that a stale
+     replica snapshot or a second unfenced timeline leaves an observable
+     contradiction.  Smallbank's 1000 uniform accounts rarely collide,
+     so the stale-read and split-brain cells would report Inconclusive
+     not because the checker is weak but because nobody looked at the
+     damaged cells. *)
+  let hot_rmw () =
+    let next = W.Spec.fresh_value_counter () in
+    let cells =
+      Array.init 4 (fun row -> Leopard_trace.Cell.make ~table:0 ~row ~col:0)
+    in
+    W.Spec.make ~name:"hot-rmw"
+      ~initial:(Array.to_list (Array.map (fun c -> (c, 0)) cells))
+      ~next_txn:(fun rng ->
+        let c = cells.(Leopard_util.Rng.int rng 4) in
+        W.Program.read [ c ] (fun _ ->
+            W.Program.write_then [ (c, next ()) ] W.Program.finish))
+  in
+  let spec_of = function `Bank -> W.Smallbank.spec () | `Hot -> hot_rmw () in
+  let run ?repl ~kind ~seed () =
+    let cfg =
+      H.Run.config ~clients ~seed ?repl ~spec:(spec_of kind) ~profile:pg
+        ~level:si ~stop:(H.Run.Txn_count txns) ()
+    in
+    let t0 = wall () in
+    let o = H.Run.execute cfg in
+    (o, wall () -. t0)
+  in
+  (* Fault instants scale with an unreplicated probe of the same shape,
+     so partition windows and failovers land mid-run regardless of the
+     workload's absolute latency. *)
+  let probe kind =
+    let o, _ = run ~kind ~seed:seed0 () in
+    o.H.Run.sim_duration_ns
+  in
+  let d_bank = probe `Bank and d_hot = probe `Hot in
+  (* Offline verification exactly as the CLI does it: ambiguity marks
+     first, then leader marks (lost beats ambiguous), then the traces in
+     timestamp order. *)
+  let repl_verify (o : H.Run.outcome) =
+    let checker = Leopard.Checker.create Leopard.Il_profile.postgresql_si in
+    List.iter
+      (fun (_client, txn, _at) ->
+        Leopard.Checker.mark_ambiguous_commit checker ~txn)
+      o.H.Run.repl_ambiguous;
+    List.iter
+      (fun (m : Codec.leader_mark) ->
+        Leopard.Checker.note_failover checker ~at:m.Codec.at
+          ~epoch:m.Codec.epoch ~lost:m.Codec.lost)
+      o.H.Run.leaders;
+    List.iter (Leopard.Checker.feed checker) (H.Run.all_traces_sorted o);
+    Leopard.Checker.finalize checker;
+    Leopard.Checker.report checker
+  in
+  let classes =
+    [
+      ( "clean", `Bank,
+        fun ~ack ~d:_ -> H.Run.repl_config (Cluster.config ~ack_mode:ack ())
+      );
+      ( "hop", `Bank,
+        fun ~ack ~d:_ ->
+          H.Run.repl_config (Cluster.config ~ack_mode:ack ~hop_ns:20_000 ())
+      );
+      ( "lossy-link", `Bank,
+        fun ~ack ~d:_ ->
+          H.Run.repl_config
+            (Cluster.config ~ack_mode:ack ~hop_ns:20_000
+               ~link:(Link.config ~drop_prob:0.05 ~dup_prob:0.05 ())
+               ()) );
+      ( "failover", `Bank,
+        fun ~ack ~d ->
+          H.Run.repl_config ~promote_on_partition:true
+            ~election_timeout_ns:(max 1 (d / 20))
+            (Cluster.config ~ack_mode:ack ~hop_ns:(max 1 (d / 100))
+               ~gate_timeout_ns:(max 1 (d / 10))
+               ~partitions:
+                 [
+                   {
+                     Cluster.follower = -1;
+                     from_ns = d / 3;
+                     until_ns = 2 * d / 3;
+                   };
+                 ]
+               ()) );
+      ( "promote-lagging", `Bank,
+        fun ~ack ~d ->
+          H.Run.repl_config
+            ~failover_at:[ max 1 (d / 2) ]
+            (Cluster.config ~ack_mode:ack ~followers:2
+               ~hop_ns:(max 1 (d / 100))
+               ~partitions:
+                 [ { Cluster.follower = 1; from_ns = 1; until_ns = d } ]
+               ~faults:[ Repl_fault.Promote_lagging ] ()) );
+      ( "lose-acked", `Bank,
+        fun ~ack ~d ->
+          H.Run.repl_config
+            ~failover_at:[ max 1 (d / 2) ]
+            (Cluster.config ~ack_mode:ack ~hop_ns:(max 1 (d / 4))
+               ~faults:[ Repl_fault.Lose_acked_window ] ()) );
+      ( "stale-read", `Hot,
+        fun ~ack ~d ->
+          H.Run.repl_config
+            (Cluster.config ~ack_mode:ack ~hop_ns:(max 1 (d / 10))
+               ~follower_read_prob:0.8 ~staleness_bound_ns:(max 1 d)
+               ~faults:[ Repl_fault.Stale_follower_read ] ()) );
+      ( "split-brain", `Hot,
+        fun ~ack ~d ->
+          H.Run.repl_config
+            ~failover_at:[ max 1 (d / 2) ]
+            ~split_brain_ns:(max 1 (d / 3))
+            (Cluster.config ~ack_mode:ack ~followers:2
+               ~faults:[ Repl_fault.Split_brain ] ()) );
+    ]
+  in
+  let latencies (o : H.Run.outcome) =
+    List.map
+      (fun t ->
+        float_of_int
+          (t.Leopard_trace.Trace.ts_aft - t.Leopard_trace.Trace.ts_bef))
+      (H.Run.all_traces_sorted o)
+  in
+  let pct = Leopard_util.Stats.percentile in
+  let cell ~label ~kind ~repl_of =
+    let acc_ls = ref [] in
+    let commits = ref 0 and aborts = ref 0 and t_total = ref 0.0 in
+    let failovers = ref 0 and gate_timeouts = ref 0 and stale = ref 0 in
+    let resends = ref 0 and ambiguous = ref 0 and bugs = ref 0 in
+    let verified = ref 0 and violation = ref 0 and inconclusive = ref 0 in
+    for i = 0 to nseeds - 1 do
+      let o, t = run ?repl:(repl_of ()) ~kind ~seed:(seed0 + i) () in
+      acc_ls := latencies o :: !acc_ls;
+      commits := !commits + o.H.Run.commits;
+      aborts := !aborts + o.H.Run.aborts;
+      t_total := !t_total +. t;
+      ambiguous := !ambiguous + List.length o.H.Run.repl_ambiguous;
+      (match o.H.Run.repl with
+      | Some s ->
+        failovers := !failovers + s.Cluster.failovers;
+        gate_timeouts := !gate_timeouts + s.Cluster.gate_timeouts;
+        stale := !stale + s.Cluster.stale_serves;
+        resends := !resends + s.Cluster.resends
+      | None -> ());
+      let report = repl_verify o in
+      bugs := !bugs + report.Leopard.Checker.bugs_total;
+      match Leopard.Checker.verdict report with
+      | Leopard.Checker.Verified -> incr verified
+      | Leopard.Checker.Violation -> incr violation
+      | Leopard.Checker.Inconclusive _ -> incr inconclusive
+    done;
+    let ls = List.concat !acc_ls in
+    let tput =
+      if !t_total <= 0.0 then 0.0
+      else float_of_int (!commits + !aborts) /. !t_total
+    in
+    ( label, !commits, !aborts, !t_total, tput, pct ls 50.0, pct ls 99.0,
+      !failovers, !gate_timeouts, !ambiguous, !stale, !resends, !verified,
+      !violation, !inconclusive, !bugs )
+  in
+  ignore (run ~kind:`Bank ~seed:seed0 ()) (* warm-up *);
+  let baseline =
+    cell ~label:"single-node" ~kind:`Bank ~repl_of:(fun () -> None)
+  in
+  let rows =
+    baseline
+    :: List.concat_map
+         (fun (ack, ack_name) ->
+           List.map
+             (fun (cls, kind, build) ->
+               let d = match kind with `Bank -> d_bank | `Hot -> d_hot in
+               cell
+                 ~label:(Printf.sprintf "%s/%s" ack_name cls)
+                 ~kind
+                 ~repl_of:(fun () -> Some (build ~ack ~d)))
+             classes)
+         [ (Cluster.Sync, "sync"); (Cluster.Async, "async") ]
+  in
+  let verdict_mix v x i =
+    String.concat " "
+      (List.filter
+         (fun s -> s <> "")
+         [
+           (if v > 0 then Printf.sprintf "%dV" v else "");
+           (if x > 0 then Printf.sprintf "%dX" x else "");
+           (if i > 0 then Printf.sprintf "%dI" i else "");
+         ])
+  in
+  Table.print
+    ~aligns:Table.[ Left ]
+    ~header:
+      [
+        "cell"; "txns/s"; "wall(ms)"; "p50(us)"; "p99(us)"; "failovers";
+        "gate-to"; "ambig"; "stale"; "resends"; "verdicts"; "bugs";
+      ]
+    (List.map
+       (fun ( label, _c, _a, t, tput, p50, p99, fo, gt, amb, st, rs, v, x, i,
+              bugs ) ->
+         [
+           label;
+           Table.fmt_float ~decimals:0 tput;
+           fmt_ms t;
+           Table.fmt_float ~decimals:1 (p50 /. 1e3);
+           Table.fmt_float ~decimals:1 (p99 /. 1e3);
+           Table.fmt_int fo;
+           Table.fmt_int gt;
+           Table.fmt_int amb;
+           Table.fmt_int st;
+           Table.fmt_int rs;
+           verdict_mix v x i;
+           Table.fmt_int bugs;
+         ])
+       rows);
+  print_endline
+    "\nverdicts over 5 seeds: V = Verified, X = Violation, I = \
+     Inconclusive.  Honest faults (partitions, failovers, gate \
+     timeouts) only ever degrade to I; the planted faults \
+     (promote-lagging, lose-acked, stale-read, split-brain) surface as \
+     X wherever the workload leaves an observable contradiction.  Sync \
+     ack under long hops trades planted-fault detection for ambiguity: \
+     gates time out before the lie becomes provable.";
+  if !emit_json then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"txns\": %d,\n  \"clients\": %d,\n  \"seeds\": %d,\n" txns
+         clients nseeds);
+    Buffer.add_string buf "  \"cells\": [\n";
+    let n = List.length rows in
+    List.iteri
+      (fun idx
+           ( label, commits, aborts, t, tput, p50, p99, fo, gt, amb, st, rs,
+             v, x, i, bugs ) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"cell\": %S, \"commits\": %d, \"aborts\": %d, \
+              \"wall_ms\": %.3f, \"txns_per_s\": %.1f, \"p50_ns\": %.0f, \
+              \"p99_ns\": %.0f, \"failovers\": %d, \"gate_timeouts\": %d, \
+              \"ambiguous_commits\": %d, \"stale_serves\": %d, \"resends\": \
+              %d, \"verified\": %d, \"violation\": %d, \"inconclusive\": \
+              %d, \"bugs\": %d}%s\n"
+             label commits aborts (t *. 1e3) tput p50 p99 fo gt amb st rs v x
+             i bugs
+             (if idx = n - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out "BENCH_replication.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_endline "\nwrote BENCH_replication.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1056,6 +1318,7 @@ let experiments =
     ("ablation", ablation);
     ("recovery", recovery);
     ("net", net_bench);
+    ("replication", replication_bench);
     ("micro", micro);
   ]
 

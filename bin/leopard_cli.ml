@@ -69,16 +69,18 @@ let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
       prerr_endline ("unknown isolation level: " ^ level);
       exit 2
   in
-  let traces, epochs, ambiguous, skipped =
+  let traces, epochs, ambiguous, leaders, skipped =
     if lenient then (
       match Leopard_trace.Codec.load_lenient_full ~path with
-      | traces, epochs, ambiguous, skipped -> (traces, epochs, ambiguous, skipped)
+      | traces, epochs, ambiguous, leaders, skipped ->
+        (traces, epochs, ambiguous, leaders, skipped)
       | exception Sys_error e ->
         prerr_endline ("cannot load " ^ path ^ ": " ^ e);
         exit 2)
     else
       match Leopard_trace.Codec.load_full ~path with
-      | Ok (traces, epochs, ambiguous) -> (traces, epochs, ambiguous, [])
+      | Ok (traces, epochs, ambiguous, leaders) ->
+        (traces, epochs, ambiguous, leaders, [])
       | Error e ->
         prerr_endline ("cannot load " ^ path ^ ": " ^ e);
         exit 2
@@ -113,6 +115,14 @@ let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
     (fun (m : Leopard_trace.Codec.ambiguous_mark) ->
       Leopard.Checker.mark_ambiguous_commit checker ~txn:m.txn)
     ambiguous;
+  (* leader marks last among the marks: a commit that was both ambiguous
+     on the wire and lost at failover is lost — note_failover strips it
+     from the ambiguous (resolvable) set permanently *)
+  List.iter
+    (fun (m : Leopard_trace.Codec.leader_mark) ->
+      Leopard.Checker.note_failover checker ~at:m.at ~epoch:m.epoch
+        ~lost:m.lost)
+    leaders;
   List.iter (Leopard.Checker.feed checker) sorted;
   Leopard.Checker.finalize checker;
   let wall = Leopard_util.Clock.wall () -. wall0 in
@@ -131,6 +141,14 @@ let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
       "ambiguous: %d commit(s) with unknown outcome, %d resolved by later \
        committed reads\n"
       (List.length ambiguous) report.resolved_ambiguous;
+  if leaders <> [] then
+    Printf.printf "failover : trace spans %d promotion(s), %d commit(s) lost \
+                   with deposed timelines\n"
+      (List.length leaders)
+      (List.fold_left
+         (fun acc (m : Leopard_trace.Codec.leader_mark) ->
+           acc + List.length m.lost)
+         0 leaders);
   if skipped <> [] then begin
     Printf.printf "skipped  : %d undecodable line(s)\n" (List.length skipped);
     List.iteri
@@ -142,7 +160,7 @@ let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
 
 let run_workload_mode workload dbms level faults clients txns seed show_bugs
     record infer chaos net max_retries max_stall_ns (wal, crash_at, wal_faults)
-    =
+    repl =
   match
     ( workload_of_string workload,
       Minidb.Profile.find dbms,
@@ -183,7 +201,7 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
     in
     let config =
       Leopard_harness.Run.config ~clients ~seed ~faults ?chaos ?net
-        ~max_retries ~wal ~crash_at ?wal_faults ~spec ~profile ~level
+        ~max_retries ~wal ~crash_at ?wal_faults ?repl ~spec ~profile ~level
         ~stop:(Leopard_harness.Run.Txn_count txns) ()
     in
     let codec_epochs (outcome : Leopard_harness.Run.outcome) =
@@ -198,12 +216,14 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
         outcome.Leopard_harness.Run.epochs
     in
     let codec_ambiguous (outcome : Leopard_harness.Run.outcome) =
-      match outcome.Leopard_harness.Run.net with
-      | Some ns ->
-        List.map
-          (fun (client, txn, at) -> { Leopard_trace.Codec.at; txn; client })
-          ns.Leopard_harness.Run.ambiguous
-      | None -> []
+      let wire =
+        match outcome.Leopard_harness.Run.net with
+        | Some ns -> ns.Leopard_harness.Run.ambiguous
+        | None -> []
+      in
+      List.map
+        (fun (client, txn, at) -> { Leopard_trace.Codec.at; txn; client })
+        (wire @ outcome.Leopard_harness.Run.repl_ambiguous)
     in
     let header outcome =
       Printf.printf "run      : %s on %s/%s, %d clients, seed %d\n"
@@ -229,6 +249,34 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
           outcome.Leopard_harness.Run.aborts_crash
           outcome.Leopard_harness.Run.wal_appended
           outcome.Leopard_harness.Run.wal_damaged;
+      (match outcome.Leopard_harness.Run.repl with
+      | Some rs ->
+        Printf.printf
+          "repl     : %d append(s) (%d resent), %d delivered, %d ack(s) | %d \
+           partition drop(s), %d stale drop(s), %d gate timeout(s)\n"
+          rs.Leopard_replication.Cluster.appends_sent
+          rs.Leopard_replication.Cluster.resends
+          rs.Leopard_replication.Cluster.appends_delivered
+          rs.Leopard_replication.Cluster.acks_delivered
+          rs.Leopard_replication.Cluster.partition_drops
+          rs.Leopard_replication.Cluster.stale_drops
+          rs.Leopard_replication.Cluster.gate_timeouts;
+        if
+          rs.Leopard_replication.Cluster.failovers > 0
+          || rs.Leopard_replication.Cluster.follower_reads > 0
+        then
+          Printf.printf
+            "repl     : %d failover(s), %d commit(s) lost, %d follower \
+             read(s) (%d stale), %d ambiguous commit(s)\n"
+            rs.Leopard_replication.Cluster.failovers
+            (List.fold_left
+               (fun acc (m : Leopard_trace.Codec.leader_mark) ->
+                 acc + List.length m.lost)
+               0 outcome.Leopard_harness.Run.leaders)
+            rs.Leopard_replication.Cluster.follower_reads
+            rs.Leopard_replication.Cluster.stale_serves
+            (List.length outcome.Leopard_harness.Run.repl_ambiguous)
+      | None -> ());
       match outcome.Leopard_harness.Run.net with
       | Some ns ->
         Printf.printf
@@ -256,6 +304,7 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
       | Some path ->
         Leopard_trace.Codec.save_ext ~path
           ~ambiguous:(codec_ambiguous outcome)
+          ~leaders:outcome.Leopard_harness.Run.leaders
           ~epochs:(codec_epochs outcome)
           (Leopard_harness.Run.all_traces_sorted outcome);
         Printf.printf "recorded : %s (%d traces)\n" path report.traces
@@ -284,6 +333,17 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
             Leopard.Checker.mark_ambiguous_commit checker ~txn)
           ns.Leopard_harness.Run.ambiguous
       | None -> ());
+      List.iter
+        (fun (_client, txn, _at) ->
+          Leopard.Checker.mark_ambiguous_commit checker ~txn)
+        outcome.Leopard_harness.Run.repl_ambiguous;
+      (* failover marks after ambiguous marks (lost beats ambiguous) and
+         before any trace *)
+      List.iter
+        (fun (m : Leopard_trace.Codec.leader_mark) ->
+          Leopard.Checker.note_failover checker ~at:m.at ~epoch:m.epoch
+            ~lost:m.lost)
+        outcome.Leopard_harness.Run.leaders;
       ignore
         (Leopard.Pipeline.drain pipeline ~f:(Leopard.Checker.feed checker));
       Leopard.Checker.finalize checker;
@@ -328,10 +388,19 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
    chaos plane would have been off); configs are only built after every
    value passed. *)
 let run workload dbms level faults clients txns seed show_bugs record check
-    infer chaos_raw net_raw max_retries max_stall_ns lenient recovery_raw =
+    infer chaos_raw net_raw max_retries max_stall_ns lenient recovery_raw
+    repl_raw =
   let ( chaos_crash, chaos_drop, chaos_dup, chaos_delay, chaos_delay_ns,
         chaos_skew_ns, chaos_seed ) =
     chaos_raw
+  in
+  let ( (repl_followers, repl_ack, repl_hop_ns, repl_drop, repl_dup,
+         repl_delay, repl_delay_ns, repl_reorder, repl_reorder_ns, repl_seed),
+        ( repl_partitions, repl_lags, repl_failover_at, repl_promote,
+          repl_election_ns, repl_split_brain_ns, repl_gate_ns,
+          repl_retransmit_ns, repl_max_retransmits, repl_read_prob,
+          repl_staleness_ns, repl_faults ) ) =
+    repl_raw
   in
   let wal, crash_at, wal_torn, wal_lost, wal_reorder, wal_dup, wal_window,
       wal_seed =
@@ -345,7 +414,7 @@ let run workload dbms level faults clients txns seed show_bugs record check
   (let open Leopard_harness.Cli_validate in
    match
      first_error
-       [
+       ([
          positive ~flag:"--clients" clients;
          positive ~flag:"--txns" txns;
          non_negative ~flag:"--show-bugs" show_bugs;
@@ -374,7 +443,28 @@ let run workload dbms level faults clients txns seed show_bugs record check
          positive ~flag:"--net-max-tries" net_max_tries;
          positive ~flag:"--net-queue-cap" net_queue_cap;
          positive ~flag:"--net-session-timeout-ns" net_session_timeout_ns;
+         non_negative ~flag:"--repl" repl_followers;
+         non_negative ~flag:"--repl-hop-ns" repl_hop_ns;
+         prob ~flag:"--repl-drop" repl_drop;
+         prob ~flag:"--repl-dup" repl_dup;
+         prob ~flag:"--repl-delay" repl_delay;
+         non_negative ~flag:"--repl-delay-ns" repl_delay_ns;
+         prob ~flag:"--repl-reorder" repl_reorder;
+         non_negative ~flag:"--repl-reorder-ns" repl_reorder_ns;
+         crash_schedule ~flag:"--repl-failover-at" repl_failover_at;
+         positive ~flag:"--repl-election-ns" repl_election_ns;
+         positive ~flag:"--repl-split-brain-ns" repl_split_brain_ns;
+         positive ~flag:"--repl-gate-timeout-ns" repl_gate_ns;
+         positive ~flag:"--repl-retransmit-ns" repl_retransmit_ns;
+         positive ~flag:"--repl-max-retransmits" repl_max_retransmits;
+         prob ~flag:"--repl-read-prob" repl_read_prob;
+         positive ~flag:"--repl-staleness-ns" repl_staleness_ns;
        ]
+       @ List.map (window ~flag:"--repl-partition") repl_partitions
+       @ List.map
+           (fun (_f, from_ns, until_ns) ->
+             window ~flag:"--repl-lag" (from_ns, until_ns))
+           repl_lags)
    with
    | Some e ->
      prerr_endline (error_to_string e);
@@ -418,9 +508,76 @@ let run workload dbms level faults clients txns seed show_bugs record check
       in
       if Minidb.Wal.faults_disabled cfg then None else Some cfg
     in
+    let repl =
+      if repl_followers = 0 then None
+      else begin
+        let ack_mode =
+          match Leopard_replication.Cluster.ack_mode_of_string repl_ack with
+          | Some m -> m
+          | None ->
+            prerr_endline
+              ("invalid --repl-ack: " ^ repl_ack ^ " (want sync or async)");
+            exit 2
+        in
+        let repl_faults =
+          List.map
+            (fun name ->
+              match Leopard_replication.Repl_fault.of_string name with
+              | Some f -> f
+              | None ->
+                prerr_endline ("unknown replication fault: " ^ name);
+                exit 2)
+            repl_faults
+        in
+        let partitions =
+          List.map
+            (fun (from_ns, until_ns) ->
+              { Leopard_replication.Cluster.follower = -1; from_ns; until_ns })
+            repl_partitions
+          @ List.map
+              (fun (follower, from_ns, until_ns) ->
+                if follower < 0 || follower >= repl_followers then begin
+                  Printf.eprintf
+                    "invalid --repl-lag: follower %d out of range [0, %d)\n"
+                    follower repl_followers;
+                  exit 2
+                end;
+                { Leopard_replication.Cluster.follower; from_ns; until_ns })
+              repl_lags
+        in
+        let cluster =
+          Leopard_replication.Cluster.config ~followers:repl_followers
+            ~ack_mode ~hop_ns:repl_hop_ns
+            ~link:
+              (Leopard_net.Faulty_link.config ~seed:repl_seed
+                 ~delay_prob:repl_delay ~max_delay_ns:repl_delay_ns
+                 ~drop_prob:repl_drop ~dup_prob:repl_dup
+                 ~reorder_prob:repl_reorder ~reorder_window_ns:repl_reorder_ns
+                 ())
+            ~partitions ~gate_timeout_ns:repl_gate_ns
+            ~retransmit_ns:repl_retransmit_ns
+            ~max_retransmits:repl_max_retransmits
+            ~follower_read_prob:repl_read_prob
+            ~staleness_bound_ns:repl_staleness_ns ~faults:repl_faults
+            ~seed:repl_seed ()
+        in
+        Some
+          (Leopard_harness.Run.repl_config ~failover_at:repl_failover_at
+             ~promote_on_partition:repl_promote
+             ~election_timeout_ns:repl_election_ns
+             ~split_brain_ns:repl_split_brain_ns cluster)
+      end
+    in
+    (match (net, repl) with
+    | Some _, Some _ ->
+      prerr_endline
+        "--net and --repl are mutually exclusive (one wire plane per run)";
+      exit 2
+    | _ -> ());
     run_workload_mode workload dbms level faults clients txns seed show_bugs
       record infer chaos net max_retries max_stall_ns
       (wal, crash_at, wal_faults)
+      repl
 
 open Cmdliner
 
@@ -746,6 +903,231 @@ let recovery_term =
     const make $ wal_flag $ crash_at $ wal_fault_torn $ wal_fault_lost
     $ wal_fault_reorder $ wal_fault_dup $ wal_fault_window $ wal_fault_seed)
 
+(* FROM:UNTIL simulated-ns window, e.g. --repl-partition 2000000:4000000 *)
+let window_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ a; b ] -> (
+      try Ok (int_of_string a, int_of_string b)
+      with Failure _ -> Error (`Msg ("bad window " ^ s)))
+    | _ -> Error (`Msg ("expected FROM:UNTIL, got " ^ s))
+  in
+  let print ppf (a, b) = Format.fprintf ppf "%d:%d" a b in
+  Arg.conv (parse, print)
+
+(* FOLLOWER:FROM:UNTIL, e.g. --repl-lag 0:1000000:3000000 *)
+let lag_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ f; a; b ] -> (
+      try Ok (int_of_string f, int_of_string a, int_of_string b)
+      with Failure _ -> Error (`Msg ("bad lag window " ^ s)))
+    | _ -> Error (`Msg ("expected FOLLOWER:FROM:UNTIL, got " ^ s))
+  in
+  let print ppf (f, a, b) = Format.fprintf ppf "%d:%d:%d" f a b in
+  Arg.conv (parse, print)
+
+let repl_followers =
+  Arg.(
+    value & opt int 0
+    & info [ "repl" ] ~docv:"N"
+        ~doc:
+          "Replicate the engine to $(docv) followers over the replication \
+           wire (0 disables replication).  With no --repl-* faults, hops, \
+           partitions or follower reads, the run is byte-identical to the \
+           single-node path for the same --seed.")
+
+let repl_ack =
+  Arg.(
+    value & opt string "sync"
+    & info [ "repl-ack" ] ~docv:"MODE"
+        ~doc:
+          "Replication acknowledgement mode: $(b,sync) reports a commit \
+           only once every live follower has it; $(b,async) reports \
+           immediately and lets replication catch up (acked commits can be \
+           lost at failover).")
+
+let repl_hop_ns =
+  Arg.(
+    value & opt int 0
+    & info [ "repl-hop-ns" ] ~docv:"NS"
+        ~doc:"One-way replication hop latency (simulated ns).")
+
+let repl_drop =
+  Arg.(
+    value & opt float 0.0
+    & info [ "repl-drop" ] ~docv:"PROB"
+        ~doc:
+          "Per-message probability of silent loss on the replication wire \
+           (recovered by capped retransmission).")
+
+let repl_dup =
+  Arg.(
+    value & opt float 0.0
+    & info [ "repl-dup" ] ~docv:"PROB"
+        ~doc:
+          "Per-message probability of duplicate delivery (absorbed by \
+           in-order apply and cumulative acks).")
+
+let repl_delay =
+  Arg.(
+    value & opt float 0.0
+    & info [ "repl-delay" ] ~docv:"PROB"
+        ~doc:"Per-message probability of extra replication latency.")
+
+let repl_delay_ns =
+  Arg.(
+    value & opt int 400_000
+    & info [ "repl-delay-ns" ] ~docv:"NS"
+        ~doc:"Upper bound on injected replication delay (simulated ns).")
+
+let repl_reorder =
+  Arg.(
+    value & opt float 0.0
+    & info [ "repl-reorder" ] ~docv:"PROB"
+        ~doc:
+          "Per-message probability of delivery at a random point inside the \
+           reordering window (followers reject gaps and re-ack).")
+
+let repl_reorder_ns =
+  Arg.(
+    value & opt int 200_000
+    & info [ "repl-reorder-ns" ] ~docv:"NS"
+        ~doc:"Size of the replication reordering window (simulated ns).")
+
+let repl_seed =
+  Arg.(
+    value & opt int 1
+    & info [ "repl-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed of the replication link fault and follower-read-routing \
+           streams (independent of --seed).")
+
+let repl_partition =
+  Arg.(
+    value & opt_all window_conv []
+    & info [ "repl-partition" ] ~docv:"FROM:UNTIL"
+        ~doc:
+          "Cut the primary off from every follower during the half-open \
+           simulated-ns window (repeatable).  Sync commits inside the \
+           window time out as ambiguous; with \
+           --repl-promote-on-partition the window also triggers an \
+           election.")
+
+let repl_lag =
+  Arg.(
+    value & opt_all lag_conv []
+    & info [ "repl-lag" ] ~docv:"FOLLOWER:FROM:UNTIL"
+        ~doc:
+          "Cut a single follower off during the window (repeatable) — it \
+           falls behind and re-converges via retransmission, or loses the \
+           election at failover.")
+
+let repl_failover_at =
+  Arg.(
+    value & opt_all int []
+    & info [ "repl-failover-at" ] ~docv:"NS"
+        ~doc:
+          "Promote the most caught-up live follower at simulated instant \
+           $(docv) (repeatable).  Commits beyond the survivor prefix are \
+           lost with the old timeline and reported as such — unless a \
+           planted --repl-fault hides them.")
+
+let repl_promote_on_partition =
+  Arg.(
+    value & flag
+    & info [ "repl-promote-on-partition" ]
+        ~doc:
+          "Additionally derive one promotion per full --repl-partition \
+           window, fired --repl-election-ns after the window opens.")
+
+let repl_election_ns =
+  Arg.(
+    value & opt int 300_000
+    & info [ "repl-election-ns" ] ~docv:"NS"
+        ~doc:
+          "Election timeout: how long after a partition opens the derived \
+           promotion fires (with --repl-promote-on-partition).")
+
+let repl_split_brain_ns =
+  Arg.(
+    value & opt int 300_000
+    & info [ "repl-split-brain-ns" ] ~docv:"NS"
+        ~doc:
+          "With --repl-fault split-brain: how long the deposed primary \
+           keeps serving unfenced after a promotion.")
+
+let repl_gate_timeout_ns =
+  Arg.(
+    value & opt int 2_000_000
+    & info [ "repl-gate-timeout-ns" ] ~docv:"NS"
+        ~doc:
+          "Sync mode: how long a commit waits for the replication quorum \
+           before being reported as ambiguous.")
+
+let repl_retransmit_ns =
+  Arg.(
+    value & opt int 500_000
+    & info [ "repl-retransmit-ns" ] ~docv:"NS"
+        ~doc:"Primary retransmission interval for unacked appends.")
+
+let repl_max_retransmits =
+  Arg.(
+    value & opt int 8
+    & info [ "repl-max-retransmits" ] ~docv:"N"
+        ~doc:"Retransmission cap per append (keeps the run finite).")
+
+let repl_read_prob =
+  Arg.(
+    value & opt float 0.0
+    & info [ "repl-read-prob" ] ~docv:"PROB"
+        ~doc:
+          "Probability that a routable snapshot read is served by a \
+           replica whose applied horizon covers the snapshot (values \
+           byte-identical to a primary read).")
+
+let repl_staleness_ns =
+  Arg.(
+    value & opt int 1_000_000
+    & info [ "repl-staleness-ns" ] ~docv:"NS"
+        ~doc:
+          "With --repl-fault stale-follower-read: how far behind the \
+           snapshot a replica may serve from.")
+
+let repl_fault =
+  Arg.(
+    value & opt_all string []
+    & info [ "repl-fault" ] ~docv:"FAULT"
+        ~doc:
+          "Plant a named replication fault (repeatable): promote-lagging, \
+           lose-acked-window, stale-follower-read, split-brain.  These \
+           make the cluster lie (definite violations), unlike the \
+           environmental --repl-drop/--repl-partition faults which only \
+           degrade the verdict honestly.")
+
+let repl_term =
+  let make_link followers ack hop_ns drop dup delay delay_ns reorder
+      reorder_ns rseed =
+    ( followers, ack, hop_ns, drop, dup, delay, delay_ns, reorder, reorder_ns,
+      rseed )
+  in
+  let make_ctl partitions lags failover_at promote election_ns split_brain_ns
+      gate_ns retransmit_ns max_retransmits read_prob staleness_ns rfaults =
+    ( partitions, lags, failover_at, promote, election_ns, split_brain_ns,
+      gate_ns, retransmit_ns, max_retransmits, read_prob, staleness_ns,
+      rfaults )
+  in
+  let pair a b = (a, b) in
+  Cmdliner.Term.(
+    const pair
+    $ (const make_link $ repl_followers $ repl_ack $ repl_hop_ns $ repl_drop
+       $ repl_dup $ repl_delay $ repl_delay_ns $ repl_reorder $ repl_reorder_ns
+       $ repl_seed)
+    $ (const make_ctl $ repl_partition $ repl_lag $ repl_failover_at
+       $ repl_promote_on_partition $ repl_election_ns $ repl_split_brain_ns
+       $ repl_gate_timeout_ns $ repl_retransmit_ns $ repl_max_retransmits
+       $ repl_read_prob $ repl_staleness_ns $ repl_fault))
+
 let lenient =
   Arg.(
     value & flag
@@ -762,6 +1144,6 @@ let cmd =
     Term.(
       const run $ workload $ dbms $ level $ faults $ clients $ txns $ seed
       $ show_bugs $ record $ check $ infer $ chaos_term $ net_term
-      $ max_retries $ max_stall_ns $ lenient $ recovery_term)
+      $ max_retries $ max_stall_ns $ lenient $ recovery_term $ repl_term)
 
 let () = exit (Cmd.eval cmd)

@@ -143,7 +143,16 @@ type raw = { rule : t; line : int; col : int; msg : string }
 
 let lib_zones : Zone.t list =
   [
-    Core; Trace_lib; Minidb; Harness; Net; Util; Workload; Baselines; Analysis;
+    Core;
+    Trace_lib;
+    Minidb;
+    Harness;
+    Net;
+    Replication;
+    Util;
+    Workload;
+    Baselines;
+    Analysis;
   ]
 
 let mem_zone (z : Zone.t) zs = List.exists (fun z' -> z' = z) zs
@@ -153,15 +162,15 @@ let applies rule (zone : Zone.t) ~basename =
   | "D001" -> zone <> Zone.Util
   | "D002" -> not (zone = Zone.Util && String.equal basename "clock.ml")
   | "D003" ->
-    mem_zone zone [ Core; Trace_lib; Minidb; Harness; Net; Analysis ]
+    mem_zone zone [ Core; Trace_lib; Minidb; Harness; Net; Replication; Analysis ]
   | "D004" -> mem_zone zone lib_zones
   | "F001" -> mem_zone zone [ Core; Trace_lib ]
   (* Core is covered by F001 (it may not reference fault modules at
      all); its own anomaly taxonomy reuses names like Dirty_read, so
      matching bare constructor names there would misfire. *)
   | "F002" ->
-    mem_zone zone [ Trace_lib; Minidb; Net; Analysis ]
-    && not (List.mem basename [ "fault.ml"; "wal.ml" ])
+    mem_zone zone [ Trace_lib; Minidb; Net; Replication; Analysis ]
+    && not (List.mem basename [ "fault.ml"; "wal.ml"; "repl_fault.ml" ])
   | "F003" -> mem_zone zone lib_zones
   | "E001" | "E002" | "E003" -> zone <> Zone.Test
   | _ -> true
@@ -212,7 +221,7 @@ let entry_family =
   {
     fam_name = "Codec.entry";
     fam_rule = e003;
-    members = [ "Trace"; "Epoch"; "Ambiguous" ];
+    members = [ "Trace"; "Epoch"; "Ambiguous"; "Leader" ];
   }
 
 let tag_family =
@@ -222,7 +231,15 @@ let tag_family =
     members = [ "Read"; "Write"; "Commit"; "Abort"; "Begin" ];
   }
 
-let families = [ verdict_family; abort_family; entry_family; tag_family ]
+let repl_family =
+  {
+    fam_name = "Wire.repl_msg";
+    fam_rule = e003;
+    members = [ "Repl_append"; "Repl_ack" ];
+  }
+
+let families =
+  [ verdict_family; abort_family; entry_family; tag_family; repl_family ]
 
 (* Constructors whose argument is itself a registered family: a
    wildcard argument of [Err]/[Refused] absorbs every abort reason. *)
@@ -253,6 +270,11 @@ let fault_ctors =
     "Lost_fsync";
     "Reordered_flush";
     "Dup_replay";
+    (* Repl_fault.t: the replication fault plane *)
+    "Promote_lagging";
+    "Lose_acked_window";
+    "Stale_follower_read";
+    "Split_brain";
   ]
 
 let fault_modules =
@@ -265,6 +287,10 @@ let fault_modules =
     "Minidb";
     "Leopard_harness";
     "Leopard_net";
+    "Repl_fault";
+    "Cluster";
+    "Follower";
+    "Leopard_replication";
   ]
 
 (* ------------------------------------------------------------------ *)

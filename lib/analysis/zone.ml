@@ -4,6 +4,7 @@ type t =
   | Minidb
   | Harness
   | Net
+  | Replication
   | Util
   | Workload
   | Baselines
@@ -21,6 +22,7 @@ let all =
     Minidb;
     Harness;
     Net;
+    Replication;
     Util;
     Workload;
     Baselines;
@@ -38,6 +40,7 @@ let to_string = function
   | Minidb -> "minidb"
   | Harness -> "harness"
   | Net -> "net"
+  | Replication -> "replication"
   | Util -> "util"
   | Workload -> "workload"
   | Baselines -> "baselines"
@@ -57,6 +60,7 @@ let lib_zone = function
   | "minidb" -> Minidb
   | "harness" -> Harness
   | "net" -> Net
+  | "replication" -> Replication
   | "util" -> Util
   | "workload" -> Workload
   | "baselines" -> Baselines

@@ -15,6 +15,7 @@ type t =
   | Minidb  (** [lib/minidb] — the engine under test *)
   | Harness  (** [lib/harness] — run orchestration, chaos injection *)
   | Net  (** [lib/net] — wire protocol and fault channel *)
+  | Replication  (** [lib/replication] — cluster, failover, repl faults *)
   | Util  (** [lib/util] — seeded RNG, clock, containers *)
   | Workload  (** [lib/workload] — benchmark program generators *)
   | Baselines  (** [lib/baselines] — reference checkers *)

@@ -45,17 +45,21 @@ type degradation = {
   restarts : int;
   recovery_lost_records : int;
   ambiguous_commits : int;
+  failovers : int;
+  lost_suffix_commits : int;
 }
 
-(* [restarts] is deliberately absent: a clean crash–recovery epoch loses
-   nothing, so a multi-epoch trace with zero damaged records still earns
-   a full [Verified].  Only actual recovery losses degrade the verdict. *)
+(* [restarts] and [failovers] are deliberately absent: a clean
+   crash–recovery epoch loses nothing, and a failover whose survivor
+   prefix covers the whole log loses nothing either, so multi-epoch
+   traces with zero damage still earn a full [Verified].  Only actual
+   losses degrade the verdict. *)
 let degradation_free d =
   d.crashed_clients = 0 && d.indeterminate_txns = 0
   && d.dup_traces_dropped = 0 && d.late_traces_dropped = 0
   && d.lost_traces = 0 && d.inconclusive_reads = 0
   && d.unterminated_txns = 0 && d.recovery_lost_records = 0
-  && d.ambiguous_commits = 0
+  && d.ambiguous_commits = 0 && d.lost_suffix_commits = 0
 
 type report = {
   traces : int;
@@ -113,6 +117,11 @@ type t = {
       (* indeterminate/ambiguous txns promoted to definitely-committed
          by outcome resolution; marks stay in their tables, resolution
          is recorded here *)
+  lost_ids : (int, unit) Hashtbl.t;
+      (* txns a failover reported lost with the truncated log suffix:
+         indeterminate like a crashed client's, and — unlike ambiguous
+         commits — never resolvable, because the surviving timeline
+         provably does not contain them *)
   awaiting : (int, await_entry list ref) Hashtbl.t;
       (* reader txn -> read items parked on an unresolved writer *)
   dedup_seen : (int * int * int, Trace.t) Hashtbl.t;
@@ -138,6 +147,8 @@ type t = {
   mutable ext_lost : int;
   mutable ext_restarts : int;
   mutable ext_recovery_lost : int;
+  mutable ext_failovers : int;
+  mutable ext_lost_commits : int;
   mutable finalized : bool;
   mutable dep_hook : (Dep.t -> unit) option;
   mech_counts : (Bug.mechanism, int) Hashtbl.t;
@@ -164,6 +175,7 @@ let create ?(gc_every = 512) ?(narrow_candidates = true)
     indeterminate_values = Cell.Tbl.create 8;
     ambiguous_ids = Hashtbl.create 8;
     resolved_ids = Hashtbl.create 8;
+    lost_ids = Hashtbl.create 8;
     awaiting = Hashtbl.create 8;
     dedup_seen = Hashtbl.create 64;
     dedup_ts = min_int;
@@ -189,6 +201,8 @@ let create ?(gc_every = 512) ?(narrow_candidates = true)
     ext_lost = 0;
     ext_restarts = 0;
     ext_recovery_lost = 0;
+    ext_failovers = 0;
+    ext_lost_commits = 0;
     finalized = false;
     dep_hook = None;
     mech_counts = Hashtbl.create 4;
@@ -208,6 +222,7 @@ let vtxn t id =
         vstatus =
           (if
              Hashtbl.mem t.indeterminate_ids id
+             || Hashtbl.mem t.lost_ids id
              || Hashtbl.mem t.ambiguous_ids id
                 && not (Hashtbl.mem t.resolved_ids id)
            then Indeterminate
@@ -322,6 +337,23 @@ let mark_ambiguous_commit t ~txn =
     && not (Hashtbl.mem t.resolved_ids txn)
   then begin
     Hashtbl.replace t.ambiguous_ids txn ();
+    match Hashtbl.find_opt t.txns txn with
+    | Some v when v.vstatus = Active -> make_indeterminate t v
+    | Some _ | None -> ()
+  end
+
+(* A commit on the truncated suffix of a failover.  It shares the
+   exclusions of an ambiguous commit but is permanently unresolvable:
+   the surviving timeline provably does not contain it, so a later read
+   observing its value proves nothing about *this* timeline (the read
+   may predate the promotion).  It is pulled out of the ambiguous set —
+   otherwise a pre-failover read could "resolve" it and post-failover
+   reads missing it would become false violations. *)
+let mark_lost_commit t ~txn =
+  Hashtbl.remove t.ambiguous_ids txn;
+  Hashtbl.remove t.resolved_ids txn;
+  if not (Hashtbl.mem t.lost_ids txn) then begin
+    Hashtbl.replace t.lost_ids txn ();
     match Hashtbl.find_opt t.txns txn with
     | Some v when v.vstatus = Active -> make_indeterminate t v
     | Some _ | None -> ()
@@ -1046,6 +1078,22 @@ let note_restart t ~at ~replayed ~damaged =
   t.ext_restarts <- t.ext_restarts + 1;
   t.ext_recovery_lost <- t.ext_recovery_lost + damaged
 
+(* The failover channel mirrors [note_restart]: the harness (or an [L]
+   trace-file marker) declares a leader change and the log suffix the
+   promotion truncated.  Call it {e before} feeding traces, so lost
+   transactions enter the checker already indeterminate — their commit
+   traces are then inert declarations rather than obligations.  An
+   honest lossy failover degrades the verdict (Inconclusive, never a
+   false Violation); a failover that {e hides} its lost suffix leaves
+   the checker free to prove the disappearance as a definite CR
+   violation. *)
+let note_failover t ~at ~epoch ~lost =
+  if at < 0 then invalid_arg "Checker.note_failover: negative timestamp";
+  if epoch < 1 then invalid_arg "Checker.note_failover: epoch must be >= 1";
+  t.ext_failovers <- t.ext_failovers + 1;
+  t.ext_lost_commits <- t.ext_lost_commits + List.length lost;
+  List.iter (fun txn -> mark_lost_commit t ~txn) lost
+
 let degradation t =
   {
     crashed_clients = t.ext_crashed_clients;
@@ -1065,6 +1113,8 @@ let degradation t =
            t.txns 0);
     restarts = t.ext_restarts;
     recovery_lost_records = t.ext_recovery_lost;
+    failovers = t.ext_failovers;
+    lost_suffix_commits = t.ext_lost_commits;
     ambiguous_commits =
       (* lint: allow hashtbl-order — count-fold; commutative *)
       Hashtbl.fold
@@ -1120,6 +1170,10 @@ let degradation_reason d =
   let parts =
     add parts d.recovery_lost_records "wal record lost in recovery"
       "wal records lost in recovery"
+  in
+  let parts =
+    add parts d.lost_suffix_commits "commit lost at failover"
+      "commits lost at failover"
   in
   String.concat ", " (List.rev parts)
 

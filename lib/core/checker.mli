@@ -121,6 +121,20 @@ val note_restart : t -> at:int -> replayed:int -> damaged:int -> unit
     present, so a read contradicting them is still a provable
     violation.  Raises [Invalid_argument] on negative inputs. *)
 
+val note_failover : t -> at:int -> epoch:int -> lost:int list -> unit
+(** Declare one leader change (a trace-file [L] marker, or [Run]'s
+    leader marks): at instant [at] a follower was promoted into epoch
+    [epoch], truncating the replication log to the survivor prefix and
+    losing the commits in [lost].  Call it {e before} feeding traces —
+    lost transactions then enter the checker already indeterminate, and
+    (unlike {!mark_ambiguous_commit}) they are {e never} resolvable: the
+    surviving timeline provably lacks them, so a read observing their
+    values is inconclusive rather than proof of commit.  A lossless
+    failover ([lost = []]) does not degrade the verdict; lost commits
+    are counted in {!degradation.lost_suffix_commits} and weaken
+    [Verified] to [Inconclusive] — never a false [Violation].  Raises
+    [Invalid_argument] if [at < 0] or [epoch < 1]. *)
+
 type degradation = {
   crashed_clients : int;
   indeterminate_txns : int;  (** transactions marked indeterminate *)
@@ -141,12 +155,17 @@ type degradation = {
       (** commits still ambiguous after resolution
           ({!mark_ambiguous_commit} minus promotions); non-zero weakens
           [Verified] to [Inconclusive] *)
+  failovers : int;  (** leader changes ({!note_failover}) *)
+  lost_suffix_commits : int;
+      (** commits reported lost with a failover's truncated log suffix;
+          non-zero weakens [Verified] to [Inconclusive] *)
 }
 
 val degradation_free : degradation -> bool
 (** All counters zero — the collection was complete and clean, so a
     bug-free report means [Verified], not merely "nothing found".
-    [restarts] is exempt: a clean multi-epoch trace still verifies. *)
+    [restarts] and [failovers] are exempt: clean multi-epoch and
+    multi-leader traces still verify. *)
 
 type report = {
   traces : int;

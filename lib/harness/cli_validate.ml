@@ -48,4 +48,18 @@ let crash_schedule ~flag instants =
   in
   check 0 instants
 
+(* A partition window is a half-open interval of simulated time: a
+   negative start or an empty/backwards window is a typo, not a no-op. *)
+let window ~flag (from_ns, until_ns) =
+  if from_ns < 0 then
+    Some { flag; msg = Printf.sprintf "window start %d is negative" from_ns }
+  else if until_ns <= from_ns then
+    Some
+      {
+        flag;
+        msg = Printf.sprintf "window [%d, %d) is empty or backwards" from_ns
+            until_ns;
+      }
+  else None
+
 let first_error checks = List.find_map Fun.id checks

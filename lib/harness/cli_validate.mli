@@ -28,6 +28,10 @@ val crash_schedule : flag:string -> int list -> error option
     instants: duplicates and out-of-order entries are rejected rather
     than silently sorted or deduplicated. *)
 
+val window : flag:string -> int * int -> error option
+(** A half-open [(from_ns, until_ns)] window (e.g. [--repl-partition])
+    must have a non-negative start and a strictly later end. *)
+
 val first_error : error option list -> error option
 (** The first [Some] in flag order, so the reported error matches the
     leftmost offending option. *)

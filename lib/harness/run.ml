@@ -1,8 +1,10 @@
 module Trace = Leopard_trace.Trace
+module Codec = Leopard_trace.Codec
 module Rng = Leopard_util.Rng
 module Engine = Minidb.Engine
 module Sim = Minidb.Sim
 module Net = Leopard_net
+module Repl = Leopard_replication
 
 type latency = {
   net_mean_ns : float;
@@ -56,6 +58,35 @@ type net_rt = {
 
 let net_ambiguous rt = List.rev rt.ambiguous
 
+(* Replication mode: the engine is the primary of a [Repl.Cluster];
+   every durable commit ships to followers over the replication wire,
+   and a seeded orchestrator can promote a follower mid-run.
+   [failover_at] lists explicit promotion instants;
+   [promote_on_partition] additionally derives one promotion
+   [election_timeout_ns] after the start of every primary-isolating
+   partition window (a [follower = -1] window in the cluster config).
+   When [Repl_fault.Split_brain] is planted, the deposed primary keeps
+   serving its in-flight transactions for [split_brain_ns] after each
+   promotion instead of being fenced immediately. *)
+type repl_config = {
+  cluster : Repl.Cluster.config;
+  failover_at : int list;
+  promote_on_partition : bool;
+  election_timeout_ns : int;
+  split_brain_ns : int;
+}
+
+let repl_config ?(failover_at = []) ?(promote_on_partition = false)
+    ?(election_timeout_ns = 300_000) ?(split_brain_ns = 300_000) cluster =
+  if election_timeout_ns <= 0 then
+    invalid_arg "Run.repl_config: election_timeout_ns must be positive";
+  if split_brain_ns <= 0 then
+    invalid_arg "Run.repl_config: split_brain_ns must be positive";
+  if List.exists (fun at -> at <= 0) failover_at then
+    invalid_arg "Run.repl_config: failover instants must be positive";
+  { cluster; failover_at; promote_on_partition; election_timeout_ns;
+    split_brain_ns }
+
 type config = {
   spec : Leopard_workload.Spec.t;
   profile : Minidb.Profile.t;
@@ -75,12 +106,20 @@ type config = {
   wal : bool;
   crash_at : int list;  (* simulated instants of server crashes *)
   wal_faults : Minidb.Wal.fault_cfg option;
+  repl : repl_config option;
 }
 
 let config ?(faults = Minidb.Fault.Set.empty) ?(clients = 8) ?(seed = 42)
     ?(latency = default_latency) ?latency_of ?observer ?tick ?chaos ?net
     ?(max_retries = 0) ?(retry_backoff_ns = 100_000.0) ?(wal = false)
-    ?(crash_at = []) ?wal_faults ~spec ~profile ~level ~stop () =
+    ?(crash_at = []) ?wal_faults ?repl ~spec ~profile ~level ~stop () =
+  (* the wire transport serves one engine; routing it at a promoted
+     replica would need session re-establishment the server does not
+     model, so the two planes are run separately *)
+  (match (net, repl) with
+  | Some _, Some _ ->
+    invalid_arg "Run.config: net and repl modes are mutually exclusive"
+  | _ -> ());
   {
     spec;
     profile;
@@ -117,6 +156,7 @@ let config ?(faults = Minidb.Fault.Set.empty) ?(clients = 8) ?(seed = 42)
     wal = wal || crash_at <> [] || wal_faults <> None;
     crash_at;
     wal_faults;
+    repl;
   }
 
 let latency_for cfg client =
@@ -158,6 +198,13 @@ type outcome = {
   chaos_duplicated : int;
   chaos_delayed : int;
   net : net_stats option;
+  leaders : Codec.leader_mark list;
+      (* failover boundaries, oldest first; [lost] is what the cluster
+         *reported* lost — empty under claim-clean replication faults *)
+  repl : Repl.Cluster.stats option;
+  repl_ambiguous : (int * int * int) list;
+      (* (client, txn, gave_up_at) of commits whose replication gate
+         timed out, oldest first *)
 }
 
 and net_stats = {
@@ -177,7 +224,11 @@ and net_stats = {
 type state = {
   cfg : config;
   sim : Sim.t;
-  engine : Engine.t;
+  engine : Engine.t ref;  (* current primary; swapped at failover *)
+  deposed : Engine.t list ref;  (* replaced primaries, newest first *)
+  repl_cl : Repl.Cluster.t option;
+  mutable leaders : Codec.leader_mark list;  (* newest first *)
+  mutable repl_ambiguous : (int * int * int) list;  (* newest first *)
   net_exec : (Net.Server.t * Net.Client.t array) option;
   buffers : Trace.t list ref array;  (* newest first; reversed at the end *)
   op_trace : (int, Trace.t) Hashtbl.t;
@@ -206,22 +257,48 @@ let should_stop st =
 let delay rng mean = 1 + int_of_float (Rng.exponential rng mean)
 
 (* Issue one request: network hop to the server, engine execution
-   (possibly delayed by lock queues), network hop back. *)
-let issue st rng ~client ~txn ~request ~receive =
+   (possibly delayed by lock queues), network hop back.  [engine] is the
+   primary the transaction began on — after a failover it keeps talking
+   to that (possibly deposed) engine, whose epoch guard then refuses it
+   exactly as a crashed server would.  A non-locking, non-predicate read
+   of a so-far write-free transaction may be routed to a live replica
+   instead of the engine; the replica serves it only when sound (or when
+   a stale-read fault is planted), drawing the same [d_out] the engine
+   path would. *)
+let issue st rng ~engine ~client ~txn ~request ~receive =
   let latency = latency_for st.cfg client in
   let ts_bef = Sim.now st.sim in
   let d_in = delay rng latency.net_mean_ns in
   let op_id = fresh_op st in
   Sim.schedule_after st.sim ~delay:d_in (fun () ->
-      Engine.exec st.engine txn ~op_id request ~k:(fun result ->
-          let extra =
-            match request with
-            | Engine.Commit -> delay rng latency.commit_extra_ns
-            | Engine.Read _ | Engine.Write _ | Engine.Abort -> 0
-          in
-          let d_out = extra + delay rng latency.net_mean_ns in
-          Sim.schedule_after st.sim ~delay:d_out (fun () ->
-              receive ~op_id ~ts_bef result)))
+      let serve_engine () =
+        Engine.exec engine txn ~op_id request ~k:(fun result ->
+            let extra =
+              match request with
+              | Engine.Commit -> delay rng latency.commit_extra_ns
+              | Engine.Read _ | Engine.Write _ | Engine.Abort -> 0
+            in
+            let d_out = extra + delay rng latency.net_mean_ns in
+            Sim.schedule_after st.sim ~delay:d_out (fun () ->
+                receive ~op_id ~ts_bef result))
+      in
+      match st.repl_cl with
+      | None -> serve_engine ()
+      | Some cl -> (
+        match request with
+        | Engine.Read { cells; locking = false; predicate = false }
+          when (not (Engine.txn_has_writes txn)) && engine == !(st.engine) -> (
+          match
+            Repl.Cluster.maybe_follower_read cl ~cells
+              ~snapshot:(fun () -> Engine.op_snapshot engine txn)
+          with
+          | Some items ->
+            let d_out = delay rng latency.net_mean_ns in
+            Sim.schedule_after st.sim ~delay:d_out (fun () ->
+                receive ~op_id ~ts_bef (Engine.Ok_read items))
+          | None -> serve_engine ())
+        | Engine.Read _ | Engine.Write _ | Engine.Commit | Engine.Abort ->
+          serve_engine ()))
 
 (* Issue one request through the wire.  The workload rng supplies exactly
    the draws the in-process [issue] makes — [d_in] at the issue instant,
@@ -271,9 +348,9 @@ let issue_net st ~server ~nclient rng ~client ~txn ~request ~receive
         on_undelivered ~op_id ~ts_bef)
 
 (* Route a request through the configured transport. *)
-let transport st rng ~client ~txn ~request ~receive ~on_undelivered =
+let transport st rng ~engine ~client ~txn ~request ~receive ~on_undelivered =
   match st.net_exec with
-  | None -> issue st rng ~client ~txn ~request ~receive
+  | None -> issue st rng ~engine ~client ~txn ~request ~receive
   | Some (server, nclients) ->
     issue_net st ~server ~nclient:nclients.(client) rng ~client ~txn ~request
       ~receive ~on_undelivered
@@ -334,7 +411,11 @@ let rec run_client st rng ~client =
    transaction) when the engine aborts it and retries remain. *)
 and attempt st rng ~client ~prog ~tries =
   begin
-    let txn = Engine.begin_txn st.engine ~client in
+    (* the engine is captured per attempt: a transaction keeps talking to
+       the primary it began on even across a failover (split-brain is
+       exactly this, unfenced) *)
+    let engine = !(st.engine) in
+    let txn = Engine.begin_txn engine ~client in
     let txn_id = Engine.txn_id txn in
     let next_txn () =
       if should_stop st then client_done st
@@ -368,7 +449,7 @@ and attempt st rng ~client ~prog ~tries =
     let reap_after ~timeout_ns =
       Sim.schedule_after st.sim ~delay:timeout_ns (fun () ->
           if Engine.txn_alive txn then
-            Engine.exec st.engine txn ~op_id:(fresh_op st) Engine.Abort
+            Engine.exec engine txn ~op_id:(fresh_op st) Engine.Abort
               ~k:(fun _ -> ()))
     in
     (* A wire call that settled without a server outcome.  A COMMIT is the
@@ -412,11 +493,11 @@ and attempt st rng ~client ~prog ~tries =
           | Engine.Read _ | Engine.Write _ ->
             reap_after ~timeout_ns:(Chaos.cfg ch).Chaos.session_timeout_ns
         in
-        transport st rng ~client ~txn ~request ~receive:dead_receive
+        transport st rng ~engine ~client ~txn ~request ~receive:dead_receive
           ~on_undelivered:(fun ~op_id ~ts_bef ->
             dead_receive ~op_id ~ts_bef (Engine.Err Engine.User_abort))
       | Some _ | None ->
-        transport st rng ~client ~txn ~request ~receive
+        transport st rng ~engine ~client ~txn ~request ~receive
           ~on_undelivered:(on_undelivered ~request)
     in
     let rec step (prog : Leopard_workload.Program.t) =
@@ -430,9 +511,31 @@ and attempt st rng ~client ~prog ~tries =
         issue_op ~request:Engine.Commit
           ~receive:(fun ~op_id ~ts_bef result ->
             match result with
-            | Engine.Ok_commit ->
-              ignore (emit st ~client ~txn_id ~op_id ~ts_bef Trace.Commit);
-              finish_txn ()
+            | Engine.Ok_commit -> (
+              match st.repl_cl with
+              | None ->
+                ignore (emit st ~client ~txn_id ~op_id ~ts_bef Trace.Commit);
+                finish_txn ()
+              | Some cl ->
+                (* the engine committed; whether (and when) the client may
+                   log the commit is the replication gate's call *)
+                Repl.Cluster.gate_commit cl ~txn:txn_id ~k:(fun g ->
+                    match g with
+                    | Repl.Cluster.Acked ->
+                      ignore
+                        (emit st ~client ~txn_id ~op_id ~ts_bef Trace.Commit);
+                      finish_txn ()
+                    | Repl.Cluster.Ack_timeout ->
+                      (* COMMIT applied but its durability across failover
+                         is unknown: no terminal trace, recorded for the
+                         checker as an ambiguous commit *)
+                      st.repl_ambiguous <-
+                        (client, txn_id, Sim.now st.sim) :: st.repl_ambiguous;
+                      finish_txn ()
+                    | Repl.Cluster.Lost_at_failover ->
+                      (* gone with the old timeline; the leader mark's
+                         lost list (when honest) tells the checker *)
+                      finish_txn ()))
             | Engine.Err
                 ( Engine.Deadlock_victim | Engine.Fuw_conflict
                 | Engine.Certifier_conflict _ | Engine.User_abort
@@ -495,14 +598,17 @@ let execute cfg =
       ~faults:cfg.faults
   in
   Engine.load engine cfg.spec.Leopard_workload.Spec.initial;
+  let engine_ref = ref engine in
+  let deposed = ref [] in
   (* Crash/restart epochs: each instant kills the server between events
      and recovers it from the WAL before the next event runs.  Scheduled
-     up front from the config, never drawn from the workload's RNG. *)
+     up front from the config, never drawn from the workload's RNG.  The
+     closure crashes whichever engine is primary at that instant. *)
   let epochs = ref [] in
   List.iter
     (fun at ->
       Sim.schedule sim ~at:(max 1 at) (fun () ->
-          let s = Engine.crash_recover engine in
+          let s = Engine.crash_recover !engine_ref in
           epochs :=
             {
               at = Sim.now sim;
@@ -511,6 +617,16 @@ let execute cfg =
             }
             :: !epochs))
     (List.sort_uniq Int.compare cfg.crash_at);
+  let repl_cl =
+    Option.map
+      (fun (r : repl_config) ->
+        Repl.Cluster.create sim r.cluster
+          ~initial:cfg.spec.Leopard_workload.Spec.initial)
+      cfg.repl
+  in
+  (match repl_cl with
+  | Some cl -> Engine.set_commit_hook engine (Some (Repl.Cluster.on_commit cl))
+  | None -> ());
   let net_exec =
     Option.map
       (fun rt ->
@@ -529,7 +645,11 @@ let execute cfg =
     {
       cfg;
       sim;
-      engine;
+      engine = engine_ref;
+      deposed;
+      repl_cl;
+      leaders = [];
+      repl_ambiguous = [];
       net_exec;
       buffers = Array.init cfg.clients (fun _ -> ref []);
       op_trace = Hashtbl.create 4096;
@@ -540,6 +660,77 @@ let execute cfg =
       stop_now = false;
     }
   in
+  (* Failover orchestrator: explicit instants plus one derived promotion
+     per primary-isolating partition window ([follower = -1]), fired
+     [election_timeout_ns] after the window opens — the cluster noticing
+     its primary has gone dark.  Scheduled up front, never drawn from
+     the workload's RNG. *)
+  (match (cfg.repl, repl_cl) with
+  | Some rcfg, Some cl ->
+    let derived =
+      if rcfg.promote_on_partition then
+        List.filter_map
+          (fun (p : Repl.Cluster.partition) ->
+            if p.Repl.Cluster.follower = -1 then
+              Some (p.Repl.Cluster.from_ns + rcfg.election_timeout_ns)
+            else None)
+          rcfg.cluster.Repl.Cluster.partitions
+      else []
+    in
+    List.iter
+      (fun at ->
+        Sim.schedule sim ~at:(max 1 at) (fun () ->
+            match Repl.Cluster.failover cl with
+            | None -> ()  (* no live follower left to promote *)
+            | Some promo ->
+              let old = !(st.engine) in
+              Engine.set_commit_hook old None;
+              let wal' =
+                (* the promoted replica gets its own WAL, preloaded with
+                   the survivor prefix — never the deposed primary's,
+                   whose tail may hold exactly the records the failover
+                   lost *)
+                if cfg.wal then Some (Minidb.Wal.create ?faults:cfg.wal_faults ())
+                else None
+              in
+              let fresh, _summary =
+                Engine.promote_from old ?wal:wal'
+                  ~records:promo.Repl.Cluster.survived ()
+              in
+              Engine.set_commit_hook fresh (Some (Repl.Cluster.on_commit cl));
+              st.engine := fresh;
+              st.deposed := old :: !(st.deposed);
+              let faults = rcfg.cluster.Repl.Cluster.faults in
+              let claim_clean =
+                (* these faults *are* the lie: the cluster hides the
+                   truncated suffix from its own failover report, leaving
+                   the checker to prove the disappearance as a violation *)
+                Repl.Repl_fault.(has_fault faults Promote_lagging)
+                || Repl.Repl_fault.(has_fault faults Lose_acked_window)
+              in
+              let lost_reported =
+                if claim_clean then []
+                else
+                  List.map
+                    (fun (r : Minidb.Wal.record) -> r.Minidb.Wal.txn)
+                    promo.Repl.Cluster.lost
+              in
+              st.leaders <-
+                {
+                  Codec.at = Sim.now sim;
+                  epoch = Engine.epoch fresh;
+                  primary = promo.Repl.Cluster.target;
+                  lost = lost_reported;
+                }
+                :: st.leaders;
+              if Repl.Repl_fault.(has_fault faults Split_brain) then
+                (* the old brain keeps serving (and committing) unfenced
+                   for a window: concurrent commits on both timelines *)
+                Sim.schedule_after sim ~delay:rcfg.split_brain_ns (fun () ->
+                    Engine.depose old ~epoch:(Engine.epoch fresh))
+              else Engine.depose old ~epoch:(Engine.epoch fresh)))
+      (List.sort_uniq Int.compare (rcfg.failover_at @ derived))
+  | _ -> ());
   let root = Rng.create cfg.seed in
   for client = 0 to cfg.clients - 1 do
     let rng = Rng.split root in
@@ -558,29 +749,37 @@ let execute cfg =
     Sim.schedule_after sim ~delay:interval_ns tick
   | None -> ());
   Sim.run sim;
-  let committed id = Engine.committed engine id in
+  (* Counters are summed across every engine of the run: [promote_from]
+     zeroes the promoted engine's counters, so current + deposed is an
+     exact partition of the run's events.  The txn-state and ground-truth
+     tables are shared across promotions, so [committed] and [truth_deps]
+     read them from any engine. *)
+  let cur = !(st.engine) in
+  let engines = cur :: !(st.deposed) in
+  let esum f = List.fold_left (fun acc e -> acc + f e) 0 engines in
+  let committed id = Engine.committed cur id in
   {
     client_traces = Array.map (fun r -> List.rev !r) st.buffers;
     op_trace = st.op_trace;
-    truth_deps =
-      Minidb.Ground_truth.deps (Engine.ground_truth engine) ~committed;
+    truth_deps = Minidb.Ground_truth.deps (Engine.ground_truth cur) ~committed;
     committed;
-    peek = (fun cell -> Engine.peek engine cell);
-    snapshot = (fun () -> Engine.snapshot_committed engine);
-    commits = Engine.commits engine;
-    aborts = Engine.aborts engine;
-    aborts_fuw = Engine.aborts_by engine Engine.Fuw_conflict;
-    aborts_certifier = Engine.aborts_by engine (Engine.Certifier_conflict "");
-    aborts_deadlock = Engine.aborts_by engine Engine.Deadlock_victim;
-    aborts_crash = Engine.aborts_by engine Engine.Server_crash;
-    deadlocks = Engine.deadlocks engine;
-    restarts = Engine.restarts engine;
+    peek = (fun cell -> Engine.peek cur cell);
+    snapshot = (fun () -> Engine.snapshot_committed cur);
+    commits = esum Engine.commits;
+    aborts = esum Engine.aborts;
+    aborts_fuw = esum (fun e -> Engine.aborts_by e Engine.Fuw_conflict);
+    aborts_certifier =
+      esum (fun e -> Engine.aborts_by e (Engine.Certifier_conflict ""));
+    aborts_deadlock = esum (fun e -> Engine.aborts_by e Engine.Deadlock_victim);
+    aborts_crash = esum (fun e -> Engine.aborts_by e Engine.Server_crash);
+    deadlocks = esum Engine.deadlocks;
+    restarts = esum Engine.restarts;
     epochs = List.rev !epochs;
-    wal_appended = Engine.wal_appended engine;
+    wal_appended = esum Engine.wal_appended;
     wal_damaged =
       List.fold_left (fun acc e -> acc + e.damaged) 0 !epochs;
     sim_duration_ns = Sim.now sim;
-    ops = Engine.ops_executed engine;
+    ops = esum Engine.ops_executed;
     retries = st.retries;
     crashed_clients =
       (match cfg.chaos with
@@ -614,6 +813,9 @@ let execute cfg =
             dup_commit_acks = Engine.duplicate_commit_acks engine;
           }
       | _ -> None);
+    leaders = List.rev st.leaders;
+    repl = Option.map Repl.Cluster.stats repl_cl;
+    repl_ambiguous = List.rev st.repl_ambiguous;
   }
 
 let all_traces_sorted outcome =

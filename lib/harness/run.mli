@@ -64,6 +64,33 @@ val net_ambiguous : net_rt -> (int * int * int) list
     never learned, oldest first — pollable mid-run by an online monitor
     (feed the txn ids to [Checker.mark_ambiguous_commit]). *)
 
+type repl_config = {
+  cluster : Leopard_replication.Cluster.config;
+      (** follower count, ack mode, replication link faults, partition
+          windows, planted replication faults *)
+  failover_at : int list;
+      (** explicit promotion instants (simulated ns, positive) *)
+  promote_on_partition : bool;
+      (** additionally derive one promotion per primary-isolating
+          partition window ([follower = -1]), fired
+          [election_timeout_ns] after the window opens *)
+  election_timeout_ns : int;
+  split_brain_ns : int;
+      (** with {!Leopard_replication.Repl_fault.Split_brain} planted,
+          how long the deposed primary keeps serving unfenced *)
+}
+
+val repl_config :
+  ?failover_at:int list ->
+  ?promote_on_partition:bool ->
+  ?election_timeout_ns:int ->
+  ?split_brain_ns:int ->
+  Leopard_replication.Cluster.config ->
+  repl_config
+(** Defaults: no explicit failovers, no partition-derived promotions,
+    election timeout 300_000 ns, split-brain window 300_000 ns.  Raises
+    [Invalid_argument] on non-positive instants or windows. *)
+
 type config = {
   spec : Leopard_workload.Spec.t;
   profile : Minidb.Profile.t;
@@ -111,6 +138,13 @@ type config = {
   wal_faults : Minidb.Wal.fault_cfg option;
       (** durability fault model applied at crash/replay time, drawn
           from its own seeded stream (never the workload's) *)
+  repl : repl_config option;
+      (** replication mode: the engine is the primary of a follower
+          cluster; commits ship over the replication wire and a seeded
+          orchestrator can promote a follower mid-run.  Mutually
+          exclusive with [net].  With a disabled replication environment
+          (no link faults, hops, partitions, or follower reads) the run
+          is byte-identical to the single-node path on the same seed *)
 }
 
 val config :
@@ -128,6 +162,7 @@ val config :
   ?wal:bool ->
   ?crash_at:int list ->
   ?wal_faults:Minidb.Wal.fault_cfg ->
+  ?repl:repl_config ->
   spec:Leopard_workload.Spec.t ->
   profile:Minidb.Profile.t ->
   level:Minidb.Isolation.level ->
@@ -176,6 +211,18 @@ type outcome = {
   chaos_duplicated : int;  (** traces delivered twice *)
   chaos_delayed : int;  (** traces delivered late *)
   net : net_stats option;  (** wire-mode statistics; [None] off the wire *)
+  leaders : Leopard_trace.Codec.leader_mark list;
+      (** failover boundaries, oldest first.  [lost] is what the cluster
+          {e reported} lost — empty under the claim-clean replication
+          faults, whose whole point is hiding the truncated suffix.
+          Feed to [Checker.note_failover] before the traces *)
+  repl : Leopard_replication.Cluster.stats option;
+      (** replication statistics; [None] when not replicated *)
+  repl_ambiguous : (int * int * int) list;
+      (** [(client, txn, gave_up_at)] of commits whose replication gate
+          timed out (applied at the primary, durability across failover
+          unknown), oldest first — feed to
+          [Checker.mark_ambiguous_commit] *)
 }
 
 and net_stats = {

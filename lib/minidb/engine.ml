@@ -57,9 +57,14 @@ type t = {
   pending : (int * Trace.value * int) list Cell.Tbl.t;
       (* cell -> (txn, value, op) of uncommitted writers, newest first *)
   mutable initial : (Cell.t * Trace.value) list;  (* reverse load order *)
-  mutable epoch : int;  (* bumped by every crash *)
-  mutable next_txn : int;
-  mutable last_stamp : int;
+  mutable epoch : int;  (* bumped by every crash or failover *)
+  next_txn : int ref;
+      (* shared with engines promoted from this one: ids stay unique
+         across a failover *)
+  last_stamp : int ref;  (* shared likewise: stamps stay globally monotone *)
+  mutable on_commit : (Wal.record -> unit) option;
+      (* replication hook: fed every commit record at the instant it is
+         durably appended, before the acknowledgement leaves *)
   mutable commits : int;
   mutable restarts : int;
   mutable aborts_deadlock : int;
@@ -95,8 +100,9 @@ let create ?wal sim ~profile ~level ~faults =
     pending = Cell.Tbl.create 256;
     initial = [];
     epoch = 0;
-    next_txn = 0;
-    last_stamp = 0;
+    next_txn = ref 0;
+    last_stamp = ref 0;
+    on_commit = None;
     commits = 0;
     restarts = 0;
     aborts_deadlock = 0;
@@ -112,8 +118,8 @@ let mechanisms t = t.mech
 
 (* Unique, strictly monotone timestamps within the current instant. *)
 let stamp t =
-  let s = max (Sim.now t.sim) (t.last_stamp + 1) in
-  t.last_stamp <- s;
+  let s = max (Sim.now t.sim) (!(t.last_stamp) + 1) in
+  t.last_stamp := s;
   s
 
 let load t items =
@@ -121,8 +127,8 @@ let load t items =
   List.iter (fun (cell, value) -> Version_store.load t.store cell value) items
 
 let begin_txn t ~client =
-  let id = t.next_txn in
-  t.next_txn <- id + 1;
+  let id = !(t.next_txn) in
+  t.next_txn := id + 1;
   let txn =
     {
       id;
@@ -209,6 +215,73 @@ let crash_recover t =
     in
     t.store <- store;
     summary
+
+let set_commit_hook t hook = t.on_commit <- hook
+
+(* Promote a replica to primary: a fresh engine whose committed store is
+   rebuilt from [records] (the survivor prefix of the replication log,
+   oldest first) and whose epoch supersedes the old primary's.
+   Transaction ids, stamps, the status table, ground truth and the
+   initial image are shared with the old engine, so promoted-node
+   timestamps stay globally monotone, ids stay unique, and idempotent
+   commit acks keep working across the failover.  Counters restart at
+   zero (the harness sums per-engine counters across the run).  The
+   caller deposes the old engine separately — keeping it alive for a
+   window models split-brain. *)
+let promote_from old ?wal ~records () =
+  (match wal with None -> () | Some w -> Wal.preload w records);
+  let t =
+    {
+      old with
+      store = Version_store.create ();
+      wal;
+      locks =
+        Lock_manager.create old.sim
+          ~s_ignores_x:
+            (Fault.Set.mem Fault.Shared_lock_ignores_exclusive old.faults);
+      active = Hashtbl.create 64;
+      pending = Cell.Tbl.create 256;
+      epoch = old.epoch + 1;
+      on_commit = None;
+      commits = 0;
+      restarts = 0;
+      aborts_deadlock = 0;
+      aborts_fuw = 0;
+      aborts_certifier = 0;
+      aborts_user = 0;
+      aborts_crash = 0;
+      dup_commit_acks = 0;
+      ops = 0;
+    }
+  in
+  let store, summary =
+    Recovery.replay ~initial:(List.rev old.initial) ~records
+      ~fresh_ts:(fun () -> stamp t)
+      ~damage:Wal.zero_damage
+  in
+  t.store <- store;
+  (t, summary)
+
+(* Depose a replaced primary: volatile state dies exactly as in a crash
+   (active transactions abort, pending writes and locks evaporate) and
+   the epoch jumps to the promoted engine's, so every straggler request
+   of the old brain gets a definite [Err Server_crash].  No recovery
+   happens — the promoted engine carries the surviving state. *)
+let depose t ~epoch =
+  (* lint: allow hashtbl-order — marks every active txn aborted and
+     bumps a counter; per-txn updates, commutative *)
+  Hashtbl.iter
+    (fun _ txn ->
+      if txn.state = Active then begin
+        txn.state <- Aborted;
+        t.aborts_crash <- t.aborts_crash + 1
+      end)
+    t.active;
+  Hashtbl.reset t.active;
+  Cell.Tbl.reset t.pending;
+  Lock_manager.crash_all t.locks;
+  t.on_commit <- None;
+  t.epoch <- max t.epoch epoch
 
 let min_active_start t =
   (* lint: allow hashtbl-order — min-fold; commutative and associative *)
@@ -305,6 +378,14 @@ let snapshot_for_op t txn =
     let s = stamp t in
     txn.snapshot_ts <- s;
     s
+
+(* The snapshot instant the next operation of [txn] would read at —
+   exposed so follower-read routing can serve the same snapshot from a
+   replica.  Mutates exactly as the engine's own read path would (starts
+   the transaction, pins or advances the snapshot). *)
+let op_snapshot t txn = snapshot_for_op t txn
+
+let txn_has_writes txn = Cell.Tbl.length txn.writes > 0
 
 (* ------------------------------------------------------------------ *)
 (* Lock acquisition over a row list, CPS style *)
@@ -708,11 +789,14 @@ let do_commit t txn ~op_id ~k =
           Ground_truth.record_cell_install t.truth cell ~txn:txn.id ~op:wop)
         installs;
       (* Durability: one commit record with the installed write set,
-         appended before the acknowledgement leaves the server. *)
-      (match t.wal with
-      | None -> ()
-      | Some wal ->
-        Wal.append wal
+         appended before the acknowledgement leaves the server.  The
+         replication hook receives the same record; building it draws
+         nothing (no stamps, no RNG), so attaching a cluster leaves the
+         timestamp stream untouched. *)
+      (match (t.wal, t.on_commit) with
+      | None, None -> ()
+      | wal, hook ->
+        let record =
           {
             Wal.txn = txn.id;
             client = txn.client;
@@ -723,7 +807,10 @@ let do_commit t txn ~op_id ~k =
                 (fun (cell, value, wop, cts) ->
                   { Wal.cell; value; write_op = wop; commit_ts = cts })
                 installs;
-          });
+          }
+        in
+        (match wal with None -> () | Some w -> Wal.append w record);
+        (match hook with None -> () | Some f -> f record));
       (* Row-level metadata + ground truth, on the real commit stamp. *)
       List.iter
         (fun row ->

@@ -123,7 +123,51 @@ val crash_recover : t -> Recovery.summary
     created without [?wal]. *)
 
 val epoch : t -> int
-(** Current server epoch; 0 until the first crash. *)
+(** Current server epoch; 0 until the first crash or failover. *)
+
+(** {2 Replication} *)
+
+val set_commit_hook : t -> (Wal.record -> unit) option -> unit
+(** Attach (or detach, with [None]) a replication hook fed every commit
+    record at the instant the commit applies, before the acknowledgement
+    leaves the server.  Building the record draws no stamps and no
+    randomness, so attaching a hook leaves the engine's timestamp stream
+    byte-identical. *)
+
+val op_snapshot : t -> txn -> int
+(** The snapshot instant the transaction's next read would be served at.
+    Mutates exactly as the engine's own read path would (starts the
+    transaction, pins or advances the snapshot per the CR granularity),
+    so follower-read routing can take the snapshot and then serve the
+    read from a replica — or fall back to [exec] — without skew.
+    [max_int] for pure-locking profiles (read latest committed). *)
+
+val txn_has_writes : txn -> bool
+(** Whether the transaction has buffered any writes (a follower can only
+    serve reads of write-free transactions: pending writes live only at
+    the primary). *)
+
+val promote_from :
+  t -> ?wal:Wal.t -> records:Wal.record list -> unit -> t * Recovery.summary
+(** Promote a replica to primary: a fresh engine whose committed store
+    is rebuilt from [records] (the survivor prefix of the replication
+    log, oldest first, replayed at the original commit stamps) and whose
+    epoch is the old primary's plus one.  Transaction ids, stamps, the
+    transaction-status table, ground truth and the initial image are
+    {e shared} with [old], so timestamps stay globally monotone, ids
+    unique, and idempotent commit acks keep working across the failover.
+    Per-engine counters ([commits], [aborts], ...) restart at zero — sum
+    across engines for run totals.  With [?wal] the new engine logs to
+    it; the log is preloaded with [records] first ({!Wal.preload}).
+    The old engine is left untouched: call {!depose} on it (immediately,
+    or after a window to model split-brain). *)
+
+val depose : t -> epoch:int -> unit
+(** Kill a replaced primary's volatile state exactly as a crash would
+    (active transactions die, locks evaporate, the commit hook detaches)
+    and raise its epoch to [epoch] (the promoted engine's), so every
+    straggler request gets a definite [Err Server_crash].  Unlike
+    {!crash_recover} nothing is rebuilt and {!restarts} does not tick. *)
 
 val restarts : t -> int
 (** Number of crash–recovery cycles so far. *)

@@ -118,6 +118,12 @@ let append t r =
   t.log <- r :: t.log;
   t.appended <- t.appended + 1
 
+(* Install a durable-log image wholesale.  A promoted replica's WAL
+   starts from the survivor prefix shipped by replication, not empty —
+   but those records were appended (and counted) by the deposed primary,
+   so [appended] is deliberately left untouched. *)
+let preload t records = t.log <- List.rev records
+
 let appended t = t.appended
 let size t = List.length t.log
 

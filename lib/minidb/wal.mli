@@ -97,6 +97,10 @@ type damage = {
 
 val no_damage : damage -> bool
 
+val zero_damage : damage
+(** The all-zero damage record (e.g. for a replication-shipped log
+    rebuilt without touching the durability fault model). *)
+
 val damaged_records : damage -> int
 (** Total records affected — the count reported to the checker's
     degradation record via [Checker.note_restart]. *)
@@ -105,6 +109,12 @@ type t
 
 val create : ?faults:fault_cfg -> unit -> t
 val append : t -> record -> unit
+
+val preload : t -> record list -> unit
+(** Replace the durable log with [records] (oldest first), e.g. the
+    survivor prefix a promoted replica received over replication.
+    {!appended} is unchanged: the records were counted when the old
+    primary appended them. *)
 
 val appended : t -> int
 (** Records appended since creation (monotone across crashes). *)

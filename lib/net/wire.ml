@@ -32,3 +32,16 @@ let body_kind = function
   | Write _ -> "write"
   | Commit _ -> "commit"
   | Abort -> "abort"
+
+(* Replication traffic rides the same faulty links as client traffic but
+   is a separate vocabulary: a replica session never speaks the
+   request/response protocol and a client session never sees a
+   REPL_APPEND.  Acks are cumulative, so a dropped or reordered ack is
+   subsumed by any later one. *)
+type repl_msg =
+  | Repl_append of { follower : int; index : int; record : Minidb.Wal.record }
+  | Repl_ack of { follower : int; through : int }
+
+let repl_kind = function
+  | Repl_append _ -> "repl-append"
+  | Repl_ack _ -> "repl-ack"

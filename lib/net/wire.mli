@@ -48,3 +48,22 @@ type response = { session : int; seq : int; body : resp_body }
 
 val body_kind : req_body -> string
 (** Short tag for logs/debugging ("begin", "read", ...). *)
+
+(** {2 Replication messages}
+
+    Log shipping between the primary and its followers travels as
+    [repl_msg] values through the same {!Faulty_link} machinery as
+    client traffic (each follower is one link session), so partitions,
+    delays, duplication and reordering apply to replication for free.
+    The vocabulary is deliberately separate from the client
+    request/response protocol: a replica session never speaks SQL. *)
+
+type repl_msg =
+  | Repl_append of { follower : int; index : int; record : Minidb.Wal.record }
+      (** ship log entry [index] (1-based, append order) to [follower] *)
+  | Repl_ack of { follower : int; through : int }
+      (** cumulative: [follower] has applied every entry [<= through],
+          so lost or reordered acks are subsumed by any later one *)
+
+val repl_kind : repl_msg -> string
+(** Short tag for logs/debugging ("repl-append" / "repl-ack"). *)

@@ -1,0 +1,439 @@
+module Rng = Leopard_util.Rng
+module Cell = Leopard_trace.Cell
+module Trace = Leopard_trace.Trace
+module Sim = Minidb.Sim
+module Wal = Minidb.Wal
+module Wire = Leopard_net.Wire
+module Faulty_link = Leopard_net.Faulty_link
+
+type ack_mode = Sync | Async
+
+let ack_mode_to_string = function Sync -> "sync" | Async -> "async"
+
+let ack_mode_of_string = function
+  | "sync" -> Some Sync
+  | "async" -> Some Async
+  | _ -> None
+
+type partition = { follower : int; from_ns : int; until_ns : int }
+
+type config = {
+  followers : int;
+  ack_mode : ack_mode;
+  hop_ns : int;
+  link : Faulty_link.config;
+  partitions : partition list;
+  gate_timeout_ns : int;
+  retransmit_ns : int;
+  max_retransmits : int;
+  follower_read_prob : float;
+  staleness_bound_ns : int;
+  faults : Repl_fault.t list;
+  seed : int;
+}
+
+let config ?(followers = 1) ?(ack_mode = Sync) ?(hop_ns = 0)
+    ?(link = Faulty_link.disabled) ?(partitions = [])
+    ?(gate_timeout_ns = 2_000_000) ?(retransmit_ns = 500_000)
+    ?(max_retransmits = 8) ?(follower_read_prob = 0.0)
+    ?(staleness_bound_ns = 1_000_000) ?(faults = []) ?(seed = 1) () =
+  if followers < 1 then invalid_arg "Cluster.config: followers must be >= 1";
+  if hop_ns < 0 then invalid_arg "Cluster.config: hop_ns must be >= 0";
+  if gate_timeout_ns <= 0 then
+    invalid_arg "Cluster.config: gate_timeout_ns must be > 0";
+  if retransmit_ns <= 0 then
+    invalid_arg "Cluster.config: retransmit_ns must be > 0";
+  if max_retransmits < 0 then
+    invalid_arg "Cluster.config: max_retransmits must be >= 0";
+  if follower_read_prob < 0.0 || follower_read_prob > 1.0 then
+    invalid_arg "Cluster.config: follower_read_prob must be in [0,1]";
+  if staleness_bound_ns < 0 then
+    invalid_arg "Cluster.config: staleness_bound_ns must be >= 0";
+  List.iter
+    (fun p ->
+      if p.from_ns < 0 || p.until_ns <= p.from_ns then
+        invalid_arg "Cluster.config: partition window must satisfy 0 <= from < until";
+      if p.follower < -1 || p.follower >= followers then
+        invalid_arg "Cluster.config: partition follower out of range")
+    partitions;
+  {
+    followers;
+    ack_mode;
+    hop_ns;
+    link;
+    partitions;
+    gate_timeout_ns;
+    retransmit_ns;
+    max_retransmits;
+    follower_read_prob;
+    staleness_bound_ns;
+    faults;
+    seed;
+  }
+
+type gate_outcome = Acked | Ack_timeout | Lost_at_failover
+
+type promotion = {
+  target : int;
+  survived : Wal.record list;
+  lost : Wal.record list;
+  target_lag : int;
+}
+
+(* One replication channel: a follower plus the primary's view of it. *)
+type chan = {
+  f : Follower.t;
+  mutable acked_through : int;  (* highest cumulatively acked index *)
+  mutable inflight : bool;  (* depth-1 pipeline: one unacked append *)
+  mutable live : bool;  (* false once promoted away *)
+}
+
+(* A sync-mode commit waiting for replication.  Gates settle exactly
+   once: by quorum ack, by timeout (ambiguous), or at failover. *)
+type gate = {
+  g_index : int;
+  mutable g_settled : bool;
+  g_k : gate_outcome -> unit;
+}
+
+type stats = {
+  appends_sent : int;
+  resends : int;
+  appends_delivered : int;
+  acks_delivered : int;
+  partition_drops : int;
+  stale_drops : int;
+  gate_timeouts : int;
+  follower_reads : int;
+  stale_serves : int;
+  failovers : int;
+  link_dropped : int;
+  link_duplicated : int;
+  link_delayed : int;
+  link_reordered : int;
+  link_resets : int;
+  log_length : int;
+  min_acked : int;
+}
+
+type t = {
+  cfg : config;
+  sim : Sim.t;
+  initial : (Cell.t * Trace.value) list;
+  link : Faulty_link.t;
+  rng : Rng.t;
+  mutable log : Wal.record array;  (* 1-based via entry_at; [count] used *)
+  mutable count : int;
+  index_of_txn : (int, int) Hashtbl.t;
+  chans : chan array;
+  gates : gate Queue.t;
+  evented : bool;
+  (* Messages from a deposed timeline carry an older generation and are
+     discarded on delivery: without this, an in-flight append from the
+     old primary could land on a follower already rebuilt onto the
+     survivor prefix and resurrect a lost-suffix record. *)
+  mutable gen : int;
+  mutable n_appends_sent : int;
+  mutable n_resends : int;
+  mutable n_appends_delivered : int;
+  mutable n_acks_delivered : int;
+  mutable n_partition_drops : int;
+  mutable n_stale_drops : int;
+  mutable n_gate_timeouts : int;
+  mutable n_follower_reads : int;
+  mutable n_stale_serves : int;
+  mutable n_failovers : int;
+}
+
+let create sim (cfg : config) ~initial =
+  let evented =
+    (not (Faulty_link.is_disabled cfg.link))
+    || cfg.hop_ns > 0 || cfg.partitions <> []
+  in
+  {
+    cfg;
+    sim;
+    initial;
+    link = Faulty_link.create ~sessions:cfg.followers cfg.link;
+    rng = Rng.create cfg.seed;
+    log = [||];
+    count = 0;
+    index_of_txn = Hashtbl.create 256;
+    chans =
+      Array.init cfg.followers (fun id ->
+          {
+            f = Follower.create ~id ~initial;
+            acked_through = 0;
+            inflight = false;
+            live = true;
+          });
+    gates = Queue.create ();
+    evented;
+    gen = 0;
+    n_appends_sent = 0;
+    n_resends = 0;
+    n_appends_delivered = 0;
+    n_acks_delivered = 0;
+    n_partition_drops = 0;
+    n_stale_drops = 0;
+    n_gate_timeouts = 0;
+    n_follower_reads = 0;
+    n_stale_serves = 0;
+    n_failovers = 0;
+  }
+
+let cfg t = t.cfg
+let evented t = t.evented
+let log_length t = t.count
+
+let entry_at t i = t.log.(i - 1)
+
+let push t r =
+  let cap = Array.length t.log in
+  if t.count = cap then begin
+    let bigger = Array.make (max 64 (2 * cap)) r in
+    Array.blit t.log 0 bigger 0 cap;
+    t.log <- bigger
+  end;
+  t.log.(t.count) <- r;
+  t.count <- t.count + 1
+
+let live_chans t = Array.to_list t.chans |> List.filter (fun c -> c.live)
+
+let min_acked t =
+  match live_chans t with
+  | [] -> t.count  (* nobody left to wait on *)
+  | cs -> List.fold_left (fun acc c -> min acc c.acked_through) max_int cs
+
+(* Is the link to [follower] inside an active partition window?
+   [follower = -1] in a window means every follower at once — the
+   primary itself is isolated. *)
+let partitioned t ~follower =
+  let now = Sim.now t.sim in
+  List.exists
+    (fun p ->
+      (p.follower = -1 || p.follower = follower)
+      && now >= p.from_ns && now < p.until_ns)
+    t.cfg.partitions
+
+let settle_gates t =
+  let quorum = min_acked t in
+  let rec loop () =
+    match Queue.peek_opt t.gates with
+    | None -> ()
+    | Some g when g.g_settled ->
+      ignore (Queue.pop t.gates);
+      loop ()
+    | Some g when g.g_index <= quorum ->
+      ignore (Queue.pop t.gates);
+      g.g_settled <- true;
+      g.g_k Acked;
+      loop ()
+    | Some _ -> ()
+  in
+  loop ()
+
+(* Route one message over a follower's link: partition windows drop it
+   outright; otherwise the faulty link decides drop/duplicate/delay and
+   every surviving copy travels one [hop_ns] plus its extra latency. *)
+let transmit t c msg ~deliver =
+  if partitioned t ~follower:c.f.Follower.id then
+    t.n_partition_drops <- t.n_partition_drops + 1
+  else
+    match Faulty_link.route t.link ~session:c.f.Follower.id with
+    | Faulty_link.Drop | Faulty_link.Reset -> ()
+    | Faulty_link.Deliver extras ->
+      List.iter
+        (fun extra ->
+          Sim.schedule_after t.sim ~delay:(t.cfg.hop_ns + extra) (fun () ->
+              deliver msg))
+        extras
+
+let rec send_append t c ~index ~attempt =
+  if attempt = 1 then t.n_appends_sent <- t.n_appends_sent + 1
+  else t.n_resends <- t.n_resends + 1;
+  let gen = t.gen in
+  let msg =
+    Wire.Repl_append
+      { follower = c.f.Follower.id; index; record = entry_at t index }
+  in
+  transmit t c msg ~deliver:(fun m -> deliver t c ~gen m);
+  (* Capped retransmit: the agenda must drain, so after the cap the
+     channel goes quiet until the next commit re-pumps it. *)
+  Sim.schedule_after t.sim ~delay:t.cfg.retransmit_ns (fun () ->
+      if gen = t.gen && c.live && c.acked_through < index && index <= t.count
+      then
+        if attempt >= t.cfg.max_retransmits then c.inflight <- false
+        else send_append t c ~index ~attempt:(attempt + 1))
+
+and pump t c =
+  if c.live && (not c.inflight) && c.acked_through < t.count then begin
+    c.inflight <- true;
+    send_append t c ~index:(c.acked_through + 1) ~attempt:1
+  end
+
+and deliver t c ~gen msg =
+  if gen <> t.gen then t.n_stale_drops <- t.n_stale_drops + 1
+  else
+    match msg with
+    | Wire.Repl_append { index; record; _ } ->
+      t.n_appends_delivered <- t.n_appends_delivered + 1;
+      ignore (Follower.apply c.f ~index record);
+      (* Always re-ack cumulatively: a duplicated or stale append still
+         tells the primary where this follower really is. *)
+      let ack =
+        Wire.Repl_ack
+          { follower = c.f.Follower.id; through = c.f.Follower.applied_through }
+      in
+      transmit t c ack ~deliver:(fun m -> deliver t c ~gen m)
+    | Wire.Repl_ack { through; _ } ->
+      t.n_acks_delivered <- t.n_acks_delivered + 1;
+      if c.live && through > c.acked_through then begin
+        c.acked_through <- through;
+        c.inflight <- false;
+        settle_gates t;
+        pump t c
+      end
+
+(* Engine commit hook: append to the cluster log and ship.  The
+   zero-fault fast path (no link faults, no hop latency, no partitions)
+   applies synchronously with no events and no RNG draws, keeping a
+   replicated run byte-identical to a single-node one. *)
+let on_commit t (r : Wal.record) =
+  push t r;
+  Hashtbl.replace t.index_of_txn r.Wal.txn t.count;
+  if not t.evented then
+    Array.iter
+      (fun c ->
+        if c.live then begin
+          ignore (Follower.apply c.f ~index:t.count r);
+          c.acked_through <- t.count
+        end)
+      t.chans
+  else Array.iter (fun c -> pump t c) t.chans
+
+let gate_commit t ~txn ~k =
+  match t.cfg.ack_mode with
+  | Async -> k Acked
+  | Sync ->
+    let index =
+      match Hashtbl.find_opt t.index_of_txn txn with
+      | Some i -> i
+      | None -> 0  (* read-only commit: nothing to replicate *)
+    in
+    if index <= min_acked t then k Acked
+    else begin
+      let g = { g_index = index; g_settled = false; g_k = k } in
+      Queue.push g t.gates;
+      Sim.schedule_after t.sim ~delay:t.cfg.gate_timeout_ns (fun () ->
+          if not g.g_settled then begin
+            g.g_settled <- true;
+            t.n_gate_timeouts <- t.n_gate_timeouts + 1;
+            g.g_k Ack_timeout
+          end)
+    end
+
+let failover t =
+  match live_chans t with
+  | [] -> None
+  | cs ->
+    let better a b =
+      (* honest election: most caught-up wins; Promote_lagging picks the
+         straggler instead.  Ties break to the lowest id either way. *)
+      let cmp =
+        Int.compare a.f.Follower.applied_through b.f.Follower.applied_through
+      in
+      if Repl_fault.has_fault t.cfg.faults Repl_fault.Promote_lagging then
+        if cmp <= 0 then a else b
+      else if cmp >= 0 then a
+      else b
+    in
+    let target = List.fold_left better (List.hd cs) (List.tl cs) in
+    let old_count = t.count in
+    let survived_n = target.f.Follower.applied_through in
+    let slice a b =
+      if b < a then [] else List.init (b - a + 1) (fun k -> entry_at t (a + k))
+    in
+    let survived = slice 1 survived_n in
+    let lost = slice (survived_n + 1) old_count in
+    target.live <- false;
+    t.n_failovers <- t.n_failovers + 1;
+    t.gen <- t.gen + 1;
+    t.count <- survived_n;
+    Hashtbl.reset t.index_of_txn;
+    List.iteri
+      (fun i r -> Hashtbl.replace t.index_of_txn r.Wal.txn (i + 1))
+      survived;
+    (* Commits still gated on replication learn their fate now: inside
+       the survivor prefix they are durably replicated; beyond it they
+       are gone with the old timeline. *)
+    Queue.iter
+      (fun g ->
+        if not g.g_settled then begin
+          g.g_settled <- true;
+          g.g_k (if g.g_index <= survived_n then Acked else Lost_at_failover)
+        end)
+      t.gates;
+    Queue.clear t.gates;
+    Array.iter
+      (fun c ->
+        if c.live then begin
+          Follower.rebuild c.f ~initial:t.initial ~records:survived;
+          c.acked_through <- survived_n;
+          c.inflight <- false
+        end)
+      t.chans;
+    Some
+      {
+        target = target.f.Follower.id;
+        survived;
+        lost;
+        target_lag = old_count - survived_n;
+      }
+
+let maybe_follower_read t ~cells ~snapshot =
+  if t.cfg.follower_read_prob <= 0.0 then None
+  else if not (Rng.chance t.rng t.cfg.follower_read_prob) then None
+  else
+    match live_chans t with
+    | [] -> None
+    | cs ->
+      let c = List.nth cs (Rng.int t.rng (List.length cs)) in
+      let snap = snapshot () in
+      let f = c.f in
+      if f.Follower.applied_ts >= snap then begin
+        (* Complete prefix through the snapshot: identical to a primary
+           read at the same instant. *)
+        t.n_follower_reads <- t.n_follower_reads + 1;
+        Some (Follower.read f ~cells ~ts:snap)
+      end
+      else if
+        Repl_fault.has_fault t.cfg.faults Repl_fault.Stale_follower_read
+        && snap - f.Follower.applied_ts <= t.cfg.staleness_bound_ns
+      then begin
+        t.n_follower_reads <- t.n_follower_reads + 1;
+        t.n_stale_serves <- t.n_stale_serves + 1;
+        Some (Follower.read f ~cells ~ts:(min snap f.Follower.applied_ts))
+      end
+      else None
+
+let stats t =
+  {
+    appends_sent = t.n_appends_sent;
+    resends = t.n_resends;
+    appends_delivered = t.n_appends_delivered;
+    acks_delivered = t.n_acks_delivered;
+    partition_drops = t.n_partition_drops;
+    stale_drops = t.n_stale_drops;
+    gate_timeouts = t.n_gate_timeouts;
+    follower_reads = t.n_follower_reads;
+    stale_serves = t.n_stale_serves;
+    failovers = t.n_failovers;
+    link_dropped = Faulty_link.dropped t.link;
+    link_duplicated = Faulty_link.duplicated t.link;
+    link_delayed = Faulty_link.delayed t.link;
+    link_reordered = Faulty_link.reordered t.link;
+    link_resets = Faulty_link.resets t.link;
+    log_length = t.count;
+    min_acked = min_acked t;
+  }

@@ -1,0 +1,150 @@
+(** A primary/follower minidb cluster: the replication fault plane.
+
+    The primary's engine reports every durable commit through a commit
+    hook ({!on_commit}); the cluster appends it to a replication log and
+    ships it to each follower as {!Leopard_net.Wire.Repl_append}
+    messages routed through {!Leopard_net.Faulty_link} — so partitions,
+    drops, duplication, delay and reordering apply to replication
+    traffic exactly as they do to client traffic.  Followers apply
+    entries strictly in order and return cumulative
+    {!Leopard_net.Wire.Repl_ack}s.
+
+    {b Determinism.}  With no link faults, no hop latency and no
+    partition windows, shipping takes a synchronous fast path: zero
+    simulation events, zero RNG draws — a replicated run is
+    byte-identical to a single-node run on the same seed.  Likewise a
+    sync-mode commit already covered by the quorum acknowledges
+    synchronously without scheduling a timeout.
+
+    {b Failover.}  {!failover} promotes the most caught-up live follower
+    (the {!Repl_fault.Promote_lagging} fault inverts the election),
+    truncates the log to the survivor prefix, reports the lost suffix,
+    settles stranded commit gates, and rebuilds the remaining followers
+    onto the new timeline.  In-flight messages from the deposed timeline
+    carry an older generation and are discarded on delivery. *)
+
+type ack_mode =
+  | Sync  (** commit acknowledged only once every live follower has it *)
+  | Async  (** commit acknowledged immediately; replication catches up *)
+
+val ack_mode_to_string : ack_mode -> string
+val ack_mode_of_string : string -> ack_mode option
+
+type partition = {
+  follower : int;  (** link to cut; [-1] cuts every follower at once *)
+  from_ns : int;
+  until_ns : int;  (** half-open window [[from_ns, until_ns)] *)
+}
+
+type config = {
+  followers : int;
+  ack_mode : ack_mode;
+  hop_ns : int;  (** one-way replication hop latency *)
+  link : Leopard_net.Faulty_link.config;
+  partitions : partition list;
+  gate_timeout_ns : int;  (** sync commit gives up waiting (ambiguous) *)
+  retransmit_ns : int;
+  max_retransmits : int;  (** cap so the event agenda always drains *)
+  follower_read_prob : float;  (** chance a routable read goes to a replica *)
+  staleness_bound_ns : int;
+      (** how far behind a {!Repl_fault.Stale_follower_read} replica may
+          serve from *)
+  faults : Repl_fault.t list;
+  seed : int;  (** follower-choice RNG seed *)
+}
+
+val config :
+  ?followers:int ->
+  ?ack_mode:ack_mode ->
+  ?hop_ns:int ->
+  ?link:Leopard_net.Faulty_link.config ->
+  ?partitions:partition list ->
+  ?gate_timeout_ns:int ->
+  ?retransmit_ns:int ->
+  ?max_retransmits:int ->
+  ?follower_read_prob:float ->
+  ?staleness_bound_ns:int ->
+  ?faults:Repl_fault.t list ->
+  ?seed:int ->
+  unit ->
+  config
+(** Validating constructor; raises [Invalid_argument] on nonsense
+    (no followers, negative windows, probabilities outside [0,1]...). *)
+
+type gate_outcome =
+  | Acked  (** replicated to the quorum: the commit is safe to report *)
+  | Ack_timeout
+      (** gave up waiting: the commit {e happened} on the primary but
+          its durability across failover is unknown — ambiguous *)
+  | Lost_at_failover
+      (** the commit was beyond the survivor prefix when the primary was
+          replaced: it is gone from the surviving timeline *)
+
+type promotion = {
+  target : int;  (** follower promoted to primary *)
+  survived : Minidb.Wal.record list;  (** log prefix the target had applied *)
+  lost : Minidb.Wal.record list;  (** truncated suffix, oldest first *)
+  target_lag : int;  (** entries the target was missing at election *)
+}
+
+type stats = {
+  appends_sent : int;
+  resends : int;
+  appends_delivered : int;
+  acks_delivered : int;
+  partition_drops : int;
+  stale_drops : int;  (** deposed-timeline messages discarded on arrival *)
+  gate_timeouts : int;
+  follower_reads : int;
+  stale_serves : int;  (** follower reads served behind the snapshot *)
+  failovers : int;
+  link_dropped : int;
+  link_duplicated : int;
+  link_delayed : int;
+  link_reordered : int;
+  link_resets : int;
+  log_length : int;
+  min_acked : int;
+}
+
+type t
+
+val create :
+  Minidb.Sim.t ->
+  config ->
+  initial:(Leopard_trace.Cell.t * Leopard_trace.Trace.value) list ->
+  t
+
+val cfg : t -> config
+
+val evented : t -> bool
+(** Whether shipping goes through simulation events (any link fault, hop
+    latency or partition window) rather than the synchronous fast path. *)
+
+val log_length : t -> int
+
+val on_commit : t -> Minidb.Wal.record -> unit
+(** The engine commit hook: append to the replication log and ship. *)
+
+val gate_commit : t -> txn:int -> k:(gate_outcome -> unit) -> unit
+(** Decide how txn's commit may be reported.  [Async] (and any commit
+    already covered by the quorum) settles synchronously with [Acked];
+    otherwise [k] fires later — on quorum ack, on timeout, or at
+    failover — exactly once. *)
+
+val failover : t -> promotion option
+(** Promote a live follower (see module doc); [None] when none remain. *)
+
+val maybe_follower_read :
+  t ->
+  cells:Leopard_trace.Cell.t list ->
+  snapshot:(unit -> int) ->
+  Leopard_trace.Trace.item list option
+(** Probabilistically route a snapshot read to a live replica.  [snapshot]
+    is only forced after the routing roll succeeds.  Serves only when the
+    replica's applied horizon covers the snapshot — byte-identical values
+    to a primary read — unless {!Repl_fault.Stale_follower_read} is
+    planted, which also serves from a horizon up to [staleness_bound_ns]
+    behind.  [None] means the caller must read from the primary. *)
+
+val stats : t -> stats

@@ -1,0 +1,78 @@
+module Cell = Leopard_trace.Cell
+module Trace = Leopard_trace.Trace
+module Version_store = Minidb.Version_store
+module Wal = Minidb.Wal
+module Recovery = Minidb.Recovery
+
+(* A follower is a version store fed exclusively by the replication log,
+   in log order.  Because the primary appends commit records in commit-
+   stamp order (stamps are monotone) and entries apply strictly in
+   sequence, [applied_ts] is an exact visibility horizon: the follower's
+   store holds *every* version with commit_ts <= applied_ts and *no*
+   version beyond it.  That is what makes follower reads at a snapshot
+   [<= applied_ts] sound. *)
+type t = {
+  id : int;
+  mutable store : Version_store.t;
+  mutable applied_through : int;  (* highest contiguously applied index *)
+  mutable applied_ts : int;  (* commit stamp of that entry; 0 if none *)
+}
+
+let install_record store (r : Wal.record) =
+  List.iter
+    (fun (w : Wal.write) ->
+      Version_store.install store w.Wal.cell
+        {
+          Version_store.value = w.Wal.value;
+          writer = r.Wal.txn;
+          writer_ts = r.Wal.start_ts;
+          write_op = w.Wal.write_op;
+          commit_ts = w.Wal.commit_ts;
+        };
+      let info = Version_store.row_info store (Cell.row_key w.Wal.cell) in
+      if r.Wal.commit_ts >= info.Version_store.last_commit_ts then begin
+        info.Version_store.last_commit_ts <- r.Wal.commit_ts;
+        info.Version_store.last_writer <- r.Wal.txn;
+        info.Version_store.last_writer_ts <- r.Wal.start_ts
+      end)
+    r.Wal.writes
+
+let create ~id ~initial =
+  let store = Version_store.create () in
+  List.iter (fun (cell, value) -> Version_store.load store cell value) initial;
+  { id; store; applied_through = 0; applied_ts = 0 }
+
+let apply t ~index record =
+  if index <> t.applied_through + 1 then false
+    (* stale retransmit or a gap from reordering: the cumulative ack for
+       [applied_through] tells the primary what to resend *)
+  else begin
+    install_record t.store record;
+    t.applied_through <- index;
+    t.applied_ts <- record.Wal.commit_ts;
+    true
+  end
+
+let read t ~cells ~ts =
+  List.map
+    (fun cell ->
+      let value =
+        match Version_store.visible t.store cell ~ts with
+        | Some v -> v.Version_store.value
+        | None -> 0
+      in
+      { Trace.cell; value })
+    cells
+
+let rebuild t ~initial ~records =
+  let store, _summary =
+    Recovery.replay ~initial ~records
+      ~fresh_ts:(fun () -> 0)
+      ~damage:Wal.zero_damage
+  in
+  t.store <- store;
+  t.applied_through <- List.length records;
+  t.applied_ts <-
+    (match List.rev records with
+    | last :: _ -> last.Wal.commit_ts
+    | [] -> 0)

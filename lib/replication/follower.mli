@@ -1,0 +1,43 @@
+(** A replica: a version store fed exclusively by the replication log.
+
+    The primary appends commit records in commit-stamp order and the
+    follower applies them strictly in sequence, so [applied_ts] is an
+    exact visibility horizon — the store holds every version with
+    [commit_ts <= applied_ts] and none beyond it.  A read at a snapshot
+    [<= applied_ts] therefore observes exactly what the primary would
+    serve at the same snapshot. *)
+
+type t = {
+  id : int;  (** link-session id of this follower *)
+  mutable store : Minidb.Version_store.t;
+  mutable applied_through : int;
+      (** highest contiguously applied log index (1-based; 0 = none) *)
+  mutable applied_ts : int;
+      (** commit stamp of the last applied entry; 0 if none *)
+}
+
+val create :
+  id:int -> initial:(Leopard_trace.Cell.t * Leopard_trace.Trace.value) list -> t
+
+val apply : t -> index:int -> Minidb.Wal.record -> bool
+(** Apply log entry [index] if it is exactly the next expected one
+    ([applied_through + 1]); returns whether it was applied.  Stale
+    retransmits and out-of-order deliveries are rejected — the follower's
+    cumulative ack tells the primary what to resend. *)
+
+val read :
+  t ->
+  cells:Leopard_trace.Cell.t list ->
+  ts:int ->
+  Leopard_trace.Trace.item list
+(** Snapshot read at [ts] against the replica's store (missing cells read
+    as 0, matching the engine's convention). *)
+
+val rebuild :
+  t ->
+  initial:(Leopard_trace.Cell.t * Leopard_trace.Trace.value) list ->
+  records:Minidb.Wal.record list ->
+  unit
+(** Reset the replica to exactly the survivor prefix chosen at failover:
+    a fresh store replayed from [records] (oldest first), with
+    [applied_through]/[applied_ts] set to the prefix's end. *)

@@ -57,7 +57,19 @@ type ambiguous_mark = { at : int; txn : int; client : int }
 let ambiguous_to_line (m : ambiguous_mark) =
   Printf.sprintf "U %d %d %d" m.at m.txn m.client
 
-type entry = Trace of Trace.t | Epoch of epoch_mark | Ambiguous of ambiguous_mark
+type leader_mark = { at : int; epoch : int; primary : int; lost : int list }
+
+let leader_to_line (m : leader_mark) =
+  Printf.sprintf "L %d %d %d %s" m.at m.epoch m.primary
+    (match m.lost with
+    | [] -> "-"
+    | ids -> String.concat "," (List.map string_of_int ids))
+
+type entry =
+  | Trace of Trace.t
+  | Epoch of epoch_mark
+  | Ambiguous of ambiguous_mark
+  | Leader of leader_mark
 
 let entry_of_line line =
   let line = String.trim line in
@@ -130,21 +142,42 @@ let entry_of_line line =
           Error (Printf.sprintf "malformed ambiguous-commit marker %S" line)
         else Ok (Some (Ambiguous m))
       with Failure _ -> Error "bad integer field")
+    | [ "L"; at; epoch; primary; lost ] -> (
+      try
+        let lost =
+          if lost = "-" then []
+          else List.map int_of_string (String.split_on_char ',' lost)
+        in
+        let m =
+          {
+            at = int_of_string at;
+            epoch = int_of_string epoch;
+            primary = int_of_string primary;
+            lost;
+          }
+        in
+        if
+          m.at < 0 || m.epoch < 1 || m.primary < 0
+          || List.exists (fun id -> id < 0) m.lost
+        then Error (Printf.sprintf "malformed leader marker %S" line)
+        else Ok (Some (Leader m))
+      with Failure _ -> Error "bad integer field")
     | _ -> Error (Printf.sprintf "unrecognised line %S" line)
   end
 
 let of_line line =
   match entry_of_line line with
   | Ok (Some (Trace t)) -> Ok (Some t)
-  | Ok (Some (Epoch _)) | Ok (Some (Ambiguous _)) | Ok None -> Ok None
+  | Ok (Some (Epoch _ | Ambiguous _ | Leader _)) | Ok None -> Ok None
   | Error e -> Error e
 
-(* Epoch and ambiguous-commit markers are interleaved at their instants,
-   so the file reads chronologically: every trace after an [E] line
-   belongs to the post-restart epoch (by the engine's monotone clock,
-   all its timestamps exceed [at]), and a [U] line sits where the client
-   gave up on the commit. *)
-let write_channel_ext oc ?(ambiguous = []) ~epochs traces =
+(* Epoch, ambiguous-commit and leader markers are interleaved at their
+   instants, so the file reads chronologically: every trace after an [E]
+   line belongs to the post-restart epoch (by the engine's monotone
+   clock, all its timestamps exceed [at]), a [U] line sits where the
+   client gave up on the commit, and an [L] line sits at the promotion —
+   traces after it ran against the new primary's timeline. *)
+let write_channel_ext oc ?(ambiguous = []) ?(leaders = []) ~epochs traces =
   output_string oc header;
   output_char oc '\n';
   let emit line =
@@ -157,7 +190,8 @@ let write_channel_ext oc ?(ambiguous = []) ~epochs traces =
       (List.map (fun (e : epoch_mark) -> (e.at, epoch_to_line e)) epochs
       @ List.map
           (fun (m : ambiguous_mark) -> (m.at, ambiguous_to_line m))
-          ambiguous)
+          ambiguous
+      @ List.map (fun (m : leader_mark) -> (m.at, leader_to_line m)) leaders)
   in
   let rec go marks traces =
     match (marks, traces) with
@@ -177,30 +211,34 @@ let write_channel_ext oc ?(ambiguous = []) ~epochs traces =
 let write_channel oc traces = write_channel_ext oc ~epochs:[] traces
 
 let read_channel_full ic =
-  let rec go acc epochs amb lineno =
+  let rec go acc epochs amb leaders lineno =
     match input_line ic with
-    | exception End_of_file -> Ok (List.rev acc, List.rev epochs, List.rev amb)
+    | exception End_of_file ->
+      Ok (List.rev acc, List.rev epochs, List.rev amb, List.rev leaders)
     | line -> (
       match entry_of_line line with
-      | Ok (Some (Trace trace)) -> go (trace :: acc) epochs amb (lineno + 1)
-      | Ok (Some (Epoch m)) -> go acc (m :: epochs) amb (lineno + 1)
-      | Ok (Some (Ambiguous m)) -> go acc epochs (m :: amb) (lineno + 1)
-      | Ok None -> go acc epochs amb (lineno + 1)
+      | Ok (Some (Trace trace)) ->
+        go (trace :: acc) epochs amb leaders (lineno + 1)
+      | Ok (Some (Epoch m)) -> go acc (m :: epochs) amb leaders (lineno + 1)
+      | Ok (Some (Ambiguous m)) ->
+        go acc epochs (m :: amb) leaders (lineno + 1)
+      | Ok (Some (Leader m)) -> go acc epochs amb (m :: leaders) (lineno + 1)
+      | Ok None -> go acc epochs amb leaders (lineno + 1)
       | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
   in
-  go [] [] [] 1
+  go [] [] [] [] 1
 
 let read_channel_ext ic =
-  Result.map (fun (traces, epochs, _amb) -> (traces, epochs))
+  Result.map (fun (traces, epochs, _amb, _leaders) -> (traces, epochs))
     (read_channel_full ic)
 
 let read_channel ic = Result.map fst (read_channel_ext ic)
 
-let save_ext ~path ?(ambiguous = []) ~epochs traces =
+let save_ext ~path ?(ambiguous = []) ?(leaders = []) ~epochs traces =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> write_channel_ext oc ~ambiguous ~epochs traces)
+    (fun () -> write_channel_ext oc ~ambiguous ~leaders ~epochs traces)
 
 let save ~path traces = save_ext ~path ~epochs:[] traces
 
@@ -211,30 +249,38 @@ let load_full ~path =
     (fun () -> read_channel_full ic)
 
 let load_ext ~path =
-  Result.map (fun (traces, epochs, _amb) -> (traces, epochs))
+  Result.map (fun (traces, epochs, _amb, _leaders) -> (traces, epochs))
     (load_full ~path)
 
 let load ~path = Result.map fst (load_ext ~path)
 
 let read_channel_lenient_full ic =
-  let rec go acc epochs amb skipped lineno =
+  let rec go acc epochs amb leaders skipped lineno =
     match input_line ic with
     | exception End_of_file ->
-      (List.rev acc, List.rev epochs, List.rev amb, List.rev skipped)
+      ( List.rev acc,
+        List.rev epochs,
+        List.rev amb,
+        List.rev leaders,
+        List.rev skipped )
     | line -> (
       match entry_of_line line with
       | Ok (Some (Trace trace)) ->
-        go (trace :: acc) epochs amb skipped (lineno + 1)
-      | Ok (Some (Epoch m)) -> go acc (m :: epochs) amb skipped (lineno + 1)
+        go (trace :: acc) epochs amb leaders skipped (lineno + 1)
+      | Ok (Some (Epoch m)) ->
+        go acc (m :: epochs) amb leaders skipped (lineno + 1)
       | Ok (Some (Ambiguous m)) ->
-        go acc epochs (m :: amb) skipped (lineno + 1)
-      | Ok None -> go acc epochs amb skipped (lineno + 1)
-      | Error e -> go acc epochs amb ((lineno, e) :: skipped) (lineno + 1))
+        go acc epochs (m :: amb) leaders skipped (lineno + 1)
+      | Ok (Some (Leader m)) ->
+        go acc epochs amb (m :: leaders) skipped (lineno + 1)
+      | Ok None -> go acc epochs amb leaders skipped (lineno + 1)
+      | Error e ->
+        go acc epochs amb leaders ((lineno, e) :: skipped) (lineno + 1))
   in
-  go [] [] [] [] 1
+  go [] [] [] [] [] 1
 
 let read_channel_lenient_ext ic =
-  let traces, epochs, _amb, skipped = read_channel_lenient_full ic in
+  let traces, epochs, _amb, _leaders, skipped = read_channel_lenient_full ic in
   (traces, epochs, skipped)
 
 let read_channel_lenient ic =
@@ -248,7 +294,7 @@ let load_lenient_full ~path =
     (fun () -> read_channel_lenient_full ic)
 
 let load_lenient_ext ~path =
-  let traces, epochs, _amb, skipped = load_lenient_full ~path in
+  let traces, epochs, _amb, _leaders, skipped = load_lenient_full ~path in
   (traces, epochs, skipped)
 
 let load_lenient ~path =

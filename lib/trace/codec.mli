@@ -40,9 +40,22 @@
     alone.  Checkers feed these to [Checker.mark_ambiguous_commit]
     before the traces.
 
-    Both marker kinds sort chronologically with the traces; readers
+    A {e leader marker} line
+
+    {v
+    L <at> <epoch> <primary> <lost-csv|->
+    v}
+
+    records a failover at instant [at]: a follower was promoted into
+    [epoch] (1-based) as the new [primary], truncating the replication
+    log to the survivor prefix; the comma-separated transaction ids
+    beyond that prefix were lost with the old timeline ([-] when the
+    failover was lossless).  Checkers feed these to
+    [Checker.note_failover] before the traces.
+
+    All marker kinds sort chronologically with the traces; readers
     unaware of them (the plain [load]/[load_lenient], and the [_ext]
-    readers for [U] lines) skip them without error. *)
+    readers for [U] and [L] lines) skip them without error. *)
 
 val header : string
 (** The recommended first line, ["# leopard-trace v1"]. *)
@@ -66,7 +79,21 @@ type ambiguous_mark = {
 val ambiguous_to_line : ambiguous_mark -> string
 (** Encode one ambiguous-commit marker (no trailing newline). *)
 
-type entry = Trace of Trace.t | Epoch of epoch_mark | Ambiguous of ambiguous_mark
+type leader_mark = {
+  at : int;  (** simulated instant of the promotion *)
+  epoch : int;  (** 1-based epoch entered by the new primary *)
+  primary : int;  (** follower id promoted to primary *)
+  lost : int list;  (** committed txns on the truncated log suffix *)
+}
+
+val leader_to_line : leader_mark -> string
+(** Encode one leader marker (no trailing newline). *)
+
+type entry =
+  | Trace of Trace.t
+  | Epoch of epoch_mark
+  | Ambiguous of ambiguous_mark
+  | Leader of leader_mark
 
 val entry_of_line : string -> (entry option, string) result
 (** Decode one line; [Ok None] for comments and blank lines.  Malformed
@@ -93,6 +120,7 @@ val load : path:string -> (Trace.t list, string) result
 val write_channel_ext :
   out_channel ->
   ?ambiguous:ambiguous_mark list ->
+  ?leaders:leader_mark list ->
   epochs:epoch_mark list ->
   Trace.t list ->
   unit
@@ -101,16 +129,19 @@ val write_channel_ext :
 
 val read_channel_ext :
   in_channel -> (Trace.t list * epoch_mark list, string) result
-(** Ambiguous-commit markers are skipped (back-compat reader); use
-    {!read_channel_full} to observe them. *)
+(** Ambiguous-commit and leader markers are skipped (back-compat
+    reader); use {!read_channel_full} to observe them. *)
 
 val read_channel_full :
   in_channel ->
-  (Trace.t list * epoch_mark list * ambiguous_mark list, string) result
+  ( Trace.t list * epoch_mark list * ambiguous_mark list * leader_mark list,
+    string )
+  result
 
 val save_ext :
   path:string ->
   ?ambiguous:ambiguous_mark list ->
+  ?leaders:leader_mark list ->
   epochs:epoch_mark list ->
   Trace.t list ->
   unit
@@ -119,21 +150,31 @@ val load_ext : path:string -> (Trace.t list * epoch_mark list, string) result
 
 val load_full :
   path:string ->
-  (Trace.t list * epoch_mark list * ambiguous_mark list, string) result
+  ( Trace.t list * epoch_mark list * ambiguous_mark list * leader_mark list,
+    string )
+  result
 
 val read_channel_lenient_ext :
   in_channel -> Trace.t list * epoch_mark list * (int * string) list
 
 val read_channel_lenient_full :
   in_channel ->
-  Trace.t list * epoch_mark list * ambiguous_mark list * (int * string) list
+  Trace.t list
+  * epoch_mark list
+  * ambiguous_mark list
+  * leader_mark list
+  * (int * string) list
 
 val load_lenient_ext :
   path:string -> Trace.t list * epoch_mark list * (int * string) list
 
 val load_lenient_full :
   path:string ->
-  Trace.t list * epoch_mark list * ambiguous_mark list * (int * string) list
+  Trace.t list
+  * epoch_mark list
+  * ambiguous_mark list
+  * leader_mark list
+  * (int * string) list
 
 val read_channel_lenient : in_channel -> Trace.t list * (int * string) list
 (** Like {!read_channel}, but a malformed line is skipped and reported

@@ -1,0 +1,5 @@
+(* lint: allow fault-construct — fixture: planted-fault table for docs *)
+let planted = Split_brain
+
+(* membership tests are absolved without any annotation *)
+let lagging faults = has_fault faults Promote_lagging

@@ -1,0 +1,1 @@
+let planted = Split_brain

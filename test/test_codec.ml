@@ -249,31 +249,68 @@ let test_malformed_ambiguous_lines_rejected () =
   Alcotest.(check bool) "bad int" true (bad "U one 2 3");
   Alcotest.(check bool) "negative txn" true (bad "U 10 -1 0")
 
+(* Leader markers: failover boundaries with the lost commit suffix. *)
+
+let leader_marks =
+  [
+    { Codec.at = 45; epoch = 2; primary = 0; lost = [ 7; 8 ] };
+    { Codec.at = 95; epoch = 3; primary = 1; lost = [] };
+  ]
+
+let test_leader_line_roundtrip () =
+  List.iter
+    (fun m ->
+      let line = Codec.leader_to_line m in
+      (match Codec.entry_of_line line with
+      | Ok (Some (Codec.Leader m')) ->
+        Alcotest.(check bool) "leader mark roundtrips" true (m = m')
+      | _ -> Alcotest.failf "bad leader decode: %s" line);
+      Alcotest.(check bool)
+        "of_line skips L markers" true
+        (Codec.of_line line = Ok None))
+    leader_marks
+
+let test_malformed_leader_lines_rejected () =
+  let bad l = Result.is_error (Codec.entry_of_line l) in
+  Alcotest.(check bool) "missing fields" true (bad "L 1 2 3");
+  Alcotest.(check bool) "trailing junk" true (bad "L 1 2 3 - x");
+  Alcotest.(check bool) "bad int" true (bad "L one 2 3 -");
+  Alcotest.(check bool) "epoch zero" true (bad "L 10 0 1 -");
+  Alcotest.(check bool) "negative lost id" true (bad "L 10 2 1 4,-5");
+  Alcotest.(check bool) "bad lost csv" true (bad "L 10 2 1 4,,5")
+
 let test_full_file_roundtrip () =
   let path = Filename.temp_file "leopard" ".trace" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Codec.save_ext ~path ~ambiguous:amb_marks ~epochs:marks samples;
+      Codec.save_ext ~path ~ambiguous:amb_marks ~leaders:leader_marks
+        ~epochs:marks samples;
       (match Codec.load_full ~path with
-      | Ok (traces, epochs, ambiguous) ->
+      | Ok (traces, epochs, ambiguous, leaders) ->
         Alcotest.(check int) "traces survive" (List.length samples)
           (List.length traces);
         Alcotest.(check bool) "epochs survive" true (epochs = marks);
         Alcotest.(check bool) "ambiguous marks survive in order" true
-          (ambiguous = amb_marks)
+          (ambiguous = amb_marks);
+        Alcotest.(check bool) "leader marks survive in order" true
+          (leaders = leader_marks)
       | Error e -> Alcotest.failf "load_full failed: %s" e);
-      (* the _ext reader predates U markers: it must skip them *)
+      (* the _ext reader predates U and L markers: it must skip them *)
       (match Codec.load_ext ~path with
       | Ok (traces, epochs) ->
-        Alcotest.(check int) "ext reader skips U lines"
+        Alcotest.(check int) "ext reader skips U/L lines"
           (List.length samples) (List.length traces);
         Alcotest.(check bool) "ext reader keeps epochs" true (epochs = marks)
       | Error e -> Alcotest.failf "load_ext failed: %s" e);
-      let _, epochs, ambiguous, skipped = Codec.load_lenient_full ~path in
+      let _, epochs, ambiguous, leaders, skipped =
+        Codec.load_lenient_full ~path
+      in
       Alcotest.(check bool) "lenient full sees epochs" true (epochs = marks);
       Alcotest.(check bool) "lenient full sees ambiguous" true
         (ambiguous = amb_marks);
+      Alcotest.(check bool) "lenient full sees leaders" true
+        (leaders = leader_marks);
       Alcotest.(check int) "nothing skipped" 0 (List.length skipped))
 
 let test_ext_file_roundtrip () =
@@ -313,7 +350,11 @@ let suite =
       test_ambiguous_line_roundtrip;
     Alcotest.test_case "malformed ambiguous markers rejected" `Quick
       test_malformed_ambiguous_lines_rejected;
-    Alcotest.test_case "full file roundtrip (U markers)" `Quick
+    Alcotest.test_case "leader marker roundtrip" `Quick
+      test_leader_line_roundtrip;
+    Alcotest.test_case "malformed leader markers rejected" `Quick
+      test_malformed_leader_lines_rejected;
+    Alcotest.test_case "full file roundtrip (U/L markers)" `Quick
       test_full_file_roundtrip;
     Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
     Alcotest.test_case "bad lines rejected" `Quick test_bad_lines;

@@ -123,9 +123,11 @@ let prop_codec_roundtrip_soup =
       List.map Trace.to_string decoded = List.map Trace.to_string traces)
 
 (* Lenient loading under line-level corruption: whatever bytes a mutated
-   trace file holds, [load_lenient_ext] must return (never raise), decode
-   exactly the lines [entry_of_line] accepts, and report every rejected
-   line — by number — as skipped.  An unmutated file skips nothing. *)
+   trace file holds — traces interleaved with E (restart), U (ambiguous
+   commit) and L (failover) marker lines — [load_lenient_full] must
+   return (never raise), decode exactly the lines [entry_of_line]
+   accepts, and report every rejected line — by number — as skipped.  An
+   unmutated file skips nothing. *)
 let gen_mutated_file =
   QCheck.Gen.(
     let mutation =
@@ -162,7 +164,9 @@ let lenient_load_oracle lines =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       write_lines path lines;
-      let traces, epochs, skipped = Leopard_trace.Codec.load_lenient_ext ~path in
+      let traces, epochs, amb, leaders, skipped =
+        Leopard_trace.Codec.load_lenient_full ~path
+      in
       let expect_bad =
         List.filter_map Fun.id
           (List.mapi
@@ -173,7 +177,8 @@ let lenient_load_oracle lines =
              lines)
       in
       List.map fst skipped = expect_bad
-      && List.length traces + List.length epochs + List.length skipped
+      && List.length traces + List.length epochs + List.length amb
+         + List.length leaders + List.length skipped
          <= List.length lines)
 
 let prop_lenient_total_on_mutations =
@@ -181,10 +186,39 @@ let prop_lenient_total_on_mutations =
     (QCheck.make gen_mutated_file)
     (fun (ops, mutations) ->
       let traces = build_traces ops in
+      (* interleave every marker kind among the traces, so mutations land
+         on E, U and L lines too *)
       let clean_lines =
         Leopard_trace.Codec.epoch_to_line
           { Leopard_trace.Codec.at = 1; epoch = 1; replayed = 0; damaged = 0 }
-        :: List.map Leopard_trace.Codec.to_line traces
+        :: List.concat
+             (List.mapi
+                (fun i t ->
+                  let line = Leopard_trace.Codec.to_line t in
+                  match i mod 5 with
+                  | 2 ->
+                    [
+                      line;
+                      Leopard_trace.Codec.ambiguous_to_line
+                        {
+                          Leopard_trace.Codec.at = t.Trace.ts_aft;
+                          txn = t.Trace.txn;
+                          client = t.Trace.client;
+                        };
+                    ]
+                  | 4 ->
+                    [
+                      line;
+                      Leopard_trace.Codec.leader_to_line
+                        {
+                          Leopard_trace.Codec.at = t.Trace.ts_aft;
+                          epoch = 1 + (i / 5);
+                          primary = i mod 3;
+                          lost = (if i mod 2 = 0 then [] else [ t.Trace.txn ]);
+                        };
+                    ]
+                  | _ -> [ line ])
+                traces)
       in
       let mutated =
         List.fold_left

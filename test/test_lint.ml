@@ -33,6 +33,19 @@ let fixture_path slug variant =
   let stem = String.map (fun c -> if c = '-' then '_' else c) slug in
   Filename.concat fixtures_dir (stem ^ "_" ^ variant ^ ".ml")
 
+(* (fixture stem, rule slug, forced zone) — the replication fault plane
+   rides the existing rules in its own zone: planting a Repl_fault
+   constructor outside the harness is fault-construct, a wildcard over
+   Wire.repl_msg is tag-wildcard. *)
+let repl_cases =
+  [
+    ("repl_fault_construct", "fault-construct", Zone.Replication);
+    ("repl_msg_wildcard", "tag-wildcard", Zone.Replication);
+  ]
+
+let repl_fixture_path stem variant =
+  Filename.concat fixtures_dir (stem ^ "_" ^ variant ^ ".ml")
+
 let lint_fixture ~zone path =
   match Driver.lint_file ~zone path with
   | Ok r -> r
@@ -74,6 +87,32 @@ let test_allowed (slug, zone) () =
   let r = lint_fixture ~zone (fixture_path slug "allowed") in
   Alcotest.(check int) (slug ^ " fully suppressed") 0 (List.length r.findings);
   Alcotest.(check bool) "suppression counted" true (r.suppressed >= 1)
+
+let test_repl_trigger (stem, slug, zone) () =
+  let r = lint_fixture ~zone (repl_fixture_path stem "trigger") in
+  let codes =
+    List.sort_uniq String.compare
+      (List.map (fun (f : A.Finding.t) -> f.rule.Rules.slug) r.findings)
+  in
+  Alcotest.(check (list string)) "exactly this rule fires" [ slug ] codes
+
+let test_repl_allowed (stem, _slug, zone) () =
+  let r = lint_fixture ~zone (repl_fixture_path stem "allowed") in
+  Alcotest.(check int) (stem ^ " fully suppressed") 0 (List.length r.findings);
+  Alcotest.(check bool) "suppression counted" true (r.suppressed >= 1)
+
+(* The harness owns replication fault injection, and tests construct
+   faults freely — the rules stay quiet for the same hazards there. *)
+let test_repl_zone_scoping () =
+  List.iter
+    (fun zone ->
+      let r =
+        lint_fixture ~zone (repl_fixture_path "repl_fault_construct" "trigger")
+      in
+      Alcotest.(check int)
+        ("repl fault construction quiet in " ^ Zone.to_string zone)
+        0 (List.length r.findings))
+    [ Zone.Harness; Zone.Bin; Zone.Test ]
 
 (* Scoping is part of each rule's contract: fault-plane and
    exhaustiveness rules are off in the Test zone (tests construct faults
@@ -167,7 +206,7 @@ let test_exit_codes () =
    property `dune build @lint` relies on to block the build. *)
 let test_exit_codes_all_triggers () =
   if not (Sys.file_exists exe) then Alcotest.skip ()
-  else
+  else begin
     List.iter
       (fun (slug, zone) ->
         Alcotest.(check int)
@@ -175,7 +214,21 @@ let test_exit_codes_all_triggers () =
           1
           (run
              [ "-q"; "--zone"; Zone.to_string zone; fixture_path slug "trigger" ]))
-      cases
+      cases;
+    List.iter
+      (fun (stem, _slug, zone) ->
+        Alcotest.(check int)
+          (stem ^ " trigger fails the gate")
+          1
+          (run
+             [
+               "-q";
+               "--zone";
+               Zone.to_string zone;
+               repl_fixture_path stem "trigger";
+             ]))
+      repl_cases
+  end
 
 let test_repo_is_clean () =
   (* The build tree mirrors the source tree, so when the linted roots
@@ -200,10 +253,20 @@ let suite =
           Alcotest.test_case (slug ^ " allowed") `Quick (test_allowed case);
         ])
       cases
+    @ List.concat_map
+        (fun ((stem, _, _) as case) ->
+          [
+            Alcotest.test_case (stem ^ " trigger") `Quick
+              (test_repl_trigger case);
+            Alcotest.test_case (stem ^ " allowed") `Quick
+              (test_repl_allowed case);
+          ])
+        repl_cases
   in
   [
     Alcotest.test_case "rule catalogue" `Quick test_catalogue;
     Alcotest.test_case "zone scoping" `Quick test_zone_scoping;
+    Alcotest.test_case "replication zone scoping" `Quick test_repl_zone_scoping;
     Alcotest.test_case "multi-line suppression" `Quick test_multiline_suppression;
     Alcotest.test_case "suppression does not leak" `Quick
       test_suppression_does_not_leak;

@@ -368,6 +368,89 @@ let test_ambiguous_commits_never_false_violations () =
   Alcotest.(check bool) "sweep actually exercised ambiguity" true
     (!seen_ambiguous > 0)
 
+(* --- cross-plane: wire give-ups and crash-recovery damage --- *)
+
+let test_cross_plane_channels_separate () =
+  (* a reset-heavy wire (commit give-ups → ambiguity) and a mid-run
+     server crash with lossy fsync (restart → damaged WAL records) in
+     the same run: each plane's evidence must land in its own
+     degradation channel — every wire-ambiguous commit is either
+     resolved or residual exactly once, recovery damage equals the WAL's
+     own count, and neither plane fabricates a violation *)
+  let run seed =
+    let probe =
+      Run.config ~clients:4 ~seed ~spec:(spec ())
+        ~profile:Minidb.Profile.postgresql
+        ~level:Minidb.Isolation.Snapshot_isolation ~stop:(Run.Txn_count 120)
+        ()
+    in
+    let d = (Run.execute probe).Run.sim_duration_ns in
+    let cfg =
+      Run.config ~clients:4 ~seed ~max_retries:3 ~wal:true
+        ~crash_at:[ d / 2 ]
+        ~wal_faults:
+          (Minidb.Wal.fault_cfg ~seed ~lost_fsync_prob:0.7
+             ~torn_tail_prob:0.5 ())
+        ~net:
+          (Run.net_config
+             ~fault:
+               (Link.config ~seed ~drop_prob:0.05 ~dup_prob:0.05
+                  ~reset_prob:0.08 ())
+             ())
+        ~spec:(spec ()) ~profile:Minidb.Profile.postgresql
+        ~level:Minidb.Isolation.Snapshot_isolation ~stop:(Run.Txn_count 120)
+        ()
+    in
+    Run.execute cfg
+  in
+  (* find a seed where both planes actually fired *)
+  let outcome = ref None in
+  let seed = ref 1 in
+  while Option.is_none !outcome && !seed <= 20 do
+    let o = run !seed in
+    let ambiguous =
+      match o.Run.net with Some ns -> ns.Run.ambiguous | None -> []
+    in
+    if o.Run.wal_damaged > 0 && ambiguous <> [] then outcome := Some o;
+    incr seed
+  done;
+  match !outcome with
+  | None -> Alcotest.fail "no seed fired both fault planes"
+  | Some o ->
+    let ambiguous =
+      match o.Run.net with Some ns -> ns.Run.ambiguous | None -> []
+    in
+    let checker = Checker.create si in
+    List.iter
+      (fun (_client, txn, _at) -> Checker.mark_ambiguous_commit checker ~txn)
+      ambiguous;
+    List.iter
+      (fun (e : Run.epoch_mark) ->
+        Checker.note_restart checker ~at:e.Run.at ~replayed:e.Run.replayed
+          ~damaged:e.Run.damaged)
+      o.Run.epochs;
+    List.iter (Checker.feed checker) (Run.all_traces_sorted o);
+    Checker.finalize checker;
+    let r = Checker.report checker in
+    Alcotest.(check int) "no false violations" 0 r.Checker.bugs_total;
+    let d = r.Checker.degradation in
+    Alcotest.(check int) "restarts in their own channel" o.Run.restarts
+      d.Checker.restarts;
+    Alcotest.(check int) "recovery damage equals the WAL count"
+      o.Run.wal_damaged d.Checker.recovery_lost_records;
+    Alcotest.(check int)
+      "ambiguous commits partition exactly (resolved + residual)"
+      (List.length ambiguous)
+      (r.Checker.resolved_ambiguous + d.Checker.ambiguous_commits);
+    Alcotest.(check bool) "wire ambiguity never counted as recovery loss"
+      true
+      (d.Checker.recovery_lost_records <= o.Run.wal_damaged);
+    match Checker.verdict r with
+    | Checker.Inconclusive _ -> ()
+    | Checker.Verified ->
+      Alcotest.fail "damaged recovery + residual ambiguity cannot verify"
+    | Checker.Violation -> Alcotest.fail "cross-plane noise is not a violation"
+
 let test_online_net_chaos_compose () =
   (* wire faults + collection chaos together: terminates, no false
      alarms, ambiguous commits reach the checker via the online poll *)
@@ -454,6 +537,8 @@ let suite =
       test_planted_violation_under_ambiguity_flagged;
     Alcotest.test_case "50-seed sweep: no false violations" `Slow
       test_ambiguous_commits_never_false_violations;
+    Alcotest.test_case "cross-plane degradation channels stay separate"
+      `Quick test_cross_plane_channels_separate;
     Alcotest.test_case "wire + chaos compose online" `Quick
       test_online_net_chaos_compose;
     Alcotest.test_case "cli validators" `Quick test_cli_validators;
