@@ -1304,6 +1304,303 @@ let replication_bench () =
 
 (* ------------------------------------------------------------------ *)
 
+let shard_bench () =
+  let module Group = Leopard_shard.Group in
+  let module Shard_fault = Leopard_shard.Shard_fault in
+  let module Link = Leopard_net.Faulty_link in
+  let module Codec = Leopard_trace.Codec in
+  section "Sharding — fault class: fast path vs 2PC, latency and verdict mix";
+  let clients = 16 and txns = 800 and nseeds = 5 and seed0 = 307 in
+  let si = Minidb.Isolation.Snapshot_isolation in
+  (* One hot row per shard of a 2-shard ring plus a cross-shard
+     read-modify-write share: collisions are dense enough that a lying
+     shard leaves an observable contradiction, and the cross-shard share
+     keeps the 2PC path busy.  Smallbank's uniform accounts exercise the
+     environmental cells but would leave the planted-lie cells
+     Inconclusive for lack of witnesses, not strength of checker. *)
+  let row_on shard =
+    let rec go r =
+      if r > 10_000 then failwith "no row found for shard"
+      else if Group.shard_of_row ~shards:2 (0, r) = shard then r
+      else go (r + 1)
+    in
+    go 0
+  in
+  let cross_rmw () =
+    let next = W.Spec.fresh_value_counter () in
+    let a = Leopard_trace.Cell.make ~table:0 ~row:(row_on 0) ~col:0 in
+    let b = Leopard_trace.Cell.make ~table:0 ~row:(row_on 1) ~col:0 in
+    W.Spec.make ~name:"cross-rmw"
+      ~initial:[ (a, 0); (b, 0) ]
+      ~next_txn:(fun rng ->
+        match Leopard_util.Rng.int rng 4 with
+        | 0 ->
+          W.Program.read [ a ] (fun _ ->
+              W.Program.write_then [ (a, next ()) ] W.Program.finish)
+        | 1 ->
+          W.Program.read [ b ] (fun _ ->
+              W.Program.write_then [ (b, next ()) ] W.Program.finish)
+        | _ ->
+          W.Program.read [ a; b ] (fun _ ->
+              W.Program.write_then
+                [ (a, next ()); (b, next ()) ]
+                W.Program.finish))
+  in
+  let spec_of = function `Bank -> W.Smallbank.spec () | `Cross -> cross_rmw () in
+  let run ?shard ~kind ~seed () =
+    let cfg =
+      H.Run.config ~clients ~seed ?shard ~spec:(spec_of kind) ~profile:pg
+        ~level:si ~stop:(H.Run.Txn_count txns) ()
+    in
+    let t0 = wall () in
+    let o = H.Run.execute cfg in
+    (o, wall () -. t0)
+  in
+  (* Fault instants and protocol timeouts scale with an unsharded probe
+     of the same shape, so crashes and partition windows land mid-run
+     regardless of the workload's absolute latency. *)
+  let probe kind =
+    let o, _ = run ~kind ~seed:seed0 () in
+    o.H.Run.sim_duration_ns
+  in
+  let d_bank = probe `Bank and d_cross = probe `Cross in
+  (* Offline verification exactly as the CLI does it: coordinator
+     ambiguity marks first (the [P ... ?] lines), then the traces in
+     timestamp order. *)
+  let shard_verify (o : H.Run.outcome) =
+    let checker = Leopard.Checker.create Leopard.Il_profile.postgresql_si in
+    List.iter
+      (fun (_client, txn, _at) ->
+        Leopard.Checker.mark_coord_ambiguous checker ~txn)
+      o.H.Run.coord_ambiguous;
+    List.iter (Leopard.Checker.feed checker) (H.Run.all_traces_sorted o);
+    Leopard.Checker.finalize checker;
+    Leopard.Checker.report checker
+  in
+  let classes =
+    [
+      ( "clean", `Bank,
+        fun ~d:_ -> H.Run.shard_config (Group.config ~shards:3 ()) );
+      ( "hop", `Bank,
+        fun ~d:_ ->
+          H.Run.shard_config (Group.config ~shards:3 ~hop_ns:20_000 ()) );
+      ( "lossy-link", `Bank,
+        fun ~d:_ ->
+          H.Run.shard_config
+            (Group.config ~shards:3 ~hop_ns:20_000
+               ~link:(Link.config ~drop_prob:0.05 ~dup_prob:0.05 ())
+               ()) );
+      ( "partition", `Bank,
+        fun ~d ->
+          H.Run.shard_config
+            (Group.config ~shards:3
+               ~hop_ns:(max 1 (d / 100))
+               ~prepare_timeout_ns:(max 1 (d / 10))
+               ~retransmit_ns:(max 1 (d / 50))
+               ~partitions:
+                 [
+                   { Group.shard = 1; from_ns = d / 3; until_ns = 2 * d / 3 };
+                 ]
+               ()) );
+      ( "coord-crash", `Bank,
+        fun ~d ->
+          H.Run.shard_config
+            ~coord_crash_at:[ max 1 (d / 2) ]
+            (Group.config ~shards:2
+               ~hop_ns:(max 1 (d / 100))
+               ~prepare_timeout_ns:(max 1 (d / 20))
+               ~retransmit_ns:(max 1 (d / 50))
+               ~link:(Link.config ~drop_prob:0.1 ())
+               ()) );
+      ( "fractured-commit", `Cross,
+        fun ~d ->
+          H.Run.shard_config
+            ~coord_crash_at:[ max 1 (d / 4); max 1 (d / 2); max 1 (3 * d / 4) ]
+            (Group.config ~shards:2
+               ~hop_ns:(max 1 (d / 100))
+               ~prepare_timeout_ns:(max 1 (d / 10))
+               ~retransmit_ns:(max 1 (d / 50))
+               ~link:(Link.config ~seed:9 ~drop_prob:0.05 ())
+               ~faults:[ Shard_fault.Fractured_commit ] ()) );
+      ( "commit-after-abort", `Cross,
+        fun ~d ->
+          H.Run.shard_config
+            (Group.config ~shards:2
+               ~hop_ns:(max 1 (d / 2000))
+               ~prepare_timeout_ns:(max 1 (d / 50))
+               ~retransmit_ns:(max 1 (d / 200))
+               ~link:(Link.config ~seed:5 ~drop_prob:0.3 ())
+               ~faults:[ Shard_fault.Commit_after_abort ] ()) );
+      ( "snapshot-skew", `Cross,
+        fun ~d ->
+          H.Run.shard_config
+            (Group.config ~shards:2
+               ~hop_ns:(max 1 (d / 20))
+               ~skew_bound_ns:(max 1 d)
+               ~prepare_timeout_ns:(max 1 (d / 5))
+               ~retransmit_ns:(max 1 (d / 20))
+               ~faults:[ Shard_fault.Snapshot_skew ] ()) );
+      ( "stale-prepared-read", `Cross,
+        fun ~d ->
+          H.Run.shard_config
+            ~coord_crash_at:[ max 1 (d / 3) ]
+            (Group.config ~shards:2
+               ~hop_ns:(max 1 (d / 20))
+               ~skew_bound_ns:(max 1 d)
+               ~prepare_timeout_ns:(max 1 (d / 5))
+               ~retransmit_ns:(max 1 (d / 20))
+               ~faults:[ Shard_fault.Stale_prepared_read ] ()) );
+    ]
+  in
+  let latencies (o : H.Run.outcome) =
+    List.map
+      (fun t ->
+        float_of_int
+          (t.Leopard_trace.Trace.ts_aft - t.Leopard_trace.Trace.ts_bef))
+      (H.Run.all_traces_sorted o)
+  in
+  let pct = Leopard_util.Stats.percentile in
+  let cell ~label ~kind ~shard_of =
+    let acc_ls = ref [] in
+    let commits = ref 0 and aborts = ref 0 and t_total = ref 0.0 in
+    let fast = ref 0 and tpc_c = ref 0 and tpc_a = ref 0 in
+    let orphans = ref 0 and resends = ref 0 and routed = ref 0 in
+    let bugs = ref 0 in
+    let verified = ref 0 and violation = ref 0 and inconclusive = ref 0 in
+    for i = 0 to nseeds - 1 do
+      let o, t = run ?shard:(shard_of ()) ~kind ~seed:(seed0 + i) () in
+      acc_ls := latencies o :: !acc_ls;
+      commits := !commits + o.H.Run.commits;
+      aborts := !aborts + o.H.Run.aborts;
+      t_total := !t_total +. t;
+      orphans := !orphans + List.length o.H.Run.coord_ambiguous;
+      (match o.H.Run.shard with
+      | Some s ->
+        fast := !fast + s.Group.fast_path_commits;
+        tpc_c := !tpc_c + s.Group.tpc_commits;
+        tpc_a := !tpc_a + s.Group.tpc_aborts;
+        resends := !resends + s.Group.resends;
+        routed := !routed + s.Group.routed_reads
+      | None -> ());
+      let report = shard_verify o in
+      bugs := !bugs + report.Leopard.Checker.bugs_total;
+      match Leopard.Checker.verdict report with
+      | Leopard.Checker.Verified -> incr verified
+      | Leopard.Checker.Violation -> incr violation
+      | Leopard.Checker.Inconclusive _ -> incr inconclusive
+    done;
+    let ls = List.concat !acc_ls in
+    let tput =
+      if !t_total <= 0.0 then 0.0
+      else float_of_int (!commits + !aborts) /. !t_total
+    in
+    ( label, !commits, !aborts, !t_total, tput, pct ls 50.0, pct ls 99.0,
+      !fast, !tpc_c, !tpc_a, !orphans, !resends, !routed, !verified,
+      !violation, !inconclusive, !bugs )
+  in
+  ignore (run ~kind:`Bank ~seed:seed0 ()) (* warm-up *);
+  (* The zero-fault sharded run is byte-identical to the unsharded one:
+     same traces, line for line. *)
+  let identity =
+    let plain, _ = run ~kind:`Bank ~seed:seed0 () in
+    let sharded, _ =
+      run ~shard:(H.Run.shard_config (Group.config ~shards:3 ())) ~kind:`Bank
+        ~seed:seed0 ()
+    in
+    List.map Codec.to_line (H.Run.all_traces_sorted plain)
+    = List.map Codec.to_line (H.Run.all_traces_sorted sharded)
+  in
+  Printf.printf "byte-identity, clean 3-shard vs unsharded (seed %d): %b\n\n"
+    seed0 identity;
+  let baseline =
+    cell ~label:"unsharded" ~kind:`Bank ~shard_of:(fun () -> None)
+  in
+  let rows =
+    baseline
+    :: List.map
+         (fun (cls, kind, build) ->
+           let d = match kind with `Bank -> d_bank | `Cross -> d_cross in
+           cell ~label:cls ~kind ~shard_of:(fun () -> Some (build ~d)))
+         classes
+  in
+  let verdict_mix v x i =
+    String.concat " "
+      (List.filter
+         (fun s -> s <> "")
+         [
+           (if v > 0 then Printf.sprintf "%dV" v else "");
+           (if x > 0 then Printf.sprintf "%dX" x else "");
+           (if i > 0 then Printf.sprintf "%dI" i else "");
+         ])
+  in
+  Table.print
+    ~aligns:Table.[ Left ]
+    ~header:
+      [
+        "cell"; "txns/s"; "wall(ms)"; "p50(us)"; "p99(us)"; "fast"; "2pc-c";
+        "2pc-a"; "orphans"; "resends"; "routed"; "verdicts"; "bugs";
+      ]
+    (List.map
+       (fun ( label, _c, _a, t, tput, p50, p99, fast, tc, ta, orph, rs, rt, v,
+              x, i, bugs ) ->
+         [
+           label;
+           Table.fmt_float ~decimals:0 tput;
+           fmt_ms t;
+           Table.fmt_float ~decimals:1 (p50 /. 1e3);
+           Table.fmt_float ~decimals:1 (p99 /. 1e3);
+           Table.fmt_int fast;
+           Table.fmt_int tc;
+           Table.fmt_int ta;
+           Table.fmt_int orph;
+           Table.fmt_int rs;
+           Table.fmt_int rt;
+           verdict_mix v x i;
+           Table.fmt_int bugs;
+         ])
+       rows);
+  print_endline
+    "\nverdicts over 5 seeds: V = Verified, X = Violation, I = \
+     Inconclusive.  Environmental cells (hop, lossy-link, partition, \
+     coord-crash) only ever degrade to I — an honest coordinator crash \
+     orphans its undecided rounds into the coordinator-ambiguity \
+     channel.  The planted lies (fractured-commit, commit-after-abort, \
+     snapshot-skew, stale-prepared-read) surface as X wherever the \
+     workload leaves an observable contradiction.";
+  if !emit_json then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"txns\": %d,\n  \"clients\": %d,\n  \"seeds\": %d,\n  \
+          \"byte_identical_clean\": %b,\n" txns clients nseeds identity);
+    Buffer.add_string buf "  \"cells\": [\n";
+    let n = List.length rows in
+    List.iteri
+      (fun idx
+           ( label, commits, aborts, t, tput, p50, p99, fast, tc, ta, orph,
+             rs, rt, v, x, i, bugs ) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"cell\": %S, \"commits\": %d, \"aborts\": %d, \
+              \"wall_ms\": %.3f, \"txns_per_s\": %.1f, \"p50_ns\": %.0f, \
+              \"p99_ns\": %.0f, \"fast_path_commits\": %d, \"tpc_commits\": \
+              %d, \"tpc_aborts\": %d, \"coord_ambiguous\": %d, \"resends\": \
+              %d, \"routed_reads\": %d, \"verified\": %d, \"violation\": \
+              %d, \"inconclusive\": %d, \"bugs\": %d}%s\n"
+             label commits aborts (t *. 1e3) tput p50 p99 fast tc ta orph rs
+             rt v x i bugs
+             (if idx = n - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out "BENCH_shard.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_endline "\nwrote BENCH_shard.json"
+  end
+
+(* ------------------------------------------------------------------ *)
+
 let experiments =
   [
     ("fig4", fig4);
@@ -1319,6 +1616,7 @@ let experiments =
     ("recovery", recovery);
     ("net", net_bench);
     ("replication", replication_bench);
+    ("shard", shard_bench);
     ("micro", micro);
   ]
 

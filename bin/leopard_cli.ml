@@ -69,24 +69,32 @@ let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
       prerr_endline ("unknown isolation level: " ^ level);
       exit 2
   in
-  let traces, epochs, ambiguous, leaders, skipped =
+  let contents, skipped =
     if lenient then (
-      match Leopard_trace.Codec.load_lenient_full ~path with
-      | traces, epochs, ambiguous, leaders, skipped ->
-        (traces, epochs, ambiguous, leaders, skipped)
+      match Leopard_trace.Codec.load_lenient_all ~path with
+      | contents, skipped -> (contents, skipped)
       | exception Sys_error e ->
         prerr_endline ("cannot load " ^ path ^ ": " ^ e);
         exit 2)
     else
-      match Leopard_trace.Codec.load_full ~path with
-      | Ok (traces, epochs, ambiguous, leaders) ->
-        (traces, epochs, ambiguous, leaders, [])
+      match Leopard_trace.Codec.load_all ~path with
+      | Ok contents -> (contents, [])
       | Error e ->
         prerr_endline ("cannot load " ^ path ^ ": " ^ e);
         exit 2
       | exception Sys_error e ->
         prerr_endline ("cannot load " ^ path ^ ": " ^ e);
         exit 2
+  in
+  let {
+    Leopard_trace.Codec.c_traces = traces;
+    c_epochs = epochs;
+    c_ambiguous = ambiguous;
+    c_leaders = leaders;
+    c_shards = shard_marks;
+    c_prepares = prepare_marks;
+  } =
+    contents
   in
   let il =
     match verifier_profile ~dbms ~level with
@@ -115,6 +123,14 @@ let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
     (fun (m : Leopard_trace.Codec.ambiguous_mark) ->
       Leopard.Checker.mark_ambiguous_commit checker ~txn:m.txn)
     ambiguous;
+  (* prepare markers with an unknown disposition are coordinator
+     ambiguity — a separate degradation channel from wire ambiguity,
+     fed before the traces for the same reason *)
+  List.iter
+    (fun (m : Leopard_trace.Codec.prepare_mark) ->
+      if m.disposition = Leopard_trace.Codec.Unknown then
+        Leopard.Checker.mark_coord_ambiguous checker ~txn:m.txn)
+    prepare_marks;
   (* leader marks last among the marks: a commit that was both ambiguous
      on the wire and lost at failover is lost — note_failover strips it
      from the ambiguous (resolvable) set permanently *)
@@ -149,6 +165,22 @@ let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
          (fun acc (m : Leopard_trace.Codec.leader_mark) ->
            acc + List.length m.lost)
          0 leaders);
+  (match shard_marks with
+  | { Leopard_trace.Codec.shards; _ } :: _ ->
+    let undecided =
+      List.length
+        (List.filter
+           (fun (m : Leopard_trace.Codec.prepare_mark) ->
+             m.disposition = Leopard_trace.Codec.Unknown)
+           prepare_marks)
+    in
+    Printf.printf
+      "sharded  : %d shards, %d cross-shard round(s), %d with the \
+       coordinator's decision unknown\n"
+      shards
+      (List.length prepare_marks)
+      undecided
+  | [] -> ());
   if skipped <> [] then begin
     Printf.printf "skipped  : %d undecodable line(s)\n" (List.length skipped);
     List.iteri
@@ -160,7 +192,7 @@ let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
 
 let run_workload_mode workload dbms level faults clients txns seed show_bugs
     record infer chaos net max_retries max_stall_ns (wal, crash_at, wal_faults)
-    repl =
+    repl shard =
   match
     ( workload_of_string workload,
       Minidb.Profile.find dbms,
@@ -201,7 +233,8 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
     in
     let config =
       Leopard_harness.Run.config ~clients ~seed ~faults ?chaos ?net
-        ~max_retries ~wal ~crash_at ?wal_faults ?repl ~spec ~profile ~level
+        ~max_retries ~wal ~crash_at ?wal_faults ?repl ?shard ~spec ~profile
+        ~level
         ~stop:(Leopard_harness.Run.Txn_count txns) ()
     in
     let codec_epochs (outcome : Leopard_harness.Run.outcome) =
@@ -277,6 +310,34 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
             rs.Leopard_replication.Cluster.stale_serves
             (List.length outcome.Leopard_harness.Run.repl_ambiguous)
       | None -> ());
+      (match outcome.Leopard_harness.Run.shard with
+      | Some ss ->
+        Printf.printf
+          "shard    : %d shards | %d fast-path, %d 2PC commit(s), %d 2PC \
+           abort(s) | %d prepare(s), %d veto(es), %d timeout(s), %d \
+           resend(s)\n"
+          ss.Leopard_shard.Group.shards
+          ss.Leopard_shard.Group.fast_path_commits
+          ss.Leopard_shard.Group.tpc_commits
+          ss.Leopard_shard.Group.tpc_aborts
+          ss.Leopard_shard.Group.prepares_sent
+          ss.Leopard_shard.Group.vetoes
+          ss.Leopard_shard.Group.prep_timeouts
+          ss.Leopard_shard.Group.resends;
+        if
+          ss.Leopard_shard.Group.coord_crashes > 0
+          || ss.Leopard_shard.Group.routed_reads > 0
+        then
+          Printf.printf
+            "shard    : %d coordinator crash(es), %d orphaned round(s), %d \
+             ambiguous commit(s) | %d routed read(s) (%d skewed, %d stale)\n"
+            ss.Leopard_shard.Group.coord_crashes
+            ss.Leopard_shard.Group.coord_orphans
+            (List.length outcome.Leopard_harness.Run.coord_ambiguous)
+            ss.Leopard_shard.Group.routed_reads
+            ss.Leopard_shard.Group.skew_serves
+            ss.Leopard_shard.Group.stale_serves
+      | None -> ());
       match outcome.Leopard_harness.Run.net with
       | Some ns ->
         Printf.printf
@@ -305,6 +366,8 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
         Leopard_trace.Codec.save_ext ~path
           ~ambiguous:(codec_ambiguous outcome)
           ~leaders:outcome.Leopard_harness.Run.leaders
+          ~shards:outcome.Leopard_harness.Run.shard_marks
+          ~prepares:outcome.Leopard_harness.Run.prepare_marks
           ~epochs:(codec_epochs outcome)
           (Leopard_harness.Run.all_traces_sorted outcome);
         Printf.printf "recorded : %s (%d traces)\n" path report.traces
@@ -337,6 +400,12 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
         (fun (_client, txn, _at) ->
           Leopard.Checker.mark_ambiguous_commit checker ~txn)
         outcome.Leopard_harness.Run.repl_ambiguous;
+      (* coordinator-ambiguity channel: rounds orphaned by a coordinator
+         crash, disjoint from wire ambiguity *)
+      List.iter
+        (fun (_client, txn, _at) ->
+          Leopard.Checker.mark_coord_ambiguous checker ~txn)
+        outcome.Leopard_harness.Run.coord_ambiguous;
       (* failover marks after ambiguous marks (lost beats ambiguous) and
          before any trace *)
       List.iter
@@ -389,7 +458,7 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
    value passed. *)
 let run workload dbms level faults clients txns seed show_bugs record check
     infer chaos_raw net_raw max_retries max_stall_ns lenient recovery_raw
-    repl_raw =
+    repl_raw shard_raw =
   let ( chaos_crash, chaos_drop, chaos_dup, chaos_delay, chaos_delay_ns,
         chaos_skew_ns, chaos_seed ) =
     chaos_raw
@@ -401,6 +470,14 @@ let run workload dbms level faults clients txns seed show_bugs record check
           repl_retransmit_ns, repl_max_retransmits, repl_read_prob,
           repl_staleness_ns, repl_faults ) ) =
     repl_raw
+  in
+  let ( (shard_count_v, shard_hop_ns, shard_drop, shard_dup, shard_delay,
+         shard_delay_ns, shard_reorder, shard_reorder_ns, shard_reset,
+         shard_seed),
+        ( shard_partitions, shard_crashes, shard_coord_crash_at,
+          shard_prepare_ns, shard_retransmit_ns, shard_max_retransmits,
+          shard_skew_ns, shard_faults ) ) =
+    shard_raw
   in
   let wal, crash_at, wal_torn, wal_lost, wal_reorder, wal_dup, wal_window,
       wal_seed =
@@ -459,12 +536,33 @@ let run workload dbms level faults clients txns seed show_bugs record check
          positive ~flag:"--repl-max-retransmits" repl_max_retransmits;
          prob ~flag:"--repl-read-prob" repl_read_prob;
          positive ~flag:"--repl-staleness-ns" repl_staleness_ns;
+         shard_count ~flag:"--shards" shard_count_v;
+         non_negative ~flag:"--shard-hop-ns" shard_hop_ns;
+         prob ~flag:"--shard-drop" shard_drop;
+         prob ~flag:"--shard-dup" shard_dup;
+         prob ~flag:"--shard-delay" shard_delay;
+         non_negative ~flag:"--shard-delay-ns" shard_delay_ns;
+         prob ~flag:"--shard-reorder" shard_reorder;
+         non_negative ~flag:"--shard-reorder-ns" shard_reorder_ns;
+         prob ~flag:"--shard-reset" shard_reset;
+         crash_schedule ~flag:"--shard-coord-crash-at" shard_coord_crash_at;
+         positive ~flag:"--shard-prepare-timeout-ns" shard_prepare_ns;
+         positive ~flag:"--shard-retransmit-ns" shard_retransmit_ns;
+         non_negative ~flag:"--shard-max-retransmits" shard_max_retransmits;
+         non_negative ~flag:"--shard-skew-bound-ns" shard_skew_ns;
        ]
        @ List.map (window ~flag:"--repl-partition") repl_partitions
        @ List.map
            (fun (_f, from_ns, until_ns) ->
              window ~flag:"--repl-lag" (from_ns, until_ns))
-           repl_lags)
+           repl_lags
+       @ List.map
+           (fun (_s, from_ns, until_ns) ->
+             window ~flag:"--shard-partition" (from_ns, until_ns))
+           shard_partitions
+       @ List.map
+           (fun (_s, at) -> positive ~flag:"--shard-crash" at)
+           shard_crashes)
    with
    | Some e ->
      prerr_endline (error_to_string e);
@@ -568,16 +666,84 @@ let run workload dbms level faults clients txns seed show_bugs record check
              ~split_brain_ns:repl_split_brain_ns cluster)
       end
     in
-    (match (net, repl) with
-    | Some _, Some _ ->
+    let shard =
+      if shard_count_v = 0 then None
+      else begin
+        let faults =
+          List.map
+            (fun name ->
+              match Leopard_shard.Shard_fault.of_string name with
+              | Some f -> f
+              | None ->
+                prerr_endline ("unknown shard fault: " ^ name);
+                exit 2)
+            shard_faults
+        in
+        let partitions =
+          List.map
+            (fun (s, from_ns, until_ns) ->
+              if s < -1 || s >= shard_count_v then begin
+                Printf.eprintf
+                  "invalid --shard-partition: shard %d out of range [0, %d) \
+                   (-1 for all)\n"
+                  s shard_count_v;
+                exit 2
+              end;
+              { Leopard_shard.Group.shard = s; from_ns; until_ns })
+            shard_partitions
+        in
+        let part_crash_at =
+          List.map
+            (fun (s, at) ->
+              if s < 0 || s >= shard_count_v then begin
+                Printf.eprintf
+                  "invalid --shard-crash: shard %d out of range [0, %d)\n" s
+                  shard_count_v;
+                exit 2
+              end;
+              (at, s))
+            shard_crashes
+        in
+        let group =
+          Leopard_shard.Group.config ~shards:shard_count_v
+            ~hop_ns:shard_hop_ns
+            ~link:
+              (Leopard_net.Faulty_link.config ~seed:shard_seed
+                 ~delay_prob:shard_delay ~max_delay_ns:shard_delay_ns
+                 ~drop_prob:shard_drop ~dup_prob:shard_dup
+                 ~reorder_prob:shard_reorder
+                 ~reorder_window_ns:shard_reorder_ns ~reset_prob:shard_reset
+                 ())
+            ~partitions ~prepare_timeout_ns:shard_prepare_ns
+            ~retransmit_ns:shard_retransmit_ns
+            ~max_retransmits:shard_max_retransmits
+            ~skew_bound_ns:shard_skew_ns ~faults ()
+        in
+        Some
+          (Leopard_harness.Run.shard_config
+             ~coord_crash_at:shard_coord_crash_at ~part_crash_at group)
+      end
+    in
+    (match (net, repl, shard) with
+    | Some _, Some _, _ ->
       prerr_endline
         "--net and --repl are mutually exclusive (one wire plane per run)";
+      exit 2
+    | Some _, _, Some _ ->
+      prerr_endline
+        "--net and --shards are mutually exclusive (the 2PC protocol \
+         already rides the shard wire)";
+      exit 2
+    | _, Some _, Some _ ->
+      prerr_endline
+        "--repl and --shards are mutually exclusive (one topology plane \
+         per run)";
       exit 2
     | _ -> ());
     run_workload_mode workload dbms level faults clients txns seed show_bugs
       record infer chaos net max_retries max_stall_ns
       (wal, crash_at, wal_faults)
-      repl
+      repl shard
 
 open Cmdliner
 
@@ -1128,6 +1294,188 @@ let repl_term =
        $ repl_gate_timeout_ns $ repl_retransmit_ns $ repl_max_retransmits
        $ repl_read_prob $ repl_staleness_ns $ repl_fault))
 
+(* SHARD:AT, e.g. --shard-crash 1:2000000 *)
+let shard_crash_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ a; b ] -> (
+      try Ok (int_of_string a, int_of_string b)
+      with Failure _ -> Error (`Msg ("bad shard crash " ^ s)))
+    | _ -> Error (`Msg ("expected SHARD:AT, got " ^ s))
+  in
+  let print ppf (a, b) = Format.fprintf ppf "%d:%d" a b in
+  Arg.conv (parse, print)
+
+let shards_count =
+  Arg.(
+    value & opt int 0
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Hash-range partition the key space across $(docv) shard groups \
+           (0 disables sharding; 1 is rejected).  Cross-shard writes \
+           commit through a 2PC coordinator whose protocol messages ride \
+           the shard wire; single-shard transactions take a fast path.  \
+           With no --shard-* faults, hops or partitions the run is \
+           byte-identical to the unsharded path for the same --seed.")
+
+let shard_hop_ns =
+  Arg.(
+    value & opt int 0
+    & info [ "shard-hop-ns" ] ~docv:"NS"
+        ~doc:"One-way coordinator-participant hop latency (simulated ns).")
+
+let shard_drop =
+  Arg.(
+    value & opt float 0.0
+    & info [ "shard-drop" ] ~docv:"PROB"
+        ~doc:
+          "Per-message probability of silent loss on the commit-protocol \
+           wire (PREPAREs time the round out into a definite abort; \
+           decisions are retransmitted).")
+
+let shard_dup =
+  Arg.(
+    value & opt float 0.0
+    & info [ "shard-dup" ] ~docv:"PROB"
+        ~doc:
+          "Per-message probability of duplicate delivery (absorbed by \
+           in-order apply and cumulative acks).")
+
+let shard_delay =
+  Arg.(
+    value & opt float 0.0
+    & info [ "shard-delay" ] ~docv:"PROB"
+        ~doc:"Per-message probability of extra commit-protocol latency.")
+
+let shard_delay_ns =
+  Arg.(
+    value & opt int 400_000
+    & info [ "shard-delay-ns" ] ~docv:"NS"
+        ~doc:"Upper bound on injected commit-protocol delay (simulated ns).")
+
+let shard_reorder =
+  Arg.(
+    value & opt float 0.0
+    & info [ "shard-reorder" ] ~docv:"PROB"
+        ~doc:
+          "Per-message probability of delivery at a random point inside \
+           the reordering window (participants reject decision-log gaps \
+           and re-ack).")
+
+let shard_reorder_ns =
+  Arg.(
+    value & opt int 200_000
+    & info [ "shard-reorder-ns" ] ~docv:"NS"
+        ~doc:"Size of the commit-protocol reordering window (simulated ns).")
+
+let shard_reset =
+  Arg.(
+    value & opt float 0.0
+    & info [ "shard-reset" ] ~docv:"PROB"
+        ~doc:
+          "Per-message probability of a connection reset on the \
+           commit-protocol wire (the sender finds out and retransmits).")
+
+let shard_seed =
+  Arg.(
+    value & opt int 1
+    & info [ "shard-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed of the commit-protocol link fault streams (independent of \
+           --seed).")
+
+let shard_partition =
+  Arg.(
+    value & opt_all lag_conv []
+    & info [ "shard-partition" ] ~docv:"SHARD:FROM:UNTIL"
+        ~doc:
+          "Cut one shard (or every shard, with SHARD = -1) off from the \
+           coordinator during the half-open simulated-ns window \
+           (repeatable).  Prepares inside the window time the round out \
+           into a definite abort; decided commits resume shipping when \
+           the window closes.")
+
+let shard_crash =
+  Arg.(
+    value & opt_all shard_crash_conv []
+    & info [ "shard-crash" ] ~docv:"SHARD:AT"
+        ~doc:
+          "Crash and restart participant SHARD at simulated instant AT \
+           (repeatable): its volatile prepared state dies and its store \
+           rebuilds from the durable per-shard decision log.")
+
+let shard_coord_crash_at =
+  Arg.(
+    value & opt_all int []
+    & info [ "shard-coord-crash-at" ] ~docv:"NS"
+        ~doc:
+          "Crash the 2PC coordinator at simulated instant $(docv) \
+           (repeatable).  Undecided rounds are orphaned — presumed abort, \
+           reported as coordinator-ambiguous commits (the verdict \
+           degrades to INCONCLUSIVE, never a false violation); decided \
+           rounds resume from the durable decision logs.")
+
+let shard_prepare_timeout_ns =
+  Arg.(
+    value & opt int 2_000_000
+    & info [ "shard-prepare-timeout-ns" ] ~docv:"NS"
+        ~doc:
+          "How long the coordinator waits for every participant's vote \
+           before deciding abort.")
+
+let shard_retransmit_ns =
+  Arg.(
+    value & opt int 500_000
+    & info [ "shard-retransmit-ns" ] ~docv:"NS"
+        ~doc:"Coordinator retransmission interval for unacked decisions.")
+
+let shard_max_retransmits =
+  Arg.(
+    value & opt int 8
+    & info [ "shard-max-retransmits" ] ~docv:"N"
+        ~doc:"Retransmission cap per decision (keeps the run finite).")
+
+let shard_skew_bound_ns =
+  Arg.(
+    value & opt int 1_000_000
+    & info [ "shard-skew-bound-ns" ] ~docv:"NS"
+        ~doc:
+          "With --shard-fault snapshot-skew or stale-prepared-read: how \
+           far behind the snapshot a lying shard may serve from.")
+
+let shard_fault =
+  Arg.(
+    value & opt_all string []
+    & info [ "shard-fault" ] ~docv:"FAULT"
+        ~doc:
+          "Plant a named sharding fault (repeatable): fractured-commit, \
+           commit-after-abort, snapshot-skew, stale-prepared-read.  These \
+           make the commit protocol lie (definite violations), unlike the \
+           environmental --shard-drop/--shard-partition faults and \
+           --shard-coord-crash-at crashes, which only degrade the verdict \
+           honestly.")
+
+let shard_term =
+  let make_link shards hop_ns drop dup delay delay_ns reorder reorder_ns
+      reset sseed =
+    ( shards, hop_ns, drop, dup, delay, delay_ns, reorder, reorder_ns, reset,
+      sseed )
+  in
+  let make_ctl partitions crashes coord_crash_at prepare_ns retransmit_ns
+      max_retransmits skew_ns sfaults =
+    ( partitions, crashes, coord_crash_at, prepare_ns, retransmit_ns,
+      max_retransmits, skew_ns, sfaults )
+  in
+  let pair a b = (a, b) in
+  Cmdliner.Term.(
+    const pair
+    $ (const make_link $ shards_count $ shard_hop_ns $ shard_drop $ shard_dup
+       $ shard_delay $ shard_delay_ns $ shard_reorder $ shard_reorder_ns
+       $ shard_reset $ shard_seed)
+    $ (const make_ctl $ shard_partition $ shard_crash $ shard_coord_crash_at
+       $ shard_prepare_timeout_ns $ shard_retransmit_ns
+       $ shard_max_retransmits $ shard_skew_bound_ns $ shard_fault))
+
 let lenient =
   Arg.(
     value & flag
@@ -1144,6 +1492,7 @@ let cmd =
     Term.(
       const run $ workload $ dbms $ level $ faults $ clients $ txns $ seed
       $ show_bugs $ record $ check $ infer $ chaos_term $ net_term
-      $ max_retries $ max_stall_ns $ lenient $ recovery_term $ repl_term)
+      $ max_retries $ max_stall_ns $ lenient $ recovery_term $ repl_term
+      $ shard_term)
 
 let () = exit (Cmd.eval cmd)

@@ -149,6 +149,7 @@ let lib_zones : Zone.t list =
     Harness;
     Net;
     Replication;
+    Shard;
     Util;
     Workload;
     Baselines;
@@ -162,15 +163,18 @@ let applies rule (zone : Zone.t) ~basename =
   | "D001" -> zone <> Zone.Util
   | "D002" -> not (zone = Zone.Util && String.equal basename "clock.ml")
   | "D003" ->
-    mem_zone zone [ Core; Trace_lib; Minidb; Harness; Net; Replication; Analysis ]
+    mem_zone zone
+      [ Core; Trace_lib; Minidb; Harness; Net; Replication; Shard; Analysis ]
   | "D004" -> mem_zone zone lib_zones
   | "F001" -> mem_zone zone [ Core; Trace_lib ]
   (* Core is covered by F001 (it may not reference fault modules at
      all); its own anomaly taxonomy reuses names like Dirty_read, so
      matching bare constructor names there would misfire. *)
   | "F002" ->
-    mem_zone zone [ Trace_lib; Minidb; Net; Replication; Analysis ]
-    && not (List.mem basename [ "fault.ml"; "wal.ml"; "repl_fault.ml" ])
+    mem_zone zone [ Trace_lib; Minidb; Net; Replication; Shard; Analysis ]
+    && not
+         (List.mem basename
+            [ "fault.ml"; "wal.ml"; "repl_fault.ml"; "shard_fault.ml" ])
   | "F003" -> mem_zone zone lib_zones
   | "E001" | "E002" | "E003" -> zone <> Zone.Test
   | _ -> true
@@ -221,7 +225,7 @@ let entry_family =
   {
     fam_name = "Codec.entry";
     fam_rule = e003;
-    members = [ "Trace"; "Epoch"; "Ambiguous"; "Leader" ];
+    members = [ "Trace"; "Epoch"; "Ambiguous"; "Leader"; "Shard"; "Prepare" ];
   }
 
 let tag_family =
@@ -238,8 +242,26 @@ let repl_family =
     members = [ "Repl_append"; "Repl_ack" ];
   }
 
+(* The 2PC commit protocol: a wildcard over its messages would let a
+   future message kind (say, a read-only vote optimization) silently
+   fall into a drop-it arm instead of failing the build. *)
+let tpc_family =
+  {
+    fam_name = "Wire.tpc_msg";
+    fam_rule = e003;
+    members =
+      [ "Tpc_prepare"; "Tpc_vote"; "Tpc_decision"; "Tpc_abort"; "Tpc_ack" ];
+  }
+
 let families =
-  [ verdict_family; abort_family; entry_family; tag_family; repl_family ]
+  [
+    verdict_family;
+    abort_family;
+    entry_family;
+    tag_family;
+    repl_family;
+    tpc_family;
+  ]
 
 (* Constructors whose argument is itself a registered family: a
    wildcard argument of [Err]/[Refused] absorbs every abort reason. *)
@@ -275,6 +297,11 @@ let fault_ctors =
     "Lose_acked_window";
     "Stale_follower_read";
     "Split_brain";
+    (* Shard_fault.t: the sharding/2PC fault plane *)
+    "Fractured_commit";
+    "Commit_after_abort";
+    "Snapshot_skew";
+    "Stale_prepared_read";
   ]
 
 let fault_modules =
@@ -291,6 +318,10 @@ let fault_modules =
     "Cluster";
     "Follower";
     "Leopard_replication";
+    "Shard_fault";
+    "Group";
+    "Participant";
+    "Leopard_shard";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -333,8 +364,12 @@ let is_sort_head parts =
   | "sort" | "sort_uniq" | "stable_sort" | "fast_sort" -> true
   | _ -> false
 
+(* [lying] is the shard group's membership test over its planted-fault
+   list, like [has_fault] for the other planes. *)
 let is_membership_head parts =
-  match last_part parts with "mem" | "fault" | "has_fault" -> true | _ -> false
+  match last_part parts with
+  | "mem" | "fault" | "has_fault" | "lying" -> true
+  | _ -> false
 
 let check_ident st (loc : Location.t) parts =
   let parts = strip_stdlib parts in

@@ -5,6 +5,7 @@ type t =
   | Harness
   | Net
   | Replication
+  | Shard
   | Util
   | Workload
   | Baselines
@@ -23,6 +24,7 @@ let all =
     Harness;
     Net;
     Replication;
+    Shard;
     Util;
     Workload;
     Baselines;
@@ -41,6 +43,7 @@ let to_string = function
   | Harness -> "harness"
   | Net -> "net"
   | Replication -> "replication"
+  | Shard -> "shard"
   | Util -> "util"
   | Workload -> "workload"
   | Baselines -> "baselines"
@@ -61,6 +64,7 @@ let lib_zone = function
   | "harness" -> Harness
   | "net" -> Net
   | "replication" -> Replication
+  | "shard" -> Shard
   | "util" -> Util
   | "workload" -> Workload
   | "baselines" -> Baselines

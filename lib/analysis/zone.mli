@@ -16,6 +16,7 @@ type t =
   | Harness  (** [lib/harness] — run orchestration, chaos injection *)
   | Net  (** [lib/net] — wire protocol and fault channel *)
   | Replication  (** [lib/replication] — cluster, failover, repl faults *)
+  | Shard  (** [lib/shard] — hash-range partitioning, 2PC coordinator *)
   | Util  (** [lib/util] — seeded RNG, clock, containers *)
   | Workload  (** [lib/workload] — benchmark program generators *)
   | Baselines  (** [lib/baselines] — reference checkers *)

@@ -47,6 +47,7 @@ type degradation = {
   ambiguous_commits : int;
   failovers : int;
   lost_suffix_commits : int;
+  coord_ambiguous_commits : int;
 }
 
 (* [restarts] and [failovers] are deliberately absent: a clean
@@ -60,6 +61,7 @@ let degradation_free d =
   && d.lost_traces = 0 && d.inconclusive_reads = 0
   && d.unterminated_txns = 0 && d.recovery_lost_records = 0
   && d.ambiguous_commits = 0 && d.lost_suffix_commits = 0
+  && d.coord_ambiguous_commits = 0
 
 type report = {
   traces : int;
@@ -122,6 +124,11 @@ type t = {
          indeterminate like a crashed client's, and — unlike ambiguous
          commits — never resolvable, because the surviving timeline
          provably does not contain them *)
+  coord_ids : (int, unit) Hashtbl.t;
+      (* the subset of [ambiguous_ids] whose ambiguity came from a 2PC
+         coordinator crash rather than the wire: tagged only when the
+         coordinator mark was the *first* to make the txn ambiguous, so
+         the wire and coordinator channels partition exactly *)
   awaiting : (int, await_entry list ref) Hashtbl.t;
       (* reader txn -> read items parked on an unresolved writer *)
   dedup_seen : (int * int * int, Trace.t) Hashtbl.t;
@@ -176,6 +183,7 @@ let create ?(gc_every = 512) ?(narrow_candidates = true)
     ambiguous_ids = Hashtbl.create 8;
     resolved_ids = Hashtbl.create 8;
     lost_ids = Hashtbl.create 8;
+    coord_ids = Hashtbl.create 8;
     awaiting = Hashtbl.create 8;
     dedup_seen = Hashtbl.create 64;
     dedup_ts = min_int;
@@ -342,6 +350,26 @@ let mark_ambiguous_commit t ~txn =
     | Some _ | None -> ()
   end
 
+(* A 2PC coordinator crash before the commit decision: the client can
+   never learn the outcome, exactly like a wire-ambiguous commit, and it
+   carries the same exclusions and the same resolution rule (the
+   PREPAREs were sent, so a later committed read observing one of its
+   written values proves the engine applied it).  It is tagged into a
+   separate degradation channel — [coord_ambiguous_commits] — so
+   coordinator give-ups and wire give-ups partition exactly: the tag is
+   only added when this mark is the first to make the txn ambiguous. *)
+let mark_coord_ambiguous t ~txn =
+  if
+    (not (Hashtbl.mem t.ambiguous_ids txn))
+    && not (Hashtbl.mem t.resolved_ids txn)
+  then begin
+    Hashtbl.replace t.ambiguous_ids txn ();
+    Hashtbl.replace t.coord_ids txn ();
+    match Hashtbl.find_opt t.txns txn with
+    | Some v when v.vstatus = Active -> make_indeterminate t v
+    | Some _ | None -> ()
+  end
+
 (* A commit on the truncated suffix of a failover.  It shares the
    exclusions of an ambiguous commit but is permanently unresolvable:
    the surviving timeline provably does not contain it, so a later read
@@ -352,6 +380,7 @@ let mark_ambiguous_commit t ~txn =
 let mark_lost_commit t ~txn =
   Hashtbl.remove t.ambiguous_ids txn;
   Hashtbl.remove t.resolved_ids txn;
+  Hashtbl.remove t.coord_ids txn;
   if not (Hashtbl.mem t.lost_ids txn) then begin
     Hashtbl.replace t.lost_ids txn ();
     match Hashtbl.find_opt t.txns txn with
@@ -1119,8 +1148,16 @@ let degradation t =
       (* lint: allow hashtbl-order — count-fold; commutative *)
       Hashtbl.fold
         (fun id () acc ->
-          if Hashtbl.mem t.resolved_ids id then acc else acc + 1)
+          if Hashtbl.mem t.resolved_ids id || Hashtbl.mem t.coord_ids id then
+            acc
+          else acc + 1)
         t.ambiguous_ids 0;
+    coord_ambiguous_commits =
+      (* lint: allow hashtbl-order — count-fold; commutative *)
+      Hashtbl.fold
+        (fun id () acc ->
+          if Hashtbl.mem t.resolved_ids id then acc else acc + 1)
+        t.coord_ids 0;
   }
 
 let report t =
@@ -1174,6 +1211,11 @@ let degradation_reason d =
   let parts =
     add parts d.lost_suffix_commits "commit lost at failover"
       "commits lost at failover"
+  in
+  let parts =
+    add parts d.coord_ambiguous_commits
+      "commit orphaned by a coordinator crash"
+      "commits orphaned by a coordinator crash"
   in
   String.concat ", " (List.rev parts)
 

@@ -97,6 +97,18 @@ val mark_ambiguous_commit : t -> txn:int -> unit
     it no later than the batch in which the give-up was detected, like
     {!mark_indeterminate}. *)
 
+val mark_coord_ambiguous : t -> txn:int -> unit
+(** Declare that [txn]'s 2PC coordinator crashed before reaching a
+    commit decision (a trace-file [P … ?] marker, or [Run]'s
+    coordinator-ambiguity channel): the client can never learn the
+    outcome.  Identical exclusions and resolution rule to
+    {!mark_ambiguous_commit}, but counted in a separate channel —
+    {!degradation.coord_ambiguous_commits} — so coordinator give-ups
+    and wire give-ups partition exactly: whichever mark arrives first
+    claims the transaction, and a later mark from the other channel is
+    a no-op.  A failover's {!note_failover} lost-suffix still wins over
+    both ("lost beats ambiguous"). *)
+
 val note_crashed_clients : t -> int -> unit
 (** Add externally detected client crashes to the degradation stats. *)
 
@@ -159,6 +171,11 @@ type degradation = {
   lost_suffix_commits : int;
       (** commits reported lost with a failover's truncated log suffix;
           non-zero weakens [Verified] to [Inconclusive] *)
+  coord_ambiguous_commits : int;
+      (** commits still ambiguous because the 2PC coordinator crashed
+          undecided ({!mark_coord_ambiguous} minus promotions); disjoint
+          from [ambiguous_commits] by first-mark precedence; non-zero
+          weakens [Verified] to [Inconclusive] *)
 }
 
 val degradation_free : degradation -> bool

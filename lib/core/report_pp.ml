@@ -19,7 +19,8 @@ let degradation_line (d : Checker.degradation) =
       "degradation: crashed clients %d | indeterminate txns %d | ambiguous \
        commits %d | dropped traces %d (late %d, dup %d, lost %d) | \
        inconclusive reads %d | unterminated txns %d | restarts %d (wal \
-       records lost %d) | failovers %d (commits lost %d)\n"
+       records lost %d) | failovers %d (commits lost %d) | \
+       coordinator-ambiguous %d\n"
       d.Checker.crashed_clients d.Checker.indeterminate_txns
       d.Checker.ambiguous_commits
       (d.Checker.late_traces_dropped + d.Checker.dup_traces_dropped
@@ -28,7 +29,7 @@ let degradation_line (d : Checker.degradation) =
       d.Checker.lost_traces d.Checker.inconclusive_reads
       d.Checker.unterminated_txns d.Checker.restarts
       d.Checker.recovery_lost_records d.Checker.failovers
-      d.Checker.lost_suffix_commits
+      d.Checker.lost_suffix_commits d.Checker.coord_ambiguous_commits
 
 let verdict_line (r : Checker.report) =
   if r.bugs_total = 0 then

@@ -62,4 +62,16 @@ let window ~flag (from_ns, until_ns) =
       }
   else None
 
+(* A shard count is either 0 (plane off) or at least 2: a "group" of one
+   shard would silently skip every cross-shard code path the flag exists
+   to exercise. *)
+let shard_count ~flag v =
+  if v = 0 || v >= 2 then None
+  else
+    Some
+      {
+        flag;
+        msg = Printf.sprintf "%d is not 0 (off) or a shard count >= 2" v;
+      }
+
 let first_error checks = List.find_map Fun.id checks

@@ -32,6 +32,10 @@ val window : flag:string -> int * int -> error option
 (** A half-open [(from_ns, until_ns)] window (e.g. [--repl-partition])
     must have a non-negative start and a strictly later end. *)
 
+val shard_count : flag:string -> int -> error option
+(** A [--shards] count is either [0] (plane disabled) or at least [2] —
+    a one-shard "group" would silently skip every cross-shard path. *)
+
 val first_error : error option list -> error option
 (** The first [Some] in flag order, so the reported error matches the
     leftmost offending option. *)

@@ -5,6 +5,7 @@ module Engine = Minidb.Engine
 module Sim = Minidb.Sim
 module Net = Leopard_net
 module Repl = Leopard_replication
+module Shard = Leopard_shard
 
 type latency = {
   net_mean_ns : float;
@@ -87,6 +88,32 @@ let repl_config ?(failover_at = []) ?(promote_on_partition = false)
   { cluster; failover_at; promote_on_partition; election_timeout_ns;
     split_brain_ns }
 
+(* Shard mode: the key space is hash-range partitioned across a
+   [Shard.Group] and cross-shard commits run two-phase commit over the
+   group's faulty links.  [coord_crash_at] lists instants at which the
+   coordinator crashes (orphaning undecided rounds into the
+   coordinator-ambiguity channel); [part_crash_at] lists
+   [(instant, shard)] participant crash/restarts (the shard rebuilds
+   from its durable decision log). *)
+type shard_config = {
+  group : Shard.Group.config;
+  coord_crash_at : int list;
+  part_crash_at : (int * int) list;
+}
+
+let shard_config ?(coord_crash_at = []) ?(part_crash_at = [])
+    (group : Shard.Group.config) =
+  if List.exists (fun at -> at <= 0) coord_crash_at then
+    invalid_arg "Run.shard_config: coordinator crash instants must be positive";
+  if List.exists (fun (at, _) -> at <= 0) part_crash_at then
+    invalid_arg "Run.shard_config: participant crash instants must be positive";
+  if
+    List.exists
+      (fun (_, s) -> s < 0 || s >= group.Shard.Group.shards)
+      part_crash_at
+  then invalid_arg "Run.shard_config: participant crash shard out of range";
+  { group; coord_crash_at; part_crash_at }
+
 type config = {
   spec : Leopard_workload.Spec.t;
   profile : Minidb.Profile.t;
@@ -107,18 +134,30 @@ type config = {
   crash_at : int list;  (* simulated instants of server crashes *)
   wal_faults : Minidb.Wal.fault_cfg option;
   repl : repl_config option;
+  shard : shard_config option;
 }
 
 let config ?(faults = Minidb.Fault.Set.empty) ?(clients = 8) ?(seed = 42)
     ?(latency = default_latency) ?latency_of ?observer ?tick ?chaos ?net
     ?(max_retries = 0) ?(retry_backoff_ns = 100_000.0) ?(wal = false)
-    ?(crash_at = []) ?wal_faults ?repl ~spec ~profile ~level ~stop () =
+    ?(crash_at = []) ?wal_faults ?repl ?shard ~spec ~profile ~level ~stop () =
   (* the wire transport serves one engine; routing it at a promoted
      replica would need session re-establishment the server does not
      model, so the two planes are run separately *)
   (match (net, repl) with
   | Some _, Some _ ->
     invalid_arg "Run.config: net and repl modes are mutually exclusive"
+  | _ -> ());
+  (* the shard group owns the engine's commit hook and its protocol
+     traffic models the intra-cluster wire; the client wire and the
+     replication plane each claim the same seams *)
+  (match (shard, net) with
+  | Some _, Some _ ->
+    invalid_arg "Run.config: shard and net modes are mutually exclusive"
+  | _ -> ());
+  (match (shard, repl) with
+  | Some _, Some _ ->
+    invalid_arg "Run.config: shard and repl modes are mutually exclusive"
   | _ -> ());
   {
     spec;
@@ -157,6 +196,7 @@ let config ?(faults = Minidb.Fault.Set.empty) ?(clients = 8) ?(seed = 42)
     crash_at;
     wal_faults;
     repl;
+    shard;
   }
 
 let latency_for cfg client =
@@ -205,6 +245,14 @@ type outcome = {
   repl_ambiguous : (int * int * int) list;
       (* (client, txn, gave_up_at) of commits whose replication gate
          timed out, oldest first *)
+  shard : Shard.Group.stats option;
+  coord_ambiguous : (int * int * int) list;
+      (* (client, txn, orphaned_at) of commits whose 2PC coordinator
+         crashed before deciding, oldest first *)
+  shard_marks : Codec.shard_mark list;
+      (* the group topology declaration ([S] line); empty off the plane *)
+  prepare_marks : Codec.prepare_mark list;
+      (* 2PC round dispositions ([P] lines), oldest first *)
 }
 
 and net_stats = {
@@ -227,8 +275,10 @@ type state = {
   engine : Engine.t ref;  (* current primary; swapped at failover *)
   deposed : Engine.t list ref;  (* replaced primaries, newest first *)
   repl_cl : Repl.Cluster.t option;
+  shard_gr : Shard.Group.t option;
   mutable leaders : Codec.leader_mark list;  (* newest first *)
   mutable repl_ambiguous : (int * int * int) list;  (* newest first *)
+  mutable coord_ambiguous : (int * int * int) list;  (* newest first *)
   net_exec : (Net.Server.t * Net.Client.t array) option;
   buffers : Trace.t list ref array;  (* newest first; reversed at the end *)
   op_trace : (int, Trace.t) Hashtbl.t;
@@ -282,14 +332,34 @@ let issue st rng ~engine ~client ~txn ~request ~receive =
             Sim.schedule_after st.sim ~delay:d_out (fun () ->
                 receive ~op_id ~ts_bef result))
       in
-      match st.repl_cl with
-      | None -> serve_engine ()
-      | Some cl -> (
+      match (st.repl_cl, st.shard_gr) with
+      | None, None -> serve_engine ()
+      | Some cl, _ -> (
         match request with
         | Engine.Read { cells; locking = false; predicate = false }
           when (not (Engine.txn_has_writes txn)) && engine == !(st.engine) -> (
           match
             Repl.Cluster.maybe_follower_read cl ~cells
+              ~snapshot:(fun () -> Engine.op_snapshot engine txn)
+          with
+          | Some items ->
+            let d_out = delay rng latency.net_mean_ns in
+            Sim.schedule_after st.sim ~delay:d_out (fun () ->
+                receive ~op_id ~ts_bef (Engine.Ok_read items))
+          | None -> serve_engine ())
+        | Engine.Read _ | Engine.Write _ | Engine.Commit | Engine.Abort ->
+          serve_engine ())
+      | None, Some gr -> (
+        (* same shape as the follower-read branch: the owning
+           participants serve the snapshot read when every touched shard
+           can do so honestly (or a planted lie lets a lagging/frozen
+           horizon pretend); otherwise the engine path, with values and
+           draws identical to an unsharded run *)
+        match request with
+        | Engine.Read { cells; locking = false; predicate = false }
+          when not (Engine.txn_has_writes txn) -> (
+          match
+            Shard.Group.route_read gr ~cells
               ~snapshot:(fun () -> Engine.op_snapshot engine txn)
           with
           | Some items ->
@@ -417,6 +487,9 @@ and attempt st rng ~client ~prog ~tries =
     let engine = !(st.engine) in
     let txn = Engine.begin_txn engine ~client in
     let txn_id = Engine.txn_id txn in
+    (* the attempt's acknowledged write set, in issue order — the 2PC
+       prepare slices are cut from this (unused off the shard plane) *)
+    let acc_writes = ref [] in
     let next_txn () =
       if should_stop st then client_done st
       else
@@ -508,41 +581,105 @@ and attempt st rng ~client ~prog ~tries =
       in
       match prog with
       | Leopard_workload.Program.Finish ->
-        issue_op ~request:Engine.Commit
-          ~receive:(fun ~op_id ~ts_bef result ->
-            match result with
-            | Engine.Ok_commit -> (
-              match st.repl_cl with
-              | None ->
-                ignore (emit st ~client ~txn_id ~op_id ~ts_bef Trace.Commit);
-                finish_txn ()
-              | Some cl ->
-                (* the engine committed; whether (and when) the client may
-                   log the commit is the replication gate's call *)
-                Repl.Cluster.gate_commit cl ~txn:txn_id ~k:(fun g ->
-                    match g with
-                    | Repl.Cluster.Acked ->
-                      ignore
-                        (emit st ~client ~txn_id ~op_id ~ts_bef Trace.Commit);
-                      finish_txn ()
-                    | Repl.Cluster.Ack_timeout ->
-                      (* COMMIT applied but its durability across failover
-                         is unknown: no terminal trace, recorded for the
-                         checker as an ambiguous commit *)
-                      st.repl_ambiguous <-
-                        (client, txn_id, Sim.now st.sim) :: st.repl_ambiguous;
-                      finish_txn ()
-                    | Repl.Cluster.Lost_at_failover ->
-                      (* gone with the old timeline; the leader mark's
-                         lost list (when honest) tells the checker *)
-                      finish_txn ()))
-            | Engine.Err
-                ( Engine.Deadlock_victim | Engine.Fuw_conflict
-                | Engine.Certifier_conflict _ | Engine.User_abort
-                | Engine.Server_crash ) ->
-              abort_and_finish ~retryable:true ~op_id ~ts_bef ()
-            | Engine.Ok_read _ | Engine.Ok_write ->
-              assert false)
+        let do_commit () =
+          issue_op ~request:Engine.Commit
+            ~receive:(fun ~op_id ~ts_bef result ->
+              match result with
+              | Engine.Ok_commit -> (
+                match st.repl_cl with
+                | None ->
+                  ignore (emit st ~client ~txn_id ~op_id ~ts_bef Trace.Commit);
+                  finish_txn ()
+                | Some cl ->
+                  (* the engine committed; whether (and when) the client may
+                     log the commit is the replication gate's call *)
+                  Repl.Cluster.gate_commit cl ~txn:txn_id ~k:(fun g ->
+                      match g with
+                      | Repl.Cluster.Acked ->
+                        ignore
+                          (emit st ~client ~txn_id ~op_id ~ts_bef Trace.Commit);
+                        finish_txn ()
+                      | Repl.Cluster.Ack_timeout ->
+                        (* COMMIT applied but its durability across failover
+                           is unknown: no terminal trace, recorded for the
+                           checker as an ambiguous commit *)
+                        st.repl_ambiguous <-
+                          (client, txn_id, Sim.now st.sim) :: st.repl_ambiguous;
+                        finish_txn ()
+                      | Repl.Cluster.Lost_at_failover ->
+                        (* gone with the old timeline; the leader mark's
+                           lost list (when honest) tells the checker *)
+                        finish_txn ()))
+              | Engine.Err
+                  ( Engine.Deadlock_victim | Engine.Fuw_conflict
+                  | Engine.Certifier_conflict _ | Engine.User_abort
+                  | Engine.Server_crash ) ->
+                (* a prepared 2PC round dies with the engine abort — fan
+                   the ABORT decision out so participants release their
+                   prepared locks (no-op off the shard plane) *)
+                (match st.shard_gr with
+                | Some gr -> Shard.Group.decide_abort gr ~txn:txn_id
+                | None -> ());
+                abort_and_finish ~retryable:true ~op_id ~ts_bef ()
+              | Engine.Ok_read _ | Engine.Ok_write ->
+                assert false)
+        in
+        (match st.shard_gr with
+        | None -> do_commit ()
+        | Some gr -> (
+          let ws = !acc_writes in
+          match
+            Shard.Group.shards_touched gr ~cells:(List.map fst ws)
+          with
+          | [] | [ _ ] ->
+            (* fast path: read-only or single-shard — never touches 2PC *)
+            do_commit ()
+          | _ :: _ :: _ when not (Shard.Group.evented gr) ->
+            (* synchronous round: instantaneous, always prepares; no RNG
+               draws, no scheduled events — byte-identical to unsharded *)
+            Shard.Group.prepare gr ~txn:txn_id
+              ~start_ts:(Engine.op_snapshot engine txn)
+              ~writes:ws
+              ~k:(fun o ->
+                match o with
+                | Shard.Group.Prepared -> do_commit ()
+                | Shard.Group.Abort_decided | Shard.Group.Coord_crashed ->
+                  assert false)
+          | _ :: _ :: _ ->
+            (* evented round: one hop to the coordinator, then the voting
+               phase; the commit is only issued to the engine once every
+               shard has voted yes *)
+            let ts_bef = Sim.now st.sim in
+            let d_in =
+              delay rng (latency_for st.cfg client).net_mean_ns
+            in
+            Sim.schedule_after st.sim ~delay:d_in (fun () ->
+                Shard.Group.prepare gr ~txn:txn_id
+                  ~start_ts:(Engine.op_snapshot engine txn)
+                  ~writes:ws
+                  ~k:(fun o ->
+                    match o with
+                    | Shard.Group.Prepared -> do_commit ()
+                    | Shard.Group.Abort_decided ->
+                      (* a shard vetoed or the vote timed out: a definite,
+                         client-visible abort — release the engine txn and
+                         retry like any engine abort *)
+                      Engine.exec engine txn ~op_id:(fresh_op st) Engine.Abort
+                        ~k:(fun _ -> ());
+                      abort_and_finish ~retryable:true ~op_id:(fresh_op st)
+                        ~ts_bef ()
+                    | Shard.Group.Coord_crashed ->
+                      (* the coordinator died undecided: the client can
+                         never learn the outcome — no terminal trace,
+                         recorded for the checker's coordinator channel;
+                         the orphaned engine txn is reaped *)
+                      reap_after
+                        ~timeout_ns:
+                          (Shard.Group.prepare_timeout_ns gr);
+                      st.coord_ambiguous <-
+                        (client, txn_id, Sim.now st.sim)
+                        :: st.coord_ambiguous;
+                      finish_txn ()))))
       | Leopard_workload.Program.Rollback ->
         issue_op ~request:Engine.Abort
           ~receive:(fun ~op_id ~ts_bef _result ->
@@ -569,6 +706,7 @@ and attempt st rng ~client ~prog ~tries =
           ~receive:(fun ~op_id ~ts_bef result ->
             match result with
             | Engine.Ok_write ->
+              acc_writes := !acc_writes @ items;
               let titems =
                 List.map
                   (fun (cell, value) -> { Trace.cell; value })
@@ -627,6 +765,37 @@ let execute cfg =
   (match repl_cl with
   | Some cl -> Engine.set_commit_hook engine (Some (Repl.Cluster.on_commit cl))
   | None -> ());
+  let shard_gr =
+    Option.map
+      (fun (s : shard_config) ->
+        Shard.Group.create ~sim
+          ~initial:cfg.spec.Leopard_workload.Spec.initial s.group)
+      cfg.shard
+  in
+  (* the engine survives [crash_at] epochs with its hook intact
+     ([crash_recover] keeps [on_commit]), so decision slices keep
+     shipping across server restarts *)
+  (match shard_gr with
+  | Some gr -> Engine.set_commit_hook engine (Some (Shard.Group.on_commit gr))
+  | None -> ());
+  (* Shard-plane chaos: coordinator crashes and participant
+     crash/restarts, scheduled up front from the config — never drawn
+     from the workload's RNG. *)
+  (match (cfg.shard, shard_gr) with
+  | Some scfg, Some gr ->
+    List.iter
+      (fun at ->
+        Sim.schedule sim ~at:(max 1 at) (fun () -> Shard.Group.coord_crash gr))
+      (List.sort_uniq Int.compare scfg.coord_crash_at);
+    List.iter
+      (fun (at, shard) ->
+        Sim.schedule sim ~at:(max 1 at) (fun () ->
+            Shard.Group.restart_participant gr ~shard))
+      (List.sort_uniq
+         (fun (a, sa) (b, sb) ->
+           if a <> b then Int.compare a b else Int.compare sa sb)
+         scfg.part_crash_at)
+  | _ -> ());
   let net_exec =
     Option.map
       (fun rt ->
@@ -648,8 +817,10 @@ let execute cfg =
       engine = engine_ref;
       deposed;
       repl_cl;
+      shard_gr;
       leaders = [];
       repl_ambiguous = [];
+      coord_ambiguous = [];
       net_exec;
       buffers = Array.init cfg.clients (fun _ -> ref []);
       op_trace = Hashtbl.create 4096;
@@ -816,6 +987,29 @@ let execute cfg =
     leaders = List.rev st.leaders;
     repl = Option.map Repl.Cluster.stats repl_cl;
     repl_ambiguous = List.rev st.repl_ambiguous;
+    shard = Option.map Shard.Group.stats shard_gr;
+    coord_ambiguous = List.rev st.coord_ambiguous;
+    shard_marks =
+      (match cfg.shard with
+      | None -> []
+      | Some s -> [ { Codec.at = 0; shards = s.group.Shard.Group.shards } ]);
+    prepare_marks =
+      (match shard_gr with
+      | None -> []
+      | Some gr ->
+        List.map
+          (fun (at, txn, shards, d) ->
+            {
+              Codec.at;
+              txn;
+              shards;
+              disposition =
+                (match d with
+                | 'c' -> Codec.Committed
+                | 'a' -> Codec.Aborted
+                | _ -> Codec.Unknown);
+            })
+          (Shard.Group.rounds_log gr));
   }
 
 let all_traces_sorted outcome =

@@ -91,6 +91,29 @@ val repl_config :
     election timeout 300_000 ns, split-brain window 300_000 ns.  Raises
     [Invalid_argument] on non-positive instants or windows. *)
 
+type shard_config = {
+  group : Leopard_shard.Group.config;
+      (** shard count, protocol link faults, partitions, timeouts,
+          planted shard faults *)
+  coord_crash_at : int list;
+      (** simulated instants of coordinator crashes (positive);
+          undecided 2PC rounds at each instant are orphaned into the
+          coordinator-ambiguity channel *)
+  part_crash_at : (int * int) list;
+      (** [(instant, shard)] participant crash/restarts: the shard's
+          volatile prepared state dies and its store rebuilds from the
+          durable decision log *)
+}
+
+val shard_config :
+  ?coord_crash_at:int list ->
+  ?part_crash_at:(int * int) list ->
+  Leopard_shard.Group.config ->
+  shard_config
+(** Defaults: no coordinator or participant crashes.  Raises
+    [Invalid_argument] on non-positive instants or a shard index outside
+    [0 .. shards-1]. *)
+
 type config = {
   spec : Leopard_workload.Spec.t;
   profile : Minidb.Profile.t;
@@ -145,6 +168,15 @@ type config = {
           exclusive with [net].  With a disabled replication environment
           (no link faults, hops, partitions, or follower reads) the run
           is byte-identical to the single-node path on the same seed *)
+  shard : shard_config option;
+      (** shard mode: the key space is hash-range partitioned across a
+          {!Leopard_shard.Group} and cross-shard commits run two-phase
+          commit over the group's seeded faulty links; single-shard
+          transactions take a fast path that never touches the
+          protocol.  Mutually exclusive with [net] and [repl].  With a
+          disabled protocol environment (no link faults, hops, or
+          partitions) the run is byte-identical to the unsharded path
+          on the same seed *)
 }
 
 val config :
@@ -163,6 +195,7 @@ val config :
   ?crash_at:int list ->
   ?wal_faults:Minidb.Wal.fault_cfg ->
   ?repl:repl_config ->
+  ?shard:shard_config ->
   spec:Leopard_workload.Spec.t ->
   profile:Minidb.Profile.t ->
   level:Minidb.Isolation.level ->
@@ -223,6 +256,18 @@ type outcome = {
           timed out (applied at the primary, durability across failover
           unknown), oldest first — feed to
           [Checker.mark_ambiguous_commit] *)
+  shard : Leopard_shard.Group.stats option;
+      (** shard-group statistics; [None] off the shard plane *)
+  coord_ambiguous : (int * int * int) list;
+      (** [(client, txn, orphaned_at)] of commits whose 2PC coordinator
+          crashed before deciding, oldest first — feed to
+          [Checker.mark_coord_ambiguous] *)
+  shard_marks : Leopard_trace.Codec.shard_mark list;
+      (** the group-topology declaration ([S] line) when sharded *)
+  prepare_marks : Leopard_trace.Codec.prepare_mark list;
+      (** 2PC round dispositions ([P] lines), oldest first; feed the
+          [Unknown] ones to [Checker.mark_coord_ambiguous] before the
+          traces *)
 }
 
 and net_stats = {

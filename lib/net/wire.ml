@@ -45,3 +45,28 @@ type repl_msg =
 let repl_kind = function
   | Repl_append _ -> "repl-append"
   | Repl_ack _ -> "repl-ack"
+
+(* Two-phase-commit traffic between the coordinator and shard
+   participants rides the same faulty links (one session per shard), as
+   a third vocabulary: PREPARE carries the shard's slice of a pending
+   write set, votes answer it, commit decisions ship the durable record
+   in per-shard sequence order, aborts are out-of-band, and acks are
+   cumulative like replication acks. *)
+type tpc_msg =
+  | Tpc_prepare of {
+      shard : int;
+      txn : int;
+      start_ts : int;
+      writes : (Cell.t * Trace.value) list;
+    }
+  | Tpc_vote of { shard : int; txn : int; commit : bool }
+  | Tpc_decision of { shard : int; seq : int; record : Minidb.Wal.record }
+  | Tpc_abort of { shard : int; txn : int }
+  | Tpc_ack of { shard : int; through : int }
+
+let tpc_kind = function
+  | Tpc_prepare _ -> "tpc-prepare"
+  | Tpc_vote _ -> "tpc-vote"
+  | Tpc_decision _ -> "tpc-decision"
+  | Tpc_abort _ -> "tpc-abort"
+  | Tpc_ack _ -> "tpc-ack"

@@ -67,3 +67,37 @@ type repl_msg =
 
 val repl_kind : repl_msg -> string
 (** Short tag for logs/debugging ("repl-append" / "repl-ack"). *)
+
+(** {2 Two-phase-commit messages}
+
+    Cross-shard commit protocol traffic between the 2PC coordinator and
+    its shard participants travels as [tpc_msg] values through the same
+    {!Faulty_link} machinery (each shard is one link session), so every
+    seeded wire fault — drop, duplication, delay, reordering, reset,
+    partition — applies to PREPARE/COMMIT/ABORT/ACK exactly as it does
+    to client and replication traffic.  Like {!repl_msg}, the
+    vocabulary is deliberately separate: a shard session never speaks
+    the client protocol. *)
+
+type tpc_msg =
+  | Tpc_prepare of {
+      shard : int;
+      txn : int;
+      start_ts : int;  (** the transaction's begin stamp *)
+      writes : (Cell.t * Trace.value) list;
+          (** the shard's slice of the pending write set *)
+    }
+  | Tpc_vote of { shard : int; txn : int; commit : bool }
+      (** [commit = false] is a veto (prepared-lock conflict): the
+          coordinator must decide ABORT *)
+  | Tpc_decision of { shard : int; seq : int; record : Minidb.Wal.record }
+      (** commit decision: apply [record]'s slice as per-shard log entry
+          [seq] (1-based, strictly sequential like replication) *)
+  | Tpc_abort of { shard : int; txn : int }
+      (** abort decision (and presumed-abort after a coordinator crash):
+          release [txn]'s prepared locks without applying *)
+  | Tpc_ack of { shard : int; through : int }
+      (** cumulative: the shard has applied every decision [<= through] *)
+
+val tpc_kind : tpc_msg -> string
+(** Short tag for logs/debugging ("tpc-prepare", "tpc-vote", ...). *)

@@ -1,0 +1,186 @@
+(** A shard group: hash-range partitioning plus a 2PC coordinator whose
+    PREPARE/vote/decision/ACK traffic rides the same
+    {!Leopard_net.Faulty_link} machinery as client traffic (one link
+    session per shard), so every seeded wire fault — drop, duplicate,
+    delay, reorder, reset, partition — applies to commit-protocol
+    messages.  Single-shard transactions take a fast path that never
+    touches the protocol.
+
+    Decisions are logged per shard before shipping and applied strictly
+    in sequence with cumulative acks and capped retransmission, so a
+    participant's applied horizon is exact for its slice of the key
+    space.  The zero-fault path is fully synchronous — no scheduled
+    events, no RNG draws — keeping a sharded run byte-identical to the
+    single-shard run on the same seed and workload.
+
+    Honest failures (coordinator crash before a decision, lost votes)
+    resolve by presumed abort or surface as [Coord_crashed] — the
+    client-cannot-know channel.  The {!Shard_fault} lies instead make
+    the protocol plant definite isolation violations. *)
+
+type partition = { shard : int; from_ns : int; until_ns : int }
+(** Drop every protocol message to/from [shard] (or all shards when
+    [shard = -1]) inside [\[from_ns, until_ns)]. *)
+
+type config = private {
+  shards : int;  (** number of shard groups; >= 2 *)
+  hop_ns : int;  (** one-way latency per protocol message *)
+  link : Leopard_net.Faulty_link.config;
+  partitions : partition list;
+  prepare_timeout_ns : int;
+      (** coordinator gives up on a voting round and decides abort *)
+  retransmit_ns : int;
+  max_retransmits : int;
+  skew_bound_ns : int;
+      (** how far behind a snapshot a lagging or frozen horizon may be
+          and still serve under the skew/stale lies *)
+  faults : Shard_fault.t list;
+}
+
+val config :
+  ?shards:int ->
+  ?hop_ns:int ->
+  ?link:Leopard_net.Faulty_link.config ->
+  ?partitions:partition list ->
+  ?prepare_timeout_ns:int ->
+  ?retransmit_ns:int ->
+  ?max_retransmits:int ->
+  ?skew_bound_ns:int ->
+  ?faults:Shard_fault.t list ->
+  unit ->
+  config
+(** Validating constructor; defaults: 2 shards, no latency, disabled
+    link, prepare timeout 2 ms, retransmit every 0.5 ms capped at 8,
+    skew bound 1 ms, no faults.  Raises [Invalid_argument] on nonsense
+    (fewer than 2 shards, non-positive timeouts, bad partition
+    windows). *)
+
+val shard_of_row : shards:int -> int * int -> int
+(** Deterministic hash-range placement of a row key: a SplitMix64
+    finalizer puts the row on a 65536-point ring split into [shards]
+    contiguous ranges.  Part of the partitioning contract — stable
+    across runs and processes. *)
+
+val shard_of_cell : shards:int -> Leopard_trace.Cell.t -> int
+(** Row-key granularity: all columns of a row co-locate, so the
+    engine's row-level lock granule never spans shards. *)
+
+type prep_outcome =
+  | Prepared  (** every shard voted yes; proceed to commit at the engine *)
+  | Abort_decided
+      (** a shard vetoed, or votes never arrived within the timeout: the
+          coordinator decided abort — a definite, client-visible outcome *)
+  | Coord_crashed
+      (** the coordinator crashed before deciding: the client can never
+          learn the outcome — the coordinator-ambiguity channel *)
+
+type t
+
+val create :
+  sim:Minidb.Sim.t ->
+  initial:(Leopard_trace.Cell.t * Leopard_trace.Trace.value) list ->
+  config ->
+  t
+
+val evented : t -> bool
+(** Whether protocol traffic is event-driven (any link fault, hop
+    latency or partition window); [false] means the synchronous
+    byte-identical path. *)
+
+val prepare_timeout_ns : t -> int
+(** The configured voting-round timeout — doubling as the session
+    timeout after which an engine transaction orphaned by a coordinator
+    crash is reaped. *)
+
+val owner : t -> Leopard_trace.Cell.t -> int
+val participant : t -> shard:int -> Participant.t
+val shards_touched : t -> cells:Leopard_trace.Cell.t list -> int list
+(** Distinct owning shards, ascending. *)
+
+val prepare :
+  t ->
+  txn:int ->
+  start_ts:int ->
+  writes:(Leopard_trace.Cell.t * Leopard_trace.Trace.value) list ->
+  k:(prep_outcome -> unit) ->
+  unit
+(** Run the voting phase for a cross-shard write set ([writes] must
+    span at least two shards).  [k] fires exactly once.  On the
+    synchronous path the round is instantaneous and always prepares —
+    prepared locks are never observably held. *)
+
+val decide_abort : t -> txn:int -> unit
+(** The engine aborted a transaction that had prepared (certification
+    failure or reaper): fan the ABORT decision out and close the
+    round.  No-op for transactions without an open round. *)
+
+val on_commit : t -> Minidb.Wal.record -> unit
+(** Engine commit hook: slice the record by owning shard, append each
+    slice to that shard's durable decision log and ship.  Closes the
+    transaction's 2PC round (if any) with a COMMIT disposition;
+    single-shard commits count toward the fast path. *)
+
+val coord_crash : t -> unit
+(** Coordinator crash at the current instant.  Undecided rounds are
+    orphaned: honestly they resolve by presumed abort and the client
+    continuation fires [Coord_crashed]; under
+    {!Shard_fault.Stale_prepared_read} the orphaned locks freeze the
+    holding shards' serving horizons instead.  Decided rounds resume
+    from the durable logs under a new incarnation (in-flight messages
+    of the old one are ignored).  {!Shard_fault.Fractured_commit}
+    additionally splices one undelivered cross-shard slice out of a
+    lagging shard's log. *)
+
+val restart_participant : t -> shard:int -> unit
+(** Crash/restart one participant: volatile prepared state is lost, the
+    store rebuilds from the durable decision log (complete), and the
+    shard re-acks the full prefix. *)
+
+val route_read :
+  t ->
+  cells:Leopard_trace.Cell.t list ->
+  snapshot:(unit -> int) ->
+  Leopard_trace.Trace.item list option
+(** Serve a write-free snapshot read from the owning participants, or
+    [None] to fall back to the engine (some touched shard cannot serve
+    honestly and no lie allows it).  Draws no randomness and schedules
+    nothing, so the fallback — and the zero-fault path, where served
+    values equal the engine's exactly — preserves byte-identity. *)
+
+val rounds_log : t -> (int * int * int list * char) list
+(** 2PC round dispositions in order: [(at, txn, shards, d)] with [d]
+    one of ['c'] (committed), ['a'] (aborted), ['?'] (coordinator
+    crashed undecided) — the source of the trace file's [P] marks. *)
+
+type stats = {
+  shards : int;
+  prepares_sent : int;
+  votes_delivered : int;
+  vetoes : int;
+  prep_timeouts : int;
+  decisions_sent : int;
+  acks_delivered : int;
+  resends : int;
+  fast_path_commits : int;
+  tpc_commits : int;
+  tpc_aborts : int;
+  coord_crashes : int;
+  coord_orphans : int;
+  presumed_aborts : int;
+  fractured : int;
+  participant_restarts : int;
+  routed_reads : int;
+  skew_serves : int;
+  stale_serves : int;
+  partition_drops : int;
+  stale_drops : int;
+  log_entries : int;
+  min_applied : int;
+  link_dropped : int;
+  link_duplicated : int;
+  link_delayed : int;
+  link_reordered : int;
+  link_resets : int;
+}
+
+val stats : t -> stats

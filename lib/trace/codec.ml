@@ -65,11 +65,42 @@ let leader_to_line (m : leader_mark) =
     | [] -> "-"
     | ids -> String.concat "," (List.map string_of_int ids))
 
+type shard_mark = { at : int; shards : int }
+
+let shard_to_line (m : shard_mark) = Printf.sprintf "S %d %d" m.at m.shards
+
+type disposition = Committed | Aborted | Unknown
+
+let disposition_char = function
+  | Committed -> 'c'
+  | Aborted -> 'a'
+  | Unknown -> '?'
+
+let disposition_of_string = function
+  | "c" -> Some Committed
+  | "a" -> Some Aborted
+  | "?" -> Some Unknown
+  | _ -> None
+
+type prepare_mark = {
+  at : int;
+  txn : int;
+  shards : int list;
+  disposition : disposition;
+}
+
+let prepare_to_line (m : prepare_mark) =
+  Printf.sprintf "P %d %d %s %c" m.at m.txn
+    (String.concat "," (List.map string_of_int m.shards))
+    (disposition_char m.disposition)
+
 type entry =
   | Trace of Trace.t
   | Epoch of epoch_mark
   | Ambiguous of ambiguous_mark
   | Leader of leader_mark
+  | Shard of shard_mark
+  | Prepare of prepare_mark
 
 let entry_of_line line =
   let line = String.trim line in
@@ -162,22 +193,57 @@ let entry_of_line line =
         then Error (Printf.sprintf "malformed leader marker %S" line)
         else Ok (Some (Leader m))
       with Failure _ -> Error "bad integer field")
+    | [ "S"; at; shards ] -> (
+      try
+        let m : shard_mark =
+          { at = int_of_string at; shards = int_of_string shards }
+        in
+        if m.at < 0 || m.shards < 2 then
+          Error (Printf.sprintf "malformed shard marker %S" line)
+        else Ok (Some (Shard m))
+      with Failure _ -> Error "bad integer field")
+    | [ "P"; at; txn; shards; d ] -> (
+      try
+        match disposition_of_string d with
+        | None -> Error (Printf.sprintf "malformed prepare marker %S" line)
+        | Some disposition ->
+          let m =
+            {
+              at = int_of_string at;
+              txn = int_of_string txn;
+              shards =
+                List.map int_of_string (String.split_on_char ',' shards);
+              disposition;
+            }
+          in
+          if
+            m.at < 0 || m.txn < 0 || m.shards = []
+            || List.exists (fun s -> s < 0) m.shards
+          then Error (Printf.sprintf "malformed prepare marker %S" line)
+          else Ok (Some (Prepare m))
+      with Failure _ -> Error "bad integer field")
     | _ -> Error (Printf.sprintf "unrecognised line %S" line)
   end
 
 let of_line line =
   match entry_of_line line with
   | Ok (Some (Trace t)) -> Ok (Some t)
-  | Ok (Some (Epoch _ | Ambiguous _ | Leader _)) | Ok None -> Ok None
+  | Ok (Some (Epoch _ | Ambiguous _ | Leader _ | Shard _ | Prepare _))
+  | Ok None ->
+    Ok None
   | Error e -> Error e
 
-(* Epoch, ambiguous-commit and leader markers are interleaved at their
-   instants, so the file reads chronologically: every trace after an [E]
-   line belongs to the post-restart epoch (by the engine's monotone
-   clock, all its timestamps exceed [at]), a [U] line sits where the
-   client gave up on the commit, and an [L] line sits at the promotion —
-   traces after it ran against the new primary's timeline. *)
-let write_channel_ext oc ?(ambiguous = []) ?(leaders = []) ~epochs traces =
+(* Epoch, ambiguous-commit, leader, shard and prepare markers are
+   interleaved at their instants, so the file reads chronologically:
+   every trace after an [E] line belongs to the post-restart epoch (by
+   the engine's monotone clock, all its timestamps exceed [at]), a [U]
+   line sits where the client gave up on the commit, an [L] line sits
+   at the promotion — traces after it ran against the new primary's
+   timeline — an [S] line (at instant 0) declares the shard topology
+   the whole file spans, and a [P] line sits where its 2PC round was
+   decided (or its coordinator died undecided). *)
+let write_channel_ext oc ?(ambiguous = []) ?(leaders = []) ?(shards = [])
+    ?(prepares = []) ~epochs traces =
   output_string oc header;
   output_char oc '\n';
   let emit line =
@@ -187,11 +253,14 @@ let write_channel_ext oc ?(ambiguous = []) ?(leaders = []) ~epochs traces =
   let marks =
     List.stable_sort
       (fun (a, _) (b, _) -> Int.compare a b)
-      (List.map (fun (e : epoch_mark) -> (e.at, epoch_to_line e)) epochs
+      (List.map (fun (m : shard_mark) -> (m.at, shard_to_line m)) shards
+      @ List.map (fun (e : epoch_mark) -> (e.at, epoch_to_line e)) epochs
       @ List.map
           (fun (m : ambiguous_mark) -> (m.at, ambiguous_to_line m))
           ambiguous
-      @ List.map (fun (m : leader_mark) -> (m.at, leader_to_line m)) leaders)
+      @ List.map (fun (m : leader_mark) -> (m.at, leader_to_line m)) leaders
+      @ List.map (fun (m : prepare_mark) -> (m.at, prepare_to_line m)) prepares
+      )
   in
   let rec go marks traces =
     match (marks, traces) with
@@ -210,23 +279,59 @@ let write_channel_ext oc ?(ambiguous = []) ?(leaders = []) ~epochs traces =
 
 let write_channel oc traces = write_channel_ext oc ~epochs:[] traces
 
-let read_channel_full ic =
-  let rec go acc epochs amb leaders lineno =
+type contents = {
+  c_traces : Trace.t list;
+  c_epochs : epoch_mark list;
+  c_ambiguous : ambiguous_mark list;
+  c_leaders : leader_mark list;
+  c_shards : shard_mark list;
+  c_prepares : prepare_mark list;
+}
+
+let empty_contents =
+  {
+    c_traces = [];
+    c_epochs = [];
+    c_ambiguous = [];
+    c_leaders = [];
+    c_shards = [];
+    c_prepares = [];
+  }
+
+let add_entry acc = function
+  | Trace t -> { acc with c_traces = t :: acc.c_traces }
+  | Epoch m -> { acc with c_epochs = m :: acc.c_epochs }
+  | Ambiguous m -> { acc with c_ambiguous = m :: acc.c_ambiguous }
+  | Leader m -> { acc with c_leaders = m :: acc.c_leaders }
+  | Shard m -> { acc with c_shards = m :: acc.c_shards }
+  | Prepare m -> { acc with c_prepares = m :: acc.c_prepares }
+
+let rev_contents acc =
+  {
+    c_traces = List.rev acc.c_traces;
+    c_epochs = List.rev acc.c_epochs;
+    c_ambiguous = List.rev acc.c_ambiguous;
+    c_leaders = List.rev acc.c_leaders;
+    c_shards = List.rev acc.c_shards;
+    c_prepares = List.rev acc.c_prepares;
+  }
+
+let read_channel_all ic =
+  let rec go acc lineno =
     match input_line ic with
-    | exception End_of_file ->
-      Ok (List.rev acc, List.rev epochs, List.rev amb, List.rev leaders)
+    | exception End_of_file -> Ok (rev_contents acc)
     | line -> (
       match entry_of_line line with
-      | Ok (Some (Trace trace)) ->
-        go (trace :: acc) epochs amb leaders (lineno + 1)
-      | Ok (Some (Epoch m)) -> go acc (m :: epochs) amb leaders (lineno + 1)
-      | Ok (Some (Ambiguous m)) ->
-        go acc epochs (m :: amb) leaders (lineno + 1)
-      | Ok (Some (Leader m)) -> go acc epochs amb (m :: leaders) (lineno + 1)
-      | Ok None -> go acc epochs amb leaders (lineno + 1)
+      | Ok (Some entry) -> go (add_entry acc entry) (lineno + 1)
+      | Ok None -> go acc (lineno + 1)
       | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
   in
-  go [] [] [] [] 1
+  go empty_contents 1
+
+let read_channel_full ic =
+  Result.map
+    (fun c -> (c.c_traces, c.c_epochs, c.c_ambiguous, c.c_leaders))
+    (read_channel_all ic)
 
 let read_channel_ext ic =
   Result.map (fun (traces, epochs, _amb, _leaders) -> (traces, epochs))
@@ -234,19 +339,26 @@ let read_channel_ext ic =
 
 let read_channel ic = Result.map fst (read_channel_ext ic)
 
-let save_ext ~path ?(ambiguous = []) ?(leaders = []) ~epochs traces =
+let save_ext ~path ?(ambiguous = []) ?(leaders = []) ?(shards = [])
+    ?(prepares = []) ~epochs traces =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> write_channel_ext oc ~ambiguous ~leaders ~epochs traces)
+    (fun () ->
+      write_channel_ext oc ~ambiguous ~leaders ~shards ~prepares ~epochs traces)
 
 let save ~path traces = save_ext ~path ~epochs:[] traces
 
-let load_full ~path =
+let load_all ~path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> read_channel_full ic)
+    (fun () -> read_channel_all ic)
+
+let load_full ~path =
+  Result.map
+    (fun c -> (c.c_traces, c.c_epochs, c.c_ambiguous, c.c_leaders))
+    (load_all ~path)
 
 let load_ext ~path =
   Result.map (fun (traces, epochs, _amb, _leaders) -> (traces, epochs))
@@ -254,30 +366,21 @@ let load_ext ~path =
 
 let load ~path = Result.map fst (load_ext ~path)
 
-let read_channel_lenient_full ic =
-  let rec go acc epochs amb leaders skipped lineno =
+let read_channel_lenient_all ic =
+  let rec go acc skipped lineno =
     match input_line ic with
-    | exception End_of_file ->
-      ( List.rev acc,
-        List.rev epochs,
-        List.rev amb,
-        List.rev leaders,
-        List.rev skipped )
+    | exception End_of_file -> (rev_contents acc, List.rev skipped)
     | line -> (
       match entry_of_line line with
-      | Ok (Some (Trace trace)) ->
-        go (trace :: acc) epochs amb leaders skipped (lineno + 1)
-      | Ok (Some (Epoch m)) ->
-        go acc (m :: epochs) amb leaders skipped (lineno + 1)
-      | Ok (Some (Ambiguous m)) ->
-        go acc epochs (m :: amb) leaders skipped (lineno + 1)
-      | Ok (Some (Leader m)) ->
-        go acc epochs amb (m :: leaders) skipped (lineno + 1)
-      | Ok None -> go acc epochs amb leaders skipped (lineno + 1)
-      | Error e ->
-        go acc epochs amb leaders ((lineno, e) :: skipped) (lineno + 1))
+      | Ok (Some entry) -> go (add_entry acc entry) skipped (lineno + 1)
+      | Ok None -> go acc skipped (lineno + 1)
+      | Error e -> go acc ((lineno, e) :: skipped) (lineno + 1))
   in
-  go [] [] [] [] [] 1
+  go empty_contents [] 1
+
+let read_channel_lenient_full ic =
+  let c, skipped = read_channel_lenient_all ic in
+  (c.c_traces, c.c_epochs, c.c_ambiguous, c.c_leaders, skipped)
 
 let read_channel_lenient_ext ic =
   let traces, epochs, _amb, _leaders, skipped = read_channel_lenient_full ic in
@@ -287,11 +390,15 @@ let read_channel_lenient ic =
   let traces, _epochs, skipped = read_channel_lenient_ext ic in
   (traces, skipped)
 
-let load_lenient_full ~path =
+let load_lenient_all ~path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> read_channel_lenient_full ic)
+    (fun () -> read_channel_lenient_all ic)
+
+let load_lenient_full ~path =
+  let c, skipped = load_lenient_all ~path in
+  (c.c_traces, c.c_epochs, c.c_ambiguous, c.c_leaders, skipped)
 
 let load_lenient_ext ~path =
   let traces, epochs, _amb, _leaders, skipped = load_lenient_full ~path in

@@ -53,9 +53,33 @@
     failover was lossless).  Checkers feed these to
     [Checker.note_failover] before the traces.
 
+    A {e shard marker} line
+
+    {v
+    S <at> <shards>
+    v}
+
+    declares (at instant [at], normally 0) that the file spans a shard
+    group of [shards] hash-range partitions: one trace file covers the
+    whole group, and cross-shard dependencies stitch through it.
+
+    A {e prepare marker} line
+
+    {v
+    P <at> <txn> <shard-csv> <c|a|?>
+    v}
+
+    records the disposition of [txn]'s two-phase-commit round across
+    the comma-separated shards at instant [at]: [c] the coordinator
+    decided commit, [a] it decided abort (veto or vote timeout — a
+    definite outcome), [?] it crashed before deciding — the outcome is
+    unknowable to the client, and checkers feed these to
+    [Checker.mark_coord_ambiguous] before the traces.
+
     All marker kinds sort chronologically with the traces; readers
     unaware of them (the plain [load]/[load_lenient], and the [_ext]
-    readers for [U] and [L] lines) skip them without error. *)
+    and [_full] readers for the kinds they predate) skip them without
+    error. *)
 
 val header : string
 (** The recommended first line, ["# leopard-trace v1"]. *)
@@ -89,11 +113,36 @@ type leader_mark = {
 val leader_to_line : leader_mark -> string
 (** Encode one leader marker (no trailing newline). *)
 
+type shard_mark = {
+  at : int;  (** instant the topology took effect (normally 0) *)
+  shards : int;  (** number of hash-range partitions; >= 2 *)
+}
+
+val shard_to_line : shard_mark -> string
+(** Encode one shard marker (no trailing newline). *)
+
+type disposition =
+  | Committed  (** the coordinator decided commit *)
+  | Aborted  (** the coordinator decided abort — a definite outcome *)
+  | Unknown  (** the coordinator crashed before deciding *)
+
+type prepare_mark = {
+  at : int;  (** simulated instant the round was decided (or orphaned) *)
+  txn : int;
+  shards : int list;  (** participating shards, ascending *)
+  disposition : disposition;
+}
+
+val prepare_to_line : prepare_mark -> string
+(** Encode one prepare marker (no trailing newline). *)
+
 type entry =
   | Trace of Trace.t
   | Epoch of epoch_mark
   | Ambiguous of ambiguous_mark
   | Leader of leader_mark
+  | Shard of shard_mark
+  | Prepare of prepare_mark
 
 val entry_of_line : string -> (entry option, string) result
 (** Decode one line; [Ok None] for comments and blank lines.  Malformed
@@ -121,11 +170,36 @@ val write_channel_ext :
   out_channel ->
   ?ambiguous:ambiguous_mark list ->
   ?leaders:leader_mark list ->
+  ?shards:shard_mark list ->
+  ?prepares:prepare_mark list ->
   epochs:epoch_mark list ->
   Trace.t list ->
   unit
 (** Header, traces, and markers merged at their instants ([traces] must
     be sorted by [ts_bef], as {!write_channel} assumes). *)
+
+type contents = {
+  c_traces : Trace.t list;
+  c_epochs : epoch_mark list;
+  c_ambiguous : ambiguous_mark list;
+  c_leaders : leader_mark list;
+  c_shards : shard_mark list;
+  c_prepares : prepare_mark list;
+}
+(** Everything a trace file can carry, each kind in file order. *)
+
+val read_channel_all : in_channel -> (contents, string) result
+(** The full reader: every entry kind observed.  The tuple-returning
+    [_full] readers below predate the shard/prepare markers and skip
+    them. *)
+
+val load_all : path:string -> (contents, string) result
+
+val read_channel_lenient_all : in_channel -> contents * (int * string) list
+(** Lenient variant of {!read_channel_all}: malformed lines are skipped
+    and reported as [(1-based line, diagnostic)]. *)
+
+val load_lenient_all : path:string -> contents * (int * string) list
 
 val read_channel_ext :
   in_channel -> (Trace.t list * epoch_mark list, string) result
@@ -142,6 +216,8 @@ val save_ext :
   path:string ->
   ?ambiguous:ambiguous_mark list ->
   ?leaders:leader_mark list ->
+  ?shards:shard_mark list ->
+  ?prepares:prepare_mark list ->
   epochs:epoch_mark list ->
   Trace.t list ->
   unit

@@ -1,0 +1,6 @@
+(* lint: allow fault-construct — fixture: planted-fault table for docs *)
+let planted = Fractured_commit
+
+(* membership tests are absolved without any annotation *)
+let skewed faults = has_fault faults Snapshot_skew
+let stale t = lying t Stale_prepared_read

@@ -1,0 +1,1 @@
+let planted = Fractured_commit

@@ -1,0 +1,2 @@
+(* lint: allow tag-wildcard — fixture: display-only classification *)
+let is_prepare = function Tpc_prepare _ -> true | _ -> false

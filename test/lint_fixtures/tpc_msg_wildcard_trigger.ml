@@ -1,0 +1,1 @@
+let is_prepare = function Tpc_prepare _ -> true | _ -> false

@@ -279,6 +279,102 @@ let test_malformed_leader_lines_rejected () =
   Alcotest.(check bool) "negative lost id" true (bad "L 10 2 1 4,-5");
   Alcotest.(check bool) "bad lost csv" true (bad "L 10 2 1 4,,5")
 
+(* Shard topology and 2PC round markers: the sixth fault plane's
+   footprint in a trace file. *)
+
+let shard_marks = [ { Codec.at = 0; shards = 3 } ]
+
+let prepare_marks =
+  [
+    { Codec.at = 30; txn = 5; shards = [ 0; 2 ]; disposition = Codec.Committed };
+    { Codec.at = 60; txn = 7; shards = [ 1; 2 ]; disposition = Codec.Aborted };
+    {
+      Codec.at = 90;
+      txn = 11;
+      shards = [ 0; 1; 2 ];
+      disposition = Codec.Unknown;
+    };
+  ]
+
+let test_shard_line_roundtrip () =
+  List.iter
+    (fun m ->
+      let line = Codec.shard_to_line m in
+      (match Codec.entry_of_line line with
+      | Ok (Some (Codec.Shard m')) ->
+        Alcotest.(check bool) "shard mark roundtrips" true (m = m')
+      | _ -> Alcotest.failf "bad shard decode: %s" line);
+      Alcotest.(check bool)
+        "of_line skips S markers" true
+        (Codec.of_line line = Ok None))
+    shard_marks
+
+let test_malformed_shard_lines_rejected () =
+  let bad l = Result.is_error (Codec.entry_of_line l) in
+  Alcotest.(check bool) "missing fields" true (bad "S 0");
+  Alcotest.(check bool) "trailing junk" true (bad "S 0 2 3");
+  Alcotest.(check bool) "bad int" true (bad "S zero 2");
+  Alcotest.(check bool) "negative instant" true (bad "S -1 2");
+  Alcotest.(check bool) "one shard is not a group" true (bad "S 0 1")
+
+let test_prepare_line_roundtrip () =
+  List.iter
+    (fun m ->
+      let line = Codec.prepare_to_line m in
+      (match Codec.entry_of_line line with
+      | Ok (Some (Codec.Prepare m')) ->
+        Alcotest.(check bool) "prepare mark roundtrips" true (m = m')
+      | _ -> Alcotest.failf "bad prepare decode: %s" line);
+      Alcotest.(check bool)
+        "of_line skips P markers" true
+        (Codec.of_line line = Ok None))
+    prepare_marks
+
+let test_malformed_prepare_lines_rejected () =
+  let bad l = Result.is_error (Codec.entry_of_line l) in
+  Alcotest.(check bool) "missing fields" true (bad "P 1 2 0,1");
+  Alcotest.(check bool) "trailing junk" true (bad "P 1 2 0,1 c x");
+  Alcotest.(check bool) "bad disposition" true (bad "P 1 2 0,1 z");
+  Alcotest.(check bool) "bad int" true (bad "P one 2 0,1 c");
+  Alcotest.(check bool) "empty shard csv" true (bad "P 1 2  c");
+  Alcotest.(check bool) "bad shard csv" true (bad "P 1 2 0,,1 c");
+  Alcotest.(check bool) "negative shard" true (bad "P 1 2 0,-1 c")
+
+let test_sharded_file_roundtrip () =
+  let path = Filename.temp_file "leopard" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Codec.save_ext ~path ~ambiguous:amb_marks ~shards:shard_marks
+        ~prepares:prepare_marks ~epochs:marks samples;
+      (match Codec.load_all ~path with
+      | Ok c ->
+        Alcotest.(check int) "traces survive" (List.length samples)
+          (List.length c.Codec.c_traces);
+        Alcotest.(check bool) "epochs survive" true (c.Codec.c_epochs = marks);
+        Alcotest.(check bool) "ambiguous marks survive" true
+          (c.Codec.c_ambiguous = amb_marks);
+        Alcotest.(check bool) "shard marks survive" true
+          (c.Codec.c_shards = shard_marks);
+        Alcotest.(check bool) "prepare marks survive in order" true
+          (c.Codec.c_prepares = prepare_marks)
+      | Error e -> Alcotest.failf "load_all failed: %s" e);
+      (* the pre-shard readers must skip S and P lines, not choke *)
+      (match Codec.load_full ~path with
+      | Ok (traces, epochs, ambiguous, _leaders) ->
+        Alcotest.(check int) "full reader skips S/P lines"
+          (List.length samples) (List.length traces);
+        Alcotest.(check bool) "full reader keeps epochs" true (epochs = marks);
+        Alcotest.(check bool) "full reader keeps ambiguous" true
+          (ambiguous = amb_marks)
+      | Error e -> Alcotest.failf "load_full failed: %s" e);
+      let c, skipped = Codec.load_lenient_all ~path in
+      Alcotest.(check bool) "lenient all sees shard marks" true
+        (c.Codec.c_shards = shard_marks);
+      Alcotest.(check bool) "lenient all sees prepare marks" true
+        (c.Codec.c_prepares = prepare_marks);
+      Alcotest.(check int) "nothing skipped" 0 (List.length skipped))
+
 let test_full_file_roundtrip () =
   let path = Filename.temp_file "leopard" ".trace" in
   Fun.protect
@@ -356,6 +452,16 @@ let suite =
       test_malformed_leader_lines_rejected;
     Alcotest.test_case "full file roundtrip (U/L markers)" `Quick
       test_full_file_roundtrip;
+    Alcotest.test_case "shard marker roundtrip" `Quick
+      test_shard_line_roundtrip;
+    Alcotest.test_case "malformed shard markers rejected" `Quick
+      test_malformed_shard_lines_rejected;
+    Alcotest.test_case "prepare marker roundtrip" `Quick
+      test_prepare_line_roundtrip;
+    Alcotest.test_case "malformed prepare markers rejected" `Quick
+      test_malformed_prepare_lines_rejected;
+    Alcotest.test_case "sharded file roundtrip (S/P markers)" `Quick
+      test_sharded_file_roundtrip;
     Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
     Alcotest.test_case "bad lines rejected" `Quick test_bad_lines;
     Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;

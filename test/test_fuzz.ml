@@ -124,10 +124,10 @@ let prop_codec_roundtrip_soup =
 
 (* Lenient loading under line-level corruption: whatever bytes a mutated
    trace file holds — traces interleaved with E (restart), U (ambiguous
-   commit) and L (failover) marker lines — [load_lenient_full] must
-   return (never raise), decode exactly the lines [entry_of_line]
-   accepts, and report every rejected line — by number — as skipped.  An
-   unmutated file skips nothing. *)
+   commit), L (failover), S (shard topology) and P (2PC round) marker
+   lines — [load_lenient_all] must return (never raise), decode exactly
+   the lines [entry_of_line] accepts, and report every rejected line —
+   by number — as skipped.  An unmutated file skips nothing. *)
 let gen_mutated_file =
   QCheck.Gen.(
     let mutation =
@@ -164,9 +164,7 @@ let lenient_load_oracle lines =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       write_lines path lines;
-      let traces, epochs, amb, leaders, skipped =
-        Leopard_trace.Codec.load_lenient_full ~path
-      in
+      let contents, skipped = Leopard_trace.Codec.load_lenient_all ~path in
       let expect_bad =
         List.filter_map Fun.id
           (List.mapi
@@ -177,8 +175,13 @@ let lenient_load_oracle lines =
              lines)
       in
       List.map fst skipped = expect_bad
-      && List.length traces + List.length epochs + List.length amb
-         + List.length leaders + List.length skipped
+      && List.length contents.Leopard_trace.Codec.c_traces
+         + List.length contents.Leopard_trace.Codec.c_epochs
+         + List.length contents.Leopard_trace.Codec.c_ambiguous
+         + List.length contents.Leopard_trace.Codec.c_leaders
+         + List.length contents.Leopard_trace.Codec.c_shards
+         + List.length contents.Leopard_trace.Codec.c_prepares
+         + List.length skipped
          <= List.length lines)
 
 let prop_lenient_total_on_mutations =
@@ -187,15 +190,32 @@ let prop_lenient_total_on_mutations =
     (fun (ops, mutations) ->
       let traces = build_traces ops in
       (* interleave every marker kind among the traces, so mutations land
-         on E, U and L lines too *)
+         on E, U, L, S and P lines too *)
       let clean_lines =
         Leopard_trace.Codec.epoch_to_line
           { Leopard_trace.Codec.at = 1; epoch = 1; replayed = 0; damaged = 0 }
+        :: Leopard_trace.Codec.shard_to_line
+             { Leopard_trace.Codec.at = 0; shards = 2 }
         :: List.concat
              (List.mapi
                 (fun i t ->
                   let line = Leopard_trace.Codec.to_line t in
                   match i mod 5 with
+                  | 1 ->
+                    [
+                      line;
+                      Leopard_trace.Codec.prepare_to_line
+                        {
+                          Leopard_trace.Codec.at = t.Trace.ts_aft;
+                          txn = t.Trace.txn;
+                          shards = [ 0; 1 ];
+                          disposition =
+                            (match i mod 3 with
+                            | 0 -> Leopard_trace.Codec.Committed
+                            | 1 -> Leopard_trace.Codec.Aborted
+                            | _ -> Leopard_trace.Codec.Unknown);
+                        };
+                    ]
                   | 2 ->
                     [
                       line;

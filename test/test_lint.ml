@@ -46,6 +46,15 @@ let repl_cases =
 let repl_fixture_path stem variant =
   Filename.concat fixtures_dir (stem ^ "_" ^ variant ^ ".ml")
 
+(* The sharding/2PC fault plane rides the same rules in its own zone:
+   planting a Shard_fault constructor outside the harness is
+   fault-construct, a wildcard over Wire.tpc_msg is tag-wildcard. *)
+let shard_cases =
+  [
+    ("shard_fault_construct", "fault-construct", Zone.Shard);
+    ("tpc_msg_wildcard", "tag-wildcard", Zone.Shard);
+  ]
+
 let lint_fixture ~zone path =
   match Driver.lint_file ~zone path with
   | Ok r -> r
@@ -111,6 +120,18 @@ let test_repl_zone_scoping () =
       in
       Alcotest.(check int)
         ("repl fault construction quiet in " ^ Zone.to_string zone)
+        0 (List.length r.findings))
+    [ Zone.Harness; Zone.Bin; Zone.Test ]
+
+let test_shard_zone_scoping () =
+  List.iter
+    (fun zone ->
+      let r =
+        lint_fixture ~zone
+          (repl_fixture_path "shard_fault_construct" "trigger")
+      in
+      Alcotest.(check int)
+        ("shard fault construction quiet in " ^ Zone.to_string zone)
         0 (List.length r.findings))
     [ Zone.Harness; Zone.Bin; Zone.Test ]
 
@@ -227,7 +248,7 @@ let test_exit_codes_all_triggers () =
                Zone.to_string zone;
                repl_fixture_path stem "trigger";
              ]))
-      repl_cases
+      (repl_cases @ shard_cases)
   end
 
 let test_repo_is_clean () =
@@ -261,12 +282,13 @@ let suite =
             Alcotest.test_case (stem ^ " allowed") `Quick
               (test_repl_allowed case);
           ])
-        repl_cases
+        (repl_cases @ shard_cases)
   in
   [
     Alcotest.test_case "rule catalogue" `Quick test_catalogue;
     Alcotest.test_case "zone scoping" `Quick test_zone_scoping;
     Alcotest.test_case "replication zone scoping" `Quick test_repl_zone_scoping;
+    Alcotest.test_case "shard zone scoping" `Quick test_shard_zone_scoping;
     Alcotest.test_case "multi-line suppression" `Quick test_multiline_suppression;
     Alcotest.test_case "suppression does not leak" `Quick
       test_suppression_does_not_leak;
