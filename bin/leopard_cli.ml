@@ -338,6 +338,20 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
             ss.Leopard_shard.Group.skew_serves
             ss.Leopard_shard.Group.stale_serves
       | None -> ());
+      (match outcome.Leopard_harness.Run.shard_repl with
+      | Some sr ->
+        Printf.printf
+          "shard    : %d replica(s)/shard | %d decision(s) forwarded, %d \
+           append(s), %d ack(s) | %d failover(s) (%d claimed clean, %d \
+           record(s) lost)\n"
+          sr.Leopard_compose.Stack.followers_per_shard
+          sr.Leopard_compose.Stack.forwarded
+          sr.Leopard_compose.Stack.appends_sent
+          sr.Leopard_compose.Stack.acks_delivered
+          sr.Leopard_compose.Stack.failovers
+          sr.Leopard_compose.Stack.claimed_clean
+          sr.Leopard_compose.Stack.lost_records
+      | None -> ());
       match outcome.Leopard_harness.Run.net with
       | Some ns ->
         Printf.printf
@@ -476,7 +490,8 @@ let run workload dbms level faults clients txns seed show_bugs record check
          shard_seed),
         ( shard_partitions, shard_crashes, shard_coord_crash_at,
           shard_prepare_ns, shard_retransmit_ns, shard_max_retransmits,
-          shard_skew_ns, shard_faults ) ) =
+          shard_skew_ns, shard_faults, repl_per_shard, shard_failovers,
+          shard_repl_faults, shard_repl_drop ) ) =
     shard_raw
   in
   let wal, crash_at, wal_torn, wal_lost, wal_reorder, wal_dup, wal_window,
@@ -550,6 +565,9 @@ let run workload dbms level faults clients txns seed show_bugs record check
          positive ~flag:"--shard-retransmit-ns" shard_retransmit_ns;
          non_negative ~flag:"--shard-max-retransmits" shard_max_retransmits;
          non_negative ~flag:"--shard-skew-bound-ns" shard_skew_ns;
+         non_negative ~flag:"--repl-per-shard" repl_per_shard;
+         prob ~flag:"--shard-repl-drop"
+           (Option.value ~default:0.0 shard_repl_drop);
        ]
        @ List.map (window ~flag:"--repl-partition") repl_partitions
        @ List.map
@@ -562,7 +580,10 @@ let run workload dbms level faults clients txns seed show_bugs record check
            shard_partitions
        @ List.map
            (fun (_s, at) -> positive ~flag:"--shard-crash" at)
-           shard_crashes)
+           shard_crashes
+       @ List.map
+           (fun (_s, at) -> positive ~flag:"--shard-failover-at" at)
+           shard_failovers)
    with
    | Some e ->
      prerr_endline (error_to_string e);
@@ -666,6 +687,26 @@ let run workload dbms level faults clients txns seed show_bugs record check
              ~split_brain_ns:repl_split_brain_ns cluster)
       end
     in
+    (* plane-composition matrix: which fault planes may run together
+       (and which flag the conflict blames) lives in [Cli_validate].
+       Checked before the shard config is built — the constructors
+       assert the same invariants, and a violated composition must be a
+       one-line usage error, not an assertion failure. *)
+    (match
+       Leopard_harness.Cli_validate.composition
+         {
+           Leopard_harness.Cli_validate.net = net <> None;
+           repl = repl <> None;
+           shards = shard_count_v <> 0;
+           repl_per_shard;
+           shard_failovers = shard_failovers <> [];
+           shard_repl_drop = shard_repl_drop <> None;
+         }
+     with
+    | Some e ->
+      prerr_endline (Leopard_harness.Cli_validate.error_to_string e);
+      exit 2
+    | None -> ());
     let shard =
       if shard_count_v = 0 then None
       else begin
@@ -704,42 +745,75 @@ let run workload dbms level faults clients txns seed show_bugs record check
               (at, s))
             shard_crashes
         in
+        let shard_failover_at =
+          List.map
+            (fun (s, at) ->
+              if s < 0 || s >= shard_count_v then begin
+                Printf.eprintf
+                  "invalid --shard-failover-at: shard %d out of range \
+                   [0, %d)\n"
+                  s shard_count_v;
+                exit 2
+              end;
+              (at, s))
+            shard_failovers
+        in
+        let link =
+          Leopard_net.Faulty_link.config ~seed:shard_seed
+            ~delay_prob:shard_delay ~max_delay_ns:shard_delay_ns
+            ~drop_prob:shard_drop ~dup_prob:shard_dup
+            ~reorder_prob:shard_reorder ~reorder_window_ns:shard_reorder_ns
+            ~reset_prob:shard_reset ()
+        in
         let group =
           Leopard_shard.Group.config ~shards:shard_count_v
-            ~hop_ns:shard_hop_ns
-            ~link:
-              (Leopard_net.Faulty_link.config ~seed:shard_seed
-                 ~delay_prob:shard_delay ~max_delay_ns:shard_delay_ns
-                 ~drop_prob:shard_drop ~dup_prob:shard_dup
-                 ~reorder_prob:shard_reorder
-                 ~reorder_window_ns:shard_reorder_ns ~reset_prob:shard_reset
-                 ())
-            ~partitions ~prepare_timeout_ns:shard_prepare_ns
+            ~hop_ns:shard_hop_ns ~link ~partitions
+            ~prepare_timeout_ns:shard_prepare_ns
             ~retransmit_ns:shard_retransmit_ns
             ~max_retransmits:shard_max_retransmits
-            ~skew_bound_ns:shard_skew_ns ~faults ()
+            ~skew_bound_ns:shard_skew_ns ~faults ?wal_faults ()
+        in
+        let stack =
+          if repl_per_shard = 0 then None
+          else begin
+            let stack_faults =
+              List.map
+                (fun name ->
+                  match Leopard_replication.Repl_fault.of_string name with
+                  | Some f -> f
+                  | None ->
+                    prerr_endline ("unknown replication fault: " ^ name);
+                    exit 2)
+                shard_repl_faults
+            in
+            (* the per-shard replica sets reuse the shard wire's fault
+               rates and hop unless --shard-repl-drop decouples them;
+               Stack derives a distinct link seed per shard so no
+               cluster shares a stream with the protocol *)
+            let stack_link =
+              match shard_repl_drop with
+              | None -> link
+              | Some drop_prob ->
+                Leopard_net.Faulty_link.config ~seed:shard_seed
+                  ~delay_prob:shard_delay ~max_delay_ns:shard_delay_ns
+                  ~drop_prob ~dup_prob:shard_dup ~reorder_prob:shard_reorder
+                  ~reorder_window_ns:shard_reorder_ns
+                  ~reset_prob:shard_reset ()
+            in
+            Some
+              (Leopard_compose.Stack.config ~followers:repl_per_shard
+                 ~hop_ns:shard_hop_ns ~link:stack_link
+                 ~retransmit_ns:shard_retransmit_ns
+                 ~max_retransmits:shard_max_retransmits ~faults:stack_faults
+                 ~seed:shard_seed ())
+          end
         in
         Some
           (Leopard_harness.Run.shard_config
-             ~coord_crash_at:shard_coord_crash_at ~part_crash_at group)
+             ~coord_crash_at:shard_coord_crash_at ~part_crash_at ?stack
+             ~shard_failover_at group)
       end
     in
-    (match (net, repl, shard) with
-    | Some _, Some _, _ ->
-      prerr_endline
-        "--net and --repl are mutually exclusive (one wire plane per run)";
-      exit 2
-    | Some _, _, Some _ ->
-      prerr_endline
-        "--net and --shards are mutually exclusive (the 2PC protocol \
-         already rides the shard wire)";
-      exit 2
-    | _, Some _, Some _ ->
-      prerr_endline
-        "--repl and --shards are mutually exclusive (one topology plane \
-         per run)";
-      exit 2
-    | _ -> ());
     run_workload_mode workload dbms level faults clients txns seed show_bugs
       record infer chaos net max_retries max_stall_ns
       (wal, crash_at, wal_faults)
@@ -1455,6 +1529,52 @@ let shard_fault =
            --shard-coord-crash-at crashes, which only degrade the verdict \
            honestly.")
 
+let repl_per_shard =
+  Arg.(
+    value & opt int 0
+    & info [ "repl-per-shard" ] ~docv:"M"
+        ~doc:
+          "Run every shard group as a primary/follower replica set with \
+           $(docv) replicas (0 disables; requires --shards).  Each \
+           shard's committed decision feed ships to its own cluster over \
+           a derived faulty link.  Honest failovers are lossless at the \
+           group level — the coordinator's decision log backfills the \
+           truncated suffix — so only the planted --shard-repl-fault \
+           lies can change the verdict.")
+
+let shard_failover_at =
+  Arg.(
+    value & opt_all shard_crash_conv []
+    & info [ "shard-failover-at" ] ~docv:"SHARD:AT"
+        ~doc:
+          "Fail shard SHARD's primary over to a replica at simulated \
+           instant AT (repeatable; requires --repl-per-shard).  The \
+           shard's store rebuilds from the survivor prefix its replica \
+           set kept and the coordinator re-ships the rest.")
+
+let shard_repl_fault =
+  Arg.(
+    value & opt_all string []
+    & info [ "shard-repl-fault" ] ~docv:"FAULT"
+        ~doc:
+          "Plant a named replication fault inside every shard's replica \
+           set (repeatable): promote-lagging or lose-acked-window make a \
+           failed-over shard claim a clean rebuild over a shorter one, \
+           silently losing committed cross-shard work — a definite CR \
+           violation on the global trace.")
+
+let shard_repl_drop =
+  Arg.(
+    value & opt (some float) None
+    & info [ "shard-repl-drop" ] ~docv:"P"
+        ~doc:
+          "Override the drop probability of the per-shard replication \
+           links (requires --repl-per-shard).  By default the replica \
+           sets reuse the shard wire's fault rates; this decouples them, \
+           so a healthy 2PC wire can feed clusters whose followers lag \
+           arbitrarily — the shape that makes the claim-clean \
+           --shard-repl-fault lies bite.")
+
 let shard_term =
   let make_link shards hop_ns drop dup delay delay_ns reorder reorder_ns
       reset sseed =
@@ -1462,9 +1582,10 @@ let shard_term =
       sseed )
   in
   let make_ctl partitions crashes coord_crash_at prepare_ns retransmit_ns
-      max_retransmits skew_ns sfaults =
+      max_retransmits skew_ns sfaults per_shard failovers rfaults rdrop =
     ( partitions, crashes, coord_crash_at, prepare_ns, retransmit_ns,
-      max_retransmits, skew_ns, sfaults )
+      max_retransmits, skew_ns, sfaults, per_shard, failovers, rfaults, rdrop
+    )
   in
   let pair a b = (a, b) in
   Cmdliner.Term.(
@@ -1474,7 +1595,9 @@ let shard_term =
        $ shard_reset $ shard_seed)
     $ (const make_ctl $ shard_partition $ shard_crash $ shard_coord_crash_at
        $ shard_prepare_timeout_ns $ shard_retransmit_ns
-       $ shard_max_retransmits $ shard_skew_bound_ns $ shard_fault))
+       $ shard_max_retransmits $ shard_skew_bound_ns $ shard_fault
+       $ repl_per_shard $ shard_failover_at $ shard_repl_fault
+       $ shard_repl_drop))
 
 let lenient =
   Arg.(

@@ -150,6 +150,7 @@ let lib_zones : Zone.t list =
     Net;
     Replication;
     Shard;
+    Compose;
     Util;
     Workload;
     Baselines;
@@ -164,14 +165,18 @@ let applies rule (zone : Zone.t) ~basename =
   | "D002" -> not (zone = Zone.Util && String.equal basename "clock.ml")
   | "D003" ->
     mem_zone zone
-      [ Core; Trace_lib; Minidb; Harness; Net; Replication; Shard; Analysis ]
+      [
+        Core; Trace_lib; Minidb; Harness; Net; Replication; Shard; Compose;
+        Analysis;
+      ]
   | "D004" -> mem_zone zone lib_zones
   | "F001" -> mem_zone zone [ Core; Trace_lib ]
   (* Core is covered by F001 (it may not reference fault modules at
      all); its own anomaly taxonomy reuses names like Dirty_read, so
      matching bare constructor names there would misfire. *)
   | "F002" ->
-    mem_zone zone [ Trace_lib; Minidb; Net; Replication; Shard; Analysis ]
+    mem_zone zone
+      [ Trace_lib; Minidb; Net; Replication; Shard; Compose; Analysis ]
     && not
          (List.mem basename
             [ "fault.ml"; "wal.ml"; "repl_fault.ml"; "shard_fault.ml" ])
@@ -322,6 +327,9 @@ let fault_modules =
     "Group";
     "Participant";
     "Leopard_shard";
+    (* the stacked-plane composition orchestrator *)
+    "Stack";
+    "Leopard_compose";
   ]
 
 (* ------------------------------------------------------------------ *)

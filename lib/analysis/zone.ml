@@ -6,6 +6,7 @@ type t =
   | Net
   | Replication
   | Shard
+  | Compose
   | Util
   | Workload
   | Baselines
@@ -25,6 +26,7 @@ let all =
     Net;
     Replication;
     Shard;
+    Compose;
     Util;
     Workload;
     Baselines;
@@ -44,6 +46,7 @@ let to_string = function
   | Net -> "net"
   | Replication -> "replication"
   | Shard -> "shard"
+  | Compose -> "compose"
   | Util -> "util"
   | Workload -> "workload"
   | Baselines -> "baselines"
@@ -65,6 +68,7 @@ let lib_zone = function
   | "net" -> Net
   | "replication" -> Replication
   | "shard" -> Shard
+  | "compose" -> Compose
   | "util" -> Util
   | "workload" -> Workload
   | "baselines" -> Baselines

@@ -17,6 +17,7 @@ type t =
   | Net  (** [lib/net] — wire protocol and fault channel *)
   | Replication  (** [lib/replication] — cluster, failover, repl faults *)
   | Shard  (** [lib/shard] — hash-range partitioning, 2PC coordinator *)
+  | Compose  (** [lib/compose] — stacked fault-plane orchestration *)
   | Util  (** [lib/util] — seeded RNG, clock, containers *)
   | Workload  (** [lib/workload] — benchmark program generators *)
   | Baselines  (** [lib/baselines] — reference checkers *)

@@ -1,0 +1,195 @@
+module Sim = Minidb.Sim
+module Wal = Minidb.Wal
+module Group = Leopard_shard.Group
+module Participant = Leopard_shard.Participant
+module Cluster = Leopard_replication.Cluster
+module Repl_fault = Leopard_replication.Repl_fault
+module Faulty_link = Leopard_net.Faulty_link
+
+(* Plane composition: every shard of a 2PC group runs as a full minidb
+   — its participant already recovers from its own WAL (see
+   [Group.restart_participant]); this module additionally gives it a
+   primary/follower replica set.  Each shard's committed decision feed
+   (observed through the group's apply hook) ships to that shard's
+   cluster over its own faulty link, and a seeded failover replaces the
+   shard's store with whatever survivor prefix its replica set kept.
+
+   The honest story composes cleanly: a failover truncates the shard to
+   the survivor prefix, the shard re-acks only that prefix, and the
+   coordinator's decision log backfills the rest — lossless at the
+   group level, so honest stacked failovers cost catch-up lag (routed
+   reads decline, the engine serves) and never degrade the verdict.
+   The lies are the replication plane's own: a cluster that elects a
+   lagging primary or loses an acked window *claims the rebuild is
+   clean*, so the coordinator never re-ships the hole — a silent loss
+   of committed cross-shard work the checker must prove as a CR
+   violation on the global trace.
+
+   Replica acks ride [Cluster]'s Async mode: the 2PC decision channel
+   is the synchronous one, so stacked replication adds no commit gate
+   and no new ambiguity channel.  With a disabled link and no hop the
+   clusters take their synchronous fast path — zero events, zero RNG
+   draws — keeping the zero-fault stacked run byte-identical to the
+   unsharded, unreplicated run. *)
+
+type config = {
+  followers : int;
+  hop_ns : int;
+  link : Faulty_link.config;
+  retransmit_ns : int;
+  max_retransmits : int;
+  faults : Repl_fault.t list;
+  seed : int;
+}
+
+let config ?(followers = 1) ?(hop_ns = 0) ?(link = Faulty_link.disabled)
+    ?(retransmit_ns = 500_000) ?(max_retransmits = 8) ?(faults = [])
+    ?(seed = 0) () =
+  if followers < 1 then invalid_arg "Stack.config: followers must be >= 1";
+  if hop_ns < 0 then invalid_arg "Stack.config: hop_ns must be >= 0";
+  if retransmit_ns <= 0 then
+    invalid_arg "Stack.config: retransmit_ns must be > 0";
+  if max_retransmits < 0 then
+    invalid_arg "Stack.config: max_retransmits must be >= 0";
+  { followers; hop_ns; link; retransmit_ns; max_retransmits; faults; seed }
+
+type failover = {
+  shard : int;
+  primary : int;
+  survived : int;
+  lost : int;
+  lag : int;
+  claimed_clean : bool;
+}
+
+type t = {
+  cfg : config;
+  group : Group.t;
+  clusters : Cluster.t array;
+  hooked_through : int array;
+      (* highest decision seq forwarded to each shard's cluster: the
+         guard making the hook idempotent when the coordinator re-ships
+         records a restarted participant re-applies *)
+  mutable n_forwarded : int;
+  mutable n_failovers : int;
+  mutable n_claimed_clean : int;
+  mutable n_lost : int;
+}
+
+let create ~sim ~group ~initial (cfg : config) =
+  let shards = Group.shard_count group in
+  let clusters =
+    Array.init shards (fun shard ->
+        let initial =
+          List.filter
+            (fun (cell, _) -> Group.shard_of_cell ~shards cell = shard)
+            initial
+        in
+        let ccfg =
+          Cluster.config ~followers:cfg.followers ~ack_mode:Cluster.Async
+            ~hop_ns:cfg.hop_ns
+            ~link:
+              (* distinct per-shard fault streams off one seed, mirroring
+                 the per-participant WAL seed derivation *)
+              { cfg.link with Faulty_link.seed = cfg.link.Faulty_link.seed + ((shard + 1) * 7919) }
+            ~retransmit_ns:cfg.retransmit_ns
+            ~max_retransmits:cfg.max_retransmits ~follower_read_prob:0.0
+            ~faults:cfg.faults ~seed:(cfg.seed + shard) ()
+        in
+        Cluster.create sim ccfg ~initial)
+  in
+  let t =
+    {
+      cfg;
+      group;
+      clusters;
+      hooked_through = Array.make shards 0;
+      n_forwarded = 0;
+      n_failovers = 0;
+      n_claimed_clean = 0;
+      n_lost = 0;
+    }
+  in
+  Group.set_apply_hook group
+    (Some
+       (fun ~shard ~seq record ->
+         if seq = t.hooked_through.(shard) + 1 then begin
+           t.hooked_through.(shard) <- seq;
+           t.n_forwarded <- t.n_forwarded + 1;
+           Cluster.on_commit t.clusters.(shard) record
+         end));
+  t
+
+let cluster t ~shard = t.clusters.(shard)
+
+(* Fail the shard's primary over to a replica.  [Cluster.failover]
+   elects the most caught-up live follower (or, under
+   [Repl_fault.Promote_lagging], the straggler), truncates its log to
+   the survivor prefix and reports the lost suffix; the shard's store
+   then rebuilds from that prefix.  Honestly the shard re-acks only the
+   prefix and the coordinator re-ships the lost records; under the
+   claim-clean faults it reports the pre-failover cursor instead, and
+   the hole is silently gone. *)
+let failover t ~shard =
+  if shard < 0 || shard >= Array.length t.clusters then
+    invalid_arg "Stack.failover: shard out of range";
+  match Cluster.failover t.clusters.(shard) with
+  | None -> None
+  | Some promo ->
+    t.n_failovers <- t.n_failovers + 1;
+    t.n_lost <- t.n_lost + List.length promo.Cluster.lost;
+    let before =
+      (Group.participant t.group ~shard).Participant.applied_through
+    in
+    let survived_n = List.length promo.Cluster.survived in
+    let claim_clean =
+      Repl_fault.has_fault t.cfg.faults Repl_fault.Promote_lagging
+      || Repl_fault.has_fault t.cfg.faults Repl_fault.Lose_acked_window
+    in
+    let claim_through =
+      if claim_clean && before > survived_n then Some before else None
+    in
+    if claim_through <> None then
+      t.n_claimed_clean <- t.n_claimed_clean + 1;
+    let acked =
+      Group.rebuild_participant t.group ~shard
+        ~records:promo.Cluster.survived ~claim_through
+    in
+    t.hooked_through.(shard) <- acked;
+    Some
+      {
+        shard;
+        primary = promo.Cluster.target;
+        survived = survived_n;
+        lost = List.length promo.Cluster.lost;
+        lag = promo.Cluster.target_lag;
+        claimed_clean = claim_through <> None;
+      }
+
+type stats = {
+  shards : int;
+  followers_per_shard : int;
+  forwarded : int;
+  failovers : int;
+  claimed_clean : int;
+  lost_records : int;
+  appends_sent : int;
+  acks_delivered : int;
+  log_entries : int;
+}
+
+let stats t =
+  let sum f =
+    Array.fold_left (fun acc cl -> acc + f (Cluster.stats cl)) 0 t.clusters
+  in
+  {
+    shards = Array.length t.clusters;
+    followers_per_shard = t.cfg.followers;
+    forwarded = t.n_forwarded;
+    failovers = t.n_failovers;
+    claimed_clean = t.n_claimed_clean;
+    lost_records = t.n_lost;
+    appends_sent = sum (fun s -> s.Cluster.appends_sent);
+    acks_delivered = sum (fun s -> s.Cluster.acks_delivered);
+    log_entries = sum (fun s -> s.Cluster.log_length);
+  }

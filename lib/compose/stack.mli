@@ -1,0 +1,95 @@
+(** Plane composition: every shard of a 2PC {!Leopard_shard.Group} runs
+    as a full minidb — its own WAL (see the group's durability model)
+    {e and} its own primary/follower replica set.
+
+    Each shard's committed decision feed, observed through the group's
+    apply hook, ships to a per-shard {!Leopard_replication.Cluster} over
+    its own seeded faulty link; {!failover} replaces the shard's store
+    with the survivor prefix its replica set kept.
+
+    Honest failovers are lossless at the group level: the shard re-acks
+    only the survivor prefix and the coordinator's decision log
+    backfills the rest, so honest stacked faults cost catch-up lag
+    (routed reads decline and the engine serves) — never a degraded
+    verdict.  The {!Leopard_replication.Repl_fault} claim-clean lies
+    ([Promote_lagging], [Lose_acked_window]) instead report the
+    pre-failover cursor, so the coordinator never re-ships the hole: a
+    silent loss of committed work the checker must prove as a CR
+    violation on the global trace.
+
+    Replication rides the cluster's [Async] ack mode — the 2PC decision
+    channel is the synchronous one — so stacking adds no commit gate
+    and no new ambiguity channel.  With a disabled link and zero hop
+    latency the clusters take their synchronous fast path (no events,
+    no RNG draws), keeping the zero-fault stacked run byte-identical to
+    the unsharded, unreplicated run on the same seed. *)
+
+type config = private {
+  followers : int;  (** replicas per shard; >= 1 *)
+  hop_ns : int;  (** one-way replication hop latency *)
+  link : Leopard_net.Faulty_link.config;
+      (** base link config; each shard's cluster derives a distinct
+          seed from it *)
+  retransmit_ns : int;
+  max_retransmits : int;
+  faults : Leopard_replication.Repl_fault.t list;
+      (** planted lying-cluster bugs, applied inside every shard's
+          replica set *)
+  seed : int;  (** per-cluster RNG seed base *)
+}
+
+val config :
+  ?followers:int ->
+  ?hop_ns:int ->
+  ?link:Leopard_net.Faulty_link.config ->
+  ?retransmit_ns:int ->
+  ?max_retransmits:int ->
+  ?faults:Leopard_replication.Repl_fault.t list ->
+  ?seed:int ->
+  unit ->
+  config
+(** Validating constructor; defaults: 1 follower per shard, no latency,
+    disabled link, retransmit every 0.5 ms capped at 8, no faults.
+    Raises [Invalid_argument] on nonsense. *)
+
+type failover = {
+  shard : int;
+  primary : int;  (** follower promoted within the shard's cluster *)
+  survived : int;  (** records the promoted replica had applied *)
+  lost : int;  (** records truncated off the replica set's log *)
+  lag : int;  (** entries the target was missing at election *)
+  claimed_clean : bool;
+      (** the lying channel engaged: the shard reported the
+          pre-failover cursor over a shorter rebuild *)
+}
+
+type t
+
+val create :
+  sim:Minidb.Sim.t ->
+  group:Leopard_shard.Group.t ->
+  initial:(Leopard_trace.Cell.t * Leopard_trace.Trace.value) list ->
+  config ->
+  t
+(** Build one replica set per shard of [group] and register the group's
+    apply hook (replacing any previous hook). *)
+
+val cluster : t -> shard:int -> Leopard_replication.Cluster.t
+
+val failover : t -> shard:int -> failover option
+(** Fail [shard]'s primary over to a replica; [None] when its cluster
+    has no live follower left to promote. *)
+
+type stats = {
+  shards : int;
+  followers_per_shard : int;
+  forwarded : int;  (** decisions forwarded shard -> cluster *)
+  failovers : int;
+  claimed_clean : int;  (** failovers where the lying channel engaged *)
+  lost_records : int;  (** records truncated across all failovers *)
+  appends_sent : int;
+  acks_delivered : int;
+  log_entries : int;
+}
+
+val stats : t -> stats

@@ -74,4 +74,77 @@ let shard_count ~flag v =
         msg = Printf.sprintf "%d is not 0 (off) or a shard count >= 2" v;
       }
 
+(* {2 Plane composition}
+
+   Which fault planes may run together moved from three ad-hoc
+   "mutually exclusive" checks in the CLI driver into one table here,
+   where it is unit-testable.  The client wire ([--net]) still owns the
+   request/response seam exclusively; the engine-level replication
+   plane ([--repl]) and the shard plane ([--shards]) still exclude each
+   other — but sharding now composes with durability ([--wal],
+   participant WALs) and with replication *per shard*
+   ([--repl-per-shard]), and seeded shard failovers require those
+   replica sets to exist. *)
+
+type planes = {
+  net : bool;
+  repl : bool;
+  shards : bool;
+  repl_per_shard : int;
+  shard_failovers : bool;
+  shard_repl_drop : bool;
+}
+
+let composition p =
+  if p.net && p.repl then
+    Some
+      {
+        flag = "--net/--repl";
+        msg = "one wire plane per run: the client wire and the replication \
+               wire cannot both claim the transport seam";
+      }
+  else if p.net && p.shards then
+    Some
+      {
+        flag = "--net/--shards";
+        msg = "the 2PC protocol already rides the shard wire; run the \
+               client wire separately";
+      }
+  else if p.repl && p.shards then
+    Some
+      {
+        flag = "--repl/--shards";
+        msg = "one engine-level topology per run; replicate each shard \
+               with --repl-per-shard instead";
+      }
+  else if p.repl_per_shard < 0 then
+    Some
+      {
+        flag = "--repl-per-shard";
+        msg =
+          Printf.sprintf "%d is negative (0 disables per-shard replicas)"
+            p.repl_per_shard;
+      }
+  else if p.repl_per_shard > 0 && not p.shards then
+    Some
+      {
+        flag = "--repl-per-shard";
+        msg = "per-shard replica sets need a shard group (--shards N)";
+      }
+  else if p.shard_failovers && p.repl_per_shard = 0 then
+    Some
+      {
+        flag = "--shard-failover-at";
+        msg = "shard failovers need per-shard replicas (--repl-per-shard M)";
+      }
+  else if p.shard_repl_drop && p.repl_per_shard = 0 then
+    Some
+      {
+        flag = "--shard-repl-drop";
+        msg =
+          "the per-shard replication link needs replica sets to carry \
+           (--repl-per-shard M)";
+      }
+  else None
+
 let first_error checks = List.find_map Fun.id checks

@@ -36,6 +36,27 @@ val shard_count : flag:string -> int -> error option
 (** A [--shards] count is either [0] (plane disabled) or at least [2] —
     a one-shard "group" would silently skip every cross-shard path. *)
 
+type planes = {
+  net : bool;  (** [--net]: the client wire plane *)
+  repl : bool;  (** [--repl]: engine-level primary/follower replication *)
+  shards : bool;  (** [--shards]: the 2PC shard plane *)
+  repl_per_shard : int;  (** [--repl-per-shard]: replicas per shard *)
+  shard_failovers : bool;  (** any [--shard-failover-at] given *)
+  shard_repl_drop : bool;
+      (** [--shard-repl-drop] given (per-shard replication-link drop
+          override) *)
+}
+
+val composition : planes -> error option
+(** The fault-plane composition matrix, unit-testable and separate from
+    the CLI driver.  Exclusive pairs: [--net]/[--repl] (one wire plane),
+    [--net]/[--shards] (the 2PC protocol already rides the shard wire),
+    [--repl]/[--shards] (one engine-level topology — replicate each
+    shard with [--repl-per-shard] instead).  Compositions:
+    [--shards]+[--wal] (participant WALs), [--shards]+[--repl-per-shard]
+    (a replica set per shard), and both at once; [--shard-failover-at]
+    and [--shard-repl-drop] require [--repl-per-shard]. *)
+
 val first_error : error option list -> error option
 (** The first [Some] in flag order, so the reported error matches the
     leftmost offending option. *)

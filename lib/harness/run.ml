@@ -6,6 +6,7 @@ module Sim = Minidb.Sim
 module Net = Leopard_net
 module Repl = Leopard_replication
 module Shard = Leopard_shard
+module Compose = Leopard_compose
 
 type latency = {
   net_mean_ns : float;
@@ -94,15 +95,20 @@ let repl_config ?(failover_at = []) ?(promote_on_partition = false)
    coordinator crashes (orphaning undecided rounds into the
    coordinator-ambiguity channel); [part_crash_at] lists
    [(instant, shard)] participant crash/restarts (the shard rebuilds
-   from its durable decision log). *)
+   from its own WAL through the durability fault model).  [stack]
+   additionally runs every shard as a primary/follower replica set
+   ([Compose.Stack]) and [shard_failover_at] lists [(instant, shard)]
+   failovers inside those replica sets — the stacked fault planes. *)
 type shard_config = {
   group : Shard.Group.config;
   coord_crash_at : int list;
   part_crash_at : (int * int) list;
+  stack : Compose.Stack.config option;
+  shard_failover_at : (int * int) list;
 }
 
-let shard_config ?(coord_crash_at = []) ?(part_crash_at = [])
-    (group : Shard.Group.config) =
+let shard_config ?(coord_crash_at = []) ?(part_crash_at = []) ?stack
+    ?(shard_failover_at = []) (group : Shard.Group.config) =
   if List.exists (fun at -> at <= 0) coord_crash_at then
     invalid_arg "Run.shard_config: coordinator crash instants must be positive";
   if List.exists (fun (at, _) -> at <= 0) part_crash_at then
@@ -112,7 +118,17 @@ let shard_config ?(coord_crash_at = []) ?(part_crash_at = [])
       (fun (_, s) -> s < 0 || s >= group.Shard.Group.shards)
       part_crash_at
   then invalid_arg "Run.shard_config: participant crash shard out of range";
-  { group; coord_crash_at; part_crash_at }
+  if shard_failover_at <> [] && stack = None then
+    invalid_arg
+      "Run.shard_config: shard failovers need a per-shard replica set (stack)";
+  if List.exists (fun (at, _) -> at <= 0) shard_failover_at then
+    invalid_arg "Run.shard_config: shard failover instants must be positive";
+  if
+    List.exists
+      (fun (_, s) -> s < 0 || s >= group.Shard.Group.shards)
+      shard_failover_at
+  then invalid_arg "Run.shard_config: shard failover shard out of range";
+  { group; coord_crash_at; part_crash_at; stack; shard_failover_at }
 
 type config = {
   spec : Leopard_workload.Spec.t;
@@ -157,7 +173,9 @@ let config ?(faults = Minidb.Fault.Set.empty) ?(clients = 8) ?(seed = 42)
   | _ -> ());
   (match (shard, repl) with
   | Some _, Some _ ->
-    invalid_arg "Run.config: shard and repl modes are mutually exclusive"
+    invalid_arg
+      "Run.config: shard and repl modes are mutually exclusive (replicate \
+       each shard via shard_config's stack instead)"
   | _ -> ());
   {
     spec;
@@ -246,6 +264,8 @@ type outcome = {
       (* (client, txn, gave_up_at) of commits whose replication gate
          timed out, oldest first *)
   shard : Shard.Group.stats option;
+  shard_repl : Compose.Stack.stats option;
+      (* per-shard replica sets, when the planes are stacked *)
   coord_ambiguous : (int * int * int) list;
       (* (client, txn, orphaned_at) of commits whose 2PC coordinator
          crashed before deciding, oldest first *)
@@ -778,6 +798,16 @@ let execute cfg =
   (match shard_gr with
   | Some gr -> Engine.set_commit_hook engine (Some (Shard.Group.on_commit gr))
   | None -> ());
+  (* Stacked planes: one replica set per shard, fed by the group's
+     apply hook. *)
+  let shard_stack =
+    match (cfg.shard, shard_gr) with
+    | Some { stack = Some stk; _ }, Some gr ->
+      Some
+        (Compose.Stack.create ~sim ~group:gr
+           ~initial:cfg.spec.Leopard_workload.Spec.initial stk)
+    | _ -> None
+  in
   (* Shard-plane chaos: coordinator crashes and participant
      crash/restarts, scheduled up front from the config — never drawn
      from the workload's RNG. *)
@@ -902,6 +932,36 @@ let execute cfg =
               else Engine.depose old ~epoch:(Engine.epoch fresh)))
       (List.sort_uniq Int.compare (rcfg.failover_at @ derived))
   | _ -> ());
+  (* Per-shard failover orchestrator (stacked planes): each instant
+     fails one shard's primary over to a replica.  Scheduled up front,
+     never drawn from the workload's RNG.  The leader mark always
+     reports [lost = []]: honestly the coordinator's decision log
+     backfills the truncated suffix (lossless at the group level), and
+     under the claim-clean replication lies the loss is exactly what
+     the cluster hides — the checker must prove it from the traces, not
+     learn it from a mark. *)
+  (match (cfg.shard, shard_stack) with
+  | Some scfg, Some stk ->
+    List.iter
+      (fun (at, shard) ->
+        Sim.schedule sim ~at:(max 1 at) (fun () ->
+            match Compose.Stack.failover stk ~shard with
+            | None -> ()  (* no live follower left in that shard *)
+            | Some fo ->
+              st.leaders <-
+                {
+                  Codec.at = Sim.now sim;
+                  epoch = 2 + List.length st.leaders;
+                  primary = (fo.Compose.Stack.shard * 100)
+                            + fo.Compose.Stack.primary;
+                  lost = [];
+                }
+                :: st.leaders))
+      (List.sort_uniq
+         (fun (a, sa) (b, sb) ->
+           if a <> b then Int.compare a b else Int.compare sa sb)
+         scfg.shard_failover_at)
+  | _ -> ());
   let root = Rng.create cfg.seed in
   for client = 0 to cfg.clients - 1 do
     let rng = Rng.split root in
@@ -988,6 +1048,7 @@ let execute cfg =
     repl = Option.map Repl.Cluster.stats repl_cl;
     repl_ambiguous = List.rev st.repl_ambiguous;
     shard = Option.map Shard.Group.stats shard_gr;
+    shard_repl = Option.map Compose.Stack.stats shard_stack;
     coord_ambiguous = List.rev st.coord_ambiguous;
     shard_marks =
       (match cfg.shard with

@@ -101,18 +101,29 @@ type shard_config = {
           coordinator-ambiguity channel *)
   part_crash_at : (int * int) list;
       (** [(instant, shard)] participant crash/restarts: the shard's
-          volatile prepared state dies and its store rebuilds from the
-          durable decision log *)
+          volatile prepared state dies and its store rebuilds from its
+          own WAL through the durability fault model, truncated to the
+          prefix that validates against the coordinator's decision
+          log *)
+  stack : Leopard_compose.Stack.config option;
+      (** run every shard as a primary/follower replica set — the
+          stacked fault planes *)
+  shard_failover_at : (int * int) list;
+      (** [(instant, shard)] failovers inside the per-shard replica
+          sets; requires [stack] *)
 }
 
 val shard_config :
   ?coord_crash_at:int list ->
   ?part_crash_at:(int * int) list ->
+  ?stack:Leopard_compose.Stack.config ->
+  ?shard_failover_at:(int * int) list ->
   Leopard_shard.Group.config ->
   shard_config
-(** Defaults: no coordinator or participant crashes.  Raises
-    [Invalid_argument] on non-positive instants or a shard index outside
-    [0 .. shards-1]. *)
+(** Defaults: no coordinator or participant crashes, no replica sets,
+    no shard failovers.  Raises [Invalid_argument] on non-positive
+    instants, a shard index outside [0 .. shards-1], or shard failovers
+    without a [stack]. *)
 
 type config = {
   spec : Leopard_workload.Spec.t;
@@ -258,6 +269,10 @@ type outcome = {
           [Checker.mark_ambiguous_commit] *)
   shard : Leopard_shard.Group.stats option;
       (** shard-group statistics; [None] off the shard plane *)
+  shard_repl : Leopard_compose.Stack.stats option;
+      (** per-shard replica-set statistics when the planes are stacked;
+          honest shard failovers surface here (and as lossless leader
+          marks), never as a degradation channel *)
   coord_ambiguous : (int * int * int) list;
       (** [(client, txn, orphaned_at)] of commits whose 2PC coordinator
           crashed before deciding, oldest first — feed to

@@ -34,12 +34,13 @@ type config = {
   max_retransmits : int;
   skew_bound_ns : int;
   faults : Shard_fault.t list;
+  wal_faults : Wal.fault_cfg option;
 }
 
 let config ?(shards = 2) ?(hop_ns = 0) ?(link = Faulty_link.disabled)
     ?(partitions = []) ?(prepare_timeout_ns = 2_000_000)
     ?(retransmit_ns = 500_000) ?(max_retransmits = 8)
-    ?(skew_bound_ns = 1_000_000) ?(faults = []) () =
+    ?(skew_bound_ns = 1_000_000) ?(faults = []) ?wal_faults () =
   if shards < 2 then invalid_arg "Group.config: shards must be >= 2";
   if hop_ns < 0 then invalid_arg "Group.config: hop_ns must be >= 0";
   if prepare_timeout_ns <= 0 then
@@ -67,6 +68,7 @@ let config ?(shards = 2) ?(hop_ns = 0) ?(link = Faulty_link.disabled)
     max_retransmits;
     skew_bound_ns;
     faults;
+    wal_faults;
   }
 
 (* SplitMix64 finalizer — a deterministic, well-mixed hash that is part
@@ -96,13 +98,18 @@ type prep_outcome =
   | Coord_crashed
 
 (* One shard's channel: participant, per-shard decision log (1-based,
-   growable), cumulative ack cursor and a depth-1 send pipeline. *)
+   growable), cumulative ack cursor, a depth-1 send pipeline, and the
+   participant's own write-ahead log — every applied decision is made
+   durable locally, so a participant crash recovers from its *own* WAL
+   (through the durability fault model) rather than from the
+   coordinator's always-complete log. *)
 type pchan = {
   p : Participant.t;
   mutable log : Wal.record array;
   mutable count : int;
   mutable acked_through : int;
   mutable inflight : bool;
+  wal : Wal.t;
 }
 
 type round = {
@@ -140,6 +147,10 @@ type t = {
   mutable n_presumed_aborts : int;
   mutable n_fractured : int;
   mutable n_part_restarts : int;
+  mutable n_rebuilds : int;
+  mutable n_wal_truncated : int;
+  mutable n_wal_damage : int;
+  mutable apply_hook : (shard:int -> seq:int -> Wal.record -> unit) option;
   mutable n_routed_reads : int;
   mutable n_skew_serves : int;
   mutable n_stale_serves : int;
@@ -170,12 +181,21 @@ let create ~sim ~initial (cfg : config) =
               (fun (cell, _) -> shard_of_cell ~shards:cfg.shards cell = id)
               initial
           in
+          (* each participant draws its durability damage from its own
+             derived stream, so shard 0's crash never perturbs shard 1 *)
+          let wal_faults =
+            Option.map
+              (fun (f : Wal.fault_cfg) ->
+                { f with Wal.seed = f.Wal.seed + ((id + 1) * 1_000_003) })
+              cfg.wal_faults
+          in
           {
             p = Participant.create ~id ~initial;
             log = [||];
             count = 0;
             acked_through = 0;
             inflight = false;
+            wal = Wal.create ?faults:wal_faults ();
           });
     rounds = Hashtbl.create 16;
     evented;
@@ -196,6 +216,10 @@ let create ~sim ~initial (cfg : config) =
     n_presumed_aborts = 0;
     n_fractured = 0;
     n_part_restarts = 0;
+    n_rebuilds = 0;
+    n_wal_truncated = 0;
+    n_wal_damage = 0;
+    apply_hook = None;
     n_routed_reads = 0;
     n_skew_serves = 0;
     n_stale_serves = 0;
@@ -206,6 +230,9 @@ let create ~sim ~initial (cfg : config) =
 let evented t = t.evented
 let prepare_timeout_ns t = t.cfg.prepare_timeout_ns
 let participant t ~shard = t.chans.(shard).p
+let shard_count t = t.cfg.shards
+let has_fault t f = Shard_fault.has_fault t.cfg.faults f
+let set_apply_hook t hook = t.apply_hook <- hook
 
 (* {2 Per-shard decision log} *)
 
@@ -274,12 +301,28 @@ let transmit t c msg ~deliver =
               deliver msg))
         extras
 
+(* Apply one decision at a participant.  A successful apply is made
+   durable in the participant's own WAL (append draws no RNG — the
+   zero-fault path stays event- and draw-free) and forwarded to the
+   apply hook, which is how a per-shard replica set observes its
+   shard's committed feed.  Rejected applies (stale retransmits, gaps)
+   touch neither. *)
+let apply_decision t c ~seq record =
+  let applied = Participant.apply c.p ~seq record in
+  if applied then begin
+    Wal.append c.wal record;
+    match t.apply_hook with
+    | Some hook -> hook ~shard:c.p.Participant.id ~seq record
+    | None -> ()
+  end;
+  applied
+
 (* Synchronous apply of everything outstanding on a channel — the
    zero-fault fast path. *)
-let apply_now c =
+let apply_now t c =
   while c.acked_through < c.count do
     let seq = c.acked_through + 1 in
-    ignore (Participant.apply c.p ~seq (entry_at c seq));
+    ignore (apply_decision t c ~seq (entry_at c seq));
     c.acked_through <- seq
   done
 
@@ -394,7 +437,7 @@ and deliver t c ~gen msg =
         ~deliver:(fun m -> deliver t c ~gen m)
     | Wire.Tpc_vote { shard; txn; commit } -> handle_vote t ~shard ~txn ~commit
     | Wire.Tpc_decision { seq; record; _ } ->
-      ignore (Participant.apply c.p ~seq record);
+      ignore (apply_decision t c ~seq record);
       (* always re-ack cumulatively: a duplicated or stale decision
          still tells the coordinator where this shard really is *)
       transmit t c
@@ -508,7 +551,7 @@ let on_commit t (r : Wal.record) =
           Wal.writes =
             List.filter (fun w -> owner t w.Wal.cell = shard) r.Wal.writes;
         };
-      if not t.evented then apply_now c else pump t c)
+      if not t.evented then apply_now t c else pump t c)
     touched
 
 (* {2 Crash planes} *)
@@ -547,6 +590,21 @@ let fracture t =
     done;
     c.count <- c.count - 1;
     t.n_fractured <- t.n_fractured + 1
+
+(* The failover-time variant of the same lie: drop the newest record in
+   a rebuilt feed whose transaction also committed on a sibling shard.
+   [None] when the feed holds no cross-shard decision to lose. *)
+let splice_newest_cross t c records =
+  let cross r =
+    Array.exists
+      (fun c2 ->
+        c2.p.Participant.id <> c.p.Participant.id && log_contains c2 r.Wal.txn)
+      t.chans
+  in
+  let victim = ref (-1) in
+  List.iteri (fun i r -> if cross r then victim := i) records;
+  if !victim < 0 then None
+  else Some (List.filteri (fun i _ -> i <> !victim) records)
 
 (* Coordinator crash at a seeded instant.  Prepare-phase state is
    volatile: undecided rounds are orphaned and, honestly, resolved by
@@ -601,16 +659,66 @@ let coord_crash t =
       pump t c)
     t.chans
 
-(* Participant crash/restart: volatile prepared state is lost; the
-   store rebuilds from the durable decision log — complete, so the
-   restarted shard recovers the full prefix and re-acks it. *)
-let restart_participant t ~shard =
-  if shard < 0 || shard >= t.cfg.shards then
-    invalid_arg "Group.restart_participant: shard out of range";
-  t.n_part_restarts <- t.n_part_restarts + 1;
-  let c = t.chans.(shard) in
-  let records = List.init c.count (fun i -> c.log.(i)) in
-  Participant.crash_rebuild c.p ~initial:(initial_for t shard) ~records;
+(* Recovery trusts only the longest prefix of a record feed that
+   matches the coordinator's decision log positionally — modelling the
+   per-record checksum + sequence validation a real participant runs at
+   replay.  Comparing txn, commit stamp and write-set size catches every
+   durability fault: a torn tail shortens the write set, a lost-fsync
+   hole or reordered flush shifts later records out of position, and a
+   duplicate replay repeats an out-of-place record.  Everything past the
+   first mismatch is discarded — damaged records must never reach the
+   store (a poisoned slice served at [caught_up] would turn honest
+   damage into a false Violation); truncation only lags the shard, and
+   the coordinator re-ships the gap. *)
+let record_matches (a : Wal.record) (b : Wal.record) =
+  a.Wal.txn = b.Wal.txn
+  && a.Wal.commit_ts = b.Wal.commit_ts
+  && List.length a.Wal.writes = List.length b.Wal.writes
+
+let clean_prefix c records =
+  let rec go acc i = function
+    | r :: rest when i < c.count && record_matches (entry_at c (i + 1)) r ->
+      go (r :: acc) (i + 1) rest
+    | _ -> List.rev acc
+  in
+  go [] 0 records
+
+(* Rebuild one participant from a durable record feed, re-acking only
+   the trusted prefix; the coordinator's log backfills the rest.
+   [claim_through] is the lying-cluster channel: a replica set that
+   elected a lagging or suffix-losing primary claims the rebuild is
+   clean through the pre-crash cursor, so the coordinator never
+   re-ships the hole — a silent loss the checker must catch as CR.
+   [Fractured_commit] is the same overclaim arising inside the shard:
+   the just-failed-over primary's log lost one cross-shard decision
+   slice yet the shard reports the full prefix. *)
+let rebuild_chan t c ~records ~claim_through =
+  t.n_rebuilds <- t.n_rebuilds + 1;
+  let honest = clean_prefix c records in
+  t.n_wal_truncated <-
+    t.n_wal_truncated
+    + max 0 (c.p.Participant.applied_through - List.length honest);
+  let store_records, claimed =
+    match claim_through with
+    | Some k -> (honest, Some k)
+    | None ->
+      if lying t Shard_fault.Fractured_commit then (
+        match splice_newest_cross t c honest with
+        | Some spliced ->
+          t.n_fractured <- t.n_fractured + 1;
+          (spliced, Some (List.length honest))
+        | None -> (honest, None))
+      else (honest, None)
+  in
+  Participant.crash_rebuild c.p
+    ~initial:(initial_for t (c.p.Participant.id))
+    ~records:store_records;
+  Wal.preload c.wal store_records;
+  (match claimed with
+  | Some k when k > c.p.Participant.applied_through && k <= c.count ->
+    c.p.Participant.applied_through <- k;
+    c.p.Participant.applied_ts <- (entry_at c k).Wal.commit_ts
+  | _ -> ());
   c.acked_through <- c.p.Participant.applied_through;
   c.inflight <- false;
   t.gen <- t.gen + 1;
@@ -618,7 +726,32 @@ let restart_participant t ~shard =
     (fun c ->
       c.inflight <- false;
       pump t c)
-    t.chans
+    t.chans;
+  c.acked_through
+
+(* Participant crash/restart: volatile prepared state is lost; the
+   store rebuilds from the participant's own WAL through the durability
+   fault model (torn tail, lost fsync, reordered flush, duplicate
+   replay), truncated to the trusted prefix.  The shard re-acks that
+   prefix and the coordinator re-ships anything it lost — honest
+   damage costs catch-up lag, never a wrong serve. *)
+let restart_participant t ~shard =
+  if shard < 0 || shard >= t.cfg.shards then
+    invalid_arg "Group.restart_participant: shard out of range";
+  t.n_part_restarts <- t.n_part_restarts + 1;
+  let c = t.chans.(shard) in
+  let survivors, damage = Wal.crash c.wal in
+  if not (Wal.no_damage damage) then
+    t.n_wal_damage <- t.n_wal_damage + Wal.damaged_records damage;
+  ignore (rebuild_chan t c ~records:survivors ~claim_through:None)
+
+(* Rebuild one participant from an externally supplied record feed —
+   the survivor prefix its replica set kept across a failover.  Returns
+   the re-acked cursor. *)
+let rebuild_participant t ~shard ~records ~claim_through =
+  if shard < 0 || shard >= t.cfg.shards then
+    invalid_arg "Group.rebuild_participant: shard out of range";
+  rebuild_chan t t.chans.(shard) ~records ~claim_through
 
 (* {2 Routed reads} *)
 
@@ -705,6 +838,9 @@ type stats = {
   presumed_aborts : int;
   fractured : int;
   participant_restarts : int;
+  participant_rebuilds : int;
+  wal_truncated_records : int;
+  wal_damaged_records : int;
   routed_reads : int;
   skew_serves : int;
   stale_serves : int;
@@ -737,6 +873,9 @@ let stats t =
     presumed_aborts = t.n_presumed_aborts;
     fractured = t.n_fractured;
     participant_restarts = t.n_part_restarts;
+    participant_rebuilds = t.n_rebuilds;
+    wal_truncated_records = t.n_wal_truncated;
+    wal_damaged_records = t.n_wal_damage;
     routed_reads = t.n_routed_reads;
     skew_serves = t.n_skew_serves;
     stale_serves = t.n_stale_serves;

@@ -35,6 +35,9 @@ type config = private {
       (** how far behind a snapshot a lagging or frozen horizon may be
           and still serve under the skew/stale lies *)
   faults : Shard_fault.t list;
+  wal_faults : Minidb.Wal.fault_cfg option;
+      (** durability fault model for each participant's own WAL; every
+          participant derives a distinct seed from it *)
 }
 
 val config :
@@ -47,6 +50,7 @@ val config :
   ?max_retransmits:int ->
   ?skew_bound_ns:int ->
   ?faults:Shard_fault.t list ->
+  ?wal_faults:Minidb.Wal.fault_cfg ->
   unit ->
   config
 (** Validating constructor; defaults: 2 shards, no latency, disabled
@@ -94,6 +98,21 @@ val prepare_timeout_ns : t -> int
 
 val owner : t -> Leopard_trace.Cell.t -> int
 val participant : t -> shard:int -> Participant.t
+
+val shard_count : t -> int
+(** The configured number of shard groups. *)
+
+val has_fault : t -> Shard_fault.t -> bool
+(** Whether a lying-protocol fault is planted in this group. *)
+
+val set_apply_hook :
+  t -> (shard:int -> seq:int -> Minidb.Wal.record -> unit) option -> unit
+(** Observe every decision successfully applied at a participant —
+    exactly once per (shard, seq), in sequence order per shard.  This is
+    how a per-shard replica set receives its shard's committed feed.
+    The hook fires synchronously inside the apply and must not call
+    back into the group. *)
+
 val shards_touched : t -> cells:Leopard_trace.Cell.t list -> int list
 (** Distinct owning shards, ascending. *)
 
@@ -132,9 +151,28 @@ val coord_crash : t -> unit
     lagging shard's log. *)
 
 val restart_participant : t -> shard:int -> unit
-(** Crash/restart one participant: volatile prepared state is lost, the
-    store rebuilds from the durable decision log (complete), and the
-    shard re-acks the full prefix. *)
+(** Crash/restart one participant: volatile prepared state is lost and
+    the store rebuilds from the participant's {e own} WAL through the
+    durability fault model ([config.wal_faults]), truncated to the
+    longest prefix that validates against the coordinator's decision
+    log.  The shard re-acks that prefix and the coordinator re-ships
+    the rest — honest damage costs catch-up lag, never a wrong serve.
+    Under {!Shard_fault.Fractured_commit} the rebuilt log loses its
+    newest cross-shard slice while the shard still claims the full
+    prefix. *)
+
+val rebuild_participant :
+  t ->
+  shard:int ->
+  records:Minidb.Wal.record list ->
+  claim_through:int option ->
+  int
+(** Rebuild one participant from an externally supplied durable feed —
+    the survivor prefix its replica set kept across a failover — and
+    return the re-acked cursor.  [claim_through = Some k] is the
+    lying-cluster channel: the shard reports a clean rebuild through
+    [k] even though the feed stops short, so the coordinator never
+    re-ships the hole. *)
 
 val route_read :
   t ->
@@ -169,6 +207,9 @@ type stats = {
   presumed_aborts : int;
   fractured : int;
   participant_restarts : int;
+  participant_rebuilds : int;
+  wal_truncated_records : int;
+  wal_damaged_records : int;
   routed_reads : int;
   skew_serves : int;
   stale_serves : int;

@@ -1,0 +1,5 @@
+(* lint: allow fault-construct — fixture: planted-fault table for docs *)
+let planted = Promote_lagging
+
+(* membership tests are absolved without any annotation *)
+let claims_clean faults = has_fault faults Lose_acked_window

@@ -1,0 +1,4 @@
+let planted = Promote_lagging
+
+(* membership tests are absolved without any annotation *)
+let claims_clean faults = has_fault faults Lose_acked_window

@@ -1,0 +1,2 @@
+(* lint: allow tag-wildcard — fixture: display-only classification *)
+let is_append = function Repl_append _ -> true | _ -> false

@@ -1,0 +1,1 @@
+let is_append = function Repl_append _ -> true | _ -> false

@@ -125,9 +125,11 @@ let prop_codec_roundtrip_soup =
 (* Lenient loading under line-level corruption: whatever bytes a mutated
    trace file holds — traces interleaved with E (restart), U (ambiguous
    commit), L (failover), S (shard topology) and P (2PC round) marker
-   lines — [load_lenient_all] must return (never raise), decode exactly
-   the lines [entry_of_line] accepts, and report every rejected line —
-   by number — as skipped.  An unmutated file skips nothing. *)
+   lines, all five kinds mid-stream as a stacked-plane run emits them —
+   [load_lenient_all] must return (never raise), decode exactly the
+   lines [entry_of_line] accepts, and report every rejected line — by
+   number — as skipped.  An unmutated file skips nothing and decodes
+   every marker kind with exact per-kind counts. *)
 let gen_mutated_file =
   QCheck.Gen.(
     let mutation =
@@ -184,62 +186,113 @@ let lenient_load_oracle lines =
          + List.length skipped
          <= List.length lines)
 
+let interleave_markers traces =
+  (* one E and one S header, then every marker kind mid-stream — the
+     line order a stacked run (shards + per-shard replicas + WAL
+     epochs) actually produces; returns the per-kind marker counts so
+     the clean-stream check can assert count exactness *)
+  let e = ref 1 and u = ref 0 and l = ref 0 and s = ref 1 and p = ref 0 in
+  let body =
+    List.concat
+      (List.mapi
+         (fun i t ->
+           let line = Leopard_trace.Codec.to_line t in
+           match i mod 5 with
+           | 0 ->
+             incr e;
+             [
+               line;
+               Leopard_trace.Codec.epoch_to_line
+                 {
+                   Leopard_trace.Codec.at = t.Trace.ts_aft;
+                   epoch = !e;
+                   replayed = i mod 4;
+                   damaged = i mod 2;
+                 };
+             ]
+           | 1 ->
+             incr p;
+             [
+               line;
+               Leopard_trace.Codec.prepare_to_line
+                 {
+                   Leopard_trace.Codec.at = t.Trace.ts_aft;
+                   txn = t.Trace.txn;
+                   shards = [ 0; 1 ];
+                   disposition =
+                     (match i mod 3 with
+                     | 0 -> Leopard_trace.Codec.Committed
+                     | 1 -> Leopard_trace.Codec.Aborted
+                     | _ -> Leopard_trace.Codec.Unknown);
+                 };
+             ]
+           | 2 ->
+             incr u;
+             [
+               line;
+               Leopard_trace.Codec.ambiguous_to_line
+                 {
+                   Leopard_trace.Codec.at = t.Trace.ts_aft;
+                   txn = t.Trace.txn;
+                   client = t.Trace.client;
+                 };
+             ]
+           | 3 ->
+             incr s;
+             [
+               line;
+               Leopard_trace.Codec.shard_to_line
+                 {
+                   Leopard_trace.Codec.at = t.Trace.ts_aft;
+                   shards = 2 + (i mod 3);
+                 };
+             ]
+           | _ ->
+             incr l;
+             [
+               line;
+               Leopard_trace.Codec.leader_to_line
+                 {
+                   Leopard_trace.Codec.at = t.Trace.ts_aft;
+                   epoch = 1 + (i / 5);
+                   primary = i mod 3;
+                   lost = (if i mod 2 = 0 then [] else [ t.Trace.txn ]);
+                 };
+             ])
+         traces)
+  in
+  let lines =
+    Leopard_trace.Codec.epoch_to_line
+      { Leopard_trace.Codec.at = 1; epoch = 1; replayed = 0; damaged = 0 }
+    :: Leopard_trace.Codec.shard_to_line
+         { Leopard_trace.Codec.at = 0; shards = 2 }
+    :: body
+  in
+  (lines, (!e, !u, !l, !s, !p))
+
+(* The unmutated stream decodes with exact per-kind counts: no marker
+   kind is silently dropped, none double-counted. *)
+let clean_counts_exact lines (e, u, l, s, p) ~traces =
+  let path = Filename.temp_file "leopard-fuzz" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_lines path lines;
+      let contents, skipped = Leopard_trace.Codec.load_lenient_all ~path in
+      skipped = []
+      && List.length contents.Leopard_trace.Codec.c_traces = traces
+      && List.length contents.Leopard_trace.Codec.c_epochs = e
+      && List.length contents.Leopard_trace.Codec.c_ambiguous = u
+      && List.length contents.Leopard_trace.Codec.c_leaders = l
+      && List.length contents.Leopard_trace.Codec.c_shards = s
+      && List.length contents.Leopard_trace.Codec.c_prepares = p)
+
 let prop_lenient_total_on_mutations =
   QCheck.Test.make ~name:"lenient load total on mutated files" ~count:200
     (QCheck.make gen_mutated_file)
     (fun (ops, mutations) ->
       let traces = build_traces ops in
-      (* interleave every marker kind among the traces, so mutations land
-         on E, U, L, S and P lines too *)
-      let clean_lines =
-        Leopard_trace.Codec.epoch_to_line
-          { Leopard_trace.Codec.at = 1; epoch = 1; replayed = 0; damaged = 0 }
-        :: Leopard_trace.Codec.shard_to_line
-             { Leopard_trace.Codec.at = 0; shards = 2 }
-        :: List.concat
-             (List.mapi
-                (fun i t ->
-                  let line = Leopard_trace.Codec.to_line t in
-                  match i mod 5 with
-                  | 1 ->
-                    [
-                      line;
-                      Leopard_trace.Codec.prepare_to_line
-                        {
-                          Leopard_trace.Codec.at = t.Trace.ts_aft;
-                          txn = t.Trace.txn;
-                          shards = [ 0; 1 ];
-                          disposition =
-                            (match i mod 3 with
-                            | 0 -> Leopard_trace.Codec.Committed
-                            | 1 -> Leopard_trace.Codec.Aborted
-                            | _ -> Leopard_trace.Codec.Unknown);
-                        };
-                    ]
-                  | 2 ->
-                    [
-                      line;
-                      Leopard_trace.Codec.ambiguous_to_line
-                        {
-                          Leopard_trace.Codec.at = t.Trace.ts_aft;
-                          txn = t.Trace.txn;
-                          client = t.Trace.client;
-                        };
-                    ]
-                  | 4 ->
-                    [
-                      line;
-                      Leopard_trace.Codec.leader_to_line
-                        {
-                          Leopard_trace.Codec.at = t.Trace.ts_aft;
-                          epoch = 1 + (i / 5);
-                          primary = i mod 3;
-                          lost = (if i mod 2 = 0 then [] else [ t.Trace.txn ]);
-                        };
-                    ]
-                  | _ -> [ line ])
-                traces)
-      in
+      let clean_lines, counts = interleave_markers traces in
       let mutated =
         List.fold_left
           (fun lines (idx, kind, pos, byte) ->
@@ -251,8 +304,9 @@ let prop_lenient_total_on_mutations =
                 lines)
           clean_lines mutations
       in
-      (* unmutated file: nothing skipped, everything decoded *)
-      (mutations <> [] || lenient_load_oracle clean_lines)
+      (* unmutated file: nothing skipped, per-kind counts exact *)
+      (mutations <> []
+      || clean_counts_exact clean_lines counts ~traces:(List.length traces))
       && lenient_load_oracle mutated)
 
 let suite =

@@ -55,6 +55,16 @@ let shard_cases =
     ("tpc_msg_wildcard", "tag-wildcard", Zone.Shard);
   ]
 
+(* The stacked-plane composition orchestrator (lib/compose) is its own
+   zone riding the same rules: it may test fault membership but never
+   construct a fault value, and it forwards replication wire messages
+   without wildcard arms. *)
+let compose_cases =
+  [
+    ("compose_fault_construct", "fault-construct", Zone.Compose);
+    ("compose_repl_msg_wildcard", "tag-wildcard", Zone.Compose);
+  ]
+
 let lint_fixture ~zone path =
   match Driver.lint_file ~zone path with
   | Ok r -> r
@@ -132,6 +142,18 @@ let test_shard_zone_scoping () =
       in
       Alcotest.(check int)
         ("shard fault construction quiet in " ^ Zone.to_string zone)
+        0 (List.length r.findings))
+    [ Zone.Harness; Zone.Bin; Zone.Test ]
+
+let test_compose_zone_scoping () =
+  List.iter
+    (fun zone ->
+      let r =
+        lint_fixture ~zone
+          (repl_fixture_path "compose_fault_construct" "trigger")
+      in
+      Alcotest.(check int)
+        ("compose fault construction quiet in " ^ Zone.to_string zone)
         0 (List.length r.findings))
     [ Zone.Harness; Zone.Bin; Zone.Test ]
 
@@ -248,7 +270,7 @@ let test_exit_codes_all_triggers () =
                Zone.to_string zone;
                repl_fixture_path stem "trigger";
              ]))
-      (repl_cases @ shard_cases)
+      (repl_cases @ shard_cases @ compose_cases)
   end
 
 let test_repo_is_clean () =
@@ -282,13 +304,14 @@ let suite =
             Alcotest.test_case (stem ^ " allowed") `Quick
               (test_repl_allowed case);
           ])
-        (repl_cases @ shard_cases)
+        (repl_cases @ shard_cases @ compose_cases)
   in
   [
     Alcotest.test_case "rule catalogue" `Quick test_catalogue;
     Alcotest.test_case "zone scoping" `Quick test_zone_scoping;
     Alcotest.test_case "replication zone scoping" `Quick test_repl_zone_scoping;
     Alcotest.test_case "shard zone scoping" `Quick test_shard_zone_scoping;
+    Alcotest.test_case "compose zone scoping" `Quick test_compose_zone_scoping;
     Alcotest.test_case "multi-line suppression" `Quick test_multiline_suppression;
     Alcotest.test_case "suppression does not leak" `Quick
       test_suppression_does_not_leak;
