@@ -1916,6 +1916,87 @@ let shard_repl_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Campaign: grid sweep throughput, serial vs domain pool *)
+
+let campaign_bench () =
+  let module G = Leopard_campaign.Grid in
+  let module O = Leopard_campaign.Orchestrator in
+  section "Campaign — grid sweep cells/s, serial vs domain pool";
+  (* A miniature of the full preset grid: one class per fault plane,
+     scaled down so the bench leg stays fast.  Byte-identity of the
+     serial and parallel results DB is asserted, not just reported. *)
+  let classes =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun c -> G.scale ~txns:200 ~clients:4 c)
+          (G.find_preset name))
+      [
+        "honest-baseline"; "honest-chaos"; "honest-recovery"; "honest-net";
+        "honest-repl"; "honest-shard"; "honest-stacked";
+      ]
+  in
+  let grid = G.make ~campaign_seed:42 ~seeds_per_class:4 classes in
+  let cells = G.cell_count grid in
+  let sweep jobs =
+    let t0 = wall () in
+    let o = O.run ~opts:{ O.default_opts with jobs; shrink = false } grid in
+    (o, wall () -. t0)
+  in
+  ignore (sweep 1) (* warm-up: exclude cold-start noise *);
+  let o_serial, t_serial = sweep 1 in
+  let jobs_n = Domain.recommended_domain_count () in
+  let o_par, t_par = sweep jobs_n in
+  let identical =
+    match (o_serial.O.json, o_par.O.json) with
+    | Some a, Some b -> String.equal a b
+    | (Some _ | None), _ -> false
+  in
+  assert identical;
+  let rate t = if t <= 0.0 then 0.0 else float_of_int cells /. t in
+  Table.print
+    ~aligns:Table.[ Left ]
+    ~header:[ "sweep"; "jobs"; "cells"; "wall(ms)"; "cells/s" ]
+    [
+      [
+        "serial"; "1"; Table.fmt_int cells; fmt_ms t_serial;
+        Table.fmt_float ~decimals:1 (rate t_serial);
+      ];
+      [
+        "parallel"; string_of_int jobs_n; Table.fmt_int cells; fmt_ms t_par;
+        Table.fmt_float ~decimals:1 (rate t_par);
+      ];
+    ];
+  Printf.printf
+    "\nspeedup %.2fx over %d job(s); serial and parallel results DB are \
+     byte-identical\n"
+    (if t_par <= 0.0 then 0.0 else t_serial /. t_par)
+    jobs_n;
+  if !emit_json then begin
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  \"cells\": %d,\n  \"classes\": %d,\n" cells
+         (List.length classes));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"serial_wall_ms\": %.3f,\n  \"serial_cells_per_s\": %.2f,\n"
+         (t_serial *. 1e3) (rate t_serial));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"parallel_jobs\": %d,\n  \"parallel_wall_ms\": %.3f,\n  \
+          \"parallel_cells_per_s\": %.2f,\n"
+         jobs_n (t_par *. 1e3) (rate t_par));
+    Buffer.add_string buf
+      (Printf.sprintf "  \"byte_identical\": %b\n" identical);
+    Buffer.add_string buf "}\n";
+    let oc = open_out "BENCH_campaign.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_endline "\nwrote BENCH_campaign.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1934,6 +2015,7 @@ let experiments =
     ("replication", replication_bench);
     ("shard", shard_bench);
     ("shard-repl", shard_repl_bench);
+    ("campaign", campaign_bench);
     ("micro", micro);
   ]
 

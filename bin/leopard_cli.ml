@@ -6,19 +6,7 @@
      dune exec bin/leopard_cli.exe -- -w tpcc -d postgresql -i SR \
        --fault no-ssi --clients 24 *)
 
-let workload_of_string name =
-  match name with
-  | "ycsb" -> Some (Leopard_workload.Ycsb.spec ~theta:0.8 ())
-  | "ycsb+t" -> Some (Leopard_workload.Ycsb_t.spec ())
-  | "tatp" -> Some (Leopard_workload.Tatp.spec ())
-  | "blindw-w" -> Some (Leopard_workload.Blindw.spec Leopard_workload.Blindw.W)
-  | "blindw-rw" ->
-    Some (Leopard_workload.Blindw.spec Leopard_workload.Blindw.RW)
-  | "blindw-rw+" ->
-    Some (Leopard_workload.Blindw.spec Leopard_workload.Blindw.RW_plus)
-  | "smallbank" -> Some (Leopard_workload.Smallbank.spec ())
-  | "tpcc" -> Some (Leopard_workload.Tpcc.spec ())
-  | _ -> None
+let workload_of_string = Leopard_workload.Catalog.find
 
 let verifier_profile ~dbms ~level =
   Leopard.Il_profile.find
@@ -392,54 +380,21 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
     in
     (match chaos with
     | None ->
-      (* offline: collect the whole run, then drain through the pipeline *)
+      (* offline: collect the whole run, then verify through the shared
+         harness entry point (one canonical mark-feeding order for the
+         CLI, the bench and the campaign runner) *)
       let outcome = Leopard_harness.Run.execute config in
-      let checker = Leopard.Checker.create il in
-      let pipeline = Leopard.Pipeline.of_lists outcome.client_traces in
       let wall0 = Leopard_util.Clock.wall () in
-      List.iter
-        (fun (e : Leopard_harness.Run.epoch_mark) ->
-          Leopard.Checker.note_restart checker ~at:e.at ~replayed:e.replayed
-            ~damaged:e.damaged)
-        outcome.Leopard_harness.Run.epochs;
-      (* wire mode: ambiguous-commit marks must precede their traces *)
-      (match outcome.Leopard_harness.Run.net with
-      | Some ns ->
-        List.iter
-          (fun (_client, txn, _at) ->
-            Leopard.Checker.mark_ambiguous_commit checker ~txn)
-          ns.Leopard_harness.Run.ambiguous
-      | None -> ());
-      List.iter
-        (fun (_client, txn, _at) ->
-          Leopard.Checker.mark_ambiguous_commit checker ~txn)
-        outcome.Leopard_harness.Run.repl_ambiguous;
-      (* coordinator-ambiguity channel: rounds orphaned by a coordinator
-         crash, disjoint from wire ambiguity *)
-      List.iter
-        (fun (_client, txn, _at) ->
-          Leopard.Checker.mark_coord_ambiguous checker ~txn)
-        outcome.Leopard_harness.Run.coord_ambiguous;
-      (* failover marks after ambiguous marks (lost beats ambiguous) and
-         before any trace *)
-      List.iter
-        (fun (m : Leopard_trace.Codec.leader_mark) ->
-          Leopard.Checker.note_failover checker ~at:m.at ~epoch:m.epoch
-            ~lost:m.lost)
-        outcome.Leopard_harness.Run.leaders;
-      ignore
-        (Leopard.Pipeline.drain pipeline ~f:(Leopard.Checker.feed checker));
-      Leopard.Checker.finalize checker;
+      let verified = Leopard_harness.Verify.offline ~il outcome in
       let wall = Leopard_util.Clock.wall () -. wall0 in
-      let report = Leopard.Checker.report checker in
+      let report = verified.Leopard_harness.Verify.report in
       header outcome;
       Printf.printf
         "verifier : %d traces, %d reads checked, %d deps deduced, %.1f ms \
          wall\n"
         report.traces report.reads_checked report.deps_deduced (wall *. 1e3);
       Printf.printf "memory   : peak %d mirrored entries (pipeline peak %d)\n"
-        report.peak_live
-        (Leopard.Pipeline.peak_memory pipeline);
+        report.peak_live verified.Leopard_harness.Verify.pipeline_peak;
       print_string (Leopard.Report_pp.degradation_line report.degradation);
       footer outcome report
     | Some _ ->
@@ -1608,14 +1563,289 @@ let lenient =
            the file, counting them as lost (the verdict degrades to \
            INCONCLUSIVE rather than claiming a full pass).")
 
+(* {2 The campaign subcommand}
+
+   A declarative grid (cell classes x seeds) swept across a domain pool
+   with crash isolation, per-cell step budgets, checkpoint/resume and
+   auto-shrinking of unexpected cells.  Every failure is citable: the
+   per-cell derived seed and the exact standalone reproduction line are
+   printed with the repro report and stored in the results DB. *)
+
+module Campaign = Leopard_campaign
+
+let campaign_cells =
+  Arg.(
+    value & opt_all string []
+    & info [ "cell" ] ~docv:"NAME"
+        ~doc:
+          "Cell class to include (repeatable; default: every preset).  \
+           See --list-cells.")
+
+let campaign_list =
+  Arg.(
+    value & flag
+    & info [ "list-cells" ] ~doc:"List the known cell classes and exit.")
+
+let campaign_seeds =
+  Arg.(
+    value & opt int 3
+    & info [ "seeds" ] ~docv:"N" ~doc:"Seeds (cells) per class.")
+
+let campaign_seed_flag =
+  Arg.(
+    value & opt int 42
+    & info [ "campaign-seed" ] ~docv:"SEED"
+        ~doc:
+          "Campaign master seed; every cell's seed is derived from it \
+           positionally (SplitMix64), so (campaign seed, cell index) \
+           reproduces any cell standalone.")
+
+let campaign_txns =
+  Arg.(
+    value & opt int 0
+    & info [ "cell-txns" ] ~docv:"N"
+        ~doc:"Override every class's transaction count (0 = per-class).")
+
+let campaign_clients =
+  Arg.(
+    value & opt int 0
+    & info [ "cell-clients" ] ~docv:"N"
+        ~doc:"Override every class's client count (0 = per-class).")
+
+let campaign_jobs =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains (0 = recommended domain count).  Results are \
+           byte-identical for every value.")
+
+let campaign_budget =
+  Arg.(
+    value & opt int 0
+    & info [ "step-budget" ] ~docv:"N"
+        ~doc:
+          "Per-cell step budget in transaction-program generations; a \
+           cell exceeding it is recorded TIMEOUT (0 = auto from txns).")
+
+let campaign_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON results DB here.")
+
+let campaign_checkpoint =
+  Arg.(
+    value & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Checkpoint completed cells here; an interrupted sweep resumed \
+           against the same file re-runs only incomplete cells.")
+
+let campaign_max_cells =
+  Arg.(
+    value & opt int 0
+    & info [ "max-cells" ] ~docv:"N"
+        ~doc:
+          "Stop after running N incomplete cells (0 = no limit) — pairs \
+           with --checkpoint to split a sweep across invocations.")
+
+let campaign_no_shrink =
+  Arg.(
+    value & flag
+    & info [ "no-shrink" ]
+        ~doc:"Do not delta-debug unexpected cells into reproducers.")
+
+let campaign_shrink_dir =
+  Arg.(
+    value & opt (some string) None
+    & info [ "shrink-dir" ] ~docv:"DIR"
+        ~doc:"Also write each repro report to DIR/cell-<index>.repro.")
+
+let campaign_quiet =
+  Arg.(
+    value & flag
+    & info [ "quiet" ] ~doc:"Suppress per-event progress on stderr.")
+
+let campaign_run cells_sel list_cells seeds campaign_seed cell_txns
+    cell_clients jobs_v step_budget out checkpoint max_cells no_shrink
+    shrink_dir quiet =
+  if list_cells then begin
+    List.iter
+      (fun (_, c) -> print_endline (Campaign.Grid.describe c))
+      Campaign.Grid.presets;
+    exit 0
+  end;
+  (let open Leopard_harness.Cli_validate in
+   match
+     first_error
+       ([
+          positive ~flag:"--seeds" seeds;
+          jobs ~flag:"--jobs" jobs_v;
+          non_negative ~flag:"--step-budget" step_budget;
+          non_negative ~flag:"--max-cells" max_cells;
+          non_negative ~flag:"--cell-txns" cell_txns;
+          non_negative ~flag:"--cell-clients" cell_clients;
+        ]
+       @ List.map
+           (choice ~flag:"--cell" ~known:Campaign.Grid.preset_names)
+           cells_sel)
+   with
+   | Some e ->
+     prerr_endline (error_to_string e);
+     exit 2
+   | None -> ());
+  let names =
+    match cells_sel with [] -> Campaign.Grid.preset_names | l -> l
+  in
+  let classes =
+    List.map
+      (fun n ->
+        match Campaign.Grid.find_preset n with
+        | Some c -> c
+        | None -> assert false (* validated above *))
+      names
+  in
+  let classes =
+    if cell_txns = 0 && cell_clients = 0 then classes
+    else
+      List.map
+        (fun (c : Campaign.Grid.clazz) ->
+          Campaign.Grid.scale
+            ~txns:(if cell_txns > 0 then cell_txns else c.Campaign.Grid.txns)
+            ~clients:
+              (if cell_clients > 0 then cell_clients
+               else c.Campaign.Grid.clients)
+            c)
+        classes
+  in
+  let grid = Campaign.Grid.make ~campaign_seed ~seeds_per_class:seeds classes in
+  let opts =
+    {
+      Campaign.Orchestrator.default_opts with
+      jobs = jobs_v;
+      step_budget = (if step_budget > 0 then Some step_budget else None);
+      checkpoint;
+      limit = (if max_cells > 0 then Some max_cells else None);
+      shrink = not no_shrink;
+      log = (if quiet then ignore else prerr_endline);
+    }
+  in
+  let o = Campaign.Orchestrator.run ~opts grid in
+  (* Report header: the campaign seed and fingerprint are the citation
+     root — any cell below reproduces from (campaign seed, index). *)
+  Printf.printf "campaign : seed %d, fingerprint %s, %d cell(s) (%d class(es) x %d seed(s))\n"
+    campaign_seed
+    (Campaign.Grid.fingerprint grid)
+    (Campaign.Grid.cell_count grid)
+    (List.length classes) seeds;
+  Printf.printf "sweep    : %d run, %d resumed from checkpoint, jobs %s\n"
+    o.Campaign.Orchestrator.fresh o.Campaign.Orchestrator.resumed
+    (if jobs_v = 0 then "auto" else string_of_int jobs_v);
+  let by_class (clazz : Campaign.Grid.clazz) =
+    Array.to_list o.Campaign.Orchestrator.results
+    |> List.filter (fun (r : Campaign.Runner.result) ->
+           String.equal r.Campaign.Runner.cell.Campaign.Grid.clazz.Campaign.Grid.cname
+             clazz.Campaign.Grid.cname)
+  in
+  List.iter
+    (fun (clazz : Campaign.Grid.clazz) ->
+      let rs = by_class clazz in
+      let count k =
+        List.length
+          (List.filter
+             (fun (r : Campaign.Runner.result) ->
+               String.equal
+                 (Campaign.Runner.kind_to_string
+                    (Campaign.Runner.kind_of r.Campaign.Runner.outcome))
+                 k)
+             rs)
+      in
+      let ok =
+        List.length (List.filter Campaign.Runner.is_expected rs)
+      in
+      Printf.printf
+        "cell     : %-24s %d/%d expected | V %d B %d I %d X %d T %d\n"
+        clazz.Campaign.Grid.cname ok (List.length rs) (count "verified")
+        (count "violation") (count "inconclusive") (count "crashed")
+        (count "timeout"))
+    classes;
+  (match o.Campaign.Orchestrator.json with
+  | Some json -> (
+    match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      close_out oc;
+      Printf.printf "results  : %s\n" path
+    | None -> ())
+  | None ->
+    Printf.printf "partial  : %d/%d cell(s) complete%s\n"
+      (Array.length o.Campaign.Orchestrator.results)
+      (Campaign.Grid.cell_count grid)
+      (match checkpoint with
+      | Some p -> Printf.sprintf " (resume against --checkpoint %s)" p
+      | None -> ""));
+  (match shrink_dir with
+  | Some dir when o.Campaign.Orchestrator.repros <> [] ->
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    List.iter
+      (fun (r : Campaign.Orchestrator.repro) ->
+        let path =
+          Filename.concat dir
+            (Printf.sprintf "cell-%d.repro"
+               r.Campaign.Orchestrator.bundle.Campaign.Shrink.shrunk
+                 .Campaign.Grid.index)
+        in
+        let oc = open_out path in
+        output_string oc (Campaign.Shrink.render r.Campaign.Orchestrator.bundle);
+        close_out oc)
+      o.Campaign.Orchestrator.repros
+  | _ -> ());
+  List.iter
+    (fun (r : Campaign.Orchestrator.repro) ->
+      print_newline ();
+      print_string (Campaign.Shrink.render r.Campaign.Orchestrator.bundle))
+    o.Campaign.Orchestrator.repros;
+  let unexpected =
+    Array.exists
+      (fun (r : Campaign.Runner.result) ->
+        not (Campaign.Runner.is_expected r))
+      o.Campaign.Orchestrator.results
+  in
+  if unexpected then begin
+    Printf.printf "\nCAMPAIGN FAIL: unexpected cell outcome(s) above\n";
+    exit 1
+  end
+  else begin
+    Printf.printf "CAMPAIGN PASS\n";
+    exit 0
+  end
+
+let campaign_cmd =
+  let doc =
+    "sweep a seeded fault-campaign grid across a domain pool, with \
+     checkpoint/resume and auto-shrinking reproducers"
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc)
+    Term.(
+      const campaign_run $ campaign_cells $ campaign_list $ campaign_seeds
+      $ campaign_seed_flag $ campaign_txns $ campaign_clients $ campaign_jobs
+      $ campaign_budget $ campaign_out $ campaign_checkpoint
+      $ campaign_max_cells $ campaign_no_shrink $ campaign_shrink_dir
+      $ campaign_quiet)
+
+let run_term =
+  Term.(
+    const run $ workload $ dbms $ level $ faults $ clients $ txns $ seed
+    $ show_bugs $ record $ check $ infer $ chaos_term $ net_term
+    $ max_retries $ max_stall_ns $ lenient $ recovery_term $ repl_term
+    $ shard_term)
+
 let cmd =
   let doc = "verify isolation levels from client-side traces (Leopard)" in
-  Cmd.v
-    (Cmd.info "leopard" ~doc)
-    Term.(
-      const run $ workload $ dbms $ level $ faults $ clients $ txns $ seed
-      $ show_bugs $ record $ check $ infer $ chaos_term $ net_term
-      $ max_retries $ max_stall_ns $ lenient $ recovery_term $ repl_term
-      $ shard_term)
+  (* a group with a default term keeps the historical flag-only
+     invocation (leopard -w smallbank ...) working unchanged *)
+  Cmd.group ~default:run_term (Cmd.info "leopard" ~doc) [ campaign_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -151,6 +151,7 @@ let lib_zones : Zone.t list =
     Replication;
     Shard;
     Compose;
+    Campaign;
     Util;
     Workload;
     Baselines;
@@ -167,7 +168,7 @@ let applies rule (zone : Zone.t) ~basename =
     mem_zone zone
       [
         Core; Trace_lib; Minidb; Harness; Net; Replication; Shard; Compose;
-        Analysis;
+        Campaign; Analysis;
       ]
   | "D004" -> mem_zone zone lib_zones
   | "F001" -> mem_zone zone [ Core; Trace_lib ]
@@ -258,9 +259,21 @@ let tpc_family =
       [ "Tpc_prepare"; "Tpc_vote"; "Tpc_decision"; "Tpc_abort"; "Tpc_ack" ];
   }
 
+(* A campaign cell's terminal state: crash isolation and step budgets
+   added Crashed and Timeout next to Completed, and a wildcard here
+   would silently misfile a future terminal state (say, Cancelled)
+   instead of failing the build. *)
+let outcome_family =
+  {
+    fam_name = "Runner.outcome";
+    fam_rule = e001;
+    members = [ "Completed"; "Crashed"; "Timeout" ];
+  }
+
 let families =
   [
     verdict_family;
+    outcome_family;
     abort_family;
     entry_family;
     tag_family;
@@ -392,6 +405,16 @@ let check_ident st (loc : Location.t) parts =
     report st d002 loc
       (Printf.sprintf "wall-clock read %s; use Util.Clock"
          (String.concat "." parts))
+  (* In the campaign zone even the sanctioned reporting clock is out:
+     a cell's outcome must be a pure function of the cell, or serial
+     and parallel sweeps stop being byte-identical. *)
+  | [ "Clock"; "wall" ]
+  | [ "Util"; "Clock"; "wall" ]
+  | [ "Leopard_util"; "Clock"; "wall" ]
+    when st.zone = Zone.Campaign ->
+    report st d002 loc
+      "wall-clock read inside a campaign cell body; cell outcomes must be \
+       pure functions of the cell"
   | _ -> ());
   if is_hashtbl_iteration parts && not (is_absolved st loc) then
     report st d003 loc

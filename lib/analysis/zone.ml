@@ -7,6 +7,7 @@ type t =
   | Replication
   | Shard
   | Compose
+  | Campaign
   | Util
   | Workload
   | Baselines
@@ -27,6 +28,7 @@ let all =
     Replication;
     Shard;
     Compose;
+    Campaign;
     Util;
     Workload;
     Baselines;
@@ -47,6 +49,7 @@ let to_string = function
   | Replication -> "replication"
   | Shard -> "shard"
   | Compose -> "compose"
+  | Campaign -> "campaign"
   | Util -> "util"
   | Workload -> "workload"
   | Baselines -> "baselines"
@@ -69,6 +72,7 @@ let lib_zone = function
   | "replication" -> Replication
   | "shard" -> Shard
   | "compose" -> Compose
+  | "campaign" -> Campaign
   | "util" -> Util
   | "workload" -> Workload
   | "baselines" -> Baselines

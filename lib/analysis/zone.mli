@@ -18,6 +18,9 @@ type t =
   | Replication  (** [lib/replication] — cluster, failover, repl faults *)
   | Shard  (** [lib/shard] — hash-range partitioning, 2PC coordinator *)
   | Compose  (** [lib/compose] — stacked fault-plane orchestration *)
+  | Campaign
+      (** [lib/campaign] — grid sweeps; cell bodies must be pure functions
+          of the cell, so wall-clock reads are banned outright here *)
   | Util  (** [lib/util] — seeded RNG, clock, containers *)
   | Workload  (** [lib/workload] — benchmark program generators *)
   | Baselines  (** [lib/baselines] — reference checkers *)

@@ -1,0 +1,42 @@
+(** The campaign orchestrator: expand a grid, sweep it across a domain
+    pool with crash isolation and per-cell step budgets, checkpoint
+    completed cells, aggregate a deterministic results DB, and shrink
+    every unexpected cell into a replaying reproducer.
+
+    Serial ([jobs = 1]) and parallel sweeps of the same grid produce
+    byte-identical [json]; an interrupted sweep ([limit]) resumed
+    against its checkpoint re-runs only the incomplete cells and still
+    produces the same bytes. *)
+
+type opts = {
+  jobs : int;  (** worker domains; 0 = [Domain.recommended_domain_count] *)
+  step_budget : int option;  (** per-cell override; [None] = auto *)
+  checkpoint : string option;  (** checkpoint file path *)
+  limit : int option;
+      (** run at most this many incomplete cells then stop — the
+          interruption hook the resume tests (and [--max-cells]) use *)
+  shrink : bool;  (** shrink unexpected cells into reproducers *)
+  max_shrink_attempts : int;
+  log : string -> unit;  (** one-line progress/warning sink *)
+}
+
+val default_opts : opts
+(** [jobs = 1], auto budget, no checkpoint, no limit, shrinking on (48
+    attempts), silent log. *)
+
+type repro = { result : Runner.result; bundle : Shrink.bundle }
+
+type outcome = {
+  results : Runner.result array;
+      (** completed cells in index order; all cells iff [complete] *)
+  complete : bool;
+  fresh : int;  (** cells executed this sweep *)
+  resumed : int;  (** cells restored from the checkpoint *)
+  json : string option;  (** the results DB; [Some] iff [complete] *)
+  repros : repro list;
+  checkpoint_warning : string option;
+      (** set when a damaged checkpoint degraded to a (partial) fresh
+          start *)
+}
+
+val run : ?opts:opts -> Grid.t -> outcome

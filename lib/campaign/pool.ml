@@ -1,0 +1,54 @@
+(* A work-stealing-free domain pool: one shared atomic cursor over the
+   item array, each worker fetch-and-adds its next index.
+
+   Results land in a slot array indexed by item position, never by
+   completion order — the caller sees the same array whether one domain
+   ran everything serially or eight raced; that placement is the whole
+   parallel-determinism argument, so it lives in one small module the
+   tests can hammer directly.
+
+   [f] is expected not to raise (the campaign runner converts every
+   exception into a [Crashed] outcome).  If it does raise anyway, the
+   worker captures it and the exception is re-raised on the spawning
+   domain after every other worker has been joined — never a silently
+   lost domain. *)
+
+let map ~jobs items f =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else if jobs <= 1 || n = 1 then Array.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let poison = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f items.(i) with
+          | r -> results.(i) <- Some r
+          | exception e ->
+            (* first exception wins; later ones are dropped *)
+            ignore
+              (Atomic.compare_and_set poison None
+                 (Some (e, Printexc.get_raw_backtrace ())));
+            (* park the cursor past the end so every worker drains *)
+            ignore (Atomic.exchange next n));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = min jobs n - 1 in
+    let domains = List.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    (match Atomic.get poison with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map
+      (function
+        | Some r -> r
+        | None -> invalid_arg "Pool.map: unfilled slot")
+      results
+  end

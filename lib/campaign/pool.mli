@@ -1,0 +1,17 @@
+(** A bounded domain pool with deterministic result placement.
+
+    [map ~jobs items f] applies [f] to every element of [items] using at
+    most [jobs] domains (the calling domain counts as one; [jobs <= 1]
+    runs serially with no domain spawned) and returns the results in
+    {e item order} — slot [i] always holds [f items.(i)], regardless of
+    which domain computed it or when it finished.  For a pure [f] the
+    returned array is therefore identical for every [jobs] value, which
+    is the property the campaign's serial/parallel byte-identity test
+    pins down.
+
+    [f] should not raise (the campaign runner records exceptions as
+    [Crashed] outcomes instead); if it does, every worker is still
+    joined and the first exception is re-raised on the calling domain
+    with its original backtrace. *)
+
+val map : jobs:int -> 'a array -> ('a -> 'b) -> 'b array

@@ -1,0 +1,18 @@
+(** The campaign results DB — one deterministic JSON document.
+
+    Derived exclusively from the grid and the index-ordered result
+    array: no wall clock, no completion order, no domain count.  Serial
+    and parallel sweeps of the same grid therefore emit byte-identical
+    documents, and a checkpoint-resumed sweep emits the same bytes as an
+    uninterrupted one.
+
+    The document carries a per-class aggregate (verdict mix, sum/max
+    distribution of every degradation counter, p50/p99 simulated-latency
+    profile) and the full per-cell record list, each cell citing its
+    derived seed and the standalone CLI line that replays it. *)
+
+val to_json : grid:Grid.t -> Runner.result array -> string
+
+val unexpected : Runner.result array -> Runner.result list
+(** Cells whose outcome contradicts their class expectation, in index
+    order — the shrinker's work list. *)

@@ -147,4 +147,29 @@ let composition p =
       }
   else None
 
+(* {2 Campaign grid grammar}
+
+   The campaign subcommand expands NAME x SEED x WORKLOAD axes into
+   cells; every axis value is validated here, on the raw strings, before
+   any grid is built — an unknown cell-class name must be a one-line
+   usage error naming the known classes, not a silent empty grid. *)
+
+let choice ~flag ~known v =
+  if List.exists (String.equal v) known then None
+  else
+    Some
+      {
+        flag;
+        msg =
+          Printf.sprintf "unknown name %S (known: %s)" v
+            (String.concat ", " known);
+      }
+
+let jobs ~flag v =
+  (* 0 means "let the orchestrator pick the recommended domain count";
+     anything negative is a typo. *)
+  if v < 0 then
+    Some { flag; msg = Printf.sprintf "%d is negative (0 = auto)" v }
+  else None
+
 let first_error checks = List.find_map Fun.id checks

@@ -57,6 +57,14 @@ val composition : planes -> error option
     (a replica set per shard), and both at once; [--shard-failover-at]
     and [--shard-repl-drop] require [--repl-per-shard]. *)
 
+val choice : flag:string -> known:string list -> string -> error option
+(** Campaign-grid axis values ([--cell], [--cell-workload]) must name a
+    known class/workload; the error lists the known names. *)
+
+val jobs : flag:string -> int -> error option
+(** A [--jobs] count is non-negative; [0] means "pick the recommended
+    domain count". *)
+
 val first_error : error option list -> error option
 (** The first [Some] in flag order, so the reported error matches the
     leftmost offending option. *)

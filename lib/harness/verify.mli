@@ -1,0 +1,23 @@
+(** Offline verification of a completed run — the canonical mark-feeding
+    order in one reusable entry point.
+
+    Every consumer of {!Run.execute} that verifies afterwards (the CLI's
+    offline path, the bench harness, campaign cells on worker domains)
+    must feed the checker the same things in the same order: restart
+    epochs, wire- and replication-ambiguous commits, coordinator-orphaned
+    rounds, failover marks (lost beats ambiguous — failovers must see
+    the ambiguous set), and only then the traces through the two-level
+    pipeline.  Centralizing the order here keeps a future channel from
+    being wired into one caller and silently skipped in another.
+
+    The function is self-contained per call — it allocates its own
+    checker and pipeline and touches no global state — so it is safe to
+    call concurrently from multiple domains, which is what the campaign
+    orchestrator does. *)
+
+type result = {
+  report : Leopard.Checker.report;
+  pipeline_peak : int;  (** {!Leopard.Pipeline.peak_memory} of the drain *)
+}
+
+val offline : ?gc_every:int -> il:Leopard.Il_profile.t -> Run.outcome -> result

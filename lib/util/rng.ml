@@ -18,6 +18,17 @@ let split t =
   let seed = next_int64 t in
   { state = mix64 seed }
 
+let derive ~seed ~index =
+  if index < 0 then invalid_arg "Rng.derive: index must be non-negative";
+  (* The [index+1]-th output of [create seed]'s stream, computed without
+     stepping: SplitMix64's state after n draws is seed-state + n*gamma. *)
+  let state =
+    Int64.add
+      (mix64 (Int64.of_int seed))
+      (Int64.mul golden_gamma (Int64.of_int (index + 1)))
+  in
+  Int64.to_int (mix64 state) land max_int
+
 let copy t = { state = t.state }
 
 let int t bound =

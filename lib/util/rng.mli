@@ -23,6 +23,16 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the exact current state (same future stream). *)
 
+val derive : seed:int -> index:int -> int
+(** [derive ~seed ~index] is the [index+1]-th raw output of
+    [create seed]'s stream, folded to a non-negative [int] — a pure
+    function of [(seed, index)] with no generator state.  Campaign grids
+    use it to give every cell an independent, citable seed: the same
+    [(campaign seed, cell index)] pair always names the same cell seed,
+    so a failing cell's exact reproducing command line can be printed
+    without consulting any results database.  Raises [Invalid_argument]
+    on a negative [index]. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -1,0 +1,15 @@
+let all =
+  [
+    ("ycsb", fun () -> Ycsb.spec ~theta:0.8 ());
+    ("ycsb+t", fun () -> Ycsb_t.spec ());
+    ("tatp", fun () -> Tatp.spec ());
+    ("blindw-w", fun () -> Blindw.spec Blindw.W);
+    ("blindw-rw", fun () -> Blindw.spec Blindw.RW);
+    ("blindw-rw+", fun () -> Blindw.spec Blindw.RW_plus);
+    ("smallbank", fun () -> Smallbank.spec ());
+    ("tpcc", fun () -> Tpcc.spec ());
+  ]
+
+let names = List.map fst all
+
+let find name = Option.map (fun mk -> mk ()) (List.assoc_opt name all)

@@ -1,0 +1,14 @@
+(** The named-workload table — one catalogue shared by the CLI and the
+    campaign orchestrator, so a cell class naming ["smallbank"] and the
+    reproducing command line's [-w smallbank] are guaranteed to build
+    the same spec with the same parameters.
+
+    [find] returns a {e fresh} spec instance per call: specs carry
+    mutable generator state (value counters), so concurrent runs —
+    campaign cells on separate domains — must never share one. *)
+
+val names : string list
+(** Every workload name the CLI accepts, in its documented order. *)
+
+val find : string -> Spec.t option
+(** [find name] builds a fresh spec, or [None] for an unknown name. *)

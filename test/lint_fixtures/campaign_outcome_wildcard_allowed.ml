@@ -1,0 +1,2 @@
+(* lint: allow verdict-wildcard — fixture: display-only fallback *)
+let is_done = function Completed _ -> true | Crashed _ -> true | _ -> false

@@ -1,0 +1,1 @@
+let is_done = function Completed _ -> true | Crashed _ -> true | _ -> false

@@ -1,0 +1,2 @@
+(* lint: allow wall-clock — fixture: campaign progress logging only *)
+let cell_wall () = Leopard_util.Clock.wall ()

@@ -1,0 +1,1 @@
+let cell_wall () = Leopard_util.Clock.wall ()

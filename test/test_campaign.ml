@@ -1,0 +1,328 @@
+(* Campaign robustness: the properties ISSUE 8 promises.
+
+   - A >=1000-cell grid spanning all six fault planes sweeps to
+     byte-identical results DBs under --jobs 1 and --jobs N.
+   - Crash and hang cells are recorded (Crashed / Timeout) without
+     aborting the sweep.
+   - An interrupted campaign resumed against its checkpoint re-runs
+     only the incomplete cells and still produces the same bytes.
+   - A truncated or corrupted checkpoint degrades to a (partial) fresh
+     start with a warning — never a crash, never a silently skipped
+     cell.
+   - Shrunk reproducers replay byte-for-byte, across 50 seeds of
+     forced-unexpected cells.
+
+   Cell sizes here are tiny (tens of transactions) and the workloads
+   small-footprint (smallbank, blindw-rw): the properties are
+   structural, not statistical, so nothing is lost by shrinking the
+   cells to keep the suite fast. *)
+
+module G = Leopard_campaign.Grid
+module Runner = Leopard_campaign.Runner
+module O = Leopard_campaign.Orchestrator
+module Shrink = Leopard_campaign.Shrink
+module Checkpoint = Leopard_campaign.Checkpoint
+module Rng = Leopard_util.Rng
+
+let si = Minidb.Isolation.Snapshot_isolation
+
+let clazz ?(txns = 25) ?(clients = 2) ?(max_retries = 0) ?(expect = G.Any)
+    cname workload plane =
+  { G.cname; workload; level = si; txns; clients; max_retries; plane; expect }
+
+(* One tiny class per fault plane — the six-plane matrix of the
+   identity test. *)
+let six_planes =
+  [
+    clazz "chaos" "blindw-rw"
+      (G.Chaos { crash = 0.003; drop = 0.02; dup = 0.02; delay = 0.05 });
+    clazz "recovery" "smallbank" ~max_retries:2
+      (G.Recovery
+         { crash_at = [ 200_000 ]; torn = 0.1; lost_fsync = 0.3;
+           dup_replay = 0.2 });
+    clazz "net" "blindw-rw"
+      (G.Net { drop = 0.05; dup = 0.05; reset = 0.05; delay = 0.05 });
+    clazz "repl" "smallbank"
+      (G.Repl
+         { followers = 1; sync = true; drop = 0.02; dup = 0.02;
+           hop_ns = 2_000; failover_at = [] });
+    clazz "shard" "blindw-rw"
+      (G.Shard { shards = 2; drop = 0.0; hop_ns = 1_000; coord_crash_at = [] });
+    clazz "stacked" "smallbank"
+      (G.Stacked { shards = 2; per_shard = 1; hop_ns = 1_000; failover_at = [] });
+  ]
+
+let sweep ?(shrink = false) ?checkpoint ?limit ~jobs grid =
+  O.run ~opts:{ O.default_opts with jobs; shrink; checkpoint; limit } grid
+
+let json_of outcome =
+  match outcome.O.json with
+  | Some j -> j
+  | None -> Alcotest.fail "sweep did not complete"
+
+(* --- seed derivation ---------------------------------------------- *)
+
+let test_derived_seeds () =
+  (* positional: each index gets its own stream root, stable across
+     calls and distinct across indices *)
+  Alcotest.(check int)
+    "derive is deterministic"
+    (Rng.derive ~seed:42 ~index:7)
+    (Rng.derive ~seed:42 ~index:7);
+  let seeds = List.init 64 (fun i -> Rng.derive ~seed:42 ~index:i) in
+  Alcotest.(check int)
+    "derived seeds distinct" 64
+    (List.length (List.sort_uniq Int.compare seeds));
+  (* the grid's cells carry exactly these seeds, so (campaign seed,
+     index) printed in a report header is a complete citation *)
+  let grid = G.make ~campaign_seed:42 ~seeds_per_class:4 six_planes in
+  Array.iter
+    (fun (c : G.cell) ->
+      Alcotest.(check int)
+        (Printf.sprintf "cell %d seed" c.G.index)
+        (Rng.derive ~seed:42 ~index:c.G.index)
+        c.G.seed)
+    (G.cells grid);
+  (* and the standalone CLI line cites the derived seed verbatim *)
+  let c = (G.cells grid).(5) in
+  let needle = Printf.sprintf "--seed %d" c.G.seed in
+  let hay = G.cli_line c in
+  let n = String.length needle and h = String.length hay in
+  let rec has i = i + n <= h && (String.sub hay i n = needle || has (i + 1)) in
+  Alcotest.(check bool) "cli line cites derived seed" true (has 0)
+
+(* --- serial/parallel byte identity at scale ------------------------ *)
+
+let test_thousand_cell_identity () =
+  let grid = G.make ~campaign_seed:9 ~seeds_per_class:167 six_planes in
+  Alcotest.(check bool)
+    ">=1000 cells" true
+    (G.cell_count grid >= 1000);
+  let serial = sweep ~jobs:1 grid in
+  let parallel = sweep ~jobs:4 grid in
+  Alcotest.(check bool) "serial complete" true serial.O.complete;
+  Alcotest.(check bool) "parallel complete" true parallel.O.complete;
+  Alcotest.(check string)
+    "results DB byte-identical" (json_of serial) (json_of parallel)
+
+(* --- crash isolation and step budgets ------------------------------ *)
+
+let test_crash_and_timeout_recorded () =
+  let grid =
+    G.make ~campaign_seed:3 ~seeds_per_class:3
+      [
+        clazz "boom" "blindw-rw" ~txns:50 ~expect:G.Crash (G.Selftest_crash 5);
+        clazz "wedge" "blindw-rw" ~txns:50 ~expect:G.Stall G.Selftest_hang;
+        clazz "honest" "blindw-rw" ~txns:40 ~expect:G.Pass G.Baseline;
+      ]
+  in
+  let o = sweep ~jobs:2 grid in
+  Alcotest.(check bool) "sweep survives crash cells" true o.O.complete;
+  Array.iter
+    (fun (r : Runner.result) ->
+      let kind = Runner.kind_to_string (Runner.kind_of r.Runner.outcome) in
+      let expected =
+        match r.Runner.cell.G.clazz.G.expect with
+        | G.Crash -> "crashed"
+        | G.Stall -> "timeout"
+        | G.Pass | G.Fail | G.Any -> "verified"
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "cell %d kind" r.Runner.cell.G.index)
+        expected kind;
+      Alcotest.(check bool)
+        (Printf.sprintf "cell %d expected" r.Runner.cell.G.index)
+        true (Runner.is_expected r))
+    o.O.results;
+  (* the crash record keeps the exception text for the repro report *)
+  let crashed =
+    Array.to_list o.O.results
+    |> List.filter_map (fun (r : Runner.result) ->
+           match r.Runner.outcome with
+           | Runner.Crashed { exn_text; _ } -> Some exn_text
+           | Runner.Completed _ | Runner.Timeout _ -> None)
+  in
+  Alcotest.(check int) "three crash records" 3 (List.length crashed);
+  List.iter
+    (fun text ->
+      Alcotest.(check bool) "exception text non-empty" true (text <> ""))
+    crashed
+
+(* --- checkpoint: resume runs only incomplete cells ----------------- *)
+
+let test_checkpoint_resume () =
+  let grid = G.make ~campaign_seed:11 ~seeds_per_class:3 six_planes in
+  let n = G.cell_count grid in
+  let reference = json_of (sweep ~jobs:1 grid) in
+  let path = Filename.temp_file "leopard_campaign" ".ckpt" in
+  (* interrupted sweep: stop after 7 cells *)
+  let part = sweep ~jobs:2 ~checkpoint:path ~limit:7 grid in
+  Alcotest.(check bool) "partial sweep incomplete" true (not part.O.complete);
+  Alcotest.(check int) "partial ran exactly the limit" 7 part.O.fresh;
+  Alcotest.(check int) "nothing resumed the first time" 0 part.O.resumed;
+  (* resume: only the remaining cells run *)
+  let rest = sweep ~jobs:2 ~checkpoint:path grid in
+  Alcotest.(check bool) "resumed sweep complete" true rest.O.complete;
+  Alcotest.(check int) "resumed the checkpointed cells" 7 rest.O.resumed;
+  Alcotest.(check int) "ran only the incomplete cells" (n - 7) rest.O.fresh;
+  Alcotest.(check string)
+    "resumed results DB byte-identical to uninterrupted run" reference
+    (json_of rest);
+  Sys.remove path
+
+(* --- checkpoint: damage degrades, never crashes -------------------- *)
+
+let test_checkpoint_damage () =
+  let grid = G.make ~campaign_seed:13 ~seeds_per_class:2 six_planes in
+  let reference = json_of (sweep ~jobs:1 grid) in
+  let path = Filename.temp_file "leopard_campaign" ".ckpt" in
+  ignore (sweep ~jobs:1 ~checkpoint:path grid);
+  let pristine =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let restore damaged =
+    let oc = open_out_bin path in
+    output_string oc damaged;
+    close_out oc
+  in
+  let len = String.length pristine in
+  let rng = Rng.create 99 in
+  let damage_one i =
+    match i mod 3 with
+    | 0 ->
+      (* truncate mid-file *)
+      String.sub pristine 0 (1 + Rng.int rng (len - 1))
+    | 1 ->
+      (* flip one byte *)
+      let pos = Rng.int rng len in
+      let b = Bytes.of_string pristine in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x20));
+      Bytes.to_string b
+    | _ ->
+      (* garbage tail *)
+      pristine ^ "c\t999\tdeadbeef\tnot a record\n"
+  in
+  for i = 0 to 17 do
+    restore (damage_one i);
+    let o = sweep ~jobs:1 ~checkpoint:path grid in
+    (* the damaged file may cost re-runs, but never correctness: the
+       sweep completes, no cell is silently skipped, and the results DB
+       is the same bytes as an undamaged run's *)
+    Alcotest.(check bool)
+      (Printf.sprintf "damage %d: sweep completes" i)
+      true o.O.complete;
+    Alcotest.(check int)
+      (Printf.sprintf "damage %d: every cell accounted for" i)
+      (G.cell_count grid)
+      (o.O.resumed + o.O.fresh);
+    Alcotest.(check string)
+      (Printf.sprintf "damage %d: results DB intact" i)
+      reference (json_of o)
+  done;
+  (* a header-level mismatch (foreign fingerprint) is ignored wholesale,
+     with a warning *)
+  restore
+    ("leopard-campaign-checkpoint v1 0000000000000000 "
+    ^ string_of_int (G.cell_count grid)
+    ^ "\n");
+  let o = sweep ~jobs:1 ~checkpoint:path grid in
+  Alcotest.(check bool)
+    "foreign checkpoint: warning issued" true
+    (Option.is_some o.O.checkpoint_warning);
+  Alcotest.(check int) "foreign checkpoint: fresh start" 0 o.O.resumed;
+  Alcotest.(check string)
+    "foreign checkpoint: results DB intact" reference (json_of o);
+  Sys.remove path
+
+(* --- shrinker: reproducers replay byte-for-byte, 50 seeds ---------- *)
+
+let test_shrinker_replays () =
+  (* a forced-unexpected class: an honest baseline labeled Fail, so
+     every seed verifies where a conviction was demanded *)
+  let forced = clazz "mislabeled" "blindw-rw" ~txns:40 ~expect:G.Fail G.Baseline in
+  for campaign_seed = 0 to 49 do
+    let grid = G.make ~campaign_seed ~seeds_per_class:1 [ forced ] in
+    let cell = (G.cells grid).(0) in
+    let r = Runner.run cell in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d is unexpected" campaign_seed)
+      false (Runner.is_expected r);
+    let run c = (Runner.run c).Runner.outcome in
+    let bundle = Shrink.shrink ~max_attempts:12 ~run r in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d shrank" campaign_seed)
+      true
+      (bundle.Shrink.shrunk.G.clazz.G.txns <= cell.G.clazz.G.txns
+      && bundle.Shrink.shrunk.G.clazz.G.clients <= cell.G.clazz.G.clients);
+    (* byte-for-byte: two independent replays of the shrunk cell match
+       the bundle's recorded verdict and degradation line exactly *)
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d replay 1" campaign_seed)
+      true
+      (Shrink.replay ~run bundle);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d replay 2" campaign_seed)
+      true
+      (Shrink.same_signature bundle.Shrink.outcome (run bundle.Shrink.shrunk))
+  done
+
+(* --- orchestrator shrinks every unexpected cell automatically ------ *)
+
+let test_orchestrator_shrinks_unexpected () =
+  let grid =
+    G.make ~campaign_seed:17 ~seeds_per_class:2
+      [
+        clazz "honest" "blindw-rw" ~txns:40 ~expect:G.Pass G.Baseline;
+        clazz "mislabeled" "blindw-rw" ~txns:40 ~expect:G.Fail G.Baseline;
+      ]
+  in
+  let o =
+    O.run
+      ~opts:{ O.default_opts with jobs = 2; shrink = true;
+              max_shrink_attempts = 12 }
+      grid
+  in
+  Alcotest.(check int) "both unexpected cells shrunk" 2 (List.length o.O.repros);
+  List.iter
+    (fun (rp : O.repro) ->
+      Alcotest.(check string)
+        "repro comes from the mislabeled class" "mislabeled"
+        rp.O.result.Runner.cell.G.clazz.G.cname;
+      let run c = (Runner.run c).Runner.outcome in
+      Alcotest.(check bool) "repro replays" true (Shrink.replay ~run rp.O.bundle);
+      (* the rendered report cites the derived seed and the CLI line *)
+      let report = Shrink.render rp.O.bundle in
+      let cites needle =
+        let n = String.length needle and h = String.length report in
+        let rec go i =
+          i + n <= h && (String.sub report i n = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "report cites derived seed" true
+        (cites
+           (Printf.sprintf "derived seed %d" rp.O.bundle.Shrink.shrunk.G.seed));
+      Alcotest.(check bool) "report cites a reproduce line" true
+        (cites "reproduce : leopard "))
+    o.O.repros
+
+let suite =
+  [
+    Alcotest.test_case "derived seeds are positional citations" `Quick
+      test_derived_seeds;
+    Alcotest.test_case "crash and timeout cells recorded, sweep survives"
+      `Quick test_crash_and_timeout_recorded;
+    Alcotest.test_case "checkpoint resume runs only incomplete cells" `Quick
+      test_checkpoint_resume;
+    Alcotest.test_case "damaged checkpoint degrades, never crashes" `Quick
+      test_checkpoint_damage;
+    Alcotest.test_case "orchestrator shrinks unexpected cells" `Quick
+      test_orchestrator_shrinks_unexpected;
+    Alcotest.test_case "shrunk reproducers replay byte-for-byte (50 seeds)"
+      `Slow test_shrinker_replays;
+    Alcotest.test_case "1000-cell six-plane grid: serial = parallel bytes"
+      `Slow test_thousand_cell_identity;
+  ]

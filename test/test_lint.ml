@@ -65,6 +65,17 @@ let compose_cases =
     ("compose_repl_msg_wildcard", "tag-wildcard", Zone.Compose);
   ]
 
+(* The campaign zone rides the rules with a twist of its own: cell
+   bodies must be pure functions of the cell, so even the sanctioned
+   reporting clock (Util.Clock.wall) is a wall-clock finding there, and
+   a wildcard over the cell outcome family (Completed/Crashed/Timeout)
+   is a verdict-wildcard finding. *)
+let campaign_cases =
+  [
+    ("campaign_wall_clock", "wall-clock", Zone.Campaign);
+    ("campaign_outcome_wildcard", "verdict-wildcard", Zone.Campaign);
+  ]
+
 let lint_fixture ~zone path =
   match Driver.lint_file ~zone path with
   | Ok r -> r
@@ -144,6 +155,26 @@ let test_shard_zone_scoping () =
         ("shard fault construction quiet in " ^ Zone.to_string zone)
         0 (List.length r.findings))
     [ Zone.Harness; Zone.Bin; Zone.Test ]
+
+(* The campaign-only wall-clock tightening must not leak: the same
+   Clock.wall read is legal everywhere else (it IS the sanctioned
+   reporting clock), and outcome matches in tests stay free. *)
+let test_campaign_zone_scoping () =
+  List.iter
+    (fun zone ->
+      let r =
+        lint_fixture ~zone (repl_fixture_path "campaign_wall_clock" "trigger")
+      in
+      Alcotest.(check int)
+        ("campaign clock read quiet in " ^ Zone.to_string zone)
+        0 (List.length r.findings))
+    [ Zone.Harness; Zone.Bin; Zone.Bench; Zone.Test ];
+  let r =
+    lint_fixture ~zone:Zone.Test
+      (repl_fixture_path "campaign_outcome_wildcard" "trigger")
+  in
+  Alcotest.(check int) "outcome wildcard quiet in test" 0
+    (List.length r.findings)
 
 let test_compose_zone_scoping () =
   List.iter
@@ -270,7 +301,7 @@ let test_exit_codes_all_triggers () =
                Zone.to_string zone;
                repl_fixture_path stem "trigger";
              ]))
-      (repl_cases @ shard_cases @ compose_cases)
+      (repl_cases @ shard_cases @ compose_cases @ campaign_cases)
   end
 
 let test_repo_is_clean () =
@@ -304,7 +335,7 @@ let suite =
             Alcotest.test_case (stem ^ " allowed") `Quick
               (test_repl_allowed case);
           ])
-        (repl_cases @ shard_cases @ compose_cases)
+        (repl_cases @ shard_cases @ compose_cases @ campaign_cases)
   in
   [
     Alcotest.test_case "rule catalogue" `Quick test_catalogue;
@@ -312,6 +343,8 @@ let suite =
     Alcotest.test_case "replication zone scoping" `Quick test_repl_zone_scoping;
     Alcotest.test_case "shard zone scoping" `Quick test_shard_zone_scoping;
     Alcotest.test_case "compose zone scoping" `Quick test_compose_zone_scoping;
+    Alcotest.test_case "campaign zone scoping" `Quick
+      test_campaign_zone_scoping;
     Alcotest.test_case "multi-line suppression" `Quick test_multiline_suppression;
     Alcotest.test_case "suppression does not leak" `Quick
       test_suppression_does_not_leak;
