@@ -10,19 +10,24 @@ module A = Leopard_analysis
 
 let usage =
   "usage: leopard_lint [options] PATH...\n\
-   Lint OCaml sources for determinism (D), fault-plane (F) and\n\
-   exhaustiveness (E) hazards.  PATH arguments are .ml files or\n\
-   directories (searched recursively; _build, .git and lint_fixtures\n\
-   are skipped).\n\n\
+   Lint OCaml sources for determinism (D), fault-plane (F),\n\
+   exhaustiveness (E), parallelism/race (P) and suppression-hygiene\n\
+   (S) hazards.  PATH arguments are .ml files or directories\n\
+   (searched recursively; _build, .git and lint_fixtures are\n\
+   skipped).\n\n\
    options:\n\
-  \  --json         print the report as JSON instead of text\n\
-  \  -o FILE        also write the JSON report to FILE\n\
-  \  --zone ZONE    force the zone for all PATHs (fixture testing);\n\
-  \                 one of core|trace|minidb|harness|net|util|workload|\n\
-  \                 baselines|analysis|bin|bench|examples|test\n\
-  \  --list-rules   print the rule catalogue and exit\n\
-  \  -q, --quiet    no output, exit code only\n\
-  \  --help         this message\n\n\
+  \  --json           print the report as JSON instead of text\n\
+  \  -o FILE          also write the JSON report to FILE\n\
+  \  --sarif FILE     also write a SARIF 2.1.0 report to FILE\n\
+  \  --cache-dir DIR  keep per-module summaries in DIR so re-lints\n\
+  \                   only re-analyze changed modules and their\n\
+  \                   reverse dependencies\n\
+  \  --zone ZONE      force the zone for all PATHs (fixture testing);\n\
+  \                   one of core|trace|minidb|harness|net|util|workload|\n\
+  \                   baselines|analysis|bin|bench|examples|test\n\
+  \  --list-rules     print the rule catalogue and exit\n\
+  \  -q, --quiet      no output, exit code only\n\
+  \  --help           this message\n\n\
    exit codes: 0 clean, 1 findings, 2 usage/parse error\n"
 
 let die msg =
@@ -40,6 +45,8 @@ let list_rules () =
 let () =
   let json = ref false in
   let out_file = ref None in
+  let sarif_file = ref None in
+  let cache_dir = ref None in
   let zone = ref None in
   let quiet = ref false in
   let paths = ref [] in
@@ -52,6 +59,15 @@ let () =
       out_file := Some file;
       parse rest
     | "-o" :: [] -> die "leopard_lint: -o needs a file argument\n"
+    | "--sarif" :: file :: rest ->
+      sarif_file := Some file;
+      parse rest
+    | "--sarif" :: [] -> die "leopard_lint: --sarif needs a file argument\n"
+    | "--cache-dir" :: dir :: rest ->
+      cache_dir := Some dir;
+      parse rest
+    | "--cache-dir" :: [] ->
+      die "leopard_lint: --cache-dir needs a directory argument\n"
     | "--zone" :: z :: rest -> (
       match A.Zone.of_string z with
       | Some zn ->
@@ -82,13 +98,28 @@ let () =
       if not (Sys.file_exists p) then
         die (Printf.sprintf "leopard_lint: no such path: %s\n" p))
     paths;
-  let summary = A.Driver.lint_paths ?zone:!zone paths in
-  (match !out_file with
-  | Some file ->
+  let cache_file =
+    match !cache_dir with
+    | None -> None
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Some (Filename.concat dir "summaries.cache")
+  in
+  let summary =
+    A.Driver.lint_paths ?zone:!zone ?cache_file
+      ~clock:Leopard_util.Clock.wall paths
+  in
+  let write_to file text =
     let oc = open_out file in
-    output_string oc (A.Driver.json_summary summary);
+    output_string oc text;
     output_char oc '\n';
     close_out oc
+  in
+  (match !out_file with
+  | Some file -> write_to file (A.Driver.json_summary summary)
+  | None -> ());
+  (match !sarif_file with
+  | Some file -> write_to file (A.Sarif.emit summary)
   | None -> ());
   if not !quiet then
     if !json then print_endline (A.Driver.json_summary summary)

@@ -1,0 +1,393 @@
+(* Cross-module call graph over per-module summaries, plus the two
+   interprocedural fixpoints the P rules need:
+
+   - {e effects}: for every top-level function, the unguarded writes it
+     performs transitively — split into writes to free/global state and
+     writes to its own parameters (keyed by argument position so a call
+     site can map them back onto the actual argument);
+   - {e spawned parameters}: the parameters whose value ends up as the
+     body of a [Domain.spawn] — directly, through a worker closure that
+     calls the parameter, or through a call that forwards the parameter
+     into another function's spawned position.  A closure passed at a
+     spawned parameter runs on another domain, so [Pool.map]'s [f] is a
+     spawn context even though no caller ever writes [Domain.spawn].
+
+   Resolution is purely syntactic: a call head resolves into the
+   project iff one of its path components names a known module (a
+   capitalized source basename) that defines the final component as a
+   top-level function.  Unresolvable heads (stdlib, functor-generated,
+   dynamic) contribute no edges — the analysis under-approximates
+   through them and the rules say so in their rationale. *)
+
+type fn_id = { f_module : string; f_fn : string }
+
+(* One transitively-reached unguarded write: the syntactic write, the
+   function chain that reaches it ("Pool.map -> Obs.bump"), and the
+   owning global when the target resolves to one. *)
+type reached_write = {
+  rw_write : Summary.write;
+  rw_via : string;
+  rw_global : (string * Summary.global) option;
+}
+
+type effects = {
+  mutable ef_free : reached_write list;
+  mutable ef_param : (Summary.arg_key * reached_write) list;
+  mutable ef_spawned : Summary.arg_key list;
+}
+
+type t = {
+  modules : (string * Summary.t) list;  (* sorted by module name *)
+  fn_index : (string, Summary.fn) Hashtbl.t;  (* "Mod.fn" -> fn *)
+  global_index : (string, Summary.global) Hashtbl.t;  (* "Mod.g" *)
+  fx : (string, effects) Hashtbl.t;  (* "Mod.fn" -> effects *)
+  mutable deps : (string * string list) list;  (* sorted adjacency *)
+}
+
+let key id = id.f_module ^ "." ^ id.f_fn
+
+let find_fn t id = Hashtbl.find_opt t.fn_index (key id)
+
+let find_global t ~m ~name = Hashtbl.find_opt t.global_index (m ^ "." ^ name)
+
+let fn_effects t id = Hashtbl.find_opt t.fx (key id)
+
+(* Resolve a call head in the context of [current].  Unqualified names
+   resolve in the current module; qualified paths scan right-to-left
+   for a component naming a known module that defines the last
+   component (so [Leopard_campaign.Pool.map] resolves through [Pool]
+   even though the wrapping library module is not a source file). *)
+let resolve t ~current (h : Summary.head) =
+  match h with
+  | Summary.Hparam _ | Summary.Hdyn -> None
+  | Summary.Hpath [] -> None
+  | Summary.Hpath [ name ] ->
+    let id = { f_module = current; f_fn = name } in
+    if Hashtbl.mem t.fn_index (key id) then Some id else None
+  | Summary.Hpath parts ->
+    let fn =
+      match List.rev parts with f :: _ -> f | [] -> assert false
+    in
+    let mods = match List.rev parts with _ :: ms -> ms | [] -> [] in
+    let rec scan = function
+      | [] -> None
+      | m :: rest ->
+        let id = { f_module = m; f_fn = fn } in
+        if Hashtbl.mem t.fn_index (key id) then Some id else scan rest
+    in
+    scan mods
+
+(* Resolve a write target to its owning module-level global, if any.
+   Unqualified names qualify when they are free (no binder) or when the
+   summary marked them module-level ([t_global]). *)
+let resolve_global t ~current (tg : Summary.target) =
+  match tg.Summary.t_path with
+  | [ name ] when tg.Summary.t_binder = None || tg.Summary.t_global -> (
+    match find_global t ~m:current ~name with
+    | Some g -> Some (current, g)
+    | None -> None)
+  | parts -> (
+    match List.rev parts with
+    | name :: mods ->
+      let rec scan = function
+        | [] -> None
+        | m :: rest -> (
+          match find_global t ~m ~name with
+          | Some g -> Some (m, g)
+          | None -> scan rest)
+      in
+      scan mods
+    | [] -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let shared_free (tg : Summary.target) =
+  (* Inside a top-level function body, a target without a binder is
+     free: a module global, an [open]ed name, or another module's
+     state.  Module-level bindings carry a binder id too, so [t_global]
+     marks them shared.  Locals (binder, no param, not global) are
+     per-call and private. *)
+  (tg.Summary.t_binder = None || tg.Summary.t_global)
+  && tg.Summary.t_param = None
+
+let rw_mem lst (rw : reached_write) =
+  List.exists
+    (fun r ->
+      r.rw_write.Summary.w_site = rw.rw_write.Summary.w_site
+      && String.equal r.rw_write.Summary.w_op rw.rw_write.Summary.w_op)
+    lst
+
+let param_mem lst k (rw : reached_write) =
+  List.exists
+    (fun (k', r) ->
+      Summary.arg_key_equal k k'
+      && r.rw_write.Summary.w_site = rw.rw_write.Summary.w_site
+      && String.equal r.rw_write.Summary.w_op rw.rw_write.Summary.w_op)
+    lst
+
+let argv_taints_closure_calling (cl : Summary.closure) k =
+  List.exists
+    (fun (c : Summary.call) ->
+      match c.Summary.c_head with
+      | Summary.Hparam k' -> Summary.arg_key_equal k k'
+      | _ -> false)
+    cl.Summary.cl_calls
+
+let build (summaries : Summary.t list) =
+  let modules =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (List.map (fun (s : Summary.t) -> (s.Summary.m_name, s)) summaries)
+  in
+  let fn_index = Hashtbl.create 256 in
+  let global_index = Hashtbl.create 64 in
+  let fx = Hashtbl.create 256 in
+  List.iter
+    (fun (m, (s : Summary.t)) ->
+      List.iter
+        (fun (f : Summary.fn) ->
+          let k = m ^ "." ^ f.Summary.fn_name in
+          if not (Hashtbl.mem fn_index k) then Hashtbl.add fn_index k f;
+          Hashtbl.replace fx k
+            { ef_free = []; ef_param = []; ef_spawned = [] })
+        s.Summary.m_fns;
+      List.iter
+        (fun (g : Summary.global) ->
+          Hashtbl.replace global_index (m ^ "." ^ g.Summary.g_name) g)
+        s.Summary.m_globals)
+    modules;
+  let t = { modules; fn_index; global_index; fx; deps = [] } in
+
+  (* --- seed direct effects ---------------------------------------- *)
+  List.iter
+    (fun (m, (s : Summary.t)) ->
+      List.iter
+        (fun (f : Summary.fn) ->
+          let id = { f_module = m; f_fn = f.Summary.fn_name } in
+          match fn_effects t id with
+          | None -> ()
+          | Some e ->
+            let via = key id in
+            List.iter
+              (fun (w : Summary.write) ->
+                if not w.Summary.w_guarded then begin
+                  let tg = w.Summary.w_target in
+                  if shared_free tg then begin
+                    let rw =
+                      {
+                        rw_write = w;
+                        rw_via = via;
+                        rw_global = resolve_global t ~current:m tg;
+                      }
+                    in
+                    if not (rw_mem e.ef_free rw) then
+                      e.ef_free <- rw :: e.ef_free
+                  end
+                  else
+                    match tg.Summary.t_param with
+                    | Some k ->
+                      let rw =
+                        { rw_write = w; rw_via = via; rw_global = None }
+                      in
+                      if not (param_mem e.ef_param k rw) then
+                        e.ef_param <- (k, rw) :: e.ef_param
+                    | None -> ()
+                end)
+              f.Summary.fn_body.Summary.cl_writes;
+            (* direct spawned params: [Domain.spawn f] where [f] is a
+               parameter, or a spawn whose worker closure calls one *)
+            List.iter
+              (fun (sp : Summary.spawn) ->
+                match sp.Summary.sp_body with
+                | Some (Summary.Av_target tg) -> (
+                  match tg.Summary.t_param with
+                  | Some k ->
+                    if
+                      not
+                        (List.exists (Summary.arg_key_equal k) e.ef_spawned)
+                    then e.ef_spawned <- k :: e.ef_spawned
+                  | None -> ())
+                | Some (Summary.Av_closure cl) ->
+                  List.iter
+                    (fun (k, _) ->
+                      if
+                        argv_taints_closure_calling cl k
+                        && not
+                             (List.exists (Summary.arg_key_equal k)
+                                e.ef_spawned)
+                      then e.ef_spawned <- k :: e.ef_spawned)
+                    f.Summary.fn_params
+                | _ -> ())
+              f.Summary.fn_body.Summary.cl_spawns)
+        s.Summary.m_fns)
+    modules;
+
+  (* --- fixpoint: propagate through resolved calls ------------------ *)
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 64 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (m, (s : Summary.t)) ->
+        List.iter
+          (fun (f : Summary.fn) ->
+            let id = { f_module = m; f_fn = f.Summary.fn_name } in
+            match fn_effects t id with
+            | None -> ()
+            | Some e ->
+              List.iter
+                (fun (c : Summary.call) ->
+                  match resolve t ~current:m c.Summary.c_head with
+                  | None -> ()
+                  | Some callee_id -> (
+                    match fn_effects t callee_id with
+                    | None -> ()
+                    | Some ce ->
+                      (* free writes in the callee are free here too *)
+                      List.iter
+                        (fun rw ->
+                          let rw =
+                            { rw with rw_via = key id ^ " -> " ^ rw.rw_via }
+                          in
+                          if not (rw_mem e.ef_free rw) then begin
+                            e.ef_free <- rw :: e.ef_free;
+                            changed := true
+                          end)
+                        ce.ef_free;
+                      (* callee param writes land on our arguments *)
+                      List.iter
+                        (fun (k, rw) ->
+                          match
+                            List.find_opt
+                              (fun (k', _) -> Summary.arg_key_equal k k')
+                              c.Summary.c_args
+                          with
+                          | Some (_, Summary.Av_target tg) ->
+                            let rw =
+                              {
+                                rw with
+                                rw_via = key id ^ " -> " ^ rw.rw_via;
+                                rw_global = resolve_global t ~current:m tg;
+                              }
+                            in
+                            if shared_free tg then begin
+                              if not (rw_mem e.ef_free rw) then begin
+                                e.ef_free <- rw :: e.ef_free;
+                                changed := true
+                              end
+                            end
+                            else (
+                              match tg.Summary.t_param with
+                              | Some j ->
+                                if not (param_mem e.ef_param j rw) then begin
+                                  e.ef_param <- (j, rw) :: e.ef_param;
+                                  changed := true
+                                end
+                              | None -> ())
+                          | _ -> ())
+                        ce.ef_param;
+                      (* forwarding a param into a spawned position
+                         makes our param spawned as well *)
+                      List.iter
+                        (fun k ->
+                          match
+                            List.find_opt
+                              (fun (k', _) -> Summary.arg_key_equal k k')
+                              c.Summary.c_args
+                          with
+                          | Some
+                              ( _,
+                                Summary.Av_target
+                                  { Summary.t_param = Some j; _ } ) ->
+                            if
+                              not
+                                (List.exists (Summary.arg_key_equal j)
+                                   e.ef_spawned)
+                            then begin
+                              e.ef_spawned <- j :: e.ef_spawned;
+                              changed := true
+                            end
+                          | _ -> ())
+                        ce.ef_spawned))
+                f.Summary.fn_body.Summary.cl_calls)
+          s.Summary.m_fns)
+      modules
+  done;
+
+  (* --- module dependency edges ------------------------------------- *)
+  let dep_tbl = Hashtbl.create 64 in
+  let add_dep m m' =
+    if not (String.equal m m') then begin
+      let cur =
+        match Hashtbl.find_opt dep_tbl m with Some l -> l | None -> []
+      in
+      if not (List.mem m' cur) then Hashtbl.replace dep_tbl m (m' :: cur)
+    end
+  in
+  List.iter
+    (fun (m, (s : Summary.t)) ->
+      List.iter
+        (fun (f : Summary.fn) ->
+          List.iter
+            (fun (c : Summary.call) ->
+              match resolve t ~current:m c.Summary.c_head with
+              | Some id -> add_dep m id.f_module
+              | None -> ())
+            f.Summary.fn_body.Summary.cl_calls;
+          List.iter
+            (fun (w : Summary.write) ->
+              match
+                resolve_global t ~current:m w.Summary.w_target
+              with
+              | Some (owner, _) -> add_dep m owner
+              | None -> ())
+            f.Summary.fn_body.Summary.cl_writes)
+        s.Summary.m_fns)
+    modules;
+  t.deps <-
+    List.map
+      (fun (m, _) ->
+        let ds =
+          match Hashtbl.find_opt dep_tbl m with
+          | Some l -> List.sort String.compare l
+          | None -> []
+        in
+        (m, ds))
+      modules;
+  t
+
+let module_deps t = t.deps
+
+(* Modules that (transitively) depend on any of [seeds]: the set whose
+   interprocedural findings may change when [seeds] change. *)
+let reverse_closure t seeds =
+  let rdeps = Hashtbl.create 64 in
+  List.iter
+    (fun (m, ds) ->
+      List.iter
+        (fun d ->
+          let cur =
+            match Hashtbl.find_opt rdeps d with Some l -> l | None -> []
+          in
+          Hashtbl.replace rdeps d (m :: cur))
+        ds)
+    t.deps;
+  let seen = Hashtbl.create 64 in
+  let rec go m =
+    if not (Hashtbl.mem seen m) then begin
+      Hashtbl.replace seen m ();
+      match Hashtbl.find_opt rdeps m with
+      | Some preds -> List.iter go preds
+      | None -> ()
+    end
+  in
+  List.iter go seeds;
+  let out =
+    List.filter_map
+      (fun (m, _) -> if Hashtbl.mem seen m then Some m else None)
+      t.deps
+  in
+  out

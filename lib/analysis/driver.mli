@@ -1,9 +1,13 @@
-(** Parse → check → suppress, over files and trees.
+(** Parse → summarize → link → check → suppress, over files and trees.
 
     The driver owns everything above a single rule: locating [.ml]
     files (deterministically — directory listings are sorted), parsing
     them with compiler-libs, zone classification (overridable for
-    fixtures), suppression filtering, and report aggregation. *)
+    fixtures), the two-phase interprocedural pipeline (per-module
+    {!Summary} extraction, then {!Callgraph}-driven {!Race}/{!Taint}
+    evaluation), the digest-keyed summary cache behind incremental
+    re-lints, suppression filtering with stale-allow detection (S001),
+    and report aggregation. *)
 
 type file_result = {
   path : string;
@@ -14,8 +18,9 @@ type file_result = {
 
 val lint_source :
   ?zone:Zone.t -> path:string -> string -> (file_result, string) result
-(** Lint source text directly (the unit-test entry point).  [Error]
-    carries a parse diagnostic. *)
+(** Lint source text directly (the unit-test entry point): the full
+    pipeline — including the P rules — on a single-module project.
+    [Error] carries a parse diagnostic. *)
 
 val lint_file : ?zone:Zone.t -> string -> (file_result, string) result
 
@@ -23,19 +28,51 @@ val collect_ml_files : string list -> string list
 (** Expand files/directories into a sorted list of [.ml] paths,
     skipping [_build], [.git] and [lint_fixtures] subtrees. *)
 
+type stage_timings = {
+  t_parse : float;  (** file reads + parsing *)
+  t_syntactic : float;  (** the D/F/E single-file rule pass *)
+  t_extract : float;  (** per-module summary extraction *)
+  t_graph : float;  (** call-graph construction + fixpoints *)
+  t_race : float;  (** P001/P002 evaluation *)
+  t_taint : float;  (** P003 evaluation *)
+  t_stale : float;  (** suppression filtering + S001 *)
+}
+(** Wall spent per stage, measured with the caller-provided clock
+    ([0.0] everywhere when no clock is injected — the analysis itself
+    never reads the wall clock, per its own D002). *)
+
 type summary = {
   files : int;
   active : int;
   suppressed_total : int;
   results : file_result list;  (** only files with findings or suppressions *)
   errors : (string * string) list;  (** unparsable files: path, diagnostic *)
+  reanalyzed : string list;
+      (** modules whose interprocedural raws were recomputed this run:
+          changed modules, their reverse dependencies, and cache
+          misses — sorted *)
+  cached : string list;  (** modules served entirely from the cache *)
+  timings : stage_timings;
 }
 
-val lint_paths : ?zone:Zone.t -> string list -> summary
+val lint_paths :
+  ?zone:Zone.t ->
+  ?cache_file:string ->
+  ?clock:(unit -> float) ->
+  string list ->
+  summary
+(** Lint a tree.  With [cache_file], per-module summaries and
+    interprocedural raws are loaded from / saved to that file keyed by
+    a digest of each file's source and zone: an unchanged module whose
+    forward dependencies are also unchanged is served from the cache
+    without reparsing, and only changed modules plus their reverse
+    dependency closure re-run the interprocedural passes.  [clock]
+    (e.g. [Util.Clock.wall]) feeds {!stage_timings}. *)
 
 val pp_summary : summary Fmt.t
 (** Human report: one line per finding plus a tail line with totals. *)
 
 val json_summary : summary -> string
-(** The whole run as one JSON document (findings array + totals),
-    the [LINT_report.json] artifact format. *)
+(** The whole run as one JSON document (findings array + totals +
+    cache split + stage timings), the [LINT_report.json] artifact
+    format. *)

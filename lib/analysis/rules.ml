@@ -1,9 +1,11 @@
-type group = Determinism | Fault_plane | Exhaustiveness
+type group = Determinism | Fault_plane | Exhaustiveness | Parallelism | Hygiene
 
 let group_to_string = function
   | Determinism -> "determinism"
   | Fault_plane -> "fault-plane"
   | Exhaustiveness -> "exhaustiveness"
+  | Parallelism -> "parallelism"
+  | Hygiene -> "hygiene"
 
 type t = {
   code : string;
@@ -131,7 +133,60 @@ let e003 =
        failing the build";
   }
 
-let all = [ d001; d002; d003; d004; f001; f002; f003; e001; e002; e003 ]
+let p001 =
+  {
+    code = "P001";
+    slug = "spawn-capture";
+    group = Parallelism;
+    summary =
+      "shared mutable state written from a spawned closure without a guard";
+    rationale =
+      "a ref/array/Hashtbl captured by a closure handed to Domain.spawn \
+       (or passed at a parameter the call graph proves spawned, like \
+       Pool.map's f) and written without Atomic/Mutex is a data race; \
+       the interprocedural summaries follow the capture through helper \
+       calls across modules";
+  }
+
+let p002 =
+  {
+    code = "P002";
+    slug = "nonatomic-global";
+    group = Parallelism;
+    summary = "cross-domain communication through a non-atomic global";
+    rationale =
+      "a module-level ref/Hashtbl written from a spawned closure is \
+       shared between domains by construction; cross-domain state must \
+       be an Atomic.t or every write must sit under Mutex.protect";
+  }
+
+let p003 =
+  {
+    code = "P003";
+    slug = "underived-seed";
+    group = Parallelism;
+    summary = "RNG constructed from a value that does not derive from the seed";
+    rationale =
+      "campaign and compose cells must be pure functions of their cell \
+       seed or serial and parallel sweeps stop being byte-identical; \
+       every generator in those zones derives via Rng.derive from the \
+       campaign seed, never from a fresh constant";
+  }
+
+let s001 =
+  {
+    code = "S001";
+    slug = "stale-allow";
+    group = Hygiene;
+    summary = "a suppression annotation that suppresses nothing";
+    rationale =
+      "a suppression that no finding matches is a justification that \
+       rotted — the code it excused was fixed or moved — and leaving it \
+       in place would silently excuse a future regression at that line";
+  }
+
+let all =
+  [ d001; d002; d003; d004; f001; f002; f003; e001; e002; e003; p001; p002; p003; s001 ]
 
 let find_slug slug = List.find_opt (fun r -> String.equal r.slug slug) all
 
@@ -183,6 +238,14 @@ let applies rule (zone : Zone.t) ~basename =
             [ "fault.ml"; "wal.ml"; "repl_fault.ml"; "shard_fault.ml" ])
   | "F003" -> mem_zone zone lib_zones
   | "E001" | "E002" | "E003" -> zone <> Zone.Test
+  (* The race rules run wherever domains can be spawned: all library
+     zones plus executables and the bench driver.  Examples are demo
+     code but still ship spawnable patterns, so they are held too. *)
+  | "P001" | "P002" ->
+    mem_zone zone lib_zones || mem_zone zone [ Bin; Bench; Examples ]
+  (* Seed-taint applies only where cell purity is the contract. *)
+  | "P003" -> mem_zone zone [ Campaign; Compose ]
+  | "S001" -> true
   | _ -> true
 
 (* ------------------------------------------------------------------ *)

@@ -22,9 +22,21 @@
     few places where syntax over-approximates (a local value punned
     [compare], a membership test on a fault set) are handled by named
     absolutions documented on each rule, or by an explicit
-    [(* lint: allow <slug> *)] suppression with a justification. *)
+    [(* lint: allow <slug> *)] suppression with a justification.
 
-type group = Determinism | Fault_plane | Exhaustiveness
+    Two further groups are evaluated interprocedurally by the driver
+    from per-module summaries ({!Summary}, {!Callgraph}) rather than by
+    {!check}:
+
+    - {b P — parallelism}: shared mutable state reachable from a
+      spawned closure without an Atomic/Mutex guard (P001), cross-
+      domain communication through non-atomic globals (P002), and
+      seed-taint discipline for RNG construction in the sweep zones
+      (P003);
+    - {b S — hygiene}: suppressions that suppress nothing (S001), so
+      justified exceptions cannot rot silently. *)
+
+type group = Determinism | Fault_plane | Exhaustiveness | Parallelism | Hygiene
 
 val group_to_string : group -> string
 
@@ -40,6 +52,18 @@ val all : t list
 (** The catalogue, in code order. *)
 
 val find_slug : string -> t option
+
+val p001 : t
+val p002 : t
+val p003 : t
+val s001 : t
+(** The interprocedurally-evaluated rules, exposed for {!Race},
+    {!Taint} and the driver's stale-suppression pass. *)
+
+val applies : t -> Zone.t -> basename:string -> bool
+(** Does [rule] hold files of [zone] to its obligation?  Exposed so the
+    interprocedural passes scope their findings exactly like {!check}
+    does. *)
 
 type raw = { rule : t; line : int; col : int; msg : string }
 (** A finding before suppression filtering (1-based line, 0-based col). *)

@@ -1,6 +1,15 @@
+type directive = {
+  d_line : int;  (* source line of the [lint:] token, for reporting *)
+  d_anchor : int;  (* line the allow covers (where its comment closes) *)
+  d_slug : string;
+  d_file_level : bool;
+  mutable d_used : bool;
+}
+
 type t = {
-  file_allows : (string, unit) Hashtbl.t;
-  line_allows : (int * string, unit) Hashtbl.t;
+  file_allows : (string, directive) Hashtbl.t;
+  line_allows : (int * string, directive) Hashtbl.t;
+  mutable directives : directive list;  (* reverse scan order *)
   mutable total : int;
 }
 
@@ -52,13 +61,33 @@ let scan_line t lines ~lineno line =
         let slug, stop = token_at line after in
         if slug <> "" then begin
           let anchor = close_line lines ~lineno ~from:stop in
-          Hashtbl.replace t.line_allows (anchor, slug) ();
+          let d =
+            {
+              d_line = lineno;
+              d_anchor = anchor;
+              d_slug = slug;
+              d_file_level = false;
+              d_used = false;
+            }
+          in
+          Hashtbl.replace t.line_allows (anchor, slug) d;
+          t.directives <- d :: t.directives;
           t.total <- t.total + 1
         end
       | "allow-file" ->
         let slug, _ = token_at line after in
         if slug <> "" then begin
-          Hashtbl.replace t.file_allows slug ();
+          let d =
+            {
+              d_line = lineno;
+              d_anchor = lineno;
+              d_slug = slug;
+              d_file_level = true;
+              d_used = false;
+            }
+          in
+          Hashtbl.replace t.file_allows slug d;
+          t.directives <- d :: t.directives;
           t.total <- t.total + 1
         end
       | _ -> ());
@@ -71,6 +100,7 @@ let scan source =
     {
       file_allows = Hashtbl.create 4;
       line_allows = Hashtbl.create 16;
+      directives = [];
       total = 0;
     }
   in
@@ -79,8 +109,26 @@ let scan source =
   t
 
 let allowed t ~line ~slug =
-  Hashtbl.mem t.file_allows slug
-  || Hashtbl.mem t.line_allows (line, slug)
-  || Hashtbl.mem t.line_allows (line - 1, slug)
+  let mark = function
+    | Some d ->
+      d.d_used <- true;
+      true
+    | None -> false
+  in
+  (* Every directive that covers the finding is marked used — a
+     redundant second allow for the same slug on the same line is a
+     duplication smell, not a stale one. *)
+  let f = mark (Hashtbl.find_opt t.file_allows slug) in
+  let a = mark (Hashtbl.find_opt t.line_allows (line, slug)) in
+  let b = mark (Hashtbl.find_opt t.line_allows (line - 1, slug)) in
+  f || a || b
 
 let count t = t.total
+
+let stale t =
+  t.directives
+  |> List.filter_map (fun d ->
+         if d.d_used then None else Some (d.d_line, d.d_slug))
+  |> List.sort (fun (l1, s1) (l2, s2) ->
+         let c = Int.compare l1 l2 in
+         if c <> 0 then c else String.compare s1 s2)

@@ -29,7 +29,15 @@ val scan : string -> t
     parsed; any line containing [lint: allow ...] counts). *)
 
 val allowed : t -> line:int -> slug:string -> bool
-(** Is a finding of [slug] at [line] (1-based) suppressed? *)
+(** Is a finding of [slug] at [line] (1-based) suppressed?  Every
+    directive that covers the finding is marked {e used} as a side
+    effect, which is what {!stale} reads back. *)
 
 val count : t -> int
 (** Number of annotations found (file-level plus per-line). *)
+
+val stale : t -> (int * string) list
+(** Directives no {!allowed} query ever matched, as
+    [(source line, slug)] pairs in line order — the S001 input.  Only
+    meaningful after every raw finding of the file has been filtered
+    through {!allowed}. *)

@@ -1,0 +1,83 @@
+(* P003: seed-taint discipline in the deterministic-sweep zones.
+
+   Campaign cells and composed stacks must be pure functions of their
+   cell seed, or serial and parallel sweeps stop being byte-identical.
+   The summary records a three-valued taint for every argument —
+   [Tseed] provably derives from a seed (an ident or field whose name
+   mentions "seed", the result of [Rng.derive]/[Rng.split]/[sub_seed],
+   arithmetic over tainted values), [Tplain] provably does not
+   (literals, arithmetic over literals), [Topaque] unknown — and this
+   pass flags every RNG-construction call whose seed argument is
+   [Tplain]: a fresh generator from a hard-coded constant inside a
+   sweep silently decouples the cell from its campaign seed.  Opaque
+   values never fire (the rule under-approximates rather than make the
+   gate noisy); [Random.State.make_self_init] fires unconditionally
+   since no argument could justify it. *)
+
+let is_rng_construction (h : Summary.head) =
+  match h with
+  | Summary.Hparam _ | Summary.Hdyn -> None
+  | Summary.Hpath parts -> (
+    match Summary.last_two parts with
+    | "Rng", "create" -> Some `Seeded
+    | "State", ("make" | "make_full") -> Some `Seeded
+    | "Random", ("init" | "full_init") -> Some `Seeded
+    | "State", "make_self_init" | "Random", "self_init" -> Some `Self_init
+    | _ -> None)
+
+let head_str = function
+  | Summary.Hpath parts -> String.concat "." parts
+  | Summary.Hparam k -> Summary.arg_key_to_string k
+  | Summary.Hdyn -> "<closure>"
+
+let taint_of_argv = function
+  | Summary.Av_value t -> t
+  | Summary.Av_target tg -> tg.Summary.t_taint
+  | Summary.Av_closure _ -> Summary.Topaque
+
+let raw_of rule (s : Summary.site) msg =
+  { Rules.rule; line = s.Summary.s_line; col = s.Summary.s_col; msg }
+
+let check (m : Summary.t) : Rules.raw list =
+  let basename = Filename.basename m.Summary.m_path in
+  if not (Rules.applies Rules.p003 m.Summary.m_zone ~basename) then []
+  else begin
+    let raws = ref [] in
+    List.iter
+      (fun (f : Summary.fn) ->
+        List.iter
+          (fun (c : Summary.call) ->
+            match is_rng_construction c.Summary.c_head with
+            | None -> ()
+            | Some `Self_init ->
+              raws :=
+                raw_of Rules.p003 c.Summary.c_site
+                  (Printf.sprintf
+                     "%s in a seeded sweep zone; every generator must \
+                      derive from the campaign seed via Rng.derive"
+                     (head_str c.Summary.c_head))
+                :: !raws
+            | Some `Seeded -> (
+              match
+                List.find_opt
+                  (fun (k, _) -> Summary.arg_key_equal k (Summary.Kpos 0))
+                  c.Summary.c_args
+              with
+              | Some (_, av) when taint_of_argv av = Summary.Tplain ->
+                raws :=
+                  raw_of Rules.p003 c.Summary.c_site
+                    (Printf.sprintf
+                       "%s seeded from a value that does not derive from \
+                        the campaign seed; use Rng.derive (or thread the \
+                        cell seed) so sweeps replay byte-identically"
+                       (head_str c.Summary.c_head))
+                  :: !raws
+              | _ -> ()))
+          f.Summary.fn_body.Summary.cl_calls)
+      m.Summary.m_fns;
+    List.sort_uniq
+      (fun (a : Rules.raw) (b : Rules.raw) ->
+        let c = Int.compare a.Rules.line b.Rules.line in
+        if c <> 0 then c else Int.compare a.Rules.col b.Rules.col)
+      !raws
+  end

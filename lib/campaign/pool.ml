@@ -26,6 +26,10 @@ let map ~jobs items f =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           (match f items.(i) with
+          (* lint: allow spawn-capture — slot [i] is written by exactly one
+             worker (the atomic cursor hands each index out once) and the
+             array is read only after every domain is joined; disjoint
+             slots plus the join barrier make this race-free by design *)
           | r -> results.(i) <- Some r
           | exception e ->
             (* first exception wins; later ones are dropped *)

@@ -618,7 +618,6 @@ let coord_crash t =
   t.n_coord_crashes <- t.n_coord_crashes + 1;
   t.gen <- t.gen + 1;
   let orphaned =
-    (* lint: allow hashtbl-order — sorted by txn immediately below *)
     Hashtbl.fold
       (fun _ r acc -> if r.r_settled then acc else r :: acc)
       t.rounds []

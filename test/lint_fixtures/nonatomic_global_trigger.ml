@@ -1,0 +1,9 @@
+(* P002: cross-domain communication through a non-atomic module-level
+   Hashtbl — every domain shares the same table by construction. *)
+
+let registry : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let run () =
+  let d = Domain.spawn (fun () -> Hashtbl.replace registry "a" 1) in
+  Domain.join d;
+  Hashtbl.length registry

@@ -1,0 +1,9 @@
+(* The same shape made safe: the shared cell is an Atomic.t, so the
+   cross-domain write has a sanctioned access path and P001 stays
+   quiet with no suppression needed. *)
+
+let run () =
+  let total = Atomic.make 0 in
+  let d = Domain.spawn (fun () -> Atomic.set total 1) in
+  Domain.join d;
+  Atomic.get total

@@ -1,0 +1,8 @@
+(* P001: a ref captured by the closure handed to Domain.spawn and
+   written without any guard — the canonical cross-domain data race. *)
+
+let run () =
+  let total = ref 0 in
+  let d = Domain.spawn (fun () -> total := 1) in
+  Domain.join d;
+  !total

@@ -1,0 +1,6 @@
+(* S001: the annotation below suppresses nothing — nothing on the next
+   line iterates a Hashtbl — so the justification has rotted and the
+   directive itself becomes the finding. *)
+
+(* lint: allow hashtbl-order — sorted right below (it is not) *)
+let total xs = List.fold_left ( + ) 0 xs

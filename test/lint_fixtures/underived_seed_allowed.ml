@@ -1,0 +1,6 @@
+(* The same cell deriving its generator from the campaign seed via
+   Rng.derive — the sanctioned pattern, quiet with no suppression. *)
+
+let cell seed =
+  let rng = Rng.derive seed 1 in
+  Rng.int rng 10

@@ -1,0 +1,8 @@
+(* P003 (campaign zone): a generator seeded from a hard-coded constant
+   inside a sweep decouples the cell from its campaign seed — serial
+   and parallel sweeps would still agree, but replaying the campaign
+   from its seed would not reproduce this cell. *)
+
+let cell () =
+  let rng = Rng.create 42 in
+  Rng.int rng 10

@@ -1,0 +1,4 @@
+(* The same helper with a Mutex-guarded write: the summary records the
+   write as guarded, so spawning callers inherit no race. *)
+
+let bump mu tbl k = Mutex.protect mu (fun () -> Hashtbl.replace tbl k 1)

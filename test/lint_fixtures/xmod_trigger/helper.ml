@@ -1,0 +1,5 @@
+(* The helper writes its table parameter — harmless on its own, but
+   the summary records the parameter write so a caller spawning it on
+   another domain inherits the race. *)
+
+let bump tbl k = Hashtbl.replace tbl k 1

@@ -1,0 +1,10 @@
+(* P001 across modules: the spawned closure captures a local Hashtbl
+   and hands it to Helper.bump, which writes it — the race is one call
+   away, in another file, and only the interprocedural summaries can
+   see it. *)
+
+let run () =
+  let tbl = Hashtbl.create 16 in
+  let d = Domain.spawn (fun () -> Helper.bump tbl "a") in
+  Domain.join d;
+  Hashtbl.length tbl

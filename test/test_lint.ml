@@ -27,6 +27,18 @@ let cases =
     ("verdict-wildcard", Zone.Core);
     ("abort-wildcard", Zone.Core);
     ("tag-wildcard", Zone.Core);
+    ("stale-allow", Zone.Core);
+  ]
+
+(* The P rules' "allowed" fixtures are clean by construction (Atomic
+   state, Mutex-guarded helper, Rng.derive) rather than suppressed, so
+   they get their own allowed-test asserting zero findings AND zero
+   suppressions. *)
+let p_cases =
+  [
+    ("spawn-capture", Zone.Core);
+    ("nonatomic-global", Zone.Core);
+    ("underived-seed", Zone.Campaign);
   ]
 
 let fixture_path slug variant =
@@ -82,14 +94,14 @@ let lint_fixture ~zone path =
   | Error e -> Alcotest.failf "%s did not parse: %s" path e
 
 let test_catalogue () =
-  Alcotest.(check bool) "at least 8 rules" true (List.length Rules.all >= 8);
+  Alcotest.(check bool) "at least 14 rules" true (List.length Rules.all >= 14);
   let groups =
     List.sort_uniq compare
       (List.map (fun (r : Rules.t) -> Rules.group_to_string r.group) Rules.all)
   in
   Alcotest.(check (list string))
-    "all three groups"
-    [ "determinism"; "exhaustiveness"; "fault-plane" ]
+    "all five groups"
+    [ "determinism"; "exhaustiveness"; "fault-plane"; "hygiene"; "parallelism" ]
     groups;
   let slugs = List.map (fun (r : Rules.t) -> r.slug) Rules.all in
   Alcotest.(check int)
@@ -117,6 +129,13 @@ let test_allowed (slug, zone) () =
   let r = lint_fixture ~zone (fixture_path slug "allowed") in
   Alcotest.(check int) (slug ^ " fully suppressed") 0 (List.length r.findings);
   Alcotest.(check bool) "suppression counted" true (r.suppressed >= 1)
+
+(* P-rule allowed fixtures are clean because the hazard is gone, not
+   because it was excused. *)
+let test_clean_allowed (slug, zone) () =
+  let r = lint_fixture ~zone (fixture_path slug "allowed") in
+  Alcotest.(check int) (slug ^ " clean") 0 (List.length r.findings);
+  Alcotest.(check int) "nothing to suppress" 0 r.suppressed
 
 let test_repl_trigger (stem, slug, zone) () =
   let r = lint_fixture ~zone (repl_fixture_path stem "trigger") in
@@ -236,7 +255,17 @@ let test_suppression_does_not_leak () =
   in
   match Driver.lint_source ~zone:Zone.Core ~path:"inline.ml" src with
   | Error e -> Alcotest.failf "parse: %s" e
-  | Ok r -> Alcotest.(check int) "finding survives" 1 (List.length r.findings)
+  | Ok r ->
+    (* the compare finding survives out of the directive's range, and
+       the directive — now suppressing nothing — is itself S001 *)
+    let slugs =
+      List.sort_uniq String.compare
+        (List.map (fun (f : A.Finding.t) -> f.rule.Rules.slug) r.findings)
+    in
+    Alcotest.(check (list string))
+      "finding survives and the directive is stale"
+      [ "poly-compare"; "stale-allow" ]
+      slugs
 
 let test_parse_error () =
   match Driver.lint_source ~zone:Zone.Core ~path:"bad.ml" "let let let" with
@@ -254,6 +283,99 @@ let test_json_shape () =
   has "\"findings\"";
   has "\"poly-compare\"";
   has "\"active\":1"
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* The cross-module escape: the race sits in spawner.ml but the write
+   is in helper.ml, so only the interprocedural pipeline (lint_paths
+   over both files) can see it. *)
+let test_cross_module_escape () =
+  let summary =
+    Driver.lint_paths ~zone:Zone.Core
+      [ Filename.concat fixtures_dir "xmod_trigger" ]
+  in
+  Alcotest.(check int) "exactly one finding" 1 summary.Driver.active;
+  let f =
+    match summary.Driver.results with
+    | [ r ] -> List.hd r.Driver.findings
+    | _ -> Alcotest.fail "expected one file with findings"
+  in
+  Alcotest.(check string) "P001 across modules" "spawn-capture"
+    f.A.Finding.rule.Rules.slug;
+  Alcotest.(check bool) "finding lands in the spawning module" true
+    (contains f.A.Finding.file "spawner.ml");
+  Alcotest.(check bool) "message names the helper chain" true
+    (contains f.A.Finding.msg "Helper.bump");
+  let clean =
+    Driver.lint_paths ~zone:Zone.Core
+      [ Filename.concat fixtures_dir "xmod_allowed" ]
+  in
+  Alcotest.(check int) "mutex-guarded helper is clean" 0 clean.Driver.active
+
+(* SARIF: schema version, a result bound to its rule, and a 1-based
+   physical location. *)
+let test_sarif_shape () =
+  let summary =
+    Driver.lint_paths ~zone:Zone.Core [ fixture_path "spawn-capture" "trigger" ]
+  in
+  let sarif = A.Sarif.emit summary in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("sarif contains " ^ needle) true
+        (contains sarif needle))
+    [
+      "\"version\":\"2.1.0\"";
+      "\"name\":\"leopard-lint\"";
+      "\"ruleId\":\"P001\"";
+      "\"physicalLocation\"";
+      "\"startLine\":6";
+      "\"id\":\"S001\"";
+    ]
+
+(* The summary cache: a cold run analyzes everything; an untouched
+   re-run analyzes nothing; editing one module re-analyzes exactly that
+   module plus its reverse dependencies, never the independent one. *)
+let test_cache_invalidation () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "leopard_lint_cache_test"
+  in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir)
+  else Sys.mkdir dir 0o755;
+  let write name src =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc src;
+    close_out oc
+  in
+  write "a.ml" "let bump tbl k = Hashtbl.replace tbl k 1\n";
+  write "b.ml"
+    "let run () =\n\
+    \  let tbl = Hashtbl.create 16 in\n\
+    \  let d = Domain.spawn (fun () -> A.bump tbl \"x\") in\n\
+    \  Domain.join d\n";
+  write "c.ml" "let pure x = x + 1\n";
+  let cache_file = Filename.concat dir "cache.bin" in
+  let mods = Alcotest.(check (list string)) in
+  let s1 = Driver.lint_paths ~zone:Zone.Core ~cache_file [ dir ] in
+  mods "cold run analyzes all" [ "A"; "B"; "C" ] s1.Driver.reanalyzed;
+  mods "cold run caches none" [] s1.Driver.cached;
+  Alcotest.(check int) "race found through the helper" 1 s1.Driver.active;
+  let s2 = Driver.lint_paths ~zone:Zone.Core ~cache_file [ dir ] in
+  mods "warm run analyzes none" [] s2.Driver.reanalyzed;
+  mods "warm run serves all from cache" [ "A"; "B"; "C" ] s2.Driver.cached;
+  Alcotest.(check int) "cached findings identical" s1.Driver.active
+    s2.Driver.active;
+  write "a.ml" "let bump tbl k = Hashtbl.replace tbl k 2\n";
+  let s3 = Driver.lint_paths ~zone:Zone.Core ~cache_file [ dir ] in
+  mods "edit re-analyzes the module and its reverse deps" [ "A"; "B" ]
+    s3.Driver.reanalyzed;
+  mods "the independent module stays cached" [ "C" ] s3.Driver.cached;
+  Alcotest.(check int) "finding persists across the edit" 1 s3.Driver.active
 
 (* ---------------------------------------------------------------- *)
 (* Executable exit codes.  The test binary runs from test/ inside the
@@ -289,6 +411,19 @@ let test_exit_codes_all_triggers () =
           (run
              [ "-q"; "--zone"; Zone.to_string zone; fixture_path slug "trigger" ]))
       cases;
+    List.iter
+      (fun (slug, zone) ->
+        Alcotest.(check int)
+          (slug ^ " trigger fails the gate")
+          1
+          (run
+             [ "-q"; "--zone"; Zone.to_string zone; fixture_path slug "trigger" ]))
+      p_cases;
+    Alcotest.(check int) "cross-module trigger fails the gate" 1
+      (run
+         [
+           "-q"; "--zone"; "core"; Filename.concat fixtures_dir "xmod_trigger";
+         ]);
     List.iter
       (fun (stem, _slug, zone) ->
         Alcotest.(check int)
@@ -328,6 +463,14 @@ let suite =
         ])
       cases
     @ List.concat_map
+        (fun ((slug, _) as case) ->
+          [
+            Alcotest.test_case (slug ^ " trigger") `Quick (test_trigger case);
+            Alcotest.test_case (slug ^ " allowed") `Quick
+              (test_clean_allowed case);
+          ])
+        p_cases
+    @ List.concat_map
         (fun ((stem, _, _) as case) ->
           [
             Alcotest.test_case (stem ^ " trigger") `Quick
@@ -350,6 +493,9 @@ let suite =
       test_suppression_does_not_leak;
     Alcotest.test_case "parse error is a diagnostic" `Quick test_parse_error;
     Alcotest.test_case "json report shape" `Quick test_json_shape;
+    Alcotest.test_case "cross-module escape" `Quick test_cross_module_escape;
+    Alcotest.test_case "sarif report shape" `Quick test_sarif_shape;
+    Alcotest.test_case "cache invalidation" `Quick test_cache_invalidation;
     Alcotest.test_case "exit codes" `Quick test_exit_codes;
     Alcotest.test_case "every trigger fails the gate" `Quick
       test_exit_codes_all_triggers;
