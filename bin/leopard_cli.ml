@@ -48,8 +48,20 @@ let finish ~show_bugs (report : Leopard.Checker.report) =
     exit 1
   end
 
-(* Verify a previously recorded trace file (see Leopard_trace.Codec). *)
-let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
+(* Verify a previously recorded trace file (see Leopard_trace.Codec).
+
+   With [gc_watermark > 0] the pass runs in bounded memory: every N fed
+   traces the checker is truncated at the stream watermark (the sorted
+   file's own order is the watermark proof), and — when [checkpoint]
+   names a file — a full snapshot frame plus the trace cursor is
+   persisted.  [resume] restores the newest valid frame and continues
+   from its cursor; any damage to the checkpoint degrades to a fresh
+   full pass with a warning, never to a different verdict.
+   [kill_after] is the crash drill: SIGKILL (no cleanup) right after
+   trace N, so CI can prove kill + resume reproduces the uninterrupted
+   verdict byte-for-byte. *)
+let check_file ~dbms ~level ~show_bugs ~infer ~lenient ~gc_watermark
+    ~checkpoint ~resume ~kill_after path =
   let level =
     match Minidb.Isolation.level_of_string level with
     | Some l -> l
@@ -91,48 +103,146 @@ let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
       prerr_endline "no verification profile for this (dbms, level)";
       exit 2
   in
-  let checker = Leopard.Checker.create il in
   let sorted = List.sort Leopard_trace.Trace.compare_by_bef traces in
+  let total = List.length sorted in
   if infer then print_inference ~dbms sorted;
+  (* The fingerprint binds a checkpoint to this exact verification: the
+     profile, the checker-relevant flags, and the input file's identity
+     (size + head bytes).  Resuming anything else ignores the file. *)
+  let fingerprint =
+    let head =
+      match open_in_bin path with
+      | exception Sys_error _ -> ""
+      | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            really_input_string ic (min (in_channel_length ic) 4096))
+    in
+    Leopard_trace.Ckpt.fingerprint
+      [
+        "check"; il.Leopard.Il_profile.name;
+        (if lenient then "lenient" else "strict");
+        string_of_int gc_watermark; string_of_int total; head;
+      ]
+  in
+  let resumed =
+    match (resume, checkpoint) with
+    | false, _ | _, None -> None
+    | true, Some cpath -> (
+      let frame, warning = Leopard_trace.Ckpt.load ~path:cpath ~fingerprint in
+      Option.iter prerr_endline warning;
+      let reject why =
+        Printf.eprintf
+          "checkpoint %s: %s; starting verification from scratch\n" cpath why;
+        None
+      in
+      match frame with
+      | None -> None
+      | Some [] -> reject "empty snapshot frame"
+      | Some (cursor_line :: snapshot) -> (
+        match String.split_on_char '\t' cursor_line with
+        | [ "cursor"; n ] -> (
+          match int_of_string_opt n with
+          | Some cursor when cursor >= 0 && cursor <= total -> (
+            match Leopard.Checker.decode il snapshot with
+            | Ok checker -> Some (checker, cursor)
+            | Error msg -> reject (Printf.sprintf "snapshot rejected (%s)" msg))
+          | Some cursor ->
+            reject
+              (Printf.sprintf "cursor %d outside the %d-trace file" cursor
+                 total)
+          | None -> reject "unparseable cursor")
+        | _ -> reject "malformed cursor line"))
+  in
+  let checker, start_cursor =
+    match resumed with
+    | Some (checker, cursor) ->
+      Printf.printf "resumed  : trace %d/%d from checkpoint\n" cursor total;
+      (checker, cursor)
+    | None -> (Leopard.Checker.create il, 0)
+  in
+  (* Open the writer only after any resume load: [Ckpt.writer] truncates
+     the file, and each run rewrites it from its own first frame. *)
+  let ckpt_writer =
+    match checkpoint with
+    | Some cpath -> Some (Leopard_trace.Ckpt.writer ~path:cpath ~fingerprint)
+    | None -> None
+  in
   let wall0 = Leopard_util.Clock.wall () in
-  (* losses must be known before reads are checked, so a value whose
-     write may have been on a skipped line is not misreported as a bug *)
-  Leopard.Checker.note_lost_traces checker (List.length skipped);
-  (* epoch markers: restarts are free, recovery damage degrades *)
+  if start_cursor = 0 then begin
+    (* The pre-trace marks mutate checker state that a snapshot already
+       carries (loss tallies, ambiguity sets, failover strips), so they
+       are fed exactly once — by the fresh pass, never by a resume. *)
+    (* losses must be known before reads are checked, so a value whose
+       write may have been on a skipped line is not misreported as a bug *)
+    Leopard.Checker.note_lost_traces checker (List.length skipped);
+    (* epoch markers: restarts are free, recovery damage degrades *)
+    List.iter
+      (fun (m : Leopard_trace.Codec.epoch_mark) ->
+        Leopard.Checker.note_restart checker ~at:m.at ~replayed:m.replayed
+          ~damaged:m.damaged)
+      epochs;
+    (* ambiguous-commit marks must land before the traces they govern, or
+       the checker would treat the commit-less transaction as merely
+       unterminated instead of resolvable from later reads *)
+    List.iter
+      (fun (m : Leopard_trace.Codec.ambiguous_mark) ->
+        Leopard.Checker.mark_ambiguous_commit checker ~txn:m.txn)
+      ambiguous;
+    (* prepare markers with an unknown disposition are coordinator
+       ambiguity — a separate degradation channel from wire ambiguity,
+       fed before the traces for the same reason *)
+    List.iter
+      (fun (m : Leopard_trace.Codec.prepare_mark) ->
+        if m.disposition = Leopard_trace.Codec.Unknown then
+          Leopard.Checker.mark_coord_ambiguous checker ~txn:m.txn)
+      prepare_marks;
+    (* leader marks last among the marks: a commit that was both ambiguous
+       on the wire and lost at failover is lost — note_failover strips it
+       from the ambiguous (resolvable) set permanently *)
+    List.iter
+      (fun (m : Leopard_trace.Codec.leader_mark) ->
+        Leopard.Checker.note_failover checker ~at:m.at ~epoch:m.epoch
+          ~lost:m.lost)
+      leaders
+  end;
+  let consumed = ref 0 in
   List.iter
-    (fun (m : Leopard_trace.Codec.epoch_mark) ->
-      Leopard.Checker.note_restart checker ~at:m.at ~replayed:m.replayed
-        ~damaged:m.damaged)
-    epochs;
-  (* ambiguous-commit marks must land before the traces they govern, or
-     the checker would treat the commit-less transaction as merely
-     unterminated instead of resolvable from later reads *)
-  List.iter
-    (fun (m : Leopard_trace.Codec.ambiguous_mark) ->
-      Leopard.Checker.mark_ambiguous_commit checker ~txn:m.txn)
-    ambiguous;
-  (* prepare markers with an unknown disposition are coordinator
-     ambiguity — a separate degradation channel from wire ambiguity,
-     fed before the traces for the same reason *)
-  List.iter
-    (fun (m : Leopard_trace.Codec.prepare_mark) ->
-      if m.disposition = Leopard_trace.Codec.Unknown then
-        Leopard.Checker.mark_coord_ambiguous checker ~txn:m.txn)
-    prepare_marks;
-  (* leader marks last among the marks: a commit that was both ambiguous
-     on the wire and lost at failover is lost — note_failover strips it
-     from the ambiguous (resolvable) set permanently *)
-  List.iter
-    (fun (m : Leopard_trace.Codec.leader_mark) ->
-      Leopard.Checker.note_failover checker ~at:m.at ~epoch:m.epoch
-        ~lost:m.lost)
-    leaders;
-  List.iter (Leopard.Checker.feed checker) sorted;
+    (fun (trace : Leopard_trace.Trace.t) ->
+      incr consumed;
+      if !consumed > start_cursor then begin
+        Leopard.Checker.feed checker trace;
+        (* The file is globally sorted, so after feeding trace i every
+           remaining trace has ts_bef >= this one: its ts_bef IS the
+           watermark, the same Theorem 1 bound the online pipeline
+           computes across live sources. *)
+        if gc_watermark > 0 && !consumed mod gc_watermark = 0 then begin
+          Leopard.Checker.truncate checker ~watermark:trace.ts_bef;
+          Option.iter
+            (fun w ->
+              Leopard_trace.Ckpt.append w
+                (Printf.sprintf "cursor\t%d" !consumed
+                :: Leopard.Checker.encode checker))
+            ckpt_writer
+        end;
+        if kill_after > 0 && !consumed = kill_after then
+          (* the drill: die as a crashed machine would — no cleanup, no
+             flush, nothing but whatever the checkpoint already holds *)
+          Unix.kill (Unix.getpid ()) Sys.sigkill
+      end)
+    sorted;
   Leopard.Checker.finalize checker;
+  Option.iter Leopard_trace.Ckpt.close ckpt_writer;
   let wall = Leopard_util.Clock.wall () -. wall0 in
   let report = Leopard.Checker.report checker in
   Printf.printf "checked  : %s — %d traces, %d committed txns, %.1f ms wall\n"
     path report.traces report.committed (wall *. 1e3);
+  if gc_watermark > 0 then
+    Printf.printf
+      "truncate : %d cut(s), %d settled dep(s) folded into totals, peak %d \
+       live entries\n"
+      report.truncations report.truncated_deps report.peak_live;
   if epochs <> [] then
     Printf.printf "recovery : trace spans %d server restart(s), %d wal \
                    record(s) damaged\n"
@@ -179,8 +289,8 @@ let check_file ~dbms ~level ~show_bugs ~infer ~lenient path =
   finish ~show_bugs report
 
 let run_workload_mode workload dbms level faults clients txns seed show_bugs
-    record infer chaos net max_retries max_stall_ns (wal, crash_at, wal_faults)
-    repl shard =
+    record infer chaos net max_retries max_stall_ns ~gc_watermark ~checkpoint
+    (wal, crash_at, wal_faults) repl shard =
   match
     ( workload_of_string workload,
       Minidb.Profile.find dbms,
@@ -400,7 +510,11 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
     | Some _ ->
       (* chaotic collection: verify online so crashed clients release the
          watermark and in-flight transactions are marked indeterminate *)
-      let res = Leopard_harness.Online.run ~max_stall_ns ~il config in
+      let res =
+        Leopard_harness.Online.run ~max_stall_ns
+          ?gc_watermark:(if gc_watermark > 0 then Some gc_watermark else None)
+          ?checkpoint ~il config
+      in
       let outcome = res.Leopard_harness.Online.outcome in
       let report = res.Leopard_harness.Online.report in
       header outcome;
@@ -426,8 +540,11 @@ let run_workload_mode workload dbms level faults clients txns seed show_bugs
    chaos plane would have been off); configs are only built after every
    value passed. *)
 let run workload dbms level faults clients txns seed show_bugs record check
-    infer chaos_raw net_raw max_retries max_stall_ns lenient recovery_raw
-    repl_raw shard_raw =
+    infer chaos_raw net_raw max_retries max_stall_ns lenient ckpt_raw
+    recovery_raw repl_raw shard_raw =
+  let gc_watermark_v, check_checkpoint_v, resume_check_v, kill_after_v =
+    ckpt_raw
+  in
   let ( chaos_crash, chaos_drop, chaos_dup, chaos_delay, chaos_delay_ns,
         chaos_skew_ns, chaos_seed ) =
     chaos_raw
@@ -467,6 +584,14 @@ let run workload dbms level faults clients txns seed show_bugs record check
          non_negative ~flag:"--show-bugs" show_bugs;
          non_negative ~flag:"--max-retries" max_retries;
          positive ~flag:"--max-stall-ns" max_stall_ns;
+         checkpointing
+           {
+             gc_watermark = gc_watermark_v;
+             check_checkpoint = check_checkpoint_v <> None;
+             resume_check = resume_check_v;
+             kill_after = kill_after_v;
+             check_mode = check <> None;
+           };
          prob ~flag:"--chaos-crash" chaos_crash;
          prob ~flag:"--chaos-drop" chaos_drop;
          prob ~flag:"--chaos-dup" chaos_dup;
@@ -545,7 +670,10 @@ let run workload dbms level faults clients txns seed show_bugs record check
      exit 2
    | None -> ());
   match check with
-  | Some path -> check_file ~dbms ~level ~show_bugs ~infer ~lenient path
+  | Some path ->
+    check_file ~dbms ~level ~show_bugs ~infer ~lenient
+      ~gc_watermark:gc_watermark_v ~checkpoint:check_checkpoint_v
+      ~resume:resume_check_v ~kill_after:kill_after_v path
   | None ->
     let chaos =
       let cfg =
@@ -771,6 +899,7 @@ let run workload dbms level faults clients txns seed show_bugs record check
     in
     run_workload_mode workload dbms level faults clients txns seed show_bugs
       record infer chaos net max_retries max_stall_ns
+      ~gc_watermark:gc_watermark_v ~checkpoint:check_checkpoint_v
       (wal, crash_at, wal_faults)
       repl shard
 
@@ -840,6 +969,48 @@ let infer =
           "Additionally report, for every isolation level the --dbms \
            offers, whether the history supports that claim (level \
            inference).")
+
+let gc_watermark =
+  Arg.(
+    value & opt int 0
+    & info [ "gc-watermark" ] ~docv:"N"
+        ~doc:
+          "Bounded-memory verification: truncate the checker's mirrored \
+           state every N verified traces at the stream watermark, so \
+           memory stays proportional to the active window instead of the \
+           whole history.  Verdicts are unchanged.  0 disables (the \
+           default, full-history mode).")
+
+let check_checkpoint =
+  Arg.(
+    value & opt (some string) None
+    & info [ "check-checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Write a crash-safe checker snapshot to $(docv) after every \
+           truncation (requires --gc-watermark).  A verification killed \
+           mid-stream resumes from the last complete snapshot with \
+           --resume-check instead of restarting from trace zero.")
+
+let resume_check =
+  Arg.(
+    value & flag
+    & info [ "resume-check" ]
+        ~doc:
+          "With --check and --check-checkpoint: restore the checker from \
+           the newest valid snapshot frame and continue from its trace \
+           cursor.  A missing, foreign or damaged checkpoint degrades to \
+           a fresh full pass with a warning — the verdict is the same \
+           either way.")
+
+let check_kill_after =
+  Arg.(
+    value & opt int 0
+    & info [ "check-kill-after" ] ~docv:"N"
+        ~doc:
+          "Crash drill for the resume path: SIGKILL this process (no \
+           cleanup, no flush) immediately after verifying trace N, as a \
+           crashed machine would.  Pair with --resume-check on the next \
+           invocation to prove the verdict survives.  0 disables.")
 
 let chaos_crash =
   Arg.(
@@ -1835,12 +2006,18 @@ let campaign_cmd =
       $ campaign_max_cells $ campaign_no_shrink $ campaign_shrink_dir
       $ campaign_quiet)
 
+let ckpt_term =
+  let make a b c d = (a, b, c, d) in
+  Term.(
+    const make $ gc_watermark $ check_checkpoint $ resume_check
+    $ check_kill_after)
+
 let run_term =
   Term.(
     const run $ workload $ dbms $ level $ faults $ clients $ txns $ seed
     $ show_bugs $ record $ check $ infer $ chaos_term $ net_term
-    $ max_retries $ max_stall_ns $ lenient $ recovery_term $ repl_term
-    $ shard_term)
+    $ max_retries $ max_stall_ns $ lenient $ ckpt_term $ recovery_term
+    $ repl_term $ shard_term)
 
 let cmd =
   let doc = "verify isolation levels from client-side traces (Leopard)" in

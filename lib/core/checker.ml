@@ -79,6 +79,8 @@ type report = {
   pruned_locks : int;
   pruned_fuw : int;
   pruned_graph : int;
+  truncations : int;
+  truncated_deps : int;
   resolved_ambiguous : int;
   degradation : degradation;
 }
@@ -159,6 +161,12 @@ type t = {
   mutable finalized : bool;
   mutable dep_hook : (Dep.t -> unit) option;
   mech_counts : (Bug.mechanism, int) Hashtbl.t;
+  mutable truncations : int;
+  mutable truncated_deps : int;
+  forgotten_by_source : int array;
+      (* Dep.source_rank-indexed tallies of log entries folded away by
+         [truncate]; merged back into the report so truncated and
+         untruncated runs agree on deps_deduced *)
 }
 
 let max_stored_bugs = 10_000
@@ -214,6 +222,9 @@ let create ?(gc_every = 512) ?(narrow_candidates = true)
     finalized = false;
     dep_hook = None;
     mech_counts = Hashtbl.create 4;
+    truncations = 0;
+    truncated_deps = 0;
+    forgotten_by_source = Array.make (List.length Dep.all_sources) 0;
   }
 
 let set_dep_hook t f = t.dep_hook <- Some f
@@ -261,6 +272,7 @@ let live_size t =
   + Sc_verifier.nodes t.sc + Sc_verifier.edges t.sc
   + Leopard_util.Min_heap.length t.deferred
   + Hashtbl.length t.txns
+  + Dep.Log.count t.log
 
 (* ------------------------------------------------------------------ *)
 (* Dependency plumbing: log every deduction; forward to the certifier
@@ -785,8 +797,7 @@ let horizon t =
     h
     (Leopard_util.Min_heap.to_sorted_list t.deferred)
 
-let run_gc t =
-  let h = horizon t in
+let prune_to t h =
   t.pruned_versions <-
     t.pruned_versions + Version_order.prune t.versions ~horizon:h;
   t.pruned_locks <- t.pruned_locks + Me_verifier.prune t.me ~horizon:h;
@@ -810,6 +821,70 @@ let run_gc t =
       t.txns []
   in
   List.iter (Hashtbl.remove t.txns) victims
+
+let run_gc t = prune_to t (horizon t)
+
+(* ------------------------------------------------------------------ *)
+(* Truncation: fold the verified prefix into the compact summary.
+
+   [prune_to] already bounds the four mechanism mirrors, the deferred
+   heap and the transaction table; the one genuinely unbounded structure
+   left is the deduction log, whose entries are never removed because
+   [emit_dep] uses it to deduplicate re-deductions and [narrow] queries
+   ww edges between live chain versions.  Both uses only ever mention
+   transactions that appear in some live structure: a dependency can be
+   re-deduced only from live versions/readers/lock entries/FUW
+   entries/initial readers, and [narrow] only asks about live chain
+   versions.  So once a transaction has vanished from every live
+   structure, its log entries can be folded into accumulated tallies
+   and dropped — the summary keeps the counts (so reports agree with an
+   untruncated run) while the memory is reclaimed. *)
+
+let truncate t ~watermark =
+  let h = min watermark (horizon t) in
+  prune_to t h;
+  let retained = Hashtbl.create 1024 in
+  let keep id = Hashtbl.replace retained id () in
+  (* lint: allow hashtbl-order — building a membership set; commutative *)
+  Hashtbl.iter (fun id _ -> keep id) t.txns;
+  List.iter keep (Version_order.referenced_txns t.versions);
+  List.iter keep (Me_verifier.referenced_txns t.me);
+  List.iter keep (Fuw_verifier.referenced_txns t.fuw);
+  List.iter keep (Sc_verifier.referenced_txns t.sc);
+  (* lint: allow hashtbl-order — building a membership set; commutative *)
+  Cell.Tbl.iter (fun _ readers -> List.iter keep !readers) t.initial_readers;
+  List.iter
+    (fun pr -> keep pr.reader)
+    (Leopard_util.Min_heap.to_sorted_list t.deferred);
+  (* lint: allow hashtbl-order — building a membership set; commutative *)
+  Hashtbl.iter
+    (fun reader entries ->
+      keep reader;
+      List.iter (fun e -> keep e.a_writer) !entries)
+    t.awaiting;
+  (* marked transactions can still be promoted (outcome resolution) or
+     re-queried; their ids stay in the open sets of the summary *)
+  List.iter
+    (fun ids ->
+      (* lint: allow hashtbl-order — building a membership set; commutative *)
+      Hashtbl.iter (fun id () -> keep id) ids)
+    [ t.indeterminate_ids; t.ambiguous_ids; t.resolved_ids; t.lost_ids;
+      t.coord_ids ];
+  (* lint: allow hashtbl-order — building a membership set; commutative *)
+  Cell.Tbl.iter
+    (fun _ entries -> List.iter (fun (_, id) -> keep id) !entries)
+    t.indeterminate_values;
+  List.iter
+    (fun id ->
+      if not (Hashtbl.mem retained id) then
+        List.iter
+          (fun (d : Dep.t) ->
+            t.truncated_deps <- t.truncated_deps + 1;
+            let r = Dep.source_rank d.source in
+            t.forgotten_by_source.(r) <- t.forgotten_by_source.(r) + 1)
+          (Dep.Log.take_txn t.log id))
+    (Dep.Log.txns t.log);
+  t.truncations <- t.truncations + 1
 
 (* ------------------------------------------------------------------ *)
 (* Trace handlers *)
@@ -1171,8 +1246,15 @@ let report t =
       List.sort
         (fun (ma, _) (mb, _) -> Bug.compare_mechanism ma mb)
         (Hashtbl.fold (fun m n acc -> (m, n) :: acc) t.mech_counts []);
-    deps_deduced = Dep.Log.count t.log;
-    deduced_by_source = Dep.Log.by_source t.log;
+    deps_deduced = Dep.Log.count t.log + t.truncated_deps;
+    deduced_by_source =
+      (let live = Dep.Log.by_source t.log in
+       List.filter_map
+         (fun s ->
+           let l = Option.value ~default:0 (List.assoc_opt s live) in
+           let n = l + t.forgotten_by_source.(Dep.source_rank s) in
+           if n = 0 then None else Some (s, n))
+         Dep.all_sources);
     reads_checked = t.reads_checked;
     peak_live = t.peak_live;
     final_live = live_size t;
@@ -1180,6 +1262,8 @@ let report t =
     pruned_locks = t.pruned_locks;
     pruned_fuw = t.pruned_fuw;
     pruned_graph = t.pruned_graph;
+    truncations = t.truncations;
+    truncated_deps = t.truncated_deps;
     resolved_ambiguous = Hashtbl.length t.resolved_ids;
     degradation = degradation t;
   }
@@ -1223,3 +1307,595 @@ let verdict (r : report) =
   if r.bugs_total > 0 then Violation
   else if degradation_free r.degradation then Verified
   else Inconclusive (degradation_reason r.degradation)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint codec: serialize the full live state (compact after
+   [truncate]) as tagged, tab-separated lines, deterministically — every
+   hashtable is dumped in a sorted order, every semantically ordered
+   list (chain order, lock-entry order, pending deps, deferred heap,
+   reader lists) keeps its exact order, so a decoded checker replays the
+   remaining stream byte-identically to an uninterrupted run.  The
+   surrounding container (framing, checksums, fingerprint) is
+   [Leopard_trace.Ckpt]'s job; here a malformed line is simply an
+   [Error]. *)
+
+let status_code = function
+  | Active -> "active"
+  | Committed -> "committed"
+  | Aborted -> "aborted"
+  | Indeterminate -> "indeterminate"
+
+let status_of_code = function
+  | "active" -> Active
+  | "committed" -> Committed
+  | "aborted" -> Aborted
+  | "indeterminate" -> Indeterminate
+  | s -> failwith ("Checker: unknown status " ^ s)
+
+let mechanism_of_string = function
+  | "CR" -> Bug.Cr
+  | "ME" -> Bug.Me
+  | "FUW" -> Bug.Fuw
+  | "SC" -> Bug.Sc
+  | s -> failwith ("Checker: unknown mechanism " ^ s)
+
+let anomaly_of_string s =
+  match List.find_opt (fun a -> String.equal (Anomaly.to_string a) s) Anomaly.all with
+  | Some a -> a
+  | None -> failwith ("Checker: unknown anomaly " ^ s)
+
+let iv_fields iv =
+  Printf.sprintf "%d\t%d" (Interval.bef iv) (Interval.aft iv)
+
+let opt_iv_fields = function Some iv -> iv_fields iv | None -> "-\t-"
+
+let parse_iv b a = Interval.make ~bef:(int_of_string b) ~aft:(int_of_string a)
+
+let parse_opt_iv b a =
+  match (b, a) with "-", "-" -> None | b, a -> Some (parse_iv b a)
+
+let encode t =
+  let buf = ref [] in
+  let line s = buf := s :: !buf in
+  line
+    (Printf.sprintf "h\t%s\t%d\t%b\t%b" t.profile.Il_profile.name t.gc_every
+       t.narrow_candidates t.relaxed_reads);
+  line
+    (String.concat "\t"
+       ("s"
+       :: List.map string_of_int
+            [
+              t.frontier; t.dedup_ts; t.traces; t.committed; t.aborted;
+              t.bugs_total; t.reads_checked; t.peak_live; t.pruned_versions;
+              t.pruned_locks; t.pruned_fuw; t.pruned_graph; t.dup_dropped;
+              t.inconclusive_reads; t.ext_crashed_clients; t.ext_late_dropped;
+              t.ext_lost; t.ext_restarts; t.ext_recovery_lost; t.ext_failovers;
+              t.ext_lost_commits;
+              (if t.finalized then 1 else 0);
+              t.truncations; t.truncated_deps;
+            ]));
+  line
+    ("fs\t"
+    ^ String.concat "\t"
+        (List.map string_of_int (Array.to_list t.forgotten_by_source)));
+  Hashtbl.fold (fun m n acc -> (m, n) :: acc) t.mech_counts []
+  |> List.sort (fun (a, _) (b, _) -> Bug.compare_mechanism a b)
+  |> List.iter (fun (m, n) ->
+         line (Printf.sprintf "mc\t%s\t%d" (Bug.mechanism_to_string m) n));
+  List.iter
+    (fun (b : Bug.t) ->
+      line
+        (Printf.sprintf "b\t%s\t%s\t%s\t%s\t%s\t%s"
+           (Bug.mechanism_to_string b.mechanism)
+           (match b.anomaly with Some a -> Anomaly.to_string a | None -> "-")
+           (String.concat "," (List.map string_of_int b.txns))
+           (match b.cell with
+           | Some (c : Cell.t) ->
+             Printf.sprintf "%d,%d,%d" c.Cell.table c.Cell.row c.Cell.col
+           | None -> "-")
+           (match b.row with
+           | Some (tb, r) -> Printf.sprintf "%d,%d" tb r
+           | None -> "-")
+           (String.escaped b.detail)))
+    (List.rev t.bugs);
+  Hashtbl.fold (fun _ v acc -> v :: acc) t.txns []
+  |> List.sort (fun a b -> Int.compare a.vid b.vid)
+  |> List.iter (fun v ->
+         line
+           (Printf.sprintf "x\t%d\t%s\t%s\t%s" v.vid (status_code v.vstatus)
+              (opt_iv_fields v.first_iv)
+              (opt_iv_fields v.terminal_iv));
+         List.iter
+           (fun (cell : Cell.t) ->
+             match Cell.Tbl.find_opt v.writes cell with
+             | Some (value, iv) ->
+               line
+                 (Printf.sprintf "xw\t%d\t%d\t%d\t%d\t%d\t%s" v.vid
+                    cell.Cell.table cell.Cell.row cell.Cell.col value
+                    (iv_fields iv))
+             | None -> ())
+           (List.rev v.write_cells);
+         List.iter
+           (fun (d : Dep.t) ->
+             line
+               (Printf.sprintf "xd\t%d\t%s\t%d\t%d\t%s" v.vid
+                  (Dep.kind_to_string d.kind)
+                  d.from_txn d.to_txn
+                  (Dep.source_to_string d.source)))
+           v.pending_deps);
+  List.iter
+    (fun pr ->
+      line
+        (Printf.sprintf "df\t%d\t%s\t%s\t%s" pr.reader (iv_fields pr.read_iv)
+           (iv_fields pr.snapshot_iv)
+           (String.concat ";"
+              (List.map
+                 (fun ((c : Cell.t), v) ->
+                   Printf.sprintf "%d,%d,%d,%d" c.Cell.table c.Cell.row
+                     c.Cell.col v)
+                 pr.items))))
+    (Leopard_util.Min_heap.to_sorted_list t.deferred);
+  Cell.Tbl.fold (fun cell r acc -> (cell, !r) :: acc) t.initial_readers []
+  |> List.sort (fun (a, _) (b, _) -> Cell.compare a b)
+  |> List.iter (fun ((c : Cell.t), readers) ->
+         line
+           (Printf.sprintf "ir\t%d\t%d\t%d\t%s" c.Cell.table c.Cell.row
+              c.Cell.col
+              (String.concat "," (List.map string_of_int readers))));
+  Cell.Tbl.fold (fun cell r acc -> (cell, !r) :: acc) t.aborted_values []
+  |> List.sort (fun (a, _) (b, _) -> Cell.compare a b)
+  |> List.iter (fun ((c : Cell.t), entries) ->
+         line
+           (Printf.sprintf "av\t%d\t%d\t%d\t%s" c.Cell.table c.Cell.row
+              c.Cell.col
+              (String.concat ";"
+                 (List.map
+                    (fun (value, txn, aft) ->
+                      Printf.sprintf "%d,%d,%d" value txn aft)
+                    entries))));
+  Cell.Tbl.fold (fun cell r acc -> (cell, !r) :: acc) t.indeterminate_values []
+  |> List.sort (fun (a, _) (b, _) -> Cell.compare a b)
+  |> List.iter (fun ((c : Cell.t), entries) ->
+         line
+           (Printf.sprintf "nv\t%d\t%d\t%d\t%s" c.Cell.table c.Cell.row
+              c.Cell.col
+              (String.concat ";"
+                 (List.map
+                    (fun (value, txn) -> Printf.sprintf "%d,%d" value txn)
+                    entries))));
+  let id_set name ids =
+    let sorted =
+      Hashtbl.fold (fun id () acc -> id :: acc) ids []
+      |> List.sort Int.compare
+    in
+    line
+      (Printf.sprintf "id\t%s\t%s" name
+         (String.concat "," (List.map string_of_int sorted)))
+  in
+  id_set "indeterminate" t.indeterminate_ids;
+  id_set "ambiguous" t.ambiguous_ids;
+  id_set "resolved" t.resolved_ids;
+  id_set "lost" t.lost_ids;
+  id_set "coord" t.coord_ids;
+  Hashtbl.fold (fun reader entries acc -> (reader, !entries) :: acc) t.awaiting []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.iter (fun (reader, entries) ->
+         line
+           (Printf.sprintf "aw\t%d\t%s" reader
+              (String.concat ";"
+                 (List.map
+                    (fun e ->
+                      Printf.sprintf "%d,%d,%d,%d,%d,%d,%d,%d,%d"
+                        e.a_cell.Cell.table e.a_cell.Cell.row e.a_cell.Cell.col
+                        e.a_value e.a_writer (Interval.bef e.a_read_iv)
+                        (Interval.aft e.a_read_iv)
+                        (Interval.bef e.a_snapshot_iv)
+                        (Interval.aft e.a_snapshot_iv))
+                    entries))));
+  Hashtbl.fold
+    (fun _ tr acc -> Leopard_trace.Codec.to_line tr :: acc)
+    t.dedup_seen []
+  |> List.sort String.compare
+  |> List.iter (fun l -> line ("du\t" ^ l));
+  List.iter (fun l -> line ("vo\t" ^ l)) (Version_order.dump t.versions);
+  List.iter (fun l -> line ("me\t" ^ l)) (Me_verifier.dump t.me);
+  List.iter (fun l -> line ("fw\t" ^ l)) (Fuw_verifier.dump t.fuw);
+  List.iter (fun l -> line ("sc\t" ^ l)) (Sc_verifier.dump t.sc);
+  List.iter
+    (fun (d : Dep.t) ->
+      line
+        (Printf.sprintf "dl\t%s\t%d\t%d\t%s"
+           (Dep.kind_to_string d.kind)
+           d.from_txn d.to_txn
+           (Dep.source_to_string d.source)))
+    (Dep.Log.entries t.log);
+  List.rev !buf
+
+let split_tag line =
+  match String.index_opt line '\t' with
+  | None -> (line, "")
+  | Some i ->
+    (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+
+let parse_cell tb r c =
+  Cell.make ~table:(int_of_string tb) ~row:(int_of_string r)
+    ~col:(int_of_string c)
+
+let decode ?(gc_every = 512) ?(narrow_candidates = true)
+    ?(relaxed_reads = false) (profile : Il_profile.t) lines =
+  try
+    let header = ref None and scalars = ref None and forgotten = ref None in
+    let mech = ref [] and bugs = ref [] in
+    let txn_lines = ref [] and write_lines = ref [] and dep_lines = ref [] in
+    let deferred_lines = ref [] and ir_lines = ref [] in
+    let av_lines = ref [] and nv_lines = ref [] in
+    let id_lines = ref [] and aw_lines = ref [] and du_lines = ref [] in
+    let vo_lines = ref [] and me_lines = ref [] in
+    let fw_lines = ref [] and sc_lines = ref [] and dl_lines = ref [] in
+    List.iter
+      (fun line ->
+        let tag, rest = split_tag line in
+        let push r = r := rest :: !r in
+        match tag with
+        | "h" -> header := Some rest
+        | "s" -> scalars := Some rest
+        | "fs" -> forgotten := Some rest
+        | "mc" -> push mech
+        | "b" -> push bugs
+        | "x" -> push txn_lines
+        | "xw" -> push write_lines
+        | "xd" -> push dep_lines
+        | "df" -> push deferred_lines
+        | "ir" -> push ir_lines
+        | "av" -> push av_lines
+        | "nv" -> push nv_lines
+        | "id" -> push id_lines
+        | "aw" -> push aw_lines
+        | "du" -> push du_lines
+        | "vo" -> push vo_lines
+        | "me" -> push me_lines
+        | "fw" -> push fw_lines
+        | "sc" -> push sc_lines
+        | "dl" -> push dl_lines
+        | tag -> failwith ("Checker.decode: unknown record tag " ^ tag))
+      lines;
+    let in_order r = List.rev !r in
+    (match !header with
+    | None -> failwith "Checker.decode: missing header record"
+    | Some h -> (
+      match String.split_on_char '\t' h with
+      | [ name; ck_gc; ck_narrow; ck_relaxed ] ->
+        if not (String.equal name profile.Il_profile.name) then
+          failwith
+            (Printf.sprintf
+               "Checker.decode: checkpoint was written for profile %s, not %s"
+               name profile.Il_profile.name);
+        if
+          int_of_string ck_gc <> gc_every
+          || bool_of_string ck_narrow <> narrow_candidates
+          || bool_of_string ck_relaxed <> relaxed_reads
+        then
+          failwith
+            "Checker.decode: checkpoint was written under different checker \
+             flags"
+      | _ -> failwith "Checker.decode: malformed header record"));
+    let txns = Hashtbl.create 4096 in
+    List.iter
+      (fun rest ->
+        match String.split_on_char '\t' rest with
+        | [ vid; status; fb; fa; tb; ta ] ->
+          let vid = int_of_string vid in
+          Hashtbl.replace txns vid
+            {
+              vid;
+              first_iv = parse_opt_iv fb fa;
+              terminal_iv = parse_opt_iv tb ta;
+              vstatus = status_of_code status;
+              writes = Cell.Tbl.create 8;
+              write_cells = [];
+              pending_deps = [];
+            }
+        | _ -> failwith "Checker.decode: malformed transaction record")
+      (in_order txn_lines);
+    let find_txn vid =
+      match Hashtbl.find_opt txns (int_of_string vid) with
+      | Some v -> v
+      | None -> failwith "Checker.decode: record references unknown transaction"
+    in
+    List.iter
+      (fun rest ->
+        match String.split_on_char '\t' rest with
+        | [ vid; tb; r; c; value; ib; ia ] ->
+          let v = find_txn vid in
+          let cell = parse_cell tb r c in
+          if not (Cell.Tbl.mem v.writes cell) then
+            v.write_cells <- cell :: v.write_cells;
+          Cell.Tbl.replace v.writes cell (int_of_string value, parse_iv ib ia)
+        | _ -> failwith "Checker.decode: malformed write record")
+      (in_order write_lines);
+    let pending = Hashtbl.create 16 in
+    List.iter
+      (fun rest ->
+        match String.split_on_char '\t' rest with
+        | [ vid; kind; from_txn; to_txn; source ] ->
+          let v = find_txn vid in
+          let d =
+            {
+              Dep.kind = Dep.kind_of_string kind;
+              from_txn = int_of_string from_txn;
+              to_txn = int_of_string to_txn;
+              source = Dep.source_of_string source;
+            }
+          in
+          let r =
+            match Hashtbl.find_opt pending v.vid with
+            | Some r -> r
+            | None ->
+              let r = ref [] in
+              Hashtbl.replace pending v.vid r;
+              r
+          in
+          r := d :: !r
+        | _ -> failwith "Checker.decode: malformed pending-dep record")
+      (in_order dep_lines);
+    (* lint: allow hashtbl-order — each binding updates its own txn *)
+    Hashtbl.iter
+      (fun vid deps ->
+        match Hashtbl.find_opt txns vid with
+        | Some v -> v.pending_deps <- List.rev !deps
+        | None -> ())
+      pending;
+    let deferred =
+      Leopard_util.Min_heap.create ~compare:(fun a b ->
+          Int.compare (Interval.aft a.read_iv) (Interval.aft b.read_iv))
+    in
+    List.iter
+      (fun rest ->
+        match String.split_on_char '\t' rest with
+        | [ reader; rb; ra; sb; sa; items ] ->
+          let items =
+            if items = "" then []
+            else
+              List.map
+                (fun part ->
+                  match String.split_on_char ',' part with
+                  | [ tb; r; c; value ] ->
+                    (parse_cell tb r c, int_of_string value)
+                  | _ -> failwith "Checker.decode: malformed read item")
+                (String.split_on_char ';' items)
+          in
+          Leopard_util.Min_heap.push deferred
+            {
+              reader = int_of_string reader;
+              read_iv = parse_iv rb ra;
+              snapshot_iv = parse_iv sb sa;
+              items;
+            }
+        | _ -> failwith "Checker.decode: malformed deferred-read record")
+      (in_order deferred_lines);
+    let cell_list_table lines parse_entry =
+      let table = Cell.Tbl.create 64 in
+      List.iter
+        (fun rest ->
+          match String.split_on_char '\t' rest with
+          | [ tb; r; c; entries ] ->
+            let entries =
+              if entries = "" then []
+              else List.map parse_entry (String.split_on_char ';' entries)
+            in
+            Cell.Tbl.replace table (parse_cell tb r c) (ref entries)
+          | _ -> failwith "Checker.decode: malformed per-cell record")
+        lines;
+      table
+    in
+    (* reader lists are comma-separated ints, not ';' entries *)
+    let initial_readers = Cell.Tbl.create 64 in
+    List.iter
+      (fun rest ->
+        match String.split_on_char '\t' rest with
+        | [ tb; r; c; readers ] ->
+          let readers =
+            if readers = "" then []
+            else List.map int_of_string (String.split_on_char ',' readers)
+          in
+          Cell.Tbl.replace initial_readers (parse_cell tb r c) (ref readers)
+        | _ -> failwith "Checker.decode: malformed initial-reader record")
+      (in_order ir_lines);
+    let aborted_values =
+      cell_list_table (in_order av_lines) (fun part ->
+          match String.split_on_char ',' part with
+          | [ value; txn; aft ] ->
+            (int_of_string value, int_of_string txn, int_of_string aft)
+          | _ -> failwith "Checker.decode: malformed aborted-value entry")
+    in
+    let indeterminate_values =
+      cell_list_table (in_order nv_lines) (fun part ->
+          match String.split_on_char ',' part with
+          | [ value; txn ] -> (int_of_string value, int_of_string txn)
+          | _ -> failwith "Checker.decode: malformed indeterminate-value entry")
+    in
+    let sets = Hashtbl.create 8 in
+    List.iter
+      (fun rest ->
+        match String.split_on_char '\t' rest with
+        | [ name; ids ] ->
+          let table = Hashtbl.create 8 in
+          if ids <> "" then
+            List.iter
+              (fun id -> Hashtbl.replace table (int_of_string id) ())
+              (String.split_on_char ',' ids);
+          Hashtbl.replace sets name table
+        | _ -> failwith "Checker.decode: malformed id-set record")
+      (in_order id_lines);
+    let id_set name =
+      match Hashtbl.find_opt sets name with
+      | Some table -> table
+      | None -> Hashtbl.create 8
+    in
+    let awaiting = Hashtbl.create 8 in
+    List.iter
+      (fun rest ->
+        match String.split_on_char '\t' rest with
+        | [ reader; entries ] ->
+          let entries =
+            if entries = "" then []
+            else
+              List.map
+                (fun part ->
+                  match String.split_on_char ',' part with
+                  | [ tb; r; c; value; writer; rb; ra; sb; sa ] ->
+                    {
+                      a_cell = parse_cell tb r c;
+                      a_value = int_of_string value;
+                      a_writer = int_of_string writer;
+                      a_read_iv = parse_iv rb ra;
+                      a_snapshot_iv = parse_iv sb sa;
+                    }
+                  | _ -> failwith "Checker.decode: malformed awaiting entry")
+                (String.split_on_char ';' entries)
+          in
+          Hashtbl.replace awaiting (int_of_string reader) (ref entries)
+        | _ -> failwith "Checker.decode: malformed awaiting record")
+      (in_order aw_lines);
+    let dedup_seen = Hashtbl.create 64 in
+    List.iter
+      (fun rest ->
+        match Leopard_trace.Codec.of_line rest with
+        | Ok (Some tr) ->
+          Hashtbl.replace dedup_seen
+            (tr.Trace.client, tr.Trace.txn, tr.Trace.ts_bef)
+            tr
+        | Ok None -> failwith "Checker.decode: dedup record is a marker line"
+        | Error e -> failwith ("Checker.decode: " ^ e))
+      (in_order du_lines);
+    let log = Dep.Log.create () in
+    List.iter
+      (fun rest ->
+        match String.split_on_char '\t' rest with
+        | [ kind; from_txn; to_txn; source ] ->
+          ignore
+            (Dep.Log.add log
+               {
+                 Dep.kind = Dep.kind_of_string kind;
+                 from_txn = int_of_string from_txn;
+                 to_txn = int_of_string to_txn;
+                 source = Dep.source_of_string source;
+               })
+        | _ -> failwith "Checker.decode: malformed dep-log record")
+      (in_order dl_lines);
+    let mech_counts = Hashtbl.create 4 in
+    List.iter
+      (fun rest ->
+        match String.split_on_char '\t' rest with
+        | [ m; n ] ->
+          Hashtbl.replace mech_counts (mechanism_of_string m) (int_of_string n)
+        | _ -> failwith "Checker.decode: malformed mechanism-count record")
+      (in_order mech);
+    let bugs_list =
+      List.map
+        (fun rest ->
+          match String.split_on_char '\t' rest with
+          | [ m; anomaly; txns; cell; row; detail ] ->
+            {
+              Bug.mechanism = mechanism_of_string m;
+              anomaly =
+                (if anomaly = "-" then None else Some (anomaly_of_string anomaly));
+              txns =
+                (if txns = "" then []
+                 else List.map int_of_string (String.split_on_char ',' txns));
+              cell =
+                (if cell = "-" then None
+                 else
+                   match String.split_on_char ',' cell with
+                   | [ tb; r; c ] -> Some (parse_cell tb r c)
+                   | _ -> failwith "Checker.decode: malformed bug cell");
+              row =
+                (if row = "-" then None
+                 else
+                   match String.split_on_char ',' row with
+                   | [ tb; r ] -> Some (int_of_string tb, int_of_string r)
+                   | _ -> failwith "Checker.decode: malformed bug row");
+              detail = Scanf.unescaped detail;
+            }
+          | _ -> failwith "Checker.decode: malformed bug record")
+        (in_order bugs)
+    in
+    let forgotten_by_source =
+      match !forgotten with
+      | None -> failwith "Checker.decode: missing truncation-tally record"
+      | Some rest ->
+        let fields = String.split_on_char '\t' rest in
+        if List.length fields <> List.length Dep.all_sources then
+          failwith "Checker.decode: malformed truncation-tally record";
+        Array.of_list (List.map int_of_string fields)
+    in
+    match !scalars with
+    | None -> failwith "Checker.decode: missing scalar record"
+    | Some rest -> (
+      match List.map int_of_string (String.split_on_char '\t' rest) with
+      | [
+       frontier; dedup_ts; traces; committed; aborted; bugs_total;
+       reads_checked; peak_live; pruned_versions; pruned_locks; pruned_fuw;
+       pruned_graph; dup_dropped; inconclusive_reads; ext_crashed_clients;
+       ext_late_dropped; ext_lost; ext_restarts; ext_recovery_lost;
+       ext_failovers; ext_lost_commits; finalized; truncations; truncated_deps;
+      ] ->
+        Ok
+          {
+            profile;
+            gc_every;
+            narrow_candidates;
+            relaxed_reads;
+            versions = Version_order.restore (in_order vo_lines);
+            me = Me_verifier.restore (in_order me_lines);
+            fuw = Fuw_verifier.restore (in_order fw_lines);
+            sc =
+              Sc_verifier.restore profile.Il_profile.check_sc
+                (in_order sc_lines);
+            log;
+            txns;
+            deferred;
+            initial_readers;
+            aborted_values;
+            indeterminate_ids = id_set "indeterminate";
+            indeterminate_values;
+            ambiguous_ids = id_set "ambiguous";
+            resolved_ids = id_set "resolved";
+            lost_ids = id_set "lost";
+            coord_ids = id_set "coord";
+            awaiting;
+            dedup_seen;
+            dedup_ts;
+            frontier;
+            traces;
+            committed;
+            aborted;
+            bugs_total;
+            bugs = List.rev bugs_list;
+            reads_checked;
+            peak_live;
+            pruned_versions;
+            pruned_locks;
+            pruned_fuw;
+            pruned_graph;
+            dup_dropped;
+            inconclusive_reads;
+            ext_crashed_clients;
+            ext_late_dropped;
+            ext_lost;
+            ext_restarts;
+            ext_recovery_lost;
+            ext_failovers;
+            ext_lost_commits;
+            finalized = finalized <> 0;
+            dep_hook = None;
+            mech_counts;
+            truncations;
+            truncated_deps;
+            forgotten_by_source;
+          }
+      | _ -> failwith "Checker.decode: malformed scalar record")
+  with
+  | Failure msg -> Error msg
+  | Invalid_argument msg -> Error msg
+  | Scanf.Scan_failure msg -> Error msg

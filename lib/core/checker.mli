@@ -69,6 +69,22 @@ val finalize : t -> unit
 (** Flush deferred read checks and run a last pruning pass.  Must be
     called once after the final trace. *)
 
+val truncate : t -> watermark:int -> unit
+(** Fold the verified prefix into the compact summary.  [watermark] is
+    the pipeline's progress proof ({!Pipeline.watermark}): every trace
+    not yet dispatched has [ts_bef >= watermark].  The checker prunes
+    all four mechanism mirrors at [min watermark (internal horizon)]
+    exactly as periodic gc does, then additionally folds deduction-log
+    entries whose transactions no longer appear in {e any} live
+    structure into accumulated per-source tallies — the one structure
+    periodic gc never bounds.  Folded counts are merged back into
+    {!report.deps_deduced} / {!report.deduced_by_source}, so a
+    truncated run reports the same totals as an untruncated one; open
+    ambiguous/lost/indeterminate sets, degradation counters and stored
+    bugs are always retained.  After a truncation, {!live_size} is
+    O(window): bounded by the state reachable from live transactions.
+    Safe to call at any dispatch point, any number of times. *)
+
 val mark_indeterminate : t -> txn:int -> unit
 (** Declare that [txn]'s commit outcome is unknowable from the trace
     stream (its client crashed with the transaction in flight — the
@@ -197,12 +213,17 @@ type report = {
   reads_checked : int;
   peak_live : int;  (** high-water mark of mirrored-state size (versions +
                         locks + FUW entries + graph nodes/edges + deferred
-                        reads + live transactions) — the memory metric *)
+                        reads + live transactions + deduction-log entries)
+                        — the memory metric *)
   final_live : int;
   pruned_versions : int;
   pruned_locks : int;
   pruned_fuw : int;
   pruned_graph : int;
+  truncations : int;  (** {!truncate} calls *)
+  truncated_deps : int;
+      (** deduction-log entries folded into tallies by {!truncate};
+          already included in [deps_deduced] *)
   resolved_ambiguous : int;
       (** ambiguous commits promoted to definitely-committed by a later
           committed read observing their writes *)
@@ -232,3 +253,24 @@ val live_size : t -> int
 val set_dep_hook : t -> (Dep.t -> unit) -> unit
 (** Subscribe to every fresh deduction (used by the naive cycle-search
     baseline to obtain the same dependencies Leopard deduces). *)
+
+val encode : t -> string list
+(** Serialize the full live state as tagged, tab-separated lines —
+    deterministic (hashtables are dumped sorted; semantically ordered
+    lists keep their exact order), so feeding the same remaining stream
+    to a decoded checker reproduces an uninterrupted run's report
+    field-for-field.  Call after {!truncate} for a compact image.  The
+    dep hook is not serialized. *)
+
+val decode :
+  ?gc_every:int ->
+  ?narrow_candidates:bool ->
+  ?relaxed_reads:bool ->
+  Il_profile.t ->
+  string list ->
+  (t, string) result
+(** Rebuild a checker from {!encode} output.  The profile and flags
+    must match the ones the checkpoint was written under ([Error]
+    otherwise — resuming under different rules would silently change
+    the verdict); any malformed record is an [Error], never a partially
+    restored checker. *)

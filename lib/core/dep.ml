@@ -2,6 +2,12 @@ type kind = Ww | Wr | Rw
 
 let kind_to_string = function Ww -> "ww" | Wr -> "wr" | Rw -> "rw"
 
+let kind_of_string = function
+  | "ww" -> Ww
+  | "wr" -> Wr
+  | "rw" -> Rw
+  | s -> failwith ("Dep.kind_of_string: " ^ s)
+
 type source =
   | Direct
   | From_cr
@@ -17,6 +23,14 @@ let source_to_string = function
   | From_fuw -> "fuw"
   | From_version_order -> "version-order"
   | Derived_rw -> "derived-rw"
+
+let all_sources =
+  [ Direct; From_cr; From_me; From_fuw; From_version_order; Derived_rw ]
+
+let source_of_string s =
+  match List.find_opt (fun src -> String.equal (source_to_string src) s) all_sources with
+  | Some src -> src
+  | None -> failwith ("Dep.source_of_string: " ^ s)
 
 (* declaration order; pins the report ordering of [Log.by_source] *)
 let source_rank = function
@@ -78,4 +92,37 @@ module Log = struct
     | Some keys ->
       Hashtbl.remove t.by_txn txn;
       List.iter (Hashtbl.remove t.entries) keys
+
+  let txns t =
+    Hashtbl.fold (fun txn _ acc -> txn :: acc) t.by_txn []
+    |> List.sort_uniq Int.compare
+
+  let take_txn t txn =
+    match Hashtbl.find_opt t.by_txn txn with
+    | None -> []
+    | Some keys ->
+      Hashtbl.remove t.by_txn txn;
+      List.filter_map
+        (fun key ->
+          match Hashtbl.find_opt t.entries key with
+          | None -> None
+          | Some d ->
+            Hashtbl.remove t.entries key;
+            Some d)
+        keys
+
+  let kind_rank = function Ww -> 0 | Wr -> 1 | Rw -> 2
+
+  let entries t =
+    Hashtbl.fold (fun _ d acc -> d :: acc) t.entries []
+    |> List.sort (fun a b ->
+           let c = Int.compare (kind_rank a.kind) (kind_rank b.kind) in
+           if c <> 0 then c
+           else
+             let c = Int.compare a.from_txn b.from_txn in
+             if c <> 0 then c
+             else
+               let c = Int.compare a.to_txn b.to_txn in
+               if c <> 0 then c
+               else Int.compare (source_rank a.source) (source_rank b.source))
 end

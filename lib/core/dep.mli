@@ -12,6 +12,9 @@ type kind = Ww | Wr | Rw
 
 val kind_to_string : kind -> string
 
+val kind_of_string : string -> kind
+(** Inverse of {!kind_to_string}; raises [Failure] on unknown input. *)
+
 type source =
   | Direct  (** non-overlapping intervals: Fig. 3(a) *)
   | From_cr  (** unique candidate match (§V-A) *)
@@ -21,6 +24,16 @@ type source =
   | Derived_rw  (** wr + version order (Fig. 9) *)
 
 val source_to_string : source -> string
+
+val source_of_string : string -> source
+(** Inverse of {!source_to_string}; raises [Failure] on unknown input. *)
+
+val all_sources : source list
+(** Every source, in declaration (report) order. *)
+
+val source_rank : source -> int
+(** Position in {!all_sources} — indexes the checker's per-source
+    truncation tallies. *)
 
 type t = { kind : kind; from_txn : int; to_txn : int; source : source }
 
@@ -41,4 +54,17 @@ module Log : sig
 
   val forget_txn : t -> int -> unit
   (** Drop log entries touching a garbage-collected transaction. *)
+
+  val txns : t -> int list
+  (** Sorted list of transaction ids with at least one logged edge. *)
+
+  val take_txn : t -> int -> dep list
+  (** [forget_txn] that also returns the removed deductions, so a
+      truncating checker can fold them into accumulated tallies before
+      the memory is reclaimed. *)
+
+  val entries : t -> dep list
+  (** All logged deductions in a canonical (kind, from, to, source)
+      order — deterministic regardless of insertion history, for
+      checkpoint serialization. *)
 end

@@ -43,6 +43,65 @@ let register t ~row entry ~on_pair =
 
 let live_entries t = t.live
 
+let referenced_txns t =
+  Hashtbl.fold
+    (fun _ entries acc ->
+      List.fold_left (fun acc e -> e.ftxn :: acc) acc !entries)
+    t.rows []
+  |> List.sort_uniq Int.compare
+
+(* Checkpoint codec: one line per entry, row-major sorted, entries in
+   list order ([register] evaluates a newcomer against the list in that
+   order, pinning pair-evaluation order). *)
+let dump t =
+  Hashtbl.fold (fun row entries acc -> (row, !entries) :: acc) t.rows []
+  |> List.sort (fun ((ta, ra), _) ((tb, rb), _) ->
+         let c = Int.compare ta tb in
+         if c <> 0 then c else Int.compare ra rb)
+  |> List.concat_map (fun ((table, row), entries) ->
+         List.map
+           (fun e ->
+             Printf.sprintf "%d\t%d\t%d\t%d\t%d\t%d\t%d" table row e.ftxn
+               (Interval.bef e.snapshot_iv) (Interval.aft e.snapshot_iv)
+               (Interval.bef e.commit_iv) (Interval.aft e.commit_iv))
+           entries)
+
+let restore lines =
+  let t = create () in
+  let tails = Hashtbl.create 64 in
+  List.iter
+    (fun line ->
+      match String.split_on_char '\t' line with
+      | [ table; row; ftxn; sb; sa; cb; ca ] ->
+        let row = (int_of_string table, int_of_string row) in
+        let e =
+          {
+            ftxn = int_of_string ftxn;
+            snapshot_iv =
+              Interval.make ~bef:(int_of_string sb) ~aft:(int_of_string sa);
+            commit_iv =
+              Interval.make ~bef:(int_of_string cb) ~aft:(int_of_string ca);
+          }
+        in
+        let r =
+          match Hashtbl.find_opt tails row with
+          | Some r -> r
+          | None ->
+            let r = ref [] in
+            Hashtbl.replace tails row r;
+            r
+        in
+        r := e :: !r;
+        t.live <- t.live + 1
+      | _ -> failwith "Fuw_verifier.restore: malformed line")
+    lines;
+  (* lint: allow hashtbl-order — each binding becomes its own row list;
+     the rows table is only consulted per key *)
+  Hashtbl.iter
+    (fun row r -> Hashtbl.replace t.rows row (ref (List.rev !r)))
+    tails;
+  t
+
 let prune t ~horizon =
   let dropped = ref 0 in
   (* lint: allow hashtbl-order — per-key in-place prune plus a

@@ -46,6 +46,18 @@ val register :
 
 val live_entries : t -> int
 
+val referenced_txns : t -> int list
+(** Sorted ids of every transaction with a retained registry entry — the
+    FUW contribution to the truncation retained-set. *)
+
+val dump : t -> string list
+(** Serialize the registry, row-major sorted, preserving per-row entry
+    order (it pins pair-evaluation order).  Inverse of {!restore}. *)
+
+val restore : string list -> t
+(** Rebuild a registry from {!dump} output.  Raises [Failure] on a
+    malformed line. *)
+
 val prune : t -> horizon:int -> int
 (** Drop entries whose commit after-timestamp is [<= horizon]: any future
     updater's snapshot starts after the horizon, so the pair is certainly

@@ -66,6 +66,20 @@ val discard : t -> txn:int -> unit
 val live_entries : t -> int
 (** Lock-table size — the ME memory metric. *)
 
+val referenced_txns : t -> int list
+(** Sorted ids of every transaction holding a retained lock entry — the
+    lock-table contribution to the truncation retained-set. *)
+
+val dump : t -> string list
+(** Serialize the lock table (row-major, sorted row keys) and the
+    per-transaction row lists, preserving both list orders — [release]
+    iterates them, so they pin pair-evaluation order.  Inverse of
+    {!restore}. *)
+
+val restore : string list -> t
+(** Rebuild a lock table from {!dump} output.  Raises [Failure] on a
+    malformed line. *)
+
 val prune : t -> horizon:int -> int
 (** Drop released entries whose release after-timestamp is [<= horizon]:
     every future acquisition starts after the horizon, so such locks can

@@ -29,8 +29,16 @@ type t = {
   mutable peak : int;
 }
 
-let create ?(batch = 64) ?(optimized = true) ?max_stall_ns
-    ?(now = fun () -> 0) ~sources () =
+let create ?(batch = 64) ?(optimized = true) ?max_stall_ns ?now ~sources () =
+  (* A stall bound without a clock is a silent no-op (the default clock
+     is a constant, so [now () - last_progress] never reaches the
+     bound); that footgun shipped once, so now it fails fast. *)
+  (match (max_stall_ns, now) with
+  | Some _, None ->
+    invalid_arg
+      "Pipeline.create: max_stall_ns requires a real clock (pass ~now)"
+  | _ -> ());
+  let now = Option.value ~default:(fun () -> 0) now in
   let t0 = now () in
   {
     locals =

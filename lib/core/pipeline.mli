@@ -67,9 +67,11 @@ val create :
 
     [max_stall_ns] (default: none — block forever, the paper's
     assumption of complete streams) bounds how long an empty live source
-    may pin the watermark, measured against [now] (default: constant 0,
-    i.e. the bound never trips unless a clock is supplied).  Pass the
-    simulation or wall clock via [now] when enabling the bound. *)
+    may pin the watermark, measured against [now].  Setting
+    [max_stall_ns] without supplying [now] raises [Invalid_argument]:
+    the default clock is a constant, so the bound would silently never
+    trip.  Pass the simulation or wall clock via [now] when enabling the
+    bound. *)
 
 val of_lists : ?batch:int -> ?optimized:bool -> Trace.t list array -> t
 (** Offline convenience: one finished stream per client. *)
@@ -87,6 +89,13 @@ val drain : t -> f:(Trace.t -> unit) -> int
 
 val closed : t -> bool
 (** Every source has reported [Closed] and all buffers are empty. *)
+
+val watermark : t -> int
+(** The Theorem 1 progress proof: every trace not yet delivered by any
+    source has [ts_bef >= watermark].  This is the truncation-safety
+    signal for [Checker.truncate] — once the watermark passes a verified
+    prefix, no live transaction can reach back into it.  [max_int] when
+    every source is exhausted (or has forfeited its bound). *)
 
 val dispatched : t -> int
 

@@ -42,10 +42,26 @@ val add_dep : t -> Dep.t -> Bug.t list
 val nodes : t -> int
 val edges : t -> int
 
+val referenced_txns : t -> int list
+(** Sorted ids of the live graph nodes — the SC contribution to the
+    truncation retained-set (rw witnesses are excluded: they never emit
+    new dependencies). *)
+
 val gc : t -> frontier:int -> int
 (** Prune garbage transactions (Definition 4) given that every unverified
     trace has [ts_bef >= frontier]; cascades while new in-degree-zero
     garbage appears.  Returns nodes pruned. *)
+
+val dump : t -> string list
+(** Serialize the graph, txn-sorted, preserving edge and rw-witness list
+    order (they pin certifier-check order); witnesses carry their
+    interval copies because they may outlive gc'd nodes.  Inverse of
+    {!restore}. *)
+
+val restore : Il_profile.certifier option -> string list -> t
+(** Rebuild a graph from {!dump} output without re-running certifier
+    checks; in-degrees and the edge count are recomputed.  Raises
+    [Failure] on malformed input. *)
 
 val has_cycle : t -> bool
 (** Full cycle search over the current graph — used by tests to

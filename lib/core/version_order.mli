@@ -52,6 +52,20 @@ val live_versions : t -> int
 
 val cells : t -> int
 
+val referenced_txns : t -> int list
+(** Sorted ids of every transaction a retained version references (its
+    writer and its matched readers) — the cell-mirror contribution to
+    the truncation retained-set. *)
+
+val dump : t -> string list
+(** Serialize every retained version, cell-major in {!Cell.compare} order
+    (deterministic whatever the insertion history); in-chain order and
+    reader-list order are preserved exactly.  Inverse of {!restore}. *)
+
+val restore : string list -> t
+(** Rebuild a mirror from {!dump} output.  Raises [Failure] on a
+    malformed line. *)
+
 val prune : t -> horizon:int -> int
 (** Garbage-collect versions that can never again be candidates for any
     snapshot taken at or after [horizon]: a version is dropped when it is

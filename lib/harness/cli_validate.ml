@@ -165,6 +165,76 @@ let choice ~flag ~known v =
             (String.concat ", " known);
       }
 
+(* {2 Checker checkpointing grammar}
+
+   The bounded-memory / resume flags form a little dependency chain:
+   checkpoints only make sense on a truncating checker (a frame is
+   written per truncation), resume only makes sense with a checkpoint
+   file to read, and the kill-after drill only makes sense when the
+   progress it destroys was being checkpointed.  Encoding the chain here
+   keeps "flag given but silently inert" impossible. *)
+
+type checkpointing = {
+  gc_watermark : int;
+  check_checkpoint : bool;
+  resume_check : bool;
+  kill_after : int;
+  check_mode : bool;
+}
+
+let checkpointing c =
+  if c.gc_watermark < 0 then
+    Some
+      {
+        flag = "--gc-watermark";
+        msg =
+          Printf.sprintf "%d is negative (0 disables truncation)"
+            c.gc_watermark;
+      }
+  else if c.check_checkpoint && c.gc_watermark = 0 then
+    Some
+      {
+        flag = "--check-checkpoint";
+        msg =
+          "checkpoint frames are written per truncation; enable truncation \
+           with --gc-watermark N";
+      }
+  else if c.resume_check && not c.check_checkpoint then
+    Some
+      {
+        flag = "--resume-check";
+        msg = "nothing to resume from; name the file with --check-checkpoint";
+      }
+  else if c.resume_check && not c.check_mode then
+    Some
+      {
+        flag = "--resume-check";
+        msg =
+          "resume re-reads a recorded trace file from the checkpointed \
+           cursor; it needs --check FILE";
+      }
+  else if c.kill_after < 0 then
+    Some
+      {
+        flag = "--check-kill-after";
+        msg = Printf.sprintf "%d is negative (0 disables the drill)" c.kill_after;
+      }
+  else if c.kill_after > 0 && not c.check_checkpoint then
+    Some
+      {
+        flag = "--check-kill-after";
+        msg =
+          "the kill drill destroys progress on purpose; checkpoint it first \
+           (--check-checkpoint FILE)";
+      }
+  else if c.kill_after > 0 && not c.check_mode then
+    Some
+      {
+        flag = "--check-kill-after";
+        msg = "the kill drill is part of the --check resume path";
+      }
+  else None
+
 let jobs ~flag v =
   (* 0 means "let the orchestrator pick the recommended domain count";
      anything negative is a typo. *)

@@ -57,6 +57,23 @@ val composition : planes -> error option
     (a replica set per shard), and both at once; [--shard-failover-at]
     and [--shard-repl-drop] require [--repl-per-shard]. *)
 
+type checkpointing = {
+  gc_watermark : int;  (** [--gc-watermark]: truncation cadence, 0 = off *)
+  check_checkpoint : bool;  (** [--check-checkpoint FILE] given *)
+  resume_check : bool;  (** [--resume-check] given *)
+  kill_after : int;  (** [--check-kill-after]: SIGKILL drill point, 0 = off *)
+  check_mode : bool;  (** [--check FILE] given (offline trace-file mode) *)
+}
+
+val checkpointing : checkpointing -> error option
+(** The bounded-memory / resume flag chain: [--check-checkpoint] needs a
+    truncating checker ([--gc-watermark N]); [--resume-check] and
+    [--check-kill-after] need the checkpoint file {e and} [--check]
+    (only the offline pass can re-read its input from a cursor); the
+    kill drill additionally needs the progress it destroys to have been
+    checkpointed.  A flag that would be silently inert is a usage error
+    instead. *)
+
 val choice : flag:string -> known:string list -> string -> error option
 (** Campaign-grid axis values ([--cell], [--cell-workload]) must name a
     known class/workload; the error lists the known names. *)

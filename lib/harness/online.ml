@@ -7,10 +7,17 @@ type result = {
   rounds : int;
   max_lag : int;
   final_lag : int;
+  stranded : int;
 }
 
-let run ?(batch_window_ns = 500_000) ?(gc_every = 512) ?max_stall_ns ~il
-    (cfg : Run.config) =
+let run ?(batch_window_ns = 500_000) ?(gc_every = 512) ?max_stall_ns
+    ?gc_watermark ?checkpoint ~il (cfg : Run.config) =
+  (match (checkpoint, gc_watermark) with
+  | Some _, None ->
+    (* A checkpoint frame is written after each truncation; without a
+       truncation cadence the file would stay empty forever. *)
+    invalid_arg "Online.run: checkpoint requires gc_watermark"
+  | _ -> ());
   let queues = Array.init cfg.Run.clients (fun _ -> Queue.create ()) in
   let workload_done = ref false in
   let produced = ref 0 in
@@ -82,6 +89,43 @@ let run ?(batch_window_ns = 500_000) ?(gc_every = 512) ?max_stall_ns ~il
       noted_late := late
     end
   in
+  (* Bounded-memory mode: once the watermark proves a prefix settled,
+     truncate the checker down to its live window and persist a snapshot
+     frame.  The cadence is by dispatched traces, not rounds, so idle
+     batch windows do not churn checkpoints. *)
+  let ckpt_writer =
+    Option.map
+      (fun path ->
+        let fingerprint =
+          Leopard_trace.Ckpt.fingerprint
+            [
+              "online"; il.Leopard.Il_profile.name; string_of_int gc_every;
+              string_of_int (Option.value ~default:0 gc_watermark);
+            ]
+        in
+        Leopard_trace.Ckpt.writer ~path ~fingerprint)
+      checkpoint
+  in
+  let last_trunc = ref 0 in
+  let maybe_truncate () =
+    match gc_watermark with
+    | None -> ()
+    | Some every ->
+      let d = Leopard.Pipeline.dispatched pipeline in
+      if d - !last_trunc >= max 1 every then begin
+        last_trunc := d;
+        let w = Leopard.Pipeline.watermark pipeline in
+        (* max_int = every source exhausted; the final drain below
+           truncates at the horizon anyway, so skip the degenerate cut *)
+        if w < max_int then begin
+          Leopard.Checker.truncate checker ~watermark:w;
+          Option.iter
+            (fun wr ->
+              Leopard_trace.Ckpt.append wr (Leopard.Checker.encode checker))
+            ckpt_writer
+        end
+      end
+  in
   let drain () =
     incr rounds;
     let lag = !produced - Leopard.Pipeline.dispatched pipeline in
@@ -91,6 +135,7 @@ let run ?(batch_window_ns = 500_000) ?(gc_every = 512) ?max_stall_ns ~il
     sync_losses ();
     ignore (Leopard.Pipeline.drain pipeline ~f:(Leopard.Checker.feed checker));
     sync_losses ();
+    maybe_truncate ();
     verify_wall := !verify_wall +. (Leopard_util.Clock.wall () -. t0)
   in
   let observer trace =
@@ -102,7 +147,6 @@ let run ?(batch_window_ns = 500_000) ?(gc_every = 512) ?max_stall_ns ~il
   in
   let outcome = Run.execute cfg in
   (* the workload stopped: everything left is dispatchable *)
-  final_lag := !produced - Leopard.Pipeline.dispatched pipeline;
   workload_done := true;
   let t0 = Leopard_util.Clock.wall () in
   mark_indeterminates ();
@@ -113,6 +157,11 @@ let run ?(batch_window_ns = 500_000) ?(gc_every = 512) ?max_stall_ns ~il
      crashed before the trace straggled in — lost to the verifier. *)
   let stranded = Array.fold_left (fun n q -> n + Queue.length q) 0 queues in
   if stranded > 0 then Leopard.Checker.note_lost_traces checker stranded;
+  (* Honest residual-lag accounting (after the final drain): every
+     produced trace is dispatched, dropped-late, or stranded behind a
+     crashed source — nothing vanishes.  [final_lag] is what the
+     verifier never saw; 0 exactly when collection was complete. *)
+  final_lag := !produced - Leopard.Pipeline.dispatched pipeline;
   (* Crash–recovery epochs the run spanned: clean restarts keep the
      verdict intact, recovery damage degrades it. *)
   List.iter
@@ -126,6 +175,13 @@ let run ?(batch_window_ns = 500_000) ?(gc_every = 512) ?max_stall_ns ~il
       (List.length (Chaos.crashed_clients ch))
   | None -> ());
   Leopard.Checker.finalize checker;
+  (* Final frame after finalize so a post-run inspection sees the
+     settled verdict, then the file is complete. *)
+  Option.iter
+    (fun wr ->
+      Leopard_trace.Ckpt.append wr (Leopard.Checker.encode checker);
+      Leopard_trace.Ckpt.close wr)
+    ckpt_writer;
   verify_wall := !verify_wall +. (Leopard_util.Clock.wall () -. t0);
   {
     outcome;
@@ -134,4 +190,5 @@ let run ?(batch_window_ns = 500_000) ?(gc_every = 512) ?max_stall_ns ~il
     rounds = !rounds;
     max_lag = !max_lag;
     final_lag = !final_lag;
+    stranded;
   }

@@ -20,14 +20,26 @@ type result = {
   verify_wall_s : float;  (** wall time spent inside verification calls *)
   rounds : int;  (** batch windows processed *)
   max_lag : int;  (** peak produced-but-not-yet-verified traces *)
-  final_lag : int;  (** traces left unverified when the workload stopped
-                        (drained before finalize; 0 after a full run) *)
+  final_lag : int;
+      (** traces produced but never verified, measured {e after} the
+          final drain: exactly [late_dropped + stranded].  0 means the
+          verifier saw every produced trace; non-zero is degradation the
+          report already accounts for, never silent loss.  (Earlier
+          versions sampled this before the final drain, so a healthy run
+          showed a spurious backlog and a crashed source's stranded
+          traces were invisible.) *)
+  stranded : int;
+      (** traces still queued behind a source the pipeline closed as
+          crashed — produced, never dispatched, counted into the
+          checker as lost ([Checker.note_lost_traces]). *)
 }
 
 val run :
   ?batch_window_ns:int ->
   ?gc_every:int ->
   ?max_stall_ns:int ->
+  ?gc_watermark:int ->
+  ?checkpoint:string ->
   il:Leopard.Il_profile.t ->
   Run.config ->
   result
@@ -45,4 +57,21 @@ val run :
     a spurious violation.  [max_stall_ns] (simulated time, measured in
     whole batch windows) additionally bounds how long an empty-but-live
     source may pin the watermark — the liveness backstop when no crash
-    signal is available. *)
+    signal is available.
+
+    {b Bounded memory.}  [gc_watermark] (default: off) turns the
+    monitor into a truncating one: every time that many traces have
+    been dispatched since the last cut, the checker is truncated at the
+    pipeline watermark ({!Leopard.Checker.truncate}), so
+    [report.peak_live] stays O(window) instead of O(history) no matter
+    how long the workload runs.  Verdicts are unchanged — truncation
+    only forgets state the watermark proves settled.
+
+    [checkpoint] (requires [gc_watermark], else [Invalid_argument])
+    names a file that receives a full checker snapshot frame
+    ({!Leopard.Checker.encode} via {!Leopard_trace.Ckpt}) after each
+    truncation and once more after finalize.  The file makes the
+    monitor's progress durable for post-mortem inspection and
+    crash-tolerance drills; live in-process resume is not supported —
+    the restartable path is the CLI's offline [--resume-check], which
+    re-reads the trace file from a checkpointed cursor. *)

@@ -1,0 +1,543 @@
+(* Bounded-memory continuous verification and crash-tolerant checker
+   checkpoints.
+
+   The contract under test, in order of increasing machinery:
+
+   - the pipeline's stall-bound footgun fails fast (a bound without a
+     clock would silently never trip);
+   - the online monitor's residual-lag accounting is exact: every
+     produced trace is dispatched, dropped-late or stranded — never
+     silently lost;
+   - [Checker.truncate] changes memory, never verdicts: a truncating
+     pass reports the same totals, the same bugs and the same verdict
+     as an untruncated pass, across a 50-seed sweep;
+   - truncated live state is O(window), not O(history);
+   - [Checker.encode]/[decode] round-trip mid-stream: a decoded checker
+     fed the remaining stream reproduces the uninterrupted report
+     field-for-field, and refuses foreign profiles/flags;
+   - the [Ckpt] container survives the campaign checkpoint's 18-way
+     damage ladder: any corruption degrades to an older frame or a
+     fresh start with a warning, never to trusting damaged bytes;
+   - the CLI flag grammar rejects silently-inert combinations. *)
+
+module H = Leopard_harness
+module W = Leopard_workload
+module Il = Leopard.Il_profile
+module Trace = Leopard_trace.Trace
+module Cell = Leopard_trace.Cell
+module Ckpt = Leopard_trace.Ckpt
+module Rng = Leopard_util.Rng
+
+let il_sr = Il.postgresql_serializable
+
+(* The cadence-independent outputs: what the verifier {e asserts} about
+   a history.  Truncation legitimately changes how deps are deduced
+   (fewer transactions coexist, so ME deduces fewer pairs and the
+   version order deduces more) and the free-text bug detail (candidate
+   and known-version counts reflect pruned state), so this digest keeps
+   verdict, bug identities (mechanism, transactions, cell), the history
+   counts and the degradation ledger — and leaves out deduction tallies,
+   bug prose and memory/gc counters. *)
+let verdict_digest (r : Leopard.Checker.report) =
+  let d = r.degradation in
+  let bug_id (b : Leopard.Bug.t) =
+    Printf.sprintf "%s{%s}%s"
+      (Leopard.Bug.mechanism_to_string b.mechanism)
+      (String.concat "," (List.map string_of_int b.txns))
+      (match b.cell with Some c -> Cell.to_string c | None -> "-")
+  in
+  Printf.sprintf
+    "t=%d c=%d a=%d bugs=%d [%s] mech=[%s] reads=%d res=%d \
+     deg=%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d verdict=%s"
+    r.traces r.committed r.aborted r.bugs_total
+    (String.concat ";" (List.sort String.compare (List.map bug_id r.bugs)))
+    (String.concat ";"
+       (List.map
+          (fun (m, n) ->
+            Printf.sprintf "%s=%d" (Leopard.Bug.mechanism_to_string m) n)
+          r.bugs_by_mechanism))
+    r.reads_checked r.resolved_ambiguous d.crashed_clients
+    d.indeterminate_txns d.dup_traces_dropped d.late_traces_dropped
+    d.lost_traces d.inconclusive_reads d.unterminated_txns d.restarts
+    d.recovery_lost_records d.ambiguous_commits d.failovers
+    d.lost_suffix_commits d.coord_ambiguous_commits
+    (match Leopard.Checker.verdict r with
+    | Leopard.Checker.Verified -> "V"
+    | Leopard.Checker.Violation -> "B"
+    | Leopard.Checker.Inconclusive why -> "I:" ^ why)
+
+(* The strict digest adds deduction tallies and full bug prose — it only
+   holds between runs with the {e same} truncation cadence (a resumed
+   checker vs. the uninterrupted one), where the pruned state is
+   identical at every step. *)
+let digest (r : Leopard.Checker.report) =
+  let d = r.degradation in
+  Printf.sprintf
+    "t=%d c=%d a=%d bugs=%d [%s] mech=[%s] deps=%d [%s] reads=%d res=%d \
+     deg=%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d verdict=%s"
+    r.traces r.committed r.aborted r.bugs_total
+    (String.concat ";" (List.map Leopard.Bug.to_string r.bugs))
+    (String.concat ";"
+       (List.map
+          (fun (m, n) ->
+            Printf.sprintf "%s=%d" (Leopard.Bug.mechanism_to_string m) n)
+          r.bugs_by_mechanism))
+    r.deps_deduced
+    (String.concat ";"
+       (List.map
+          (fun (s, n) ->
+            Printf.sprintf "%s=%d" (Leopard.Dep.source_to_string s) n)
+          r.deduced_by_source))
+    r.reads_checked r.resolved_ambiguous d.crashed_clients
+    d.indeterminate_txns d.dup_traces_dropped d.late_traces_dropped
+    d.lost_traces d.inconclusive_reads d.unterminated_txns d.restarts
+    d.recovery_lost_records d.ambiguous_commits d.failovers
+    d.lost_suffix_commits d.coord_ambiguous_commits
+    (match Leopard.Checker.verdict r with
+    | Leopard.Checker.Verified -> "V"
+    | Leopard.Checker.Violation -> "B"
+    | Leopard.Checker.Inconclusive why -> "I:" ^ why)
+
+(* A feeding pass that truncates every [window] traces at the current
+   trace's ts_bef — the sorted stream's own watermark. *)
+let check_truncating ?(window = 40) profile traces =
+  let checker = Leopard.Checker.create profile in
+  let n = ref 0 in
+  List.iter
+    (fun (tr : Trace.t) ->
+      Leopard.Checker.feed checker tr;
+      incr n;
+      if !n mod window = 0 then
+        Leopard.Checker.truncate checker ~watermark:tr.Trace.ts_bef)
+    (List.sort Trace.compare_by_bef traces);
+  Leopard.Checker.finalize checker;
+  Leopard.Checker.report checker
+
+(* --- satellite: the stall bound demands a clock -------------------- *)
+
+let test_stall_bound_requires_clock () =
+  let sources = [| (fun () -> Leopard.Pipeline.Closed) |] in
+  Alcotest.check_raises "max_stall_ns without now fails fast"
+    (Invalid_argument
+       "Pipeline.create: max_stall_ns requires a real clock (pass ~now)")
+    (fun () ->
+      ignore (Leopard.Pipeline.create ~max_stall_ns:1_000 ~sources ()));
+  (* with a clock the bound is accepted; without the bound no clock is
+     needed (offline mode's complete-streams assumption) *)
+  ignore
+    (Leopard.Pipeline.create ~max_stall_ns:1_000 ~now:(fun () -> 0) ~sources
+       ());
+  ignore (Leopard.Pipeline.create ~sources ())
+
+(* --- satellite: honest residual-lag accounting --------------------- *)
+
+let online_config ?faults ?chaos ~seed ~txns () =
+  H.Run.config ?faults ?chaos ~clients:12 ~seed
+    ~spec:(W.Blindw.spec W.Blindw.RW) ~profile:Minidb.Profile.postgresql
+    ~level:Minidb.Isolation.Serializable ~stop:(H.Run.Txn_count txns) ()
+
+let test_online_lag_identity () =
+  (* clean run: the verifier saw everything *)
+  let r = H.Online.run ~il:il_sr (online_config ~seed:3 ~txns:600 ()) in
+  Alcotest.(check int) "clean run: no residual lag" 0 r.final_lag;
+  Alcotest.(check int) "clean run: nothing stranded" 0 r.stranded;
+  (* crashy runs: produced = dispatched + late_dropped + stranded, and
+     everything the verifier never saw is accounted as degradation *)
+  for seed = 0 to 9 do
+    let chaos =
+      H.Chaos.config ~seed ~crash_prob:0.004 ~drop_prob:0.02 ~dup_prob:0.01
+        ~delay_prob:0.05 ~max_delay_ns:800_000 ~clock_skew_ns:0 ()
+    in
+    let r =
+      H.Online.run ~max_stall_ns:2_000_000 ~il:il_sr
+        (online_config ~chaos ~seed ~txns:600 ())
+    in
+    let d = r.report.Leopard.Checker.degradation in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: final_lag = late_dropped + stranded" seed)
+      (d.Leopard.Checker.late_traces_dropped + r.stranded)
+      r.final_lag;
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: stranded traces are counted lost" seed)
+      true
+      (d.Leopard.Checker.lost_traces >= r.stranded)
+  done
+
+(* --- tentpole: truncation never changes the verdict ---------------- *)
+
+let test_truncated_equals_untruncated_sweep () =
+  (* 50 seeds; every fifth one runs a faulted probe so the Violation
+     path is exercised, the rest run clean chaos-free histories *)
+  for seed = 0 to 49 do
+    let traces, il =
+      if seed mod 5 = 0 then begin
+        let p = W.Probes.for_fault Minidb.Fault.Stale_read in
+        let o =
+          H.Run.execute
+            (H.Run.config
+               ~faults:(Minidb.Fault.Set.singleton p.fault)
+               ~clients:p.clients ~seed ~spec:p.spec ~profile:p.db_profile
+               ~level:p.level ~stop:(H.Run.Txn_count 300) ())
+        in
+        (H.Run.all_traces_sorted o, Option.get (Il.find p.verifier_profile))
+      end
+      else begin
+        let o = H.Run.execute (online_config ~seed ~txns:300 ()) in
+        (H.Run.all_traces_sorted o, il_sr)
+      end
+    in
+    let plain = Helpers.check il traces in
+    let truncated = check_truncating ~window:37 il traces in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d: truncated digest equals untruncated" seed)
+      (verdict_digest plain)
+      (verdict_digest truncated);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: truncations happened" seed)
+      true
+      (truncated.Leopard.Checker.truncations > 0)
+  done
+
+(* --- tentpole: live state is O(window), not O(history) ------------- *)
+
+(* The bench's synthetic stream, small: txn i reads the previous value
+   of cell (i mod cells), overwrites it with i+1, commits, in disjoint
+   intervals — Verified at any scale, with a version chain per cell and
+   a dependency log that only truncation bounds. *)
+let synthetic_soak ~txns ~window =
+  let cells = 16 in
+  let checker = Leopard.Checker.create il_sr in
+  let cell i = Cell.make ~table:0 ~row:(i mod cells) ~col:0 in
+  let worst = ref 0 in
+  for i = 0 to txns - 1 do
+    let t = i * 8 in
+    if i >= cells then
+      Leopard.Checker.feed checker
+        (Helpers.read ~txn:i ~bef:t ~aft:(t + 1)
+           [ (cell i, i - cells + 1) ]);
+    Leopard.Checker.feed checker
+      (Helpers.write ~txn:i ~bef:(t + 2) ~aft:(t + 3) [ (cell i, i + 1) ]);
+    Leopard.Checker.feed checker
+      (Helpers.commit ~txn:i ~bef:(t + 4) ~aft:(t + 5) ());
+    if window > 0 && i mod window = window - 1 then begin
+      Leopard.Checker.truncate checker ~watermark:t;
+      worst := max !worst (Leopard.Checker.live_size checker)
+    end
+  done;
+  Leopard.Checker.finalize checker;
+  (Leopard.Checker.report checker, !worst)
+
+let test_live_size_bounded_by_window () =
+  let r1, _ = synthetic_soak ~txns:4_000 ~window:500 in
+  let r4, post4 = synthetic_soak ~txns:16_000 ~window:500 in
+  let u4, _ = synthetic_soak ~txns:16_000 ~window:0 in
+  Alcotest.(check int) "soak verifies clean" 0 r4.Leopard.Checker.bugs_total;
+  (match Leopard.Checker.verdict r4 with
+  | Leopard.Checker.Verified -> ()
+  | _ -> Alcotest.fail "synthetic soak must verify");
+  (* 4x the history, (almost) the same peak: O(window) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "peak live flat across scales (%d vs %d)"
+       r1.Leopard.Checker.peak_live r4.Leopard.Checker.peak_live)
+    true
+    (r4.Leopard.Checker.peak_live
+    <= r1.Leopard.Checker.peak_live + (r1.Leopard.Checker.peak_live / 5));
+  (* the untruncated checker is history-bound: gc alone cannot bound
+     the deduction log, so its peak keeps growing with the history *)
+  Alcotest.(check bool)
+    (Printf.sprintf "untruncated peak is history-bound (%d vs %d)"
+       u4.Leopard.Checker.peak_live r4.Leopard.Checker.peak_live)
+    true
+    (u4.Leopard.Checker.peak_live > 2 * r4.Leopard.Checker.peak_live);
+  (* post-truncation live size never exceeds a window's worth of state *)
+  Alcotest.(check bool)
+    (Printf.sprintf "post-truncation live size bounded (%d)" post4)
+    true
+    (post4 < u4.Leopard.Checker.peak_live / 2);
+  (* the verdict-level outputs survive the folding *)
+  Alcotest.(check string) "verdict digest matches untruncated"
+    (verdict_digest u4) (verdict_digest r4)
+
+(* --- tentpole: encode/decode round-trips mid-stream ---------------- *)
+
+let split_at n l =
+  let rec go i acc = function
+    | rest when i = n -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (i + 1) (x :: acc) rest
+  in
+  go 0 [] l
+
+let test_encode_decode_roundtrip () =
+  for seed = 0 to 9 do
+    let p = W.Probes.for_fault Minidb.Fault.Stale_read in
+    let o =
+      H.Run.execute
+        (H.Run.config
+           ~faults:(Minidb.Fault.Set.singleton p.fault)
+           ~clients:p.clients ~seed ~spec:p.spec ~profile:p.db_profile
+           ~level:p.level ~stop:(H.Run.Txn_count 300) ())
+    in
+    let il = Option.get (Il.find p.verifier_profile) in
+    let traces = H.Run.all_traces_sorted o in
+    let cut = List.length traces / 2 in
+    let first, rest = split_at cut traces in
+    let a = Leopard.Checker.create il in
+    List.iter (Leopard.Checker.feed a) first;
+    (match first with
+    | [] -> ()
+    | _ ->
+      let last = List.nth first (cut - 1) in
+      Leopard.Checker.truncate a ~watermark:last.Trace.ts_bef);
+    let lines = Leopard.Checker.encode a in
+    let b =
+      match Leopard.Checker.decode il lines with
+      | Ok b -> b
+      | Error msg -> Alcotest.fail ("decode failed: " ^ msg)
+    in
+    (* the decoded image re-encodes to the same bytes: the snapshot is
+       canonical, so frames are reproducible across kill/resume chains *)
+    Alcotest.(check (list string))
+      (Printf.sprintf "seed %d: encode is a fixpoint" seed)
+      lines
+      (Leopard.Checker.encode b);
+    List.iter (Leopard.Checker.feed a) rest;
+    List.iter (Leopard.Checker.feed b) rest;
+    Leopard.Checker.finalize a;
+    Leopard.Checker.finalize b;
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d: resumed report equals uninterrupted" seed)
+      (digest (Leopard.Checker.report a))
+      (digest (Leopard.Checker.report b))
+  done
+
+let test_decode_rejects_foreign () =
+  let o = H.Run.execute (online_config ~seed:1 ~txns:200 ()) in
+  let a = Leopard.Checker.create il_sr in
+  List.iter (Leopard.Checker.feed a) (H.Run.all_traces_sorted o);
+  let lines = Leopard.Checker.encode a in
+  (match Leopard.Checker.decode Il.postgresql_si lines with
+  | Ok _ -> Alcotest.fail "decode accepted a foreign profile"
+  | Error _ -> ());
+  (match Leopard.Checker.decode ~relaxed_reads:true il_sr lines with
+  | Ok _ -> Alcotest.fail "decode accepted mismatched flags"
+  | Error _ -> ());
+  (* flag mismatch is about equality, not direction *)
+  match Leopard.Checker.decode il_sr lines with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail ("decode rejected its own flags: " ^ msg)
+
+(* --- the checkpoint container: damage degrades, never lies --------- *)
+
+let frame_payloads =
+  [
+    [ "plain line"; "tab\there"; "back\\slash"; "new\nline"; "" ];
+    [ "second frame"; String.make 300 'x' ];
+    [ "third\tframe"; "\x00\x01binary\xff" ];
+  ]
+
+let write_ckpt ~path ~fingerprint frames =
+  let w = Ckpt.writer ~path ~fingerprint in
+  List.iter (Ckpt.append w) frames;
+  Ckpt.close w
+
+let test_ckpt_roundtrip () =
+  let path = Filename.temp_file "leopard_ckpt" ".ck" in
+  let fp = Ckpt.fingerprint [ "unit"; "roundtrip" ] in
+  write_ckpt ~path ~fingerprint:fp frame_payloads;
+  let frame, warning = Ckpt.load ~path ~fingerprint:fp in
+  Alcotest.(check (option string)) "no warning on pristine file" None warning;
+  (match frame with
+  | Some payload ->
+    Alcotest.(check (list string))
+      "last frame round-trips exactly (tabs, newlines, binary)"
+      (List.nth frame_payloads 2) payload
+  | None -> Alcotest.fail "pristine checkpoint must load");
+  (* missing file: silent fresh start *)
+  Sys.remove path;
+  let frame, warning = Ckpt.load ~path ~fingerprint:fp in
+  Alcotest.(check bool) "missing file: no frame" true (frame = None);
+  Alcotest.(check (option string)) "missing file: silent" None warning
+
+let test_ckpt_foreign_fingerprint () =
+  let path = Filename.temp_file "leopard_ckpt" ".ck" in
+  write_ckpt ~path ~fingerprint:(Ckpt.fingerprint [ "run"; "a" ])
+    frame_payloads;
+  let frame, warning =
+    Ckpt.load ~path ~fingerprint:(Ckpt.fingerprint [ "run"; "b" ])
+  in
+  Alcotest.(check bool) "foreign fingerprint: ignored" true (frame = None);
+  Alcotest.(check bool) "foreign fingerprint: warned" true (warning <> None);
+  Sys.remove path
+
+let test_ckpt_damage_ladder () =
+  let path = Filename.temp_file "leopard_ckpt" ".ck" in
+  let fp = Ckpt.fingerprint [ "unit"; "damage" ] in
+  write_ckpt ~path ~fingerprint:fp frame_payloads;
+  let pristine =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let restore damaged =
+    let oc = open_out_bin path in
+    output_string oc damaged;
+    close_out oc
+  in
+  let len = String.length pristine in
+  let rng = Rng.create 99 in
+  let damage_one i =
+    match i mod 3 with
+    | 0 -> String.sub pristine 0 (1 + Rng.int rng (len - 1))
+    | 1 ->
+      let pos = Rng.int rng len in
+      let b = Bytes.of_string pristine in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x20));
+      Bytes.to_string b
+    | _ -> pristine ^ "l\tdeadbeef\tnot a frame\n"
+  in
+  for i = 0 to 17 do
+    restore (damage_one i);
+    (* damage may cost frames, never truth: whatever loads is a frame
+       that was actually written, and damaged loads always warn *)
+    let frame, warning = Ckpt.load ~path ~fingerprint:fp in
+    (match frame with
+    | None -> ()
+    | Some payload ->
+      Alcotest.(check bool)
+        (Printf.sprintf "damage %d: loaded frame was actually written" i)
+        true
+        (List.exists (fun f -> f = payload) frame_payloads));
+    let intact =
+      match (frame, warning) with
+      | Some payload, None -> payload = List.nth frame_payloads 2
+      | _, Some _ -> true
+      | None, None -> false
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "damage %d: degraded loads warn" i)
+      true intact
+  done;
+  Sys.remove path
+
+(* --- online monitor: truncation + checkpoint wiring ---------------- *)
+
+let test_online_truncating_same_verdict () =
+  let plain = H.Online.run ~il:il_sr (online_config ~seed:11 ~txns:800 ()) in
+  let path = Filename.temp_file "leopard_online" ".ck" in
+  let truncating =
+    H.Online.run ~gc_watermark:300 ~checkpoint:path ~il:il_sr
+      (online_config ~seed:11 ~txns:800 ())
+  in
+  Alcotest.(check string) "truncating online digest equals plain"
+    (verdict_digest plain.report)
+    (verdict_digest truncating.report);
+  Alcotest.(check bool) "monitor truncated" true
+    (truncating.report.Leopard.Checker.truncations > 0);
+  (* the checkpoint file holds a loadable final frame *)
+  let fp =
+    Ckpt.fingerprint [ "online"; il_sr.Il.name; "512"; "300" ]
+  in
+  let frame, warning = Ckpt.load ~path ~fingerprint:fp in
+  Alcotest.(check (option string)) "checkpoint pristine" None warning;
+  (match frame with
+  | Some lines -> (
+    match Leopard.Checker.decode il_sr lines with
+    | Ok c ->
+      Alcotest.(check string) "final frame decodes to the final report"
+        (digest truncating.report)
+        (digest (Leopard.Checker.report c))
+    | Error msg -> Alcotest.fail ("final frame rejected: " ^ msg))
+  | None -> Alcotest.fail "online checkpoint must load");
+  Sys.remove path
+
+let test_online_checkpoint_requires_watermark () =
+  Alcotest.check_raises "checkpoint without gc_watermark fails fast"
+    (Invalid_argument "Online.run: checkpoint requires gc_watermark")
+    (fun () ->
+      ignore
+        (H.Online.run ~checkpoint:"/tmp/never-written.ck" ~il:il_sr
+           (online_config ~seed:1 ~txns:50 ())))
+
+(* --- CLI flag grammar ---------------------------------------------- *)
+
+let test_cli_checkpointing_rules () =
+  let open H.Cli_validate in
+  let base =
+    {
+      gc_watermark = 0;
+      check_checkpoint = false;
+      resume_check = false;
+      kill_after = 0;
+      check_mode = true;
+    }
+  in
+  let flag_of = Option.map (fun e -> e.flag) in
+  Alcotest.(check (option string)) "all off: fine" None
+    (flag_of (checkpointing base));
+  Alcotest.(check (option string)) "plain truncation: fine" None
+    (flag_of (checkpointing { base with gc_watermark = 1000 }));
+  Alcotest.(check (option string)) "negative watermark rejected"
+    (Some "--gc-watermark")
+    (flag_of (checkpointing { base with gc_watermark = -1 }));
+  Alcotest.(check (option string)) "checkpoint needs truncation"
+    (Some "--check-checkpoint")
+    (flag_of (checkpointing { base with check_checkpoint = true }));
+  Alcotest.(check (option string)) "resume needs a checkpoint file"
+    (Some "--resume-check")
+    (flag_of
+       (checkpointing { base with gc_watermark = 1000; resume_check = true }));
+  Alcotest.(check (option string)) "resume needs --check"
+    (Some "--resume-check")
+    (flag_of
+       (checkpointing
+          {
+            gc_watermark = 1000;
+            check_checkpoint = true;
+            resume_check = true;
+            kill_after = 0;
+            check_mode = false;
+          }));
+  Alcotest.(check (option string)) "kill drill needs a checkpoint"
+    (Some "--check-kill-after")
+    (flag_of
+       (checkpointing { base with gc_watermark = 1000; kill_after = 5 }));
+  Alcotest.(check (option string)) "the full resume chain is fine" None
+    (flag_of
+       (checkpointing
+          {
+            gc_watermark = 1000;
+            check_checkpoint = true;
+            resume_check = true;
+            kill_after = 5;
+            check_mode = true;
+          }))
+
+let suite =
+  [
+    Alcotest.test_case "pipeline stall bound requires a clock" `Quick
+      test_stall_bound_requires_clock;
+    Alcotest.test_case "online residual lag is exact under chaos" `Quick
+      test_online_lag_identity;
+    Alcotest.test_case "truncated verdict equals untruncated (50 seeds)"
+      `Quick test_truncated_equals_untruncated_sweep;
+    Alcotest.test_case "truncated live size is O(window)" `Quick
+      test_live_size_bounded_by_window;
+    Alcotest.test_case "encode/decode round-trips mid-stream" `Quick
+      test_encode_decode_roundtrip;
+    Alcotest.test_case "decode rejects foreign profile and flags" `Quick
+      test_decode_rejects_foreign;
+    Alcotest.test_case "ckpt container round-trips exactly" `Quick
+      test_ckpt_roundtrip;
+    Alcotest.test_case "ckpt ignores foreign fingerprints" `Quick
+      test_ckpt_foreign_fingerprint;
+    Alcotest.test_case "ckpt survives the 18-way damage ladder" `Quick
+      test_ckpt_damage_ladder;
+    Alcotest.test_case "truncating online monitor: same verdict" `Quick
+      test_online_truncating_same_verdict;
+    Alcotest.test_case "online checkpoint requires gc_watermark" `Quick
+      test_online_checkpoint_requires_watermark;
+    Alcotest.test_case "cli checkpoint flag grammar" `Quick
+      test_cli_checkpointing_rules;
+  ]
